@@ -1,0 +1,227 @@
+// Package aurora is a trace-driven timing simulator of the Aurora III, the
+// experimental 300 MHz GaAs microprocessor of Upton, Huff, Mudge and Brown,
+// "Resource Allocation in a High Clock Rate Microprocessor" (ASPLOS VI,
+// 1994). It reproduces the paper's resource-allocation study: three machine
+// models (small / baseline / large), single- and dual-issue pipelines,
+// stream-buffer prefetching, a non-blocking external data cache with MSHRs,
+// a coalescing write cache, and a decoupled floating-point unit with
+// configurable queues and functional-unit latencies — all costed in
+// Register Bit Equivalents.
+//
+// # Quick start
+//
+//	w, _ := aurora.GetWorkload("espresso")
+//	rep, _ := aurora.Run(aurora.Baseline(), w, 0)
+//	fmt.Printf("CPI %.3f, icache hit %.1f%%\n", rep.CPI(), 100*rep.ICacheHitRate())
+//
+// Workloads are MIPS R3000 assembly kernels modelled after the SPEC92
+// programs the paper used; they are assembled and executed functionally by
+// an internal MIPS VM whose dynamic instruction trace drives the timing
+// model, mirroring the paper's trace-driven methodology.
+package aurora
+
+import (
+	"fmt"
+
+	"aurora/internal/core"
+	"aurora/internal/fpu"
+	"aurora/internal/mem"
+	"aurora/internal/mmu"
+	"aurora/internal/rbe"
+	"aurora/internal/trace"
+	"aurora/internal/vm"
+	"aurora/internal/workloads"
+)
+
+// Config is a complete machine configuration (Table 1 resources plus the
+// memory system and FPU).
+type Config = core.Config
+
+// Report carries the result of a timing run: CPI, stall breakdown, cache,
+// prefetch, write-cache and FPU statistics.
+type Report = core.Report
+
+// StallCause labels the stall buckets of Figure 6.
+type StallCause = core.StallCause
+
+// Stall causes (paper §5.3, plus FPU decoupling and a residual bucket).
+const (
+	StallICache    = core.StallICache
+	StallLoad      = core.StallLoad
+	StallROBFull   = core.StallROBFull
+	StallLSUBusy   = core.StallLSUBusy
+	StallFPU       = core.StallFPU
+	StallOther     = core.StallOther
+	NumStallCauses = core.NumStallCauses
+)
+
+// FPUConfig parameterises the decoupled floating-point unit.
+type FPUConfig = fpu.Config
+
+// FPUPolicy selects the §5.8 issue policy.
+type FPUPolicy = fpu.IssuePolicy
+
+// FPU issue policies.
+const (
+	FPUInOrder   = fpu.InOrderComplete
+	FPUOOOSingle = fpu.OutOfOrderSingle
+	FPUOOODual   = fpu.OutOfOrderDual
+)
+
+// MemoryConfig parameterises the secondary memory system (BIU).
+type MemoryConfig = mem.Config
+
+// MMUConfig parameterises the optional structured MMU model (TLB +
+// secondary cache) behind the BIU; the zero value keeps the paper's flat
+// average-latency abstraction.
+type MMUConfig = mmu.Config
+
+// DefaultMMU returns a period-plausible structured MMU (64-entry TLB,
+// 512 KB secondary cache).
+func DefaultMMU() MMUConfig { return mmu.DefaultConfig() }
+
+// Workload is one benchmark kernel (a SPEC92 stand-in).
+type Workload = workloads.Workload
+
+// Machine-model constructors (Table 1).
+var (
+	Small        = core.Small
+	Baseline     = core.Baseline
+	Large        = core.Large
+	RecommendedE = core.RecommendedE
+	Models       = core.Models
+)
+
+// DefaultFPU returns the §5.11 recommended FPU configuration.
+func DefaultFPU() FPUConfig { return fpu.DefaultConfig() }
+
+// ModelByName resolves a Table 1 model name ("small", "baseline", "large")
+// or the §5.6 recommendation ("pointE").
+func ModelByName(name string) (Config, error) {
+	switch name {
+	case "small":
+		return Small(), nil
+	case "baseline", "base":
+		return Baseline(), nil
+	case "large":
+		return Large(), nil
+	case "pointE", "pointe", "e":
+		return RecommendedE(), nil
+	}
+	return Config{}, fmt.Errorf("aurora: unknown model %q (small, baseline, large, pointE)", name)
+}
+
+// GetWorkload returns a workload by its SPEC name ("espresso", "alvinn", ...).
+func GetWorkload(name string) (*Workload, error) { return workloads.Get(name) }
+
+// WorkloadNames lists all workloads, integer suite first.
+func WorkloadNames() []string { return workloads.Names() }
+
+// IntegerSuite returns the six SPECint92 stand-ins in the paper's order.
+func IntegerSuite() []*Workload { return workloads.Integer() }
+
+// FPSuite returns the nine SPECfp92 stand-ins in the paper's order.
+func FPSuite() []*Workload { return workloads.FP() }
+
+// machineStream adapts a running functional VM to a trace stream, so the
+// timing simulator replays execution without materialising the whole trace.
+type machineStream struct {
+	m      *vm.Machine
+	budget uint64
+	n      uint64
+	err    error
+}
+
+func (s *machineStream) Next() (trace.Record, bool) {
+	if s.err != nil || s.m.Halted() || (s.budget > 0 && s.n >= s.budget) {
+		return trace.Record{}, false
+	}
+	rec, err := s.m.Step()
+	if err != nil {
+		// A fault or clean halt ends the stream; faults are reported.
+		if !s.m.Halted() {
+			s.err = err
+		}
+		return trace.Record{}, false
+	}
+	s.n++
+	return rec, true
+}
+
+func (s *machineStream) Err() error { return s.err }
+
+// Run executes a workload on the given machine configuration. maxInstr
+// bounds the dynamic instruction count (0 uses the workload's default
+// budget, which covers the kernel's full natural run).
+func Run(cfg Config, w *Workload, maxInstr uint64) (*Report, error) {
+	m, err := w.NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	if maxInstr == 0 {
+		maxInstr = w.DefaultBudget * 4 // headroom: kernels halt on their own
+	}
+	stream := &machineStream{m: m, budget: maxInstr}
+	p, err := core.NewProcessor(cfg, stream)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := p.Run(0)
+	if err != nil {
+		return nil, fmt.Errorf("aurora: %s on %s: %w", w.Name, cfg.Name, err)
+	}
+	if serr := stream.Err(); serr != nil {
+		return nil, fmt.Errorf("aurora: %s execution fault: %w", w.Name, serr)
+	}
+	return rep, nil
+}
+
+// RunScheduled is Run with the §6 "better compiler scheduling" pass: each
+// basic block of the dynamic trace is list-scheduled (loads hoisted away
+// from their consumers) before it reaches the timing model — modelling a
+// recompiled binary.
+func RunScheduled(cfg Config, w *Workload, maxInstr uint64) (*Report, error) {
+	m, err := w.NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	if maxInstr == 0 {
+		maxInstr = w.DefaultBudget * 4
+	}
+	stream := &machineStream{m: m, budget: maxInstr}
+	p, err := core.NewProcessor(cfg, trace.NewReschedule(stream))
+	if err != nil {
+		return nil, err
+	}
+	rep, err := p.Run(0)
+	if err != nil {
+		return nil, fmt.Errorf("aurora: %s on %s (scheduled): %w", w.Name, cfg.Name, err)
+	}
+	return rep, nil
+}
+
+// RunTrace executes the timing model over an arbitrary trace stream
+// (for pre-recorded traces or synthetic streams).
+func RunTrace(cfg Config, stream trace.Stream) (*Report, error) {
+	p, err := core.NewProcessor(cfg, stream)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(0)
+}
+
+// Cost returns a configuration's integer-side implementation cost in
+// Register Bit Equivalents (Table 2).
+func Cost(cfg Config) (int, error) { return cfg.CostRBE() }
+
+// FPUCost returns an FPU configuration's cost in RBE (Table 2).
+func FPUCost(cfg FPUConfig) int {
+	c := cfg.Normalize()
+	return rbe.FPUCost{
+		InstrQueue: c.InstrQueue, LoadQueue: c.LoadQueue, StoreQueue: c.StoreQueue,
+		ReorderBuf: c.ReorderBuffer,
+		AddLatency: c.AddLatency, MulLatency: c.MulLatency,
+		DivLatency: c.DivLatency, CvtLatency: c.CvtLatency,
+		AddPipelined: c.AddPipelined, MulPipelined: c.MulPipelined,
+	}.Total()
+}

@@ -1,0 +1,126 @@
+// Command aurora-asm assembles MIPS R3000 assembly (the simulator's subset),
+// disassembles the result, and optionally executes it on the functional VM.
+//
+// Usage:
+//
+//	aurora-asm file.s              # assemble, print segment summary
+//	aurora-asm -dump file.s        # disassemble the text segment
+//	aurora-asm -symbols file.s     # print the symbol table
+//	aurora-asm -run file.s         # execute on the functional VM
+//	aurora-asm -workload espresso -dump   # inspect a built-in kernel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"aurora/internal/asm"
+	"aurora/internal/isa"
+	"aurora/internal/vm"
+	"aurora/internal/workloads"
+)
+
+func main() {
+	var (
+		dump     = flag.Bool("dump", false, "disassemble the text segment")
+		list     = flag.Bool("list", false, "print an assembler listing (address, word, source line)")
+		symbols  = flag.Bool("symbols", false, "print the symbol table")
+		run      = flag.Bool("run", false, "execute on the functional VM")
+		maxInstr = flag.Uint64("instr", 50_000_000, "execution budget for -run")
+		workload = flag.String("workload", "", "use a built-in kernel instead of a file")
+	)
+	flag.Parse()
+
+	var name, source string
+	switch {
+	case *workload != "":
+		w, err := workloads.Get(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		name, source = w.Name+".s", w.Source
+	case flag.NArg() == 1:
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		name, source = flag.Arg(0), string(b)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: aurora-asm [-dump|-symbols|-run] file.s")
+		os.Exit(2)
+	}
+
+	p, err := asm.Assemble(name, source)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d instructions (%d bytes text), %d bytes data, entry %#x\n",
+		name, len(p.Text), 4*len(p.Text), len(p.Data), p.Entry)
+
+	if *symbols {
+		type sym struct {
+			name string
+			addr uint32
+		}
+		var syms []sym
+		for n, a := range p.Symbols {
+			syms = append(syms, sym{n, a})
+		}
+		sort.Slice(syms, func(i, j int) bool { return syms[i].addr < syms[j].addr })
+		for _, s := range syms {
+			fmt.Printf("%08x  %s\n", s.addr, s.name)
+		}
+	}
+
+	if *dump {
+		pc := uint32(asm.TextBase)
+		for _, word := range p.Text {
+			in, err := isa.Decode(word)
+			if err != nil {
+				fmt.Printf("%08x: %08x  <undecodable: %v>\n", pc, word, err)
+			} else {
+				fmt.Printf("%08x: %08x  %s\n", pc, word, isa.Disassemble(in, pc))
+			}
+			pc += 4
+		}
+	}
+
+	if *list {
+		lines := strings.Split(source, "\n")
+		pc := uint32(asm.TextBase)
+		for i, word := range p.Text {
+			srcLine := ""
+			if i < len(p.Lines) && p.Lines[i]-1 < len(lines) {
+				srcLine = strings.TrimRight(lines[p.Lines[i]-1], " \t")
+			}
+			in, err := isa.Decode(word)
+			dis := "?"
+			if err == nil {
+				dis = isa.Disassemble(in, pc)
+			}
+			fmt.Printf("%08x %08x  %-36s |%5d| %s\n", pc, word, dis, p.Lines[i], srcLine)
+			pc += 4
+		}
+	}
+
+	if *run {
+		m, err := vm.New(p)
+		if err != nil {
+			fatal(err)
+		}
+		m.Stdout = os.Stdout
+		n, err := m.Run(*maxInstr, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("executed %d instructions, exit code %d\n", n, m.ExitCode())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aurora-asm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Command aurora-experiments regenerates every table and figure of the
+// paper's evaluation section and prints them in order.
+//
+// Usage:
+//
+//	aurora-experiments            # full budgets (minutes)
+//	aurora-experiments -quick     # reduced budgets (seconds, noisier)
+//	aurora-experiments -budget 800000 -sweep 300000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"aurora/internal/harness"
+)
+
+func main() {
+	var (
+		quick      = flag.Bool("quick", false, "reduced budgets for a fast pass")
+		budget     = flag.Uint64("budget", 0, "per-benchmark instruction budget (0 = natural completion)")
+		sweep      = flag.Uint64("sweep", 600_000, "budget for wide parameter sweeps (Figures 8-9)")
+		csvDir     = flag.String("csv", "", "also write one CSV per artifact into this directory")
+		extensions = flag.Bool("extensions", false, "also run the extension studies")
+	)
+	flag.Parse()
+
+	opts := harness.Full()
+	if *quick {
+		opts = harness.Quick()
+	}
+	if *budget != 0 {
+		opts.Budget = *budget
+	}
+	if *sweep != 0 && !*quick {
+		opts.SweepBudget = *sweep
+	}
+
+	start := time.Now()
+	if err := harness.Render(os.Stdout, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "aurora-experiments:", err)
+		os.Exit(1)
+	}
+	if *extensions {
+		if err := harness.RenderExtensions(os.Stdout, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "aurora-experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "aurora-experiments:", err)
+			os.Exit(1)
+		}
+		open := func(name string) (io.WriteCloser, error) {
+			return os.Create(filepath.Join(*csvDir, name+".csv"))
+		}
+		if err := harness.ExportCSV(open, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "aurora-experiments: csv:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("CSV artifacts written to %s\n", *csvDir)
+	}
+	fmt.Printf("\nregenerated all tables and figures in %s\n", time.Since(start).Round(time.Second))
+}

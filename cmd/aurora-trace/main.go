@@ -1,0 +1,146 @@
+// Command aurora-trace records a workload's dynamic instruction trace to the
+// binary trace format, prints statistics of a recorded trace, or replays a
+// recorded trace through the timing simulator.
+//
+// Usage:
+//
+//	aurora-trace -record espresso -o espresso.trc -instr 1000000
+//	aurora-trace -stats espresso.trc
+//	aurora-trace -replay espresso.trc -model large
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aurora"
+	"aurora/internal/isa"
+	"aurora/internal/trace"
+	"aurora/internal/workloads"
+)
+
+func main() {
+	var (
+		record = flag.String("record", "", "workload to record")
+		out    = flag.String("o", "trace.trc", "output file for -record")
+		instr  = flag.Uint64("instr", 0, "instruction budget (0 = workload default)")
+		stats  = flag.String("stats", "", "trace file to summarise")
+		replay = flag.String("replay", "", "trace file to replay on the timing model")
+		model  = flag.String("model", "baseline", "machine model for -replay")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		doRecord(*record, *out, *instr)
+	case *stats != "":
+		doStats(*stats)
+	case *replay != "":
+		doReplay(*replay, *model)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: aurora-trace -record NAME | -stats FILE | -replay FILE")
+		os.Exit(2)
+	}
+}
+
+func doRecord(name, out string, budget uint64) {
+	w, err := workloads.Get(name)
+	if err != nil {
+		fatal(err)
+	}
+	if budget == 0 {
+		budget = w.DefaultBudget * 4
+	}
+	m, err := w.NewMachine()
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tw := trace.NewWriter(f)
+	var werr error
+	n, err := m.Run(budget, func(r trace.Record) {
+		if werr == nil {
+			werr = tw.Write(r)
+		}
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if werr != nil {
+		fatal(werr)
+	}
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recorded %d instructions of %s to %s\n", n, name, out)
+}
+
+func doStats(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	var mix trace.Mix
+	for {
+		r, ok := tr.Next()
+		if !ok {
+			break
+		}
+		mix.Add(r)
+	}
+	if err := tr.Err(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d instructions\n", path, mix.Total)
+	fmt.Printf("  loads %5.1f%%  stores %5.1f%%  branches %5.1f%% (%.0f%% taken)  fp %5.1f%%\n",
+		pct(mix.Loads, mix.Total), pct(mix.Stores, mix.Total),
+		pct(mix.Branch, mix.Total), pct(mix.Taken, mix.Branch), 100*mix.FPFraction())
+	for c := isa.Class(0); int(c) < len(mix.ByClass); c++ {
+		if mix.ByClass[c] > 0 {
+			fmt.Printf("  %-8s %9d (%5.1f%%)\n", c, mix.ByClass[c], pct(mix.ByClass[c], mix.Total))
+		}
+	}
+}
+
+func doReplay(path, modelName string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := aurora.ModelByName(modelName)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := aurora.RunTrace(cfg, tr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep)
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aurora-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Command aurorasim runs one workload on one Aurora III machine
+// configuration and prints the timing report.
+//
+// Usage:
+//
+//	aurorasim -workload espresso -model baseline
+//	aurorasim -workload su2cor -model large -latency 35 -issue 1
+//	aurorasim -workload compress -icache 4096 -mshrs 4 -instr 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aurora"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "espresso", "workload name ("+strings.Join(aurora.WorkloadNames(), ", ")+")")
+		model    = flag.String("model", "baseline", "machine model: small, baseline, large, pointE")
+		issue    = flag.Int("issue", 0, "issue width override (1 or 2)")
+		latency  = flag.Int("latency", 0, "secondary memory latency override (e.g. 17 or 35)")
+		icache   = flag.Int("icache", 0, "instruction cache bytes override")
+		dcache   = flag.Int("dcache", 0, "data cache bytes override")
+		mshrs    = flag.Int("mshrs", 0, "MSHR count override")
+		wclines  = flag.Int("wc", 0, "write cache lines override")
+		rob      = flag.Int("rob", 0, "reorder buffer entries override")
+		pfbufs   = flag.Int("prefetch", -1, "stream buffer count override (0 disables)")
+		instr    = flag.Uint64("instr", 0, "dynamic instruction budget (0 = natural completion)")
+		policy   = flag.String("fpu-policy", "", "FPU issue policy: inorder, single, dual")
+		victim   = flag.Int("victim", 0, "victim cache lines (extension; 0 = paper's design)")
+		precise  = flag.Bool("precise", false, "FPU precise-exception mode (§3.1)")
+		withMMU  = flag.Bool("mmu", false, "enable the structured MMU model (extension)")
+		nofold   = flag.Bool("nofold", false, "disable branch folding (ablation)")
+	)
+	flag.Parse()
+
+	cfg, err := aurora.ModelByName(*model)
+	if err != nil {
+		fatal(err)
+	}
+	if *issue != 0 {
+		cfg.IssueWidth = *issue
+	}
+	if *latency != 0 {
+		cfg = cfg.WithLatency(*latency)
+	}
+	if *icache != 0 {
+		cfg.ICacheBytes = *icache
+	}
+	if *dcache != 0 {
+		cfg.DCacheBytes = *dcache
+	}
+	if *mshrs != 0 {
+		cfg.MSHRs = *mshrs
+	}
+	if *wclines != 0 {
+		cfg.WriteCacheLines = *wclines
+	}
+	if *rob != 0 {
+		cfg.ReorderBuffer = *rob
+	}
+	if *pfbufs >= 0 {
+		cfg.PrefetchBuffers = *pfbufs
+	}
+	cfg.VictimLines = *victim
+	cfg.FPU.Precise = *precise
+	cfg.DisableBranchFolding = *nofold
+	if *withMMU {
+		cfg.MMU = aurora.DefaultMMU()
+	}
+	switch *policy {
+	case "":
+	case "inorder":
+		cfg.FPU.Policy = aurora.FPUInOrder
+	case "single":
+		cfg.FPU.Policy = aurora.FPUOOOSingle
+	case "dual":
+		cfg.FPU.Policy = aurora.FPUOOODual
+	default:
+		fatal(fmt.Errorf("unknown FPU policy %q", *policy))
+	}
+
+	w, err := aurora.GetWorkload(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	cost, err := aurora.Cost(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := aurora.Run(cfg, w, *instr)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload %s (%s): %s\n", w.Name, w.Suite, w.Description)
+	fmt.Printf("cost: %d RBE (integer side) + %d RBE (FPU)\n", cost, aurora.FPUCost(cfg.FPU))
+	fmt.Print(rep)
+	fmt.Printf("  dual-issue rate %.1f%%  BIU reads %d writes %d (avg read latency %.1f)\n",
+		100*rep.DualIssueRate(), rep.BIU.Reads, rep.BIU.Writes, rep.BIU.AvgReadLatency())
+	fmt.Printf("  MSHR utilisation %.2f  FPU issued %d (dual cycles %d)\n",
+		rep.MSHRUtilisation, rep.FPU.Issued, rep.FPU.DualIssues)
+	if *withMMU {
+		fmt.Printf("  MMU: TLB miss %.3f%%  L2 hit %.1f%%\n",
+			100*rep.MMU.TLBMissRate(), 100*rep.MMU.L2HitRate())
+	}
+	if *victim > 0 {
+		fmt.Printf("  victim cache: %d probes, %d hits\n", rep.VictimProbes, rep.VictimHits)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aurorasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Costsweep explores the integer-side design space the way §5.6 and
+// Figure 8 do: it crosses instruction cache size, write cache depth,
+// reorder buffer, MSHR count and issue width, runs each configuration on a
+// benchmark, and reports the Pareto frontier of cost (RBE) versus CPI —
+// ending with the paper's "point E" recommendation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"aurora"
+)
+
+type point struct {
+	label string
+	cfg   aurora.Config
+	cost  int
+	cpi   float64
+}
+
+func main() {
+	bench := flag.String("workload", "espresso", "benchmark to sweep")
+	budget := flag.Uint64("instr", 600_000, "instruction budget per run")
+	flag.Parse()
+
+	w, err := aurora.GetWorkload(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var pts []point
+	for _, icache := range []int{1024, 2048, 4096} {
+		for _, issue := range []int{1, 2} {
+			for _, step := range []struct {
+				wc, rob, mshr, pf int
+			}{
+				{2, 2, 1, 2},
+				{4, 6, 2, 4},
+				{4, 6, 4, 4},
+				{8, 8, 4, 8},
+			} {
+				cfg := aurora.Baseline()
+				cfg.ICacheBytes = icache
+				cfg.IssueWidth = issue
+				cfg.WriteCacheLines = step.wc
+				cfg.ReorderBuffer = step.rob
+				cfg.MSHRs = step.mshr
+				cfg.PrefetchBuffers = step.pf
+				cost, err := aurora.Cost(cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				rep, err := aurora.Run(cfg, w, *budget)
+				if err != nil {
+					log.Fatal(err)
+				}
+				pts = append(pts, point{
+					label: fmt.Sprintf("%dK/%dw wc%d rob%d mshr%d pf%d",
+						icache/1024, issue, step.wc, step.rob, step.mshr, step.pf),
+					cfg: cfg, cost: cost, cpi: rep.CPI(),
+				})
+			}
+		}
+	}
+
+	sort.Slice(pts, func(i, j int) bool { return pts[i].cost < pts[j].cost })
+	fmt.Printf("design space for %s (%d configurations):\n", w.Name, len(pts))
+	fmt.Printf("%-28s %9s %8s %s\n", "config", "cost/RBE", "CPI", "")
+	best := 1e18
+	for _, p := range pts {
+		mark := ""
+		if p.cpi < best {
+			best = p.cpi
+			mark = "  <- Pareto frontier"
+		}
+		fmt.Printf("%-28s %9d %8.3f%s\n", p.label, p.cost, p.cpi, mark)
+	}
+
+	// The paper's recommendation (§5.6): baseline + 4K icache + 4 MSHRs.
+	e := aurora.RecommendedE()
+	ec, _ := aurora.Cost(e)
+	repE, err := aurora.Run(e, w, *budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l := aurora.Large()
+	lc, _ := aurora.Cost(l)
+	repL, err := aurora.Run(l, w, *budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npoint E (recommended): %d RBE, CPI %.3f\n", ec, repE.CPI())
+	fmt.Printf("large model:           %d RBE, CPI %.3f\n", lc, repL.CPI())
+	fmt.Printf("→ E reaches %.1f%% of large-model performance at %.1f%% of its cost\n",
+		100*repL.CPI()/repE.CPI(), 100*float64(ec)/float64(lc))
+}

@@ -1,0 +1,91 @@
+// Fpudesign walks the §5.7-§5.11 floating-point design space: issue
+// policies, queue depths and functional-unit latencies, each costed in RBE,
+// and reproduces the reasoning that leads to the paper's recommended FPU.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"aurora"
+)
+
+func main() {
+	budget := flag.Uint64("instr", 400_000, "instruction budget per run")
+	flag.Parse()
+
+	fpAvg := func(f aurora.FPUConfig) float64 {
+		cfg := aurora.Baseline()
+		cfg.FPU = f
+		var sum float64
+		for _, w := range aurora.FPSuite() {
+			rep, err := aurora.Run(cfg, w, *budget)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum += rep.CPI()
+		}
+		return sum / float64(len(aurora.FPSuite()))
+	}
+
+	// 1. Issue policy (Table 6).
+	fmt.Println("issue policy (FP-suite average CPI):")
+	for _, p := range []struct {
+		name   string
+		policy aurora.FPUPolicy
+	}{
+		{"in-order issue, in-order completion", aurora.FPUInOrder},
+		{"in-order issue, OOO completion (single)", aurora.FPUOOOSingle},
+		{"in-order issue, OOO completion (dual)", aurora.FPUOOODual},
+	} {
+		f := aurora.DefaultFPU()
+		f.Policy = p.policy
+		fmt.Printf("  %-42s %.3f\n", p.name, fpAvg(f))
+	}
+
+	// 2. Queue sizing (Figure 9 a-c).
+	fmt.Println("\ninstruction queue size (single-issue policy):")
+	for _, q := range []int{1, 2, 3, 4, 5} {
+		f := aurora.DefaultFPU()
+		f.Policy = aurora.FPUOOOSingle
+		f.InstrQueue = q
+		fmt.Printf("  %d entries: CPI %.3f (cost +%d RBE)\n", q, fpAvg(f), q*50)
+	}
+	fmt.Println("load queue size:")
+	for _, q := range []int{1, 2, 4} {
+		f := aurora.DefaultFPU()
+		f.Policy = aurora.FPUOOOSingle
+		f.LoadQueue = q
+		fmt.Printf("  %d entries: CPI %.3f\n", q, fpAvg(f))
+	}
+
+	// 3. Unit latencies (Figure 9 d-f): CPI against area.
+	fmt.Println("\nadd-unit latency (cost falls as latency grows):")
+	for _, lat := range []int{1, 2, 3, 4, 5} {
+		f := aurora.DefaultFPU()
+		f.AddLatency = lat
+		fmt.Printf("  %d cycles: CPI %.3f  FPU cost %d RBE\n", lat, fpAvg(f), aurora.FPUCost(f))
+	}
+	fmt.Println("divide-unit latency:")
+	for _, lat := range []int{10, 19, 30} {
+		f := aurora.DefaultFPU()
+		f.DivLatency = lat
+		fmt.Printf("  %d cycles: CPI %.3f  FPU cost %d RBE\n", lat, fpAvg(f), aurora.FPUCost(f))
+	}
+
+	// 4. Pipelining ablation (§5.10).
+	pip := aurora.DefaultFPU()
+	unp := pip
+	unp.AddPipelined, unp.CvtPipelined = false, false
+	fmt.Printf("\nunpipelining add+convert: CPI %.3f → %.3f, cost %d → %d RBE\n",
+		fpAvg(pip), fpAvg(unp), aurora.FPUCost(pip), aurora.FPUCost(unp))
+
+	// 5. The recommendation.
+	rec := aurora.DefaultFPU()
+	fmt.Printf("\n§5.11 recommended FPU: dual issue, IQ %d, LQ %d, ROB %d, "+
+		"add %d / mul %d / div %d cycles — CPI %.3f at %d RBE\n",
+		rec.InstrQueue, rec.LoadQueue, rec.ReorderBuffer,
+		rec.AddLatency, rec.MulLatency, rec.DivLatency,
+		fpAvg(rec), aurora.FPUCost(rec))
+}

@@ -1,0 +1,63 @@
+// Prefetchstudy reproduces the paper's stream-buffer analysis: per-benchmark
+// prefetch hit rates for the instruction and data streams (Tables 3 and 4)
+// and the CPI effect of removing the buffers at both memory latencies
+// (Figure 5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"aurora"
+)
+
+func main() {
+	budget := flag.Uint64("instr", 600_000, "instruction budget per run")
+	flag.Parse()
+
+	// Tables 3 & 4: hit rates per model.
+	fmt.Println("prefetch hit rates (a hit = primary-cache miss caught by a stream buffer)")
+	fmt.Printf("%-10s", "model")
+	for _, w := range aurora.IntegerSuite() {
+		fmt.Printf(" %13s", w.Name)
+	}
+	fmt.Println("\n" + "           (instruction-stream %% / data-stream %%)")
+	for _, cfg := range []aurora.Config{aurora.Small(), aurora.Baseline(), aurora.Large()} {
+		fmt.Printf("%-10s", cfg.Name)
+		for _, w := range aurora.IntegerSuite() {
+			rep, err := aurora.Run(cfg, w, *budget)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %5.1f / %5.1f", 100*rep.IPrefetchHitRate(), 100*rep.DPrefetchHitRate())
+		}
+		fmt.Println()
+	}
+
+	// Figure 5: removal ablation.
+	fmt.Println("\nremoving the prefetch buffers (suite-average CPI):")
+	fmt.Printf("%-10s %-8s %10s %10s %12s\n", "model", "latency", "with", "without", "improvement")
+	for _, latency := range []int{17, 35} {
+		for _, base := range []aurora.Config{aurora.Small(), aurora.Baseline(), aurora.Large()} {
+			on := base.WithLatency(latency)
+			off := on.WithoutPrefetch()
+			avg := func(cfg aurora.Config) float64 {
+				var sum float64
+				for _, w := range aurora.IntegerSuite() {
+					rep, err := aurora.Run(cfg, w, *budget)
+					if err != nil {
+						log.Fatal(err)
+					}
+					sum += rep.CPI()
+				}
+				return sum / float64(len(aurora.IntegerSuite()))
+			}
+			a, b := avg(on), avg(off)
+			fmt.Printf("%-10s %-8d %10.3f %10.3f %11.1f%%\n",
+				base.Name, latency, a, b, 100*(b-a)/b)
+		}
+	}
+	fmt.Println("\npaper §5.2: ~11% improvement for the baseline at 17 cycles, ~19% at 35;")
+	fmt.Println("the buffers cost only 20% of the baseline's instruction-cache area.")
+}

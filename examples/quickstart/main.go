@@ -1,0 +1,43 @@
+// Quickstart: simulate one benchmark on the paper's baseline machine and
+// print the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aurora"
+)
+
+func main() {
+	w, err := aurora.GetWorkload("espresso")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := aurora.Baseline() // Table 1: 2K icache, 32K dcache, 4-line WC,
+	// 6-entry ROB, 4 stream buffers, 2 MSHRs, dual issue, 17-cycle memory.
+
+	rep, err := aurora.Run(cfg, w, 0) // 0 = run the kernel to completion
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cost, _ := aurora.Cost(cfg)
+	fmt.Printf("%s on the %s model (%d RBE):\n", w.Name, cfg.Name, cost)
+	fmt.Printf("  %d instructions in %d cycles → CPI %.3f\n",
+		rep.Instructions, rep.Cycles, rep.CPI())
+	fmt.Printf("  instruction cache hit %.2f%%, data cache hit %.2f%%\n",
+		100*rep.ICacheHitRate(), 100*rep.DCacheHitRate())
+	fmt.Printf("  stream buffers caught %.1f%% of I misses, %.1f%% of D misses\n",
+		100*rep.IPrefetchHitRate(), 100*rep.DPrefetchHitRate())
+	fmt.Printf("  write cache: %.1f%% hits, %.2f store transactions per store\n",
+		100*rep.WriteCacheHitRate(), rep.WriteTrafficRatio())
+
+	fmt.Println("\nwhere the cycles went (CPI contributions):")
+	for c := aurora.StallCause(0); c < aurora.NumStallCauses; c++ {
+		if v := rep.StallCPI(c); v > 0.001 {
+			fmt.Printf("  %-9s %.3f\n", c, v)
+		}
+	}
+}

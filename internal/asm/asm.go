@@ -1,0 +1,531 @@
+// Package asm implements a two-pass assembler for the MIPS R3000 subset in
+// internal/isa. It supports labels, the usual data directives, a practical
+// set of pseudo-instructions (li, la, move, branch comparisons, ...), and
+// MIPS delay-slot handling: in the default ".set reorder" mode the assembler
+// fills every branch/jump delay slot with a nop; ".set noreorder" hands delay
+// slots to the programmer, as the workload kernels do in their hot loops.
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"aurora/internal/isa"
+)
+
+// Default segment bases. Text sits low, data high, so the timing simulator
+// can distinguish the streams by address if it ever needs to.
+const (
+	TextBase = 0x0000_1000
+	DataBase = 0x1000_0000
+)
+
+// Program is the output of the assembler: an executable image.
+type Program struct {
+	Text     []uint32          // instruction words, TextBase upward
+	Data     []byte            // initialised data, DataBase upward
+	BSS      uint32            // zero-initialised bytes following Data
+	Symbols  map[string]uint32 // label → address
+	Entry    uint32            // address of "main" if defined, else TextBase
+	Lines    []int             // source line per text word (diagnostics)
+	SrcNames []string          // source name(s), for error messages
+}
+
+// Error is an assembly diagnostic carrying the source position.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+// modifier selects how a symbolic expression folds into an instruction field.
+type modifier uint8
+
+const (
+	modNone   modifier = iota // full 32-bit value must fit the field
+	modHi                     // %hi: upper 16 bits, adjusted for signed %lo
+	modLo                     // %lo: lower 16 bits
+	modBranch                 // pc-relative word offset
+	modJump                   // absolute >> 2, 26 bits
+)
+
+// expr is a symbol-plus-offset operand expression.
+type expr struct {
+	sym string
+	off int64
+	mod modifier
+}
+
+// proto is a not-yet-encoded instruction: the decoded template plus the
+// expressions that still need symbol resolution.
+type proto struct {
+	in   isa.Instruction
+	imm  *expr // fills Imm (or Target for jumps)
+	line int
+}
+
+// item is a pass-1 output element in the current segment.
+type itemKind uint8
+
+const (
+	itemInstr itemKind = iota
+	itemBytes
+	itemSpace
+	itemAlign
+)
+
+type item struct {
+	kind  itemKind
+	proto proto
+	bytes []byte
+	n     uint32 // space size or alignment
+	line  int
+}
+
+type assembler struct {
+	file    string
+	reorder bool // auto-fill delay slots
+
+	text []item
+	data []item
+
+	inData bool
+
+	symbols  map[string]symval
+	errs     []error
+	lastLine int
+}
+
+// symval records where a label was defined: the segment and the index of
+// the next item at definition time. The final address is resolved at link
+// time as the aligned offset of the first non-alignment item at or after
+// that index, so a label immediately before ".double x" binds to the
+// aligned address of the double, not the unaligned position counter.
+type symval struct {
+	seg  int // 0 text, 1 data
+	item int // index into the segment's item list
+	line int
+}
+
+// Assemble assembles a single source file.
+func Assemble(name, source string) (*Program, error) {
+	a := &assembler{
+		file:    name,
+		reorder: true,
+		symbols: make(map[string]symval),
+	}
+	for i, line := range strings.Split(source, "\n") {
+		a.lastLine = i + 1
+		a.line(line, i+1)
+	}
+	if len(a.errs) > 0 {
+		return nil, a.errs[0]
+	}
+	return a.link()
+}
+
+func (a *assembler) errorf(line int, format string, args ...any) {
+	a.errs = append(a.errs, &Error{File: a.file, Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (a *assembler) emit(it item) {
+	if a.inData {
+		a.data = append(a.data, it)
+	} else {
+		a.text = append(a.text, it)
+	}
+}
+
+// line handles one source line: optional label, then directive or instruction.
+func (a *assembler) line(s string, line int) {
+	s = stripComment(s)
+	s = strings.TrimSpace(s)
+	for {
+		// A line may carry several labels ("a: b: insn").
+		i := labelEnd(s)
+		if i < 0 {
+			break
+		}
+		a.defineLabel(strings.TrimSpace(s[:i]), line)
+		s = strings.TrimSpace(s[i+1:])
+	}
+	if s == "" {
+		return
+	}
+	if strings.HasPrefix(s, ".") {
+		a.directive(s, line)
+		return
+	}
+	a.instruction(s, line)
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '\\':
+			if inStr {
+				i++
+			}
+		case '#', ';':
+			if !inStr {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// labelEnd returns the index of a leading label's colon, or -1.
+func labelEnd(s string) int {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ':' {
+			return i
+		}
+		if !isIdentChar(c) && c != ' ' {
+			return -1
+		}
+		if c == ' ' {
+			// spaces only allowed before the colon if nothing else follows
+			rest := strings.TrimSpace(s[i:])
+			if strings.HasPrefix(rest, ":") {
+				return i + strings.Index(s[i:], ":")
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '.' || c == '$' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func (a *assembler) defineLabel(name string, line int) {
+	if name == "" {
+		a.errorf(line, "empty label")
+		return
+	}
+	if prev, ok := a.symbols[name]; ok {
+		a.errorf(line, "label %q redefined (first at line %d)", name, prev.line)
+		return
+	}
+	seg, items := 0, a.text
+	if a.inData {
+		seg, items = 1, a.data
+	}
+	a.symbols[name] = symval{seg: seg, item: len(items), line: line}
+}
+
+// layout computes the final offset of every item in a segment plus the
+// total size. Alignment items advance the position counter; the returned
+// starts slice has one extra entry holding the end offset.
+func layout(items []item) (starts []uint32, size uint32) {
+	starts = make([]uint32, len(items)+1)
+	var off uint32
+	for i, it := range items {
+		switch it.kind {
+		case itemAlign:
+			if it.n > 0 {
+				off = (off + it.n - 1) &^ (it.n - 1)
+			}
+		}
+		starts[i] = off
+		switch it.kind {
+		case itemInstr:
+			off += 4
+		case itemBytes:
+			off += uint32(len(it.bytes))
+		case itemSpace:
+			off += it.n
+		}
+	}
+	starts[len(items)] = off
+	return starts, off
+}
+
+// resolveLabel returns the address offset a label bound at item index idx
+// refers to: the start of the first non-alignment item at or after idx.
+func resolveLabel(items []item, starts []uint32, idx int) uint32 {
+	for i := idx; i < len(items); i++ {
+		if items[i].kind != itemAlign {
+			return starts[i]
+		}
+	}
+	return starts[len(items)]
+}
+
+func (a *assembler) directive(s string, line int) {
+	fields := strings.SplitN(s, " ", 2)
+	dir := strings.TrimSpace(fields[0])
+	rest := ""
+	if len(fields) > 1 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	switch dir {
+	case ".text":
+		a.inData = false
+	case ".data":
+		a.inData = true
+	case ".set":
+		switch rest {
+		case "noreorder":
+			a.reorder = false
+		case "reorder":
+			a.reorder = true
+		case "noat", "at":
+			// accepted and ignored: we always allow $at use
+		default:
+			a.errorf(line, "unknown .set option %q", rest)
+		}
+	case ".globl", ".global", ".ent", ".end", ".type", ".size":
+		// accepted and ignored
+	case ".align":
+		n, err := strconv.ParseUint(rest, 0, 8)
+		if err != nil {
+			a.errorf(line, ".align: %v", err)
+			return
+		}
+		a.emit(item{kind: itemAlign, n: 1 << n, line: line})
+	case ".space", ".skip":
+		n, err := strconv.ParseUint(rest, 0, 32)
+		if err != nil {
+			a.errorf(line, ".space: %v", err)
+			return
+		}
+		a.emit(item{kind: itemSpace, n: uint32(n), line: line})
+	case ".word":
+		a.emit(item{kind: itemAlign, n: 4, line: line})
+		for _, f := range splitArgs(rest) {
+			v, err := parseInt(f)
+			if err != nil {
+				a.errorf(line, ".word %q: %v", f, err)
+				return
+			}
+			a.emit(item{kind: itemBytes, bytes: le32(uint32(v)), line: line})
+		}
+	case ".half":
+		a.emit(item{kind: itemAlign, n: 2, line: line})
+		for _, f := range splitArgs(rest) {
+			v, err := parseInt(f)
+			if err != nil {
+				a.errorf(line, ".half %q: %v", f, err)
+				return
+			}
+			a.emit(item{kind: itemBytes, bytes: []byte{byte(v), byte(v >> 8)}, line: line})
+		}
+	case ".byte":
+		for _, f := range splitArgs(rest) {
+			v, err := parseInt(f)
+			if err != nil {
+				a.errorf(line, ".byte %q: %v", f, err)
+				return
+			}
+			a.emit(item{kind: itemBytes, bytes: []byte{byte(v)}, line: line})
+		}
+	case ".float":
+		a.emit(item{kind: itemAlign, n: 4, line: line})
+		for _, f := range splitArgs(rest) {
+			v, err := strconv.ParseFloat(f, 32)
+			if err != nil {
+				a.errorf(line, ".float %q: %v", f, err)
+				return
+			}
+			a.emit(item{kind: itemBytes, bytes: le32(f32bits(float32(v))), line: line})
+		}
+	case ".double":
+		a.emit(item{kind: itemAlign, n: 8, line: line})
+		for _, f := range splitArgs(rest) {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				a.errorf(line, ".double %q: %v", f, err)
+				return
+			}
+			b := f64bits(v)
+			a.emit(item{kind: itemBytes, bytes: append(le32(uint32(b)), le32(uint32(b>>32))...), line: line})
+		}
+	case ".asciiz", ".ascii":
+		str, err := strconv.Unquote(rest)
+		if err != nil {
+			a.errorf(line, "%s: %v", dir, err)
+			return
+		}
+		b := []byte(str)
+		if dir == ".asciiz" {
+			b = append(b, 0)
+		}
+		a.emit(item{kind: itemBytes, bytes: b, line: line})
+	default:
+		a.errorf(line, "unknown directive %q", dir)
+	}
+}
+
+func le32(v uint32) []byte {
+	return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) == 3 && s[0] == '\'' && s[2] == '\'' {
+		return int64(s[1]), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// allow unsigned hex like 0xffffffff
+		u, uerr := strconv.ParseUint(s, 0, 32)
+		if uerr == nil {
+			return int64(int32(u)), nil
+		}
+		return 0, err
+	}
+	return v, nil
+}
+
+// link performs pass 2: lay out segments, resolve symbols, encode.
+func (a *assembler) link() (*Program, error) {
+	p := &Program{
+		Symbols:  make(map[string]uint32),
+		SrcNames: []string{a.file},
+	}
+
+	// Lay out data first so data symbols are known.
+	for _, it := range a.data {
+		if it.kind == itemInstr {
+			a.errorf(it.line, "instruction in .data segment")
+		}
+	}
+	dataStarts, dataSize := layout(a.data)
+	p.Data = make([]byte, dataSize)
+	for i, it := range a.data {
+		if it.kind == itemBytes {
+			copy(p.Data[dataStarts[i]:], it.bytes)
+		}
+	}
+
+	// Text layout: every instruction is 4 bytes.
+	for _, it := range a.text {
+		if it.kind != itemInstr {
+			a.errorf(it.line, "data directive in .text segment (only instructions allowed)")
+		}
+	}
+	textStarts, _ := layout(a.text)
+
+	// Resolve symbol addresses.
+	for name, sv := range a.symbols {
+		if sv.seg == 0 {
+			p.Symbols[name] = TextBase + resolveLabel(a.text, textStarts, sv.item)
+		} else {
+			p.Symbols[name] = DataBase + resolveLabel(a.data, dataStarts, sv.item)
+		}
+	}
+
+	// Encode.
+	pc := uint32(TextBase)
+	for _, it := range a.text {
+		if it.kind != itemInstr {
+			continue
+		}
+		in := it.proto.in
+		if e := it.proto.imm; e != nil {
+			v, err := a.eval(*e, pc, p.Symbols)
+			if err != nil {
+				a.errorf(it.proto.line, "%v", err)
+			} else {
+				switch e.mod {
+				case modJump:
+					in.Target = uint32(v) >> 2 & 0x3ffffff
+				default:
+					in.Imm = int32(v)
+				}
+			}
+		}
+		word, err := isa.Encode(in)
+		if err != nil {
+			a.errorf(it.proto.line, "encode: %v", err)
+			word = 0
+		}
+		p.Text = append(p.Text, word)
+		p.Lines = append(p.Lines, it.proto.line)
+		pc += 4
+	}
+
+	if len(a.errs) > 0 {
+		return nil, a.errs[0]
+	}
+
+	p.Entry = TextBase
+	if main, ok := p.Symbols["main"]; ok {
+		p.Entry = main
+	}
+	return p, nil
+}
+
+// eval folds an expression into its field value.
+func (a *assembler) eval(e expr, pc uint32, syms map[string]uint32) (int64, error) {
+	v := e.off
+	if e.sym != "" {
+		addr, ok := syms[e.sym]
+		if !ok {
+			return 0, fmt.Errorf("undefined symbol %q", e.sym)
+		}
+		v += int64(addr)
+	}
+	switch e.mod {
+	case modNone:
+		if e.sym == "" {
+			if v < -32768 || v > 65535 {
+				return 0, fmt.Errorf("immediate %d out of 16-bit range", v)
+			}
+			return v, nil
+		}
+		if v < -32768 || v > 65535 {
+			return 0, fmt.Errorf("address %#x out of 16-bit range (use la)", v)
+		}
+		return v, nil
+	case modHi:
+		// Adjust so that (hi<<16) + sign-extended lo == v.
+		lo := v & 0xffff
+		hi := v >> 16 & 0xffff
+		if lo >= 0x8000 {
+			hi = (hi + 1) & 0xffff
+		}
+		return hi, nil
+	case modLo:
+		return int64(int16(v & 0xffff)), nil
+	case modBranch:
+		off, ok := isa.BranchOffset(pc, uint32(v))
+		if !ok {
+			return 0, fmt.Errorf("branch target %#x out of range from %#x", v, pc)
+		}
+		return int64(off), nil
+	case modJump:
+		if uint32(v)&3 != 0 {
+			return 0, fmt.Errorf("jump target %#x not word aligned", v)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("bad modifier")
+}
+
+func f32bits(f float32) uint32 { return math.Float32bits(f) }
+
+func f64bits(f float64) uint64 { return math.Float64bits(f) }

@@ -1,0 +1,252 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"aurora/internal/isa"
+)
+
+func TestExplicitHiLo(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+	v:	.word 42
+		.text
+	main:
+		lui $t0, %hi(v)
+		addiu $t0, $t0, %lo(v)
+	`)
+	ins := decodeAll(t, p)
+	addr := uint32(ins[0].Imm)<<16 + uint32(ins[1].Imm)
+	if addr != p.Symbols["v"] {
+		t.Errorf("%%hi/%%lo compute %#x want %#x", addr, p.Symbols["v"])
+	}
+}
+
+func TestMemOperandSymbolPlusOffset(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+	arr:	.word 1, 2, 3
+		.text
+	main:
+		lw $t0, arr+8
+	`)
+	ins := decodeAll(t, p)
+	addr := uint32(ins[0].Imm)<<16 + uint32(ins[1].Imm)
+	if addr != p.Symbols["arr"]+8 {
+		t.Errorf("addr %#x want %#x", addr, p.Symbols["arr"]+8)
+	}
+}
+
+func TestNegativeDataValues(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+	h:	.half -1, 256
+	b:	.byte -128, 'A'
+	`)
+	if p.Data[0] != 0xff || p.Data[1] != 0xff {
+		t.Errorf(".half -1 = % x", p.Data[:2])
+	}
+	if p.Data[2] != 0 || p.Data[3] != 1 {
+		t.Errorf(".half 256 = % x", p.Data[2:4])
+	}
+	if p.Data[4] != 0x80 {
+		t.Errorf(".byte -128 = %#x", p.Data[4])
+	}
+	if p.Data[5] != 'A' {
+		t.Errorf(".byte 'A' = %#x", p.Data[5])
+	}
+}
+
+func TestAsciiWithoutNul(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+	s:	.ascii "ab"
+	e:	.byte 7
+	`)
+	if len(p.Data) != 3 || string(p.Data[:2]) != "ab" || p.Data[2] != 7 {
+		t.Errorf("data % x", p.Data)
+	}
+}
+
+func TestIgnoredDirectives(t *testing.T) {
+	mustAssemble(t, `
+		.globl main
+		.ent main
+	main:
+		nop
+		.end main
+		.set at
+		.set noat
+	`)
+}
+
+func TestJALRSingleOperand(t *testing.T) {
+	p := mustAssemble(t, `main:
+		jalr $t9
+	`)
+	ins := decodeAll(t, p)
+	if ins[0].Op != isa.OpJALR || ins[0].Rd != isa.RegRA || ins[0].Rs != isa.RegT9 {
+		t.Errorf("jalr = %+v", ins[0])
+	}
+}
+
+func TestBUnconditional(t *testing.T) {
+	p := mustAssemble(t, `
+		.set noreorder
+	main:
+		b main
+		nop
+	`)
+	ins := decodeAll(t, p)
+	if ins[0].Op != isa.OpBEQ || ins[0].Rs != 0 || ins[0].Rt != 0 || ins[0].Imm != -1 {
+		t.Errorf("b = %+v", ins[0])
+	}
+}
+
+func TestMultipleLabelsOneLine(t *testing.T) {
+	p := mustAssemble(t, `
+	a: b: c: nop
+	`)
+	if p.Symbols["a"] != p.Symbols["b"] || p.Symbols["b"] != p.Symbols["c"] {
+		t.Errorf("labels differ: %v", p.Symbols)
+	}
+}
+
+func TestLabelBeforeAlignedData(t *testing.T) {
+	// The regression that bit the ora kernel: a label directly before
+	// .double must bind to the aligned address.
+	p := mustAssemble(t, `
+		.data
+	pad:	.byte 1
+	d:	.double 2.0
+	w:	.word 3
+	`)
+	if p.Symbols["d"]%8 != 0 {
+		t.Errorf("d not 8-aligned: %#x", p.Symbols["d"])
+	}
+	if p.Symbols["w"] != p.Symbols["d"]+8 {
+		t.Errorf("w = %#x want %#x", p.Symbols["w"], p.Symbols["d"]+8)
+	}
+}
+
+func TestTrailingLabelBindsToEnd(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+	a:	.word 1
+	end:
+	`)
+	if p.Symbols["end"] != p.Symbols["a"]+4 {
+		t.Errorf("end = %#x", p.Symbols["end"])
+	}
+}
+
+func TestSemicolonComment(t *testing.T) {
+	p := mustAssemble(t, "main:\n\tnop ; old-school comment\n")
+	if len(p.Text) != 1 {
+		t.Errorf("%d instructions", len(p.Text))
+	}
+}
+
+func TestMoreErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"lw $t0", "expects 2 operands"},
+		{"beq $t0, $t1", "expects 3 operands"},
+		{"jalr $t0, $t1, $t2", "expects 1 or 2"},
+		{"sll $t0, $t1, $t2", "must be an expression"},
+		{"mfhi $t0, $t1", "expects 1 operands"},
+		{"lwc1 $t0, 0($sp)", "must be an FP register"},
+		{"add.d $f0, $f1, $t0", "must be an FP register"},
+		{"bgt $t0, 5, somewhere", "not supported"},
+		{"blt $t0, label, x", "must be a constant"},
+		{".align bogus", ".align"},
+		{".space -1", ".space"},
+		{".word nope", ".word"},
+		{".asciiz unquoted", ".asciiz"},
+		{".float xyz", ".float"},
+		{"addu $t0, 5, $t1", "must be an integer register"},
+		{"lw $t0, 4(5)", "must be a register"},
+		{"lw $t0, 4($qq)", "unknown base register"},
+		{"beq $t0, $t1, 9+9+", "bad expression"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("e.s", c.src)
+		if err == nil {
+			t.Errorf("%q: no error (want %q)", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q: error %q missing %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestBranchOutOfRange(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("main:\n\tbeq $zero, $zero, far\n")
+	for i := 0; i < 40000; i++ {
+		b.WriteString("\tnop\n")
+	}
+	b.WriteString("far:\tnop\n")
+	_, err := Assemble("far.s", b.String())
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("far branch: %v", err)
+	}
+}
+
+func TestProgramMetadata(t *testing.T) {
+	p := mustAssemble(t, `
+	main:
+		nop
+		addu $t0, $t0, $t0
+	`)
+	if len(p.Lines) != len(p.Text) {
+		t.Errorf("lines %d != text %d", len(p.Lines), len(p.Text))
+	}
+	if p.Lines[1] <= p.Lines[0] {
+		t.Errorf("line numbers not increasing: %v", p.Lines)
+	}
+	if len(p.SrcNames) == 0 || p.SrcNames[0] != "test.s" {
+		t.Errorf("source names %v", p.SrcNames)
+	}
+}
+
+func TestErrorType(t *testing.T) {
+	_, err := Assemble("f.s", "bogus")
+	var ae *Error
+	if !asError(err, &ae) {
+		t.Fatalf("error type %T", err)
+	}
+	if ae.File != "f.s" || ae.Line != 1 || ae.Msg == "" {
+		t.Errorf("error fields %+v", ae)
+	}
+}
+
+func asError(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+func TestRemAndNegPseudo(t *testing.T) {
+	p := mustAssemble(t, `main:
+		remu $t0, $t1, $t2
+		neg $t3, $t4
+		not $t5, $t6
+	`)
+	ins := decodeAll(t, p)
+	if ins[0].Op != isa.OpDIVU || ins[1].Op != isa.OpMFHI {
+		t.Errorf("remu: %v %v", ins[0].Op, ins[1].Op)
+	}
+	if ins[2].Op != isa.OpSUBU || ins[2].Rs != 0 {
+		t.Errorf("neg: %+v", ins[2])
+	}
+	if ins[3].Op != isa.OpNOR || ins[3].Rt != 0 {
+		t.Errorf("not: %+v", ins[3])
+	}
+}

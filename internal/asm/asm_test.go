@@ -1,0 +1,441 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"aurora/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble("test.s", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func decodeAll(t *testing.T, p *Program) []isa.Instruction {
+	t.Helper()
+	out := make([]isa.Instruction, len(p.Text))
+	for i, w := range p.Text {
+		in, err := isa.Decode(w)
+		if err != nil {
+			t.Fatalf("word %d (%#08x): %v", i, w, err)
+		}
+		out[i] = in
+	}
+	return out
+}
+
+func TestBasicInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+		addu $t0, $t1, $t2
+		addiu $sp, $sp, -16
+		sll $v0, $v0, 2
+		sllv $v0, $v1, $a0
+		lw $t0, 8($sp)
+		sw $t0, -4($fp)
+		nop
+	`)
+	ins := decodeAll(t, p)
+	want := []isa.Instruction{
+		{Op: isa.OpADDU, Rd: 8, Rs: 9, Rt: 10},
+		{Op: isa.OpADDIU, Rt: 29, Rs: 29, Imm: -16},
+		{Op: isa.OpSLL, Rd: 2, Rt: 2, Shamt: 2},
+		{Op: isa.OpSLLV, Rd: 2, Rt: 3, Rs: 4},
+		{Op: isa.OpLW, Rt: 8, Rs: 29, Imm: 8},
+		{Op: isa.OpSW, Rt: 8, Rs: 30, Imm: -4},
+		{Op: isa.OpSLL},
+	}
+	if len(ins) != len(want) {
+		t.Fatalf("got %d instructions want %d", len(ins), len(want))
+	}
+	for i := range want {
+		if ins[i] != want[i] {
+			t.Errorf("instr %d: got %+v want %+v", i, ins[i], want[i])
+		}
+	}
+}
+
+func TestImmediateFormSelection(t *testing.T) {
+	p := mustAssemble(t, `
+		addu $t0, $t1, 4
+		and $t0, $t1, 0xff
+		or $t0, $t1, 1
+		slt $t0, $t1, 100
+	`)
+	ins := decodeAll(t, p)
+	wantOps := []isa.Op{isa.OpADDIU, isa.OpANDI, isa.OpORI, isa.OpSLTI}
+	for i, op := range wantOps {
+		if ins[i].Op != op {
+			t.Errorf("instr %d: op %v want %v", i, ins[i].Op, op)
+		}
+	}
+}
+
+func TestLIExpansion(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int // number of instructions
+	}{
+		{"li $t0, 5", 1},
+		{"li $t0, -5", 1},
+		{"li $t0, 0x8000", 1},  // ori
+		{"li $t0, 0xffff", 1},  // ori
+		{"li $t0, 0x10000", 1}, // lui only
+		{"li $t0, 0x12345678", 2},
+		{"li $t0, -100000", 2},
+	}
+	for _, c := range cases {
+		p := mustAssemble(t, c.src)
+		if len(p.Text) != c.want {
+			t.Errorf("%s: %d instructions, want %d", c.src, len(p.Text), c.want)
+		}
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAssemble(t, `
+		.set noreorder
+	loop:
+		addiu $t0, $t0, -1
+		bne $t0, $zero, loop
+		nop
+		jr $ra
+		nop
+	`)
+	ins := decodeAll(t, p)
+	if ins[1].Op != isa.OpBNE {
+		t.Fatalf("expected bne, got %v", ins[1].Op)
+	}
+	// branch at pc TextBase+4 targets TextBase: offset = -2
+	if ins[1].Imm != -2 {
+		t.Errorf("branch offset = %d want -2", ins[1].Imm)
+	}
+}
+
+func TestReorderModeInsertsDelaySlotNops(t *testing.T) {
+	p := mustAssemble(t, `
+	loop:
+		addiu $t0, $t0, -1
+		bne $t0, $zero, loop
+		jr $ra
+	`)
+	ins := decodeAll(t, p)
+	// addiu, bne, nop, jr, nop
+	if len(ins) != 5 {
+		t.Fatalf("got %d instructions want 5 (auto delay-slot nops)", len(ins))
+	}
+	if !ins[2].IsNop() || !ins[4].IsNop() {
+		t.Error("delay slots not filled with nops")
+	}
+}
+
+func TestForwardReference(t *testing.T) {
+	p := mustAssemble(t, `
+		.set noreorder
+		beq $zero, $zero, done
+		nop
+		addiu $t0, $t0, 1
+	done:
+		jr $ra
+		nop
+	`)
+	ins := decodeAll(t, p)
+	if ins[0].Imm != 2 { // skip nop and addiu
+		t.Errorf("forward branch offset = %d want 2", ins[0].Imm)
+	}
+}
+
+func TestDataDirectivesAndLA(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+	tab:
+		.word 1, 2, 3, 0x10
+	str:
+		.asciiz "hi"
+		.align 2
+	vec:
+		.space 64
+		.text
+	main:
+		la $t0, tab
+		lw $t1, vec
+	`)
+	if got := p.Symbols["tab"]; got != DataBase {
+		t.Errorf("tab = %#x want %#x", got, DataBase)
+	}
+	if got := p.Symbols["str"]; got != DataBase+16 {
+		t.Errorf("str = %#x want %#x", got, DataBase+16)
+	}
+	if got := p.Symbols["vec"]; got != DataBase+20 {
+		t.Errorf("vec = %#x want %#x", got, DataBase+20)
+	}
+	if p.Data[0] != 1 || p.Data[4] != 2 || p.Data[12] != 0x10 {
+		t.Errorf("data words wrong: % x", p.Data[:16])
+	}
+	if string(p.Data[16:18]) != "hi" || p.Data[18] != 0 {
+		t.Errorf("asciiz wrong: % x", p.Data[16:19])
+	}
+	if p.Entry != p.Symbols["main"] {
+		t.Errorf("entry = %#x want main %#x", p.Entry, p.Symbols["main"])
+	}
+	ins := decodeAll(t, p)
+	// la → lui $at, hi ; addiu $t0, $at, lo
+	if ins[0].Op != isa.OpLUI || ins[0].Rt != isa.RegAT {
+		t.Errorf("la[0] = %+v", ins[0])
+	}
+	if ins[1].Op != isa.OpADDIU || ins[1].Rt != 8 || ins[1].Rs != isa.RegAT {
+		t.Errorf("la[1] = %+v", ins[1])
+	}
+	// Check the address arithmetic: (hi<<16) + signext(lo) == DataBase
+	addr := uint32(ins[0].Imm)<<16 + uint32(ins[1].Imm)
+	if addr != DataBase {
+		t.Errorf("la computes %#x want %#x", addr, DataBase)
+	}
+	// lw $t1, vec → lui $at + lw
+	if ins[2].Op != isa.OpLUI || ins[3].Op != isa.OpLW || ins[3].Rs != isa.RegAT {
+		t.Errorf("global lw expansion wrong: %+v %+v", ins[2], ins[3])
+	}
+	addr = uint32(ins[2].Imm)<<16 + uint32(ins[3].Imm)
+	if addr != DataBase+20 {
+		t.Errorf("lw targets %#x want %#x", addr, DataBase+20)
+	}
+}
+
+func TestHiLoAdjustment(t *testing.T) {
+	// An address whose low half ≥ 0x8000 needs the hi part incremented.
+	p := mustAssemble(t, `
+		.data
+		.space 0x9000
+	x:	.word 7
+		.text
+		la $t0, x
+	`)
+	ins := decodeAll(t, p)
+	addr := uint32(ins[0].Imm)<<16 + uint32(ins[1].Imm)
+	if addr != DataBase+0x9000 {
+		t.Errorf("la computes %#x want %#x", addr, DataBase+0x9000)
+	}
+}
+
+func TestBranchComparePseudos(t *testing.T) {
+	p := mustAssemble(t, `
+		.set noreorder
+	top:
+		blt $t0, $t1, top
+		nop
+		bge $t0, $t1, top
+		nop
+		bgt $t0, $t1, top
+		nop
+		ble $t0, $t1, top
+		nop
+		bltu $t0, $t1, top
+		nop
+		blt $t0, 10, top
+		nop
+	`)
+	ins := decodeAll(t, p)
+	checks := []struct {
+		i  int
+		op isa.Op
+		br isa.Op
+	}{
+		{0, isa.OpSLT, isa.OpBNE},
+		{3, isa.OpSLT, isa.OpBEQ},
+		{6, isa.OpSLT, isa.OpBNE},
+		{9, isa.OpSLT, isa.OpBEQ},
+		{12, isa.OpSLTU, isa.OpBNE},
+		{15, isa.OpSLTI, isa.OpBNE},
+	}
+	for _, c := range checks {
+		if ins[c.i].Op != c.op {
+			t.Errorf("instr %d: op %v want %v", c.i, ins[c.i].Op, c.op)
+		}
+		if ins[c.i+1].Op != c.br {
+			t.Errorf("instr %d: op %v want %v", c.i+1, ins[c.i+1].Op, c.br)
+		}
+	}
+	// bgt compares swapped: slt $at, $t1, $t0
+	if ins[6].Rs != 9 || ins[6].Rt != 8 {
+		t.Errorf("bgt operands not swapped: %+v", ins[6])
+	}
+}
+
+func TestFPInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+		add.d $f0, $f2, $f4
+		mul.s $f1, $f3, $f5
+		div.d $f6, $f8, $f10
+		sqrt.d $f6, $f8
+		mov.d $f0, $f2
+		cvt.d.w $f2, $f4
+		cvt.s.d $f1, $f2
+		cvt.w.d $f3, $f4
+		c.lt.d $f0, $f2
+		mtc1 $t0, $f4
+		mfc1 $t1, $f6
+		ldc1 $f8, 16($sp)
+		sdc1 $f8, 24($sp)
+		l.d $f10, 0($a0)
+		s.s $f1, 4($a1)
+	`)
+	ins := decodeAll(t, p)
+	if ins[0].Op != isa.OpFADD || !ins[0].Double || ins[0].Fd != 0 || ins[0].Fs != 2 || ins[0].Ft != 4 {
+		t.Errorf("add.d: %+v", ins[0])
+	}
+	if ins[1].Op != isa.OpFMUL || ins[1].Double {
+		t.Errorf("mul.s: %+v", ins[1])
+	}
+	if ins[3].Op != isa.OpFSQRT || ins[3].Class() != isa.ClassFPDiv {
+		t.Errorf("sqrt.d: %+v", ins[3])
+	}
+	if ins[5].Op != isa.OpCVTD || ins[5].CvtSrc != isa.CvtFromW {
+		t.Errorf("cvt.d.w: %+v", ins[5])
+	}
+	if ins[6].Op != isa.OpCVTS || ins[6].CvtSrc != isa.CvtFromD {
+		t.Errorf("cvt.s.d: %+v", ins[6])
+	}
+	if ins[8].Op != isa.OpCLT || !ins[8].Double {
+		t.Errorf("c.lt.d: %+v", ins[8])
+	}
+	if ins[11].Op != isa.OpLDC1 || ins[11].Ft != 8 || ins[11].Imm != 16 {
+		t.Errorf("ldc1: %+v", ins[11])
+	}
+	if ins[13].Op != isa.OpLDC1 || ins[13].Ft != 10 {
+		t.Errorf("l.d alias: %+v", ins[13])
+	}
+	if ins[14].Op != isa.OpSWC1 || ins[14].Ft != 1 {
+		t.Errorf("s.s alias: %+v", ins[14])
+	}
+}
+
+func TestFPBranch(t *testing.T) {
+	p := mustAssemble(t, `
+		.set noreorder
+	t:	c.lt.d $f0, $f2
+		bc1t t
+		nop
+		bc1f t
+		nop
+	`)
+	ins := decodeAll(t, p)
+	if ins[1].Op != isa.OpBC1T || ins[1].Imm != -2 {
+		t.Errorf("bc1t: %+v", ins[1])
+	}
+	if ins[3].Op != isa.OpBC1F {
+		t.Errorf("bc1f: %+v", ins[3])
+	}
+}
+
+func TestMulDivPseudos(t *testing.T) {
+	p := mustAssemble(t, `
+		mul $t0, $t1, $t2
+		div $t3, $t4, $t5
+		rem $t6, $t7, $t8
+		div $t0, $t1
+	`)
+	ins := decodeAll(t, p)
+	wantOps := []isa.Op{
+		isa.OpMULT, isa.OpMFLO,
+		isa.OpDIV, isa.OpMFLO,
+		isa.OpDIV, isa.OpMFHI,
+		isa.OpDIV,
+	}
+	for i, op := range wantOps {
+		if ins[i].Op != op {
+			t.Errorf("instr %d: %v want %v", i, ins[i].Op, op)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"bogus $t0", "unknown mnemonic"},
+		{"addu $t0, $t1", "expects 3 operands"},
+		{"lw $t0, 4($t1", "bad expression"},
+		{"li $t0, somewhere", "li takes a constant"},
+		{"addiu $t0, $t1, 100000", "out of 16-bit range"},
+		{"sll $t0, $t1, 33", "out of range"},
+		{"x: addu $t0,$t0,$t0\nx: nop", "redefined"},
+		{"j nowhere", "undefined symbol"},
+		{".word 1\n", "data directive in .text"},
+		{".data\naddu $t0,$t0,$t0", "instruction in .data"},
+		{".set bogus", "unknown .set"},
+		{".bogusdir 4", "unknown directive"},
+		{"addu $t9, $q7, $t0", "unknown register"},
+		{"sub $t0, $t1, 4", "does not take an immediate"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("t.s", c.src)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	p := mustAssemble(t, `
+		# full line comment
+		addu $t0, $t1, $t2  # trailing
+		.data
+		.asciiz "has # inside"  # comment after string
+	`)
+	if len(p.Text) != 1 {
+		t.Errorf("got %d instructions", len(p.Text))
+	}
+	if !strings.Contains(string(p.Data), "has # inside") {
+		t.Errorf("string data mangled: %q", p.Data)
+	}
+}
+
+func TestDoubleData(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+	d:	.double 1.5, -2.25
+	f:	.float 0.5
+	`)
+	if len(p.Data) != 20 {
+		t.Fatalf("data length %d want 20", len(p.Data))
+	}
+	// 1.5 = 0x3FF8000000000000 little-endian
+	if p.Data[7] != 0x3f || p.Data[6] != 0xf8 {
+		t.Errorf("double encoding wrong: % x", p.Data[:8])
+	}
+}
+
+func TestErrorPosition(t *testing.T) {
+	_, err := Assemble("k.s", "nop\nnop\nbogus_op $t0\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "k.s:3:") {
+		t.Errorf("error %q lacks file:line", err)
+	}
+}
+
+func BenchmarkAssembleKernelSized(b *testing.B) {
+	// A ~1000-instruction synthetic program, assembler throughput.
+	var sb strings.Builder
+	sb.WriteString("main:\n")
+	for i := 0; i < 250; i++ {
+		sb.WriteString("\taddu $t0, $t1, $t2\n\tlw $t3, 4($sp)\n\tsw $t3, 8($sp)\n\tbnez $t0, main\n")
+	}
+	src := sb.String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble("bench.s", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,816 @@
+package asm
+
+import (
+	"strconv"
+	"strings"
+
+	"aurora/internal/isa"
+)
+
+// arg is one parsed operand.
+type argKind uint8
+
+const (
+	argReg  argKind = iota // $t0
+	argFReg                // $f4
+	argMem                 // expr($reg)
+	argExpr                // symbol ± offset, or a bare constant
+)
+
+type arg struct {
+	kind argKind
+	reg  uint8
+	e    expr
+}
+
+func (a *assembler) parseArg(s string, line int) (arg, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		a.errorf(line, "empty operand")
+		return arg{}, false
+	}
+	if strings.HasPrefix(s, "$") {
+		name := s[1:]
+		if len(name) >= 2 && name[0] == 'f' {
+			if n, err := strconv.Atoi(name[1:]); err == nil && n >= 0 && n < 32 {
+				return arg{kind: argFReg, reg: uint8(n)}, true
+			}
+		}
+		if r, ok := isa.RegNumber(name); ok {
+			return arg{kind: argReg, reg: r}, true
+		}
+		a.errorf(line, "unknown register %q", s)
+		return arg{}, false
+	}
+	// Memory operand expr($reg)? (%hi(...)/%lo(...) parenthesise too,
+	// but they are expressions, not memory references.)
+	if i := strings.IndexByte(s, '('); i >= 0 && strings.HasSuffix(s, ")") &&
+		!strings.HasPrefix(s, "%hi(") && !strings.HasPrefix(s, "%lo(") {
+		base := strings.TrimSpace(s[i+1 : len(s)-1])
+		if !strings.HasPrefix(base, "$") {
+			a.errorf(line, "memory base %q must be a register", base)
+			return arg{}, false
+		}
+		r, ok := isa.RegNumber(base[1:])
+		if !ok {
+			a.errorf(line, "unknown base register %q", base)
+			return arg{}, false
+		}
+		e, ok := a.parseExpr(strings.TrimSpace(s[:i]), line)
+		if !ok {
+			return arg{}, false
+		}
+		return arg{kind: argMem, reg: r, e: e}, true
+	}
+	e, ok := a.parseExpr(s, line)
+	if !ok {
+		return arg{}, false
+	}
+	return arg{kind: argExpr, e: e}, true
+}
+
+// parseExpr parses "sym", "sym+4", "sym-4", "123", "0x10", "-8", "'c'", "".
+func (a *assembler) parseExpr(s string, line int) (expr, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return expr{}, true // empty offset in "( $r )" means 0
+	}
+	// %hi(...) / %lo(...)
+	if strings.HasPrefix(s, "%hi(") && strings.HasSuffix(s, ")") {
+		e, ok := a.parseExpr(s[4:len(s)-1], line)
+		e.mod = modHi
+		return e, ok
+	}
+	if strings.HasPrefix(s, "%lo(") && strings.HasSuffix(s, ")") {
+		e, ok := a.parseExpr(s[4:len(s)-1], line)
+		e.mod = modLo
+		return e, ok
+	}
+	if v, err := parseInt(s); err == nil {
+		return expr{off: v}, true
+	}
+	// sym, sym+N, sym-N
+	split := -1
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			split = i
+			break
+		}
+	}
+	sym, rest := s, ""
+	if split >= 0 {
+		sym, rest = s[:split], s[split:]
+	}
+	for _, c := range []byte(sym) {
+		if !isIdentChar(c) {
+			a.errorf(line, "bad expression %q", s)
+			return expr{}, false
+		}
+	}
+	var off int64
+	if rest != "" {
+		v, err := parseInt(rest)
+		if err != nil {
+			a.errorf(line, "bad expression offset %q: %v", rest, err)
+			return expr{}, false
+		}
+		off = v
+	}
+	return expr{sym: sym, off: off}, true
+}
+
+// emitIn appends a real instruction, filling delay slots in reorder mode.
+func (a *assembler) emitIn(in isa.Instruction, imm *expr, line int) {
+	a.emit(item{kind: itemInstr, proto: proto{in: in, imm: imm, line: line}, line: line})
+	if a.reorder && in.Class().IsControl() {
+		a.emit(item{kind: itemInstr, proto: proto{in: isa.Instruction{Op: isa.OpSLL}, line: line}, line: line})
+	}
+}
+
+// operand accessors with error reporting.
+func (a *assembler) wantReg(args []arg, i, line int) (uint8, bool) {
+	if i >= len(args) || args[i].kind != argReg {
+		a.errorf(line, "operand %d must be an integer register", i+1)
+		return 0, false
+	}
+	return args[i].reg, true
+}
+
+func (a *assembler) wantFReg(args []arg, i, line int) (uint8, bool) {
+	if i >= len(args) || args[i].kind != argFReg {
+		a.errorf(line, "operand %d must be an FP register", i+1)
+		return 0, false
+	}
+	return args[i].reg, true
+}
+
+func (a *assembler) wantExpr(args []arg, i, line int) (expr, bool) {
+	if i >= len(args) || args[i].kind != argExpr {
+		a.errorf(line, "operand %d must be an expression", i+1)
+		return expr{}, false
+	}
+	return args[i].e, true
+}
+
+func (a *assembler) wantN(args []arg, n, line int, mnemonic string) bool {
+	if len(args) != n {
+		a.errorf(line, "%s expects %d operands, got %d", mnemonic, n, len(args))
+		return false
+	}
+	return true
+}
+
+var threeReg = map[string]isa.Op{
+	"add": isa.OpADD, "addu": isa.OpADDU, "sub": isa.OpSUB, "subu": isa.OpSUBU,
+	"and": isa.OpAND, "or": isa.OpOR, "xor": isa.OpXOR, "nor": isa.OpNOR,
+	"slt": isa.OpSLT, "sltu": isa.OpSLTU,
+	"sllv": isa.OpSLLV, "srlv": isa.OpSRLV, "srav": isa.OpSRAV,
+}
+
+// immForm maps a 3-reg mnemonic to its immediate twin (for "addu $a,$b,4").
+var immForm = map[string]isa.Op{
+	"add": isa.OpADDI, "addu": isa.OpADDIU, "and": isa.OpANDI,
+	"or": isa.OpORI, "xor": isa.OpXORI, "slt": isa.OpSLTI, "sltu": isa.OpSLTIU,
+}
+
+var shiftImm = map[string]isa.Op{
+	"sll": isa.OpSLL, "srl": isa.OpSRL, "sra": isa.OpSRA,
+}
+
+var immOps = map[string]isa.Op{
+	"addi": isa.OpADDI, "addiu": isa.OpADDIU, "slti": isa.OpSLTI,
+	"sltiu": isa.OpSLTIU, "andi": isa.OpANDI, "ori": isa.OpORI, "xori": isa.OpXORI,
+}
+
+var memOps = map[string]isa.Op{
+	"lb": isa.OpLB, "lbu": isa.OpLBU, "lh": isa.OpLH, "lhu": isa.OpLHU,
+	"lw": isa.OpLW, "lwl": isa.OpLWL, "lwr": isa.OpLWR,
+	"sb": isa.OpSB, "sh": isa.OpSH, "sw": isa.OpSW,
+	"swl": isa.OpSWL, "swr": isa.OpSWR,
+}
+
+var fpMemOps = map[string]isa.Op{
+	"lwc1": isa.OpLWC1, "swc1": isa.OpSWC1, "ldc1": isa.OpLDC1, "sdc1": isa.OpSDC1,
+	"l.s": isa.OpLWC1, "s.s": isa.OpSWC1, "l.d": isa.OpLDC1, "s.d": isa.OpSDC1,
+}
+
+var fpThree = map[string]isa.Op{
+	"add": isa.OpFADD, "sub": isa.OpFSUB, "mul": isa.OpFMUL, "div": isa.OpFDIV,
+}
+
+var fpTwo = map[string]isa.Op{
+	"sqrt": isa.OpFSQRT, "abs": isa.OpFABS, "mov": isa.OpFMOV, "neg": isa.OpFNEG,
+}
+
+var fpCmp = map[string]isa.Op{
+	"c.eq": isa.OpCEQ, "c.lt": isa.OpCLT, "c.le": isa.OpCLE,
+}
+
+// instruction parses and emits one instruction (possibly a pseudo expansion).
+func (a *assembler) instruction(s string, line int) {
+	var mnemonic, rest string
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		mnemonic, rest = s[:i], strings.TrimSpace(s[i+1:])
+	} else {
+		mnemonic = s
+	}
+	mnemonic = strings.ToLower(mnemonic)
+
+	var args []arg
+	for _, f := range splitArgs(rest) {
+		g, ok := a.parseArg(f, line)
+		if !ok {
+			return
+		}
+		args = append(args, g)
+	}
+
+	// FP mnemonics carry a .s/.d suffix (and conversions two suffixes).
+	if op, stem, double, ok := fpMnemonic(mnemonic); ok {
+		a.fpInstruction(op, stem, double, args, line)
+		return
+	}
+
+	switch {
+	case mnemonic == "nop":
+		a.emitIn(isa.Instruction{Op: isa.OpSLL}, nil, line)
+	case mnemonic == "syscall":
+		a.emitIn(isa.Instruction{Op: isa.OpSyscall}, nil, line)
+	case mnemonic == "break":
+		a.emitIn(isa.Instruction{Op: isa.OpBreak}, nil, line)
+
+	case threeReg[mnemonic] != 0:
+		if !a.wantN(args, 3, line, mnemonic) {
+			return
+		}
+		rd, ok1 := a.wantReg(args, 0, line)
+		rs, ok2 := a.wantReg(args, 1, line)
+		if !ok1 || !ok2 {
+			return
+		}
+		if args[2].kind == argExpr {
+			op, ok := immForm[mnemonic]
+			if !ok {
+				a.errorf(line, "%s does not take an immediate", mnemonic)
+				return
+			}
+			e := args[2].e
+			a.emitIn(isa.Instruction{Op: op, Rt: rd, Rs: rs}, &e, line)
+			return
+		}
+		rt, ok := a.wantReg(args, 2, line)
+		if !ok {
+			return
+		}
+		op := threeReg[mnemonic]
+		if op == isa.OpSLLV || op == isa.OpSRLV || op == isa.OpSRAV {
+			// sllv rd, rt, rs: shift the 2nd operand by the 3rd.
+			a.emitIn(isa.Instruction{Op: op, Rd: rd, Rt: rs, Rs: rt}, nil, line)
+			return
+		}
+		a.emitIn(isa.Instruction{Op: op, Rd: rd, Rs: rs, Rt: rt}, nil, line)
+
+	case shiftImm[mnemonic] != 0:
+		if !a.wantN(args, 3, line, mnemonic) {
+			return
+		}
+		rd, ok1 := a.wantReg(args, 0, line)
+		rt, ok2 := a.wantReg(args, 1, line)
+		e, ok3 := a.wantExpr(args, 2, line)
+		if !ok1 || !ok2 || !ok3 || e.sym != "" {
+			if e.sym != "" {
+				a.errorf(line, "shift amount must be a constant")
+			}
+			return
+		}
+		if e.off < 0 || e.off > 31 {
+			a.errorf(line, "shift amount %d out of range", e.off)
+			return
+		}
+		a.emitIn(isa.Instruction{Op: shiftImm[mnemonic], Rd: rd, Rt: rt, Shamt: uint8(e.off)}, nil, line)
+
+	case immOps[mnemonic] != 0:
+		if !a.wantN(args, 3, line, mnemonic) {
+			return
+		}
+		rt, ok1 := a.wantReg(args, 0, line)
+		rs, ok2 := a.wantReg(args, 1, line)
+		e, ok3 := a.wantExpr(args, 2, line)
+		if !ok1 || !ok2 || !ok3 {
+			return
+		}
+		a.emitIn(isa.Instruction{Op: immOps[mnemonic], Rt: rt, Rs: rs}, &e, line)
+
+	case mnemonic == "lui":
+		if !a.wantN(args, 2, line, mnemonic) {
+			return
+		}
+		rt, ok1 := a.wantReg(args, 0, line)
+		e, ok2 := a.wantExpr(args, 1, line)
+		if !ok1 || !ok2 {
+			return
+		}
+		a.emitIn(isa.Instruction{Op: isa.OpLUI, Rt: rt}, &e, line)
+
+	case memOps[mnemonic] != 0:
+		a.memInstruction(memOps[mnemonic], false, args, line, mnemonic)
+
+	case fpMemOps[mnemonic] != 0:
+		a.memInstruction(fpMemOps[mnemonic], true, args, line, mnemonic)
+
+	case mnemonic == "beq" || mnemonic == "bne":
+		if !a.wantN(args, 3, line, mnemonic) {
+			return
+		}
+		rs, ok1 := a.wantReg(args, 0, line)
+		rt, ok2 := a.wantReg(args, 1, line)
+		e, ok3 := a.wantExpr(args, 2, line)
+		if !ok1 || !ok2 || !ok3 {
+			return
+		}
+		e.mod = modBranch
+		op := isa.OpBEQ
+		if mnemonic == "bne" {
+			op = isa.OpBNE
+		}
+		a.emitIn(isa.Instruction{Op: op, Rs: rs, Rt: rt}, &e, line)
+
+	case mnemonic == "blez" || mnemonic == "bgtz" || mnemonic == "bltz" ||
+		mnemonic == "bgez" || mnemonic == "bltzal" || mnemonic == "bgezal" ||
+		mnemonic == "beqz" || mnemonic == "bnez":
+		if !a.wantN(args, 2, line, mnemonic) {
+			return
+		}
+		rs, ok1 := a.wantReg(args, 0, line)
+		e, ok2 := a.wantExpr(args, 1, line)
+		if !ok1 || !ok2 {
+			return
+		}
+		e.mod = modBranch
+		var in isa.Instruction
+		switch mnemonic {
+		case "blez":
+			in = isa.Instruction{Op: isa.OpBLEZ, Rs: rs}
+		case "bgtz":
+			in = isa.Instruction{Op: isa.OpBGTZ, Rs: rs}
+		case "bltz":
+			in = isa.Instruction{Op: isa.OpBLTZ, Rs: rs}
+		case "bgez":
+			in = isa.Instruction{Op: isa.OpBGEZ, Rs: rs}
+		case "bltzal":
+			in = isa.Instruction{Op: isa.OpBLTZAL, Rs: rs}
+		case "bgezal":
+			in = isa.Instruction{Op: isa.OpBGEZAL, Rs: rs}
+		case "beqz":
+			in = isa.Instruction{Op: isa.OpBEQ, Rs: rs, Rt: 0}
+		case "bnez":
+			in = isa.Instruction{Op: isa.OpBNE, Rs: rs, Rt: 0}
+		}
+		a.emitIn(in, &e, line)
+
+	case mnemonic == "bc1t" || mnemonic == "bc1f":
+		if !a.wantN(args, 1, line, mnemonic) {
+			return
+		}
+		e, ok := a.wantExpr(args, 0, line)
+		if !ok {
+			return
+		}
+		e.mod = modBranch
+		op := isa.OpBC1T
+		if mnemonic == "bc1f" {
+			op = isa.OpBC1F
+		}
+		a.emitIn(isa.Instruction{Op: op}, &e, line)
+
+	case mnemonic == "j" || mnemonic == "jal" || mnemonic == "b":
+		if !a.wantN(args, 1, line, mnemonic) {
+			return
+		}
+		e, ok := a.wantExpr(args, 0, line)
+		if !ok {
+			return
+		}
+		if mnemonic == "b" {
+			e.mod = modBranch
+			a.emitIn(isa.Instruction{Op: isa.OpBEQ}, &e, line)
+			return
+		}
+		e.mod = modJump
+		op := isa.OpJ
+		if mnemonic == "jal" {
+			op = isa.OpJAL
+		}
+		a.emitIn(isa.Instruction{Op: op}, &e, line)
+
+	case mnemonic == "jr":
+		if !a.wantN(args, 1, line, mnemonic) {
+			return
+		}
+		rs, ok := a.wantReg(args, 0, line)
+		if !ok {
+			return
+		}
+		a.emitIn(isa.Instruction{Op: isa.OpJR, Rs: rs}, nil, line)
+
+	case mnemonic == "jalr":
+		var rd, rs uint8
+		var ok bool
+		switch len(args) {
+		case 1:
+			rd = isa.RegRA
+			rs, ok = a.wantReg(args, 0, line)
+		case 2:
+			rd, ok = a.wantReg(args, 0, line)
+			if ok {
+				rs, ok = a.wantReg(args, 1, line)
+			}
+		default:
+			a.errorf(line, "jalr expects 1 or 2 operands")
+			return
+		}
+		if !ok {
+			return
+		}
+		a.emitIn(isa.Instruction{Op: isa.OpJALR, Rd: rd, Rs: rs}, nil, line)
+
+	case mnemonic == "mult" || mnemonic == "multu" || mnemonic == "div" || mnemonic == "divu":
+		op := map[string]isa.Op{"mult": isa.OpMULT, "multu": isa.OpMULTU,
+			"div": isa.OpDIV, "divu": isa.OpDIVU}[mnemonic]
+		if len(args) == 3 {
+			// Pseudo: div rd, rs, rt → div rs,rt ; mflo rd
+			rd, ok1 := a.wantReg(args, 0, line)
+			rs, ok2 := a.wantReg(args, 1, line)
+			rt, ok3 := a.wantReg(args, 2, line)
+			if !ok1 || !ok2 || !ok3 {
+				return
+			}
+			a.emitIn(isa.Instruction{Op: op, Rs: rs, Rt: rt}, nil, line)
+			a.emitIn(isa.Instruction{Op: isa.OpMFLO, Rd: rd}, nil, line)
+			return
+		}
+		if !a.wantN(args, 2, line, mnemonic) {
+			return
+		}
+		rs, ok1 := a.wantReg(args, 0, line)
+		rt, ok2 := a.wantReg(args, 1, line)
+		if !ok1 || !ok2 {
+			return
+		}
+		a.emitIn(isa.Instruction{Op: op, Rs: rs, Rt: rt}, nil, line)
+
+	case mnemonic == "mul" || mnemonic == "rem" || mnemonic == "remu":
+		if !a.wantN(args, 3, line, mnemonic) {
+			return
+		}
+		rd, ok1 := a.wantReg(args, 0, line)
+		rs, ok2 := a.wantReg(args, 1, line)
+		rt, ok3 := a.wantReg(args, 2, line)
+		if !ok1 || !ok2 || !ok3 {
+			return
+		}
+		switch mnemonic {
+		case "mul":
+			a.emitIn(isa.Instruction{Op: isa.OpMULT, Rs: rs, Rt: rt}, nil, line)
+			a.emitIn(isa.Instruction{Op: isa.OpMFLO, Rd: rd}, nil, line)
+		case "rem":
+			a.emitIn(isa.Instruction{Op: isa.OpDIV, Rs: rs, Rt: rt}, nil, line)
+			a.emitIn(isa.Instruction{Op: isa.OpMFHI, Rd: rd}, nil, line)
+		case "remu":
+			a.emitIn(isa.Instruction{Op: isa.OpDIVU, Rs: rs, Rt: rt}, nil, line)
+			a.emitIn(isa.Instruction{Op: isa.OpMFHI, Rd: rd}, nil, line)
+		}
+
+	case mnemonic == "mfhi" || mnemonic == "mflo":
+		if !a.wantN(args, 1, line, mnemonic) {
+			return
+		}
+		rd, ok := a.wantReg(args, 0, line)
+		if !ok {
+			return
+		}
+		op := isa.OpMFHI
+		if mnemonic == "mflo" {
+			op = isa.OpMFLO
+		}
+		a.emitIn(isa.Instruction{Op: op, Rd: rd}, nil, line)
+
+	case mnemonic == "mthi" || mnemonic == "mtlo":
+		if !a.wantN(args, 1, line, mnemonic) {
+			return
+		}
+		rs, ok := a.wantReg(args, 0, line)
+		if !ok {
+			return
+		}
+		op := isa.OpMTHI
+		if mnemonic == "mtlo" {
+			op = isa.OpMTLO
+		}
+		a.emitIn(isa.Instruction{Op: op, Rs: rs}, nil, line)
+
+	case mnemonic == "mfc1" || mnemonic == "mtc1":
+		if !a.wantN(args, 2, line, mnemonic) {
+			return
+		}
+		rt, ok1 := a.wantReg(args, 0, line)
+		fs, ok2 := a.wantFReg(args, 1, line)
+		if !ok1 || !ok2 {
+			return
+		}
+		op := isa.OpMFC1
+		if mnemonic == "mtc1" {
+			op = isa.OpMTC1
+		}
+		a.emitIn(isa.Instruction{Op: op, Rt: rt, Fs: fs}, nil, line)
+
+	case mnemonic == "move":
+		if !a.wantN(args, 2, line, mnemonic) {
+			return
+		}
+		rd, ok1 := a.wantReg(args, 0, line)
+		rs, ok2 := a.wantReg(args, 1, line)
+		if !ok1 || !ok2 {
+			return
+		}
+		a.emitIn(isa.Instruction{Op: isa.OpADDU, Rd: rd, Rs: rs}, nil, line)
+
+	case mnemonic == "not":
+		if !a.wantN(args, 2, line, mnemonic) {
+			return
+		}
+		rd, ok1 := a.wantReg(args, 0, line)
+		rs, ok2 := a.wantReg(args, 1, line)
+		if !ok1 || !ok2 {
+			return
+		}
+		a.emitIn(isa.Instruction{Op: isa.OpNOR, Rd: rd, Rs: rs}, nil, line)
+
+	case mnemonic == "neg" || mnemonic == "negu":
+		if !a.wantN(args, 2, line, mnemonic) {
+			return
+		}
+		rd, ok1 := a.wantReg(args, 0, line)
+		rs, ok2 := a.wantReg(args, 1, line)
+		if !ok1 || !ok2 {
+			return
+		}
+		a.emitIn(isa.Instruction{Op: isa.OpSUBU, Rd: rd, Rt: rs}, nil, line)
+
+	case mnemonic == "li":
+		if !a.wantN(args, 2, line, mnemonic) {
+			return
+		}
+		rt, ok1 := a.wantReg(args, 0, line)
+		e, ok2 := a.wantExpr(args, 1, line)
+		if !ok1 || !ok2 {
+			return
+		}
+		if e.sym != "" {
+			a.errorf(line, "li takes a constant; use la for addresses")
+			return
+		}
+		a.expandLI(rt, e.off, line)
+
+	case mnemonic == "la":
+		if !a.wantN(args, 2, line, mnemonic) {
+			return
+		}
+		rt, ok1 := a.wantReg(args, 0, line)
+		e, ok2 := a.wantExpr(args, 1, line)
+		if !ok1 || !ok2 {
+			return
+		}
+		hi, lo := e, e
+		hi.mod, lo.mod = modHi, modLo
+		a.emitIn(isa.Instruction{Op: isa.OpLUI, Rt: isa.RegAT}, &hi, line)
+		a.emitIn(isa.Instruction{Op: isa.OpADDIU, Rt: rt, Rs: isa.RegAT}, &lo, line)
+
+	case mnemonic == "blt" || mnemonic == "bge" || mnemonic == "bgt" || mnemonic == "ble" ||
+		mnemonic == "bltu" || mnemonic == "bgeu" || mnemonic == "bgtu" || mnemonic == "bleu":
+		a.branchCompare(mnemonic, args, line)
+
+	default:
+		a.errorf(line, "unknown mnemonic %q", mnemonic)
+	}
+}
+
+// expandLI emits the minimal sequence loading a 32-bit constant.
+func (a *assembler) expandLI(rt uint8, v int64, line int) {
+	switch {
+	case v >= -32768 && v <= 32767:
+		a.emitIn(isa.Instruction{Op: isa.OpADDIU, Rt: rt, Imm: int32(v)}, nil, line)
+	case v >= 0 && v <= 0xffff:
+		a.emitIn(isa.Instruction{Op: isa.OpORI, Rt: rt, Imm: int32(v)}, nil, line)
+	default:
+		u := uint32(v)
+		a.emitIn(isa.Instruction{Op: isa.OpLUI, Rt: rt, Imm: int32(u >> 16)}, nil, line)
+		if u&0xffff != 0 {
+			a.emitIn(isa.Instruction{Op: isa.OpORI, Rt: rt, Rs: rt, Imm: int32(u & 0xffff)}, nil, line)
+		}
+	}
+}
+
+// memInstruction handles loads/stores: "op $r, off($base)" or "op $r, sym".
+func (a *assembler) memInstruction(op isa.Op, fp bool, args []arg, line int, mnemonic string) {
+	if !a.wantN(args, 2, line, mnemonic) {
+		return
+	}
+	var reg uint8
+	var ok bool
+	if fp {
+		reg, ok = a.wantFReg(args, 0, line)
+	} else {
+		reg, ok = a.wantReg(args, 0, line)
+	}
+	if !ok {
+		return
+	}
+	mk := func(base uint8, e *expr) isa.Instruction {
+		in := isa.Instruction{Op: op, Rs: base}
+		if fp {
+			in.Ft = reg
+		} else {
+			in.Rt = reg
+		}
+		return in
+	}
+	switch args[1].kind {
+	case argMem:
+		e := args[1].e
+		a.emitIn(mk(args[1].reg, &e), &e, line)
+	case argExpr:
+		// Global access: lui $at, %hi(sym) ; op $r, %lo(sym)($at)
+		hi, lo := args[1].e, args[1].e
+		hi.mod, lo.mod = modHi, modLo
+		a.emitIn(isa.Instruction{Op: isa.OpLUI, Rt: isa.RegAT}, &hi, line)
+		a.emitIn(mk(isa.RegAT, &lo), &lo, line)
+	default:
+		a.errorf(line, "%s: second operand must be a memory reference", mnemonic)
+	}
+}
+
+// branchCompare expands blt/bge/bgt/ble (+unsigned forms).
+// The second operand may be a register or, for blt/bge/bltu/bgeu, a constant.
+func (a *assembler) branchCompare(mnemonic string, args []arg, line int) {
+	if !a.wantN(args, 3, line, mnemonic) {
+		return
+	}
+	rs, ok1 := a.wantReg(args, 0, line)
+	e, ok3 := a.wantExpr(args, 2, line)
+	if !ok1 || !ok3 {
+		return
+	}
+	e.mod = modBranch
+	unsigned := strings.HasSuffix(mnemonic, "u")
+	sltOp, sltiOp := isa.OpSLT, isa.OpSLTI
+	if unsigned {
+		sltOp, sltiOp = isa.OpSLTU, isa.OpSLTIU
+	}
+	stem := strings.TrimSuffix(mnemonic, "u")
+
+	if args[1].kind == argExpr {
+		if args[1].e.sym != "" {
+			a.errorf(line, "%s immediate must be a constant", mnemonic)
+			return
+		}
+		if stem != "blt" && stem != "bge" {
+			a.errorf(line, "%s with an immediate is not supported (swap operands or use blt/bge)", mnemonic)
+			return
+		}
+		imm := int32(args[1].e.off)
+		a.emitIn(isa.Instruction{Op: sltiOp, Rt: isa.RegAT, Rs: rs, Imm: imm}, nil, line)
+		if stem == "blt" {
+			a.emitIn(isa.Instruction{Op: isa.OpBNE, Rs: isa.RegAT}, &e, line)
+		} else {
+			a.emitIn(isa.Instruction{Op: isa.OpBEQ, Rs: isa.RegAT}, &e, line)
+		}
+		return
+	}
+
+	rt, ok2 := a.wantReg(args, 1, line)
+	if !ok2 {
+		return
+	}
+	switch stem {
+	case "blt": // rs < rt
+		a.emitIn(isa.Instruction{Op: sltOp, Rd: isa.RegAT, Rs: rs, Rt: rt}, nil, line)
+		a.emitIn(isa.Instruction{Op: isa.OpBNE, Rs: isa.RegAT}, &e, line)
+	case "bge": // !(rs < rt)
+		a.emitIn(isa.Instruction{Op: sltOp, Rd: isa.RegAT, Rs: rs, Rt: rt}, nil, line)
+		a.emitIn(isa.Instruction{Op: isa.OpBEQ, Rs: isa.RegAT}, &e, line)
+	case "bgt": // rt < rs
+		a.emitIn(isa.Instruction{Op: sltOp, Rd: isa.RegAT, Rs: rt, Rt: rs}, nil, line)
+		a.emitIn(isa.Instruction{Op: isa.OpBNE, Rs: isa.RegAT}, &e, line)
+	case "ble": // !(rt < rs)
+		a.emitIn(isa.Instruction{Op: sltOp, Rd: isa.RegAT, Rs: rt, Rt: rs}, nil, line)
+		a.emitIn(isa.Instruction{Op: isa.OpBEQ, Rs: isa.RegAT}, &e, line)
+	}
+}
+
+// fpMnemonic recognises "add.d", "cvt.d.w", "c.lt.d", "sqrt.s", ...
+// It returns the op, the stem, and the operand width.
+func fpMnemonic(m string) (op isa.Op, stem string, double bool, ok bool) {
+	// compare: c.eq.s / c.lt.d / c.le.d
+	if strings.HasPrefix(m, "c.") {
+		for k, v := range fpCmp {
+			if strings.HasPrefix(m, k+".") {
+				suf := m[len(k)+1:]
+				if suf == "s" || suf == "d" {
+					return v, k, suf == "d", true
+				}
+			}
+		}
+		return 0, "", false, false
+	}
+	if strings.HasPrefix(m, "cvt.") {
+		return 0, m, false, m == "cvt.s.d" || m == "cvt.d.s" || m == "cvt.d.w" ||
+			m == "cvt.s.w" || m == "cvt.w.s" || m == "cvt.w.d"
+	}
+	i := strings.LastIndexByte(m, '.')
+	if i < 0 {
+		return 0, "", false, false
+	}
+	stem, suf := m[:i], m[i+1:]
+	if suf != "s" && suf != "d" {
+		return 0, "", false, false
+	}
+	if v, okk := fpThree[stem]; okk {
+		return v, stem, suf == "d", true
+	}
+	if v, okk := fpTwo[stem]; okk {
+		return v, stem, suf == "d", true
+	}
+	return 0, "", false, false
+}
+
+func (a *assembler) fpInstruction(op isa.Op, stem string, double bool, args []arg, line int) {
+	// Conversions are identified by the full mnemonic in stem.
+	if strings.HasPrefix(stem, "cvt.") {
+		if !a.wantN(args, 2, line, stem) {
+			return
+		}
+		fd, ok1 := a.wantFReg(args, 0, line)
+		fs, ok2 := a.wantFReg(args, 1, line)
+		if !ok1 || !ok2 {
+			return
+		}
+		var in isa.Instruction
+		switch stem {
+		case "cvt.s.d":
+			in = isa.Instruction{Op: isa.OpCVTS, CvtSrc: isa.CvtFromD}
+		case "cvt.s.w":
+			in = isa.Instruction{Op: isa.OpCVTS, CvtSrc: isa.CvtFromW}
+		case "cvt.d.s":
+			in = isa.Instruction{Op: isa.OpCVTD, CvtSrc: isa.CvtFromS, Double: true}
+		case "cvt.d.w":
+			in = isa.Instruction{Op: isa.OpCVTD, CvtSrc: isa.CvtFromW, Double: true}
+		case "cvt.w.s":
+			in = isa.Instruction{Op: isa.OpCVTW, CvtSrc: isa.CvtFromS}
+		case "cvt.w.d":
+			in = isa.Instruction{Op: isa.OpCVTW, CvtSrc: isa.CvtFromD}
+		default:
+			a.errorf(line, "unsupported conversion %q", stem)
+			return
+		}
+		in.Fd, in.Fs, in.Ft = fd, fs, isa.NoFPReg
+		a.emitIn(in, nil, line)
+		return
+	}
+
+	switch op {
+	case isa.OpFADD, isa.OpFSUB, isa.OpFMUL, isa.OpFDIV:
+		if !a.wantN(args, 3, line, stem) {
+			return
+		}
+		fd, ok1 := a.wantFReg(args, 0, line)
+		fs, ok2 := a.wantFReg(args, 1, line)
+		ft, ok3 := a.wantFReg(args, 2, line)
+		if !ok1 || !ok2 || !ok3 {
+			return
+		}
+		a.emitIn(isa.Instruction{Op: op, Fd: fd, Fs: fs, Ft: ft, Double: double}, nil, line)
+	case isa.OpFSQRT, isa.OpFABS, isa.OpFMOV, isa.OpFNEG:
+		if !a.wantN(args, 2, line, stem) {
+			return
+		}
+		fd, ok1 := a.wantFReg(args, 0, line)
+		fs, ok2 := a.wantFReg(args, 1, line)
+		if !ok1 || !ok2 {
+			return
+		}
+		a.emitIn(isa.Instruction{Op: op, Fd: fd, Fs: fs, Ft: isa.NoFPReg, Double: double}, nil, line)
+	case isa.OpCEQ, isa.OpCLT, isa.OpCLE:
+		if !a.wantN(args, 2, line, stem) {
+			return
+		}
+		fs, ok1 := a.wantFReg(args, 0, line)
+		ft, ok2 := a.wantFReg(args, 1, line)
+		if !ok1 || !ok2 {
+			return
+		}
+		a.emitIn(isa.Instruction{Op: op, Fs: fs, Ft: ft, Double: double}, nil, line)
+	default:
+		a.errorf(line, "unhandled FP op %v", op)
+	}
+}

@@ -1,0 +1,113 @@
+// Package cache provides the cache structures of the Aurora III memory
+// hierarchy: a generic direct-mapped tag array (used for the on-chip
+// pre-decoded instruction cache and the external pipelined data cache), the
+// Miss Status Holding Register file that implements the non-blocking cache,
+// and the fully-associative coalescing write cache with its micro-TLB
+// page-match write validation.
+package cache
+
+import "fmt"
+
+// TagArray is a direct-mapped cache tag array.
+type TagArray struct {
+	lineShift uint
+	indexMask uint32
+	tags      []uint32
+	valid     []bool
+
+	accesses uint64
+	misses   uint64
+}
+
+// NewTagArray creates a direct-mapped tag array of the given total size and
+// line size (both powers of two, size ≥ line).
+func NewTagArray(sizeBytes, lineBytes int) *TagArray {
+	if sizeBytes <= 0 || lineBytes <= 0 || sizeBytes%lineBytes != 0 ||
+		sizeBytes&(sizeBytes-1) != 0 || lineBytes&(lineBytes-1) != 0 {
+		panic(fmt.Sprintf("cache: bad geometry %d/%d", sizeBytes, lineBytes))
+	}
+	n := sizeBytes / lineBytes
+	return &TagArray{
+		lineShift: uint(log2(lineBytes)),
+		indexMask: uint32(n - 1),
+		tags:      make([]uint32, n),
+		valid:     make([]bool, n),
+	}
+}
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Lines returns the number of lines.
+func (c *TagArray) Lines() int { return len(c.tags) }
+
+// LineBytes returns the line size.
+func (c *TagArray) LineBytes() int { return 1 << c.lineShift }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *TagArray) LineAddr(addr uint32) uint32 {
+	return addr &^ (uint32(1)<<c.lineShift - 1)
+}
+
+func (c *TagArray) slot(addr uint32) (idx uint32, tag uint32) {
+	idx = addr >> c.lineShift & c.indexMask
+	tag = addr >> c.lineShift
+	return
+}
+
+// Lookup probes the cache, counting the access. It reports a hit.
+func (c *TagArray) Lookup(addr uint32) bool {
+	c.accesses++
+	idx, tag := c.slot(addr)
+	if c.valid[idx] && c.tags[idx] == tag {
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// Probe checks presence without counting an access (for duplicate-miss
+// detection and assertions).
+func (c *TagArray) Probe(addr uint32) bool {
+	idx, tag := c.slot(addr)
+	return c.valid[idx] && c.tags[idx] == tag
+}
+
+// Fill installs the line containing addr, returning the address of the line
+// it displaced, if any.
+func (c *TagArray) Fill(addr uint32) (evicted uint32, hadVictim bool) {
+	idx, tag := c.slot(addr)
+	if c.valid[idx] && c.tags[idx] != tag {
+		evicted, hadVictim = c.tags[idx]<<c.lineShift, true
+	}
+	c.tags[idx] = tag
+	c.valid[idx] = true
+	return
+}
+
+// InvalidateAll clears the cache.
+func (c *TagArray) InvalidateAll() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// Accesses returns the lookup count.
+func (c *TagArray) Accesses() uint64 { return c.accesses }
+
+// Misses returns the miss count.
+func (c *TagArray) Misses() uint64 { return c.misses }
+
+// HitRate returns the hit fraction (1.0 when never accessed).
+func (c *TagArray) HitRate() float64 {
+	if c.accesses == 0 {
+		return 1
+	}
+	return 1 - float64(c.misses)/float64(c.accesses)
+}

@@ -1,0 +1,76 @@
+package cache
+
+// MSHRFile models the Miss Status Holding Registers (Kroft's lockup-free
+// cache structure, paper §2.3). In the Aurora III an MSHR is reserved for
+// *every* memory instruction active in the LSU, from dispatch until its data
+// returns — so the file size bounds the number of overlapped memory
+// operations: one MSHR is a fully blocking cache, four allows four
+// outstanding operations.
+type MSHRFile struct {
+	inUse    int
+	capacity int
+
+	allocs     uint64
+	stallFull  uint64
+	peakInUse  int
+	cycleInUse uint64 // integral of occupancy over cycles, for utilisation
+}
+
+// NewMSHRFile creates a file with n registers (n ≥ 1).
+func NewMSHRFile(n int) *MSHRFile {
+	if n < 1 {
+		n = 1
+	}
+	return &MSHRFile{capacity: n}
+}
+
+// Capacity returns the number of registers.
+func (f *MSHRFile) Capacity() int { return f.capacity }
+
+// Available reports whether a register is free.
+func (f *MSHRFile) Available() bool { return f.inUse < f.capacity }
+
+// InUse returns the current occupancy.
+func (f *MSHRFile) InUse() int { return f.inUse }
+
+// Allocate reserves a register; it returns false when none is free.
+func (f *MSHRFile) Allocate() bool {
+	if f.inUse >= f.capacity {
+		f.stallFull++
+		return false
+	}
+	f.inUse++
+	f.allocs++
+	if f.inUse > f.peakInUse {
+		f.peakInUse = f.inUse
+	}
+	return true
+}
+
+// Release frees a register.
+func (f *MSHRFile) Release() {
+	if f.inUse == 0 {
+		panic("cache: MSHR release without allocate")
+	}
+	f.inUse--
+}
+
+// TickOccupancy accumulates the occupancy integral; call once per cycle.
+func (f *MSHRFile) TickOccupancy() { f.cycleInUse += uint64(f.inUse) }
+
+// Allocs returns the total number of allocations.
+func (f *MSHRFile) Allocs() uint64 { return f.allocs }
+
+// FullStalls returns how many allocation attempts found the file full.
+func (f *MSHRFile) FullStalls() uint64 { return f.stallFull }
+
+// Peak returns the peak occupancy.
+func (f *MSHRFile) Peak() int { return f.peakInUse }
+
+// Utilisation returns mean occupancy over the given cycle count.
+func (f *MSHRFile) Utilisation(cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(f.cycleInUse) / float64(cycles)
+}

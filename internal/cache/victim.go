@@ -1,0 +1,80 @@
+package cache
+
+// VictimCache is a small fully-associative cache holding lines recently
+// evicted from a direct-mapped cache — the companion structure to stream
+// buffers in Jouppi's paper [7], which the Aurora III paper cites for its
+// prefetch unit. The published design uses only stream buffers; the victim
+// cache is provided for the extension studies (it directly attacks the
+// conflict misses that direct-mapped external caches suffer on strided
+// multi-array code like hydro2d).
+type VictimCache struct {
+	lines []victimLine
+	clock uint64
+
+	probes uint64
+	hits   uint64
+}
+
+type victimLine struct {
+	valid bool
+	tag   uint32 // line address
+	lru   uint64
+}
+
+// NewVictimCache creates a victim cache of n lines; n = 0 disables it.
+func NewVictimCache(n int) *VictimCache {
+	return &VictimCache{lines: make([]victimLine, n)}
+}
+
+// Enabled reports whether the cache holds any lines.
+func (v *VictimCache) Enabled() bool { return len(v.lines) > 0 }
+
+// Probe checks for lineAddr after a primary miss; on a hit the line is
+// removed (it swaps back into the primary cache).
+func (v *VictimCache) Probe(lineAddr uint32) bool {
+	if len(v.lines) == 0 {
+		return false
+	}
+	v.probes++
+	for i := range v.lines {
+		if v.lines[i].valid && v.lines[i].tag == lineAddr {
+			v.lines[i].valid = false
+			v.hits++
+			return true
+		}
+	}
+	return false
+}
+
+// Insert stores a line evicted from the primary cache (LRU replacement).
+func (v *VictimCache) Insert(lineAddr uint32) {
+	if len(v.lines) == 0 {
+		return
+	}
+	v.clock++
+	victim := 0
+	for i := range v.lines {
+		if !v.lines[i].valid {
+			victim = i
+			break
+		}
+		if v.lines[i].lru < v.lines[victim].lru {
+			victim = i
+		}
+	}
+	v.lines[victim] = victimLine{valid: true, tag: lineAddr, lru: v.clock}
+}
+
+// Probes returns the number of primary-miss probes.
+func (v *VictimCache) Probes() uint64 { return v.probes }
+
+// Hits returns the number of probes that found their line.
+func (v *VictimCache) Hits() uint64 { return v.hits }
+
+// HitRate returns hits/probes.
+func (v *VictimCache) HitRate() float64 {
+	if v.probes == 0 {
+		return 0
+	}
+	return float64(v.hits) / float64(v.probes)
+}

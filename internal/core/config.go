@@ -1,0 +1,195 @@
+// Package core integrates the Aurora III timing model: it owns the cycle
+// loop and the integer execution engine (dual-issue logic, register
+// scoreboard, reorder buffer) and wires together the BIU, prefetch unit,
+// IFU, LSU and FPU. It consumes a dynamic instruction trace and produces a
+// Report with the paper's metrics: CPI, stall breakdown, cache and prefetch
+// hit rates, write-cache traffic, and FPU behaviour.
+package core
+
+import (
+	"fmt"
+
+	"aurora/internal/fpu"
+	"aurora/internal/mem"
+	"aurora/internal/mmu"
+	"aurora/internal/rbe"
+)
+
+// Config is a complete machine configuration.
+type Config struct {
+	Name string
+
+	IssueWidth int // 1 or 2 execution pipelines
+
+	ICacheBytes int
+	DCacheBytes int
+	LineBytes   int
+
+	WriteCacheLines int
+	ReorderBuffer   int // IPU reorder buffer entries
+	PrefetchBuffers int // 0 disables the prefetch unit (Figure 5 ablation)
+	PrefetchDepth   int // lines per stream buffer
+	MSHRs           int
+
+	FetchQueue    int
+	DCacheLatency int // pipelined external cache (3)
+
+	// VictimLines enables a small fully-associative victim cache behind
+	// the external data cache (extension; the paper's design has none).
+	VictimLines int
+
+	// DisableBranchFolding removes the pre-decoded NEXT field (Figure 3):
+	// every taken branch then pays a one-cycle fetch bubble, as in a
+	// machine without branch folding. Ablation knob; false = the paper's
+	// design.
+	DisableBranchFolding bool
+
+	// Integer multiply/divide latencies (iterative unit).
+	IntMulLatency int
+	IntDivLatency int
+
+	Memory mem.Config
+	FPU    fpu.Config
+
+	// MMU, when non-zero, replaces the flat secondary latency with a
+	// structured model (TLB + secondary cache behind the BIU) — an
+	// extension study; the paper's experiments leave it disabled.
+	MMU mmu.Config
+}
+
+// Normalize fills unset fields with the baseline defaults.
+func (c Config) Normalize() Config {
+	if c.IssueWidth <= 0 {
+		c.IssueWidth = 2
+	}
+	if c.LineBytes <= 0 {
+		c.LineBytes = 32
+	}
+	if c.PrefetchDepth <= 0 {
+		c.PrefetchDepth = 4
+	}
+	if c.FetchQueue <= 0 {
+		c.FetchQueue = 8
+	}
+	if c.DCacheLatency <= 0 {
+		c.DCacheLatency = 3
+	}
+	if c.IntMulLatency <= 0 {
+		c.IntMulLatency = 5
+	}
+	if c.IntDivLatency <= 0 {
+		c.IntDivLatency = 12
+	}
+	if c.Memory.Latency <= 0 {
+		c.Memory = mem.DefaultConfig()
+	}
+	c.FPU = c.FPU.Normalize()
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.ICacheBytes < 512 {
+		return fmt.Errorf("core: icache %d bytes too small", c.ICacheBytes)
+	}
+	if c.DCacheBytes < 1024 {
+		return fmt.Errorf("core: dcache %d bytes too small", c.DCacheBytes)
+	}
+	if c.ReorderBuffer < 1 {
+		return fmt.Errorf("core: reorder buffer must have ≥1 entry")
+	}
+	if c.MSHRs < 1 {
+		return fmt.Errorf("core: at least one MSHR required")
+	}
+	if c.WriteCacheLines < 1 {
+		return fmt.Errorf("core: write cache must have ≥1 line")
+	}
+	if w := c.IssueWidth; w != 1 && w != 2 {
+		return fmt.Errorf("core: issue width %d unsupported", w)
+	}
+	return nil
+}
+
+// The paper's three machine models (Table 1). The external data cache
+// scales with the model (§2.3: 16/32/64 KB supported).
+
+// Small returns the Table 1 small model.
+func Small() Config {
+	return Config{
+		Name:        "small",
+		ICacheBytes: 1 << 10, DCacheBytes: 16 << 10,
+		WriteCacheLines: 2, ReorderBuffer: 2,
+		PrefetchBuffers: 2, MSHRs: 1,
+	}.Normalize()
+}
+
+// Baseline returns the Table 1 baseline model.
+func Baseline() Config {
+	return Config{
+		Name:        "baseline",
+		ICacheBytes: 2 << 10, DCacheBytes: 32 << 10,
+		WriteCacheLines: 4, ReorderBuffer: 6,
+		PrefetchBuffers: 4, MSHRs: 2,
+	}.Normalize()
+}
+
+// Large returns the Table 1 large model.
+func Large() Config {
+	return Config{
+		Name:        "large",
+		ICacheBytes: 4 << 10, DCacheBytes: 64 << 10,
+		WriteCacheLines: 8, ReorderBuffer: 8,
+		PrefetchBuffers: 8, MSHRs: 4,
+	}.Normalize()
+}
+
+// RecommendedE returns the §5.6 "point E" machine: the baseline deviating
+// only in a 4 KB instruction cache, 4-entry write cache, 6-entry reorder
+// buffer and 4 MSHRs — near-large performance at much lower cost.
+func RecommendedE() Config {
+	c := Baseline()
+	c.Name = "pointE"
+	c.ICacheBytes = 4 << 10
+	c.DCacheBytes = 64 << 10
+	c.MSHRs = 4
+	return c.Normalize()
+}
+
+// Models returns the paper's three Table 1 models in order.
+func Models() []Config {
+	return []Config{Small(), Baseline(), Large()}
+}
+
+// WithLatency returns a copy with the given secondary memory latency.
+func (c Config) WithLatency(cycles int) Config {
+	c.Memory.Latency = cycles
+	if c.Memory.LineTransfer == 0 {
+		c.Memory = mem.Config{Latency: cycles, LineTransfer: 4, MaxOutstanding: 8}
+	}
+	return c
+}
+
+// WithIssueWidth returns a copy with the given issue width.
+func (c Config) WithIssueWidth(w int) Config {
+	c.IssueWidth = w
+	return c
+}
+
+// WithoutPrefetch returns a copy with the prefetch unit removed.
+func (c Config) WithoutPrefetch() Config {
+	c.PrefetchBuffers = 0
+	return c
+}
+
+// CostRBE returns the configuration's integer-side cost in Table 2 RBE.
+func (c Config) CostRBE() (int, error) {
+	return rbe.IPUCost{
+		ICacheBytes:     c.ICacheBytes,
+		WriteCacheLines: c.WriteCacheLines,
+		PrefetchBuffers: c.PrefetchBuffers,
+		PrefetchDepth:   c.PrefetchDepth,
+		ReorderEntries:  c.ReorderBuffer,
+		MSHREntries:     c.MSHRs,
+		Pipelines:       c.IssueWidth,
+	}.Total()
+}

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"fmt"
+
+	"aurora/internal/fpu"
+	"aurora/internal/ipu"
+	"aurora/internal/isa"
+	"aurora/internal/mem"
+	"aurora/internal/mmu"
+	"aurora/internal/prefetch"
+	"aurora/internal/trace"
+)
+
+// farFuture marks a register whose producing instruction has not yet
+// announced a completion time (an outstanding load).
+const farFuture = ^uint64(0) >> 1
+
+type robEntry struct {
+	completeAt uint64
+	valid      bool
+}
+
+// Processor is the integrated Aurora III timing model.
+type Processor struct {
+	cfg Config
+	now uint64
+
+	biu *mem.BIU
+	pfu *prefetch.Buffers
+	ifu *ipu.IFU
+	lsu *ipu.LSU
+	fp  *fpu.FPU
+	mmu *mmu.MMU
+
+	// Integer scoreboard: registers 1..31 plus HI/LO at index 32.
+	intReadyAt [33]uint64
+	writerLoad [33]bool
+	writerFP   [33]bool
+	writerGen  [33]uint64 // guards load wakeups against WAW overwrite
+
+	rob     []robEntry
+	robHead int
+	robUsed int
+
+	instructions uint64
+	dualIssues   uint64
+	stalls       [NumStallCauses]uint64
+}
+
+// NewProcessor builds a processor over a dynamic trace stream.
+func NewProcessor(cfg Config, stream trace.Stream) (*Processor, error) {
+	cfg = cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Processor{cfg: cfg}
+	p.biu = mem.New(cfg.Memory)
+	p.mmu = mmu.New(cfg.MMU)
+	if p.mmu.L2Enabled() {
+		flat := cfg.Memory.Latency
+		p.biu.LatencyFor = func(lineAddr uint32) int {
+			return p.mmu.SecondaryLatency(lineAddr, flat)
+		}
+	}
+	p.pfu = prefetch.New(cfg.PrefetchBuffers, cfg.PrefetchDepth, cfg.LineBytes)
+	p.fp = fpu.New(cfg.FPU)
+	p.lsu = ipu.NewLSU(ipu.LSUConfig{
+		DCacheBytes:         cfg.DCacheBytes,
+		LineBytes:           cfg.LineBytes,
+		DCacheLatency:       cfg.DCacheLatency,
+		MSHRs:               cfg.MSHRs,
+		WriteCacheLines:     cfg.WriteCacheLines,
+		WriteCacheLineBytes: cfg.LineBytes,
+		VictimLines:         cfg.VictimLines,
+	}, p.biu, p.pfu, p.fp.SeqDone)
+	if p.mmu.TranslationEnabled() {
+		p.lsu.Translate = p.mmu.Translate
+	}
+	p.ifu = ipu.NewIFU(ipu.IFUConfig{
+		ICacheBytes:          cfg.ICacheBytes,
+		LineBytes:            cfg.LineBytes,
+		FetchQueue:           cfg.FetchQueue,
+		DisableBranchFolding: cfg.DisableBranchFolding,
+	}, p.biu, p.pfu, stream)
+	p.rob = make([]robEntry, cfg.ReorderBuffer)
+	return p, nil
+}
+
+// Run simulates until the trace drains, returning the report. maxCycles = 0
+// applies a generous default deadlock guard.
+func (p *Processor) Run(maxCycles uint64) (*Report, error) {
+	for !p.done() {
+		p.now++
+		if maxCycles > 0 && p.now > maxCycles {
+			return nil, fmt.Errorf("core: exceeded %d cycles with %d instructions retired (deadlock?)",
+				maxCycles, p.instructions)
+		}
+		if maxCycles == 0 && p.now > 100*p.instructions+1_000_000 {
+			return nil, fmt.Errorf("core: runaway simulation at cycle %d (%d instructions)",
+				p.now, p.instructions)
+		}
+		p.biu.Tick(p.now)
+		p.lsu.Tick(p.now)
+		p.fp.Tick(p.now)
+		p.retire()
+		p.issue()
+		p.ifu.Tick(p.now)
+		p.pfu.Tick(p.now, p.biu)
+	}
+	p.lsu.FlushWriteCache(p.now)
+	return p.report(), nil
+}
+
+func (p *Processor) done() bool {
+	return p.ifu.Done() && p.robUsed == 0 && !p.lsu.Busy() && p.fp.Drained(p.now)
+}
+
+// retire removes up to two completed instructions from the reorder buffer
+// in program order.
+func (p *Processor) retire() {
+	for n := 0; n < 2 && p.robUsed > 0; n++ {
+		e := &p.rob[p.robHead]
+		if !e.valid || e.completeAt > p.now {
+			return
+		}
+		e.valid = false
+		p.robHead = (p.robHead + 1) % len(p.rob)
+		p.robUsed--
+	}
+}
+
+// issue attempts to issue up to IssueWidth instructions this cycle and
+// attributes the stall cause when nothing issues.
+func (p *Processor) issue() {
+	issued := 0
+	var first trace.Record
+	for issued < p.cfg.IssueWidth {
+		q := p.ifu.Queue()
+		if len(q) == 0 {
+			if issued == 0 && !p.ifu.Done() {
+				p.stalls[StallICache]++
+			}
+			break
+		}
+		fi := q[0]
+		if issued == 1 && !pairAllowed(first, fi) {
+			break
+		}
+		cause, ok := p.canIssue(fi.Rec)
+		if !ok {
+			if issued == 0 {
+				p.stalls[cause]++
+			}
+			break
+		}
+		p.doIssue(fi.Rec)
+		p.ifu.Consume(1)
+		p.instructions++
+		first = fi.Rec
+		issued++
+	}
+	if issued == 2 {
+		p.dualIssues++
+	}
+}
+
+// pairAllowed applies the dual-issue constraints of §2 (IFU): the pair must
+// be the two halves of an aligned pair, free of a true dependence (the DI
+// bit, pre-computed by the IFU at cache-fill time), with at most one
+// memory-access and one control-flow instruction.
+func pairAllowed(first trace.Record, second ipu.FetchedInstr) bool {
+	if first.PC%8 != 0 || second.Rec.PC != first.PC+4 {
+		return false
+	}
+	if second.DepOnPrev {
+		return false
+	}
+	if first.Class.IsMem() && second.Rec.Class.IsMem() {
+		return false
+	}
+	if first.Class.IsControl() && second.Rec.Class.IsControl() {
+		return false
+	}
+	return true
+}
+
+// canIssue checks every resource and operand the instruction needs,
+// returning the blocking cause when it cannot issue this cycle.
+func (p *Processor) canIssue(rec trace.Record) (StallCause, bool) {
+	// Operand readiness (integer scoreboard).
+	for _, s := range []uint8{rec.Deps.SrcInt[0], rec.Deps.SrcInt[1]} {
+		if s == 0 {
+			continue
+		}
+		if p.intReadyAt[s] > p.now {
+			switch {
+			case p.writerLoad[s]:
+				return StallLoad, false
+			case p.writerFP[s]:
+				return StallFPU, false
+			default:
+				return StallOther, false
+			}
+		}
+	}
+	// Decoupling reads: MFC1 and FP-condition branches wait on the FPU.
+	if rec.Deps.ReadsFCC && !p.fp.FCCReady(p.now) {
+		return StallFPU, false
+	}
+	if rec.In.Op == isa.OpMFC1 && !p.fp.RegReady(rec.In.Fs, false, p.now) {
+		return StallFPU, false
+	}
+	// FP store data readiness is *not* checked here: the store decouples
+	// through the FPU store queue and synchronises in the LSU.
+
+	if p.needsROB(rec) && p.robUsed >= len(p.rob) {
+		return StallROBFull, false
+	}
+	if rec.Class.IsMem() {
+		if !p.lsu.CanAccept() {
+			return StallLSUBusy, false
+		}
+		switch rec.Class {
+		case isa.ClassFPLoad:
+			if !p.fp.CanDispatchLoad() {
+				return StallFPU, false
+			}
+		case isa.ClassFPStore:
+			if !p.fp.CanDispatchStore() {
+				return StallFPU, false
+			}
+		}
+	}
+	if isFPQueueClass(rec.Class) && !p.fp.CanDispatchInstr() {
+		return StallFPU, false
+	}
+	return 0, true
+}
+
+// isFPQueueClass reports whether the instruction is transferred to the FPU
+// instruction queue (arithmetic, conversions, compares).
+func isFPQueueClass(c isa.Class) bool {
+	switch c {
+	case isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv, isa.ClassFPCvt:
+		return true
+	}
+	return false
+}
+
+// needsROB reports whether the instruction occupies an IPU reorder-buffer
+// entry. FP arithmetic lives in the FPU's own reorder buffer instead.
+func (p *Processor) needsROB(rec trace.Record) bool {
+	return !isFPQueueClass(rec.Class)
+}
+
+// allocROB reserves a reorder-buffer slot, returning its index.
+func (p *Processor) allocROB(completeAt uint64) int {
+	if p.robUsed >= len(p.rob) {
+		panic("core: ROB overflow — canIssue checks missed")
+	}
+	slot := (p.robHead + p.robUsed) % len(p.rob)
+	p.rob[slot] = robEntry{completeAt: completeAt, valid: true}
+	p.robUsed++
+	return slot
+}
+
+// setIntDest schedules the integer scoreboard write and returns the new
+// writer generation (used by load completions to detect WAW overwrites).
+func (p *Processor) setIntDest(reg uint8, at uint64, fromLoad, fromFP bool) uint64 {
+	if reg == 0 {
+		return 0
+	}
+	p.intReadyAt[reg] = at
+	p.writerLoad[reg] = fromLoad
+	p.writerFP[reg] = fromFP
+	p.writerGen[reg]++
+	return p.writerGen[reg]
+}
+
+// doIssue commits the issue of rec at the current cycle.
+func (p *Processor) doIssue(rec trace.Record) {
+	now := p.now
+	switch rec.Class {
+	case isa.ClassNop, isa.ClassSystem:
+		p.allocROB(now + 1)
+
+	case isa.ClassIntALU:
+		p.allocROB(now + 1)
+		p.setIntDest(rec.Deps.DstInt, now+1, false, false)
+
+	case isa.ClassIntMulDiv:
+		lat := uint64(1) // HI/LO moves
+		switch rec.In.Op {
+		case isa.OpMULT, isa.OpMULTU:
+			lat = uint64(p.cfg.IntMulLatency)
+		case isa.OpDIV, isa.OpDIVU:
+			lat = uint64(p.cfg.IntDivLatency)
+		}
+		p.allocROB(now + lat)
+		p.setIntDest(rec.Deps.DstInt, now+lat, false, false)
+
+	case isa.ClassBranch:
+		p.allocROB(now + 1)
+
+	case isa.ClassJump:
+		p.allocROB(now + 1)
+		p.setIntDest(rec.Deps.DstInt, now+1, false, false)
+
+	case isa.ClassLoad:
+		idx := p.allocROB(farFuture)
+		dst := rec.Deps.DstInt
+		gen := p.setIntDest(dst, farFuture, true, false)
+		p.lsu.Dispatch(&ipu.MemOp{
+			Addr:    rec.MemAddr,
+			IntDest: dst,
+			OnData: func(t uint64) {
+				p.rob[idx].completeAt = t
+				if dst != 0 && p.writerGen[dst] == gen {
+					p.intReadyAt[dst] = t
+				}
+			},
+		}, now)
+
+	case isa.ClassStore:
+		idx := p.allocROB(farFuture)
+		p.lsu.Dispatch(&ipu.MemOp{
+			Addr:  rec.MemAddr,
+			Store: true,
+			OnData: func(t uint64) {
+				p.rob[idx].completeAt = t
+			},
+		}, now)
+
+	case isa.ClassFPLoad:
+		idx := p.allocROB(farFuture)
+		reg, dbl := rec.In.Ft, rec.FPDouble
+		seq := p.fp.DispatchLoad(reg, dbl)
+		p.lsu.Dispatch(&ipu.MemOp{
+			Addr: rec.MemAddr,
+			FP:   true, FPDouble: dbl, FPReg: reg,
+			OnData: func(t uint64) {
+				p.fp.LoadArrived(seq, t)
+				p.rob[idx].completeAt = t
+			},
+		}, now)
+
+	case isa.ClassFPStore:
+		idx := p.allocROB(farFuture)
+		// The store's data token: the last FP write to the source register
+		// at dispatch time. The write cache accepts the store immediately;
+		// the FPU store queue holds a slot until the data is produced.
+		p.fp.DispatchStore(p.fp.CaptureWriter(rec.In.Ft, rec.FPDouble))
+		p.lsu.Dispatch(&ipu.MemOp{
+			Addr:  rec.MemAddr,
+			Store: true, FP: true, FPDouble: rec.FPDouble, FPReg: rec.In.Ft,
+			OnData: func(t uint64) {
+				p.rob[idx].completeAt = t
+			},
+		}, now)
+
+	case isa.ClassFPMove:
+		if rec.In.Op == isa.OpMFC1 {
+			// Data crosses from the FPU chip: available next cycle,
+			// visible to dependents the cycle after.
+			p.allocROB(now + 2)
+			p.setIntDest(rec.Deps.DstInt, now+2, false, true)
+		} else { // MTC1
+			p.allocROB(now + 1)
+			p.fp.WriteFromIPU(rec.In.Fs, now+1)
+		}
+
+	case isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv, isa.ClassFPCvt:
+		p.fp.DispatchInstr(rec, now)
+	}
+}
+
+// report assembles the final statistics.
+func (p *Processor) report() *Report {
+	ic := p.ifu.ICache()
+	dc := p.lsu.DCache()
+	wc := p.lsu.WriteCache()
+	r := &Report{
+		Config:       p.cfg,
+		Instructions: p.instructions,
+		Cycles:       p.now,
+		DualIssues:   p.dualIssues,
+		Stalls:       p.stalls,
+
+		ICacheAccesses: ic.Accesses(),
+		ICacheMisses:   ic.Misses(),
+		DCacheAccesses: dc.Accesses(),
+		DCacheMisses:   dc.Misses(),
+
+		IPrefetchProbes: p.ifu.Stats().IPrefetchProbes,
+		IPrefetchHits:   p.ifu.Stats().IPrefetchHits,
+		DPrefetchProbes: p.lsu.Stats().DPrefetchProbes,
+		DPrefetchHits:   p.lsu.Stats().DPrefetchHits,
+
+		WCAccesses:       wc.Accesses(),
+		WCHits:           wc.Hits(),
+		WCStores:         wc.Stores(),
+		WCTransactions:   wc.Transactions(),
+		WCPageMatches:    wc.PageMatches(),
+		WCPageMissChecks: wc.PageMissChecks(),
+
+		MSHRUtilisation: p.lsu.MSHR().Utilisation(p.now),
+
+		VictimProbes: p.lsu.Victim().Probes(),
+		VictimHits:   p.lsu.Victim().Hits(),
+
+		DelaySlotCrossings: p.ifu.Stats().DelaySlotCrossings,
+
+		BIU: p.biu.Stats(),
+		FPU: p.fp.Stats(),
+		MMU: p.mmu.Stats(),
+	}
+	return r
+}

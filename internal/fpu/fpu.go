@@ -1,0 +1,570 @@
+// Package fpu models the Aurora III floating-point unit (paper §3): a
+// decoupled coprocessor fed through an instruction queue, with load and
+// store data queues, a 32×64 register file with scoreboard, a reorder
+// buffer, two result buses, and four functional units (add, multiply,
+// divide, convert) of configurable latency and pipelining.
+//
+// The decoupling is the point: the IPU deposits FP instructions in the
+// queue and keeps running; it stalls only when a queue fills or when it
+// reads an FPU result (MFC1, or a branch on the FP condition flag).
+package fpu
+
+import (
+	"aurora/internal/isa"
+	"aurora/internal/trace"
+)
+
+// IssuePolicy selects one of the paper's §5.8 issue policies.
+type IssuePolicy int
+
+// Issue policies.
+const (
+	// InOrderComplete: in-order issue, in-order completion — at most one
+	// instruction active in the functional units at a time.
+	InOrderComplete IssuePolicy = iota
+	// OutOfOrderSingle: in-order single issue, out-of-order completion.
+	OutOfOrderSingle
+	// OutOfOrderDual: in-order dual issue, out-of-order completion.
+	OutOfOrderDual
+)
+
+func (p IssuePolicy) String() string {
+	switch p {
+	case InOrderComplete:
+		return "in-order/in-order"
+	case OutOfOrderSingle:
+		return "in-order/OOO single"
+	case OutOfOrderDual:
+		return "in-order/OOO dual"
+	}
+	return "unknown-policy"
+}
+
+// Unit identifies a functional unit.
+type Unit int
+
+// Functional units.
+const (
+	UnitAdd Unit = iota // add/sub/abs/neg/mov/compare
+	UnitMul
+	UnitDiv // divide and square root
+	UnitCvt
+	unitCount
+)
+
+// Config parameterises the FPU.
+type Config struct {
+	Policy IssuePolicy
+
+	InstrQueue int // instruction queue entries (§5.9: 3 single / 5 dual)
+	LoadQueue  int // load data queue entries (§5.9: 2)
+	StoreQueue int // store data queue entries
+
+	ReorderBuffer int // §5.9: 6
+
+	AddLatency, MulLatency, DivLatency, CvtLatency         int
+	AddPipelined, MulPipelined, DivPipelined, CvtPipelined bool
+
+	ResultBuses int // 2 in the implemented design
+
+	// Precise selects the §3.1 precise-exception mode: an instruction is
+	// transferred to the FPU only when no other FP instruction is in
+	// flight, so any FP exception is precise at the transfer boundary.
+	// The default (false) is the paper's "higher performance mode".
+	Precise bool
+}
+
+// DefaultConfig returns the §5.11 recommended FPU.
+func DefaultConfig() Config {
+	return Config{
+		Policy:        OutOfOrderDual,
+		InstrQueue:    5,
+		LoadQueue:     2,
+		StoreQueue:    2,
+		ReorderBuffer: 6,
+		AddLatency:    3, AddPipelined: true,
+		MulLatency: 5, MulPipelined: false, // iterative (§3.1)
+		DivLatency: 19, DivPipelined: false,
+		CvtLatency: 2, CvtPipelined: true,
+		ResultBuses: 2,
+	}
+}
+
+// Normalize fills zero fields with the defaults.
+func (c Config) Normalize() Config {
+	d := DefaultConfig()
+	if c.InstrQueue <= 0 {
+		c.InstrQueue = d.InstrQueue
+	}
+	if c.LoadQueue <= 0 {
+		c.LoadQueue = d.LoadQueue
+	}
+	if c.StoreQueue <= 0 {
+		c.StoreQueue = d.StoreQueue
+	}
+	if c.ReorderBuffer <= 0 {
+		c.ReorderBuffer = d.ReorderBuffer
+	}
+	if c.AddLatency <= 0 {
+		c.AddLatency = d.AddLatency
+	}
+	if c.MulLatency <= 0 {
+		c.MulLatency = d.MulLatency
+	}
+	if c.DivLatency <= 0 {
+		c.DivLatency = d.DivLatency
+	}
+	if c.CvtLatency <= 0 {
+		c.CvtLatency = d.CvtLatency
+	}
+	if c.ResultBuses <= 0 {
+		c.ResultBuses = d.ResultBuses
+	}
+	return c
+}
+
+// Stats counts FPU activity.
+type Stats struct {
+	Dispatched   uint64 // instructions entering the queue
+	Issued       uint64
+	DualIssues   uint64 // cycles both queue slots issued
+	Retired      uint64
+	ROBFullStall uint64 // issue blocked on ROB space
+	UnitBusy     uint64 // issue blocked on a busy functional unit
+	BusConflict  uint64 // issue blocked on result-bus availability
+	SrcNotReady  uint64 // issue blocked on operands
+	QueueEmpty   uint64 // no instruction available to issue
+	LoadsWritten uint64
+	OccupancySum uint64 // instruction-queue occupancy integral
+	Cycles       uint64
+}
+
+type queued struct {
+	rec    trace.Record
+	srcSeq [2]uint64 // writer sequence each source waits on (0 = none)
+	dstSeq uint64    // this instruction's own write sequence (0 = none)
+	fccSeq uint64    // compare instructions: FCC write sequence
+}
+
+// seqWindow bounds the completion ring. The live sequence span is tiny
+// (instruction queue + load/store queues + a handful of in-flight reads),
+// so 1024 gives an enormous safety margin.
+const seqWindow = 1024
+
+type robEntry struct {
+	completeAt uint64
+	valid      bool
+}
+
+// FPU is the decoupled floating-point unit.
+type FPU struct {
+	cfg   Config
+	stats Stats
+
+	iq     []queued // instruction queue, index 0 = head
+	loadQ  int      // load-queue slots in use
+	storeQ []uint64 // store-queue: writer seq awaited by each pending store
+
+	rob     []robEntry // ring: robHead = oldest
+	robHead int
+	robUsed int
+
+	// Writer-sequence scoreboard: every write to the FP register file
+	// (queued instruction, load arrival, MTC1) gets a sequence number.
+	// Readers capture the source's last writer at dispatch and wait for
+	// exactly that write — younger writers never block older readers.
+	seqCtr     uint64
+	lastWriter [33]uint64 // per register; index 32 = FCC
+	slotSeq    [seqWindow]uint64
+	slotDoneAt [seqWindow]uint64
+
+	unitBusyUntil [unitCount]uint64
+	unitLastIssue [unitCount]uint64
+
+	busUse map[uint64]int
+
+	// InOrderComplete policy: the single active instruction finishes at
+	// activeUntil.
+	activeUntil uint64
+
+	lastIssued trace.Record // first-slot instruction of the current cycle
+}
+
+// New creates an FPU.
+func New(cfg Config) *FPU {
+	cfg = cfg.Normalize()
+	return &FPU{
+		cfg:    cfg,
+		rob:    make([]robEntry, cfg.ReorderBuffer),
+		busUse: make(map[uint64]int),
+	}
+}
+
+// Config returns the active configuration.
+func (f *FPU) Config() Config { return f.cfg }
+
+// Stats returns the accumulated statistics.
+func (f *FPU) Stats() Stats { return f.stats }
+
+// unitOf maps an instruction class to its functional unit.
+func unitOf(c isa.Class) Unit {
+	switch c {
+	case isa.ClassFPMul:
+		return UnitMul
+	case isa.ClassFPDiv:
+		return UnitDiv
+	case isa.ClassFPCvt:
+		return UnitCvt
+	}
+	return UnitAdd
+}
+
+func (f *FPU) latencyOf(u Unit) int {
+	switch u {
+	case UnitMul:
+		return f.cfg.MulLatency
+	case UnitDiv:
+		return f.cfg.DivLatency
+	case UnitCvt:
+		return f.cfg.CvtLatency
+	}
+	return f.cfg.AddLatency
+}
+
+func (f *FPU) pipelined(u Unit) bool {
+	switch u {
+	case UnitMul:
+		return f.cfg.MulPipelined
+	case UnitDiv:
+		return f.cfg.DivPipelined
+	case UnitCvt:
+		return f.cfg.CvtPipelined
+	}
+	return f.cfg.AddPipelined
+}
+
+// --- register scoreboard -------------------------------------------------
+
+const fccIndex = 32
+
+func (f *FPU) regs(reg uint8, double bool) []uint8 {
+	if reg == isa.NoFPReg {
+		return nil
+	}
+	if double {
+		e := reg & 0x1e
+		return []uint8{e, e + 1}
+	}
+	return []uint8{reg & 31}
+}
+
+// markWriter assigns a new write sequence covering the register (pair).
+func (f *FPU) markWriter(reg uint8, double bool) uint64 {
+	rs := f.regs(reg, double)
+	if len(rs) == 0 {
+		return 0
+	}
+	f.seqCtr++
+	for _, r := range rs {
+		f.lastWriter[r] = f.seqCtr
+	}
+	return f.seqCtr
+}
+
+func (f *FPU) markFCCWriter() uint64 {
+	f.seqCtr++
+	f.lastWriter[fccIndex] = f.seqCtr
+	return f.seqCtr
+}
+
+// capture returns the sequence a reader of the register (pair) must wait on.
+func (f *FPU) capture(reg uint8, double bool) uint64 {
+	var max uint64
+	for _, r := range f.regs(reg, double) {
+		if f.lastWriter[r] > max {
+			max = f.lastWriter[r]
+		}
+	}
+	return max
+}
+
+// scheduleSeq records that write seq completes at cycle at.
+func (f *FPU) scheduleSeq(seq, at uint64) {
+	if seq == 0 {
+		return
+	}
+	i := seq % seqWindow
+	f.slotSeq[i] = seq
+	f.slotDoneAt[i] = at
+}
+
+// seqDone reports whether write seq has completed by cycle now.
+func (f *FPU) seqDone(seq, now uint64) bool {
+	if seq == 0 {
+		return true
+	}
+	i := seq % seqWindow
+	switch {
+	case f.slotSeq[i] == seq:
+		return f.slotDoneAt[i] <= now
+	case f.slotSeq[i] > seq:
+		return true // ancient write, long since completed
+	default:
+		return false // not yet scheduled
+	}
+}
+
+// CaptureWriter returns a token for the last writer of the register (pair);
+// pass it to SeqDone to poll for the data (FP store synchronisation).
+func (f *FPU) CaptureWriter(reg uint8, double bool) uint64 {
+	return f.capture(reg, double)
+}
+
+// SeqDone polls a CaptureWriter token.
+func (f *FPU) SeqDone(seq, now uint64) bool { return f.seqDone(seq, now) }
+
+// RegReady reports whether an FP register's value is available at cycle now.
+// Valid for in-order readers (MFC1 blocks the IPU, so no younger FP write
+// can slip in while it polls); decoupled readers must capture a token.
+func (f *FPU) RegReady(reg uint8, double bool, now uint64) bool {
+	return f.seqDone(f.capture(reg, double), now)
+}
+
+// FCCReady reports whether the FP condition flag is resolved at cycle now
+// (polled by the IPU before issuing BC1T/BC1F — also an in-order reader).
+func (f *FPU) FCCReady(now uint64) bool {
+	return f.seqDone(f.lastWriter[fccIndex], now)
+}
+
+// --- IPU-facing dispatch interface ---------------------------------------
+
+// CanDispatchInstr reports whether the instruction queue has a free entry.
+// In precise-exception mode (§3.1), dispatch also requires the FPU to be
+// empty: no queued or executing FP instruction may be overtaken by one
+// that could fault.
+func (f *FPU) CanDispatchInstr() bool {
+	if f.cfg.Precise && (len(f.iq) > 0 || f.robUsed > 0) {
+		return false
+	}
+	return len(f.iq) < f.cfg.InstrQueue
+}
+
+// DispatchInstr deposits an FP arithmetic/convert/compare instruction into
+// the queue. The caller must have checked CanDispatchInstr. Source writer
+// sequences are captured here, at dispatch, so only older writes can block
+// the instruction's eventual issue.
+func (f *FPU) DispatchInstr(rec trace.Record, now uint64) {
+	if !f.CanDispatchInstr() {
+		panic("fpu: dispatch to full instruction queue")
+	}
+	srcDouble := rec.FPDouble
+	switch rec.In.Op {
+	case isa.OpCVTS, isa.OpCVTD, isa.OpCVTW:
+		srcDouble = rec.In.CvtSrc == isa.CvtFromD
+	}
+	q := queued{rec: rec}
+	q.srcSeq[0] = f.capture(rec.Deps.SrcFP[0], srcDouble)
+	q.srcSeq[1] = f.capture(rec.Deps.SrcFP[1], srcDouble)
+	if rec.Deps.DstFP != isa.NoFPReg {
+		q.dstSeq = f.markWriter(rec.Deps.DstFP, rec.FPDouble)
+	}
+	if rec.Deps.WritesFCC {
+		q.fccSeq = f.markFCCWriter()
+	}
+	f.iq = append(f.iq, q)
+	f.stats.Dispatched++
+}
+
+// CanDispatchLoad reports whether the load data queue has a free slot.
+func (f *FPU) CanDispatchLoad() bool { return f.loadQ < f.cfg.LoadQueue }
+
+// DispatchLoad reserves a load-queue slot for an FP load issued to the LSU
+// and returns the load's write sequence; the destination register becomes
+// unavailable until LoadArrived is called with that sequence.
+func (f *FPU) DispatchLoad(reg uint8, double bool) uint64 {
+	if !f.CanDispatchLoad() {
+		panic("fpu: dispatch to full load queue")
+	}
+	f.loadQ++
+	return f.markWriter(reg, double)
+}
+
+// LoadArrived delivers FP load data: the register file write completes the
+// next cycle and the queue slot frees.
+func (f *FPU) LoadArrived(seq uint64, now uint64) {
+	if f.loadQ == 0 {
+		panic("fpu: load arrival without reservation")
+	}
+	f.loadQ--
+	f.scheduleSeq(seq, now+1)
+	f.stats.LoadsWritten++
+}
+
+// CanDispatchStore reports whether the store data queue has a free slot.
+func (f *FPU) CanDispatchStore() bool { return len(f.storeQ) < f.cfg.StoreQueue }
+
+// DispatchStore reserves a store-queue slot for an FP store. The paper's
+// write cache holds the store's line until the FPU delivers the data
+// (§2.3 "Floating Point Support"); the slot frees once the writer sequence
+// completes (in Tick), modelling that synchronisation. seq is the token
+// from CaptureWriter at dispatch.
+func (f *FPU) DispatchStore(seq uint64) {
+	if !f.CanDispatchStore() {
+		panic("fpu: dispatch to full store queue")
+	}
+	f.storeQ = append(f.storeQ, seq)
+}
+
+// WriteFromIPU schedules an MTC1 register write (data crosses from the IPU;
+// one cycle of transfer after the move executes).
+func (f *FPU) WriteFromIPU(reg uint8, now uint64) {
+	seq := f.markWriter(reg, false)
+	f.scheduleSeq(seq, now+1)
+}
+
+// --- per-cycle engine -----------------------------------------------------
+
+// Tick advances the FPU by one cycle: retire, then issue.
+func (f *FPU) Tick(now uint64) {
+	f.stats.Cycles++
+	f.stats.OccupancySum += uint64(len(f.iq))
+
+	// Drain the store queue in order: a slot frees once its data is
+	// produced and handed to the write cache (one per cycle).
+	if len(f.storeQ) > 0 && f.seqDone(f.storeQ[0], now) {
+		f.storeQ = f.storeQ[1:]
+	}
+
+	// Retire up to two completed instructions in order.
+	for retired := 0; retired < 2 && f.robUsed > 0; retired++ {
+		e := &f.rob[f.robHead]
+		if !e.valid || e.completeAt > now {
+			break
+		}
+		e.valid = false
+		f.robHead = (f.robHead + 1) % len(f.rob)
+		f.robUsed--
+		f.stats.Retired++
+	}
+
+	if len(f.iq) == 0 {
+		f.stats.QueueEmpty++
+		return
+	}
+
+	switch f.cfg.Policy {
+	case InOrderComplete:
+		f.tickInOrder(now)
+	case OutOfOrderSingle:
+		f.issueHead(now, nil)
+	case OutOfOrderDual:
+		if f.issueHead(now, nil) && len(f.iq) > 0 {
+			first := f.lastIssued
+			if f.issueHead(now, &first) {
+				f.stats.DualIssues++
+			}
+		}
+	}
+	delete(f.busUse, now) // garbage-collect past reservations
+}
+
+// tickInOrder issues the head only when nothing is active, and completion
+// is strictly in order (one instruction at a time in the units).
+func (f *FPU) tickInOrder(now uint64) {
+	if f.activeUntil > now {
+		f.stats.UnitBusy++
+		return
+	}
+	if f.robUsed >= len(f.rob) {
+		f.stats.ROBFullStall++
+		return
+	}
+	head := f.iq[0]
+	if !f.sourcesReady(head, now) {
+		f.stats.SrcNotReady++
+		return
+	}
+	lat := f.latencyOf(unitOf(head.rec.Class))
+	f.complete(head, now+uint64(lat))
+	f.activeUntil = now + uint64(lat)
+	f.iq = f.iq[1:]
+	f.stats.Issued++
+}
+
+// issueHead attempts to issue the current queue head. For the second slot
+// of a dual-issue cycle, prev is the instruction issued in the first slot:
+// the pair must be independent (§5.8 lists data dependencies among the
+// dual-issue constraints). Returns whether the head issued.
+func (f *FPU) issueHead(now uint64, prev *trace.Record) bool {
+	if len(f.iq) == 0 {
+		return false
+	}
+	head := f.iq[0]
+	rec := head.rec
+	if prev != nil && rec.Deps.DependsOn(prev.Deps) {
+		return false
+	}
+	if f.robUsed >= len(f.rob) {
+		f.stats.ROBFullStall++
+		return false
+	}
+	if !f.sourcesReady(head, now) {
+		f.stats.SrcNotReady++
+		return false
+	}
+	u := unitOf(rec.Class)
+	if f.pipelined(u) {
+		if f.unitLastIssue[u] == now {
+			f.stats.UnitBusy++
+			return false
+		}
+	} else if f.unitBusyUntil[u] > now {
+		f.stats.UnitBusy++
+		return false
+	}
+	lat := uint64(f.latencyOf(u))
+	doneAt := now + lat
+	if f.busUse[doneAt] >= f.cfg.ResultBuses {
+		f.stats.BusConflict++
+		return false
+	}
+
+	// Commit the issue.
+	f.busUse[doneAt]++
+	f.unitLastIssue[u] = now
+	if !f.pipelined(u) {
+		f.unitBusyUntil[u] = doneAt
+	}
+	f.complete(head, doneAt)
+	f.iq = f.iq[1:]
+	f.lastIssued = rec
+	f.stats.Issued++
+	return true
+}
+
+func (f *FPU) sourcesReady(q queued, now uint64) bool {
+	return f.seqDone(q.srcSeq[0], now) && f.seqDone(q.srcSeq[1], now)
+}
+
+// complete allocates the ROB entry and schedules the result write.
+func (f *FPU) complete(q queued, doneAt uint64) {
+	if f.robUsed >= len(f.rob) {
+		panic("fpu: ROB overflow — issue checks missed")
+	}
+	slot := (f.robHead + f.robUsed) % len(f.rob)
+	f.rob[slot] = robEntry{completeAt: doneAt, valid: true}
+	f.robUsed++
+	f.scheduleSeq(q.dstSeq, doneAt)
+	f.scheduleSeq(q.fccSeq, doneAt)
+}
+
+// Drained reports whether the FPU has no queued or in-flight work at now.
+func (f *FPU) Drained(now uint64) bool {
+	if len(f.iq) != 0 || f.robUsed != 0 || f.loadQ != 0 || len(f.storeQ) != 0 {
+		return false
+	}
+	return f.activeUntil <= now
+}
+
+// QueueLen returns the instruction-queue occupancy (for tests).
+func (f *FPU) QueueLen() int { return len(f.iq) }

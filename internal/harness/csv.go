@@ -1,0 +1,228 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"aurora/internal/core"
+)
+
+// CSV export: every experiment can emit machine-readable rows for plotting.
+// Each writer emits a header row followed by data rows.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f3(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// Fig4CSV emits the cost/performance points.
+func Fig4CSV(w io.Writer, pts []Fig4Point) error {
+	rows := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		rows = append(rows, []string{
+			p.Model, strconv.Itoa(p.Issue), strconv.Itoa(p.Latency),
+			strconv.Itoa(p.CostRBE), f3(p.MinCPI), f3(p.AvgCPI), f3(p.MaxCPI),
+		})
+	}
+	return writeCSV(w, []string{"model", "issue", "latency", "cost_rbe",
+		"min_cpi", "avg_cpi", "max_cpi"}, rows)
+}
+
+// RateTableCSV emits a hit-rate table (Tables 3, 4, 5).
+func RateTableCSV(w io.Writer, t *RateTable) error {
+	header := append([]string{"model"}, t.Benches...)
+	rows := make([][]string, 0, len(t.Models))
+	for i, m := range t.Models {
+		row := []string{m}
+		for _, v := range t.Rows[i] {
+			row = append(row, f3(v))
+		}
+		rows = append(rows, row)
+	}
+	return writeCSV(w, header, rows)
+}
+
+// Fig5CSV emits the prefetch ablation.
+func Fig5CSV(w io.Writer, pts []Fig5Point) error {
+	rows := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		rows = append(rows, []string{
+			p.Model, strconv.Itoa(p.Latency), strconv.Itoa(p.CostRBE),
+			f3(p.WithPF), f3(p.WithoutPF), f3(p.Improvement),
+		})
+	}
+	return writeCSV(w, []string{"model", "latency", "cost_rbe",
+		"with_prefetch_cpi", "without_prefetch_cpi", "improvement"}, rows)
+}
+
+// Fig6CSV emits the stall breakdown.
+func Fig6CSV(w io.Writer, rows6 []Fig6Row) error {
+	header := []string{"model", "base_cpi"}
+	for c := core.StallCause(0); c < core.NumStallCauses; c++ {
+		header = append(header, fmt.Sprintf("stall_%s", c))
+	}
+	header = append(header, "total_cpi")
+	rows := make([][]string, 0, len(rows6))
+	for _, r := range rows6 {
+		row := []string{r.Model, f3(r.BaseCPI)}
+		for _, s := range r.Stalls {
+			row = append(row, f3(s))
+		}
+		row = append(row, f3(r.TotalCPI))
+		rows = append(rows, row)
+	}
+	return writeCSV(w, header, rows)
+}
+
+// Fig7CSV emits the MSHR sweep.
+func Fig7CSV(w io.Writer, pts []Fig7Point) error {
+	rows := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		rows = append(rows, []string{
+			p.Model, strconv.Itoa(p.MSHRs), strconv.Itoa(p.CostRBE),
+			f3(p.AvgCPI), strconv.FormatBool(p.IsBase),
+		})
+	}
+	return writeCSV(w, []string{"model", "mshrs", "cost_rbe", "avg_cpi", "table1"}, rows)
+}
+
+// Fig8CSV emits the design-space scatter.
+func Fig8CSV(w io.Writer, pts []Fig8Point) error {
+	rows := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		rows = append(rows, []string{
+			p.Label, strconv.Itoa(p.Issue), strconv.Itoa(p.ICacheK),
+			strconv.Itoa(p.WCLines), strconv.Itoa(p.ROB), strconv.Itoa(p.MSHRs),
+			strconv.Itoa(p.PFBufs), strconv.Itoa(p.CostRBE), f3(p.CPI),
+		})
+	}
+	return writeCSV(w, []string{"label", "issue", "icache_kb", "wc_lines",
+		"rob", "mshrs", "pf_buffers", "cost_rbe", "cpi"}, rows)
+}
+
+// Table6CSV emits the policy comparison.
+func Table6CSV(w io.Writer, rows6 []Table6Row) error {
+	rows := make([][]string, 0, len(rows6))
+	for _, r := range rows6 {
+		rows = append(rows, []string{r.Bench, f3(r.InOrder), f3(r.Single), f3(r.Dual)})
+	}
+	return writeCSV(w, []string{"benchmark", "in_order_cpi", "ooo_single_cpi", "ooo_dual_cpi"}, rows)
+}
+
+// SweepCSV emits a Figure 9 panel.
+func SweepCSV(w io.Writer, xlabel string, pts []SweepPoint) error {
+	rows := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		rows = append(rows, []string{
+			strconv.Itoa(p.X), f3(p.AvgCPI), strconv.Itoa(p.CostRBE),
+		})
+	}
+	return writeCSV(w, []string{xlabel, "avg_cpi", "cost_rbe"}, rows)
+}
+
+// ExportCSV runs the core experiments and writes one CSV per artifact via
+// the open function (typically wrapping os.Create on "<dir>/<name>.csv").
+func ExportCSV(open func(name string) (io.WriteCloser, error), opts Options) error {
+	emit := func(name string, gen func(io.Writer) error) error {
+		f, err := open(name)
+		if err != nil {
+			return err
+		}
+		if err := gen(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	f4, err := Fig4(opts)
+	if err != nil {
+		return err
+	}
+	if err := emit("fig4_issue_width", func(w io.Writer) error { return Fig4CSV(w, f4) }); err != nil {
+		return err
+	}
+	for name, gen := range map[string]func(Options) (*RateTable, error){
+		"table3_iprefetch": Table3, "table4_dprefetch": Table4, "table5_writecache": Table5,
+	} {
+		t, err := gen(opts)
+		if err != nil {
+			return err
+		}
+		if err := emit(name, func(w io.Writer) error { return RateTableCSV(w, t) }); err != nil {
+			return err
+		}
+	}
+	f5, err := Fig5(opts)
+	if err != nil {
+		return err
+	}
+	if err := emit("fig5_prefetch_removal", func(w io.Writer) error { return Fig5CSV(w, f5) }); err != nil {
+		return err
+	}
+	f6, err := Fig6(opts)
+	if err != nil {
+		return err
+	}
+	if err := emit("fig6_stalls", func(w io.Writer) error { return Fig6CSV(w, f6) }); err != nil {
+		return err
+	}
+	f7, err := Fig7(opts)
+	if err != nil {
+		return err
+	}
+	if err := emit("fig7_mshr", func(w io.Writer) error { return Fig7CSV(w, f7) }); err != nil {
+		return err
+	}
+	f8, err := Fig8(opts)
+	if err != nil {
+		return err
+	}
+	if err := emit("fig8_costperf", func(w io.Writer) error { return Fig8CSV(w, f8) }); err != nil {
+		return err
+	}
+	t6, err := Table6(opts)
+	if err != nil {
+		return err
+	}
+	if err := emit("table6_fpu_policy", func(w io.Writer) error { return Table6CSV(w, t6) }); err != nil {
+		return err
+	}
+	iq, lq, rob, err := Fig9Queues(opts)
+	if err != nil {
+		return err
+	}
+	for name, pts := range map[string][]SweepPoint{
+		"fig9a_instr_queue": iq, "fig9b_load_queue": lq, "fig9c_reorder_buffer": rob,
+	} {
+		if err := emit(name, func(w io.Writer) error { return SweepCSV(w, "entries", pts) }); err != nil {
+			return err
+		}
+	}
+	lat, err := Fig9Latencies(opts)
+	if err != nil {
+		return err
+	}
+	for name, pts := range map[string][]SweepPoint{
+		"fig9d_add_latency": lat.Add, "fig9e_mul_latency": lat.Mul,
+		"fig9f_div_latency": lat.Div, "fig9g_cvt_latency": lat.Cvt,
+	} {
+		if err := emit(name, func(w io.Writer) error { return SweepCSV(w, "cycles", pts) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,564 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"aurora/internal/core"
+	"aurora/internal/fpu"
+	"aurora/internal/workloads"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 1 — ISSCC single-chip microprocessor clock frequencies, 1983-1994,
+// and the ~40%/year growth trend the paper's introduction argues from.
+
+// ClockPoint is one ISSCC data point (year, fastest reported clock in MHz).
+type ClockPoint struct {
+	Year int
+	MHz  float64
+}
+
+// Fig1Data is a representative reconstruction of the ISSCC frequency data
+// behind Figure 1 (fastest and slowest single-chip CPUs per conference).
+var Fig1Data = []ClockPoint{
+	{1984, 12}, {1985, 16}, {1986, 20}, {1987, 27}, {1988, 36},
+	{1989, 50}, {1990, 66}, {1991, 90}, {1992, 150}, {1993, 200},
+	{1994, 300},
+}
+
+// Fig1Result carries the fitted exponential growth rate.
+type Fig1Result struct {
+	Points        []ClockPoint
+	GrowthRate    float64 // fractional increase per year (paper: ~0.40)
+	DoublingYears float64
+}
+
+// Fig1 fits the clock-frequency trend (least squares on log frequency).
+func Fig1() Fig1Result {
+	n := float64(len(Fig1Data))
+	var sx, sy, sxx, sxy float64
+	for _, p := range Fig1Data {
+		x := float64(p.Year - 1984)
+		y := math.Log(p.MHz)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	rate := math.Exp(slope) - 1
+	return Fig1Result{
+		Points:        Fig1Data,
+		GrowthRate:    rate,
+		DoublingYears: math.Log(2) / slope,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 — CPI vs cost for single and dual issue at 17- and 35-cycle
+// secondary latency: the paper's 12 headline configurations.
+
+// Fig4Point is one configuration's position on the cost/performance plane.
+type Fig4Point struct {
+	Model    string
+	Issue    int
+	Latency  int
+	CostRBE  int
+	MinCPI   float64
+	MaxCPI   float64
+	AvgCPI   float64
+	PerBench []BenchCPI
+}
+
+// Fig4 runs the 12 configurations over the integer suite.
+func Fig4(opts Options) ([]Fig4Point, error) {
+	var out []Fig4Point
+	for _, latency := range []int{17, 35} {
+		for _, issue := range []int{1, 2} {
+			for _, model := range core.Models() {
+				cfg := model.WithLatency(latency).WithIssueWidth(issue)
+				cost, err := cfg.CostRBE()
+				if err != nil {
+					return nil, err
+				}
+				per, min, max, avg, err := suiteCPI(cfg, workloads.Integer(), opts)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Fig4Point{
+					Model: model.Name, Issue: issue, Latency: latency,
+					CostRBE: cost, MinCPI: min, MaxCPI: max, AvgCPI: avg,
+					PerBench: per,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Tables 3, 4, 5 — per-benchmark prefetch and write-cache hit rates for the
+// three models (dual issue, 17-cycle latency, as in the paper's base runs).
+
+// RateTable holds a models × benchmarks percentage table.
+type RateTable struct {
+	Name    string
+	Benches []string
+	Models  []string
+	// Rows[model][bench] in percent.
+	Rows [][]float64
+}
+
+func rateTable(name string, opts Options, metric func(*core.Report) float64) (*RateTable, error) {
+	suite := workloads.Integer()
+	t := &RateTable{Name: name}
+	for _, w := range suite {
+		t.Benches = append(t.Benches, w.Name)
+	}
+	for _, model := range core.Models() {
+		t.Models = append(t.Models, model.Name)
+		row := make([]float64, 0, len(suite))
+		for _, w := range suite {
+			rep, err := run(model, w, opts)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, 100*metric(rep))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table3 regenerates the integer instruction-stream prefetch hit rates.
+func Table3(opts Options) (*RateTable, error) {
+	return rateTable("Table 3: Integer I Prefetch Hit Rate %", opts,
+		(*core.Report).IPrefetchHitRate)
+}
+
+// Table4 regenerates the integer data-stream prefetch hit rates.
+func Table4(opts Options) (*RateTable, error) {
+	return rateTable("Table 4: Integer D Prefetch Hit Rate %", opts,
+		(*core.Report).DPrefetchHitRate)
+}
+
+// Table5 regenerates the write-cache hit rates (loads + stores).
+func Table5(opts Options) (*RateTable, error) {
+	return rateTable("Table 5: Integer Write Cache Hit Rate %", opts,
+		(*core.Report).WriteCacheHitRate)
+}
+
+// WriteTraffic reports §5.5's store-transaction ratio per model
+// (paper: 44% small, 30% base, 22% large).
+func WriteTraffic(opts Options) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, model := range core.Models() {
+		var trans, stores uint64
+		for _, w := range workloads.Integer() {
+			rep, err := run(model, w, opts)
+			if err != nil {
+				return nil, err
+			}
+			trans += rep.WCTransactions
+			stores += rep.WCStores
+		}
+		out[model.Name] = float64(trans) / float64(stores)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — the effect of removing the prefetch buffers (dual issue).
+
+// Fig5Point pairs a model+latency with and without stream buffers.
+type Fig5Point struct {
+	Model       string
+	Latency     int
+	CostRBE     int
+	WithPF      float64 // average CPI
+	WithoutPF   float64
+	MaxWithPF   float64
+	MaxWithout  float64
+	Improvement float64 // (without-with)/without
+}
+
+// Fig5 runs the ablation.
+func Fig5(opts Options) ([]Fig5Point, error) {
+	var out []Fig5Point
+	for _, latency := range []int{17, 35} {
+		for _, model := range core.Models() {
+			on := model.WithLatency(latency)
+			off := on.WithoutPrefetch()
+			cost, err := on.CostRBE()
+			if err != nil {
+				return nil, err
+			}
+			_, _, maxOn, avgOn, err := suiteCPI(on, workloads.Integer(), opts)
+			if err != nil {
+				return nil, err
+			}
+			_, _, maxOff, avgOff, err := suiteCPI(off, workloads.Integer(), opts)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig5Point{
+				Model: model.Name, Latency: latency, CostRBE: cost,
+				WithPF: avgOn, WithoutPF: avgOff,
+				MaxWithPF: maxOn, MaxWithout: maxOff,
+				Improvement: (avgOff - avgOn) / avgOff,
+			})
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — stall-penalty breakdown per model (integer suite, dual, 17).
+
+// Fig6Row is one model's CPI decomposition.
+type Fig6Row struct {
+	Model    string
+	BaseCPI  float64 // issue-limited component (CPI minus stalls)
+	Stalls   [core.NumStallCauses]float64
+	TotalCPI float64
+}
+
+// Fig6 computes the average stall breakdown.
+func Fig6(opts Options) ([]Fig6Row, error) {
+	var out []Fig6Row
+	for _, model := range core.Models() {
+		var row Fig6Row
+		row.Model = model.Name
+		n := 0
+		for _, w := range workloads.Integer() {
+			rep, err := run(model, w, opts)
+			if err != nil {
+				return nil, err
+			}
+			row.TotalCPI += rep.CPI()
+			for c := core.StallCause(0); c < core.NumStallCauses; c++ {
+				row.Stalls[c] += rep.StallCPI(c)
+			}
+			n++
+		}
+		row.TotalCPI /= float64(n)
+		for c := range row.Stalls {
+			row.Stalls[c] /= float64(n)
+		}
+		sum := 0.0
+		for _, s := range row.Stalls {
+			sum += s
+		}
+		row.BaseCPI = row.TotalCPI - sum
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — the effect of the MSHR count (degree of non-blocking).
+
+// Fig7Point is one model at one MSHR count.
+type Fig7Point struct {
+	Model   string
+	MSHRs   int
+	CostRBE int
+	AvgCPI  float64
+	IsBase  bool // the model's Table 1 MSHR count
+}
+
+// Fig7 sweeps MSHRs ∈ {1, 2, 4} for each model.
+func Fig7(opts Options) ([]Fig7Point, error) {
+	var out []Fig7Point
+	for _, model := range core.Models() {
+		for _, mshrs := range []int{1, 2, 4} {
+			cfg := model
+			cfg.MSHRs = mshrs
+			cost, err := cfg.CostRBE()
+			if err != nil {
+				return nil, err
+			}
+			_, _, _, avg, err := suiteCPI(cfg, workloads.Integer(), opts)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig7Point{
+				Model: model.Name, MSHRs: mshrs, CostRBE: cost,
+				AvgCPI: avg, IsBase: mshrs == model.MSHRs,
+			})
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — the full cost-performance scatter for espresso at 17 cycles.
+
+// Fig8Point is one configuration of the design-space scatter.
+type Fig8Point struct {
+	Label   string
+	Issue   int
+	ICacheK int
+	WCLines int
+	ROB     int
+	MSHRs   int
+	PFBufs  int
+	CostRBE int
+	CPI     float64
+}
+
+// Fig8 explores the espresso design space: the paper's four families
+// (single-issue squares by cache size; dual-issue diamonds/triangles/circles
+// for 1/2/4 KB instruction caches with varied memory resources), plus the
+// called-out points A (single MSHR), B (large), D (prefetch added) and
+// E (recommended).
+func Fig8(opts Options) ([]Fig8Point, error) {
+	opts = opts.sweep()
+	w, err := workloads.Get("espresso")
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig8Point
+	add := func(label string, cfg core.Config) error {
+		cost, err := cfg.CostRBE()
+		if err != nil {
+			return err
+		}
+		rep, err := run(cfg, w, opts)
+		if err != nil {
+			return err
+		}
+		out = append(out, Fig8Point{
+			Label: label, Issue: cfg.IssueWidth, ICacheK: cfg.ICacheBytes / 1024,
+			WCLines: cfg.WriteCacheLines, ROB: cfg.ReorderBuffer,
+			MSHRs: cfg.MSHRs, PFBufs: cfg.PrefetchBuffers,
+			CostRBE: cost, CPI: rep.CPI(),
+		})
+		return nil
+	}
+
+	// Single-issue family: the three models plus point E's cache, 1 pipe.
+	for _, m := range core.Models() {
+		if err := add("single-"+m.Name, m.WithIssueWidth(1)); err != nil {
+			return nil, err
+		}
+	}
+	if err := add("single-pointE", core.RecommendedE().WithIssueWidth(1)); err != nil {
+		return nil, err
+	}
+
+	// Dual-issue families: icache {1,2,4}K × memory-resource steps.
+	type step struct {
+		wc, rob, mshr, pf int
+	}
+	steps := []step{
+		{2, 2, 1, 2}, // A-class: blocking cache
+		{2, 2, 2, 2},
+		{4, 6, 2, 4}, // baseline resources (C when pf=0 variant)
+		{4, 6, 4, 4},
+		{8, 8, 4, 8}, // large resources
+		{4, 6, 4, 0}, // C: no prefetch
+	}
+	for _, ick := range []int{1, 2, 4} {
+		for _, s := range steps {
+			cfg := core.Baseline()
+			cfg.Name = fmt.Sprintf("dual-%dK", ick)
+			cfg.ICacheBytes = ick * 1024
+			cfg.WriteCacheLines = s.wc
+			cfg.ReorderBuffer = s.rob
+			cfg.MSHRs = s.mshr
+			cfg.PrefetchBuffers = s.pf
+			label := fmt.Sprintf("dual-%dK-wc%d-rob%d-mshr%d-pf%d",
+				ick, s.wc, s.rob, s.mshr, s.pf)
+			switch {
+			case s.mshr == 1:
+				label = "A:" + label
+			case s.pf == 0:
+				label = "C:" + label
+			}
+			if err := add(label, cfg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// B: the large model (performance plateau), D: point C plus prefetch,
+	// E: the recommended machine.
+	if err := add("B:large-dual", core.Large()); err != nil {
+		return nil, err
+	}
+	if err := add("D:baseline+pf", core.Baseline()); err != nil {
+		return nil, err
+	}
+	if err := add("E:recommended", core.RecommendedE()); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 6 — FPU issue policies over the floating-point suite.
+
+// Table6Row is one benchmark's CPI under the three policies.
+type Table6Row struct {
+	Bench   string
+	InOrder float64
+	Single  float64
+	Dual    float64
+}
+
+// Table6 runs the three §5.8 policies.
+func Table6(opts Options) ([]Table6Row, error) {
+	var out []Table6Row
+	for _, w := range workloads.FP() {
+		row := Table6Row{Bench: w.Name}
+		for _, pol := range []fpu.IssuePolicy{
+			fpu.InOrderComplete, fpu.OutOfOrderSingle, fpu.OutOfOrderDual,
+		} {
+			cfg := withFPUPolicy(core.Baseline(), pol)
+			rep, err := run(cfg, w, opts)
+			if err != nil {
+				return nil, err
+			}
+			switch pol {
+			case fpu.InOrderComplete:
+				row.InOrder = rep.CPI()
+			case fpu.OutOfOrderSingle:
+				row.Single = rep.CPI()
+			case fpu.OutOfOrderDual:
+				row.Dual = rep.CPI()
+			}
+		}
+		out = append(out, row)
+	}
+	avg := Table6Row{Bench: "Average"}
+	for _, r := range out {
+		avg.InOrder += r.InOrder
+		avg.Single += r.Single
+		avg.Dual += r.Dual
+	}
+	n := float64(len(out))
+	avg.InOrder /= n
+	avg.Single /= n
+	avg.Dual /= n
+	out = append(out, avg)
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 — FPU resource studies.
+
+// SweepPoint is one x-value of a Figure 9 series.
+type SweepPoint struct {
+	X       int
+	AvgCPI  float64
+	CostRBE int
+}
+
+// Fig9Queues regenerates panels (a)-(c): instruction queue 1-5, load queue
+// 1-5, reorder buffer 3-11, single-issue FPU policy as in the paper.
+func Fig9Queues(opts Options) (iq, lq, rob []SweepPoint, err error) {
+	opts = opts.sweep()
+	sweep := func(vals []int, apply func(*fpu.Config, int)) ([]SweepPoint, error) {
+		var pts []SweepPoint
+		for _, v := range vals {
+			cfg := core.Baseline()
+			f := fpu.DefaultConfig()
+			f.Policy = fpu.OutOfOrderSingle
+			apply(&f, v)
+			cfg.FPU = f
+			_, _, _, avg, err := suiteCPI(cfg, workloads.FP(), opts)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, SweepPoint{X: v, AvgCPI: avg})
+		}
+		return pts, nil
+	}
+	iq, err = sweep([]int{1, 2, 3, 4, 5}, func(f *fpu.Config, v int) { f.InstrQueue = v })
+	if err != nil {
+		return
+	}
+	lq, err = sweep([]int{1, 2, 3, 4, 5}, func(f *fpu.Config, v int) { f.LoadQueue = v })
+	if err != nil {
+		return
+	}
+	rob, err = sweep([]int{3, 5, 7, 9, 11}, func(f *fpu.Config, v int) { f.ReorderBuffer = v })
+	return
+}
+
+// Fig9Latencies regenerates panels (d)-(g): functional-unit latencies, plus
+// the §5.10 unpipelined-add/multiply ablation.
+type Fig9LatencyResult struct {
+	Add, Mul, Div, Cvt []SweepPoint
+	// PipelinedCPI / UnpipelinedCPI: the §5.10 ablation at the
+	// recommended latencies ("degradation ... less than 5%").
+	PipelinedCPI   float64
+	UnpipelinedCPI float64
+}
+
+// Fig9Latencies runs the latency sweeps.
+func Fig9Latencies(opts Options) (*Fig9LatencyResult, error) {
+	opts = opts.sweep()
+	res := &Fig9LatencyResult{}
+	sweep := func(vals []int, apply func(*fpu.Config, int), cost func(int) int) ([]SweepPoint, error) {
+		var pts []SweepPoint
+		for _, v := range vals {
+			cfg := core.Baseline()
+			f := fpu.DefaultConfig()
+			apply(&f, v)
+			cfg.FPU = f
+			_, _, _, avg, err := suiteCPI(cfg, workloads.FP(), opts)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, SweepPoint{X: v, AvgCPI: avg, CostRBE: cost(v)})
+		}
+		return pts, nil
+	}
+	var err error
+	res.Add, err = sweep([]int{1, 2, 3, 4, 5},
+		func(f *fpu.Config, v int) { f.AddLatency = v; f.AddPipelined = true },
+		func(v int) int { return fpAddCost(v) })
+	if err != nil {
+		return nil, err
+	}
+	res.Mul, err = sweep([]int{1, 2, 3, 4, 5},
+		func(f *fpu.Config, v int) { f.MulLatency = v },
+		func(v int) int { return fpMulCost(v) })
+	if err != nil {
+		return nil, err
+	}
+	res.Div, err = sweep([]int{10, 15, 19, 25, 30},
+		func(f *fpu.Config, v int) { f.DivLatency = v },
+		func(v int) int { return fpDivCost(v) })
+	if err != nil {
+		return nil, err
+	}
+	res.Cvt, err = sweep([]int{1, 2, 3, 5},
+		func(f *fpu.Config, v int) { f.CvtLatency = v },
+		func(v int) int { return fpCvtCost(v) })
+	if err != nil {
+		return nil, err
+	}
+
+	// §5.10 pipelining ablation.
+	pip := core.Baseline()
+	f := fpu.DefaultConfig()
+	f.AddPipelined, f.CvtPipelined = true, true
+	pip.FPU = f
+	_, _, _, avgPip, err := suiteCPI(pip, workloads.FP(), opts)
+	if err != nil {
+		return nil, err
+	}
+	unp := core.Baseline()
+	f = fpu.DefaultConfig()
+	f.AddPipelined, f.CvtPipelined = false, false
+	unp.FPU = f
+	_, _, _, avgUnp, err := suiteCPI(unp, workloads.FP(), opts)
+	if err != nil {
+		return nil, err
+	}
+	res.PipelinedCPI, res.UnpipelinedCPI = avgPip, avgUnp
+	return res, nil
+}

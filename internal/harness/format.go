@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"aurora/internal/core"
+	"aurora/internal/rbe"
+)
+
+// fpAddCost et al. expose the Table 2 unit-cost interpolation for the
+// Figure 9 cost annotations.
+func fpAddCost(lat int) int { return rbe.FPUnitCost(rbe.FPAdd, lat) }
+func fpMulCost(lat int) int { return rbe.FPUnitCost(rbe.FPMultiply, lat) }
+func fpDivCost(lat int) int { return rbe.FPUnitCost(rbe.FPDivide, lat) }
+func fpCvtCost(lat int) int { return rbe.FPUnitCost(rbe.FPConvert, lat) }
+
+// PrintFig1 renders the clock-trend result.
+func PrintFig1(w io.Writer, r Fig1Result) {
+	fmt.Fprintln(w, "Figure 1: ISSCC single-chip clock frequency trend")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "  %d  %6.0f MHz\n", p.Year, p.MHz)
+	}
+	fmt.Fprintf(w, "  fitted growth: %.0f%%/year (paper: ~40%%/year); doubling every %.1f years\n",
+		100*r.GrowthRate, r.DoublingYears)
+}
+
+// PrintFig4 renders the 12-configuration cost/performance table.
+func PrintFig4(w io.Writer, pts []Fig4Point) {
+	fmt.Fprintln(w, "Figure 4: Dual and Single Issue Performance (integer suite)")
+	fmt.Fprintf(w, "  %-9s %-5s %-7s %9s %8s %8s %8s\n",
+		"model", "issue", "latency", "cost/RBE", "minCPI", "avgCPI", "maxCPI")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-9s %-5d %-7d %9d %8.3f %8.3f %8.3f\n",
+			p.Model, p.Issue, p.Latency, p.CostRBE, p.MinCPI, p.AvgCPI, p.MaxCPI)
+	}
+}
+
+// PrintRateTable renders Tables 3, 4 and 5.
+func PrintRateTable(w io.Writer, t *RateTable) {
+	fmt.Fprintln(w, t.Name)
+	fmt.Fprintf(w, "  %-9s", "model")
+	for _, b := range t.Benches {
+		fmt.Fprintf(w, " %9s", b)
+	}
+	fmt.Fprintln(w)
+	for i, m := range t.Models {
+		fmt.Fprintf(w, "  %-9s", m)
+		for _, v := range t.Rows[i] {
+			fmt.Fprintf(w, " %9.2f", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintWriteTraffic renders §5.5's traffic ratios.
+func PrintWriteTraffic(w io.Writer, ratios map[string]float64) {
+	fmt.Fprintln(w, "Write traffic (§5.5): store transactions / store instructions")
+	for _, m := range []string{"small", "baseline", "large"} {
+		fmt.Fprintf(w, "  %-9s %5.1f%%\n", m, 100*ratios[m])
+	}
+	fmt.Fprintln(w, "  (paper: 44% / 30% / 22%)")
+}
+
+// PrintFig5 renders the prefetch-removal study.
+func PrintFig5(w io.Writer, pts []Fig5Point) {
+	fmt.Fprintln(w, "Figure 5: Effects of Prefetch Removal (dual issue)")
+	fmt.Fprintf(w, "  %-9s %-7s %9s %10s %10s %12s\n",
+		"model", "latency", "cost/RBE", "withPF", "withoutPF", "improvement")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-9s %-7d %9d %10.3f %10.3f %11.1f%%\n",
+			p.Model, p.Latency, p.CostRBE, p.WithPF, p.WithoutPF, 100*p.Improvement)
+	}
+}
+
+// PrintFig6 renders the stall breakdown.
+func PrintFig6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintln(w, "Figure 6: Break Down of Stall Penalties (CPI contributions)")
+	fmt.Fprintf(w, "  %-9s %7s", "model", "base")
+	for c := core.StallCause(0); c < core.NumStallCauses; c++ {
+		fmt.Fprintf(w, " %9s", c)
+	}
+	fmt.Fprintf(w, " %8s\n", "total")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-9s %7.3f", r.Model, r.BaseCPI)
+		for _, s := range r.Stalls {
+			fmt.Fprintf(w, " %9.3f", s)
+		}
+		fmt.Fprintf(w, " %8.3f\n", r.TotalCPI)
+	}
+}
+
+// PrintFig7 renders the MSHR study.
+func PrintFig7(w io.Writer, pts []Fig7Point) {
+	fmt.Fprintln(w, "Figure 7: Effects of Changing MSHR Count (dual issue, integer suite)")
+	fmt.Fprintf(w, "  %-9s %-6s %9s %8s %s\n", "model", "mshrs", "cost/RBE", "avgCPI", "")
+	for _, p := range pts {
+		mark := ""
+		if p.IsBase {
+			mark = "  <- Table 1 value"
+		}
+		fmt.Fprintf(w, "  %-9s %-6d %9d %8.3f%s\n", p.Model, p.MSHRs, p.CostRBE, p.AvgCPI, mark)
+	}
+}
+
+// PrintFig8 renders the espresso design-space scatter.
+func PrintFig8(w io.Writer, pts []Fig8Point) {
+	fmt.Fprintln(w, "Figure 8: Espresso Full Cost-Performance (latency 17)")
+	fmt.Fprintf(w, "  %-30s %5s %4s %4s %5s %4s %9s %8s\n",
+		"config", "issue", "ic/K", "wc", "rob", "mshr", "cost/RBE", "CPI")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-30s %5d %4d %4d %5d %4d %9d %8.3f\n",
+			p.Label, p.Issue, p.ICacheK, p.WCLines, p.ROB, p.MSHRs, p.CostRBE, p.CPI)
+	}
+}
+
+// PrintTable6 renders the FPU issue-policy comparison.
+func PrintTable6(w io.Writer, rows []Table6Row) {
+	fmt.Fprintln(w, "Table 6: CPI Figures for Three FPU Issue Policies")
+	fmt.Fprintf(w, "  %-10s %12s %12s %12s\n", "benchmark", "in-order", "single", "dual")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10s %12.3f %12.3f %12.3f\n", r.Bench, r.InOrder, r.Single, r.Dual)
+	}
+}
+
+// PrintSweep renders one Figure 9 panel.
+func PrintSweep(w io.Writer, title, xlabel string, pts []SweepPoint) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "  %-10s %8s", xlabel, "avgCPI")
+	hasCost := false
+	for _, p := range pts {
+		if p.CostRBE != 0 {
+			hasCost = true
+		}
+	}
+	if hasCost {
+		fmt.Fprintf(w, " %9s", "cost/RBE")
+	}
+	fmt.Fprintln(w)
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-10d %8.3f", p.X, p.AvgCPI)
+		if hasCost {
+			fmt.Fprintf(w, " %9d", p.CostRBE)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintFig9Latencies renders panels (d)-(g) and the pipelining ablation.
+func PrintFig9Latencies(w io.Writer, r *Fig9LatencyResult) {
+	PrintSweep(w, "Figure 9(d): add latency", "cycles", r.Add)
+	PrintSweep(w, "Figure 9(e): multiply latency", "cycles", r.Mul)
+	PrintSweep(w, "Figure 9(f): divide latency", "cycles", r.Div)
+	PrintSweep(w, "Figure 9(g): convert latency", "cycles", r.Cvt)
+	degr := (r.UnpipelinedCPI - r.PipelinedCPI) / r.PipelinedCPI
+	fmt.Fprintf(w, "§5.10 unpipelined add+convert ablation: %.3f → %.3f CPI (%.1f%% degradation; paper: <5%%)\n",
+		r.PipelinedCPI, r.UnpipelinedCPI, 100*degr)
+}
+
+// Render writes every experiment to w at the given scale.
+func Render(w io.Writer, opts Options) error {
+	div := strings.Repeat("-", 72)
+	PrintFig1(w, Fig1())
+	fmt.Fprintln(w, div)
+
+	f4, err := Fig4(opts)
+	if err != nil {
+		return err
+	}
+	PrintFig4(w, f4)
+	fmt.Fprintln(w, div)
+
+	for _, gen := range []func(Options) (*RateTable, error){Table3, Table4, Table5} {
+		t, err := gen(opts)
+		if err != nil {
+			return err
+		}
+		PrintRateTable(w, t)
+		fmt.Fprintln(w, div)
+	}
+
+	wt, err := WriteTraffic(opts)
+	if err != nil {
+		return err
+	}
+	PrintWriteTraffic(w, wt)
+	fmt.Fprintln(w, div)
+
+	f5, err := Fig5(opts)
+	if err != nil {
+		return err
+	}
+	PrintFig5(w, f5)
+	fmt.Fprintln(w, div)
+
+	f6, err := Fig6(opts)
+	if err != nil {
+		return err
+	}
+	PrintFig6(w, f6)
+	fmt.Fprintln(w, div)
+
+	f7, err := Fig7(opts)
+	if err != nil {
+		return err
+	}
+	PrintFig7(w, f7)
+	fmt.Fprintln(w, div)
+
+	f8, err := Fig8(opts)
+	if err != nil {
+		return err
+	}
+	PrintFig8(w, f8)
+	fmt.Fprintln(w, div)
+
+	t6, err := Table6(opts)
+	if err != nil {
+		return err
+	}
+	PrintTable6(w, t6)
+	fmt.Fprintln(w, div)
+
+	iq, lq, rob, err := Fig9Queues(opts)
+	if err != nil {
+		return err
+	}
+	PrintSweep(w, "Figure 9(a): FPU instruction queue size", "entries", iq)
+	PrintSweep(w, "Figure 9(b): FPU load queue size", "entries", lq)
+	PrintSweep(w, "Figure 9(c): FPU reorder buffer size", "entries", rob)
+	fmt.Fprintln(w, div)
+
+	f9l, err := Fig9Latencies(opts)
+	if err != nil {
+		return err
+	}
+	PrintFig9Latencies(w, f9l)
+	return nil
+}

@@ -1,0 +1,244 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aurora/internal/core"
+)
+
+// Rendering tests with synthetic data: every Print* function must produce
+// the rows it was given, so `aurora-experiments` output is trustworthy.
+
+func contains(t *testing.T, out, want string) {
+	t.Helper()
+	if !strings.Contains(out, want) {
+		t.Errorf("output missing %q in:\n%s", want, out)
+	}
+}
+
+func TestPrintFig1(t *testing.T) {
+	var b bytes.Buffer
+	PrintFig1(&b, Fig1())
+	contains(t, b.String(), "1994")
+	contains(t, b.String(), "fitted growth")
+}
+
+func TestPrintFig4(t *testing.T) {
+	var b bytes.Buffer
+	PrintFig4(&b, []Fig4Point{
+		{Model: "baseline", Issue: 2, Latency: 17, CostRBE: 73084,
+			MinCPI: 0.9, MaxCPI: 1.2, AvgCPI: 1.0},
+	})
+	out := b.String()
+	contains(t, out, "baseline")
+	contains(t, out, "73084")
+	contains(t, out, "1.200")
+}
+
+func TestPrintRateTable(t *testing.T) {
+	var b bytes.Buffer
+	PrintRateTable(&b, &RateTable{
+		Name:    "Table X",
+		Benches: []string{"espresso", "li"},
+		Models:  []string{"small"},
+		Rows:    [][]float64{{12.34, 56.78}},
+	})
+	out := b.String()
+	contains(t, out, "Table X")
+	contains(t, out, "12.34")
+	contains(t, out, "56.78")
+}
+
+func TestPrintWriteTraffic(t *testing.T) {
+	var b bytes.Buffer
+	PrintWriteTraffic(&b, map[string]float64{"small": 0.44, "baseline": 0.30, "large": 0.22})
+	out := b.String()
+	contains(t, out, "44.0%")
+	contains(t, out, "22.0%")
+}
+
+func TestPrintFig5(t *testing.T) {
+	var b bytes.Buffer
+	PrintFig5(&b, []Fig5Point{
+		{Model: "baseline", Latency: 17, CostRBE: 73084,
+			WithPF: 1.0, WithoutPF: 1.12, Improvement: 0.107},
+	})
+	contains(t, b.String(), "10.7%")
+}
+
+func TestPrintFig6(t *testing.T) {
+	var b bytes.Buffer
+	row := Fig6Row{Model: "small", BaseCPI: 0.75, TotalCPI: 1.3}
+	row.Stalls[core.StallLoad] = 0.25
+	PrintFig6(&b, []Fig6Row{row})
+	out := b.String()
+	contains(t, out, "small")
+	contains(t, out, "0.250")
+	contains(t, out, "Load")
+}
+
+func TestPrintFig7(t *testing.T) {
+	var b bytes.Buffer
+	PrintFig7(&b, []Fig7Point{
+		{Model: "small", MSHRs: 1, CostRBE: 65034, AvgCPI: 1.36, IsBase: true},
+		{Model: "small", MSHRs: 4, CostRBE: 65184, AvgCPI: 1.27},
+	})
+	out := b.String()
+	contains(t, out, "Table 1 value")
+	contains(t, out, "1.270")
+}
+
+func TestPrintFig8(t *testing.T) {
+	var b bytes.Buffer
+	PrintFig8(&b, []Fig8Point{
+		{Label: "E:recommended", Issue: 2, ICacheK: 4, WCLines: 4, ROB: 6,
+			MSHRs: 4, PFBufs: 4, CostRBE: 81184, CPI: 1.15},
+	})
+	contains(t, b.String(), "E:recommended")
+}
+
+func TestPrintTable6(t *testing.T) {
+	var b bytes.Buffer
+	PrintTable6(&b, []Table6Row{
+		{Bench: "ora", InOrder: 2.5, Single: 2.3, Dual: 2.2},
+		{Bench: "Average", InOrder: 1.6, Single: 1.5, Dual: 1.45},
+	})
+	out := b.String()
+	contains(t, out, "ora")
+	contains(t, out, "Average")
+	contains(t, out, "2.500")
+}
+
+func TestPrintSweepWithAndWithoutCost(t *testing.T) {
+	var b bytes.Buffer
+	PrintSweep(&b, "title", "entries", []SweepPoint{{X: 3, AvgCPI: 1.4}})
+	out := b.String()
+	contains(t, out, "title")
+	if strings.Contains(out, "cost/RBE") {
+		t.Error("cost column shown without cost data")
+	}
+	b.Reset()
+	PrintSweep(&b, "t2", "cycles", []SweepPoint{{X: 3, AvgCPI: 1.4, CostRBE: 3125}})
+	contains(t, b.String(), "3125")
+}
+
+func TestPrintFig9Latencies(t *testing.T) {
+	var b bytes.Buffer
+	PrintFig9Latencies(&b, &Fig9LatencyResult{
+		Add:          []SweepPoint{{X: 3, AvgCPI: 1.42, CostRBE: 3125}},
+		Mul:          []SweepPoint{{X: 5, AvgCPI: 1.42, CostRBE: 2500}},
+		Div:          []SweepPoint{{X: 19, AvgCPI: 1.42, CostRBE: 1656}},
+		Cvt:          []SweepPoint{{X: 2, AvgCPI: 1.42, CostRBE: 2187}},
+		PipelinedCPI: 1.42, UnpipelinedCPI: 1.487,
+	})
+	out := b.String()
+	contains(t, out, "Figure 9(d)")
+	contains(t, out, "4.7% degradation")
+}
+
+func TestPrintExtensionRenderers(t *testing.T) {
+	var b bytes.Buffer
+	PrintLatencyScaling(&b, []LatencyPoint{
+		{Latency: 17, CPI: map[string]float64{"small": 1.3, "baseline": 1.05, "large": 1.01}},
+	})
+	contains(t, b.String(), "17")
+
+	b.Reset()
+	PrintBranchFolding(&b, []BranchFoldingResult{
+		{Model: "baseline", WithFold: 1.05, Without: 1.06, Penalty: 0.01},
+	})
+	contains(t, b.String(), "1.0%")
+
+	b.Reset()
+	PrintWriteCacheSweep(&b, []WriteCachePoint{
+		{Lines: 4, CostRBE: 73084, AvgCPI: 1.05, TrafficRatio: 0.15},
+	})
+	contains(t, b.String(), "15.0%")
+
+	b.Reset()
+	PrintAreaAwareClock(&b, []ClockedPoint{
+		{Model: "baseline", AvgCPI: 1.05, CycleTime: 1.066, TimePerIns: 1.119},
+	})
+	contains(t, b.String(), "1.119")
+
+	b.Reset()
+	PrintMMUSensitivity(&b, []MMUPoint{
+		{Label: "flat", AvgCPI: 1.05, TLBMissPct: 0.04, L2HitPct: 72.3},
+	})
+	contains(t, b.String(), "72.3")
+
+	b.Reset()
+	PrintVictimCacheStudy(&b, []VictimPoint{
+		{Model: "baseline", VictimLines: 4, AvgCPI: 1.63, VictimHitPct: 11.0},
+	})
+	contains(t, b.String(), "11.0")
+
+	b.Reset()
+	PrintCompilerScheduling(&b, []SchedulingPoint{
+		{Model: "large", BaseCPI: 1.038, SchedCPI: 1.004, BaseLoadCPI: 0.149, SchedLoadCPI: 0.142},
+	})
+	contains(t, b.String(), "1.004")
+}
+
+func TestCSVWriters(t *testing.T) {
+	var b bytes.Buffer
+	if err := Fig4CSV(&b, []Fig4Point{{Model: "baseline", Issue: 2, Latency: 17,
+		CostRBE: 73084, MinCPI: 0.9, AvgCPI: 1.0, MaxCPI: 1.2}}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	contains(t, out, "model,issue,latency")
+	contains(t, out, "baseline,2,17,73084")
+
+	b.Reset()
+	if err := RateTableCSV(&b, &RateTable{
+		Benches: []string{"espresso"}, Models: []string{"small"},
+		Rows: [][]float64{{12.5}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	contains(t, b.String(), "small,12.5000")
+
+	b.Reset()
+	if err := Table6CSV(&b, []Table6Row{{Bench: "ora", InOrder: 2.5, Single: 2.3, Dual: 2.2}}); err != nil {
+		t.Fatal(err)
+	}
+	contains(t, b.String(), "ora,2.5000,2.3000,2.2000")
+
+	b.Reset()
+	if err := SweepCSV(&b, "entries", []SweepPoint{{X: 3, AvgCPI: 1.42, CostRBE: 150}}); err != nil {
+		t.Fatal(err)
+	}
+	contains(t, b.String(), "3,1.4200,150")
+
+	b.Reset()
+	row := Fig6Row{Model: "small", BaseCPI: 0.7, TotalCPI: 1.3}
+	row.Stalls[core.StallLoad] = 0.25
+	if err := Fig6CSV(&b, []Fig6Row{row}); err != nil {
+		t.Fatal(err)
+	}
+	contains(t, b.String(), "stall_Load")
+
+	b.Reset()
+	if err := Fig5CSV(&b, []Fig5Point{{Model: "large", Latency: 35, CostRBE: 87984,
+		WithPF: 1.0, WithoutPF: 1.1, Improvement: 0.09}}); err != nil {
+		t.Fatal(err)
+	}
+	contains(t, b.String(), "large,35")
+
+	b.Reset()
+	if err := Fig7CSV(&b, []Fig7Point{{Model: "small", MSHRs: 1, CostRBE: 65034,
+		AvgCPI: 1.36, IsBase: true}}); err != nil {
+		t.Fatal(err)
+	}
+	contains(t, b.String(), "small,1,65034,1.3600,true")
+
+	b.Reset()
+	if err := Fig8CSV(&b, []Fig8Point{{Label: "E:recommended", Issue: 2, ICacheK: 4,
+		WCLines: 4, ROB: 6, MSHRs: 4, PFBufs: 4, CostRBE: 81184, CPI: 1.15}}); err != nil {
+		t.Fatal(err)
+	}
+	contains(t, b.String(), "E:recommended")
+}

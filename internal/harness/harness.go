@@ -1,0 +1,126 @@
+// Package harness defines one experiment per table and figure of the
+// paper's evaluation (§4-§5) and regenerates their rows and series from the
+// timing simulator. The bench targets in the repository root and the
+// cmd/aurora-experiments tool are thin wrappers over these functions.
+package harness
+
+import (
+	"fmt"
+
+	"aurora/internal/core"
+	"aurora/internal/fpu"
+	"aurora/internal/trace"
+	"aurora/internal/vm"
+	"aurora/internal/workloads"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	// Budget bounds each benchmark run's dynamic instructions.
+	// 0 runs every kernel to natural completion.
+	Budget uint64
+	// SweepBudget bounds the runs of wide parameter sweeps (Figures 8, 9).
+	// 0 uses Budget.
+	SweepBudget uint64
+	// Scheduled applies the §6 compiler-scheduling trace pass.
+	Scheduled bool
+}
+
+// Quick returns reduced budgets for tests.
+func Quick() Options { return Options{Budget: 250_000, SweepBudget: 150_000} }
+
+// Full returns the full experiment scale.
+func Full() Options { return Options{Budget: 0, SweepBudget: 600_000} }
+
+func (o Options) sweep() Options {
+	b := o.SweepBudget
+	if b == 0 {
+		b = o.Budget
+	}
+	return Options{Budget: b, SweepBudget: b}
+}
+
+// run executes one workload on one configuration.
+func run(cfg core.Config, w *workloads.Workload, opts Options) (*core.Report, error) {
+	m, err := w.NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	budget := opts.Budget
+	if budget == 0 {
+		budget = w.DefaultBudget * 4
+	}
+	stream := &machineStream{m: m, budget: budget}
+	var src trace.Stream = stream
+	if opts.Scheduled {
+		src = trace.NewReschedule(stream)
+	}
+	p, err := core.NewProcessor(cfg, src)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := p.Run(0)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s on %s: %w", w.Name, cfg.Name, err)
+	}
+	return rep, nil
+}
+
+type machineStream struct {
+	m      *vm.Machine
+	budget uint64
+	n      uint64
+}
+
+func (s *machineStream) Next() (trace.Record, bool) {
+	if s.m.Halted() || s.n >= s.budget {
+		return trace.Record{}, false
+	}
+	rec, err := s.m.Step()
+	if err != nil {
+		return trace.Record{}, false
+	}
+	s.n++
+	return rec, true
+}
+
+func (s *machineStream) Err() error { return nil }
+
+// suiteCPI runs a whole suite on one configuration, returning the per-bench
+// CPIs and summary statistics.
+func suiteCPI(cfg core.Config, suite []*workloads.Workload, opts Options) (per []BenchCPI, min, max, avg float64, err error) {
+	min, max = 1e9, 0
+	var sum float64
+	for _, w := range suite {
+		rep, e := run(cfg, w, opts)
+		if e != nil {
+			return nil, 0, 0, 0, e
+		}
+		c := rep.CPI()
+		per = append(per, BenchCPI{Bench: w.Name, CPI: c, Report: rep})
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+		sum += c
+	}
+	avg = sum / float64(len(suite))
+	return per, min, max, avg, nil
+}
+
+// BenchCPI is one benchmark's result within a configuration.
+type BenchCPI struct {
+	Bench  string
+	CPI    float64
+	Report *core.Report
+}
+
+// withFPUPolicy returns cfg with the FPU policy (and matching FP issue
+// width) replaced.
+func withFPUPolicy(cfg core.Config, p fpu.IssuePolicy) core.Config {
+	cfg.FPU = cfg.FPU.Normalize()
+	cfg.FPU.Policy = p
+	return cfg
+}

@@ -1,0 +1,230 @@
+package ipu
+
+import (
+	"aurora/internal/cache"
+	"aurora/internal/isa"
+	"aurora/internal/mem"
+	"aurora/internal/prefetch"
+	"aurora/internal/trace"
+)
+
+// IFUConfig parameterises the instruction fetch unit.
+type IFUConfig struct {
+	ICacheBytes int
+	LineBytes   int
+	FetchQueue  int // decoded-instruction buffer between fetch and issue
+
+	// DisableBranchFolding makes every taken control transfer pay a
+	// one-cycle fetch bubble (no pre-decoded NEXT field).
+	DisableBranchFolding bool
+}
+
+// FetchedInstr is a decoded instruction waiting to issue.
+type FetchedInstr struct {
+	Rec trace.Record
+	// PairHead marks an even (8-byte aligned) instruction whose dynamic
+	// successor is its pair partner — the dual-issue candidate condition
+	// computed during pre-decode (paper Figure 3).
+	PairHead bool
+	// DepOnPrev is the DI bit: a true dependence on the immediately
+	// preceding instruction, prohibiting dual issue of the pair.
+	DepOnPrev bool
+}
+
+// IFUStats counts fetch activity.
+type IFUStats struct {
+	FetchCycles     uint64
+	StallCycles     uint64 // cycles fetch delivered nothing for lack of instructions
+	IPrefetchProbes uint64
+	IPrefetchHits   uint64
+	JRBubbles       uint64
+	// DelaySlotCrossings counts taken control transfers whose
+	// architectural delay slot lies on the next cache line — the §2.4
+	// complication (both the slot and the target address must be held
+	// while the slot's line is fetched).
+	DelaySlotCrossings uint64
+}
+
+// IFU is the instruction fetch unit: it walks the dynamic trace, modelling
+// the pre-decoded on-chip instruction cache with branch folding. Taken
+// branches redirect fetch with no bubble when the branch pair carries a
+// valid NEXT field (it always does once the pair is cached — pre-decode
+// computes it); register-indirect jumps (JR/JALR) pay one bubble because
+// the target comes from the ALU, not the NEXT field.
+type IFU struct {
+	cfg IFUConfig
+	ic  *cache.TagArray
+	pfu *prefetch.Buffers
+	biu *mem.BIU
+
+	stream    trace.Stream
+	exhausted bool
+	peeked    []trace.Record // lookahead of up to 2 records
+
+	queue []FetchedInstr
+
+	fillPending bool
+	fillReady   uint64
+	bubbleUntil uint64
+
+	stats IFUStats
+}
+
+// NewIFU builds the fetch unit over a dynamic trace stream.
+func NewIFU(cfg IFUConfig, biu *mem.BIU, pfu *prefetch.Buffers, stream trace.Stream) *IFU {
+	if cfg.LineBytes <= 0 {
+		cfg.LineBytes = 32
+	}
+	if cfg.FetchQueue <= 0 {
+		cfg.FetchQueue = 8
+	}
+	return &IFU{
+		cfg:    cfg,
+		ic:     cache.NewTagArray(cfg.ICacheBytes, cfg.LineBytes),
+		pfu:    pfu,
+		biu:    biu,
+		stream: stream,
+	}
+}
+
+// ICache exposes the instruction cache tag array (stats).
+func (f *IFU) ICache() *cache.TagArray { return f.ic }
+
+// Stats returns the fetch counters.
+func (f *IFU) Stats() IFUStats { return f.stats }
+
+// Queue returns the decoded-instruction buffer contents.
+func (f *IFU) Queue() []FetchedInstr { return f.queue }
+
+// Consume removes the first n queue entries (issued instructions).
+func (f *IFU) Consume(n int) {
+	f.queue = f.queue[:copy(f.queue, f.queue[n:])]
+}
+
+// Done reports whether the trace is exhausted and the queue drained.
+func (f *IFU) Done() bool {
+	return f.exhausted && len(f.peeked) == 0 && len(f.queue) == 0
+}
+
+// Stalled reports whether fetch is blocked on an instruction-cache fill —
+// used by the core for stall attribution.
+func (f *IFU) Stalled(now uint64) bool {
+	return f.fillPending && f.fillReady > now
+}
+
+func (f *IFU) peek(i int) (trace.Record, bool) {
+	for len(f.peeked) <= i && !f.exhausted {
+		r, ok := f.stream.Next()
+		if !ok {
+			f.exhausted = true
+			break
+		}
+		f.peeked = append(f.peeked, r)
+	}
+	if i < len(f.peeked) {
+		return f.peeked[i], true
+	}
+	return trace.Record{}, false
+}
+
+func (f *IFU) advance(n int) {
+	f.peeked = f.peeked[:copy(f.peeked, f.peeked[n:])]
+}
+
+// Tick fetches up to one instruction pair into the queue.
+func (f *IFU) Tick(now uint64) {
+	f.stats.FetchCycles++
+	if f.fillPending {
+		if f.fillReady > now {
+			f.stats.StallCycles++
+			return
+		}
+		f.fillPending = false
+	}
+	if f.bubbleUntil > now {
+		f.stats.StallCycles++
+		return
+	}
+	if len(f.queue)+2 > f.cfg.FetchQueue {
+		return // no room for a full pair this cycle
+	}
+	head, ok := f.peek(0)
+	if !ok {
+		return
+	}
+
+	// Probe the instruction cache for the line holding the next pair.
+	if !f.ic.Lookup(head.PC) {
+		lineAddr := f.ic.LineAddr(head.PC)
+		f.stats.IPrefetchProbes++
+		res, readyAt := f.pfu.Probe(now, lineAddr)
+		switch res {
+		case prefetch.Present:
+			f.stats.IPrefetchHits++
+			f.ic.Fill(lineAddr)
+			// One cycle to move the line from the buffer into the
+			// cache; fetch resumes next cycle.
+			f.fillPending = true
+			f.fillReady = now + 1
+		case prefetch.Pending:
+			f.stats.IPrefetchHits++
+			f.ic.Fill(lineAddr)
+			f.fillPending = true
+			if readyAt < now {
+				readyAt = now
+			}
+			f.fillReady = readyAt + 1
+		default:
+			f.pfu.AllocateOnMiss(now, lineAddr)
+			if _, okr := f.biu.Read(now, lineAddr, func(arrival uint64) {
+				f.ic.Fill(lineAddr)
+				f.fillReady = arrival
+			}); okr {
+				f.fillPending = true
+				f.fillReady = ^uint64(0) // set by the callback
+			}
+			// BIU full: retry next cycle (fill not pending).
+		}
+		f.stats.StallCycles++
+		return
+	}
+
+	// Hit: deliver the instruction, and its pair partner when the dynamic
+	// successor really is the other half of the aligned pair.
+	second, haveSecond := f.peek(1)
+	pair := haveSecond && head.PC%8 == 0 && second.PC == head.PC+4
+	fi := FetchedInstr{Rec: head, PairHead: pair}
+	f.queue = append(f.queue, fi)
+	n := 1
+	if pair {
+		f.queue = append(f.queue, FetchedInstr{
+			Rec:       second,
+			DepOnPrev: second.Deps.DependsOn(head.Deps),
+		})
+		n = 2
+	}
+	f.advance(n)
+
+	// Register-indirect jumps cost one fetch bubble: the NEXT field of
+	// the pre-decoded pair cannot hold a register value. With branch
+	// folding disabled (ablation), every taken transfer pays the bubble.
+	// Either half of the delivered pair can be the control instruction
+	// (a branch in the even slot has its delay slot in the odd slot).
+	for k := len(f.queue) - n; k < len(f.queue); k++ {
+		rec := f.queue[k].Rec
+		indirect := rec.Class == isa.ClassJump &&
+			(rec.In.Op == isa.OpJR || rec.In.Op == isa.OpJALR)
+		if rec.Class.IsControl() && rec.Taken &&
+			f.ic.LineAddr(rec.PC) != f.ic.LineAddr(rec.PC+4) {
+			f.stats.DelaySlotCrossings++
+		}
+		foldable := rec.Class.IsControl() && rec.Taken && !indirect
+		if indirect || (f.cfg.DisableBranchFolding && foldable) {
+			// The architectural delay-slot instruction is still
+			// fetched sequentially; the bubble hits the target fetch.
+			f.bubbleUntil = now + 2
+			f.stats.JRBubbles++
+			break
+		}
+	}
+}

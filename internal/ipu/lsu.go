@@ -1,0 +1,319 @@
+// Package ipu contains the integer-side pipeline components of the Aurora
+// III: the Instruction Fetch Unit (pre-decoded instruction cache, branch
+// folding, stream-buffer interaction) and the Load/Store Unit (pipelined
+// external data cache, MSHR-based non-blocking misses, coalescing write
+// cache). The integer execution engine that drives them lives in
+// internal/core, which owns the cycle loop.
+package ipu
+
+import (
+	"aurora/internal/cache"
+	"aurora/internal/mem"
+	"aurora/internal/prefetch"
+)
+
+// LSUConfig parameterises the load/store unit.
+type LSUConfig struct {
+	DCacheBytes         int
+	LineBytes           int
+	DCacheLatency       int // pipelined external cache: 3 cycles in the paper
+	MSHRs               int
+	WriteCacheLines     int
+	WriteCacheLineBytes int
+
+	// VictimLines enables a small fully-associative victim cache behind
+	// the direct-mapped data cache (extension study; 0 = the paper's
+	// design, which has none).
+	VictimLines int
+}
+
+// FPStoreReady is polled for floating-point store data availability
+// (the FPU's store queue synchronisation, paper §2.3 "Floating Point
+// Support"). seq is the writer token captured at dispatch.
+type FPStoreReady func(seq uint64, now uint64) bool
+
+// MemOp is one memory instruction active in the LSU.
+type MemOp struct {
+	Store     bool
+	FP        bool
+	FPDouble  bool
+	FPReg     uint8
+	FPDataSeq uint64 // FP stores: writer token for the data register
+	IntDest   uint8
+	Addr      uint32
+
+	// OnData fires once when the operation completes: loads at data
+	// return, stores when accepted by the write cache.
+	OnData func(now uint64)
+
+	state       opState
+	startAt     uint64 // earliest cycle the cache port may start this op
+	dataAt      uint64 // completion cycle once known
+	biuInFlight bool
+	translated  bool // TLB access already performed
+}
+
+type opState uint8
+
+const (
+	opWaitPort   opState = iota
+	opWaitFPData         // FP store waiting for its data from the FPU
+	opWaitBIU            // miss outstanding
+	opWaitData           // completion time known (dataAt)
+	opDone
+)
+
+// LSUStats counts load/store unit activity.
+type LSUStats struct {
+	Loads           uint64
+	Stores          uint64
+	DPrefetchHits   uint64
+	DPrefetchProbes uint64
+	PortConflicts   uint64
+	FillBusy        uint64 // cycles the port was held by line fills
+	BIUQueueStalls  uint64
+}
+
+// LSU is the load/store unit.
+type LSU struct {
+	cfg  LSUConfig
+	biu  *mem.BIU
+	pfu  *prefetch.Buffers
+	dc   *cache.TagArray
+	vc   *cache.VictimCache
+	wc   *cache.WriteCache
+	mshr *cache.MSHRFile
+
+	fpReady FPStoreReady
+
+	// Translate, when non-nil, models address translation (an MMU TLB):
+	// it returns extra cycles the access must wait (a page-table walk).
+	Translate func(addr uint32) int
+
+	ops        []*MemOp
+	portFreeAt uint64
+
+	stats LSUStats
+}
+
+// NewLSU builds the load/store unit.
+func NewLSU(cfg LSUConfig, biu *mem.BIU, pfu *prefetch.Buffers, fpReady FPStoreReady) *LSU {
+	if cfg.DCacheLatency <= 0 {
+		cfg.DCacheLatency = 3
+	}
+	if cfg.LineBytes <= 0 {
+		cfg.LineBytes = 32
+	}
+	if cfg.WriteCacheLineBytes <= 0 {
+		cfg.WriteCacheLineBytes = 32
+	}
+	return &LSU{
+		cfg:     cfg,
+		biu:     biu,
+		pfu:     pfu,
+		dc:      cache.NewTagArray(cfg.DCacheBytes, cfg.LineBytes),
+		vc:      cache.NewVictimCache(cfg.VictimLines),
+		wc:      cache.NewWriteCache(cfg.WriteCacheLines, cfg.WriteCacheLineBytes),
+		mshr:    cache.NewMSHRFile(cfg.MSHRs),
+		fpReady: fpReady,
+	}
+}
+
+// DCache exposes the data cache tag array (stats).
+func (l *LSU) DCache() *cache.TagArray { return l.dc }
+
+// WriteCache exposes the write cache (stats).
+func (l *LSU) WriteCache() *cache.WriteCache { return l.wc }
+
+// MSHR exposes the MSHR file (stats).
+func (l *LSU) MSHR() *cache.MSHRFile { return l.mshr }
+
+// Victim exposes the victim cache (stats; disabled in the paper's design).
+func (l *LSU) Victim() *cache.VictimCache { return l.vc }
+
+// Stats returns the LSU counters.
+func (l *LSU) Stats() LSUStats { return l.stats }
+
+// CanAccept reports whether a new memory instruction can enter the LSU.
+// Every active memory instruction holds an MSHR (paper §2.3), so the file
+// size bounds LSU occupancy: one MSHR is a blocking cache.
+func (l *LSU) CanAccept() bool { return l.mshr.Available() }
+
+// Dispatch enters a memory operation at cycle now (its address was computed
+// in the IEU this cycle; the transfer to the LSU takes one cycle).
+// The caller must have checked CanAccept.
+func (l *LSU) Dispatch(op *MemOp, now uint64) {
+	if !l.mshr.Allocate() {
+		panic("ipu: LSU dispatch without MSHR")
+	}
+	op.startAt = now + 1
+	op.state = opWaitPort
+	if op.Store {
+		l.stats.Stores++
+	} else {
+		l.stats.Loads++
+	}
+	l.ops = append(l.ops, op)
+}
+
+// Busy reports whether any operation is active (for drain detection).
+func (l *LSU) Busy() bool { return len(l.ops) > 0 }
+
+// Tick advances the unit one cycle.
+func (l *LSU) Tick(now uint64) {
+	l.mshr.TickOccupancy()
+	for _, op := range l.ops {
+		switch op.state {
+		case opWaitPort:
+			if op.startAt > now {
+				continue
+			}
+			if l.portFreeAt > now {
+				l.stats.PortConflicts++
+				continue
+			}
+			l.access(op, now)
+		case opWaitData:
+			if op.dataAt <= now {
+				l.finish(op, op.dataAt)
+			}
+		}
+	}
+	// Compact completed operations.
+	live := l.ops[:0]
+	for _, op := range l.ops {
+		if op.state != opDone {
+			live = append(live, op)
+		}
+	}
+	l.ops = live
+}
+
+// access performs the cache-port access for op at cycle now.
+func (l *LSU) access(op *MemOp, now uint64) {
+	// Address translation first: a TLB miss delays the access by the
+	// page-table walk without holding the cache port.
+	if l.Translate != nil && !op.translated {
+		op.translated = true
+		if extra := l.Translate(op.Addr); extra > 0 {
+			op.startAt = now + uint64(extra)
+			return
+		}
+	}
+	l.portFreeAt = now + 1 // pipelined: one new access per cycle
+
+	if op.Store {
+		// Stores go to the on-chip write cache; a miss allocates and
+		// may evict a dirty line: one coalesced BIU write transaction.
+		_, ev := l.wc.Store(op.Addr)
+		if ev != nil {
+			l.biu.Write(now)
+			// The evicted line also updates the external data cache
+			// over the shared data busses, holding the port.
+			l.fillPort(now)
+			l.dcFill(ev.LineAddr)
+		}
+		op.dataAt = now + 1
+		op.state = opWaitData
+		return
+	}
+
+	// Loads: write cache first (on-chip, store-to-load forwarding)...
+	if l.wc.Load(op.Addr) {
+		op.dataAt = now + 1
+		op.state = opWaitData
+		return
+	}
+	// ...then the external pipelined data cache.
+	if l.dc.Lookup(op.Addr) {
+		op.dataAt = now + uint64(l.cfg.DCacheLatency)
+		op.state = opWaitData
+		return
+	}
+	lineAddr := l.dc.LineAddr(op.Addr)
+	// Victim cache (extension): a conflict-evicted line swaps back in at
+	// one extra cycle over a primary hit.
+	if l.vc.Probe(lineAddr) {
+		l.dcFill(lineAddr)
+		op.dataAt = now + uint64(l.cfg.DCacheLatency) + 1
+		op.state = opWaitData
+		return
+	}
+	// Primary miss: probe the stream buffers.
+	l.stats.DPrefetchProbes++
+	res, readyAt := l.pfu.Probe(now, lineAddr)
+	switch res {
+	case prefetch.Present:
+		l.stats.DPrefetchHits++
+		// Transfer the line from the stream buffer into the data
+		// cache over the data busses.
+		l.dcFill(lineAddr)
+		l.fillPort(now)
+		op.dataAt = now + 1 + uint64(l.biu.Config().LineTransfer)
+		op.state = opWaitData
+		return
+	case prefetch.Pending:
+		l.stats.DPrefetchHits++
+		arr := readyAt
+		if arr < now {
+			arr = now
+		}
+		l.dcFill(lineAddr) // tag installed when the fill lands
+		l.fillPort(arr)
+		op.dataAt = arr + 1
+		op.state = opWaitData
+		return
+	}
+	// Full miss: allocate a stream buffer for the successor line and
+	// fetch the demanded line through the BIU.
+	l.pfu.AllocateOnMiss(now, lineAddr)
+	if _, ok := l.biu.Read(now, lineAddr, func(arrival uint64) {
+		l.dcFill(lineAddr)
+		l.fillPort(arrival)
+		op.dataAt = arrival
+		op.state = opWaitData
+	}); ok {
+		op.state = opWaitBIU
+		op.biuInFlight = true
+		return
+	}
+	// BIU full: retry the port access next cycle.
+	l.stats.BIUQueueStalls++
+	op.startAt = now + 1
+}
+
+// dcFill installs a line in the data cache, salvaging the displaced line
+// into the victim cache when one is configured.
+func (l *LSU) dcFill(lineAddr uint32) {
+	if ev, had := l.dc.Fill(lineAddr); had {
+		l.vc.Insert(ev)
+	}
+}
+
+// fillPort models the data busses being held to fill a cache line —
+// the paper's "LSU stall when the LSU ... is using the data busses to fill
+// the cache".
+func (l *LSU) fillPort(now uint64) {
+	busy := now + uint64(l.biu.Config().LineTransfer)
+	if busy > l.portFreeAt {
+		l.stats.FillBusy += busy - l.portFreeAt
+		l.portFreeAt = busy
+	}
+}
+
+// finish completes op at cycle t.
+func (l *LSU) finish(op *MemOp, t uint64) {
+	op.state = opDone
+	l.mshr.Release()
+	if op.OnData != nil {
+		op.OnData(t)
+	}
+}
+
+// FlushWriteCache drains dirty write-cache lines at the end of a run so the
+// transaction statistics are complete.
+func (l *LSU) FlushWriteCache(now uint64) {
+	for range l.wc.Flush() {
+		l.biu.Write(now)
+	}
+}

@@ -1,0 +1,109 @@
+package isa
+
+import "testing"
+
+func TestDepsOfTable(t *testing.T) {
+	none := [2]uint8{NoFPReg, NoFPReg}
+	cases := []struct {
+		name string
+		in   Instruction
+		want Deps
+	}{
+		{"addu", Instruction{Op: OpADDU, Rd: 3, Rs: 4, Rt: 5},
+			Deps{SrcInt: [2]uint8{4, 5}, DstInt: 3, SrcFP: none, DstFP: NoFPReg}},
+		{"sll", Instruction{Op: OpSLL, Rd: 2, Rt: 3, Shamt: 4},
+			Deps{SrcInt: [2]uint8{3, 0}, DstInt: 2, SrcFP: none, DstFP: NoFPReg}},
+		{"sllv", Instruction{Op: OpSLLV, Rd: 2, Rt: 3, Rs: 4},
+			Deps{SrcInt: [2]uint8{3, 4}, DstInt: 2, SrcFP: none, DstFP: NoFPReg}},
+		{"addiu", Instruction{Op: OpADDIU, Rt: 8, Rs: 29},
+			Deps{SrcInt: [2]uint8{29, 0}, DstInt: 8, SrcFP: none, DstFP: NoFPReg}},
+		{"lui", Instruction{Op: OpLUI, Rt: 9},
+			Deps{DstInt: 9, SrcFP: none, DstFP: NoFPReg}},
+		{"mult", Instruction{Op: OpMULT, Rs: 8, Rt: 9},
+			Deps{SrcInt: [2]uint8{8, 9}, DstInt: RegHILO, SrcFP: none, DstFP: NoFPReg}},
+		{"mflo", Instruction{Op: OpMFLO, Rd: 2},
+			Deps{SrcInt: [2]uint8{RegHILO, 0}, DstInt: 2, SrcFP: none, DstFP: NoFPReg}},
+		{"mthi", Instruction{Op: OpMTHI, Rs: 7},
+			Deps{SrcInt: [2]uint8{7, 0}, DstInt: RegHILO, SrcFP: none, DstFP: NoFPReg}},
+		{"lw", Instruction{Op: OpLW, Rt: 8, Rs: 29},
+			Deps{SrcInt: [2]uint8{29, 0}, DstInt: 8, SrcFP: none, DstFP: NoFPReg}},
+		{"sw", Instruction{Op: OpSW, Rt: 8, Rs: 29},
+			Deps{SrcInt: [2]uint8{29, 8}, SrcFP: none, DstFP: NoFPReg}},
+		{"lwc1", Instruction{Op: OpLWC1, Ft: 4, Rs: 29},
+			Deps{SrcInt: [2]uint8{29, 0}, SrcFP: none, DstFP: 4}},
+		{"sdc1", Instruction{Op: OpSDC1, Ft: 6, Rs: 29},
+			Deps{SrcInt: [2]uint8{29, 0}, SrcFP: [2]uint8{6, NoFPReg}, DstFP: NoFPReg}},
+		{"beq", Instruction{Op: OpBEQ, Rs: 4, Rt: 5},
+			Deps{SrcInt: [2]uint8{4, 5}, SrcFP: none, DstFP: NoFPReg}},
+		{"bltz", Instruction{Op: OpBLTZ, Rs: 4},
+			Deps{SrcInt: [2]uint8{4, 0}, SrcFP: none, DstFP: NoFPReg}},
+		{"bgezal", Instruction{Op: OpBGEZAL, Rs: 4},
+			Deps{SrcInt: [2]uint8{4, 0}, DstInt: RegRA, SrcFP: none, DstFP: NoFPReg}},
+		{"j", Instruction{Op: OpJ},
+			Deps{SrcFP: none, DstFP: NoFPReg}},
+		{"jal", Instruction{Op: OpJAL},
+			Deps{DstInt: RegRA, SrcFP: none, DstFP: NoFPReg}},
+		{"jr", Instruction{Op: OpJR, Rs: 31},
+			Deps{SrcInt: [2]uint8{31, 0}, SrcFP: none, DstFP: NoFPReg}},
+		{"jalr", Instruction{Op: OpJALR, Rd: 31, Rs: 25},
+			Deps{SrcInt: [2]uint8{25, 0}, DstInt: 31, SrcFP: none, DstFP: NoFPReg}},
+		{"mfc1", Instruction{Op: OpMFC1, Rt: 8, Fs: 2},
+			Deps{DstInt: 8, SrcFP: [2]uint8{2, NoFPReg}, DstFP: NoFPReg}},
+		{"mtc1", Instruction{Op: OpMTC1, Rt: 8, Fs: 2},
+			Deps{SrcInt: [2]uint8{8, 0}, SrcFP: none, DstFP: 2}},
+		{"add.d", Instruction{Op: OpFADD, Fd: 2, Fs: 4, Ft: 6, Double: true},
+			Deps{SrcFP: [2]uint8{4, 6}, DstFP: 2}},
+		{"sqrt.d", Instruction{Op: OpFSQRT, Fd: 2, Fs: 4, Ft: NoFPReg, Double: true},
+			Deps{SrcFP: [2]uint8{4, NoFPReg}, DstFP: 2}},
+		{"cvt.d.w", Instruction{Op: OpCVTD, Fd: 2, Fs: 4, Ft: NoFPReg, CvtSrc: CvtFromW, Double: true},
+			Deps{SrcFP: [2]uint8{4, NoFPReg}, DstFP: 2}},
+		{"c.lt.d", Instruction{Op: OpCLT, Fs: 2, Ft: 4, Double: true},
+			Deps{SrcFP: [2]uint8{2, 4}, DstFP: NoFPReg, WritesFCC: true}},
+		{"bc1t", Instruction{Op: OpBC1T},
+			Deps{SrcFP: none, DstFP: NoFPReg, ReadsFCC: true}},
+		{"nop", Instruction{Op: OpSLL},
+			Deps{SrcFP: none, DstFP: NoFPReg}},
+		{"syscall", Instruction{Op: OpSyscall},
+			Deps{SrcFP: none, DstFP: NoFPReg}},
+	}
+	for _, c := range cases {
+		got := DepsOf(c.in)
+		if got != c.want {
+			t.Errorf("%s:\n got  %+v\n want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDependsOn(t *testing.T) {
+	producer := DepsOf(Instruction{Op: OpADDU, Rd: 8, Rs: 9, Rt: 10})
+	consumer := DepsOf(Instruction{Op: OpADDU, Rd: 11, Rs: 8, Rt: 12})
+	indep := DepsOf(Instruction{Op: OpADDU, Rd: 13, Rs: 14, Rt: 15})
+	if !consumer.DependsOn(producer) {
+		t.Error("RAW dependence missed")
+	}
+	if indep.DependsOn(producer) {
+		t.Error("false dependence")
+	}
+	// WAW is not a "true dependence" for the DI bit.
+	waw := DepsOf(Instruction{Op: OpADDU, Rd: 8, Rs: 14, Rt: 15})
+	if waw.DependsOn(producer) {
+		t.Error("WAW counted as true dependence")
+	}
+	// $zero never carries a dependence.
+	z := DepsOf(Instruction{Op: OpADDU, Rd: 0, Rs: 9, Rt: 10})
+	rdZero := DepsOf(Instruction{Op: OpADDU, Rd: 11, Rs: 0, Rt: 0})
+	if rdZero.DependsOn(z) {
+		t.Error("$zero dependence")
+	}
+	// FP and FCC chains.
+	cmp := DepsOf(Instruction{Op: OpCLT, Fs: 2, Ft: 4, Double: true})
+	br := DepsOf(Instruction{Op: OpBC1T})
+	if !br.DependsOn(cmp) {
+		t.Error("FCC dependence missed")
+	}
+	fprod := DepsOf(Instruction{Op: OpFADD, Fd: 2, Fs: 4, Ft: 6, Double: true})
+	fcons := DepsOf(Instruction{Op: OpFMUL, Fd: 8, Fs: 2, Ft: 10, Double: true})
+	if !fcons.DependsOn(fprod) {
+		t.Error("FP RAW missed")
+	}
+}

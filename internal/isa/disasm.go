@@ -1,0 +1,79 @@
+package isa
+
+import "fmt"
+
+// Disassemble renders a decoded instruction in conventional MIPS assembly
+// syntax. pc is used to print absolute branch and jump targets.
+func Disassemble(in Instruction, pc uint32) string {
+	r := RegName
+	f := FPRegName
+	switch in.Op {
+	case OpSLL, OpSRL, OpSRA:
+		if in.IsNop() {
+			return "nop"
+		}
+		return fmt.Sprintf("%s $%s, $%s, %d", in.Op.Name(), r(in.Rd), r(in.Rt), in.Shamt)
+	case OpSLLV, OpSRLV, OpSRAV:
+		return fmt.Sprintf("%s $%s, $%s, $%s", in.Op.Name(), r(in.Rd), r(in.Rt), r(in.Rs))
+	case OpJR:
+		return fmt.Sprintf("jr $%s", r(in.Rs))
+	case OpJALR:
+		return fmt.Sprintf("jalr $%s, $%s", r(in.Rd), r(in.Rs))
+	case OpSyscall:
+		return "syscall"
+	case OpBreak:
+		return "break"
+	case OpMFHI, OpMFLO:
+		return fmt.Sprintf("%s $%s", in.Op.Name(), r(in.Rd))
+	case OpMTHI, OpMTLO:
+		return fmt.Sprintf("%s $%s", in.Op.Name(), r(in.Rs))
+	case OpMULT, OpMULTU, OpDIV, OpDIVU:
+		return fmt.Sprintf("%s $%s, $%s", in.Op.Name(), r(in.Rs), r(in.Rt))
+	case OpADD, OpADDU, OpSUB, OpSUBU, OpAND, OpOR, OpXOR, OpNOR, OpSLT, OpSLTU:
+		return fmt.Sprintf("%s $%s, $%s, $%s", in.Op.Name(), r(in.Rd), r(in.Rs), r(in.Rt))
+	case OpADDI, OpADDIU, OpSLTI, OpSLTIU, OpANDI, OpORI, OpXORI:
+		return fmt.Sprintf("%s $%s, $%s, %d", in.Op.Name(), r(in.Rt), r(in.Rs), in.Imm)
+	case OpLUI:
+		return fmt.Sprintf("lui $%s, %d", r(in.Rt), in.Imm)
+	case OpBEQ, OpBNE:
+		return fmt.Sprintf("%s $%s, $%s, 0x%x", in.Op.Name(), r(in.Rs), r(in.Rt), BranchTarget(pc, in.Imm))
+	case OpBLEZ, OpBGTZ, OpBLTZ, OpBGEZ, OpBLTZAL, OpBGEZAL:
+		return fmt.Sprintf("%s $%s, 0x%x", in.Op.Name(), r(in.Rs), BranchTarget(pc, in.Imm))
+	case OpJ, OpJAL:
+		return fmt.Sprintf("%s 0x%x", in.Op.Name(), JumpTarget(pc, in.Target))
+	case OpLB, OpLBU, OpLH, OpLHU, OpLW, OpLWL, OpLWR, OpSB, OpSH, OpSW, OpSWL, OpSWR:
+		return fmt.Sprintf("%s $%s, %d($%s)", in.Op.Name(), r(in.Rt), in.Imm, r(in.Rs))
+	case OpLWC1, OpSWC1, OpLDC1, OpSDC1:
+		return fmt.Sprintf("%s $%s, %d($%s)", in.Op.Name(), f(in.Ft), in.Imm, r(in.Rs))
+	case OpMFC1, OpMTC1:
+		return fmt.Sprintf("%s $%s, $%s", in.Op.Name(), r(in.Rt), f(in.Fs))
+	case OpBC1T, OpBC1F:
+		return fmt.Sprintf("%s 0x%x", in.Op.Name(), BranchTarget(pc, in.Imm))
+	case OpFADD, OpFSUB, OpFMUL, OpFDIV:
+		return fmt.Sprintf("%s.%s $%s, $%s, $%s", in.Op.Name(), fpSuffix(in.Double), f(in.Fd), f(in.Fs), f(in.Ft))
+	case OpFSQRT, OpFABS, OpFMOV, OpFNEG:
+		return fmt.Sprintf("%s.%s $%s, $%s", in.Op.Name(), fpSuffix(in.Double), f(in.Fd), f(in.Fs))
+	case OpCVTS, OpCVTD, OpCVTW:
+		return fmt.Sprintf("%s.%s $%s, $%s", in.Op.Name(), cvtSuffix(in.CvtSrc), f(in.Fd), f(in.Fs))
+	case OpCEQ, OpCLT, OpCLE:
+		return fmt.Sprintf("%s.%s $%s, $%s", in.Op.Name(), fpSuffix(in.Double), f(in.Fs), f(in.Ft))
+	}
+	return fmt.Sprintf(".word %v", in.Op)
+}
+
+func fpSuffix(double bool) string {
+	if double {
+		return "d"
+	}
+	return "s"
+}
+
+func cvtSuffix(src uint8) string {
+	switch src {
+	case CvtFromD:
+		return "d"
+	case CvtFromW:
+		return "w"
+	}
+	return "s"
+}

@@ -1,0 +1,316 @@
+package isa
+
+import "fmt"
+
+// Raw MIPS-I opcode field values.
+const (
+	opcSpecial = 0
+	opcRegimm  = 1
+	opcJ       = 2
+	opcJAL     = 3
+	opcBEQ     = 4
+	opcBNE     = 5
+	opcBLEZ    = 6
+	opcBGTZ    = 7
+	opcADDI    = 8
+	opcADDIU   = 9
+	opcSLTI    = 10
+	opcSLTIU   = 11
+	opcANDI    = 12
+	opcORI     = 13
+	opcXORI    = 14
+	opcLUI     = 15
+	opcCOP1    = 17
+	opcLB      = 32
+	opcLH      = 33
+	opcLWL     = 34
+	opcLW      = 35
+	opcLBU     = 36
+	opcLHU     = 37
+	opcLWR     = 38
+	opcSB      = 40
+	opcSH      = 41
+	opcSWL     = 42
+	opcSW      = 43
+	opcSWR     = 46
+	opcLWC1    = 49
+	opcLDC1    = 53
+	opcSWC1    = 57
+	opcSDC1    = 61
+)
+
+// SPECIAL funct field values.
+const (
+	fnSLL     = 0
+	fnSRL     = 2
+	fnSRA     = 3
+	fnSLLV    = 4
+	fnSRLV    = 6
+	fnSRAV    = 7
+	fnJR      = 8
+	fnJALR    = 9
+	fnSYSCALL = 12
+	fnBREAK   = 13
+	fnMFHI    = 16
+	fnMTHI    = 17
+	fnMFLO    = 18
+	fnMTLO    = 19
+	fnMULT    = 24
+	fnMULTU   = 25
+	fnDIV     = 26
+	fnDIVU    = 27
+	fnADD     = 32
+	fnADDU    = 33
+	fnSUB     = 34
+	fnSUBU    = 35
+	fnAND     = 36
+	fnOR      = 37
+	fnXOR     = 38
+	fnNOR     = 39
+	fnSLT     = 42
+	fnSLTU    = 43
+)
+
+// REGIMM rt field values.
+const (
+	riBLTZ   = 0
+	riBGEZ   = 1
+	riBLTZAL = 16
+	riBGEZAL = 17
+)
+
+// COP1 rs ("fmt") field values.
+const (
+	copMF  = 0
+	copMT  = 4
+	copBC  = 8
+	fmtS   = 16
+	fmtD   = 17
+	fmtW   = 20
+	fnCVTS = 32
+	fnCVTD = 33
+	fnCVTW = 36
+	fnCEQ  = 50
+	fnCLT  = 60
+	fnCLE  = 62
+	fnSQRT = 4
+	fnFABS = 5
+	fnFMOV = 6
+	fnFNEG = 7
+)
+
+var specialFunct = map[Op]uint32{
+	OpSLL: fnSLL, OpSRL: fnSRL, OpSRA: fnSRA, OpSLLV: fnSLLV, OpSRLV: fnSRLV,
+	OpSRAV: fnSRAV, OpJR: fnJR, OpJALR: fnJALR, OpSyscall: fnSYSCALL,
+	OpBreak: fnBREAK, OpMFHI: fnMFHI, OpMTHI: fnMTHI, OpMFLO: fnMFLO,
+	OpMTLO: fnMTLO, OpMULT: fnMULT, OpMULTU: fnMULTU, OpDIV: fnDIV,
+	OpDIVU: fnDIVU, OpADD: fnADD, OpADDU: fnADDU, OpSUB: fnSUB,
+	OpSUBU: fnSUBU, OpAND: fnAND, OpOR: fnOR, OpXOR: fnXOR, OpNOR: fnNOR,
+	OpSLT: fnSLT, OpSLTU: fnSLTU,
+}
+
+var functSpecial = invert(specialFunct)
+
+var immOpcode = map[Op]uint32{
+	OpADDI: opcADDI, OpADDIU: opcADDIU, OpSLTI: opcSLTI, OpSLTIU: opcSLTIU,
+	OpANDI: opcANDI, OpORI: opcORI, OpXORI: opcXORI, OpLUI: opcLUI,
+	OpBEQ: opcBEQ, OpBNE: opcBNE, OpBLEZ: opcBLEZ, OpBGTZ: opcBGTZ,
+	OpLB: opcLB, OpLBU: opcLBU, OpLH: opcLH, OpLHU: opcLHU, OpLW: opcLW,
+	OpLWL: opcLWL, OpLWR: opcLWR,
+	OpSB: opcSB, OpSH: opcSH, OpSW: opcSW, OpSWL: opcSWL, OpSWR: opcSWR,
+	OpLWC1: opcLWC1, OpSWC1: opcSWC1, OpLDC1: opcLDC1, OpSDC1: opcSDC1,
+}
+
+var opcodeImm = invert(immOpcode)
+
+var fpFunct = map[Op]uint32{
+	OpFADD: 0, OpFSUB: 1, OpFMUL: 2, OpFDIV: 3, OpFSQRT: fnSQRT,
+	OpFABS: fnFABS, OpFMOV: fnFMOV, OpFNEG: fnFNEG,
+	OpCVTS: fnCVTS, OpCVTD: fnCVTD, OpCVTW: fnCVTW,
+	OpCEQ: fnCEQ, OpCLT: fnCLT, OpCLE: fnCLE,
+}
+
+var functFP = invert(fpFunct)
+
+func invert(m map[Op]uint32) map[uint32]Op {
+	r := make(map[uint32]Op, len(m))
+	for k, v := range m {
+		r[v] = k
+	}
+	return r
+}
+
+// Encode produces the 32-bit machine word for a decoded instruction.
+func Encode(in Instruction) (uint32, error) {
+	r5 := func(v uint8) uint32 { return uint32(v) & 31 }
+	switch in.Op {
+	case OpJ:
+		return opcJ<<26 | in.Target&0x3ffffff, nil
+	case OpJAL:
+		return opcJAL<<26 | in.Target&0x3ffffff, nil
+	case OpBLTZ:
+		return opcRegimm<<26 | r5(in.Rs)<<21 | riBLTZ<<16 | uint32(uint16(in.Imm)), nil
+	case OpBGEZ:
+		return opcRegimm<<26 | r5(in.Rs)<<21 | riBGEZ<<16 | uint32(uint16(in.Imm)), nil
+	case OpBLTZAL:
+		return opcRegimm<<26 | r5(in.Rs)<<21 | riBLTZAL<<16 | uint32(uint16(in.Imm)), nil
+	case OpBGEZAL:
+		return opcRegimm<<26 | r5(in.Rs)<<21 | riBGEZAL<<16 | uint32(uint16(in.Imm)), nil
+	case OpMFC1:
+		return opcCOP1<<26 | copMF<<21 | r5(in.Rt)<<16 | r5(in.Fs)<<11, nil
+	case OpMTC1:
+		return opcCOP1<<26 | copMT<<21 | r5(in.Rt)<<16 | r5(in.Fs)<<11, nil
+	case OpBC1T:
+		return opcCOP1<<26 | copBC<<21 | 1<<16 | uint32(uint16(in.Imm)), nil
+	case OpBC1F:
+		return opcCOP1<<26 | copBC<<21 | 0<<16 | uint32(uint16(in.Imm)), nil
+	}
+	if fn, ok := specialFunct[in.Op]; ok {
+		return opcSpecial<<26 | r5(in.Rs)<<21 | r5(in.Rt)<<16 | r5(in.Rd)<<11 |
+			(uint32(in.Shamt)&31)<<6 | fn, nil
+	}
+	if opc, ok := immOpcode[in.Op]; ok {
+		rt := r5(in.Rt)
+		if in.Op == OpLWC1 || in.Op == OpSWC1 || in.Op == OpLDC1 || in.Op == OpSDC1 {
+			rt = r5(in.Ft)
+		}
+		return opc<<26 | r5(in.Rs)<<21 | rt<<16 | uint32(uint16(in.Imm)), nil
+	}
+	if fn, ok := fpFunct[in.Op]; ok {
+		// The fmt field holds the operand format; for conversions it is the
+		// source format.
+		f := uint32(fmtS)
+		switch in.Op {
+		case OpCVTS, OpCVTD, OpCVTW:
+			switch in.CvtSrc {
+			case CvtFromD:
+				f = fmtD
+			case CvtFromW:
+				f = fmtW
+			}
+		default:
+			if in.Double {
+				f = fmtD
+			}
+		}
+		ft := uint32(0)
+		if in.Ft != NoFPReg {
+			ft = r5(in.Ft)
+		}
+		return opcCOP1<<26 | f<<21 | ft<<16 | r5(in.Fs)<<11 | r5(in.Fd)<<6 | fn, nil
+	}
+	return 0, fmt.Errorf("isa: cannot encode op %v", in.Op)
+}
+
+// Decode converts a 32-bit machine word into a decoded instruction.
+func Decode(word uint32) (Instruction, error) {
+	opc := word >> 26
+	rs := uint8(word >> 21 & 31)
+	rt := uint8(word >> 16 & 31)
+	rd := uint8(word >> 11 & 31)
+	shamt := uint8(word >> 6 & 31)
+	funct := word & 63
+	imm := int32(int16(word & 0xffff))
+
+	switch opc {
+	case opcSpecial:
+		op, ok := functSpecial[funct]
+		if !ok {
+			return Instruction{}, fmt.Errorf("isa: unknown SPECIAL funct %d in %#08x", funct, word)
+		}
+		return Instruction{Op: op, Rs: rs, Rt: rt, Rd: rd, Shamt: shamt}, nil
+	case opcRegimm:
+		var op Op
+		switch rt {
+		case riBLTZ:
+			op = OpBLTZ
+		case riBGEZ:
+			op = OpBGEZ
+		case riBLTZAL:
+			op = OpBLTZAL
+		case riBGEZAL:
+			op = OpBGEZAL
+		default:
+			return Instruction{}, fmt.Errorf("isa: unknown REGIMM rt %d in %#08x", rt, word)
+		}
+		return Instruction{Op: op, Rs: rs, Imm: imm}, nil
+	case opcJ:
+		return Instruction{Op: OpJ, Target: word & 0x3ffffff}, nil
+	case opcJAL:
+		return Instruction{Op: OpJAL, Target: word & 0x3ffffff}, nil
+	case opcCOP1:
+		switch rs {
+		case copMF:
+			return Instruction{Op: OpMFC1, Rt: rt, Fs: rd}, nil
+		case copMT:
+			return Instruction{Op: OpMTC1, Rt: rt, Fs: rd}, nil
+		case copBC:
+			if rt&1 == 1 {
+				return Instruction{Op: OpBC1T, Imm: imm}, nil
+			}
+			return Instruction{Op: OpBC1F, Imm: imm}, nil
+		case fmtS, fmtD, fmtW:
+			op, ok := functFP[funct]
+			if !ok {
+				return Instruction{}, fmt.Errorf("isa: unknown COP1 funct %d in %#08x", funct, word)
+			}
+			in := Instruction{Op: op, Fs: rd, Ft: rt, Fd: shamt, Double: rs == fmtD}
+			switch op {
+			case OpCVTS, OpCVTD, OpCVTW:
+				switch rs {
+				case fmtS:
+					in.CvtSrc = CvtFromS
+				case fmtD:
+					in.CvtSrc = CvtFromD
+				case fmtW:
+					in.CvtSrc = CvtFromW
+				}
+				in.Double = op == OpCVTD
+				in.Ft = NoFPReg
+			case OpFSQRT, OpFABS, OpFMOV, OpFNEG:
+				in.Ft = NoFPReg
+			}
+			return in, nil
+		default:
+			return Instruction{}, fmt.Errorf("isa: unknown COP1 rs %d in %#08x", rs, word)
+		}
+	}
+	op, ok := opcodeImm[opc]
+	if !ok {
+		return Instruction{}, fmt.Errorf("isa: unknown opcode %d in %#08x", opc, word)
+	}
+	in := Instruction{Op: op, Rs: rs, Rt: rt, Imm: imm}
+	switch op {
+	case OpANDI, OpORI, OpXORI:
+		in.Imm = int32(word & 0xffff) // logical immediates are zero-extended
+	case OpLWC1, OpSWC1, OpLDC1, OpSDC1:
+		in.Ft = rt
+		in.Rt = 0
+	}
+	return in, nil
+}
+
+// BranchTarget computes the absolute byte address of a branch whose
+// instruction is at pc (target = pc + 4 + imm*4).
+func BranchTarget(pc uint32, imm int32) uint32 {
+	return pc + 4 + uint32(imm)<<2
+}
+
+// JumpTarget computes the absolute byte address of a J/JAL at pc.
+func JumpTarget(pc uint32, target26 uint32) uint32 {
+	return (pc+4)&0xf0000000 | target26<<2
+}
+
+// BranchOffset computes the 16-bit branch immediate that reaches target from
+// a branch at pc, reporting false when out of range.
+func BranchOffset(pc, target uint32) (int32, bool) {
+	diff := int64(target) - int64(pc) - 4
+	if diff&3 != 0 {
+		return 0, false
+	}
+	off := diff >> 2
+	if off < -32768 || off > 32767 {
+		return 0, false
+	}
+	return int32(off), true
+}

@@ -1,0 +1,423 @@
+// Package isa defines the MIPS R3000 instruction-set subset used by the
+// Aurora III reproduction: instruction word formats, opcode and function
+// tables, register names, and the decoded Instruction representation shared
+// by the assembler, the functional VM, and the timing simulator.
+//
+// The subset covers the integer core (ALU, shifts, multiply/divide,
+// loads/stores, branches, jumps) and the COP1 floating-point extension
+// (single/double arithmetic, conversions, compares, FP branches, and
+// FP loads/stores) — everything the workload kernels need, and everything
+// the paper's machine models execute.
+package isa
+
+import "fmt"
+
+// Format identifies the bit-level layout of an instruction word.
+type Format uint8
+
+// Instruction word formats.
+const (
+	FormatR Format = iota // register: op rs rt rd shamt funct
+	FormatI               // immediate: op rs rt imm16
+	FormatJ               // jump: op target26
+	FormatF               // COP1 register: op fmt ft fs fd funct
+)
+
+// Op enumerates every operation in the supported subset. Op is a decoded,
+// format-independent operation identifier (not the raw 6-bit opcode field).
+type Op uint16
+
+// Integer register-format operations (SPECIAL opcode, distinguished by funct).
+const (
+	OpInvalid Op = iota
+
+	OpSLL
+	OpSRL
+	OpSRA
+	OpSLLV
+	OpSRLV
+	OpSRAV
+	OpJR
+	OpJALR
+	OpSyscall
+	OpBreak
+	OpMFHI
+	OpMTHI
+	OpMFLO
+	OpMTLO
+	OpMULT
+	OpMULTU
+	OpDIV
+	OpDIVU
+	OpADD
+	OpADDU
+	OpSUB
+	OpSUBU
+	OpAND
+	OpOR
+	OpXOR
+	OpNOR
+	OpSLT
+	OpSLTU
+
+	// Immediate-format operations.
+	OpADDI
+	OpADDIU
+	OpSLTI
+	OpSLTIU
+	OpANDI
+	OpORI
+	OpXORI
+	OpLUI
+
+	// Branches.
+	OpBEQ
+	OpBNE
+	OpBLEZ
+	OpBGTZ
+	OpBLTZ // REGIMM rt=0
+	OpBGEZ // REGIMM rt=1
+	OpBLTZAL
+	OpBGEZAL
+
+	// Jumps.
+	OpJ
+	OpJAL
+
+	// Memory.
+	OpLB
+	OpLBU
+	OpLH
+	OpLHU
+	OpLW
+	OpLWL // unaligned-word support (lwl/lwr/swl/swr)
+	OpLWR
+	OpSB
+	OpSH
+	OpSW
+	OpSWL
+	OpSWR
+
+	// COP1 moves and FP memory.
+	OpMFC1
+	OpMTC1
+	OpLWC1
+	OpSWC1
+	OpLDC1 // MIPS II in real silicon; the paper's FPU "supports double-word loads and stores"
+	OpSDC1
+
+	// COP1 arithmetic (fmt = S or D, recorded in Instruction.Double).
+	OpFADD
+	OpFSUB
+	OpFMUL
+	OpFDIV
+	OpFSQRT
+	OpFABS
+	OpFMOV
+	OpFNEG
+
+	// COP1 conversions.
+	OpCVTS // cvt.s.{d,w}
+	OpCVTD // cvt.d.{s,w}
+	OpCVTW // cvt.w.{s,d}
+
+	// COP1 compares (set/clear the FP condition flag).
+	OpCEQ
+	OpCLT
+	OpCLE
+
+	// COP1 condition branches.
+	OpBC1T
+	OpBC1F
+
+	opCount // sentinel
+)
+
+// Class is the coarse behavioural category used by the timing simulator.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMulDiv
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional control flow (incl. BC1x)
+	ClassJump   // unconditional control flow (J, JAL, JR, JALR)
+	ClassFPAdd  // FP add/sub/abs/neg/mov/compare — routed to the add unit
+	ClassFPMul
+	ClassFPDiv // divide and square root share the divide unit (§5.10)
+	ClassFPCvt
+	ClassFPLoad
+	ClassFPStore
+	ClassFPMove // MFC1/MTC1 register moves between IPU and FPU
+	ClassSystem // syscall, break
+)
+
+var classNames = [...]string{
+	ClassNop:       "nop",
+	ClassIntALU:    "alu",
+	ClassIntMulDiv: "muldiv",
+	ClassLoad:      "load",
+	ClassStore:     "store",
+	ClassBranch:    "branch",
+	ClassJump:      "jump",
+	ClassFPAdd:     "fpadd",
+	ClassFPMul:     "fpmul",
+	ClassFPDiv:     "fpdiv",
+	ClassFPCvt:     "fpcvt",
+	ClassFPLoad:    "fpload",
+	ClassFPStore:   "fpstore",
+	ClassFPMove:    "fpmove",
+	ClassSystem:    "system",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool {
+	switch c {
+	case ClassLoad, ClassStore, ClassFPLoad, ClassFPStore:
+		return true
+	}
+	return false
+}
+
+// IsFP reports whether the class is dispatched to the FPU.
+func (c Class) IsFP() bool {
+	switch c {
+	case ClassFPAdd, ClassFPMul, ClassFPDiv, ClassFPCvt, ClassFPLoad, ClassFPStore, ClassFPMove:
+		return true
+	}
+	return false
+}
+
+// IsControl reports whether the class redirects instruction fetch.
+func (c Class) IsControl() bool { return c == ClassBranch || c == ClassJump }
+
+// opInfo carries the static properties of each operation.
+type opInfo struct {
+	name    string
+	format  Format
+	class   Class
+	memSize uint8 // bytes for loads/stores
+	isLoad  bool
+	isStore bool
+}
+
+var opTable = [opCount]opInfo{
+	OpInvalid: {name: "invalid", format: FormatR, class: ClassNop},
+
+	OpSLL:     {name: "sll", format: FormatR, class: ClassIntALU},
+	OpSRL:     {name: "srl", format: FormatR, class: ClassIntALU},
+	OpSRA:     {name: "sra", format: FormatR, class: ClassIntALU},
+	OpSLLV:    {name: "sllv", format: FormatR, class: ClassIntALU},
+	OpSRLV:    {name: "srlv", format: FormatR, class: ClassIntALU},
+	OpSRAV:    {name: "srav", format: FormatR, class: ClassIntALU},
+	OpJR:      {name: "jr", format: FormatR, class: ClassJump},
+	OpJALR:    {name: "jalr", format: FormatR, class: ClassJump},
+	OpSyscall: {name: "syscall", format: FormatR, class: ClassSystem},
+	OpBreak:   {name: "break", format: FormatR, class: ClassSystem},
+	OpMFHI:    {name: "mfhi", format: FormatR, class: ClassIntMulDiv},
+	OpMTHI:    {name: "mthi", format: FormatR, class: ClassIntMulDiv},
+	OpMFLO:    {name: "mflo", format: FormatR, class: ClassIntMulDiv},
+	OpMTLO:    {name: "mtlo", format: FormatR, class: ClassIntMulDiv},
+	OpMULT:    {name: "mult", format: FormatR, class: ClassIntMulDiv},
+	OpMULTU:   {name: "multu", format: FormatR, class: ClassIntMulDiv},
+	OpDIV:     {name: "div", format: FormatR, class: ClassIntMulDiv},
+	OpDIVU:    {name: "divu", format: FormatR, class: ClassIntMulDiv},
+	OpADD:     {name: "add", format: FormatR, class: ClassIntALU},
+	OpADDU:    {name: "addu", format: FormatR, class: ClassIntALU},
+	OpSUB:     {name: "sub", format: FormatR, class: ClassIntALU},
+	OpSUBU:    {name: "subu", format: FormatR, class: ClassIntALU},
+	OpAND:     {name: "and", format: FormatR, class: ClassIntALU},
+	OpOR:      {name: "or", format: FormatR, class: ClassIntALU},
+	OpXOR:     {name: "xor", format: FormatR, class: ClassIntALU},
+	OpNOR:     {name: "nor", format: FormatR, class: ClassIntALU},
+	OpSLT:     {name: "slt", format: FormatR, class: ClassIntALU},
+	OpSLTU:    {name: "sltu", format: FormatR, class: ClassIntALU},
+
+	OpADDI:  {name: "addi", format: FormatI, class: ClassIntALU},
+	OpADDIU: {name: "addiu", format: FormatI, class: ClassIntALU},
+	OpSLTI:  {name: "slti", format: FormatI, class: ClassIntALU},
+	OpSLTIU: {name: "sltiu", format: FormatI, class: ClassIntALU},
+	OpANDI:  {name: "andi", format: FormatI, class: ClassIntALU},
+	OpORI:   {name: "ori", format: FormatI, class: ClassIntALU},
+	OpXORI:  {name: "xori", format: FormatI, class: ClassIntALU},
+	OpLUI:   {name: "lui", format: FormatI, class: ClassIntALU},
+
+	OpBEQ:    {name: "beq", format: FormatI, class: ClassBranch},
+	OpBNE:    {name: "bne", format: FormatI, class: ClassBranch},
+	OpBLEZ:   {name: "blez", format: FormatI, class: ClassBranch},
+	OpBGTZ:   {name: "bgtz", format: FormatI, class: ClassBranch},
+	OpBLTZ:   {name: "bltz", format: FormatI, class: ClassBranch},
+	OpBGEZ:   {name: "bgez", format: FormatI, class: ClassBranch},
+	OpBLTZAL: {name: "bltzal", format: FormatI, class: ClassBranch},
+	OpBGEZAL: {name: "bgezal", format: FormatI, class: ClassBranch},
+
+	OpJ:   {name: "j", format: FormatJ, class: ClassJump},
+	OpJAL: {name: "jal", format: FormatJ, class: ClassJump},
+
+	OpLB:  {name: "lb", format: FormatI, class: ClassLoad, memSize: 1, isLoad: true},
+	OpLBU: {name: "lbu", format: FormatI, class: ClassLoad, memSize: 1, isLoad: true},
+	OpLH:  {name: "lh", format: FormatI, class: ClassLoad, memSize: 2, isLoad: true},
+	OpLHU: {name: "lhu", format: FormatI, class: ClassLoad, memSize: 2, isLoad: true},
+	OpLW:  {name: "lw", format: FormatI, class: ClassLoad, memSize: 4, isLoad: true},
+	OpLWL: {name: "lwl", format: FormatI, class: ClassLoad, memSize: 4, isLoad: true},
+	OpLWR: {name: "lwr", format: FormatI, class: ClassLoad, memSize: 4, isLoad: true},
+	OpSB:  {name: "sb", format: FormatI, class: ClassStore, memSize: 1, isStore: true},
+	OpSH:  {name: "sh", format: FormatI, class: ClassStore, memSize: 2, isStore: true},
+	OpSW:  {name: "sw", format: FormatI, class: ClassStore, memSize: 4, isStore: true},
+	OpSWL: {name: "swl", format: FormatI, class: ClassStore, memSize: 4, isStore: true},
+	OpSWR: {name: "swr", format: FormatI, class: ClassStore, memSize: 4, isStore: true},
+
+	OpMFC1: {name: "mfc1", format: FormatF, class: ClassFPMove},
+	OpMTC1: {name: "mtc1", format: FormatF, class: ClassFPMove},
+	OpLWC1: {name: "lwc1", format: FormatI, class: ClassFPLoad, memSize: 4, isLoad: true},
+	OpSWC1: {name: "swc1", format: FormatI, class: ClassFPStore, memSize: 4, isStore: true},
+	OpLDC1: {name: "ldc1", format: FormatI, class: ClassFPLoad, memSize: 8, isLoad: true},
+	OpSDC1: {name: "sdc1", format: FormatI, class: ClassFPStore, memSize: 8, isStore: true},
+
+	OpFADD:  {name: "add", format: FormatF, class: ClassFPAdd},
+	OpFSUB:  {name: "sub", format: FormatF, class: ClassFPAdd},
+	OpFMUL:  {name: "mul", format: FormatF, class: ClassFPMul},
+	OpFDIV:  {name: "div", format: FormatF, class: ClassFPDiv},
+	OpFSQRT: {name: "sqrt", format: FormatF, class: ClassFPDiv},
+	OpFABS:  {name: "abs", format: FormatF, class: ClassFPAdd},
+	OpFMOV:  {name: "mov", format: FormatF, class: ClassFPAdd},
+	OpFNEG:  {name: "neg", format: FormatF, class: ClassFPAdd},
+
+	OpCVTS: {name: "cvt.s", format: FormatF, class: ClassFPCvt},
+	OpCVTD: {name: "cvt.d", format: FormatF, class: ClassFPCvt},
+	OpCVTW: {name: "cvt.w", format: FormatF, class: ClassFPCvt},
+
+	OpCEQ: {name: "c.eq", format: FormatF, class: ClassFPAdd},
+	OpCLT: {name: "c.lt", format: FormatF, class: ClassFPAdd},
+	OpCLE: {name: "c.le", format: FormatF, class: ClassFPAdd},
+
+	OpBC1T: {name: "bc1t", format: FormatI, class: ClassBranch},
+	OpBC1F: {name: "bc1f", format: FormatI, class: ClassBranch},
+}
+
+// Name returns the assembler mnemonic stem for the operation.
+func (op Op) Name() string {
+	if int(op) < len(opTable) {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op(%d)", uint16(op))
+}
+
+// Format returns the instruction word format.
+func (op Op) Format() Format { return opTable[op].format }
+
+// Class returns the behavioural class.
+func (op Op) Class() Class { return opTable[op].class }
+
+// MemSize returns the access width in bytes for memory operations, 0 otherwise.
+func (op Op) MemSize() int { return int(opTable[op].memSize) }
+
+// IsLoad reports whether the operation reads data memory.
+func (op Op) IsLoad() bool { return opTable[op].isLoad }
+
+// IsStore reports whether the operation writes data memory.
+func (op Op) IsStore() bool { return opTable[op].isStore }
+
+// Instruction is a fully decoded instruction.
+type Instruction struct {
+	Op     Op
+	Rs     uint8 // integer source 1 / base register
+	Rt     uint8 // integer source 2 / target
+	Rd     uint8 // integer destination
+	Shamt  uint8
+	Imm    int32  // sign-extended 16-bit immediate (zero-extended for logical ops)
+	Target uint32 // 26-bit jump target field
+	Fs     uint8  // FP source 1
+	Ft     uint8  // FP source 2 (NoFPReg when the operation is unary)
+	Fd     uint8  // FP destination
+	Double bool   // operates on / produces doubles (COP1 fmt == D, or cvt.d)
+	CvtSrc uint8  // source format for conversions: CvtFromS/D/W
+}
+
+// NoFPReg marks an unused FP register field (unary COP1 operations).
+const NoFPReg = 0xff
+
+// Conversion source formats.
+const (
+	CvtFromS uint8 = iota
+	CvtFromD
+	CvtFromW
+)
+
+// Class returns the instruction's behavioural class.
+func (in Instruction) Class() Class { return in.Op.Class() }
+
+// IsNop reports whether the instruction is the canonical NOP (sll $0,$0,0).
+func (in Instruction) IsNop() bool {
+	return in.Op == OpSLL && in.Rd == 0 && in.Rt == 0 && in.Shamt == 0
+}
+
+// Register name constants for the conventional MIPS ABI names.
+const (
+	RegZero = 0
+	RegAT   = 1
+	RegV0   = 2
+	RegV1   = 3
+	RegA0   = 4
+	RegA1   = 5
+	RegA2   = 6
+	RegA3   = 7
+	RegT0   = 8
+	RegT7   = 15
+	RegS0   = 16
+	RegS7   = 23
+	RegT8   = 24
+	RegT9   = 25
+	RegK0   = 26
+	RegK1   = 27
+	RegGP   = 28
+	RegSP   = 29
+	RegFP   = 30
+	RegRA   = 31
+)
+
+var regNames = [32]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// RegName returns the ABI name of integer register r ("zero", "sp", ...).
+func RegName(r uint8) string {
+	if r < 32 {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// RegNumber returns the register number for an ABI name or numeric name
+// ("t0" or "8"), and whether the name was recognised.
+func RegNumber(name string) (uint8, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return uint8(i), true
+		}
+	}
+	if name == "s8" { // alternate name for fp
+		return RegFP, true
+	}
+	var n int
+	if _, err := fmt.Sscanf(name, "%d", &n); err == nil && n >= 0 && n < 32 {
+		return uint8(n), true
+	}
+	return 0, false
+}
+
+// FPRegName returns the COP1 register name ("f12").
+func FPRegName(r uint8) string { return fmt.Sprintf("f%d", r) }

@@ -1,0 +1,231 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	cases := []struct {
+		name string
+		num  uint8
+	}{
+		{"zero", 0}, {"at", 1}, {"v0", 2}, {"a0", 4}, {"t0", 8},
+		{"s0", 16}, {"t8", 24}, {"gp", 28}, {"sp", 29}, {"fp", 30}, {"ra", 31},
+	}
+	for _, c := range cases {
+		got, ok := RegNumber(c.name)
+		if !ok || got != c.num {
+			t.Errorf("RegNumber(%q) = %d,%v want %d", c.name, got, ok, c.num)
+		}
+		if RegName(c.num) != c.name {
+			t.Errorf("RegName(%d) = %q want %q", c.num, RegName(c.num), c.name)
+		}
+	}
+	if _, ok := RegNumber("bogus"); ok {
+		t.Error("RegNumber accepted bogus name")
+	}
+	if n, ok := RegNumber("17"); !ok || n != 17 {
+		t.Errorf("RegNumber(17) = %d,%v", n, ok)
+	}
+	if n, ok := RegNumber("s8"); !ok || n != RegFP {
+		t.Errorf("RegNumber(s8) = %d,%v", n, ok)
+	}
+}
+
+func TestEncodeDecodeBasic(t *testing.T) {
+	cases := []Instruction{
+		{Op: OpADDU, Rd: 3, Rs: 4, Rt: 5},
+		{Op: OpSLL, Rd: 2, Rt: 2, Shamt: 4},
+		{Op: OpADDIU, Rt: 8, Rs: 29, Imm: -16},
+		{Op: OpORI, Rt: 9, Rs: 0, Imm: 0xbeef},
+		{Op: OpLUI, Rt: 10, Imm: 0x1234},
+		{Op: OpLW, Rt: 11, Rs: 29, Imm: 8},
+		{Op: OpSW, Rt: 12, Rs: 29, Imm: -4},
+		{Op: OpLB, Rt: 13, Rs: 4, Imm: 3},
+		{Op: OpBEQ, Rs: 4, Rt: 5, Imm: -2},
+		{Op: OpBNE, Rs: 4, Rt: 0, Imm: 100},
+		{Op: OpBLEZ, Rs: 6, Imm: 5},
+		{Op: OpBGTZ, Rs: 6, Imm: 5},
+		{Op: OpBLTZ, Rs: 7, Imm: -1},
+		{Op: OpBGEZ, Rs: 7, Imm: 1},
+		{Op: OpJ, Target: 0x40},
+		{Op: OpJAL, Target: 0x1000},
+		{Op: OpJR, Rs: 31},
+		{Op: OpJALR, Rd: 31, Rs: 25},
+		{Op: OpMULT, Rs: 8, Rt: 9},
+		{Op: OpDIVU, Rs: 8, Rt: 9},
+		{Op: OpMFLO, Rd: 2},
+		{Op: OpMFHI, Rd: 3},
+		{Op: OpSyscall},
+		{Op: OpMFC1, Rt: 8, Fs: 2},
+		{Op: OpMTC1, Rt: 8, Fs: 2},
+		{Op: OpLWC1, Ft: 4, Rs: 4, Imm: 16},
+		{Op: OpSDC1, Ft: 6, Rs: 5, Imm: 24},
+		{Op: OpFADD, Fd: 2, Fs: 4, Ft: 6, Double: true},
+		{Op: OpFMUL, Fd: 2, Fs: 4, Ft: 6, Double: false},
+		{Op: OpFDIV, Fd: 8, Fs: 10, Ft: 12, Double: true},
+		{Op: OpFSQRT, Fd: 8, Fs: 10, Ft: NoFPReg, Double: true},
+		{Op: OpFMOV, Fd: 0, Fs: 2, Ft: NoFPReg, Double: true},
+		{Op: OpFNEG, Fd: 0, Fs: 2, Ft: NoFPReg},
+		{Op: OpCVTD, Fd: 2, Fs: 4, Ft: NoFPReg, CvtSrc: CvtFromW, Double: true},
+		{Op: OpCVTD, Fd: 2, Fs: 4, Ft: NoFPReg, CvtSrc: CvtFromS, Double: true},
+		{Op: OpCVTS, Fd: 2, Fs: 4, Ft: NoFPReg, CvtSrc: CvtFromD},
+		{Op: OpCVTW, Fd: 2, Fs: 4, Ft: NoFPReg, CvtSrc: CvtFromD},
+		{Op: OpCEQ, Fs: 2, Ft: 4, Double: true},
+		{Op: OpCLT, Fs: 2, Ft: 4},
+		{Op: OpCLE, Fs: 2, Ft: 4, Double: true},
+		{Op: OpBC1T, Imm: 3},
+		{Op: OpBC1F, Imm: -3},
+	}
+	for _, want := range cases {
+		word, err := Encode(want)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", want, err)
+		}
+		got, err := Decode(word)
+		if err != nil {
+			t.Fatalf("Decode(%#08x) for %+v: %v", word, want, err)
+		}
+		if got != want {
+			t.Errorf("round trip %#08x:\n got  %+v\n want %+v", word, got, want)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []uint32{
+		0x0000003f,                    // SPECIAL with unknown funct
+		uint32(18) << 26,              // COP2
+		uint32(opcRegimm)<<26 | 5<<16, // unknown REGIMM
+		uint32(opcCOP1)<<26 | 2<<21,   // unknown COP1 rs
+	}
+	for _, w := range bad {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#08x) succeeded, want error", w)
+		}
+	}
+}
+
+func TestClassProperties(t *testing.T) {
+	if !ClassLoad.IsMem() || !ClassFPStore.IsMem() || ClassIntALU.IsMem() {
+		t.Error("IsMem misclassifies")
+	}
+	if !ClassFPMul.IsFP() || ClassLoad.IsFP() {
+		t.Error("IsFP misclassifies")
+	}
+	if !ClassBranch.IsControl() || !ClassJump.IsControl() || ClassStore.IsControl() {
+		t.Error("IsControl misclassifies")
+	}
+	if OpLW.MemSize() != 4 || OpLDC1.MemSize() != 8 || OpSB.MemSize() != 1 || OpADDU.MemSize() != 0 {
+		t.Error("MemSize wrong")
+	}
+	if !OpLW.IsLoad() || OpLW.IsStore() || !OpSDC1.IsStore() {
+		t.Error("IsLoad/IsStore wrong")
+	}
+	if OpFSQRT.Class() != ClassFPDiv {
+		t.Error("sqrt must share the divide unit (paper §5.10)")
+	}
+}
+
+func TestBranchTargetMath(t *testing.T) {
+	pc := uint32(0x1000)
+	if got := BranchTarget(pc, -1); got != 0x1000 {
+		t.Errorf("BranchTarget(-1) = %#x", got)
+	}
+	if got := BranchTarget(pc, 2); got != 0x100c {
+		t.Errorf("BranchTarget(2) = %#x", got)
+	}
+	off, ok := BranchOffset(pc, 0x100c)
+	if !ok || off != 2 {
+		t.Errorf("BranchOffset = %d,%v", off, ok)
+	}
+	if _, ok := BranchOffset(pc, pc+4+4*40000); ok {
+		t.Error("BranchOffset accepted out-of-range target")
+	}
+	if _, ok := BranchOffset(pc, pc+6); ok {
+		t.Error("BranchOffset accepted unaligned target")
+	}
+	if got := JumpTarget(0x1000, 0x40); got != 0x100 {
+		t.Errorf("JumpTarget = %#x", got)
+	}
+}
+
+func TestIsNop(t *testing.T) {
+	nop := Instruction{Op: OpSLL}
+	if !nop.IsNop() {
+		t.Error("canonical nop not recognised")
+	}
+	if (Instruction{Op: OpSLL, Rd: 1}).IsNop() {
+		t.Error("sll $at,... misrecognised as nop")
+	}
+}
+
+// TestDecodeEncodeQuick: any word that decodes must re-encode to itself.
+func TestDecodeEncodeQuick(t *testing.T) {
+	f := func(w uint32) bool {
+		in, err := Decode(w)
+		if err != nil {
+			return true // not in the subset — fine
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			t.Logf("decoded %#08x to %+v but cannot re-encode: %v", w, in, err)
+			return false
+		}
+		// Some don't-care bits (e.g. shamt in ADDU) are legitimately lost;
+		// require the re-decoded form to be identical instead.
+		in2, err := Decode(w2)
+		if err != nil {
+			return false
+		}
+		return in == in2
+	}
+	cfg := &quick.Config{
+		MaxCount: 5000,
+		Rand:     rand.New(rand.NewSource(1)),
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		pc   uint32
+		want string
+	}{
+		{Instruction{Op: OpADDU, Rd: 2, Rs: 4, Rt: 5}, 0, "addu $v0, $a0, $a1"},
+		{Instruction{Op: OpSLL}, 0, "nop"},
+		{Instruction{Op: OpLW, Rt: 8, Rs: 29, Imm: 4}, 0, "lw $t0, 4($sp)"},
+		{Instruction{Op: OpBEQ, Rs: 4, Rt: 0, Imm: 2}, 0x100, "beq $a0, $zero, 0x10c"},
+		{Instruction{Op: OpJAL, Target: 0x80}, 0, "jal 0x200"},
+		{Instruction{Op: OpFADD, Fd: 0, Fs: 2, Ft: 4, Double: true}, 0, "add.d $f0, $f2, $f4"},
+		{Instruction{Op: OpCVTD, Fd: 2, Fs: 4, CvtSrc: CvtFromW, Double: true}, 0, "cvt.d.w $f2, $f4"},
+		{Instruction{Op: OpLDC1, Ft: 4, Rs: 8, Imm: 8}, 0, "ldc1 $f4, 8($t0)"},
+	}
+	for _, c := range cases {
+		got := Disassemble(c.in, c.pc)
+		if got != c.want {
+			t.Errorf("Disassemble(%+v) = %q want %q", c.in, got, c.want)
+		}
+	}
+	// Every encodable op must disassemble to something containing its name.
+	for op := OpSLL; op < opCount; op++ {
+		in := Instruction{Op: op, Ft: NoFPReg}
+		s := Disassemble(in, 0)
+		if s == "" {
+			t.Errorf("empty disassembly for %v", op)
+		}
+		stem := op.Name()
+		if op == OpSLL { // the zero instruction is nop
+			continue
+		}
+		if !strings.Contains(s, stem) {
+			t.Errorf("Disassemble(%v) = %q does not contain %q", op, s, stem)
+		}
+	}
+}

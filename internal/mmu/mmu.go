@@ -1,0 +1,158 @@
+// Package mmu models the Aurora III's off-chip Memory Management Unit — the
+// fourth custom chip of Figure 2. The paper treats everything behind the
+// BIU as a "secondary memory system" with an *average* latency (17 or 35
+// cycles); this package provides the structure that average abstracts:
+// a translation lookaside buffer and an optional secondary cache in front
+// of DRAM. The main experiments keep the paper's flat-average abstraction
+// (MMU disabled); the extension studies turn it on to ask how sensitive the
+// paper's conclusions are to what the average hides.
+package mmu
+
+import "aurora/internal/cache"
+
+// Config parameterises the MMU.
+type Config struct {
+	// TLBEntries sets the fully-associative TLB size (0 disables
+	// translation modelling). The R3000 had 64 entries.
+	TLBEntries int
+	// PageBytes is the page size (4096).
+	PageBytes int
+	// WalkLatency is the page-table walk cost on a TLB miss, added to the
+	// access (the R3000's software refill took tens of cycles).
+	WalkLatency int
+
+	// L2Bytes enables a secondary cache of that size inside the MMU
+	// (0 disables it — the paper's flat-latency model).
+	L2Bytes     int
+	L2LineBytes int
+	// L2HitLatency / DRAMLatency replace the flat secondary latency when
+	// the L2 is enabled.
+	L2HitLatency int
+	DRAMLatency  int
+}
+
+// DefaultConfig returns an MMU resembling the era's parts: a 64-entry TLB
+// with a 20-cycle walk and a 512 KB secondary cache at 10/60 cycles.
+func DefaultConfig() Config {
+	return Config{
+		TLBEntries: 64, PageBytes: 4096, WalkLatency: 20,
+		L2Bytes: 512 << 10, L2LineBytes: 32,
+		L2HitLatency: 10, DRAMLatency: 60,
+	}
+}
+
+// Stats counts MMU activity.
+type Stats struct {
+	TLBAccesses uint64
+	TLBMisses   uint64
+	L2Accesses  uint64
+	L2Misses    uint64
+}
+
+// MMU is the memory management unit model.
+type MMU struct {
+	cfg   Config
+	stats Stats
+
+	tlb     []tlbEntry
+	tlbTick uint64
+
+	l2 *cache.TagArray
+}
+
+type tlbEntry struct {
+	valid bool
+	vpn   uint32
+	lru   uint64
+}
+
+// New creates an MMU. A zero Config disables everything (flat model).
+func New(cfg Config) *MMU {
+	m := &MMU{cfg: cfg}
+	if cfg.TLBEntries > 0 {
+		if cfg.PageBytes <= 0 {
+			m.cfg.PageBytes = 4096
+		}
+		m.tlb = make([]tlbEntry, cfg.TLBEntries)
+	}
+	if cfg.L2Bytes > 0 {
+		lb := cfg.L2LineBytes
+		if lb <= 0 {
+			lb = 32
+		}
+		m.l2 = cache.NewTagArray(cfg.L2Bytes, lb)
+	}
+	return m
+}
+
+// Config returns the active configuration.
+func (m *MMU) Config() Config { return m.cfg }
+
+// Stats returns the accumulated counters.
+func (m *MMU) Stats() Stats { return m.stats }
+
+// TranslationEnabled reports whether the TLB model is active.
+func (m *MMU) TranslationEnabled() bool { return len(m.tlb) > 0 }
+
+// L2Enabled reports whether the secondary cache model is active.
+func (m *MMU) L2Enabled() bool { return m.l2 != nil }
+
+// Translate models a TLB access for addr, returning the extra cycles the
+// access costs (0 on a hit, WalkLatency on a miss-and-refill).
+func (m *MMU) Translate(addr uint32) int {
+	if len(m.tlb) == 0 {
+		return 0
+	}
+	m.stats.TLBAccesses++
+	vpn := addr / uint32(m.cfg.PageBytes)
+	m.tlbTick++
+	victim := 0
+	for i := range m.tlb {
+		e := &m.tlb[i]
+		if e.valid && e.vpn == vpn {
+			e.lru = m.tlbTick
+			return 0
+		}
+		if !m.tlb[victim].valid {
+			continue
+		}
+		if !e.valid || e.lru < m.tlb[victim].lru {
+			victim = i
+		}
+	}
+	m.stats.TLBMisses++
+	m.tlb[victim] = tlbEntry{valid: true, vpn: vpn, lru: m.tlbTick}
+	return m.cfg.WalkLatency
+}
+
+// SecondaryLatency models the line fetch behind the BIU: the L2 lookup
+// (filling on miss) decides between the hit latency and DRAM. With the L2
+// disabled it returns fallback (the paper's flat average).
+func (m *MMU) SecondaryLatency(lineAddr uint32, fallback int) int {
+	if m.l2 == nil {
+		return fallback
+	}
+	m.stats.L2Accesses++
+	if m.l2.Lookup(lineAddr) {
+		return m.cfg.L2HitLatency
+	}
+	m.stats.L2Misses++
+	m.l2.Fill(lineAddr)
+	return m.cfg.DRAMLatency
+}
+
+// TLBMissRate returns misses/accesses.
+func (s Stats) TLBMissRate() float64 {
+	if s.TLBAccesses == 0 {
+		return 0
+	}
+	return float64(s.TLBMisses) / float64(s.TLBAccesses)
+}
+
+// L2HitRate returns the secondary-cache hit fraction.
+func (s Stats) L2HitRate() float64 {
+	if s.L2Accesses == 0 {
+		return 0
+	}
+	return 1 - float64(s.L2Misses)/float64(s.L2Accesses)
+}

@@ -1,0 +1,89 @@
+package mmu
+
+import "testing"
+
+func TestDisabledMMU(t *testing.T) {
+	m := New(Config{})
+	if m.TranslationEnabled() || m.L2Enabled() {
+		t.Fatal("zero config should disable everything")
+	}
+	if m.Translate(0x1234) != 0 {
+		t.Error("disabled translation cost nonzero")
+	}
+	if m.SecondaryLatency(0x1000, 17) != 17 {
+		t.Error("disabled L2 must pass through the flat latency")
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	m := New(Config{TLBEntries: 2, PageBytes: 4096, WalkLatency: 20})
+	if got := m.Translate(0x1000); got != 20 {
+		t.Errorf("cold miss cost %d want 20", got)
+	}
+	if got := m.Translate(0x1ffc); got != 0 {
+		t.Errorf("same-page hit cost %d want 0", got)
+	}
+	if got := m.Translate(0x2000); got != 20 {
+		t.Errorf("new page cost %d", got)
+	}
+	// Both entries live; third page evicts LRU (page 0x1).
+	m.Translate(0x3000)
+	if got := m.Translate(0x1000); got != 20 {
+		t.Errorf("evicted page hit for free (%d)", got)
+	}
+	st := m.Stats()
+	if st.TLBAccesses != 5 || st.TLBMisses != 4 {
+		t.Errorf("stats %+v", st)
+	}
+	if r := st.TLBMissRate(); r < 0.79 || r > 0.81 {
+		t.Errorf("miss rate %f", r)
+	}
+}
+
+func TestTLBLRU(t *testing.T) {
+	m := New(Config{TLBEntries: 2, PageBytes: 4096, WalkLatency: 10})
+	m.Translate(0x1000) // A
+	m.Translate(0x2000) // B
+	m.Translate(0x1000) // touch A: B becomes LRU
+	m.Translate(0x3000) // C evicts B
+	if m.Translate(0x1000) != 0 {
+		t.Error("A evicted despite being MRU")
+	}
+	if m.Translate(0x2000) == 0 {
+		t.Error("B survived despite being LRU")
+	}
+}
+
+func TestL2Latencies(t *testing.T) {
+	m := New(Config{L2Bytes: 1 << 10, L2LineBytes: 32, L2HitLatency: 10, DRAMLatency: 60})
+	if got := m.SecondaryLatency(0x4000, 17); got != 60 {
+		t.Errorf("cold access %d want DRAM 60", got)
+	}
+	if got := m.SecondaryLatency(0x4000, 17); got != 10 {
+		t.Errorf("warm access %d want 10", got)
+	}
+	st := m.Stats()
+	if st.L2Accesses != 2 || st.L2Misses != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.L2HitRate() != 0.5 {
+		t.Errorf("hit rate %f", st.L2HitRate())
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	m := New(DefaultConfig())
+	if !m.TranslationEnabled() || !m.L2Enabled() {
+		t.Fatal("default config should enable both")
+	}
+	if m.Config().TLBEntries != 64 {
+		t.Errorf("TLB entries %d", m.Config().TLBEntries)
+	}
+}
+
+func TestZeroStatsRates(t *testing.T) {
+	var s Stats
+	if s.TLBMissRate() != 0 || s.L2HitRate() != 0 {
+		t.Error("zero stats rates not zero")
+	}
+}

@@ -1,0 +1,281 @@
+// Package prefetch implements the Aurora III Prefetch Unit: a shared pool of
+// Jouppi-style stream buffers that fetch sequential cache lines ahead of the
+// instruction and data reference streams (paper §2.2).
+//
+// Policy, following the paper exactly: on each primary-cache miss that also
+// misses the stream buffers, a buffer is allocated (LRU) and initialised to
+// fetch the *next* sequential line — one line only. When a later miss hits in
+// a buffer, the line is transferred to the primary cache and the buffer
+// escalates, fetching further sequential lines until it is full.
+package prefetch
+
+// Fetcher abstracts the BIU read path the buffers use for their prefetches.
+type Fetcher interface {
+	// SpareForPrefetch reports whether the memory system has transaction
+	// slots to spare beyond what demand traffic may need imminently;
+	// the prefetcher yields when it does not.
+	SpareForPrefetch() bool
+	// CanAccept reports whether a read transaction can be buffered.
+	CanAccept() bool
+	// Read starts a line read; cb fires when the line arrives. The
+	// returned cycle is the completion time; ok is false if the request
+	// could not be accepted.
+	Read(now uint64, lineAddr uint32, cb func(now uint64)) (completeAt uint64, ok bool)
+}
+
+// ProbeResult describes the outcome of a stream-buffer probe.
+type ProbeResult int
+
+// Probe outcomes.
+const (
+	// Miss: the line is in no buffer.
+	Miss ProbeResult = iota
+	// Present: the line has fully arrived in a buffer.
+	Present
+	// Pending: the line has been requested and is still in flight.
+	Pending
+)
+
+type slot struct {
+	lineAddr uint32
+	state    uint8 // 0 empty, 1 pending, 2 present
+	readyAt  uint64
+}
+
+const (
+	slotEmpty = iota
+	slotPending
+	slotPresent
+)
+
+type buffer struct {
+	valid    bool
+	next     uint32 // line address the next prefetch will request
+	slots    []slot
+	lru      uint64
+	escalate bool // a hit occurred: keep fetching until full
+	gen      uint64
+}
+
+// Buffers is the stream-buffer pool shared by the I and D streams.
+type Buffers struct {
+	enabled   bool
+	lineBytes uint32
+	depth     int
+	bufs      []buffer
+	clock     uint64
+	genCtr    uint64
+
+	probes      uint64
+	hits        uint64
+	pendingHits uint64
+	allocs      uint64
+	fetches     uint64
+	discarded   uint64 // prefetched lines thrown away on reallocation
+}
+
+// New creates a pool of n buffers, each holding depth lines.
+// n = 0 disables prefetching entirely (the Figure 5 ablation).
+func New(n, depth, lineBytes int) *Buffers {
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Buffers{
+		enabled:   n > 0,
+		lineBytes: uint32(lineBytes),
+		depth:     depth,
+		bufs:      make([]buffer, n),
+	}
+	return p
+}
+
+// Enabled reports whether the unit is active.
+func (p *Buffers) Enabled() bool { return p.enabled }
+
+// Probe checks the buffers for lineAddr after a primary-cache miss.
+// Following Jouppi's design, only the first two slots of each buffer are
+// comparable (the head comparator, with one slot of skew tolerance for
+// lines consumed out of lock-step) — a stream that jumps further ahead
+// misses and reallocates, which is what makes a small shared pool thrash
+// between the instruction and data streams (paper §5.2).
+// On Present, the line is consumed (transferred toward the primary cache)
+// and the owning buffer escalates its fetch-ahead. On Pending, readyAt is
+// the cycle the line will have arrived, and the slot is consumed as of then.
+func (p *Buffers) Probe(now uint64, lineAddr uint32) (ProbeResult, uint64) {
+	if !p.enabled {
+		return Miss, 0
+	}
+	p.probes++
+	for i := range p.bufs {
+		b := &p.bufs[i]
+		if !b.valid {
+			continue
+		}
+		comparable := 2
+		if len(b.slots) < comparable {
+			comparable = len(b.slots)
+		}
+		for j := 0; j < comparable; j++ {
+			s := &b.slots[j]
+			if s.state == slotEmpty || s.lineAddr != lineAddr {
+				continue
+			}
+			p.clock++
+			b.lru = p.clock
+			b.escalate = true
+			var ready uint64
+			res := Present
+			if s.state == slotPending {
+				res = Pending
+				ready = s.readyAt
+				p.pendingHits++
+			}
+			p.hits++
+			// Consume this slot and everything before it (the
+			// stream has advanced past them).
+			copy(b.slots, b.slots[j+1:])
+			for k := len(b.slots) - (j + 1); k < len(b.slots); k++ {
+				b.slots[k] = slot{}
+			}
+			return res, ready
+		}
+	}
+	return Miss, 0
+}
+
+// AllocateOnMiss resets the LRU buffer to stream from the line after missAddr.
+// Following the paper, the new buffer fetches a single line immediately
+// (via Tick) and does not run ahead until it sees a hit.
+func (p *Buffers) AllocateOnMiss(now uint64, missLineAddr uint32) {
+	if !p.enabled {
+		return
+	}
+	victim := &p.bufs[0]
+	for i := range p.bufs {
+		if !p.bufs[i].valid {
+			victim = &p.bufs[i]
+			break
+		}
+		if p.bufs[i].lru < victim.lru {
+			victim = &p.bufs[i]
+		}
+	}
+	for _, s := range victim.slots {
+		if s.state == slotPresent {
+			p.discarded++
+		}
+	}
+	p.clock++
+	p.genCtr++
+	*victim = buffer{
+		valid: true,
+		next:  missLineAddr + p.lineBytes,
+		slots: make([]slot, p.depth),
+		lru:   p.clock,
+		gen:   p.genCtr,
+	}
+	p.allocs++
+}
+
+// Tick issues at most one prefetch request per cycle, using spare bus
+// bandwidth only. Call once per cycle.
+func (p *Buffers) Tick(now uint64, f Fetcher) {
+	if !p.enabled || !f.SpareForPrefetch() || !f.CanAccept() {
+		return
+	}
+	// Pick the most recently used buffer that wants a line: fresh
+	// allocations want exactly one line; escalated buffers fill up.
+	var best *buffer
+	for i := range p.bufs {
+		b := &p.bufs[i]
+		if !b.valid || !p.wantsFetch(b) {
+			continue
+		}
+		if best == nil || b.lru > best.lru {
+			best = b
+		}
+	}
+	if best == nil {
+		return
+	}
+	// Find the first empty slot.
+	idx := -1
+	for j := range best.slots {
+		if best.slots[j].state == slotEmpty {
+			idx = j
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	lineAddr := best.next
+	gen := best.gen
+	b := best
+	sl := idx
+	doneAt, ok := f.Read(now, lineAddr, func(done uint64) {
+		// The buffer may have been reallocated while the line was in
+		// flight; drop the fill if so.
+		if !b.valid || b.gen != gen || sl >= len(b.slots) {
+			return
+		}
+		s := &b.slots[sl]
+		if s.state == slotPending && s.lineAddr == lineAddr {
+			s.state = slotPresent
+			s.readyAt = done
+		}
+	})
+	if !ok {
+		return
+	}
+	best.slots[idx] = slot{lineAddr: lineAddr, state: slotPending, readyAt: doneAt}
+	best.next += p.lineBytes
+	p.fetches++
+}
+
+func (p *Buffers) wantsFetch(b *buffer) bool {
+	used := 0
+	for _, s := range b.slots {
+		if s.state != slotEmpty {
+			used++
+		}
+	}
+	if b.escalate {
+		return used < len(b.slots)
+	}
+	return used == 0 // fresh buffer: fetch exactly one line
+}
+
+// Note: Probe consumes slots by shifting; in-flight fills identify their
+// slot by generation + position, so a consume between request and fill can
+// orphan a fill. That models the real race (the line arrives after the
+// stream moved on) and simply wastes the fetch.
+
+// Stats.
+
+// Probes returns the number of primary-miss probes.
+func (p *Buffers) Probes() uint64 { return p.probes }
+
+// Hits returns probes that found their line (present or pending).
+func (p *Buffers) Hits() uint64 { return p.hits }
+
+// PendingHits returns hits on lines still in flight.
+func (p *Buffers) PendingHits() uint64 { return p.pendingHits }
+
+// Allocs returns buffer allocations (≈ stream restarts).
+func (p *Buffers) Allocs() uint64 { return p.allocs }
+
+// Fetches returns prefetch requests issued to the BIU.
+func (p *Buffers) Fetches() uint64 { return p.fetches }
+
+// Discarded returns prefetched lines thrown away by reallocation.
+func (p *Buffers) Discarded() uint64 { return p.discarded }
+
+// HitRate returns hits/probes — the paper's "prefetch hit rate"
+// (a prefetch hit is a primary miss that hits a stream buffer).
+func (p *Buffers) HitRate() float64 {
+	if p.probes == 0 {
+		return 0
+	}
+	return float64(p.hits) / float64(p.probes)
+}

@@ -1,0 +1,239 @@
+package prefetch
+
+import "testing"
+
+// fakeFetcher completes reads after a fixed latency via Step().
+type fakeFetcher struct {
+	latency uint64
+	busy    bool
+	full    bool
+	queue   []fakeReq
+	reads   int
+}
+
+type fakeReq struct {
+	doneAt uint64
+	cb     func(uint64)
+}
+
+func (f *fakeFetcher) SpareForPrefetch() bool { return !f.busy }
+func (f *fakeFetcher) CanAccept() bool        { return !f.full }
+func (f *fakeFetcher) Read(now uint64, lineAddr uint32, cb func(uint64)) (uint64, bool) {
+	if f.full {
+		return 0, false
+	}
+	f.reads++
+	f.queue = append(f.queue, fakeReq{doneAt: now + f.latency, cb: cb})
+	return now + f.latency, true
+}
+
+func (f *fakeFetcher) Step(now uint64) {
+	rest := f.queue[:0]
+	for _, r := range f.queue {
+		if r.doneAt <= now {
+			r.cb(now)
+		} else {
+			rest = append(rest, r)
+		}
+	}
+	f.queue = rest
+}
+
+func TestDisabledPool(t *testing.T) {
+	p := New(0, 4, 32)
+	if p.Enabled() {
+		t.Fatal("0 buffers should disable the unit")
+	}
+	if r, _ := p.Probe(0, 0x1000); r != Miss {
+		t.Error("disabled pool must always miss")
+	}
+	p.AllocateOnMiss(0, 0x1000) // must not panic
+	p.Tick(0, &fakeFetcher{})
+}
+
+func TestAllocateFetchesSingleLine(t *testing.T) {
+	p := New(2, 4, 32)
+	f := &fakeFetcher{latency: 20}
+	p.AllocateOnMiss(0, 0x1000)
+	for now := uint64(0); now < 50; now++ {
+		f.Step(now)
+		p.Tick(now, f)
+	}
+	// Fresh buffer fetches exactly one line (paper §2.2) — no run-ahead
+	// before the first hit.
+	if f.reads != 1 {
+		t.Errorf("reads = %d want 1", f.reads)
+	}
+	// The fetched line is the successor of the missing line.
+	if r, _ := p.Probe(60, 0x1020); r != Present {
+		t.Errorf("successor line not present: %v", r)
+	}
+}
+
+func TestHitEscalatesFetchAhead(t *testing.T) {
+	p := New(2, 4, 32)
+	f := &fakeFetcher{latency: 5}
+	p.AllocateOnMiss(0, 0x1000)
+	for now := uint64(0); now < 20; now++ {
+		f.Step(now)
+		p.Tick(now, f)
+	}
+	if f.reads != 1 {
+		t.Fatalf("pre-hit reads = %d", f.reads)
+	}
+	if r, _ := p.Probe(20, 0x1020); r != Present {
+		t.Fatal("line 0x1020 not present")
+	}
+	// After the hit the buffer should stream ahead until full (4 deep).
+	for now := uint64(20); now < 60; now++ {
+		f.Step(now)
+		p.Tick(now, f)
+	}
+	if f.reads != 1+4 {
+		t.Errorf("post-hit reads = %d want 5", f.reads)
+	}
+	// Sequential consumption keeps hitting.
+	for i, la := range []uint32{0x1040, 0x1060, 0x1080} {
+		if r, _ := p.Probe(60, la); r != Present {
+			t.Errorf("stream line %d (%#x) missing: %v", i, la, r)
+		}
+		for now := uint64(60); now < 80; now++ {
+			f.Step(now)
+			p.Tick(now, f)
+		}
+	}
+	if p.Hits() != 4 {
+		t.Errorf("hits = %d want 4", p.Hits())
+	}
+}
+
+func TestPendingHit(t *testing.T) {
+	p := New(1, 4, 32)
+	f := &fakeFetcher{latency: 30}
+	p.AllocateOnMiss(0, 0x2000)
+	p.Tick(1, f) // request issued at cycle 1, arrives at 31
+	r, ready := p.Probe(10, 0x2020)
+	if r != Pending {
+		t.Fatalf("probe = %v want Pending", r)
+	}
+	if ready != 31 {
+		t.Errorf("readyAt = %d want 31", ready)
+	}
+	if p.PendingHits() != 1 {
+		t.Errorf("pendingHits = %d", p.PendingHits())
+	}
+}
+
+func TestLRUReallocationAndThrashing(t *testing.T) {
+	// Two buffers, three interleaved streams: the pool thrashes, the
+	// small-model pathology from the paper (§5.2).
+	p := New(2, 4, 32)
+	f := &fakeFetcher{latency: 2}
+	streams := []uint32{0x1000, 0x8000, 0x20000}
+	for round := uint64(0); round < 6; round++ {
+		for si, base := range streams {
+			la := base + uint32(round)*32
+			if r, _ := p.Probe(round*100+uint64(si), la); r == Miss {
+				p.AllocateOnMiss(round*100, la)
+			}
+			for c := uint64(0); c < 40; c++ {
+				now := round*100 + uint64(si)*40 + c
+				f.Step(now)
+				p.Tick(now, f)
+			}
+		}
+	}
+	// With 2 buffers and 3 streams the LRU stream is always evicted
+	// before its next reference: hit rate collapses.
+	if p.HitRate() > 0.2 {
+		t.Errorf("hit rate %.2f — expected thrashing", p.HitRate())
+	}
+	if p.Discarded() == 0 {
+		t.Error("expected discarded prefetches under thrashing")
+	}
+}
+
+func TestTwoStreamsTwoBuffers(t *testing.T) {
+	// With one buffer per stream both streams hit steadily.
+	p := New(2, 4, 32)
+	f := &fakeFetcher{latency: 2}
+	now := uint64(0)
+	step := func() { f.Step(now); p.Tick(now, f); now++ }
+	p.AllocateOnMiss(now, 0x1000)
+	p.AllocateOnMiss(now, 0x8000)
+	for i := 0; i < 30; i++ {
+		step()
+	}
+	hits := 0
+	for round := uint32(1); round <= 4; round++ {
+		for _, base := range []uint32{0x1000, 0x8000} {
+			if r, _ := p.Probe(now, base+round*32); r == Present {
+				hits++
+			}
+			for i := 0; i < 30; i++ {
+				step()
+			}
+		}
+	}
+	if hits < 7 {
+		t.Errorf("hits = %d want ≥7 of 8", hits)
+	}
+}
+
+func TestPrefetcherYieldsToBusyBus(t *testing.T) {
+	p := New(1, 4, 32)
+	f := &fakeFetcher{latency: 5, busy: true}
+	p.AllocateOnMiss(0, 0x1000)
+	for now := uint64(0); now < 20; now++ {
+		p.Tick(now, f)
+	}
+	if f.reads != 0 {
+		t.Error("prefetched while bus busy")
+	}
+	f.busy = false
+	p.Tick(21, f)
+	if f.reads != 1 {
+		t.Error("did not resume after bus freed")
+	}
+}
+
+func TestProbeCountsAndRate(t *testing.T) {
+	p := New(1, 4, 32)
+	f := &fakeFetcher{latency: 1}
+	p.Probe(0, 0x5000) // miss
+	p.AllocateOnMiss(0, 0x5000)
+	for now := uint64(0); now < 10; now++ {
+		f.Step(now)
+		p.Tick(now, f)
+	}
+	p.Probe(10, 0x5020) // hit
+	if p.Probes() != 2 || p.Hits() != 1 {
+		t.Errorf("probes=%d hits=%d", p.Probes(), p.Hits())
+	}
+	if p.HitRate() != 0.5 {
+		t.Errorf("hit rate %f", p.HitRate())
+	}
+	if p.Allocs() != 1 || p.Fetches() == 0 {
+		t.Errorf("allocs=%d fetches=%d", p.Allocs(), p.Fetches())
+	}
+}
+
+func TestStaleFillDropped(t *testing.T) {
+	// A fill arriving after its buffer was reallocated must not corrupt
+	// the new stream.
+	p := New(1, 4, 32)
+	f := &fakeFetcher{latency: 50}
+	p.AllocateOnMiss(0, 0x1000)
+	p.Tick(1, f) // fetch of 0x1020 in flight
+	p.AllocateOnMiss(2, 0x9000)
+	for now := uint64(0); now < 120; now++ {
+		f.Step(now)
+		p.Tick(now, f)
+	}
+	if r, _ := p.Probe(130, 0x1020); r != Miss {
+		t.Error("stale line visible after reallocation")
+	}
+	if r, _ := p.Probe(131, 0x9020); r != Present {
+		t.Error("new stream line missing")
+	}
+}

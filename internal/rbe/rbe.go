@@ -1,0 +1,199 @@
+// Package rbe implements the paper's Register Bit Equivalent cost model
+// (Table 2), based on Mulder's area model. One RBE is the area of a 1-bit
+// static latch — about 16 transistors / 3600 µm² in the Aurora III's GaAs
+// DCFL process. SRAM bits cost 0.5 RBE plus block overhead, which is why
+// the per-kilobyte block costs in Table 2 are not linear in capacity.
+package rbe
+
+import "fmt"
+
+// Table 2 constants — IPU elements.
+const (
+	// Cache blocks include decode/sense overhead, hence the non-linear
+	// scaling: 1 KB = 8000, 2 KB = 12000, 4 KB = 20000 RBE.
+	CacheBlock1K = 8000
+	CacheBlock2K = 12000
+	CacheBlock4K = 20000
+
+	WriteCacheLine     = 320
+	PrefetchLine       = 320
+	ReorderBufferEntry = 200
+	MSHREntry          = 50
+	IntegerPipeline    = 8192
+)
+
+// Table 2 constants — FPU elements.
+const (
+	FPDataResourceBlock = 4000 // register file + scoreboard
+	FPInstrQueueEntry   = 50
+	FPDataQueueEntry    = 80
+)
+
+// Physical constants quoted in §4.2.
+const (
+	TransistorsPerRBE = 16
+	SquareMicronsRBE  = 3600
+	SRAMBitRBE        = 0.5
+)
+
+// ICacheCost returns the Table 2 cost of an instruction cache of the given
+// size. Only the paper's three sizes are defined; other sizes interpolate
+// on the same diminishing-overhead curve (size/1K × 8000 × 0.75^log2(size/1K)
+// is NOT the paper's rule — we extend by fitting the three published points:
+// cost(s) = 4000 + 4000 × s/1K for s ≥ 1K, which reproduces 8000/12000/20000).
+func ICacheCost(bytes int) (int, error) {
+	switch bytes {
+	case 1024:
+		return CacheBlock1K, nil
+	case 2048:
+		return CacheBlock2K, nil
+	case 4096:
+		return CacheBlock4K, nil
+	}
+	if bytes < 1024 || bytes%1024 != 0 {
+		return 0, fmt.Errorf("rbe: unsupported icache size %d", bytes)
+	}
+	return 4000 + 4000*(bytes/1024), nil
+}
+
+// FPUnitCost returns the Table 2 cost range interpolation for an FPU
+// functional unit at a given latency: faster units spend more area.
+// Ranges (latency → RBE): add 1-5 cyc → 5000-1250; multiply 1-5 →
+// 6875-2500; divide 10-30 → 2500-625; convert 1-5 → 2500-1250.
+// Interpolation is linear in latency, clamped to the published range.
+func FPUnitCost(unit FPUnit, latency int) int {
+	r, ok := fpRanges[unit]
+	if !ok {
+		return 0
+	}
+	if latency <= r.minLat {
+		return r.maxCost
+	}
+	if latency >= r.maxLat {
+		return r.minCost
+	}
+	span := r.maxLat - r.minLat
+	frac := float64(latency-r.minLat) / float64(span)
+	return int(float64(r.maxCost) - frac*float64(r.maxCost-r.minCost))
+}
+
+// FPUnit identifies an FPU functional unit.
+type FPUnit int
+
+// FPU functional units.
+const (
+	FPAdd FPUnit = iota
+	FPMultiply
+	FPDivide
+	FPConvert
+)
+
+func (u FPUnit) String() string {
+	switch u {
+	case FPAdd:
+		return "add"
+	case FPMultiply:
+		return "multiply"
+	case FPDivide:
+		return "divide"
+	case FPConvert:
+		return "convert"
+	}
+	return fmt.Sprintf("fpunit(%d)", int(u))
+}
+
+type fpRange struct {
+	minLat, maxLat   int
+	maxCost, minCost int // maxCost at minLat
+}
+
+var fpRanges = map[FPUnit]fpRange{
+	FPAdd:      {1, 5, 5000, 1250},
+	FPMultiply: {1, 5, 6875, 2500},
+	FPDivide:   {10, 30, 2500, 625},
+	FPConvert:  {1, 5, 2500, 1250},
+}
+
+// CoreOverhead is the fixed integer-core area that does not vary across the
+// paper's configurations: register file, scoreboard, decoders, BIU and FPU
+// interfaces. Table 2 omits it, but the §5.1 statements pin it down: the
+// large dual-issue model costs "20.4%" more than the baseline dual-issue
+// model, and the single-issue baseline has "similar cost" to the dual-issue
+// small model. Both equations are satisfied simultaneously by a fixed
+// overhead of ≈37,000 RBE (large/base = 87984/73084 = 1.204; single-base
+// 64892 vs dual-small 65034, within 0.3%), so that constant is used here.
+const CoreOverhead = 37000
+
+// PipelineLatchSavings is the area fraction of an FP add/multiply unit
+// spent on pipeline latches (§5.10: "approximately 25%"). Removing
+// pipelining recovers it.
+const PipelineLatchSavings = 0.25
+
+// IPUCost describes an integer-side configuration for costing.
+type IPUCost struct {
+	ICacheBytes     int
+	WriteCacheLines int
+	PrefetchBuffers int
+	PrefetchDepth   int // lines per buffer
+	ReorderEntries  int
+	MSHREntries     int
+	Pipelines       int // 1 = single issue, 2 = dual issue
+}
+
+// Total returns the configuration's cost in RBE.
+func (c IPUCost) Total() (int, error) {
+	icache, err := ICacheCost(c.ICacheBytes)
+	if err != nil {
+		return 0, err
+	}
+	depth := c.PrefetchDepth
+	if depth == 0 {
+		depth = 4
+	}
+	total := CoreOverhead + icache +
+		c.WriteCacheLines*WriteCacheLine +
+		c.PrefetchBuffers*depth*PrefetchLine +
+		c.ReorderEntries*ReorderBufferEntry +
+		c.MSHREntries*MSHREntry +
+		c.Pipelines*IntegerPipeline
+	return total, nil
+}
+
+// FPUCost describes an FPU configuration for costing.
+type FPUCost struct {
+	InstrQueue   int
+	LoadQueue    int
+	StoreQueue   int
+	ReorderBuf   int
+	AddLatency   int
+	MulLatency   int
+	DivLatency   int
+	CvtLatency   int
+	AddPipelined bool
+	MulPipelined bool
+}
+
+// Total returns the FPU configuration's cost in RBE.
+func (c FPUCost) Total() int {
+	add := float64(FPUnitCost(FPAdd, c.AddLatency))
+	if !c.AddPipelined {
+		add *= 1 - PipelineLatchSavings
+	}
+	mul := float64(FPUnitCost(FPMultiply, c.MulLatency))
+	if !c.MulPipelined {
+		mul *= 1 - PipelineLatchSavings
+	}
+	return FPDataResourceBlock +
+		c.InstrQueue*FPInstrQueueEntry +
+		(c.LoadQueue+c.StoreQueue)*FPDataQueueEntry +
+		c.ReorderBuf*ReorderBufferEntry +
+		int(add) + int(mul) +
+		FPUnitCost(FPDivide, c.DivLatency) +
+		FPUnitCost(FPConvert, c.CvtLatency)
+}
+
+// Transistors converts an RBE count to an approximate transistor count.
+func Transistors(rbe int) int { return rbe * TransistorsPerRBE }
+
+// AreaMM2 converts an RBE count to approximate silicon area in mm².
+func AreaMM2(rbe int) float64 { return float64(rbe) * SquareMicronsRBE / 1e6 }

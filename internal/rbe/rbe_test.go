@@ -1,0 +1,145 @@
+package rbe
+
+import "testing"
+
+func TestICacheCostTable2(t *testing.T) {
+	cases := map[int]int{1024: 8000, 2048: 12000, 4096: 20000}
+	for bytes, want := range cases {
+		got, err := ICacheCost(bytes)
+		if err != nil || got != want {
+			t.Errorf("ICacheCost(%d) = %d,%v want %d", bytes, got, err, want)
+		}
+	}
+	// The extension rule must reproduce the published points too.
+	if got, _ := ICacheCost(8192); got != 36000 {
+		t.Errorf("ICacheCost(8K) = %d want 36000 (fit extension)", got)
+	}
+	if _, err := ICacheCost(512); err == nil {
+		t.Error("sub-1K size accepted")
+	}
+	if _, err := ICacheCost(1500); err == nil {
+		t.Error("non-multiple size accepted")
+	}
+}
+
+func TestFPUnitCostEndpoints(t *testing.T) {
+	cases := []struct {
+		u        FPUnit
+		lat, rbe int
+	}{
+		{FPAdd, 1, 5000}, {FPAdd, 5, 1250},
+		{FPMultiply, 1, 6875}, {FPMultiply, 5, 2500},
+		{FPDivide, 10, 2500}, {FPDivide, 30, 625},
+		{FPConvert, 1, 2500}, {FPConvert, 5, 1250},
+	}
+	for _, c := range cases {
+		if got := FPUnitCost(c.u, c.lat); got != c.rbe {
+			t.Errorf("FPUnitCost(%v, %d) = %d want %d", c.u, c.lat, got, c.rbe)
+		}
+	}
+	// Clamping outside the published range.
+	if FPUnitCost(FPAdd, 0) != 5000 || FPUnitCost(FPAdd, 9) != 1250 {
+		t.Error("clamping broken")
+	}
+	// Monotone decreasing inside the range.
+	prev := FPUnitCost(FPDivide, 10)
+	for lat := 11; lat <= 30; lat++ {
+		cur := FPUnitCost(FPDivide, lat)
+		if cur > prev {
+			t.Errorf("divide cost increased at latency %d", lat)
+		}
+		prev = cur
+	}
+	if FPUnitCost(FPUnit(99), 3) != 0 {
+		t.Error("unknown unit should cost 0")
+	}
+}
+
+// TestPaperModelCosts checks the three Table 1 machine models against the
+// §5.1 statements: the large dual-issue model costs ~20.4% more than the
+// baseline dual-issue model, and the single-issue baseline is comparable in
+// cost to the dual-issue small model.
+func TestPaperModelCosts(t *testing.T) {
+	small := IPUCost{ICacheBytes: 1024, WriteCacheLines: 2, PrefetchBuffers: 2,
+		PrefetchDepth: 4, ReorderEntries: 2, MSHREntries: 1, Pipelines: 2}
+	base := IPUCost{ICacheBytes: 2048, WriteCacheLines: 4, PrefetchBuffers: 4,
+		PrefetchDepth: 4, ReorderEntries: 6, MSHREntries: 2, Pipelines: 2}
+	large := IPUCost{ICacheBytes: 4096, WriteCacheLines: 8, PrefetchBuffers: 8,
+		PrefetchDepth: 4, ReorderEntries: 8, MSHREntries: 4, Pipelines: 2}
+
+	sc, err := small.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, _ := base.Total()
+	lc, _ := large.Total()
+	if !(sc < bc && bc < lc) {
+		t.Fatalf("cost ordering broken: %d %d %d", sc, bc, lc)
+	}
+	// §5.1: "hardware cost increase of 20.4%" large vs baseline (dual).
+	ratio := float64(lc)/float64(bc) - 1
+	if ratio < 0.19 || ratio > 0.22 {
+		t.Errorf("large/base cost increase = %.1f%%, paper says ~20.4%%", ratio*100)
+	}
+	// §5.1: single-issue base ≈ cost of dual-issue small.
+	base1 := base
+	base1.Pipelines = 1
+	b1c, _ := base1.Total()
+	diff := float64(b1c)/float64(sc) - 1
+	if diff < -0.05 || diff > 0.05 {
+		t.Errorf("single-issue base (%d) vs dual small (%d): %.1f%% apart", b1c, sc, diff*100)
+	}
+}
+
+func TestFPUCostRecommended(t *testing.T) {
+	// §5.11 recommended FPU configuration.
+	rec := FPUCost{
+		InstrQueue: 5, LoadQueue: 2, StoreQueue: 2, ReorderBuf: 6,
+		AddLatency: 3, MulLatency: 5, DivLatency: 19, CvtLatency: 2,
+		AddPipelined: true, MulPipelined: false,
+	}
+	total := rec.Total()
+	if total <= FPDataResourceBlock {
+		t.Fatalf("total %d implausible", total)
+	}
+	// Unpipelining the multiplier must save ~25% of the multiplier area.
+	recP := rec
+	recP.MulPipelined = true
+	if recP.Total() <= total {
+		t.Error("pipelined multiplier should cost more")
+	}
+	saved := recP.Total() - total
+	mulCost := FPUnitCost(FPMultiply, 5)
+	if saved != mulCost/4 {
+		t.Errorf("latch savings = %d want %d", saved, mulCost/4)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if Transistors(100) != 1600 {
+		t.Errorf("Transistors(100) = %d", Transistors(100))
+	}
+	if a := AreaMM2(1000); a < 3.5 || a > 3.7 {
+		t.Errorf("AreaMM2(1000) = %f", a)
+	}
+}
+
+func TestIPUCostDefaultDepth(t *testing.T) {
+	c := IPUCost{ICacheBytes: 1024, PrefetchBuffers: 2, Pipelines: 1}
+	got, err := c.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// default depth 4: 2 buffers × 4 lines × 320
+	want := CoreOverhead + 8000 + 2*4*320 + 8192
+	if got != want {
+		t.Errorf("total = %d want %d", got, want)
+	}
+}
+
+func TestIPUCostError(t *testing.T) {
+	c := IPUCost{ICacheBytes: 100}
+	if _, err := c.Total(); err == nil {
+		t.Error("bad icache size accepted")
+	}
+}

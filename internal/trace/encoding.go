@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"aurora/internal/isa"
+)
+
+// Binary trace format: a fixed header followed by fixed-size records.
+// Each record stores the PC, the raw instruction word (re-decoded on read),
+// the effective memory address, and the control-flow outcome — everything
+// the timing simulator needs, in 17 bytes.
+
+var magic = [4]byte{'A', 'U', 'R', '3'}
+
+const formatVersion = 1
+
+// Writer serialises a trace to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	n     uint64
+	wrote bool
+	err   error
+}
+
+// NewWriter creates a trace writer and emits the header.
+func NewWriter(w io.Writer) *Writer {
+	tw := &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+	if _, err := tw.w.Write(magic[:]); err != nil {
+		tw.err = err
+		return tw
+	}
+	tw.err = tw.w.WriteByte(formatVersion)
+	return tw
+}
+
+// Write appends one record.
+func (tw *Writer) Write(r Record) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	word, err := isa.Encode(r.In)
+	if err != nil {
+		tw.err = fmt.Errorf("trace: unencodable instruction at %#x: %w", r.PC, err)
+		return tw.err
+	}
+	var buf [17]byte
+	binary.LittleEndian.PutUint32(buf[0:], r.PC)
+	binary.LittleEndian.PutUint32(buf[4:], word)
+	binary.LittleEndian.PutUint32(buf[8:], r.MemAddr)
+	binary.LittleEndian.PutUint32(buf[12:], r.Target)
+	if r.Taken {
+		buf[16] = 1
+	}
+	if _, err := tw.w.Write(buf[:]); err != nil {
+		tw.err = err
+		return err
+	}
+	tw.n++
+	return nil
+}
+
+// Flush flushes buffered records.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.w.Flush()
+}
+
+// Count returns the number of records written.
+func (tw *Writer) Count() uint64 { return tw.n }
+
+// Reader deserialises a trace written by Writer, implementing Stream.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewReader creates a trace reader, validating the header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != formatVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr[4])
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next record; ok=false at clean EOF.
+func (tr *Reader) Next() (Record, bool) {
+	if tr.err != nil {
+		return Record{}, false
+	}
+	var buf [17]byte
+	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
+		if err != io.EOF {
+			tr.err = err
+		}
+		return Record{}, false
+	}
+	word := binary.LittleEndian.Uint32(buf[4:])
+	in, err := isa.Decode(word)
+	if err != nil {
+		tr.err = err
+		return Record{}, false
+	}
+	r := Record{
+		PC:      binary.LittleEndian.Uint32(buf[0:]),
+		In:      in,
+		Class:   in.Class(),
+		Deps:    isa.DepsOf(in),
+		MemAddr: binary.LittleEndian.Uint32(buf[8:]),
+		MemSize: uint8(in.Op.MemSize()),
+		Target:  binary.LittleEndian.Uint32(buf[12:]),
+		Taken:   buf[16] == 1,
+	}
+	r.FPDouble = in.Double
+	return r, true
+}
+
+// Err reports a terminal decode or IO error.
+func (tr *Reader) Err() error { return tr.err }

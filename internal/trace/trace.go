@@ -1,0 +1,112 @@
+// Package trace defines the dynamic instruction trace that couples the
+// functional MIPS VM (the trace producer) to the Aurora III timing simulator
+// (the consumer), mirroring the trace-driven methodology of the paper.
+//
+// A trace is a stream of Records. Records are produced online by the VM and
+// consumed by the simulator without materialising the whole stream, so
+// multi-million-instruction runs use constant memory. The package also
+// provides a compact binary on-disk format and instruction-mix statistics.
+package trace
+
+import (
+	"aurora/internal/isa"
+)
+
+// Record describes one dynamically executed instruction.
+type Record struct {
+	PC    uint32
+	In    isa.Instruction
+	Class isa.Class
+	Deps  isa.Deps
+
+	// Memory operations.
+	MemAddr uint32
+	MemSize uint8
+
+	// Control flow.
+	Taken  bool
+	Target uint32
+
+	// FP width (double-precision operations occupy register pairs).
+	FPDouble bool
+}
+
+// Stream produces records one at a time. Next returns ok=false at the end
+// of the stream; Err reports a terminal error, if any.
+type Stream interface {
+	Next() (Record, bool)
+	Err() error
+}
+
+// SliceStream adapts a []Record to a Stream, mainly for tests.
+type SliceStream struct {
+	Records []Record
+	i       int
+}
+
+// Next returns the next record.
+func (s *SliceStream) Next() (Record, bool) {
+	if s.i >= len(s.Records) {
+		return Record{}, false
+	}
+	r := s.Records[s.i]
+	s.i++
+	return r, true
+}
+
+// Err always returns nil for a slice stream.
+func (s *SliceStream) Err() error { return nil }
+
+// Reset rewinds the stream to the beginning.
+func (s *SliceStream) Reset() { s.i = 0 }
+
+// Mix accumulates instruction-class statistics over a trace.
+type Mix struct {
+	Total   uint64
+	ByClass [16]uint64
+	Loads   uint64
+	Stores  uint64
+	Taken   uint64
+	Branch  uint64
+}
+
+// Add accounts one record.
+func (m *Mix) Add(r Record) {
+	m.Total++
+	if int(r.Class) < len(m.ByClass) {
+		m.ByClass[r.Class]++
+	}
+	switch r.Class {
+	case isa.ClassLoad, isa.ClassFPLoad:
+		m.Loads++
+	case isa.ClassStore, isa.ClassFPStore:
+		m.Stores++
+	case isa.ClassBranch:
+		m.Branch++
+		if r.Taken {
+			m.Taken++
+		}
+	}
+}
+
+// Fraction returns the share of class c in the mix.
+func (m *Mix) Fraction(c isa.Class) float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return float64(m.ByClass[c]) / float64(m.Total)
+}
+
+// FPFraction returns the share of FPU-destined instructions.
+func (m *Mix) FPFraction() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	var fp uint64
+	for c := isa.Class(0); int(c) < len(m.ByClass); c++ {
+		if c.IsFP() {
+			fp += m.ByClass[c]
+		}
+	}
+	return float64(fp) / float64(m.Total)
+}

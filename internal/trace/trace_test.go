@@ -1,0 +1,292 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"aurora/internal/isa"
+)
+
+func sampleRecords() []Record {
+	mk := func(in isa.Instruction, addr uint32, taken bool, target uint32) Record {
+		r := Record{
+			PC: 0x1000, In: in, Class: in.Class(), Deps: isa.DepsOf(in),
+			MemAddr: addr, MemSize: uint8(in.Op.MemSize()),
+			Taken: taken, Target: target, FPDouble: in.Double,
+		}
+		return r
+	}
+	return []Record{
+		mk(isa.Instruction{Op: isa.OpADDU, Rd: 8, Rs: 9, Rt: 10}, 0, false, 0),
+		mk(isa.Instruction{Op: isa.OpLW, Rt: 8, Rs: 29, Imm: 4}, 0x2000, false, 0),
+		mk(isa.Instruction{Op: isa.OpSW, Rt: 8, Rs: 29, Imm: -4}, 0x3000, false, 0),
+		mk(isa.Instruction{Op: isa.OpBNE, Rs: 8, Rt: 0, Imm: -2}, 0, true, 0xff8),
+		mk(isa.Instruction{Op: isa.OpFADD, Fd: 2, Fs: 4, Ft: 6, Double: true}, 0, false, 0),
+		mk(isa.Instruction{Op: isa.OpLDC1, Ft: 4, Rs: 4, Imm: 8}, 0x4000, false, 0),
+	}
+}
+
+func TestEncodingRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(recs)) {
+		t.Errorf("count %d want %d", w.Count(), len(recs))
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range recs {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("record %d: premature end (%v)", i, r.Err())
+		}
+		if got.PC != want.PC || got.In != want.In || got.MemAddr != want.MemAddr ||
+			got.Taken != want.Taken || got.Target != want.Target ||
+			got.Class != want.Class || got.Deps != want.Deps {
+			t.Errorf("record %d:\n got  %+v\n want %+v", i, got, want)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("extra record after end")
+	}
+	if r.Err() != nil {
+		t.Errorf("err after clean EOF: %v", r.Err())
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Error("garbage header accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte{'A', 'U', 'R', '3', 99})); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(sampleRecords()[0])
+	w.Flush()
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("truncated record decoded")
+	}
+	if r.Err() == nil {
+		t.Error("truncation not reported")
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	recs := sampleRecords()
+	s := &SliceStream{Records: recs}
+	n := 0
+	for {
+		_, ok := s.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != len(recs) {
+		t.Errorf("streamed %d want %d", n, len(recs))
+	}
+	s.Reset()
+	if _, ok := s.Next(); !ok {
+		t.Error("reset did not rewind")
+	}
+	if s.Err() != nil {
+		t.Error("slice stream errored")
+	}
+}
+
+func TestMix(t *testing.T) {
+	var m Mix
+	for _, r := range sampleRecords() {
+		m.Add(r)
+	}
+	if m.Total != 6 {
+		t.Errorf("total %d", m.Total)
+	}
+	if m.Loads != 2 { // lw + ldc1
+		t.Errorf("loads %d", m.Loads)
+	}
+	if m.Stores != 1 {
+		t.Errorf("stores %d", m.Stores)
+	}
+	if m.Branch != 1 || m.Taken != 1 {
+		t.Errorf("branches %d/%d", m.Taken, m.Branch)
+	}
+	if f := m.Fraction(isa.ClassIntALU); f < 0.16 || f > 0.17 {
+		t.Errorf("alu fraction %f", f)
+	}
+	if f := m.FPFraction(); f < 0.33 || f > 0.34 { // fadd + ldc1
+		t.Errorf("fp fraction %f", f)
+	}
+	var empty Mix
+	if empty.Fraction(isa.ClassIntALU) != 0 || empty.FPFraction() != 0 {
+		t.Error("empty mix fractions not zero")
+	}
+}
+
+// --- rescheduling pass ---
+
+func mkRec(in isa.Instruction, pc uint32, addr uint32) Record {
+	r := Record{PC: pc, In: in, Class: in.Class(), Deps: isa.DepsOf(in),
+		MemAddr: addr, MemSize: uint8(in.Op.MemSize())}
+	return r
+}
+
+func TestRescheduleHoistsLoad(t *testing.T) {
+	// alu; alu; load; use → the load must move ahead of the alus.
+	pc := uint32(0x1000)
+	recs := []Record{
+		mkRec(isa.Instruction{Op: isa.OpADDU, Rd: 9, Rs: 10, Rt: 11}, pc, 0),
+		mkRec(isa.Instruction{Op: isa.OpADDU, Rd: 12, Rs: 10, Rt: 11}, pc+4, 0),
+		mkRec(isa.Instruction{Op: isa.OpLW, Rt: 8, Rs: 29}, pc+8, 0x2000),
+		mkRec(isa.Instruction{Op: isa.OpADDU, Rd: 13, Rs: 8, Rt: 8}, pc+12, 0),
+	}
+	rs := NewReschedule(&SliceStream{Records: recs})
+	var out []Record
+	for {
+		r, ok := rs.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	if len(out) != 4 {
+		t.Fatalf("got %d records", len(out))
+	}
+	if out[0].In.Op != isa.OpLW {
+		t.Errorf("load not hoisted first: %v", out[0].In.Op)
+	}
+	if out[3].In.Rd != 13 {
+		t.Errorf("consumer not last: %+v", out[3].In)
+	}
+	// PCs re-assigned sequentially from the block base.
+	for i, r := range out {
+		if r.PC != pc+uint32(i)*4 {
+			t.Errorf("record %d PC %#x", i, r.PC)
+		}
+	}
+}
+
+func TestReschedulePreservesDependences(t *testing.T) {
+	// A RAW chain must keep its order.
+	pc := uint32(0x1000)
+	recs := []Record{
+		mkRec(isa.Instruction{Op: isa.OpADDU, Rd: 8, Rs: 10, Rt: 11}, pc, 0),
+		mkRec(isa.Instruction{Op: isa.OpADDU, Rd: 9, Rs: 8, Rt: 8}, pc+4, 0),
+		mkRec(isa.Instruction{Op: isa.OpADDU, Rd: 12, Rs: 9, Rt: 9}, pc+8, 0),
+	}
+	rs := NewReschedule(&SliceStream{Records: recs})
+	var dsts []uint8
+	for {
+		r, ok := rs.Next()
+		if !ok {
+			break
+		}
+		dsts = append(dsts, r.In.Rd)
+	}
+	if dsts[0] != 8 || dsts[1] != 9 || dsts[2] != 12 {
+		t.Errorf("RAW chain reordered: %v", dsts)
+	}
+}
+
+func TestReschedulePreservesMemoryOrder(t *testing.T) {
+	pc := uint32(0x1000)
+	recs := []Record{
+		mkRec(isa.Instruction{Op: isa.OpSW, Rt: 8, Rs: 29}, pc, 0x2000),
+		mkRec(isa.Instruction{Op: isa.OpLW, Rt: 9, Rs: 29}, pc+4, 0x2000),
+	}
+	rs := NewReschedule(&SliceStream{Records: recs})
+	r1, _ := rs.Next()
+	r2, _ := rs.Next()
+	if r1.In.Op != isa.OpSW || r2.In.Op != isa.OpLW {
+		t.Errorf("store/load reordered: %v %v", r1.In.Op, r2.In.Op)
+	}
+}
+
+func TestReschedulePinsControlAndDelaySlot(t *testing.T) {
+	pc := uint32(0x1000)
+	br := mkRec(isa.Instruction{Op: isa.OpBNE, Rs: 8, Rt: 0, Imm: -4}, pc+8, 0)
+	br.Taken = true
+	br.Target = 0x1000
+	recs := []Record{
+		mkRec(isa.Instruction{Op: isa.OpLW, Rt: 8, Rs: 29}, pc, 0x2000),
+		mkRec(isa.Instruction{Op: isa.OpADDU, Rd: 9, Rs: 10, Rt: 11}, pc+4, 0),
+		br,
+		mkRec(isa.Instruction{Op: isa.OpADDU, Rd: 12, Rs: 10, Rt: 11}, pc+12, 0), // delay slot
+		// next block
+		mkRec(isa.Instruction{Op: isa.OpADDU, Rd: 13, Rs: 10, Rt: 11}, 0x1000, 0),
+	}
+	rs := NewReschedule(&SliceStream{Records: recs})
+	var out []Record
+	for {
+		r, ok := rs.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	if len(out) != 5 {
+		t.Fatalf("%d records", len(out))
+	}
+	if out[2].In.Op != isa.OpBNE {
+		t.Errorf("branch moved: position 2 is %v", out[2].In.Op)
+	}
+	if out[3].In.Rd != 12 {
+		t.Errorf("delay slot moved: %+v", out[3].In)
+	}
+	if out[4].PC != 0x1000 {
+		t.Errorf("next block PC %#x", out[4].PC)
+	}
+}
+
+func TestRescheduleCountPreserved(t *testing.T) {
+	// Same record multiset in, same out (by opcode counts).
+	var recs []Record
+	pc := uint32(0x1000)
+	for i := 0; i < 200; i++ {
+		op := []isa.Op{isa.OpADDU, isa.OpLW, isa.OpSW, isa.OpXOR}[i%4]
+		in := isa.Instruction{Op: op, Rd: uint8(8 + i%4), Rs: 29, Rt: uint8(10 + i%3)}
+		recs = append(recs, mkRec(in, pc, uint32(0x2000+i*4)))
+		pc += 4
+	}
+	rs := NewReschedule(&SliceStream{Records: recs})
+	counts := map[isa.Op]int{}
+	n := 0
+	for {
+		r, ok := rs.Next()
+		if !ok {
+			break
+		}
+		counts[r.In.Op]++
+		n++
+	}
+	if n != 200 {
+		t.Fatalf("records %d want 200", n)
+	}
+	if counts[isa.OpLW] != 50 || counts[isa.OpSW] != 50 {
+		t.Errorf("op counts %v", counts)
+	}
+}

@@ -1,0 +1,447 @@
+package vm
+
+import (
+	"fmt"
+	"testing"
+
+	"aurora/internal/asm"
+)
+
+// Table-driven semantics tests: each case sets up registers with li, runs
+// one instruction under test, and checks a result register. This pins down
+// every integer operator's exact semantics independent of the bigger
+// program-level tests.
+
+type semCase struct {
+	name  string
+	setup string // li/la sequence
+	insn  string // the instruction under test
+	reg   uint8  // register to check
+	want  uint32
+}
+
+func runSem(t *testing.T, c semCase) {
+	t.Helper()
+	src := "main:\n" + c.setup + "\n" + c.insn + "\n\tli $v0, 10\n\tsyscall\n"
+	p, err := asm.Assemble(c.name+".s", src)
+	if err != nil {
+		t.Fatalf("%s: assemble: %v", c.name, err)
+	}
+	m, err := New(p)
+	if err != nil {
+		t.Fatalf("%s: %v", c.name, err)
+	}
+	if _, err := m.Run(1000, nil); err != nil {
+		t.Fatalf("%s: run: %v", c.name, err)
+	}
+	if got := m.Reg[c.reg]; got != c.want {
+		t.Errorf("%s: reg %d = %#x want %#x", c.name, c.reg, got, c.want)
+	}
+}
+
+func TestIntegerSemantics(t *testing.T) {
+	neg := func(v int32) uint32 { return uint32(v) }
+	cases := []semCase{
+		{"addu-wrap", "\tli $t0, 0xffffffff\n\tli $t1, 2", "\taddu $t2, $t0, $t1", 10, 1},
+		{"subu-borrow", "\tli $t0, 1\n\tli $t1, 2", "\tsubu $t2, $t0, $t1", 10, neg(-1)},
+		{"and", "\tli $t0, 0xff0f\n\tli $t1, 0x0ff0", "\tand $t2, $t0, $t1", 10, 0x0f00},
+		{"or", "\tli $t0, 0xf000\n\tli $t1, 0x000f", "\tor $t2, $t0, $t1", 10, 0xf00f},
+		{"xor", "\tli $t0, 0xffff\n\tli $t1, 0x0f0f", "\txor $t2, $t0, $t1", 10, 0xf0f0},
+		{"nor", "\tli $t0, 0xffff0000\n\tli $t1, 0x0000ffff", "\tnor $t2, $t0, $t1", 10, 0},
+		{"slt-neg", "\tli $t0, -1\n\tli $t1, 1", "\tslt $t2, $t0, $t1", 10, 1},
+		{"sltu-neg", "\tli $t0, -1\n\tli $t1, 1", "\tsltu $t2, $t0, $t1", 10, 0},
+		{"slti", "\tli $t0, -5", "\tslti $t2, $t0, -4", 10, 1},
+		{"sltiu-signext", "\tli $t0, 0xfffffffe", "\tsltiu $t2, $t0, -1", 10, 1},
+		{"andi-zeroext", "\tli $t0, 0xffffffff", "\tandi $t2, $t0, 0xffff", 10, 0xffff},
+		{"ori-zeroext", "\tli $t0, 0", "\tori $t2, $t0, 0x8000", 10, 0x8000},
+		{"xori", "\tli $t0, 0xff", "\txori $t2, $t0, 0xf0", 10, 0x0f},
+		{"lui", "", "\tlui $t2, 0x1234", 10, 0x12340000},
+		{"sll", "\tli $t0, 1", "\tsll $t2, $t0, 31", 10, 0x80000000},
+		{"srl-logical", "\tli $t0, 0x80000000", "\tsrl $t2, $t0, 31", 10, 1},
+		{"sra-arith", "\tli $t0, 0x80000000", "\tsra $t2, $t0, 31", 10, neg(-1)},
+		{"sllv-mask", "\tli $t0, 1\n\tli $t1, 33", "\tsllv $t2, $t0, $t1", 10, 2},
+		{"srlv", "\tli $t0, 16\n\tli $t1, 2", "\tsrlv $t2, $t0, $t1", 10, 4},
+		{"srav", "\tli $t0, -16\n\tli $t1, 2", "\tsrav $t2, $t0, $t1", 10, neg(-4)},
+		{"addiu-neg", "\tli $t0, 10", "\taddiu $t2, $t0, -20", 10, neg(-10)},
+		{"move", "\tli $t3, 77", "\tmove $t2, $t3", 10, 77},
+		{"not", "\tli $t0, 0", "\tnot $t2, $t0", 10, 0xffffffff},
+		{"neg", "\tli $t0, 5", "\tneg $t2, $t0", 10, neg(-5)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { runSem(t, c) })
+	}
+}
+
+func TestMultiplySemantics(t *testing.T) {
+	cases := []semCase{
+		{"mult-lo", "\tli $t0, 3\n\tli $t1, -4\n\tmult $t0, $t1", "\tmflo $t2", 10, uint32(0xfffffff4)},
+		{"mult-hi", "\tli $t0, 0x10000\n\tli $t1, 0x10000\n\tmult $t0, $t1", "\tmfhi $t2", 10, 1},
+		{"multu-hi", "\tli $t0, 0xffffffff\n\tli $t1, 2\n\tmultu $t0, $t1", "\tmfhi $t2", 10, 1},
+		{"multu-lo", "\tli $t0, 0xffffffff\n\tli $t1, 2\n\tmultu $t0, $t1", "\tmflo $t2", 10, 0xfffffffe},
+		{"div-quot", "\tli $t0, 17\n\tli $t1, 5\n\tdiv $t0, $t1", "\tmflo $t2", 10, 3},
+		{"div-rem", "\tli $t0, 17\n\tli $t1, 5\n\tdiv $t0, $t1", "\tmfhi $t2", 10, 2},
+		{"div-negquot", "\tli $t0, -17\n\tli $t1, 5\n\tdiv $t0, $t1", "\tmflo $t2", 10, uint32(0xfffffffd)},
+		{"divu", "\tli $t0, 0xfffffffe\n\tli $t1, 2\n\tdivu $t0, $t1", "\tmflo $t2", 10, 0x7fffffff},
+		{"mthi-mfhi", "\tli $t0, 42\n\tmthi $t0", "\tmfhi $t2", 10, 42},
+		{"mtlo-mflo", "\tli $t0, 43\n\tmtlo $t0", "\tmflo $t2", 10, 43},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { runSem(t, c) })
+	}
+}
+
+func TestBranchSemantics(t *testing.T) {
+	// Each case: set condition, branch over a poison write; t2 = 1 means
+	// the branch was taken, 2 means it fell through.
+	mk := func(setup, branch string) string {
+		return fmt.Sprintf(`main:
+%s
+	li $t2, 0
+	%s
+	li $t2, 2
+	j done
+taken:
+	li $t2, 1
+done:
+	li $v0, 10
+	syscall
+`, setup, branch)
+	}
+	cases := []struct {
+		name   string
+		setup  string
+		branch string
+		want   uint32
+	}{
+		{"beq-eq", "\tli $t0, 5\n\tli $t1, 5", "beq $t0, $t1, taken", 1},
+		{"beq-ne", "\tli $t0, 5\n\tli $t1, 6", "beq $t0, $t1, taken", 2},
+		{"bne-ne", "\tli $t0, 5\n\tli $t1, 6", "bne $t0, $t1, taken", 1},
+		{"blez-zero", "\tli $t0, 0", "blez $t0, taken", 1},
+		{"blez-pos", "\tli $t0, 1", "blez $t0, taken", 2},
+		{"bgtz-pos", "\tli $t0, 1", "bgtz $t0, taken", 1},
+		{"bltz-neg", "\tli $t0, -1", "bltz $t0, taken", 1},
+		{"bgez-zero", "\tli $t0, 0", "bgez $t0, taken", 1},
+		{"bgez-neg", "\tli $t0, -1", "bgez $t0, taken", 2},
+		{"blt-lt", "\tli $t0, -3\n\tli $t1, 2", "blt $t0, $t1, taken", 1},
+		{"bge-eq", "\tli $t0, 2\n\tli $t1, 2", "bge $t0, $t1, taken", 1},
+		{"bgt-gt", "\tli $t0, 3\n\tli $t1, 2", "bgt $t0, $t1, taken", 1},
+		{"ble-gt", "\tli $t0, 3\n\tli $t1, 2", "ble $t0, $t1, taken", 2},
+		{"bltu-unsigned", "\tli $t0, 1\n\tli $t1, -1", "bltu $t0, $t1, taken", 1},
+		{"bgeu-unsigned", "\tli $t0, -1\n\tli $t1, 1", "bgeu $t0, $t1, taken", 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, err := asm.Assemble(c.name+".s", mk(c.setup, c.branch))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(1000, nil); err != nil {
+				t.Fatal(err)
+			}
+			if m.Reg[10] != c.want {
+				t.Errorf("t2 = %d want %d", m.Reg[10], c.want)
+			}
+		})
+	}
+}
+
+func TestLinkRegisterSemantics(t *testing.T) {
+	// jal/jalr save pc+8 (skipping the delay slot); bltzal/bgezal too.
+	p, err := asm.Assemble("link.s", `
+		.set noreorder
+main:
+		jal sub
+		nop
+		move $s0, $v0
+		li $t0, -1
+		bltzal $t0, sub2
+		nop
+		move $s1, $v0
+		li $v0, 10
+		syscall
+sub:
+		move $v0, $ra
+		jr $ra
+		nop
+sub2:
+		move $v0, $ra
+		jr $ra
+		nop
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	// jal at main+0 → ra = main+8.
+	if m.Reg[16] != p.Entry+8 {
+		t.Errorf("jal link = %#x want %#x", m.Reg[16], p.Entry+8)
+	}
+	// bltzal at main+16 (jal,nop,move,li) → ra = main+24.
+	if m.Reg[17] != p.Entry+24 {
+		t.Errorf("bltzal link = %#x want %#x", m.Reg[17], p.Entry+24)
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	runOne := func(insn string) *Machine {
+		p, err := asm.Assemble("z.s", "main:\n\tli $t0, 7\n"+insn+"\n\tli $v0, 10\n\tsyscall\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := New(p)
+		if _, err := m.Run(100, nil); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	for _, insn := range []string{
+		"\taddu $zero, $t0, $t0",
+		"\tlui $zero, 0x7fff",
+		"\taddiu $zero, $t0, 5",
+	} {
+		m := runOne(insn)
+		if m.Reg[0] != 0 {
+			t.Errorf("%q wrote $zero: %#x", insn, m.Reg[0])
+		}
+	}
+}
+
+func TestFPDoubleRegisterPairing(t *testing.T) {
+	// A double write to $f2 must cover $f2 and $f3; odd register names in
+	// double ops address the even-aligned pair.
+	p, err := asm.Assemble("pair.s", `
+		.data
+x:	.double 1.0
+		.text
+main:
+	ldc1 $f2, x
+	mfc1 $t0, $f2
+	mfc1 $t1, $f3
+	li $v0, 10
+	syscall
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := New(p)
+	if _, err := m.Run(100, nil); err != nil {
+		t.Fatal(err)
+	}
+	// 1.0 = 0x3FF0000000000000: low word 0, high word 0x3ff00000.
+	if m.Reg[8] != 0 || m.Reg[9] != 0x3ff00000 {
+		t.Errorf("pair = %#x, %#x", m.Reg[8], m.Reg[9])
+	}
+}
+
+func TestFPSingleNegZeroAbs(t *testing.T) {
+	p, err := asm.Assemble("nz.s", `
+		.data
+z:	.float 0.0
+		.text
+main:
+	lwc1 $f0, z
+	neg.s $f1, $f0
+	abs.s $f2, $f1
+	mfc1 $t0, $f1
+	mfc1 $t1, $f2
+	li $v0, 10
+	syscall
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := New(p)
+	if _, err := m.Run(100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg[8] != 0x80000000 {
+		t.Errorf("neg.s(0) = %#x want -0", m.Reg[8])
+	}
+	if m.Reg[9] != 0 {
+		t.Errorf("abs.s(-0) = %#x want +0", m.Reg[9])
+	}
+}
+
+func TestFPCompareConditions(t *testing.T) {
+	run := func(cmp string, a, b float64) bool {
+		src := fmt.Sprintf(`
+		.data
+va:	.double %g
+vb:	.double %g
+		.text
+		.set noreorder
+main:
+	ldc1 $f0, va
+	ldc1 $f2, vb
+	li $t2, 0
+	%s $f0, $f2
+	bc1t yes
+	nop
+	j done
+	nop
+yes:	li $t2, 1
+done:
+	li $v0, 10
+	syscall
+`, a, b, cmp)
+		p, err := asm.Assemble("cmp.s", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := New(p)
+		if _, err := m.Run(1000, nil); err != nil {
+			t.Fatal(err)
+		}
+		return m.Reg[10] == 1
+	}
+	if !run("c.eq.d", 2, 2) || run("c.eq.d", 2, 3) {
+		t.Error("c.eq.d wrong")
+	}
+	if !run("c.lt.d", 2, 3) || run("c.lt.d", 3, 2) || run("c.lt.d", 2, 2) {
+		t.Error("c.lt.d wrong")
+	}
+	if !run("c.le.d", 2, 2) || run("c.le.d", 3, 2) {
+		t.Error("c.le.d wrong")
+	}
+}
+
+func TestByteHalfStores(t *testing.T) {
+	p, err := asm.Assemble("bh.s", `
+		.data
+buf:	.word 0
+		.text
+main:
+	la $t0, buf
+	li $t1, 0xAB
+	sb $t1, 1($t0)
+	li $t1, 0xCDEF
+	sh $t1, 2($t0)
+	lw $t2, 0($t0)
+	li $v0, 10
+	syscall
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := New(p)
+	if _, err := m.Run(100, nil); err != nil {
+		t.Fatal(err)
+	}
+	// little-endian: byte1=0xAB, half at 2 = 0xCDEF → word 0xCDEFAB00
+	if m.Reg[10] != 0xCDEFAB00 {
+		t.Errorf("composed word %#x", m.Reg[10])
+	}
+}
+
+func TestAddOverflowTraps(t *testing.T) {
+	cases := []string{
+		"main:\n\tli $t0, 0x7fffffff\n\tli $t1, 1\n\tadd $t2, $t0, $t1",
+		"main:\n\tli $t0, 0x7fffffff\n\taddi $t2, $t0, 1",
+		"main:\n\tli $t0, 0x80000000\n\tli $t1, 1\n\tsub $t2, $t0, $t1",
+	}
+	for _, src := range cases {
+		p, err := asm.Assemble("ovf.s", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := New(p)
+		if _, err := m.Run(100, nil); err == nil {
+			t.Errorf("%q: overflow did not trap", src)
+		}
+	}
+	// The unsigned forms must not trap.
+	p, err := asm.Assemble("nf.s", `main:
+		li $t0, 0x7fffffff
+		li $t1, 1
+		addu $t2, $t0, $t1
+		li $v0, 10
+		syscall
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := New(p)
+	if _, err := m.Run(100, nil); err != nil {
+		t.Errorf("addu trapped: %v", err)
+	}
+	if m.Reg[10] != 0x80000000 {
+		t.Errorf("addu wrapped wrong: %#x", m.Reg[10])
+	}
+}
+
+func TestUnalignedWordOps(t *testing.T) {
+	// Load the word 0x44332211 stored at offset 0, then use lwl/lwr at
+	// offset 1 to assemble an unaligned word spanning two words
+	// (little-endian semantics: lwr gets the low part, lwl the high).
+	m, _ := run(t, `
+		.data
+buf:	.word 0x44332211, 0x88776655
+		.text
+main:
+		la $t0, buf
+		li $t1, 0
+		lwr $t1, 1($t0)		# bytes 1..3 of word0 → low 3 bytes
+		lwl $t1, 4($t0)		# byte 0 of word1 → high byte
+	`+exitSeq)
+	// Unaligned word at address buf+1 = 0x55443322.
+	if m.Reg[9] != 0x55443322 {
+		t.Errorf("lwl/lwr composed %#x want 0x55443322", m.Reg[9])
+	}
+}
+
+func TestUnalignedStoreOps(t *testing.T) {
+	m, _ := run(t, `
+		.data
+buf:	.word 0, 0
+		.text
+main:
+		la $t0, buf
+		li $t1, 0xAABBCCDD
+		swr $t1, 1($t0)		# low 3 bytes → word0 bytes 1..3
+		swl $t1, 4($t0)		# high byte → word1 byte 0
+		lw $t2, 0($t0)
+		lw $t3, 4($t0)
+	`+exitSeq)
+	if m.Reg[10] != 0xBBCCDD00 {
+		t.Errorf("swr wrote %#x want 0xBBCCDD00", m.Reg[10])
+	}
+	if m.Reg[11] != 0x000000AA {
+		t.Errorf("swl wrote %#x want 0xAA", m.Reg[11])
+	}
+}
+
+func TestUnalignedRoundTrip(t *testing.T) {
+	// memcpy-style: read an unaligned word with lwr/lwl, write it back
+	// unaligned elsewhere with swr/swl, and verify byte identity.
+	m, _ := run(t, `
+		.data
+src:	.word 0x03020100, 0x07060504
+dst:	.word 0, 0, 0
+		.text
+main:
+		la $t0, src
+		la $t2, dst
+		li $t1, 0
+		lwr $t1, 1($t0)
+		lwl $t1, 4($t0)		# t1 = unaligned word at src+1
+		swr $t1, 3($t2)
+		swl $t1, 6($t2)		# store it at dst+3
+		lb $t4, 3($t2)		# dst byte 3 == src byte 1
+	`+exitSeq)
+	if m.Reg[12] != 1 {
+		t.Errorf("round-tripped byte = %#x want 1", m.Reg[12])
+	}
+	if m.Reg[9] != 0x04030201 {
+		t.Errorf("unaligned load = %#x want 0x04030201", m.Reg[9])
+	}
+}

@@ -1,0 +1,500 @@
+package vm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aurora/internal/asm"
+	"aurora/internal/isa"
+	"aurora/internal/trace"
+)
+
+func run(t *testing.T, src string) (*Machine, []trace.Record) {
+	t.Helper()
+	p, err := asm.Assemble("test.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m, err := New(p)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var recs []trace.Record
+	if _, err := m.Run(1_000_000, func(r trace.Record) { recs = append(recs, r) }); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m, recs
+}
+
+const exitSeq = `
+	li $v0, 10
+	syscall
+`
+
+func TestArithmetic(t *testing.T) {
+	m, _ := run(t, `
+	main:
+		li $t0, 7
+		li $t1, 5
+		addu $t2, $t0, $t1   # 12
+		subu $t3, $t0, $t1   # 2
+		and  $t4, $t0, $t1   # 5
+		or   $t5, $t0, $t1   # 7
+		xor  $t6, $t0, $t1   # 2
+		nor  $t7, $t0, $t1   # ^7
+		slt  $s0, $t1, $t0   # 1
+		sltu $s1, $t0, $t1   # 0
+		sll  $s2, $t0, 2     # 28
+		sra  $s3, $t0, 1     # 3
+	`+exitSeq)
+	want := map[uint8]uint32{
+		10: 12, 11: 2, 12: 5, 13: 7, 14: 2, 15: ^uint32(7),
+		16: 1, 17: 0, 18: 28, 19: 3,
+	}
+	for r, v := range want {
+		if m.Reg[r] != v {
+			t.Errorf("$%s = %d want %d", isa.RegName(r), m.Reg[r], v)
+		}
+	}
+}
+
+func TestNegativeArithmeticAndShifts(t *testing.T) {
+	m, _ := run(t, `
+	main:
+		li $t0, -8
+		sra $t1, $t0, 1      # -4
+		srl $t2, $t0, 28     # 0xf
+		li $t3, 3
+		sllv $t4, $t3, $t0   # shift amount -8&31 = 24 → 3<<24
+	`+exitSeq)
+	if int32(m.Reg[9]) != -4 {
+		t.Errorf("sra = %d", int32(m.Reg[9]))
+	}
+	if m.Reg[10] != 0xf {
+		t.Errorf("srl = %#x", m.Reg[10])
+	}
+	if m.Reg[12] != 3<<24 {
+		t.Errorf("sllv = %#x", m.Reg[12])
+	}
+}
+
+func TestMultDiv(t *testing.T) {
+	m, _ := run(t, `
+	main:
+		li $t0, 100
+		li $t1, 7
+		mult $t0, $t1
+		mflo $t2          # 700
+		li $t3, -100
+		div $t3, $t1
+		mflo $t4          # -14
+		mfhi $t5          # -2
+		mul $t6, $t0, $t0 # 10000
+		rem $t7, $t0, $t1 # 2
+	`+exitSeq)
+	if m.Reg[10] != 700 {
+		t.Errorf("mult/mflo = %d", m.Reg[10])
+	}
+	if int32(m.Reg[12]) != -14 || int32(m.Reg[13]) != -2 {
+		t.Errorf("div = %d rem %d", int32(m.Reg[12]), int32(m.Reg[13]))
+	}
+	if m.Reg[14] != 10000 || m.Reg[15] != 2 {
+		t.Errorf("mul/rem pseudo = %d, %d", m.Reg[14], m.Reg[15])
+	}
+}
+
+func TestMemory(t *testing.T) {
+	m, recs := run(t, `
+		.data
+	arr:	.word 10, 20, 30
+	bytes:	.byte 1, -1
+		.text
+	main:
+		la $t0, arr
+		lw $t1, 4($t0)       # 20
+		sw $t1, 8($t0)       # arr[2] = 20
+		lw $t2, 8($t0)       # 20
+		la $t3, bytes
+		lb $t4, 1($t3)       # -1
+		lbu $t5, 1($t3)      # 255
+		sh $t1, 0($t0)
+		lhu $t6, 0($t0)      # 20
+	`+exitSeq)
+	if m.Reg[9] != 20 || m.Reg[10] != 20 {
+		t.Errorf("lw/sw = %d %d", m.Reg[9], m.Reg[10])
+	}
+	if int32(m.Reg[12]) != -1 || m.Reg[13] != 255 {
+		t.Errorf("lb/lbu = %d %d", int32(m.Reg[12]), m.Reg[13])
+	}
+	if m.Reg[14] != 20 {
+		t.Errorf("sh/lhu = %d", m.Reg[14])
+	}
+	// Check that trace carries memory addresses.
+	var loads int
+	for _, r := range recs {
+		if r.Class == isa.ClassLoad {
+			loads++
+			if r.MemAddr < asm.DataBase {
+				t.Errorf("load record addr %#x below data base", r.MemAddr)
+			}
+		}
+	}
+	if loads != 5 {
+		t.Errorf("traced %d loads want 5", loads)
+	}
+}
+
+func TestBranchDelaySlot(t *testing.T) {
+	// The delay-slot instruction executes even when the branch is taken.
+	m, _ := run(t, `
+		.set noreorder
+	main:
+		li $t0, 0
+		li $t1, 0
+		beq $zero, $zero, skip
+		addiu $t0, $t0, 1    # delay slot: executes
+		addiu $t1, $t1, 1    # skipped
+	skip:
+	`+exitSeq)
+	if m.Reg[8] != 1 {
+		t.Errorf("delay slot did not execute: $t0 = %d", m.Reg[8])
+	}
+	if m.Reg[9] != 0 {
+		t.Errorf("branch fell through: $t1 = %d", m.Reg[9])
+	}
+}
+
+func TestLoopAndTrace(t *testing.T) {
+	_, recs := run(t, `
+	main:
+		li $t0, 10
+		li $t1, 0
+	loop:
+		addu $t1, $t1, $t0
+		addiu $t0, $t0, -1
+		bnez $t0, loop
+	`+exitSeq)
+	// Find branch records; 10 iterations → 10 branch executions, 9 taken.
+	var taken, total int
+	for _, r := range recs {
+		if r.Class == isa.ClassBranch {
+			total++
+			if r.Taken {
+				taken++
+			}
+		}
+	}
+	if total != 10 || taken != 9 {
+		t.Errorf("branches %d/%d want 9/10 taken", taken, total)
+	}
+}
+
+func TestFunctionCall(t *testing.T) {
+	m, _ := run(t, `
+	main:
+		li $a0, 21
+		jal double
+		move $s0, $v0
+	`+exitSeq+`
+	double:
+		sll $v0, $a0, 1
+		jr $ra
+	`)
+	if m.Reg[16] != 42 {
+		t.Errorf("call result = %d want 42", m.Reg[16])
+	}
+}
+
+func TestStackOperations(t *testing.T) {
+	m, _ := run(t, `
+	main:
+		addiu $sp, $sp, -8
+		li $t0, 0x1234
+		sw $t0, 0($sp)
+		sw $ra, 4($sp)
+		lw $t1, 0($sp)
+		addiu $sp, $sp, 8
+	`+exitSeq)
+	if m.Reg[9] != 0x1234 {
+		t.Errorf("stack load = %#x", m.Reg[9])
+	}
+	if m.Reg[isa.RegSP] != StackTop {
+		t.Errorf("sp not restored: %#x", m.Reg[isa.RegSP])
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	m, _ := run(t, `
+		.data
+	a:	.double 3.0
+	b:	.double 4.0
+		.text
+	main:
+		la $t0, a
+		ldc1 $f2, 0($t0)
+		la $t0, b
+		ldc1 $f4, 0($t0)
+		add.d $f6, $f2, $f4    # 7
+		mul.d $f8, $f2, $f4    # 12
+		div.d $f10, $f4, $f2   # 4/3
+		sub.d $f12, $f4, $f2   # 1
+		mul.d $f14, $f2, $f2
+		mul.d $f16, $f4, $f4
+		add.d $f14, $f14, $f16
+		sqrt.d $f14, $f14      # 5
+		neg.d $f16, $f2        # -3
+		abs.d $f18, $f16       # 3
+	`+exitSeq)
+	checks := map[uint8]float64{6: 7, 8: 12, 12: 1, 14: 5, 18: 3}
+	for r, want := range checks {
+		if got := m.getF64(r); got != want {
+			t.Errorf("$f%d = %g want %g", r, got, want)
+		}
+	}
+	if got := m.getF64(16); got != -3 {
+		t.Errorf("neg.d = %g", got)
+	}
+}
+
+func TestFPCompareAndBranch(t *testing.T) {
+	m, _ := run(t, `
+		.data
+	a:	.double 1.0
+	b:	.double 2.0
+		.text
+		.set noreorder
+	main:
+		la $t0, a
+		ldc1 $f0, 0($t0)
+		la $t0, b
+		ldc1 $f2, 0($t0)
+		li $s0, 0
+		c.lt.d $f0, $f2
+		bc1t yes
+		nop
+		j done
+		nop
+	yes:	li $s0, 1
+	done:
+	`+exitSeq)
+	if m.Reg[16] != 1 {
+		t.Errorf("c.lt.d/bc1t path not taken: $s0=%d", m.Reg[16])
+	}
+}
+
+func TestFPConversions(t *testing.T) {
+	m, _ := run(t, `
+	main:
+		li $t0, 9
+		mtc1 $t0, $f0
+		cvt.d.w $f2, $f0      # 9.0
+		cvt.s.d $f4, $f2      # 9.0f
+		cvt.d.s $f6, $f4      # 9.0
+		cvt.w.d $f8, $f6      # 9
+		mfc1 $t1, $f8
+	`+exitSeq)
+	if m.getF64(2) != 9.0 {
+		t.Errorf("cvt.d.w = %g", m.getF64(2))
+	}
+	if m.getF32(4) != 9.0 {
+		t.Errorf("cvt.s.d = %g", m.getF32(4))
+	}
+	if m.Reg[9] != 9 {
+		t.Errorf("round trip = %d", m.Reg[9])
+	}
+}
+
+func TestSingleFP(t *testing.T) {
+	m, _ := run(t, `
+		.data
+	x:	.float 1.5
+	y:	.float 2.5
+		.text
+	main:
+		lwc1 $f0, x
+		lwc1 $f1, y
+		add.s $f2, $f0, $f1
+		mul.s $f3, $f0, $f1
+	`+exitSeq)
+	if m.getF32(2) != 4.0 {
+		t.Errorf("add.s = %g", m.getF32(2))
+	}
+	if m.getF32(3) != 3.75 {
+		t.Errorf("mul.s = %g", m.getF32(3))
+	}
+}
+
+func TestSyscallOutput(t *testing.T) {
+	p, err := asm.Assemble("t.s", `
+		.data
+	msg:	.asciiz "x="
+		.text
+	main:
+		la $a0, msg
+		li $v0, 4
+		syscall
+		li $a0, 42
+		li $v0, 1
+		syscall
+		li $a0, 10
+		li $v0, 11
+		syscall
+		li $a0, 3
+		li $v0, 10
+		syscall
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	m.Stdout = &out
+	if _, err := m.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "x=42\n" {
+		t.Errorf("output %q", out.String())
+	}
+	if m.ExitCode() != 3 {
+		t.Errorf("exit code %d", m.ExitCode())
+	}
+}
+
+func TestReturnToZeroHalts(t *testing.T) {
+	p, err := asm.Assemble("t.s", `
+	main:
+		li $t0, 1
+		jr $ra
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.Run(100, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !m.Halted() {
+		t.Error("machine not halted")
+	}
+	if n == 0 || n > 10 {
+		t.Errorf("executed %d instructions", n)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"main:\n li $t0, 3\n lw $t1, 0($t0)", "unaligned lw"},
+		{"main:\n li $t0, 2\n sw $t1, 1($t0)", "unaligned sw"},
+		{"main:\n li $t0, 1\n ldc1 $f0, 3($t0)", "unaligned ldc1"},
+		{"main:\n li $v0, 99\n syscall", "unknown syscall"},
+	}
+	for _, c := range cases {
+		p, err := asm.Assemble("t.s", c.src)
+		if err != nil {
+			t.Fatalf("%q: assemble: %v", c.src, err)
+		}
+		m, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = m.Run(100, nil)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q: err %v, want containing %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestDivideByZeroIsSilent(t *testing.T) {
+	// MIPS div by zero leaves HI/LO unpredictable but does not trap.
+	m, _ := run(t, `
+	main:
+		li $t0, 5
+		li $t1, 0
+		div $t0, $t1
+	`+exitSeq)
+	if !m.Halted() {
+		t.Error("machine should have exited cleanly")
+	}
+}
+
+func TestMemorySparse(t *testing.T) {
+	mem := NewMemory()
+	if mem.LoadWord(0x12345678&^3) != 0 {
+		t.Error("unmapped read not zero")
+	}
+	if mem.PageCount() != 0 {
+		t.Error("read allocated a page")
+	}
+	mem.StoreWord(0x1000, 0xdeadbeef)
+	if mem.LoadWord(0x1000) != 0xdeadbeef {
+		t.Error("write/read mismatch")
+	}
+	if mem.PageCount() != 1 {
+		t.Errorf("pages = %d", mem.PageCount())
+	}
+	// Cross-page word access.
+	mem.StoreWord(0x1ffe, 0x11223344)
+	if mem.LoadWord(0x1ffe) != 0x11223344 {
+		t.Error("cross-page word mismatch")
+	}
+	mem.StoreDouble(0x2ff8, 0x0102030405060708)
+	if mem.LoadDouble(0x2ff8) != 0x0102030405060708 {
+		t.Error("double mismatch")
+	}
+}
+
+func TestTraceRecordsCarryDeps(t *testing.T) {
+	_, recs := run(t, `
+	main:
+		li $t0, 1
+		addu $t1, $t0, $t0
+	`+exitSeq)
+	// addu $t1, $t0, $t0: sources t0,t0 dest t1
+	var found bool
+	for _, r := range recs {
+		if r.In.Op == isa.OpADDU && r.In.Rd == 9 {
+			found = true
+			if r.Deps.SrcInt[0] != 8 || r.Deps.DstInt != 9 {
+				t.Errorf("deps = %+v", r.Deps)
+			}
+		}
+	}
+	if !found {
+		t.Error("addu record not found")
+	}
+}
+
+func BenchmarkVMExecution(b *testing.B) {
+	p, err := asm.Assemble("bench.s", `
+	main:
+		li $t0, 1000000000
+	loop:
+		addu $t1, $t1, $t0
+		xor $t2, $t1, $t0
+		sll $t3, $t2, 3
+		lw $t4, 0($sp)
+		addiu $t0, $t0, -1
+		bnez $t0, loop
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	n, _ := m.Run(uint64(b.N), nil)
+	b.ReportMetric(float64(n), "instr")
+}

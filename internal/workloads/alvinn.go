@@ -1,0 +1,154 @@
+package workloads
+
+// alvinn — single-precision neural-network training (autonomous driving).
+// The real program is dominated by dense matrix-vector products over weight
+// arrays larger than the data cache, plus a nonlinearity with a divide.
+// The kernel trains a 256→64→32 perceptron: forward mat-vec sweeps over a
+// 64 KB weight array, sigmoid-like activation, and an outer-product update.
+var _ = register(&Workload{
+	Name:          "alvinn",
+	Suite:         SuiteFP,
+	DefaultBudget: 1_300_000,
+	Description:   "SP neural net: streaming mat-vec over 64 KB weights, x/(1+|x|) activation, weight update",
+	Source: `
+# alvinn kernel (single precision).
+		.data
+w1:		.space 65536		# 64 x 256 SP weights
+w2:		.space 8192		# 32 x 64
+invec:		.space 1024		# 256 inputs
+hidvec:		.space 256		# 64
+outvec:		.space 128		# 32
+seed:		.word 424242
+epochs:		.word 6
+one:		.float 1.0
+lrate:		.float 0.015625
+scale:		.float 0.00003051757	# 1/32768
+
+		.text
+main:
+		jal initdata
+		lw $s6, epochs
+		li $s7, 0
+epoch:
+		jal forward1
+		jal forward2
+		jal update2
+		addiu $s6, $s6, -1
+		bnez $s6, epoch
+
+		# checksum from outvec[0]
+		la $t0, outvec
+		lw $a0, 0($t0)
+		andi $a0, $a0, 127
+		li $v0, 10
+		syscall
+
+# ---------------------------------------------------------------
+# initdata: fill weights and inputs with small LCG-derived floats.
+initdata:
+		lw $t0, seed
+		la $t1, w1
+		la $t2, w1+74752	# w1 + w2 + invec are contiguous
+		lwc1 $f6, scale
+id_loop:
+		li $t3, 1103515245
+		multu $t0, $t3
+		mflo $t0
+		addiu $t0, $t0, 12345
+		sra $t4, $t0, 16	# signed 16-bit
+		mtc1 $t4, $f2
+		cvt.s.w $f2, $f2
+		mul.s $f2, $f2, $f6	# in [-1, 1)
+		swc1 $f2, 0($t1)
+		addiu $t1, $t1, 4
+		bne $t1, $t2, id_loop
+		sw $t0, seed
+		jr $ra
+
+# forward1: hid[j] = act(sum_i w1[j][i] * in[i]); act(x) = x / (1 + |x|)
+forward1:
+		la $s0, w1
+		la $s1, hidvec
+		li $s2, 64		# j
+		lwc1 $f8, one
+f1_j:
+		la $t1, invec
+		li $t2, 256		# i
+		mtc1 $zero, $f0		# acc = 0
+		.set noreorder
+f1_i:
+		lwc1 $f2, 0($s0)
+		lwc1 $f4, 0($t1)
+		addiu $s0, $s0, 4
+		addiu $t1, $t1, 4
+		mul.s $f2, $f2, $f4
+		addiu $t2, $t2, -1
+		bnez $t2, f1_i
+		add.s $f0, $f0, $f2	# delay slot
+		.set reorder
+		abs.s $f2, $f0
+		add.s $f2, $f2, $f8	# 1 + |x|
+		div.s $f0, $f0, $f2
+		swc1 $f0, 0($s1)
+		addiu $s1, $s1, 4
+		addiu $s2, $s2, -1
+		bnez $s2, f1_j
+		jr $ra
+
+# forward2: out[j] = act(sum_i w2[j][i] * hid[i])
+forward2:
+		la $s0, w2
+		la $s1, outvec
+		li $s2, 32
+		lwc1 $f8, one
+f2_j:
+		la $t1, hidvec
+		li $t2, 64
+		mtc1 $zero, $f0
+		.set noreorder
+f2_i:
+		lwc1 $f2, 0($s0)
+		lwc1 $f4, 0($t1)
+		addiu $s0, $s0, 4
+		addiu $t1, $t1, 4
+		mul.s $f2, $f2, $f4
+		addiu $t2, $t2, -1
+		bnez $t2, f2_i
+		add.s $f0, $f0, $f2
+		.set reorder
+		abs.s $f2, $f0
+		add.s $f2, $f2, $f8
+		div.s $f0, $f0, $f2
+		swc1 $f0, 0($s1)
+		addiu $s1, $s1, 4
+		addiu $s2, $s2, -1
+		bnez $s2, f2_j
+		jr $ra
+
+# update2: w2[j][i] += lr * out[j] * hid[i]  (outer-product RMW sweep)
+update2:
+		la $s0, w2
+		la $s1, outvec
+		li $s2, 32
+		lwc1 $f8, lrate
+u2_j:
+		lwc1 $f0, 0($s1)
+		mul.s $f0, $f0, $f8	# lr * out[j]
+		la $t1, hidvec
+		li $t2, 64
+u2_i:
+		lwc1 $f2, 0($t1)
+		mul.s $f2, $f2, $f0
+		lwc1 $f4, 0($s0)
+		add.s $f4, $f4, $f2
+		swc1 $f4, 0($s0)
+		addiu $s0, $s0, 4
+		addiu $t1, $t1, 4
+		addiu $t2, $t2, -1
+		bnez $t2, u2_i
+		addiu $s1, $s1, 4
+		addiu $s2, $s2, -1
+		bnez $s2, u2_j
+		jr $ra
+`,
+})

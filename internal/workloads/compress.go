@@ -1,0 +1,151 @@
+package workloads
+
+// compress — LZW compression. The real program's inner loop hashes a
+// (prefix, char) pair into a large sparse table and probes it, producing
+// scattered data accesses over a table that does not fit small caches,
+// plus a sequential pass over the input. The kernel reproduces exactly that
+// loop over a 32 KB synthetic text with a 4096-entry open-addressing table.
+var _ = register(&Workload{
+	Name:          "compress",
+	Suite:         SuiteInt,
+	DefaultBudget: 2_050_000,
+	Description:   "LZW: sequential input scan + scattered hash-table probes + coded output stream",
+	Source: `
+# compress kernel.
+		.data
+input:		.space 32768		# synthetic text
+output:		.space 32768		# emitted codes (words)
+htkey:		.space 16384		# 4096 keys
+htcode:		.space 16384		# 4096 codes
+seed:		.word 271828
+passes:		.word 1
+
+		.text
+main:
+		jal gen_input
+		lw $s6, passes
+		li $s7, 0		# checksum
+pass:
+		jal clear_table
+		# code-table maintenance sweep (generated dispatch)
+		la $a0, input
+		li $a1, 2048
+		jal cp_ops
+		addu $s7, $s7, $v0
+		jal lzw_pass
+		addu $s7, $s7, $v0
+		la $a0, output
+		li $a1, 2048
+		jal cp_ops
+		addu $s7, $s7, $v0
+		addiu $s6, $s6, -1
+		bnez $s6, pass
+
+		andi $a0, $s7, 127
+		li $v0, 10
+		syscall
+
+# ---------------------------------------------------------------
+# gen_input: skewed pseudo-text — mostly lowercase letters with
+# spaces, so phrases repeat and LZW finds matches.
+gen_input:
+		lw $t0, seed
+		la $t1, input
+		li $t2, 32768
+gi_loop:
+		li $t3, 1103515245
+		multu $t0, $t3
+		mflo $t0
+		addiu $t0, $t0, 12345
+		srl $t3, $t0, 16
+		andi $t3, $t3, 15	# 16 symbols only: dense repetitions
+		addiu $t4, $t3, 97	# 'a'..'p'
+		andi $t5, $t0, 0x1f
+		bnez $t5, gi_store
+		li $t4, 32		# occasional space
+gi_store:
+		sb $t4, 0($t1)
+		addiu $t1, $t1, 1
+		addiu $t2, $t2, -1
+		bnez $t2, gi_loop
+		jr $ra
+
+# clear_table: zero the 4096-entry hash table (sequential store sweep).
+clear_table:
+		la $t0, htkey
+		li $t1, 4096
+ct_loop:
+		sw $zero, 0($t0)
+		sw $zero, 16384($t0)	# htcode is contiguous after htkey
+		addiu $t0, $t0, 4
+		addiu $t1, $t1, -1
+		bnez $t1, ct_loop
+		jr $ra
+
+# lzw_pass: the LZW inner loop. Returns the number of codes emitted.
+lzw_pass:
+		la $s0, input
+		la $s1, output
+		li $s2, 32767		# remaining chars after the first
+		lbu $s3, 0($s0)		# prefix = first char
+		addiu $s0, $s0, 1
+		li $s4, 256		# next free code
+		li $s5, 0		# live table entries
+		li $v0, 0		# emitted count
+lz_loop:
+		lbu $t0, 0($s0)		# c
+		addiu $s0, $s0, 1
+		sll $t1, $s3, 8
+		or $t1, $t1, $t0	# key = prefix<<8 | c; never 0 (chars are
+					# printable, codes start at 256)
+		# hash = key * 2654435761 >> 20, masked to 4095
+		li $t2, 0x9e3779b1
+		multu $t1, $t2
+		mflo $t2
+		srl $t2, $t2, 20
+		andi $t2, $t2, 4095
+lz_probe:
+		sll $t3, $t2, 2
+		la $t4, htkey
+		addu $t3, $t4, $t3
+		lw $t5, 0($t3)
+		beq $t5, $t1, lz_hit
+		beqz $t5, lz_miss
+		addiu $t2, $t2, 1	# linear probe
+		andi $t2, $t2, 4095
+		j lz_probe
+lz_hit:
+		lw $s3, 16384($t3)	# prefix = table code
+		j lz_next
+lz_miss:
+		# new entry: emit prefix, insert key with a fresh code
+		sw $t1, 0($t3)
+		sw $s4, 16384($t3)
+		addiu $s4, $s4, 1
+		addiu $s5, $s5, 1
+		li $t6, 3072		# table 3/4 full: emit CLEAR, reset table
+		blt $s5, $t6, lz_emit
+		li $s5, 0
+		li $s4, 256
+		la $t6, htkey
+		li $t7, 4096
+lz_clear:
+		sw $zero, 0($t6)
+		addiu $t6, $t6, 4
+		addiu $t7, $t7, -1
+		bnez $t7, lz_clear
+lz_emit:
+		sw $s3, 0($s1)		# output prefix code
+		addiu $s1, $s1, 4
+		addiu $v0, $v0, 1
+		la $t6, output+32768
+		bne $s1, $t6, lz_keepout
+		la $s1, output		# wrap output buffer
+lz_keepout:
+		move $s3, $t0		# prefix = c
+lz_next:
+		addiu $s2, $s2, -1
+		bnez $s2, lz_loop
+		jr $ra
+` + mixerSource("cp_ops", 0xC0333, 24, 18),
+})

@@ -1,0 +1,131 @@
+package workloads
+
+// doduc — Monte Carlo simulation of a nuclear reactor. The real program is
+// famously branchy double-precision code with short basic blocks, frequent
+// divides, and little array streaming. The kernel reproduces that: an LCG
+// draws a uniform variate, a comparison ladder picks one of four physics
+// "regions", and each region runs a short DP computation with divides or a
+// square root feeding running sums.
+var _ = register(&Workload{
+	Name:          "doduc",
+	Suite:         SuiteFP,
+	DefaultBudget: 1_500_000,
+	Description:   "branchy DP Monte Carlo: comparison ladder, divides, sqrt, scalar accumulation",
+	Source: `
+# doduc kernel (double precision).
+		.data
+seed:		.word 777
+iters:		.word 36000
+uscale:		.double 0.0000152587890625	# 2^-16
+c03:		.double 0.3
+c06:		.double 0.6
+c085:		.double 0.85
+ca:		.double 1.7
+cb:		.double 0.31
+cc:		.double 1.09
+cd:		.double 2.3
+ce:		.double 0.57
+cf:		.double 3.1
+cg:		.double 0.77
+ch:		.double 0.11
+acc:		.space 32		# four DP accumulators
+
+		.text
+main:
+		lw $s0, seed
+		lw $s6, iters
+		# preload constants
+		ldc1 $f20, uscale
+		ldc1 $f22, c03
+		ldc1 $f24, c06
+		ldc1 $f26, c085
+		mtc1 $zero, $f12	# acc1 = 0 (and the pair word)
+		mtc1 $zero, $f13
+		mtc1 $zero, $f14
+		mtc1 $zero, $f15
+		mtc1 $zero, $f16
+		mtc1 $zero, $f17
+		mtc1 $zero, $f18
+		mtc1 $zero, $f19
+iter:
+		# u = (lcg >> 16) * 2^-16  in [0,1)
+		li $t0, 1103515245
+		multu $s0, $t0
+		mflo $s0
+		addiu $s0, $s0, 12345
+		srl $t1, $s0, 16
+		mtc1 $t1, $f0
+		cvt.d.w $f0, $f0
+		mul.d $f0, $f0, $f20	# u
+
+		c.lt.d $f0, $f22
+		bc1t region1
+		c.lt.d $f0, $f24
+		bc1t region2
+		c.lt.d $f0, $f26
+		bc1t region3
+
+		# region 4: acc4 += sqrt(u + h)
+		ldc1 $f2, ch
+		add.d $f2, $f0, $f2
+		sqrt.d $f2, $f2
+		add.d $f18, $f18, $f2
+		j next
+region1:
+		# acc1 += (a*u + b) / (u + c)
+		ldc1 $f2, ca
+		mul.d $f2, $f2, $f0
+		ldc1 $f4, cb
+		add.d $f2, $f2, $f4
+		ldc1 $f4, cc
+		add.d $f4, $f0, $f4
+		div.d $f2, $f2, $f4
+		add.d $f12, $f12, $f2
+		j next
+region2:
+		# acc2 += u*u*u - d*u
+		mul.d $f2, $f0, $f0
+		mul.d $f2, $f2, $f0
+		ldc1 $f4, cd
+		mul.d $f4, $f4, $f0
+		sub.d $f2, $f2, $f4
+		add.d $f14, $f14, $f2
+		j next
+region3:
+		# t = (u + e) / (u*f + g); acc3 += t*t
+		ldc1 $f2, ce
+		add.d $f2, $f0, $f2
+		ldc1 $f4, cf
+		mul.d $f4, $f4, $f0
+		ldc1 $f6, cg
+		add.d $f4, $f4, $f6
+		div.d $f2, $f2, $f4
+		mul.d $f2, $f2, $f2
+		add.d $f16, $f16, $f2
+next:
+		addiu $s6, $s6, -1
+		bnez $s6, iter
+
+		# extended physics regions (generated FP dispatch): doduc's
+		# reputation as an icache-hostile FP code comes from its many
+		# short, distinct computation regions.
+		li $a0, 9000
+		ldc1 $f22, cc
+		jal ddc_regions
+
+		# spill accumulators and derive the exit checksum
+		la $t0, acc
+		sdc1 $f12, 0($t0)
+		sdc1 $f14, 8($t0)
+		sdc1 $f16, 16($t0)
+		sdc1 $f18, 24($t0)
+		add.d $f12, $f12, $f14
+		add.d $f16, $f16, $f18
+		add.d $f12, $f12, $f16
+		cvt.w.d $f12, $f12
+		mfc1 $a0, $f12
+		andi $a0, $a0, 127
+		li $v0, 10
+		syscall
+` + fpMixerSource("ddc_regions", 0xD0D0C, 14),
+})

@@ -1,0 +1,115 @@
+package workloads
+
+// ear — a model of the human ear: cascades of second-order IIR filters
+// (biquads) over long single-precision signals. The kernel runs a 6-stage
+// biquad cascade over a 32 KB signal buffer: per-sample multiply-accumulate
+// chains with tight recurrences (y depends on y1, y2), sequential streaming.
+var _ = register(&Workload{
+	Name:          "ear",
+	Suite:         SuiteFP,
+	DefaultBudget: 750_000,
+	Description:   "SP biquad filter cascade over a 32 KB signal: streaming MAC with tight recurrences",
+	Source: `
+# ear kernel (single precision).
+		.data
+signal:		.space 32768		# 8192 SP samples (filtered in place)
+seed:		.word 161803
+stages:		.word 10
+b0:		.float 0.2929
+b1:		.float 0.5858
+b2:		.float 0.2929
+a1:		.float -0.0001
+a2:		.float 0.1716
+sscale:		.float 0.00003051757
+
+		.text
+main:
+		jal gensignal
+		lw $s6, stages
+		li $s7, 0
+stage:
+		jal biquad_pass
+		addiu $s6, $s6, -1
+		bnez $s6, stage
+
+		la $t0, signal
+		lw $a0, 64($t0)
+		andi $a0, $a0, 127
+		li $v0, 10
+		syscall
+
+# ---------------------------------------------------------------
+gensignal:
+		lw $t0, seed
+		la $t1, signal
+		la $t2, signal+32768
+		lwc1 $f6, sscale
+gs2_loop:
+		li $t3, 1103515245
+		multu $t0, $t3
+		mflo $t0
+		addiu $t0, $t0, 12345
+		sra $t4, $t0, 16
+		mtc1 $t4, $f2
+		cvt.s.w $f2, $f2
+		mul.s $f2, $f2, $f6
+		swc1 $f2, 0($t1)
+		addiu $t1, $t1, 4
+		bne $t1, $t2, gs2_loop
+		sw $t0, seed
+		jr $ra
+
+# biquad_pass: signal[n] = b0*x + b1*x1 + b2*x2 - a1*y1 - a2*y2, in place,
+# processing two interleaved channels (the ear model runs many parallel
+# cochlea filter channels, so per-sample recurrences overlap).
+# Channel L state: f10=x1 f11=x2 f12=y1 f13=y2; channel R: f14 f15 f16 f17.
+biquad_pass:
+		la $t0, signal
+		la $t1, signal+32768
+		lwc1 $f20, b0		# k1
+		lwc1 $f21, b1		# k2
+		lwc1 $f22, b2		# bias
+		mtc1 $zero, $f10
+		mtc1 $zero, $f11
+		mtc1 $zero, $f12
+		mtc1 $zero, $f13
+		mtc1 $zero, $f14
+		mtc1 $zero, $f15
+		mtc1 $zero, $f16
+		mtc1 $zero, $f17
+bq_loop:
+		lwc1 $f0, 0($t0)	# xL
+		lwc1 $f1, 4($t0)	# xR
+		# one lattice section per channel, two sample pairs unrolled:
+		#   t = x - y1 ; y = y1 + k*t   (1 mul, 2 adds per sample)
+		sub.s $f2, $f0, $f12
+		sub.s $f3, $f1, $f16
+		mul.s $f2, $f2, $f20
+		mul.s $f3, $f3, $f20
+		add.s $f12, $f12, $f2	# yL
+		add.s $f16, $f16, $f3	# yR
+		add.s $f4, $f12, $f22	# output shaping (adds, no mul)
+		add.s $f5, $f16, $f22
+		add.s $f4, $f4, $f0
+		add.s $f5, $f5, $f1
+		swc1 $f4, 0($t0)
+		swc1 $f5, 4($t0)
+		lwc1 $f0, 8($t0)
+		lwc1 $f1, 12($t0)
+		sub.s $f2, $f0, $f12
+		sub.s $f3, $f1, $f16
+		mul.s $f2, $f2, $f21
+		mul.s $f3, $f3, $f21
+		add.s $f12, $f12, $f2
+		add.s $f16, $f16, $f3
+		add.s $f4, $f12, $f22
+		add.s $f5, $f16, $f22
+		add.s $f4, $f4, $f0
+		add.s $f5, $f5, $f1
+		swc1 $f4, 8($t0)
+		swc1 $f5, 12($t0)
+		addiu $t0, $t0, 16
+		bne $t0, $t1, bq_loop
+		jr $ra
+`,
+})

@@ -1,0 +1,202 @@
+package workloads
+
+// eqntott — converts boolean equations to truth tables; its profile is
+// dominated by qsort over short fixed-size records with a lexicographic
+// comparison function. The kernel quicksorts 2048 16-byte records (32 KB,
+// deliberately around the external D-cache sizes), twice, with a
+// verification sweep — long sequential streams through a large array, which
+// is why the real program shows the highest I- and D-stream regularity.
+var _ = register(&Workload{
+	Name:          "eqntott",
+	Suite:         SuiteInt,
+	DefaultBudget: 1_400_000,
+	Description:   "quicksort of 2048 16-byte truth-table records with lexicographic compare",
+	Source: `
+# eqntott kernel.
+		.data
+table:		.space 32768		# 2048 records x 16 bytes
+seed:		.word 31415926
+passes:		.word 1
+
+		.text
+main:
+		lw $s6, passes
+		li $s7, 0		# checksum
+pass:
+		jal fill_table
+		# PLA canonicalisation (generated straight-line code): eqntott's
+		# long basic blocks stream through the instruction cache, which
+		# is why its I-prefetch hit rate is the paper's highest.
+		li $s5, 24
+eq_canon:
+		la $a0, table
+		jal eq_sweep
+		addu $s7, $s7, $v0
+		addiu $s5, $s5, -1
+		bnez $s5, eq_canon
+		# qsort(0, 2047)
+		li $a0, 0
+		li $a1, 2047
+		jal qsort
+		jal check_sorted
+		addu $s7, $s7, $v0
+		addiu $s6, $s6, -1
+		bnez $s6, pass
+
+		andi $a0, $s7, 127
+		li $v0, 10
+		syscall
+
+# ---------------------------------------------------------------
+fill_table:
+		lw $t0, seed
+		la $t1, table
+		li $t2, 8192		# words
+ft_loop:
+		li $t3, 1103515245
+		multu $t0, $t3
+		mflo $t0
+		addiu $t0, $t0, 12345
+		sw $t0, 0($t1)
+		addiu $t1, $t1, 4
+		addiu $t2, $t2, -1
+		bnez $t2, ft_loop
+		sw $t0, seed
+		jr $ra
+
+# reccmp: compare records at indices $a0, $a1 lexicographically by word.
+# returns $v0 <0 / 0 / >0. No calls inside.
+reccmp:
+		sll $t0, $a0, 4
+		sll $t1, $a1, 4
+		la $t2, table
+		addu $t0, $t2, $t0
+		addu $t1, $t2, $t1
+		lw $t3, 0($t0)
+		lw $t4, 0($t1)
+		bne $t3, $t4, rc_diff
+		lw $t3, 4($t0)
+		lw $t4, 4($t1)
+		bne $t3, $t4, rc_diff
+		lw $t3, 8($t0)
+		lw $t4, 8($t1)
+		bne $t3, $t4, rc_diff
+		lw $t3, 12($t0)
+		lw $t4, 12($t1)
+		bne $t3, $t4, rc_diff
+		li $v0, 0
+		jr $ra
+rc_diff:
+		sltu $t5, $t3, $t4
+		beqz $t5, rc_gt
+		li $v0, -1
+		jr $ra
+rc_gt:
+		li $v0, 1
+		jr $ra
+
+# recswap: swap records at indices $a0, $a1.
+recswap:
+		sll $t0, $a0, 4
+		sll $t1, $a1, 4
+		la $t2, table
+		addu $t0, $t2, $t0
+		addu $t1, $t2, $t1
+		lw $t3, 0($t0)
+		lw $t4, 0($t1)
+		sw $t4, 0($t0)
+		sw $t3, 0($t1)
+		lw $t3, 4($t0)
+		lw $t4, 4($t1)
+		sw $t4, 4($t0)
+		sw $t3, 4($t1)
+		lw $t3, 8($t0)
+		lw $t4, 8($t1)
+		sw $t4, 8($t0)
+		sw $t3, 8($t1)
+		lw $t3, 12($t0)
+		lw $t4, 12($t1)
+		sw $t4, 12($t0)
+		sw $t3, 12($t1)
+		jr $ra
+
+# qsort: $a0 = lo, $a1 = hi (indices). Hoare-style partition with the
+# middle record as pivot, recursing on both halves.
+qsort:
+		bge $a0, $a1, qs_ret
+		addiu $sp, $sp, -24
+		sw $ra, 0($sp)
+		sw $s0, 4($sp)
+		sw $s1, 8($sp)
+		sw $s2, 12($sp)
+		sw $s3, 16($sp)
+		move $s0, $a0		# lo
+		move $s1, $a1		# hi
+		addu $s2, $s0, $s1
+		srl $s2, $s2, 1		# pivot index (stays fixed: we swap it to lo)
+		move $a0, $s0
+		move $a1, $s2
+		jal recswap		# pivot -> table[lo]
+		move $s2, $s0		# pivot index = lo
+		move $s3, $s0		# store index i = lo
+		# Lomuto partition: j in (lo, hi]
+		addiu $s0, $s2, 1	# j
+qs_scan:
+		bgt $s0, $s1, qs_place
+		move $a0, $s0
+		move $a1, $s2
+		jal reccmp
+		bgez $v0, qs_next	# table[j] >= pivot: skip
+		addiu $s3, $s3, 1	# ++i
+		move $a0, $s3
+		move $a1, $s0
+		jal recswap
+qs_next:
+		addiu $s0, $s0, 1
+		j qs_scan
+qs_place:
+		move $a0, $s2
+		move $a1, $s3
+		jal recswap		# pivot to its place (i)
+		# recurse left (lo..i-1), then right (i+1..hi)
+		move $a0, $s2
+		addiu $a1, $s3, -1
+		jal qsort
+		addiu $a0, $s3, 1
+		move $a1, $s1
+		jal qsort
+		lw $ra, 0($sp)
+		lw $s0, 4($sp)
+		lw $s1, 8($sp)
+		lw $s2, 12($sp)
+		lw $s3, 16($sp)
+		addiu $sp, $sp, 24
+qs_ret:
+		jr $ra
+
+# check_sorted: sequential sweep verifying order; returns the count of
+# in-order adjacent pairs (should be 2047).
+check_sorted:
+		addiu $sp, $sp, -12
+		sw $ra, 0($sp)
+		sw $s0, 4($sp)
+		sw $s1, 8($sp)
+		li $s0, 0		# i
+		li $s1, 0		# ok count
+cs_loop:
+		move $a0, $s0
+		addiu $a1, $s0, 1
+		jal reccmp
+		bgtz $v0, cs_skip
+		addiu $s1, $s1, 1
+cs_skip:
+		addiu $s0, $s0, 1
+		blt $s0, 2047, cs_loop
+		move $v0, $s1
+		lw $ra, 0($sp)
+		lw $s0, 4($sp)
+		lw $s1, 8($sp)
+		addiu $sp, $sp, 12
+		jr $ra
+` + straightSource("eq_sweep", 0xE9707, 400),
+})

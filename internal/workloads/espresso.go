@@ -1,0 +1,229 @@
+package workloads
+
+// espresso — two-level boolean function minimisation. The real program spends
+// its time in word-wide set operations over cube covers (intersection,
+// distance/popcount, sharp). The kernel reproduces that: repeated passes of
+// word-parallel AND/OR sweeps over two covers, a table-driven popcount
+// histogram, and a read-modify-write mutation sweep.
+var _ = register(&Workload{
+	Name:          "espresso",
+	Suite:         SuiteInt,
+	DefaultBudget: 2_100_000,
+	Description:   "boolean cube-cover set operations: word-wide AND/OR sweeps, popcount histograms, RMW mutation",
+	Source: `
+# espresso kernel: cube covers of 48 cubes x 8 words (32 bits each).
+		.data
+coverA:		.space 1536		# 48 cubes x 32 bytes
+coverB:		.space 1536
+coverO:		.space 1536
+bigcover:	.space 98304		# the full PLA cover set (96 KB): scanned
+					# once per pass, exceeding every data cache
+poptab:		.space 256		# byte popcount table
+hist:		.space 136		# 34 word buckets
+passes:		.word 6
+
+		.text
+main:
+		# ---- build byte popcount table ----
+		la $s0, poptab
+		li $s1, 0		# byte value
+ptab_loop:
+		move $t0, $s1
+		li $t1, 0		# count
+ptab_bits:
+		andi $t2, $t0, 1
+		addu $t1, $t1, $t2
+		srl $t0, $t0, 1
+		bnez $t0, ptab_bits
+		addu $t3, $s0, $s1
+		sb $t1, 0($t3)
+		addiu $s1, $s1, 1
+		blt $s1, 256, ptab_loop
+
+		# ---- init covers with an LCG ----
+		li $s0, 12345		# seed
+		la $s1, coverA
+		li $s2, 768		# 2 x 384 words (A and B are contiguous)
+init_loop:
+		li $t0, 1103515245
+		multu $s0, $t0
+		mflo $s0
+		addiu $s0, $s0, 12345
+		sw $s0, 0($s1)
+		addiu $s1, $s1, 4
+		addiu $s2, $s2, -1
+		bnez $s2, init_loop
+
+		li $s7, 0		# checksum
+		lw $s6, passes
+pass_loop:
+		jal intersect_pass
+		jal cover_scan
+		jal distance_pass
+		jal mutate_b
+		# cube-operator dispatch sweep (generated): the minimiser's many
+		# distinct operators give espresso its code footprint, and they
+		# walk the full cover set — instruction and data misses compete
+		# for the stream buffers at the same time.
+		la $a0, bigcover
+		li $a1, 1024
+		jal esp_ops
+		addu $s7, $s7, $v0
+		la $a0, bigcover+49152
+		li $a1, 1024
+		jal esp_ops
+		addu $s7, $s7, $v0
+		addiu $s6, $s6, -1
+		bnez $s6, pass_loop
+
+		andi $a0, $s7, 127
+		li $v0, 10
+		syscall
+
+# ---------------------------------------------------------------
+# intersect_pass: for every cube pair (i in A, j in B) compute the
+# word-wise intersection, count non-empty intersections, and leave
+# the last row of intersections in coverO.
+intersect_pass:
+		la $t0, coverA
+		li $t1, 48		# i counter
+ip_i:
+		la $t2, coverB
+		la $t7, coverO
+		li $t3, 48		# j counter
+		.set noreorder
+ip_j:
+		lw $t5, 0($t0)
+		lw $t6, 0($t2)
+		and $t4, $t5, $t6
+		lw $t5, 4($t0)
+		lw $t6, 4($t2)
+		and $t5, $t5, $t6
+		or $t4, $t4, $t5
+		lw $t5, 8($t0)
+		lw $t6, 8($t2)
+		and $t5, $t5, $t6
+		or $t4, $t4, $t5
+		lw $t5, 12($t0)
+		lw $t6, 12($t2)
+		and $t5, $t5, $t6
+		or $t4, $t4, $t5
+		lw $t5, 16($t0)
+		lw $t6, 16($t2)
+		and $t5, $t5, $t6
+		or $t4, $t4, $t5
+		lw $t5, 20($t0)
+		lw $t6, 20($t2)
+		and $t5, $t5, $t6
+		or $t4, $t4, $t5
+		lw $t5, 24($t0)
+		lw $t6, 24($t2)
+		and $t5, $t5, $t6
+		or $t4, $t4, $t5
+		lw $t5, 28($t0)
+		lw $t6, 28($t2)
+		and $t5, $t5, $t6
+		or $t4, $t4, $t5
+		sw $t4, 0($t7)
+		sw $t4, 4($t7)
+		sw $t5, 8($t7)
+		sw $t4, 12($t7)
+		sw $t5, 16($t7)
+		sw $t4, 20($t7)
+		sw $t5, 24($t7)
+		sw $t4, 28($t7)
+		sltu $t5, $zero, $t4	# non-empty?
+		addu $s7, $s7, $t5
+		addiu $t2, $t2, 32
+		addiu $t7, $t7, 32
+		# wrap coverO pointer every 48 cubes
+		la $t5, coverO+1536
+		bne $t7, $t5, ip_j_next
+		addiu $t3, $t3, -1	# delay slot (always executes)
+		la $t7, coverO
+ip_j_next:
+		bnez $t3, ip_j
+		nop
+		.set reorder
+		addiu $t0, $t0, 32
+		addiu $t1, $t1, -1
+		bnez $t1, ip_i
+		jr $ra
+
+# ---------------------------------------------------------------
+# cover_scan: stream over the full 96 KB cover set — the minimiser's
+# per-pass sweep over every cube in the function. Sequential, so the
+# stream buffers can run ahead of it; bigger than any of the paper's
+# data caches, so it misses on every model.
+cover_scan:
+		la $t0, bigcover
+		la $t1, bigcover+98304
+cs2_loop:
+		lw $t2, 0($t0)
+		lw $t3, 16($t0)
+		or $t2, $t2, $t3
+		addu $s7, $s7, $t2
+		addiu $t0, $t0, 32
+		bne $t0, $t1, cs2_loop
+		jr $ra
+
+# ---------------------------------------------------------------
+# distance_pass: histogram the popcount of every word of coverO via
+# the byte table (lots of dependent byte loads).
+distance_pass:
+		la $t0, coverO
+		li $t1, 384		# words
+		la $t2, poptab
+		la $t3, hist
+dp_loop:
+		lw $t4, 0($t0)
+		andi $t5, $t4, 255
+		addu $t5, $t2, $t5
+		lbu $t6, 0($t5)
+		srl $t5, $t4, 8
+		andi $t5, $t5, 255
+		addu $t5, $t2, $t5
+		lbu $t7, 0($t5)
+		addu $t6, $t6, $t7
+		srl $t5, $t4, 16
+		andi $t5, $t5, 255
+		addu $t5, $t2, $t5
+		lbu $t7, 0($t5)
+		addu $t6, $t6, $t7
+		srl $t5, $t4, 24
+		addu $t5, $t2, $t5
+		lbu $t7, 0($t5)
+		addu $t6, $t6, $t7	# popcount of word in t6 (0..32)
+		sll $t5, $t6, 2
+		addu $t5, $t3, $t5
+		lw $t7, 0($t5)
+		addiu $t7, $t7, 1
+		sw $t7, 0($t5)
+		addu $s7, $s7, $t6
+		addiu $t0, $t0, 4
+		addiu $t1, $t1, -1
+		bnez $t1, dp_loop
+		jr $ra
+
+# ---------------------------------------------------------------
+# mutate_b: B[k] = rot1(B[k]) ^ A[k] — a sequential RMW sweep that
+# exercises the coalescing write cache.
+mutate_b:
+		la $t0, coverA
+		la $t1, coverB
+		li $t2, 384
+mb_loop:
+		lw $t3, 0($t1)
+		srl $t4, $t3, 31
+		sll $t3, $t3, 1
+		or $t3, $t3, $t4
+		lw $t5, 0($t0)
+		xor $t3, $t3, $t5
+		sw $t3, 0($t1)
+		addiu $t0, $t0, 4
+		addiu $t1, $t1, 4
+		addiu $t2, $t2, -1
+		bnez $t2, mb_loop
+		jr $ra
+` + mixerSource("esp_ops", 0xE59e550, 30, 20),
+})

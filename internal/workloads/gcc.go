@@ -1,0 +1,363 @@
+package workloads
+
+// gcc — the C compiler. Its profile is irregular: a scanner with dense
+// branching over character classes, keyword lookup, chained symbol-table
+// hashing with node allocation, and a stack-driven expression reducer.
+// The code footprint is large and the branch behaviour data-dependent,
+// which is what stresses the instruction cache in the paper. The kernel
+// tokenises a 24 KB synthetic source buffer and "parses" it.
+var _ = register(&Workload{
+	Name:          "gcc",
+	Suite:         SuiteInt,
+	DefaultBudget: 1_300_000,
+	Description:   "compiler front end: branchy scanner, keyword match, chained symbol hashing, reducer stack",
+	Source: `
+# gcc kernel.
+		.data
+src:		.space 24576
+staging:	.space 8200		# unaligned copy target (src+1 alignment)
+buckets:	.space 4096		# 1024 chain heads
+nodes:		.space 49152		# sym nodes: 16 bytes (hash, len, count, next)
+nodeptr:	.word 0
+opstack:	.space 4096
+counts:		.space 64		# token class counters
+seed:		.word 6502
+passes:		.word 2
+# keyword hash values (precomputed djb2 of: if else for while return int
+# char break case goto)
+keywords:	.word 0x0b885cb2, 0x7c964b6e, 0x7c96a0e2, 0x10a6c699
+		.word 0x85ee37bf, 0x0b888030, 0x7c952063, 0x0f2c9f4a
+		.word 0x7c9509e4, 0x7c97705d
+
+		.text
+main:
+		jal gen_source
+		lw $s6, passes
+		li $s7, 0		# checksum
+pass:
+		la $t0, nodes
+		sw $t0, nodeptr
+		la $t0, buckets		# clear chains
+		li $t1, 1024
+gp_clr:
+		sw $zero, 0($t0)
+		addiu $t0, $t0, 4
+		addiu $t1, $t1, -1
+		bnez $t1, gp_clr
+		# RTL case analysis (generated dispatch): gcc's pattern matching
+		# over insn codes is the archetypal icache-hostile switch.
+		# Interleaved with scanning, as the real compiler alternates
+		# between front- and back-end phases.
+		la $a0, src
+		li $a1, 1536
+		jal gcc_rtl
+		addu $s7, $s7, $v0
+		jal stage_copy
+		addu $s7, $s7, $v0
+		jal scan_pass
+		addu $s7, $s7, $v0
+		la $a0, src
+		li $a1, 1536
+		jal gcc_rtl
+		addu $s7, $s7, $v0
+		addiu $s6, $s6, -1
+		bnez $s6, pass
+
+		andi $a0, $s7, 127
+		li $v0, 10
+		syscall
+
+# ---------------------------------------------------------------
+# gen_source: synthesise "C-like" text from an LCG: identifiers of
+# 1-8 lowercase letters, numbers, operators, parens, whitespace.
+gen_source:
+		addiu $sp, $sp, -4
+		sw $ra, 0($sp)
+		lw $s0, seed
+		la $s1, src
+		la $s2, src+24500	# leave room for a trailing token
+gs_loop:
+		jal gs_rand
+		andi $t0, $v0, 7
+		beqz $t0, gs_number
+		li $t1, 5
+		blt $t0, $t1, gs_ident
+		li $t1, 6
+		beq $t0, $t1, gs_op
+		li $t1, 7
+		beq $t0, $t1, gs_paren
+		# whitespace
+		li $t2, 32
+		sb $t2, 0($s1)
+		addiu $s1, $s1, 1
+		j gs_cont
+gs_number:
+		jal gs_rand
+		andi $t2, $v0, 7
+		addiu $t3, $t2, 2	# 2..9 digits
+gs_numc:
+		jal gs_rand
+		andi $t2, $v0, 7
+		addiu $t2, $t2, 48	# '0'..'7'
+		sb $t2, 0($s1)
+		addiu $s1, $s1, 1
+		addiu $t3, $t3, -1
+		bnez $t3, gs_numc
+		li $t2, 32
+		sb $t2, 0($s1)
+		addiu $s1, $s1, 1
+		j gs_cont
+gs_ident:
+		jal gs_rand
+		andi $t3, $v0, 7
+		addiu $t3, $t3, 1	# 1..8 letters
+gs_idc:
+		jal gs_rand
+		andi $t2, $v0, 7	# 8 distinct letters: collisions likely
+		addiu $t2, $t2, 97
+		sb $t2, 0($s1)
+		addiu $s1, $s1, 1
+		addiu $t3, $t3, -1
+		bnez $t3, gs_idc
+		li $t2, 32
+		sb $t2, 0($s1)
+		addiu $s1, $s1, 1
+		j gs_cont
+gs_op:
+		jal gs_rand
+		andi $t2, $v0, 3
+		la $t3, gs_ops
+		addu $t3, $t3, $t2
+		lbu $t2, 0($t3)
+		sb $t2, 0($s1)
+		addiu $s1, $s1, 1
+		j gs_cont
+gs_paren:
+		andi $t2, $v0, 8
+		beqz $t2, gs_open
+		li $t2, 41		# ')'
+		sb $t2, 0($s1)
+		addiu $s1, $s1, 1
+		j gs_cont
+gs_open:
+		li $t2, 40		# '('
+		sb $t2, 0($s1)
+		addiu $s1, $s1, 1
+gs_cont:
+		blt $s1, $s2, gs_loop
+		sb $zero, 0($s1)	# NUL terminator
+		sw $s0, seed
+		lw $ra, 0($sp)
+		addiu $sp, $sp, 4
+		jr $ra
+
+gs_rand:
+		li $t8, 1103515245
+		multu $s0, $t8
+		mflo $s0
+		addiu $s0, $s0, 12345
+		srl $v0, $s0, 8
+		jr $ra
+
+# ---------------------------------------------------------------
+# stage_copy: copy 8 KB of source text to an unaligned staging buffer
+# (staging+1) with lwr/lwl + swr/swl pairs — the unaligned word moves
+# the real compiler's string handling is full of. Returns a checksum.
+stage_copy:
+		la $t0, src
+		la $t1, staging
+		addiu $t1, $t1, 1	# deliberately unaligned destination
+		li $t2, 2048		# words
+		li $v0, 0
+stc_loop:
+		lw $t3, 0($t0)		# aligned source word
+		swr $t3, 0($t1)		# unaligned store, low part
+		swl $t3, 3($t1)		# unaligned store, high part
+		li $t4, 0
+		lwr $t4, 0($t1)		# read it back (unaligned load pair)
+		lwl $t4, 3($t1)
+		addu $v0, $v0, $t4
+		addiu $t0, $t0, 4
+		addiu $t1, $t1, 4
+		addiu $t2, $t2, -1
+		bnez $t2, stc_loop
+		jr $ra
+
+# ---------------------------------------------------------------
+# scan_pass: tokenise src, hashing identifiers into the symbol table,
+# folding numbers, counting operator classes, and pushing/reducing a
+# paren stack. Returns a checksum.
+scan_pass:
+		addiu $sp, $sp, -8
+		sw $ra, 0($sp)
+		sw $s0, 4($sp)
+		la $s0, src		# cursor
+		la $s1, opstack		# paren stack pointer (grows up)
+		li $s2, 0		# checksum
+		li $s3, 0		# paren depth guard
+sp_loop:
+		lbu $t0, 0($s0)
+		beqz $t0, sp_done
+		# ---- class dispatch ----
+		li $t1, 97
+		blt $t0, $t1, sp_notlower
+		li $t1, 123
+		blt $t0, $t1, sp_ident
+sp_notlower:
+		li $t1, 48
+		blt $t0, $t1, sp_notdigit
+		li $t1, 58
+		blt $t0, $t1, sp_number
+sp_notdigit:
+		li $t1, 40
+		beq $t0, $t1, sp_open
+		li $t1, 41
+		beq $t0, $t1, sp_close
+		li $t1, 32
+		beq $t0, $t1, sp_space
+		# operator
+		la $t2, counts+12
+		lw $t3, 0($t2)
+		addiu $t3, $t3, 1
+		sw $t3, 0($t2)
+		addu $s2, $s2, $t0
+		addiu $s0, $s0, 1
+		j sp_loop
+sp_space:
+		addiu $s0, $s0, 1
+		j sp_loop
+sp_open:
+		sw $s0, 0($s1)		# push position
+		addiu $s1, $s1, 4
+		addiu $s3, $s3, 1
+		li $t1, 1000
+		blt $s3, $t1, sp_open_ok
+		la $s1, opstack		# overflow: reset (unbalanced input)
+		li $s3, 0
+sp_open_ok:
+		addiu $s0, $s0, 1
+		j sp_loop
+sp_close:
+		beqz $s3, sp_close_skip
+		addiu $s1, $s1, -4	# pop
+		addiu $s3, $s3, -1
+		lw $t2, 0($s1)
+		subu $t2, $s0, $t2	# span length
+		addu $s2, $s2, $t2
+sp_close_skip:
+		addiu $s0, $s0, 1
+		j sp_loop
+sp_number:
+		li $t2, 0		# value
+sp_numc:
+		lbu $t0, 0($s0)
+		li $t1, 48
+		blt $t0, $t1, sp_numdone
+		li $t1, 58
+		bge $t0, $t1, sp_numdone
+		sll $t3, $t2, 3
+		sll $t4, $t2, 1
+		addu $t2, $t3, $t4	# value*10
+		addu $t2, $t2, $t0
+		addiu $t2, $t2, -48
+		addiu $s0, $s0, 1
+		j sp_numc
+sp_numdone:
+		addu $s2, $s2, $t2
+		la $t2, counts+4
+		lw $t3, 0($t2)
+		addiu $t3, $t3, 1
+		sw $t3, 0($t2)
+		j sp_loop
+sp_ident:
+		# djb2 hash over the identifier
+		li $t2, 5381		# hash
+		li $t3, 0		# length
+sp_idc:
+		lbu $t0, 0($s0)
+		li $t1, 97
+		blt $t0, $t1, sp_iddone
+		li $t1, 123
+		bge $t0, $t1, sp_iddone
+		sll $t4, $t2, 5
+		addu $t2, $t4, $t2	# hash*33
+		addu $t2, $t2, $t0
+		addiu $t3, $t3, 1
+		addiu $s0, $s0, 1
+		j sp_idc
+sp_iddone:
+		# keyword check: linear scan of 10 precomputed hashes
+		la $t4, keywords
+		li $t5, 10
+sp_kw:
+		lw $t6, 0($t4)
+		beq $t6, $t2, sp_iskw
+		addiu $t4, $t4, 4
+		addiu $t5, $t5, -1
+		bnez $t5, sp_kw
+		# not a keyword: intern into the symbol table
+		move $a0, $t2
+		move $a1, $t3
+		jal intern
+		addu $s2, $s2, $v0
+		j sp_loop
+sp_iskw:
+		la $t2, counts+8
+		lw $t3, 0($t2)
+		addiu $t3, $t3, 1
+		sw $t3, 0($t2)
+		j sp_loop
+sp_done:
+		move $v0, $s2
+		lw $ra, 0($sp)
+		lw $s0, 4($sp)
+		addiu $sp, $sp, 8
+		jr $ra
+
+# ---------------------------------------------------------------
+# intern: $a0 = hash, $a1 = len. Chained hash table; bumps the count of
+# an existing node or allocates a new one. Returns the node's count.
+intern:
+		andi $t0, $a0, 1023
+		sll $t0, $t0, 2
+		la $t1, buckets
+		addu $t0, $t1, $t0	# &bucket
+		lw $t2, 0($t0)		# head
+it_walk:
+		beqz $t2, it_new
+		lw $t3, 0($t2)		# node.hash
+		bne $t3, $a0, it_next
+		lw $t4, 4($t2)		# node.len
+		beq $t4, $a1, it_found
+it_next:
+		lw $t2, 12($t2)		# node.next
+		j it_walk
+it_found:
+		lw $v0, 8($t2)
+		addiu $v0, $v0, 1
+		sw $v0, 8($t2)
+		jr $ra
+it_new:
+		lw $t5, nodeptr
+		la $t6, nodes+49152
+		blt $t5, $t6, it_alloc
+		li $v0, 0		# node pool exhausted: drop
+		jr $ra
+it_alloc:
+		sw $a0, 0($t5)		# hash
+		sw $a1, 4($t5)		# len
+		li $t7, 1
+		sw $t7, 8($t5)		# count
+		lw $t8, 0($t0)
+		sw $t8, 12($t5)		# next = old head
+		sw $t5, 0($t0)		# head = node
+		addiu $t6, $t5, 16
+		sw $t6, nodeptr
+		li $v0, 1
+		jr $ra
+
+		.data
+gs_ops:		.byte 43, 45, 42, 61	# + - * =
+		.text
+` + mixerSource("gcc_rtl", 0x9CC123, 56, 22),
+})

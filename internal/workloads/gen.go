@@ -1,0 +1,237 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Code-footprint generators.
+//
+// The SPEC92 integer programs execute tens of kilobytes of hot code —
+// dispatch-heavy interpreters, table-driven minimisers, compiler case
+// analysis — which is what pressures the paper's 1/2/4 KB instruction
+// caches (baseline I-hit 96.5%). Hand-writing that much assembly per kernel
+// would be noise, so each kernel includes a generated "operator dispatch"
+// phase: a loop that selects one of H distinct handler routines per data
+// element (a linear branch ladder, as a compiler emits for a small switch)
+// where every handler is a different straight-line transformation. The
+// generated code is deterministic in the seed, so traces are reproducible.
+
+// genLCG is a tiny deterministic generator for code-shape choices.
+type genLCG uint32
+
+func (g *genLCG) next() uint32 {
+	*g = *g*1664525 + 1013904223
+	return uint32(*g)
+}
+
+func (g *genLCG) pick(n int) int { return int(g.next() >> 8 % uint32(n)) }
+
+// mixerSource emits an operator-dispatch phase:
+//
+//	jal <label>  with $a0 = word-array base, $a1 = element count
+//
+// returns a checksum in $v0. The phase walks the array; each element selects
+// one of handlers routines via a branch ladder; every handler is a distinct
+// straight-line sequence of ~steps ALU operations plus an extra array load,
+// ending with a store back. Registers: $t0-$t8, $v0/$v1 only.
+func mixerSource(label string, seed uint32, handlers, steps int) string {
+	g := genLCG(seed)
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	w("# generated operator-dispatch phase %q: %d handlers x ~%d ops", label, handlers, steps)
+	w("%s:", label)
+	w("\tmove $t9, $a0")
+	w("\tmove $t8, $a1")
+	w("\tli $v0, 0")
+	w("%s_loop:", label)
+	w("\tlw $t0, 0($t9)")
+	// Handler selection from the element value.
+	w("\tsrl $t1, $t0, 3")
+	w("\tandi $t1, $t1, %d", nextPow2(handlers)-1)
+	// Branch ladder (what a compiler emits for a sparse switch).
+	for h := 0; h < handlers; h++ {
+		w("\tli $t2, %d", h)
+		w("\tbeq $t1, $t2, %s_h%d", label, h)
+	}
+	w("\tj %s_next", label) // selector ≥ handlers: skip
+	for h := 0; h < handlers; h++ {
+		w("%s_h%d:", label, h)
+		b.WriteString(handlerBody(&g, label, steps))
+		w("\tj %s_next", label)
+	}
+	w("%s_next:", label)
+	w("\tsw $t0, 0($t9)")
+	w("\taddu $v0, $v0, $t0")
+	w("\taddiu $t9, $t9, 4")
+	w("\taddiu $t8, $t8, -1")
+	w("\tbnez $t8, %s_loop", label)
+	w("\tjr $ra")
+	return b.String()
+}
+
+// handlerBody emits one straight-line transformation of $t0, optionally
+// touching a neighbouring array element ($t9-relative) — a realistic mix of
+// ALU work and the odd dependent load.
+func handlerBody(g *genLCG, label string, steps int) string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	// Working registers for the handler.
+	regs := []string{"$t3", "$t4", "$t5", "$t6"}
+	w("\tmove %s, $t0", regs[0])
+	live := 1
+	for s := 0; s < steps; s++ {
+		dst := regs[g.pick(min(live+1, len(regs)))]
+		a := regs[g.pick(live)]
+		if g.pick(len(regs)) >= live {
+			live = min(live+1, len(regs))
+		}
+		switch g.pick(12) {
+		case 0:
+			w("\taddu %s, %s, $t0", dst, a)
+		case 1:
+			w("\txor %s, %s, $t0", dst, a)
+		case 2:
+			w("\tsll %s, %s, %d", dst, a, 1+g.pick(7))
+		case 3:
+			w("\tsrl %s, %s, %d", dst, a, 1+g.pick(7))
+		case 4:
+			w("\taddiu %s, %s, %d", dst, a, 1+g.pick(4095))
+		case 5:
+			w("\tandi %s, %s, %d", dst, a, 1+g.pick(65535))
+		case 6:
+			w("\tori %s, %s, %d", dst, a, g.pick(65536))
+		case 7:
+			w("\tsubu %s, %s, $t0", dst, a)
+		case 8:
+			// A dependent neighbour load (bounded offset, word aligned).
+			w("\tlw %s, %d($t9)", dst, 4*g.pick(8))
+		case 9:
+			w("\tnor %s, %s, $t0", dst, a)
+		case 10, 11:
+			// A scattered single-word store (symbol-table update,
+			// histogram bump): poorly coalescible write traffic,
+			// which the real programs have plenty of.
+			w("\tsw %s, %d($t9)", a, 4*(8+g.pick(96)))
+		}
+	}
+	// Fold the handler's work back into the element value.
+	w("\txor $t0, $t0, %s", regs[g.pick(live)])
+	// Keep values well distributed so handler selection stays uniform.
+	w("\tsrl $t7, $t0, 16")
+	w("\txor $t0, $t0, $t7")
+	return b.String()
+}
+
+// straightSource emits a long fully-unrolled sequential sweep:
+//
+//	jal <label>  with $a0 = word-array base
+//
+// blocks of ~12 instructions each process consecutive words with no
+// backward branch until the very end — eqntott's profile, whose code
+// streams through the instruction cache and rewards sequential prefetch
+// (the paper's 88-95% I-prefetch hit rates on small caches).
+func straightSource(label string, seed uint32, blocks int) string {
+	g := genLCG(seed)
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	w("# generated straight-line sweep %q: %d unrolled blocks", label, blocks)
+	w("%s:", label)
+	w("\tmove $t9, $a0")
+	w("\tli $v0, 0")
+	for i := 0; i < blocks; i++ {
+		off := 4 * (i % 512)
+		w("\tlw $t0, %d($t9)", off)
+		w("\tsrl $t1, $t0, %d", 1+g.pick(15))
+		w("\txor $t0, $t0, $t1")
+		w("\taddiu $t2, $t0, %d", 1+g.pick(2047))
+		w("\tsll $t3, $t2, %d", 1+g.pick(7))
+		w("\txor $t2, $t2, $t3")
+		w("\tandi $t4, $t2, 8191")
+		w("\taddu $v0, $v0, $t4")
+		w("\tsw $t2, %d($t9)", off)
+		if i%8 == 7 {
+			w("\taddiu $t9, $t9, 32") // advance one line per 8 blocks
+		}
+	}
+	w("\tjr $ra")
+	return b.String()
+}
+
+// fpMixerSource emits a floating-point region-dispatch phase (doduc's
+// profile: branchy double-precision code with many distinct short regions):
+//
+//	jal <label> with $a0 = iteration count; $f20 = u scale constant.
+//
+// It draws an LCG variate in-line, selects one of handlers FP regions, and
+// accumulates into $f16. Uses $t0-$t3, $f0-$f8, $f16, clobbers $s0 (seed).
+func fpMixerSource(label string, seed uint32, handlers int) string {
+	g := genLCG(seed)
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	w("# generated FP region-dispatch phase %q: %d regions", label, handlers)
+	w("%s:", label)
+	w("\tmove $t8, $a0")
+	w("%s_loop:", label)
+	w("\tli $t0, 1103515245")
+	w("\tmultu $s0, $t0")
+	w("\tmflo $s0")
+	w("\taddiu $s0, $s0, 12345")
+	w("\tsrl $t1, $s0, 16")
+	w("\tmtc1 $t1, $f0")
+	w("\tcvt.d.w $f0, $f0")
+	w("\tmul.d $f0, $f0, $f20") // u in [0,1)
+	w("\tsrl $t2, $s0, 9")
+	w("\tandi $t2, $t2, %d", nextPow2(handlers)-1)
+	for h := 0; h < handlers; h++ {
+		w("\tli $t3, %d", h)
+		w("\tbeq $t2, $t3, %s_r%d", label, h)
+	}
+	w("\tj %s_next", label)
+	for h := 0; h < handlers; h++ {
+		w("%s_r%d:", label, h)
+		// A distinct short FP computation per region.
+		n := 2 + g.pick(4)
+		w("\tmov.d $f2, $f0")
+		for s := 0; s < n; s++ {
+			switch g.pick(4) {
+			case 0:
+				w("\tadd.d $f2, $f2, $f0")
+			case 1:
+				w("\tmul.d $f2, $f2, $f0")
+			case 2:
+				w("\tmul.d $f4, $f0, $f0")
+				w("\tadd.d $f2, $f2, $f4")
+			case 3:
+				w("\tsub.d $f2, $f2, $f0")
+			}
+		}
+		if g.pick(3) == 0 {
+			w("\tadd.d $f4, $f0, $f22") // offset away from zero
+			w("\tdiv.d $f2, $f2, $f4")
+		}
+		w("\tadd.d $f16, $f16, $f2")
+		w("\tj %s_next", label)
+	}
+	w("%s_next:", label)
+	w("\taddiu $t8, $t8, -1")
+	w("\tbnez $t8, %s_loop", label)
+	w("\tjr $ra")
+	return b.String()
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

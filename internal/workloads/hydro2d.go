@@ -1,0 +1,149 @@
+package workloads
+
+// hydro2d — 2-D hydrodynamics (Navier-Stokes on a grid). The profile is
+// double-precision stencil sweeps over grids that exceed the data caches.
+// The kernel runs pressure-relaxation and velocity-update stencils over
+// three 64x64 DP grids (96 KB total working set), row-major with 512-byte
+// row stride — the classic streaming + neighbour-reuse pattern.
+var _ = register(&Workload{
+	Name:          "hydro2d",
+	Suite:         SuiteFP,
+	DefaultBudget: 950_000,
+	Description:   "DP 5-point stencil sweeps over three 64x64 grids (96 KB working set)",
+	Source: `
+# hydro2d kernel (double precision). Row stride = 64*8 = 512 bytes.
+		.data
+pgrid:		.space 32768
+		.space 64		# padding: de-alias the direct-mapped cache
+ugrid:		.space 32768
+		.space 64
+vgrid:		.space 32768
+seed:		.word 55221
+iters:		.word 4
+quarter:	.double 0.25
+kconst:		.double 0.05
+gscale:		.double 0.0000152587890625
+
+		.text
+main:
+		jal initgrids
+		lw $s6, iters
+relax:
+		jal ppass
+		jal uvpass
+		addiu $s6, $s6, -1
+		bnez $s6, relax
+
+		la $t0, pgrid
+		lw $a0, 2056($t0)	# p[4][1] low word
+		andi $a0, $a0, 127
+		li $v0, 10
+		syscall
+
+# ---------------------------------------------------------------
+initgrids:
+		lw $t0, seed
+		la $t1, pgrid
+		la $t2, vgrid+32768	# sweep across all grids (incl. padding)
+		ldc1 $f6, gscale
+ih_loop:
+		li $t3, 1103515245
+		multu $t0, $t3
+		mflo $t0
+		addiu $t0, $t0, 12345
+		sra $t4, $t0, 16
+		mtc1 $t4, $f2
+		cvt.d.w $f2, $f2
+		mul.d $f2, $f2, $f6
+		sdc1 $f2, 0($t1)
+		addiu $t1, $t1, 8
+		bne $t1, $t2, ih_loop
+		sw $t0, seed
+		jr $ra
+
+# ppass: p[i][j] = 0.25*(p[N]+p[S]+p[E]+p[W])
+#                  - k*(u[E]-u[W] + v[N]-v[S])      (interior cells)
+ppass:
+		ldc1 $f20, quarter
+		ldc1 $f22, kconst
+		li $t0, 1		# row
+pp_row:
+		# row base pointers
+		sll $t1, $t0, 9		# row * 512
+		la $t2, pgrid
+		addu $t2, $t2, $t1	# &p[row][0]
+		la $t3, ugrid
+		addu $t3, $t3, $t1
+		la $t4, vgrid
+		addu $t4, $t4, $t1
+		li $t5, 1		# col
+pp_col:
+		sll $t6, $t5, 3
+		addu $t7, $t2, $t6	# &p[row][col]
+		# neighbour sum
+		ldc1 $f0, -512($t7)	# north
+		ldc1 $f2, 512($t7)	# south
+		add.d $f0, $f0, $f2
+		ldc1 $f2, 8($t7)	# east
+		add.d $f0, $f0, $f2
+		ldc1 $f2, -8($t7)	# west
+		add.d $f0, $f0, $f2
+		mul.d $f0, $f0, $f20
+		# divergence term
+		addu $t8, $t3, $t6
+		ldc1 $f2, 8($t8)	# u east
+		ldc1 $f4, -8($t8)	# u west
+		sub.d $f2, $f2, $f4
+		addu $t8, $t4, $t6
+		ldc1 $f4, -512($t8)	# v north
+		ldc1 $f6, 512($t8)	# v south
+		sub.d $f4, $f4, $f6
+		add.d $f2, $f2, $f4
+		mul.d $f2, $f2, $f22
+		sub.d $f0, $f0, $f2
+		sdc1 $f0, 0($t7)
+		addiu $t5, $t5, 1
+		blt $t5, 63, pp_col
+		addiu $t0, $t0, 1
+		blt $t0, 63, pp_row
+		jr $ra
+
+# uvpass: u += k*(p[E]-p[W]); v += k*(p[N]-p[S])   (interior cells)
+uvpass:
+		ldc1 $f22, kconst
+		li $t0, 1
+uv_row:
+		sll $t1, $t0, 9
+		la $t2, pgrid
+		addu $t2, $t2, $t1
+		la $t3, ugrid
+		addu $t3, $t3, $t1
+		la $t4, vgrid
+		addu $t4, $t4, $t1
+		li $t5, 1
+uv_col:
+		sll $t6, $t5, 3
+		addu $t7, $t2, $t6	# &p[row][col]
+		ldc1 $f0, 8($t7)
+		ldc1 $f2, -8($t7)
+		sub.d $f0, $f0, $f2
+		mul.d $f0, $f0, $f22
+		addu $t8, $t3, $t6	# &u
+		ldc1 $f2, 0($t8)
+		add.d $f2, $f2, $f0
+		sdc1 $f2, 0($t8)
+		ldc1 $f0, -512($t7)
+		ldc1 $f2, 512($t7)
+		sub.d $f0, $f0, $f2
+		mul.d $f0, $f0, $f22
+		addu $t8, $t4, $t6	# &v
+		ldc1 $f2, 0($t8)
+		add.d $f2, $f2, $f0
+		sdc1 $f2, 0($t8)
+		addiu $t5, $t5, 1
+		blt $t5, 63, uv_col
+		addiu $t0, $t0, 1
+		blt $t0, 63, uv_row
+		jr $ra
+`,
+})

@@ -1,0 +1,262 @@
+package workloads
+
+// li — a Lisp interpreter. The real program is dominated by cons-cell
+// allocation, pointer-chasing list traversal, and recursion. The kernel
+// builds lists with a bump allocator, maps and reverses them (allocating),
+// sums them recursively, and maintains a binary search tree of LCG keys —
+// the classic pointer-chasing + deep-recursion profile.
+var _ = register(&Workload{
+	Name:          "li",
+	Suite:         SuiteInt,
+	DefaultBudget: 1_350_000,
+	Description:   "cons-cell lists: bump allocation, pointer chasing, recursion, binary search tree",
+	Source: `
+# li kernel. Cons cell = 8 bytes: car (value or ptr), cdr (ptr, 0 = nil).
+		.data
+heap:		.space 98304		# 96 KB cell heap
+heapptr:	.word 0
+treeroot:	.word 0
+seed:		.word 987654321
+passes:		.word 8
+
+		.text
+main:
+		lw $s6, passes
+		li $s7, 0		# checksum
+pass:
+		# reset the bump allocator and tree each pass
+		la $t0, heap
+		sw $t0, heapptr
+		sw $zero, treeroot
+
+		li $a0, 900		# list length
+		jal buildlist
+		move $s0, $v0		# l
+
+		move $a0, $s0
+		jal maplist		# l2 = map(+7)
+		move $s1, $v0
+
+		move $a0, $s1
+		jal revlist		# l3 = reverse (in place)
+		move $s2, $v0
+
+		move $a0, $s2
+		jal sumlist		# recursive sum
+		addu $s7, $s7, $v0
+
+		# insert 384 LCG keys into a BST, then sum it recursively
+		li $s3, 384
+tins_loop:
+		jal nextrand
+		andi $a0, $v0, 0x3fff
+		jal tinsert
+		addiu $s3, $s3, -1
+		bnez $s3, tins_loop
+
+		lw $a0, treeroot
+		jal tsum
+		addu $s7, $s7, $v0
+
+		# interpreter opcode dispatch sweep (generated): eval's many
+		# special forms give li its instruction-cache footprint.
+		la $a0, heap
+		li $a1, 640
+		jal li_eval
+		addu $s7, $s7, $v0
+
+		addiu $s6, $s6, -1
+		bnez $s6, pass
+
+		andi $a0, $s7, 127
+		li $v0, 10
+		syscall
+
+# ---------------------------------------------------------------
+# nextrand: LCG in seed, result in $v0.
+nextrand:
+		lw $v0, seed
+		li $t0, 1103515245
+		multu $v0, $t0
+		mflo $v0
+		addiu $v0, $v0, 12345
+		sw $v0, seed
+		jr $ra
+
+# cons: $a0=car $a1=cdr -> $v0 = new cell
+cons:
+		lw $v0, heapptr
+		sw $a0, 0($v0)
+		sw $a1, 4($v0)
+		addiu $t0, $v0, 8
+		sw $t0, heapptr
+		jr $ra
+
+# buildlist: $a0 = n -> list (n, n-1, ..., 1)
+buildlist:
+		addiu $sp, $sp, -16
+		sw $ra, 0($sp)
+		sw $s0, 4($sp)
+		sw $s1, 8($sp)
+		move $s0, $a0		# n
+		li $s1, 0		# acc = nil
+bl_loop:
+		move $a0, $s0
+		move $a1, $s1
+		jal cons
+		move $s1, $v0
+		addiu $s0, $s0, -1
+		bnez $s0, bl_loop
+		move $v0, $s1
+		lw $ra, 0($sp)
+		lw $s0, 4($sp)
+		lw $s1, 8($sp)
+		addiu $sp, $sp, 16
+		jr $ra
+
+# maplist: $a0 = list -> new list with car+7 (allocates; iterative with
+# tail pointer to keep cells in allocation order).
+maplist:
+		addiu $sp, $sp, -16
+		sw $ra, 0($sp)
+		sw $s0, 4($sp)
+		sw $s1, 8($sp)
+		move $s0, $a0		# cursor
+		li $s1, 0		# head
+		li $t9, 0		# tail
+ml_loop:
+		beqz $s0, ml_done
+		lw $a0, 0($s0)
+		addiu $a0, $a0, 7
+		li $a1, 0
+		sw $t9, 12($sp)		# save tail across call
+		jal cons
+		lw $t9, 12($sp)
+		beqz $t9, ml_first
+		sw $v0, 4($t9)		# tail.cdr = new
+		j ml_adv
+ml_first:
+		move $s1, $v0		# head = new
+ml_adv:
+		move $t9, $v0
+		lw $s0, 4($s0)
+		j ml_loop
+ml_done:
+		move $v0, $s1
+		lw $ra, 0($sp)
+		lw $s0, 4($sp)
+		lw $s1, 8($sp)
+		addiu $sp, $sp, 16
+		jr $ra
+
+# revlist: $a0 = list -> reversed in place
+revlist:
+		li $v0, 0		# prev
+rv_loop:
+		beqz $a0, rv_done
+		lw $t0, 4($a0)		# next
+		sw $v0, 4($a0)
+		move $v0, $a0
+		move $a0, $t0
+		j rv_loop
+rv_done:
+		jr $ra
+
+# sumlist: recursive: sum(l) = car + sum(cdr)
+sumlist:
+		beqz $a0, sl_nil
+		addiu $sp, $sp, -8
+		sw $ra, 0($sp)
+		sw $s0, 4($sp)
+		lw $s0, 0($a0)		# car
+		lw $a0, 4($a0)
+		jal sumlist
+		addu $v0, $v0, $s0
+		lw $ra, 0($sp)
+		lw $s0, 4($sp)
+		addiu $sp, $sp, 8
+		jr $ra
+sl_nil:
+		li $v0, 0
+		jr $ra
+
+# tinsert: $a0 = key. Tree node = 16 bytes: key, left, right, count.
+tinsert:
+		addiu $sp, $sp, -8
+		sw $ra, 0($sp)
+		lw $t0, treeroot
+		beqz $t0, ti_newroot
+		# walk down
+ti_walk:
+		lw $t1, 0($t0)		# node.key
+		beq $t1, $a0, ti_bump
+		blt $a0, $t1, ti_left
+		lw $t2, 8($t0)		# right
+		beqz $t2, ti_addright
+		move $t0, $t2
+		j ti_walk
+ti_left:
+		lw $t2, 4($t0)		# left
+		beqz $t2, ti_addleft
+		move $t0, $t2
+		j ti_walk
+ti_bump:
+		lw $t3, 12($t0)
+		addiu $t3, $t3, 1
+		sw $t3, 12($t0)
+		j ti_done
+ti_addleft:
+		jal tnewnode
+		sw $v0, 4($t0)
+		j ti_done
+ti_addright:
+		jal tnewnode
+		sw $v0, 8($t0)
+		j ti_done
+ti_newroot:
+		jal tnewnode
+		sw $v0, treeroot
+ti_done:
+		lw $ra, 0($sp)
+		addiu $sp, $sp, 8
+		jr $ra
+
+# tnewnode: $a0 = key -> $v0 = node (16 bytes from the heap)
+tnewnode:
+		lw $v0, heapptr
+		sw $a0, 0($v0)
+		sw $zero, 4($v0)
+		sw $zero, 8($v0)
+		li $t4, 1
+		sw $t4, 12($v0)
+		addiu $t4, $v0, 16
+		sw $t4, heapptr
+		jr $ra
+
+# tsum: recursive: $a0 = node -> key*count + tsum(left) + tsum(right)
+tsum:
+		beqz $a0, ts_nil
+		addiu $sp, $sp, -16
+		sw $ra, 0($sp)
+		sw $s0, 4($sp)
+		sw $s1, 8($sp)
+		move $s0, $a0
+		lw $t0, 0($s0)
+		lw $t1, 12($s0)
+		mul $s1, $t0, $t1
+		lw $a0, 4($s0)
+		jal tsum
+		addu $s1, $s1, $v0
+		lw $a0, 8($s0)
+		jal tsum
+		addu $v0, $v0, $s1
+		lw $ra, 0($sp)
+		lw $s0, 4($sp)
+		lw $s1, 8($sp)
+		addiu $sp, $sp, 16
+		jr $ra
+ts_nil:
+		li $v0, 0
+		jr $ra
+` + mixerSource("li_eval", 0x11511, 40, 16),
+})

@@ -1,0 +1,177 @@
+package workloads
+
+// mdljdp2 — molecular dynamics (Lennard-Jones, double precision). The time
+// goes to the O(N²) pairwise force loop: short dependent chains of subtracts
+// and multiplies ending in a divide per pair, with gathered loads from the
+// position arrays. The kernel computes Lennard-Jones-style forces for 128
+// particles over several timesteps.
+var _ = register(&Workload{
+	Name:          "mdljdp2",
+	Suite:         SuiteFP,
+	DefaultBudget: 1_450_000,
+	Description:   "DP N-body pairwise forces: O(N²) loop, divide per pair, gathered loads",
+	Source: `
+# mdljdp2 kernel (double precision). 128 particles.
+		.data
+posx:		.space 1024
+posy:		.space 1024
+posz:		.space 1024
+frcx:		.space 1024
+frcy:		.space 1024
+frcz:		.space 1024
+seed:		.word 8675309
+steps:		.word 4
+pscale:		.double 0.0001
+soft:		.double 0.01
+half:		.double 0.5
+dt:		.double 0.001
+
+		.text
+main:
+		jal initpos
+		lw $s6, steps
+step:
+		jal forces
+		jal advance
+		addiu $s6, $s6, -1
+		bnez $s6, step
+
+		la $t0, frcx
+		lw $a0, 16($t0)
+		andi $a0, $a0, 127
+		li $v0, 10
+		syscall
+
+# ---------------------------------------------------------------
+initpos:
+		lw $t0, seed
+		la $t1, posx
+		la $t2, posx+3072	# x, y, z contiguous
+		ldc1 $f6, pscale
+ip2_loop:
+		li $t3, 1103515245
+		multu $t0, $t3
+		mflo $t0
+		addiu $t0, $t0, 12345
+		sra $t4, $t0, 16
+		mtc1 $t4, $f2
+		cvt.d.w $f2, $f2
+		mul.d $f2, $f2, $f6
+		sdc1 $f2, 0($t1)
+		addiu $t1, $t1, 8
+		bne $t1, $t2, ip2_loop
+		sw $t0, seed
+		jr $ra
+
+# forces: for i < j pairs, LJ-ish force along each axis accumulated into
+# frc arrays. Inner kernel: dx,dy,dz; r2 = dx2+dy2+dz2 + soft;
+# inv = 1/r2; r6 = inv^3; coef = r6*(r6 - 0.5)*inv.
+forces:
+		# zero the force arrays
+		la $t0, frcx
+		la $t1, frcx+3072
+		mtc1 $zero, $f0
+		mtc1 $zero, $f1
+fz_loop:
+		sdc1 $f0, 0($t0)
+		addiu $t0, $t0, 8
+		bne $t0, $t1, fz_loop
+
+		ldc1 $f24, soft
+		ldc1 $f26, half
+		li $s0, 0		# i
+fi_loop:
+		sll $t0, $s0, 3
+		la $t1, posx
+		addu $t1, $t1, $t0
+		ldc1 $f14, 0($t1)	# xi
+		ldc1 $f16, 1024($t1)	# yi  (posy = posx + 1024)
+		ldc1 $f18, 2048($t1)	# zi
+		# force accumulators for particle i
+		mtc1 $zero, $f8
+		mtc1 $zero, $f9
+		mtc1 $zero, $f10
+		mtc1 $zero, $f11
+		mtc1 $zero, $f12
+		mtc1 $zero, $f13
+		addiu $s1, $s0, 1	# j
+fj_loop:
+		sll $t2, $s1, 3
+		la $t3, posx
+		addu $t3, $t3, $t2
+		ldc1 $f0, 0($t3)	# xj
+		sub.d $f0, $f14, $f0	# dx
+		ldc1 $f2, 1024($t3)
+		sub.d $f2, $f16, $f2	# dy
+		ldc1 $f4, 2048($t3)
+		sub.d $f4, $f18, $f4	# dz
+		mul.d $f6, $f0, $f0
+		mul.d $f20, $f2, $f2
+		add.d $f6, $f6, $f20
+		mul.d $f20, $f4, $f4
+		add.d $f6, $f6, $f20
+		add.d $f6, $f6, $f24	# r2 + soft
+		ldc1 $f20, one_d
+		div.d $f6, $f20, $f6	# inv = 1/r2
+		mul.d $f20, $f6, $f6	# coef = inv^2 (softened force law)
+		# fi += coef * d; fj -= coef * d (fj update goes to memory)
+		mul.d $f0, $f0, $f20
+		add.d $f8, $f8, $f0
+		la $t4, frcx
+		addu $t4, $t4, $t2
+		ldc1 $f22, 0($t4)
+		sub.d $f22, $f22, $f0
+		sdc1 $f22, 0($t4)
+		mul.d $f2, $f2, $f20
+		add.d $f10, $f10, $f2
+		ldc1 $f22, 1024($t4)
+		sub.d $f22, $f22, $f2
+		sdc1 $f22, 1024($t4)
+		mul.d $f4, $f4, $f20
+		add.d $f12, $f12, $f4
+		ldc1 $f22, 2048($t4)
+		sub.d $f22, $f22, $f4
+		sdc1 $f22, 2048($t4)
+		addiu $s1, $s1, 1
+		li $t5, 128
+		blt $s1, $t5, fj_loop
+		# spill particle i force
+		sll $t0, $s0, 3
+		la $t4, frcx
+		addu $t4, $t4, $t0
+		ldc1 $f22, 0($t4)
+		add.d $f22, $f22, $f8
+		sdc1 $f22, 0($t4)
+		ldc1 $f22, 1024($t4)
+		add.d $f22, $f22, $f10
+		sdc1 $f22, 1024($t4)
+		ldc1 $f22, 2048($t4)
+		add.d $f22, $f22, $f12
+		sdc1 $f22, 2048($t4)
+		addiu $s0, $s0, 1
+		li $t5, 127
+		blt $s0, $t5, fi_loop
+		jr $ra
+
+# advance: pos += dt * frc  (sequential RMW sweep over 6 KB)
+advance:
+		ldc1 $f20, dt
+		la $t0, posx
+		la $t1, frcx
+		li $t2, 384		# 3*128 doubles
+adv_loop:
+		ldc1 $f0, 0($t1)
+		mul.d $f0, $f0, $f20
+		ldc1 $f2, 0($t0)
+		add.d $f2, $f2, $f0
+		sdc1 $f2, 0($t0)
+		addiu $t0, $t0, 8
+		addiu $t1, $t1, 8
+		addiu $t2, $t2, -1
+		bnez $t2, adv_loop
+		jr $ra
+
+		.data
+one_d:		.double 1.0
+`,
+})

@@ -1,0 +1,178 @@
+package workloads
+
+// nasa7 — seven numerical "NASA kernels". The dominant ones are dense
+// matrix multiply and banded/penta-diagonal solves. The kernel reproduces
+// two of them in double precision: a 40x40 matrix multiply (blocked row
+// sweeps, 12.8 KB per operand) and a 4096-element recurrence solve
+// (sequential, loop-carried dependences).
+var _ = register(&Workload{
+	Name:          "nasa7",
+	Suite:         SuiteFP,
+	DefaultBudget: 1_400_000,
+	Description:   "DP dense 40x40 matmul + 4096-point recurrence solve (NASA kernels MXM/GMTRY style)",
+	Source: `
+# nasa7 kernel (double precision).
+		.data
+mata:		.space 12800		# 40x40 doubles
+matb:		.space 12800
+matc:		.space 12800
+banda:		.space 32768		# 4096 doubles: a coefficients
+		.space 64		# padding: de-alias the direct-mapped cache
+bandc:		.space 32768
+		.space 64
+bandd:		.space 32768
+		.space 64
+vx:		.space 32768		# 4096 doubles solution
+seed:		.word 19571004
+mmiters:	.word 2
+nscale:		.double 0.00001
+one_n:		.double 1.0
+two_n:		.double 2.125
+
+		.text
+main:
+		jal initall
+		lw $s6, mmiters
+nm_loop:
+		jal matmul
+		jal bandsolve
+		addiu $s6, $s6, -1
+		bnez $s6, nm_loop
+
+		la $t0, matc
+		lw $a0, 328($t0)
+		andi $a0, $a0, 127
+		li $v0, 10
+		syscall
+
+# ---------------------------------------------------------------
+initall:
+		lw $t0, seed
+		la $t1, mata
+		la $t2, mata+25600	# a and b
+		ldc1 $f6, nscale
+in_loop:
+		li $t3, 1103515245
+		multu $t0, $t3
+		mflo $t0
+		addiu $t0, $t0, 12345
+		sra $t4, $t0, 16
+		mtc1 $t4, $f2
+		cvt.d.w $f2, $f2
+		mul.d $f2, $f2, $f6
+		sdc1 $f2, 0($t1)
+		addiu $t1, $t1, 8
+		bne $t1, $t2, in_loop
+		# bands: d must be away from zero — use 2.125 + small noise
+		la $t1, banda
+		la $t2, bandd+32768
+		ldc1 $f8, two_n
+ib_loop:
+		li $t3, 1103515245
+		multu $t0, $t3
+		mflo $t0
+		addiu $t0, $t0, 12345
+		sra $t4, $t0, 16
+		mtc1 $t4, $f2
+		cvt.d.w $f2, $f2
+		mul.d $f2, $f2, $f6
+		add.d $f2, $f2, $f8
+		sdc1 $f2, 0($t1)
+		addiu $t1, $t1, 8
+		bne $t1, $t2, ib_loop
+		sw $t0, seed
+		jr $ra
+
+# matmul: C = A*B, 40x40 doubles, ikj order (streams B rows).
+# Row stride = 320 bytes.
+matmul:
+		li $s0, 0		# i
+mm_i:
+		# zero C row i
+		li $t0, 320
+		mul $t1, $s0, $t0
+		la $t2, matc
+		addu $t2, $t2, $t1	# &C[i][0]
+		mtc1 $zero, $f0
+		mtc1 $zero, $f1
+		li $t3, 40
+mm_zero:
+		sdc1 $f0, 0($t2)
+		addiu $t2, $t2, 8
+		addiu $t3, $t3, -1
+		bnez $t3, mm_zero
+		li $s1, 0		# k
+mm_k:
+		li $t0, 320
+		mul $t1, $s0, $t0
+		la $t2, mata
+		addu $t2, $t2, $t1
+		sll $t3, $s1, 3
+		addu $t2, $t2, $t3
+		ldc1 $f2, 0($t2)	# a = A[i][k]
+		mul $t1, $s1, $t0
+		la $t3, matb
+		addu $t3, $t3, $t1	# &B[k][0]
+		mul $t1, $s0, $t0
+		la $t4, matc
+		addu $t4, $t4, $t1	# &C[i][0]
+		li $t5, 20		# j (two columns per iteration)
+		.set noreorder
+mm_j:
+		ldc1 $f4, 0($t3)	# B[k][j]
+		ldc1 $f6, 0($t4)	# C[i][j]
+		mul.d $f4, $f4, $f2
+		ldc1 $f8, 8($t3)	# B[k][j+1]
+		ldc1 $f10, 8($t4)	# C[i][j+1]
+		mul.d $f8, $f8, $f2
+		add.d $f6, $f6, $f4
+		add.d $f10, $f10, $f8
+		sdc1 $f6, 0($t4)
+		sdc1 $f10, 8($t4)
+		addiu $t3, $t3, 16
+		addiu $t5, $t5, -1
+		bnez $t5, mm_j
+		addiu $t4, $t4, 16	# delay slot
+		.set reorder
+		addiu $s1, $s1, 1
+		li $t6, 40
+		blt $s1, $t6, mm_k
+		addiu $s0, $s0, 1
+		li $t6, 40
+		blt $s0, $t6, mm_i
+		jr $ra
+
+# bandsolve: x[i] = (1 - a[i]*x[i-1] - c[i]*x[i-2]) / d[i]
+# over 4096 elements — a loop-carried recurrence with a divide per point.
+bandsolve:
+		la $t0, banda
+		la $t1, bandc
+		la $t2, bandd
+		la $t3, vx
+		ldc1 $f20, one_n
+		mtc1 $zero, $f8		# x[i-1]
+		mtc1 $zero, $f9
+		mtc1 $zero, $f10	# x[i-2]
+		mtc1 $zero, $f11
+		li $t4, 4096
+bs_loop:
+		ldc1 $f0, 0($t0)
+		mul.d $f0, $f0, $f8	# a*x1
+		ldc1 $f2, 0($t1)
+		mul.d $f2, $f2, $f10	# c*x2
+		add.d $f0, $f0, $f2
+		sub.d $f0, $f20, $f0
+		ldc1 $f2, 0($t2)
+		div.d $f0, $f0, $f2
+		sdc1 $f0, 0($t3)
+		mov.d $f10, $f8
+		mov.d $f8, $f0
+		addiu $t0, $t0, 8
+		addiu $t1, $t1, 8
+		addiu $t2, $t2, 8
+		addiu $t3, $t3, 8
+		addiu $t4, $t4, -1
+		bnez $t4, bs_loop
+		jr $ra
+`,
+})

@@ -1,0 +1,116 @@
+package workloads
+
+// ora — optical ray tracing. The real program traces rays through lens
+// systems: almost no memory traffic, long serial dependence chains of
+// multiplies ending in square roots and divides. CPI is set by functional
+// unit latency, not cache behaviour — it is the paper's stress case for the
+// FPU divide/sqrt unit. The kernel intersects rays with a sphere and
+// refracts them, one long dependent chain per ray.
+var _ = register(&Workload{
+	Name:          "ora",
+	Suite:         SuiteFP,
+	DefaultBudget: 950_000,
+	Description:   "DP ray-sphere intersection: serial mul chains into sqrt and divide, minimal memory traffic",
+	Source: `
+# ora kernel (double precision).
+		.data
+seed:		.word 299792458
+rays:		.word 15000
+rscale:		.double 0.0000152587890625
+two_r:		.double 2.0
+radius2:	.double 1.44
+ox:		.double 0.1
+oy:		.double 0.2
+oz:		.double -2.0
+hits:		.word 0
+
+		.text
+main:
+		lw $s0, seed
+		lw $s6, rays
+		li $s5, 0		# hit count
+		ldc1 $f20, rscale
+		ldc1 $f22, radius2
+		ldc1 $f24, ox
+		ldc1 $f26, oy
+		ldc1 $f28, oz
+		mtc1 $zero, $f16	# energy accumulator
+		mtc1 $zero, $f17
+ray:
+		# direction: dx,dy from two LCG draws, dz = 1, unnormalised
+		li $t0, 1103515245
+		multu $s0, $t0
+		mflo $s0
+		addiu $s0, $s0, 12345
+		sra $t1, $s0, 16
+		mtc1 $t1, $f0
+		cvt.d.w $f0, $f0
+		mul.d $f0, $f0, $f20	# dx
+		li $t0, 1103515245
+		multu $s0, $t0
+		mflo $s0
+		addiu $s0, $s0, 12345
+		sra $t1, $s0, 16
+		mtc1 $t1, $f2
+		cvt.d.w $f2, $f2
+		mul.d $f2, $f2, $f20	# dy
+		ldc1 $f4, one_r
+		# approximate normalisation (first-order): the real code keeps
+		# several rays in flight, so per-ray serial chains are shorter.
+		mul.d $f6, $f0, $f0
+		mul.d $f8, $f2, $f2
+		add.d $f6, $f6, $f8	# dx2+dy2 (small)
+		ldc1 $f8, half_r
+		mul.d $f6, $f6, $f8
+		sub.d $f6, $f4, $f6	# 1 - (dx2+dy2)/2 ≈ 1/len
+		mul.d $f0, $f0, $f6	# dx /= len
+		mul.d $f2, $f2, $f6	# dy /= len
+		mov.d $f8, $f6		# dz = inv
+		# b = o . d
+		mul.d $f10, $f24, $f0
+		mul.d $f12, $f26, $f2
+		add.d $f10, $f10, $f12
+		mul.d $f12, $f28, $f8
+		add.d $f10, $f10, $f12	# b
+		# c0 = o.o - R2
+		mul.d $f12, $f24, $f24
+		mul.d $f14, $f26, $f26
+		add.d $f12, $f12, $f14
+		mul.d $f14, $f28, $f28
+		add.d $f12, $f12, $f14
+		sub.d $f12, $f12, $f22	# c0
+		# disc = b*b - c0
+		mul.d $f14, $f10, $f10
+		sub.d $f14, $f14, $f12
+		mtc1 $zero, $f12
+		mtc1 $zero, $f13
+		c.lt.d $f14, $f12
+		bc1t miss
+		# t = -b - sqrt(disc); energy += 1/(2 + |t|)
+		sqrt.d $f14, $f14
+		add.d $f10, $f10, $f14
+		neg.d $f10, $f10
+		abs.d $f10, $f10
+		ldc1 $f12, two_r
+		add.d $f10, $f10, $f12
+		ldc1 $f14, one_r
+		div.d $f10, $f14, $f10
+		add.d $f16, $f16, $f10
+		addiu $s5, $s5, 1
+miss:
+		addiu $s6, $s6, -1
+		bnez $s6, ray
+
+		sw $s5, hits
+		cvt.w.d $f16, $f16
+		mfc1 $t0, $f16
+		addu $a0, $t0, $s5
+		andi $a0, $a0, 127
+		li $v0, 10
+		syscall
+
+		.data
+one_r:		.double 1.0
+half_r:		.double 0.5
+`,
+})

@@ -1,0 +1,167 @@
+package workloads
+
+// sc — the spreadsheet calculator. Its profile is repeated recalculation
+// sweeps over a 2-D cell grid: row-major dependency propagation with a
+// type dispatch per cell, plus column aggregations whose large stride defeats
+// sequential prefetching. The kernel models a 96x64 grid of word cells with
+// four formula types and both row- and column-order passes.
+var _ = register(&Workload{
+	Name:          "sc",
+	Suite:         SuiteInt,
+	DefaultBudget: 1_850_000,
+	Description:   "spreadsheet recalc: row-major formula propagation + strided column aggregation",
+	Source: `
+# sc kernel. Grid: 96 rows x 64 cols of 4-byte cells = 24 KB.
+# A parallel type grid holds the formula kind of every cell.
+		.data
+grid:		.space 24576
+types:		.space 24576
+rowsum:		.space 384		# 96 words
+colsum:		.space 256		# 64 words
+seed:		.word 20240601
+passes:		.word 6
+
+		.text
+main:
+		jal init_grid
+		lw $s6, passes
+		li $s7, 0		# checksum
+pass:
+		jal recalc_rows
+		jal sum_cols
+		addu $s7, $s7, $v0
+		jal sum_rows
+		addu $s7, $s7, $v0
+		# formula-evaluator dispatch (generated): sc's expression
+		# interpreter is a big switch over node kinds.
+		la $a0, grid
+		li $a1, 1536
+		jal sc_eval
+		addu $s7, $s7, $v0
+		addiu $s6, $s6, -1
+		bnez $s6, pass
+
+		andi $a0, $s7, 127
+		li $v0, 10
+		syscall
+
+# ---------------------------------------------------------------
+init_grid:
+		lw $t0, seed
+		la $t1, grid
+		la $t2, types
+		li $t3, 6144		# cells
+ig_loop:
+		li $t4, 1103515245
+		multu $t0, $t4
+		mflo $t0
+		addiu $t0, $t0, 12345
+		andi $t4, $t0, 1023
+		sw $t4, 0($t1)
+		srl $t5, $t0, 12
+		andi $t5, $t5, 3	# formula type 0..3
+		sw $t5, 0($t2)
+		addiu $t1, $t1, 4
+		addiu $t2, $t2, 4
+		addiu $t3, $t3, -1
+		bnez $t3, ig_loop
+		jr $ra
+
+# recalc_rows: row-major pass. Interior cell value depends on its type:
+#   0: constant (unchanged)
+#   1: left + above
+#   2: above - left, clamped at 0
+#   3: (left + above) >> 1
+recalc_rows:
+		li $t0, 1		# row (start at 1: row 0 is constants)
+rr_row:
+		li $t1, 1		# col
+		# base = grid + row*256
+		sll $t2, $t0, 8
+		la $t3, grid
+		addu $t2, $t3, $t2
+		la $t3, types
+		sll $t4, $t0, 8
+		addu $t3, $t3, $t4
+rr_col:
+		sll $t4, $t1, 2
+		addu $t5, $t2, $t4	# &cell
+		addu $t6, $t3, $t4	# &type
+		lw $t7, 0($t6)
+		beqz $t7, rr_next	# type 0: constant
+		lw $t8, -4($t5)		# left
+		lw $t9, -256($t5)	# above
+		li $t6, 1
+		beq $t7, $t6, rr_add
+		li $t6, 2
+		beq $t7, $t6, rr_subc
+		# type 3: average
+		addu $t6, $t8, $t9
+		sra $t6, $t6, 1
+		j rr_store
+rr_add:
+		addu $t6, $t8, $t9
+		j rr_store
+rr_subc:
+		subu $t6, $t9, $t8
+		bgez $t6, rr_store
+		li $t6, 0
+rr_store:
+		andi $t6, $t6, 0xffff	# keep values bounded
+		sw $t6, 0($t5)
+rr_next:
+		addiu $t1, $t1, 1
+		blt $t1, 64, rr_col
+		addiu $t0, $t0, 1
+		blt $t0, 96, rr_row
+		jr $ra
+
+# sum_cols: column-major aggregation — stride-256 accesses.
+sum_cols:
+		li $t0, 0		# col
+		li $v0, 0
+sc_col:
+		la $t1, grid
+		sll $t2, $t0, 2
+		addu $t1, $t1, $t2	# &grid[0][col]
+		li $t2, 96		# rows
+		li $t3, 0		# acc
+sc_row:
+		lw $t4, 0($t1)
+		addu $t3, $t3, $t4
+		addiu $t1, $t1, 256
+		addiu $t2, $t2, -1
+		bnez $t2, sc_row
+		la $t5, colsum
+		sll $t6, $t0, 2
+		addu $t5, $t5, $t6
+		sw $t3, 0($t5)
+		addu $v0, $v0, $t3
+		addiu $t0, $t0, 1
+		blt $t0, 64, sc_col
+		jr $ra
+
+# sum_rows: row-major aggregation — sequential sweep (prefetch friendly).
+sum_rows:
+		li $t0, 0		# row
+		li $v0, 0
+		la $t1, grid
+sr_row:
+		li $t2, 64
+		li $t3, 0
+sr_col:
+		lw $t4, 0($t1)
+		addu $t3, $t3, $t4
+		addiu $t1, $t1, 4
+		addiu $t2, $t2, -1
+		bnez $t2, sr_col
+		la $t5, rowsum
+		sll $t6, $t0, 2
+		addu $t5, $t5, $t6
+		sw $t3, 0($t5)
+		addu $v0, $v0, $t3
+		addiu $t0, $t0, 1
+		blt $t0, 96, sr_row
+		jr $ra
+` + mixerSource("sc_eval", 0x5C0DE, 28, 16),
+})

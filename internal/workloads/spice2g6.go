@@ -1,0 +1,129 @@
+package workloads
+
+// spice2g6 — analog circuit simulation. The hot loop is the sparse-matrix
+// LU/solve: indirect index loads into double-precision value arrays —
+// pointer-chasing with an FP multiply-subtract per nonzero, memory bound
+// and insensitive to FPU issue width (its CPI is nearly identical across
+// the paper's three issue policies). The kernel runs Gauss-Seidel sweeps
+// over a 1024-row CSR matrix with 8 nonzeros per row (96 KB working set).
+var _ = register(&Workload{
+	Name:          "spice2g6",
+	Suite:         SuiteFP,
+	DefaultBudget: 1_350_000,
+	Description:   "DP sparse CSR Gauss-Seidel: indirect index loads, multiply-subtract per nonzero",
+	Source: `
+# spice2g6 kernel (double precision). CSR: 1024 rows x 8 nnz.
+		.data
+colidx:		.space 32768		# 8192 column indices (words)
+		.space 64		# padding: de-alias the direct-mapped cache
+vals:		.space 65536		# 8192 doubles
+		.space 64
+xvec:		.space 8192		# 1024 doubles
+		.space 64
+bvec:		.space 8192
+		.space 64
+dinv:		.space 8192		# 1/diagonal per row
+seed:		.word 11081927
+sweeps:		.word 10
+vscale:		.double 0.00001
+done_s:		.double 0.4
+
+		.text
+main:
+		jal initmat
+		lw $s6, sweeps
+sw_loop:
+		jal gspass
+		addiu $s6, $s6, -1
+		bnez $s6, sw_loop
+
+		la $t0, xvec
+		lw $a0, 512($t0)
+		andi $a0, $a0, 127
+		li $v0, 10
+		syscall
+
+# ---------------------------------------------------------------
+initmat:
+		# column indices: pseudo-random in [0, 1024)
+		lw $t0, seed
+		la $t1, colidx
+		li $t2, 8192
+im_idx:
+		li $t3, 1103515245
+		multu $t0, $t3
+		mflo $t0
+		addiu $t0, $t0, 12345
+		srl $t4, $t0, 12
+		andi $t4, $t4, 1023
+		sw $t4, 0($t1)
+		addiu $t1, $t1, 4
+		addiu $t2, $t2, -1
+		bnez $t2, im_idx
+		# values, b, and x0: small doubles; dinv constant 0.4
+		la $t1, vals
+		la $t2, bvec+8192	# vals + x + b (incl. padding)
+		ldc1 $f6, vscale
+im_val:
+		li $t3, 1103515245
+		multu $t0, $t3
+		mflo $t0
+		addiu $t0, $t0, 12345
+		sra $t4, $t0, 16
+		mtc1 $t4, $f2
+		cvt.d.w $f2, $f2
+		mul.d $f2, $f2, $f6
+		sdc1 $f2, 0($t1)
+		addiu $t1, $t1, 8
+		bne $t1, $t2, im_val
+		la $t1, dinv
+		la $t2, dinv+8192
+		ldc1 $f2, done_s
+im_dinv:
+		sdc1 $f2, 0($t1)
+		addiu $t1, $t1, 8
+		bne $t1, $t2, im_dinv
+		sw $t0, seed
+		jr $ra
+
+# gspass: for each row i: acc = b[i] - sum_k vals[k]*x[col[k]];
+# x[i] = acc * dinv[i].
+gspass:
+		la $s0, colidx		# index cursor
+		la $s1, vals		# value cursor
+		la $s2, xvec
+		la $s3, bvec
+		la $s4, dinv
+		li $s5, 1024		# rows
+gs_row:
+		ldc1 $f0, 0($s3)	# acc = b[i]
+		li $t0, 8		# nnz per row
+		.set noreorder
+gs_nnz:
+		lw $t1, 0($s0)		# col
+		sll $t1, $t1, 3
+		addu $t1, $s2, $t1
+		ldc1 $f2, 0($t1)	# x[col]
+		ldc1 $f4, 0($s1)	# val
+		addiu $s0, $s0, 4
+		addiu $s1, $s1, 8
+		mul.d $f2, $f2, $f4
+		addiu $t0, $t0, -1
+		bnez $t0, gs_nnz
+		sub.d $f0, $f0, $f2	# delay slot
+		.set reorder
+		ldc1 $f2, 0($s4)
+		mul.d $f0, $f0, $f2
+		la $t3, xvec
+		li $t4, 1024
+		subu $t4, $t4, $s5	# row index
+		sll $t4, $t4, 3
+		addu $t3, $t3, $t4
+		sdc1 $f0, 0($t3)	# x[i] = acc*dinv
+		addiu $s3, $s3, 8
+		addiu $s4, $s4, 8
+		addiu $s5, $s5, -1
+		bnez $s5, gs_row
+		jr $ra
+`,
+})

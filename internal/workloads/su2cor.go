@@ -1,0 +1,189 @@
+package workloads
+
+// su2cor — quantum chromodynamics on an SU(2) lattice. The time goes to
+// small complex matrix multiplies streamed over a large lattice of link
+// variables. The kernel multiplies 2x2 complex double matrices site by
+// site over a 512-site lattice (two 32 KB fields), accumulating the trace —
+// dense multiply/add bursts with perfect spatial locality over arrays that
+// exceed the small caches.
+var _ = register(&Workload{
+	Name:          "su2cor",
+	Suite:         SuiteFP,
+	DefaultBudget: 950_000,
+	Description:   "DP 2x2 complex matrix products streamed over a 64 KB lattice, trace accumulation",
+	Source: `
+# su2cor kernel (double precision).
+# A 2x2 complex matrix = 8 doubles: (re00,im00, re01,im01, re10,im10, re11,im11)
+# Fields A and B: 512 matrices each (32 KB each); C = A*B per site.
+		.data
+fielda:		.space 32768
+		.space 64		# padding: de-alias the direct-mapped cache
+fieldb:		.space 32768
+		.space 64
+fieldc:		.space 32768
+seed:		.word 137035
+passes:		.word 10
+lscale:		.double 0.0000152587890625
+
+		.text
+main:
+		jal initlat
+		lw $s6, passes
+su_pass:
+		jal sitemul
+		jal swapfields
+		addiu $s6, $s6, -1
+		bnez $s6, su_pass
+
+		la $t0, fieldc
+		lw $a0, 40($t0)
+		andi $a0, $a0, 127
+		li $v0, 10
+		syscall
+
+# ---------------------------------------------------------------
+initlat:
+		lw $t0, seed
+		la $t1, fielda
+		la $t2, fieldb+32768	# through both source fields
+		ldc1 $f6, lscale
+il_loop:
+		li $t3, 1103515245
+		multu $t0, $t3
+		mflo $t0
+		addiu $t0, $t0, 12345
+		sra $t4, $t0, 16
+		mtc1 $t4, $f2
+		cvt.d.w $f2, $f2
+		mul.d $f2, $f2, $f6
+		sdc1 $f2, 0($t1)
+		addiu $t1, $t1, 8
+		bne $t1, $t2, il_loop
+		sw $t0, seed
+		jr $ra
+
+# sitemul: C[s] = A[s] * B[s] for every site (2x2 complex matmul).
+# Complex multiply: (ar+i.ai)(br+i.bi) = (ar*br - ai*bi) + i(ar*bi + ai*br)
+sitemul:
+		la $s0, fielda
+		la $s1, fieldb
+		la $s2, fieldc
+		li $s3, 512		# sites
+sm_site:
+		# load A
+		ldc1 $f0, 0($s0)	# a00r
+		ldc1 $f2, 8($s0)	# a00i
+		ldc1 $f4, 16($s0)	# a01r
+		ldc1 $f6, 24($s0)	# a01i
+		ldc1 $f8, 32($s0)	# a10r
+		ldc1 $f10, 40($s0)	# a10i
+		ldc1 $f12, 48($s0)	# a11r
+		ldc1 $f14, 56($s0)	# a11i
+		# ---- row 0 x col 0: c00 = a00*b00 + a01*b10
+		ldc1 $f16, 0($s1)	# b00r
+		ldc1 $f18, 8($s1)	# b00i
+		ldc1 $f20, 32($s1)	# b10r
+		ldc1 $f22, 40($s1)	# b10i
+		mul.d $f24, $f0, $f16
+		mul.d $f26, $f2, $f18
+		sub.d $f24, $f24, $f26	# re(a00*b00)
+		mul.d $f26, $f4, $f20
+		add.d $f24, $f24, $f26
+		mul.d $f26, $f6, $f22
+		sub.d $f24, $f24, $f26	# + re(a01*b10)
+		sdc1 $f24, 0($s2)
+		mul.d $f24, $f0, $f18
+		mul.d $f26, $f2, $f16
+		add.d $f24, $f24, $f26	# im(a00*b00)
+		mul.d $f26, $f4, $f22
+		add.d $f24, $f24, $f26
+		mul.d $f26, $f6, $f20
+		add.d $f24, $f24, $f26	# + im(a01*b10)
+		sdc1 $f24, 8($s2)
+		# ---- row 0 x col 1: c01 = a00*b01 + a01*b11
+		ldc1 $f16, 16($s1)	# b01r
+		ldc1 $f18, 24($s1)	# b01i
+		ldc1 $f20, 48($s1)	# b11r
+		ldc1 $f22, 56($s1)	# b11i
+		mul.d $f24, $f0, $f16
+		mul.d $f26, $f2, $f18
+		sub.d $f24, $f24, $f26
+		mul.d $f26, $f4, $f20
+		add.d $f24, $f24, $f26
+		mul.d $f26, $f6, $f22
+		sub.d $f24, $f24, $f26
+		sdc1 $f24, 16($s2)
+		mul.d $f24, $f0, $f18
+		mul.d $f26, $f2, $f16
+		add.d $f24, $f24, $f26
+		mul.d $f26, $f4, $f22
+		add.d $f24, $f24, $f26
+		mul.d $f26, $f6, $f20
+		add.d $f24, $f24, $f26
+		sdc1 $f24, 24($s2)
+		# ---- row 1 x col 0: c10 = a10*b00 + a11*b10
+		ldc1 $f16, 0($s1)
+		ldc1 $f18, 8($s1)
+		ldc1 $f20, 32($s1)
+		ldc1 $f22, 40($s1)
+		mul.d $f24, $f8, $f16
+		mul.d $f26, $f10, $f18
+		sub.d $f24, $f24, $f26
+		mul.d $f26, $f12, $f20
+		add.d $f24, $f24, $f26
+		mul.d $f26, $f14, $f22
+		sub.d $f24, $f24, $f26
+		sdc1 $f24, 32($s2)
+		mul.d $f24, $f8, $f18
+		mul.d $f26, $f10, $f16
+		add.d $f24, $f24, $f26
+		mul.d $f26, $f12, $f22
+		add.d $f24, $f24, $f26
+		mul.d $f26, $f14, $f20
+		add.d $f24, $f24, $f26
+		sdc1 $f24, 40($s2)
+		# ---- row 1 x col 1: c11 = a10*b01 + a11*b11
+		ldc1 $f16, 16($s1)
+		ldc1 $f18, 24($s1)
+		ldc1 $f20, 48($s1)
+		ldc1 $f22, 56($s1)
+		mul.d $f24, $f8, $f16
+		mul.d $f26, $f10, $f18
+		sub.d $f24, $f24, $f26
+		mul.d $f26, $f12, $f20
+		add.d $f24, $f24, $f26
+		mul.d $f26, $f14, $f22
+		sub.d $f24, $f24, $f26
+		sdc1 $f24, 48($s2)
+		mul.d $f24, $f8, $f18
+		mul.d $f26, $f10, $f16
+		add.d $f24, $f24, $f26
+		mul.d $f26, $f12, $f22
+		add.d $f24, $f24, $f26
+		mul.d $f26, $f14, $f20
+		add.d $f24, $f24, $f26
+		sdc1 $f24, 56($s2)
+		addiu $s0, $s0, 64
+		addiu $s1, $s1, 64
+		addiu $s2, $s2, 64
+		addiu $s3, $s3, -1
+		bnez $s3, sm_site
+		jr $ra
+
+# swapfields: A <- C scaled down (keeps values bounded across passes)
+swapfields:
+		la $t0, fieldc
+		la $t1, fielda
+		li $t2, 4096		# doubles
+		ldc1 $f6, lscale
+sf_loop:
+		ldc1 $f0, 0($t0)
+		mul.d $f0, $f0, $f6
+		sdc1 $f0, 0($t1)
+		addiu $t0, $t0, 8
+		addiu $t1, $t1, 8
+		addiu $t2, $t2, -1
+		bnez $t2, sf_loop
+		jr $ra
+`,
+})

@@ -1,0 +1,126 @@
+// Package workloads provides the benchmark kernels used to drive the
+// Aurora III timing simulator. Each kernel is a hand-written MIPS R3000
+// assembly program modelled after the dominant algorithmic pattern of one
+// SPEC92 benchmark (the paper's workload set), sized so that its instruction
+// and data working sets stress the paper's three machine models the way the
+// original programs did.
+//
+// Integer suite: espresso, li, eqntott, compress, sc, gcc.
+// Floating-point suite: alvinn, doduc, ear, hydro2d, mdljdp2, nasa7, ora,
+// spice2g6, su2cor.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"aurora/internal/asm"
+	"aurora/internal/vm"
+)
+
+// Suite identifies the benchmark suite a workload belongs to.
+type Suite uint8
+
+// Suites.
+const (
+	SuiteInt Suite = iota
+	SuiteFP
+)
+
+func (s Suite) String() string {
+	if s == SuiteInt {
+		return "SPECint92"
+	}
+	return "SPECfp92"
+}
+
+// Workload is one benchmark kernel.
+type Workload struct {
+	Name        string
+	Suite       Suite
+	Description string // what the kernel models and why it stands in for the SPEC program
+	Source      string // MIPS assembly
+
+	// DefaultBudget is the dynamic instruction budget that exercises the
+	// kernel's steady state (the kernel halts on its own near this count).
+	DefaultBudget uint64
+
+	once sync.Once
+	prog *asm.Program
+	err  error
+}
+
+// Program assembles the kernel (cached after the first call).
+func (w *Workload) Program() (*asm.Program, error) {
+	w.once.Do(func() {
+		w.prog, w.err = asm.Assemble(w.Name+".s", w.Source)
+	})
+	return w.prog, w.err
+}
+
+// NewMachine returns a fresh functional machine loaded with the kernel.
+func (w *Workload) NewMachine() (*vm.Machine, error) {
+	p, err := w.Program()
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	return vm.New(p)
+}
+
+var registry = map[string]*Workload{}
+
+func register(w *Workload) *Workload {
+	if _, dup := registry[w.Name]; dup {
+		panic("workloads: duplicate " + w.Name)
+	}
+	registry[w.Name] = w
+	return w
+}
+
+// Get returns a workload by SPEC name.
+func Get(name string) (*Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q", name)
+	}
+	return w, nil
+}
+
+// Names returns all workload names, integer suite first, each suite sorted.
+func Names() []string {
+	var ints, fps []string
+	for n, w := range registry {
+		if w.Suite == SuiteInt {
+			ints = append(ints, n)
+		} else {
+			fps = append(fps, n)
+		}
+	}
+	sort.Strings(ints)
+	sort.Strings(fps)
+	return append(ints, fps...)
+}
+
+// Integer returns the integer suite in the paper's table order.
+func Integer() []*Workload {
+	return suite([]string{"espresso", "li", "eqntott", "compress", "sc", "gcc"})
+}
+
+// FP returns the floating-point suite in the paper's table order.
+func FP() []*Workload {
+	return suite([]string{"alvinn", "doduc", "ear", "hydro2d", "mdljdp2",
+		"nasa7", "ora", "spice2g6", "su2cor"})
+}
+
+func suite(names []string) []*Workload {
+	out := make([]*Workload, len(names))
+	for i, n := range names {
+		w, ok := registry[n]
+		if !ok {
+			panic("workloads: missing " + n)
+		}
+		out[i] = w
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package workloads
+
+import (
+	"testing"
+
+	"aurora/internal/isa"
+	"aurora/internal/trace"
+)
+
+// runKernel executes a workload to completion under a generous budget.
+func runKernel(t *testing.T, w *Workload) (uint64, int, trace.Mix) {
+	t.Helper()
+	m, err := w.NewMachine()
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	var mix trace.Mix
+	n, err := m.Run(w.DefaultBudget*6, func(r trace.Record) { mix.Add(r) })
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	if !m.Halted() {
+		t.Fatalf("%s: did not halt within %d instructions", w.Name, w.DefaultBudget*6)
+	}
+	return n, m.ExitCode(), mix
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 15 {
+		t.Fatalf("got %d workloads want 15", len(names))
+	}
+	if names[0] != "compress" && names[0] != "eqntott" && names[0] != "espresso" {
+		// integer suite sorted alphabetically comes first
+		t.Errorf("unexpected ordering: %v", names)
+	}
+	if _, err := Get("nonesuch"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if len(Integer()) != 6 || len(FP()) != 9 {
+		t.Errorf("suite sizes %d/%d", len(Integer()), len(FP()))
+	}
+	for _, w := range append(Integer(), FP()...) {
+		if w.Description == "" || w.DefaultBudget == 0 {
+			t.Errorf("%s: missing metadata", w.Name)
+		}
+	}
+}
+
+func TestAllKernelsAssemble(t *testing.T) {
+	for _, name := range Names() {
+		w, _ := Get(name)
+		if _, err := w.Program(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestKernelsHaltNearBudget checks that every kernel terminates on its own
+// within a small factor of its declared budget — so experiment runs capture
+// each kernel's steady state, not a truncated init phase.
+func TestKernelsHaltNearBudget(t *testing.T) {
+	for _, name := range Names() {
+		w, _ := Get(name)
+		n, exit, _ := runKernel(t, w)
+		if n < w.DefaultBudget/3 {
+			t.Errorf("%s: only %d instructions (budget %d)", name, n, w.DefaultBudget)
+		}
+		t.Logf("%-9s %8d instructions, exit %d", name, n, exit)
+	}
+}
+
+// TestKernelsDeterministic: identical runs produce identical traces.
+func TestKernelsDeterministic(t *testing.T) {
+	for _, name := range []string{"espresso", "li", "doduc", "su2cor"} {
+		w, _ := Get(name)
+		_, exit1, mix1 := runKernel(t, w)
+		_, exit2, mix2 := runKernel(t, w)
+		if exit1 != exit2 || mix1 != mix2 {
+			t.Errorf("%s: nondeterministic execution", name)
+		}
+	}
+}
+
+// TestInstructionMixCharacter checks each kernel has the workload character
+// its SPEC counterpart is known for.
+func TestInstructionMixCharacter(t *testing.T) {
+	mixes := map[string]trace.Mix{}
+	for _, name := range Names() {
+		w, _ := Get(name)
+		_, _, mix := runKernel(t, w)
+		mixes[name] = mix
+	}
+	frac := func(name string, f func(trace.Mix) float64) float64 {
+		return f(mixes[name])
+	}
+	loads := func(m trace.Mix) float64 { return float64(m.Loads) / float64(m.Total) }
+	stores := func(m trace.Mix) float64 { return float64(m.Stores) / float64(m.Total) }
+	fp := func(m trace.Mix) float64 { return m.FPFraction() }
+
+	// espresso: set operations are load-heavy.
+	if v := frac("espresso", loads); v < 0.15 {
+		t.Errorf("espresso loads %.2f too low", v)
+	}
+	// li: pointer chasing plus allocation → loads and stores both high.
+	if v := frac("li", stores); v < 0.06 {
+		t.Errorf("li stores %.2f too low", v)
+	}
+	// Integer suite must be (almost) FP-free.
+	for _, w := range Integer() {
+		if v := frac(w.Name, fp); v > 0.001 {
+			t.Errorf("%s: unexpected FP fraction %.3f", w.Name, v)
+		}
+	}
+	// FP suite: every kernel at least 25%% FPU-destined instructions.
+	for _, w := range FP() {
+		if v := frac(w.Name, fp); v < 0.25 {
+			t.Errorf("%s: FP fraction %.2f too low", w.Name, v)
+		}
+	}
+	// ora: almost no memory traffic (the paper's FPU-latency stress case).
+	if v := frac("ora", loads) + frac("ora", stores); v > 0.10 {
+		t.Errorf("ora memory fraction %.2f too high", v)
+	}
+	// spice2g6: scattered loads dominate (sparse solver).
+	if v := frac("spice2g6", loads); v < 0.15 {
+		t.Errorf("spice2g6 loads %.2f too low", v)
+	}
+}
+
+// TestGeneratedPhasesExecute ensures the generated dispatch handlers are
+// actually reached (all of them, for at least one kernel) — guarding
+// against a selector bug that silently exercises only handler 0.
+func TestGeneratedPhasesExecute(t *testing.T) {
+	w, _ := Get("gcc")
+	m, err := w.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := w.Program()
+	// Find the generated handler labels for the gcc_rtl mixer.
+	handlerPCs := map[uint32]string{}
+	for sym, addr := range p.Symbols {
+		if len(sym) > 9 && sym[:9] == "gcc_rtl_h" {
+			handlerPCs[addr] = sym
+		}
+	}
+	if len(handlerPCs) < 30 {
+		t.Fatalf("expected ≥30 generated handlers, found %d", len(handlerPCs))
+	}
+	seen := map[string]bool{}
+	m.Run(w.DefaultBudget*6, func(r trace.Record) {
+		if sym, ok := handlerPCs[r.PC]; ok {
+			seen[sym] = true
+		}
+	})
+	if len(seen) < len(handlerPCs)*3/4 {
+		t.Errorf("only %d of %d generated handlers executed", len(seen), len(handlerPCs))
+	}
+}
+
+// TestBranchBehaviour sanity-checks control-flow statistics.
+func TestBranchBehaviour(t *testing.T) {
+	for _, name := range []string{"espresso", "gcc", "compress"} {
+		w, _ := Get(name)
+		_, _, mix := runKernel(t, w)
+		brFrac := float64(mix.Branch) / float64(mix.Total)
+		if brFrac < 0.03 || brFrac > 0.35 {
+			t.Errorf("%s: branch fraction %.2f implausible", name, brFrac)
+		}
+		taken := float64(mix.Taken) / float64(mix.Branch)
+		if taken <= 0 || taken >= 1 {
+			t.Errorf("%s: taken ratio %.2f degenerate", name, taken)
+		}
+	}
+}
+
+// TestNoFPInIntegerTraces double-checks class bookkeeping end to end.
+func TestNoFPInIntegerTraces(t *testing.T) {
+	w, _ := Get("eqntott")
+	m, _ := w.NewMachine()
+	m.Run(50_000, func(r trace.Record) {
+		if r.Class.IsFP() {
+			t.Fatalf("FP instruction %v at %#x in eqntott", r.In.Op, r.PC)
+		}
+		if r.Class == isa.ClassLoad && r.MemSize == 0 {
+			t.Fatalf("load with no size at %#x", r.PC)
+		}
+	})
+}
+
+// TestGoldenExecutions locks each kernel's exact dynamic behaviour: the
+// exit checksum and instruction count. Any change to a kernel, the
+// assembler, or the VM that alters execution shows up here first.
+func TestGoldenExecutions(t *testing.T) {
+	golden := map[string]struct {
+		exit  int
+		steps uint64
+	}{
+		"compress": {114, 2039268},
+		"eqntott":  {86, 1397705},
+		"espresso": {115, 2067486},
+		"gcc":      {119, 1322218},
+		"li":       {65, 1329672},
+		"sc":       {107, 1821203},
+		"alvinn":   {45, 1259439},
+		"doduc":    {10, 1477425},
+		"ear":      {71, 741649},
+		"hydro2d":  {55, 905538},
+		"mdljdp2":  {24, 1440906},
+		"nasa7":    {85, 1354594},
+		"ora":      {27, 935353},
+		"spice2g6": {88, 1300899},
+		"su2cor":   {5, 915832},
+	}
+	for name, want := range golden {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := w.NewMachine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps, err := m.Run(w.DefaultBudget*6, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.ExitCode() != want.exit || steps != want.steps {
+			t.Errorf("%s: exit=%d steps=%d, golden exit=%d steps=%d",
+				name, m.ExitCode(), steps, want.exit, want.steps)
+		}
+	}
+}
