@@ -25,6 +25,7 @@ import (
 
 	"aurora/internal/core"
 	"aurora/internal/fpu"
+	"aurora/internal/harness"
 	"aurora/internal/mem"
 	"aurora/internal/mmu"
 	"aurora/internal/rbe"
@@ -139,7 +140,9 @@ func (s *machineStream) Next() (trace.Record, bool) {
 	rec, err := s.m.Step()
 	if err != nil {
 		// A fault or clean halt ends the stream; faults are reported.
-		if !s.m.Halted() {
+		// (Step marks the machine halted on faults too, so the clean end
+		// must be identified by the error, not by Halted().)
+		if !vm.IsHalt(err) {
 			s.err = err
 		}
 		return trace.Record{}, false
@@ -209,6 +212,23 @@ func RunTrace(cfg Config, stream trace.Stream) (*Report, error) {
 	}
 	return p.Run(0)
 }
+
+// Runner is the parallel experiment engine: it schedules simulation jobs
+// onto a bounded worker pool and memoizes results by the configuration's
+// canonical fingerprint, so sweeps that revisit a (config, workload, budget)
+// job reuse the finished Report instead of re-simulating. Reports returned
+// for memo hits are shared and must be treated as read-only.
+//
+//	r := aurora.NewRunner(0) // 0 = GOMAXPROCS workers
+//	rep, err := r.RunWorkload(aurora.Baseline(), w, 600_000)
+type Runner = harness.Runner
+
+// RunnerStats reports a Runner's memo-table behaviour.
+type RunnerStats = harness.RunnerStats
+
+// NewRunner returns a parallel experiment runner; workers <= 0 selects
+// runtime.GOMAXPROCS(0).
+func NewRunner(workers int) *Runner { return harness.NewRunner(workers) }
 
 // Cost returns a configuration's integer-side implementation cost in
 // Register Bit Equivalents (Table 2).

@@ -15,6 +15,12 @@ import (
 // `go test -bench . -benchtime 1x` regenerates everything exactly once;
 // `-short` switches to reduced budgets.
 
+// benchRunner returns a fresh parallel runner per call so each b.N
+// iteration regenerates its artifact from scratch (memoization within one
+// figure is part of the engine being measured; reuse across iterations
+// would measure nothing).
+func benchRunner() *harness.Runner { return harness.NewRunner(0) }
+
 func benchOpts() harness.Options {
 	if testing.Short() {
 		return harness.Quick()
@@ -50,7 +56,7 @@ func BenchmarkTable2CostModel(b *testing.B) {
 
 func BenchmarkFig4IssueWidth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.Fig4(benchOpts())
+		pts, err := harness.Fig4(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -74,7 +80,7 @@ func BenchmarkFig4IssueWidth(b *testing.B) {
 
 func BenchmarkTable3IPrefetch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t3, err := harness.Table3(benchOpts())
+		t3, err := harness.Table3(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -87,7 +93,7 @@ func BenchmarkTable3IPrefetch(b *testing.B) {
 
 func BenchmarkTable4DPrefetch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t4, err := harness.Table4(benchOpts())
+		t4, err := harness.Table4(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -100,11 +106,11 @@ func BenchmarkTable4DPrefetch(b *testing.B) {
 
 func BenchmarkTable5WriteCache(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t5, err := harness.Table5(benchOpts())
+		t5, err := harness.Table5(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
-		wt, err := harness.WriteTraffic(benchOpts())
+		wt, err := harness.WriteTraffic(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -130,7 +136,7 @@ func avgRate(t *harness.RateTable) float64 {
 
 func BenchmarkFig5PrefetchRemoval(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.Fig5(benchOpts())
+		pts, err := harness.Fig5(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -147,7 +153,7 @@ func BenchmarkFig5PrefetchRemoval(b *testing.B) {
 
 func BenchmarkFig6StallBreakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Fig6(benchOpts())
+		rows, err := harness.Fig6(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -160,7 +166,7 @@ func BenchmarkFig6StallBreakdown(b *testing.B) {
 
 func BenchmarkFig7MSHRCount(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.Fig7(benchOpts())
+		pts, err := harness.Fig7(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -182,7 +188,7 @@ func BenchmarkFig7MSHRCount(b *testing.B) {
 
 func BenchmarkFig8CostPerf(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.Fig8(benchOpts())
+		pts, err := harness.Fig8(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -195,7 +201,7 @@ func BenchmarkFig8CostPerf(b *testing.B) {
 
 func BenchmarkTable6FPIssuePolicy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Table6(benchOpts())
+		rows, err := harness.Table6(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -210,7 +216,7 @@ func BenchmarkTable6FPIssuePolicy(b *testing.B) {
 
 func BenchmarkFig9Queues(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		iq, lq, rob, err := harness.Fig9Queues(benchOpts())
+		iq, lq, rob, err := harness.Fig9Queues(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -225,7 +231,7 @@ func BenchmarkFig9Queues(b *testing.B) {
 
 func BenchmarkFig9Latencies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := harness.Fig9Latencies(benchOpts())
+		res, err := harness.Fig9Latencies(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -283,7 +289,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 
 func BenchmarkExtFig9IQDual(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.Fig9IQDual(benchOpts())
+		pts, err := harness.Fig9IQDual(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -297,7 +303,7 @@ func BenchmarkExtFig9IQDual(b *testing.B) {
 
 func BenchmarkExtLatencyScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.LatencyScaling(benchOpts(), nil)
+		pts, err := harness.LatencyScaling(benchRunner(), benchOpts(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -311,7 +317,7 @@ func BenchmarkExtLatencyScaling(b *testing.B) {
 
 func BenchmarkExtBranchFolding(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.BranchFolding(benchOpts())
+		rows, err := harness.BranchFolding(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -324,7 +330,7 @@ func BenchmarkExtBranchFolding(b *testing.B) {
 
 func BenchmarkExtWriteCacheSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.WriteCacheSweep(benchOpts())
+		pts, err := harness.WriteCacheSweep(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -336,7 +342,7 @@ func BenchmarkExtWriteCacheSweep(b *testing.B) {
 
 func BenchmarkExtMSHRDeepSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.MSHRDeepSweep(benchOpts())
+		pts, err := harness.MSHRDeepSweep(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -348,7 +354,7 @@ func BenchmarkExtMSHRDeepSweep(b *testing.B) {
 
 func BenchmarkExtAreaAwareClock(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.AreaAwareClock(benchOpts())
+		pts, err := harness.AreaAwareClock(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -360,7 +366,7 @@ func BenchmarkExtAreaAwareClock(b *testing.B) {
 
 func BenchmarkExtMMUSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.MMUSensitivity(benchOpts())
+		pts, err := harness.MMUSensitivity(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -373,7 +379,7 @@ func BenchmarkExtMMUSensitivity(b *testing.B) {
 
 func BenchmarkExtVictimCache(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.VictimCacheStudy(benchOpts())
+		pts, err := harness.VictimCacheStudy(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -385,7 +391,7 @@ func BenchmarkExtVictimCache(b *testing.B) {
 
 func BenchmarkExtCompilerScheduling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.CompilerScheduling(benchOpts())
+		pts, err := harness.CompilerScheduling(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -400,7 +406,7 @@ func BenchmarkExtCompilerScheduling(b *testing.B) {
 
 func BenchmarkExtPreciseExceptions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.PreciseExceptions(benchOpts())
+		pts, err := harness.PreciseExceptions(benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,11 +1,16 @@
 // Command aurora-experiments regenerates every table and figure of the
 // paper's evaluation section and prints them in order.
 //
+// Runs execute on a parallel worker pool (-j) with memoized results, so
+// configurations shared between figures simulate once and the output is
+// byte-identical for any worker count.
+//
 // Usage:
 //
 //	aurora-experiments            # full budgets (minutes)
 //	aurora-experiments -quick     # reduced budgets (seconds, noisier)
-//	aurora-experiments -budget 800000 -sweep 300000
+//	aurora-experiments -quick -sweep 300000   # preset plus explicit override
+//	aurora-experiments -budget 800000 -sweep 300000 -j 8
 package main
 
 import (
@@ -14,39 +19,54 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"aurora/internal/harness"
 )
 
+// resolveOptions overlays the flags the user explicitly passed (per set)
+// onto the chosen preset. Explicit flags always win — -quick -sweep 300000
+// keeps the quick budget but honours the sweep override — and explicit
+// zeros are expressible: -budget 0 requests natural completion, -sweep 0
+// requests "use the main budget".
+func resolveOptions(quick bool, set map[string]bool, budget, sweep uint64) harness.Options {
+	opts := harness.Full()
+	if quick {
+		opts = harness.Quick()
+	}
+	if set["budget"] {
+		opts.Budget = budget
+	}
+	if set["sweep"] {
+		opts.SweepBudget = sweep
+	}
+	return opts
+}
+
 func main() {
 	var (
 		quick      = flag.Bool("quick", false, "reduced budgets for a fast pass")
 		budget     = flag.Uint64("budget", 0, "per-benchmark instruction budget (0 = natural completion)")
-		sweep      = flag.Uint64("sweep", 600_000, "budget for wide parameter sweeps (Figures 8-9)")
+		sweep      = flag.Uint64("sweep", 600_000, "budget for wide parameter sweeps (Figures 8-9; 0 = use -budget)")
+		workers    = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
 		csvDir     = flag.String("csv", "", "also write one CSV per artifact into this directory")
 		extensions = flag.Bool("extensions", false, "also run the extension studies")
 	)
 	flag.Parse()
 
-	opts := harness.Full()
-	if *quick {
-		opts = harness.Quick()
-	}
-	if *budget != 0 {
-		opts.Budget = *budget
-	}
-	if *sweep != 0 && !*quick {
-		opts.SweepBudget = *sweep
-	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	opts := resolveOptions(*quick, set, *budget, *sweep)
 
+	runner := harness.NewRunner(*workers)
 	start := time.Now()
-	if err := harness.Render(os.Stdout, opts); err != nil {
+	if err := harness.Render(os.Stdout, runner, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "aurora-experiments:", err)
 		os.Exit(1)
 	}
 	if *extensions {
-		if err := harness.RenderExtensions(os.Stdout, opts); err != nil {
+		if err := harness.RenderExtensions(os.Stdout, runner, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "aurora-experiments:", err)
 			os.Exit(1)
 		}
@@ -59,11 +79,13 @@ func main() {
 		open := func(name string) (io.WriteCloser, error) {
 			return os.Create(filepath.Join(*csvDir, name+".csv"))
 		}
-		if err := harness.ExportCSV(open, opts); err != nil {
+		if err := harness.ExportCSV(open, runner, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "aurora-experiments: csv:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("CSV artifacts written to %s\n", *csvDir)
 	}
-	fmt.Printf("\nregenerated all tables and figures in %s\n", time.Since(start).Round(time.Second))
+	st := runner.Stats()
+	fmt.Printf("\nregenerated all tables and figures in %s (%d workers; %d simulations, %d memo hits)\n",
+		time.Since(start).Round(time.Second), runner.Workers(), st.Misses, st.Hits)
 }

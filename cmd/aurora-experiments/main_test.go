@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+
+	"aurora/internal/harness"
+)
+
+// set builds the flag.Visit result for a list of explicitly-passed flags.
+func set(names ...string) map[string]bool {
+	m := map[string]bool{}
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func TestResolveOptionsPresets(t *testing.T) {
+	if got := resolveOptions(false, set(), 0, 600_000); got != harness.Full() {
+		t.Errorf("default = %+v, want Full()", got)
+	}
+	if got := resolveOptions(true, set("quick"), 0, 600_000); got != harness.Quick() {
+		t.Errorf("-quick = %+v, want Quick()", got)
+	}
+}
+
+func TestResolveOptionsExplicitSweepBeatsQuick(t *testing.T) {
+	// Regression: an explicit -sweep used to be silently ignored under
+	// -quick because the old code gated it on !quick.
+	got := resolveOptions(true, set("quick", "sweep"), 0, 300_000)
+	if got.SweepBudget != 300_000 {
+		t.Errorf("SweepBudget = %d, want explicit 300000", got.SweepBudget)
+	}
+	if got.Budget != harness.Quick().Budget {
+		t.Errorf("Budget = %d, want quick preset %d", got.Budget, harness.Quick().Budget)
+	}
+}
+
+func TestResolveOptionsExplicitZeros(t *testing.T) {
+	// Regression: -budget 0 (natural completion) and -sweep 0 (use the
+	// main budget) were indistinguishable from "not passed".
+	got := resolveOptions(true, set("quick", "budget", "sweep"), 0, 0)
+	if got.Budget != 0 {
+		t.Errorf("Budget = %d, want explicit 0", got.Budget)
+	}
+	if got.SweepBudget != 0 {
+		t.Errorf("SweepBudget = %d, want explicit 0", got.SweepBudget)
+	}
+}
+
+func TestResolveOptionsUnsetFlagsKeepPreset(t *testing.T) {
+	// A flag left at its default value must not clobber the preset: the
+	// -sweep default (600000) differs from Quick's 150000.
+	got := resolveOptions(true, set("quick"), 0, 600_000)
+	if got.SweepBudget != harness.Quick().SweepBudget {
+		t.Errorf("SweepBudget = %d, want quick preset %d", got.SweepBudget, harness.Quick().SweepBudget)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"sync"
 
 	"aurora"
 )
@@ -24,6 +25,7 @@ type point struct {
 func main() {
 	bench := flag.String("workload", "espresso", "benchmark to sweep")
 	budget := flag.Uint64("instr", 600_000, "instruction budget per run")
+	workers := flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	w, err := aurora.GetWorkload(*bench)
@@ -53,16 +55,36 @@ func main() {
 				if err != nil {
 					log.Fatal(err)
 				}
-				rep, err := aurora.Run(cfg, w, *budget)
-				if err != nil {
-					log.Fatal(err)
-				}
 				pts = append(pts, point{
 					label: fmt.Sprintf("%dK/%dw wc%d rob%d mshr%d pf%d",
 						icache/1024, issue, step.wc, step.rob, step.mshr, step.pf),
-					cfg: cfg, cost: cost, cpi: rep.CPI(),
+					cfg: cfg, cost: cost,
 				})
 			}
+		}
+	}
+
+	// Simulate the whole space on the runner's worker pool; each point
+	// writes its own slot, so the sorted report below is deterministic.
+	r := aurora.NewRunner(*workers)
+	errs := make([]error, len(pts))
+	var wg sync.WaitGroup
+	for i := range pts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := r.RunWorkload(pts[i].cfg, w, *budget)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			pts[i].cpi = rep.CPI()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			log.Fatal(err)
 		}
 	}
 
@@ -82,13 +104,13 @@ func main() {
 	// The paper's recommendation (§5.6): baseline + 4K icache + 4 MSHRs.
 	e := aurora.RecommendedE()
 	ec, _ := aurora.Cost(e)
-	repE, err := aurora.Run(e, w, *budget)
+	repE, err := r.RunWorkload(e, w, *budget)
 	if err != nil {
 		log.Fatal(err)
 	}
 	l := aurora.Large()
 	lc, _ := aurora.Cost(l)
-	repL, err := aurora.Run(l, w, *budget)
+	repL, err := r.RunWorkload(l, w, *budget)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,26 +7,48 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sync"
 
 	"aurora"
 )
 
 func main() {
 	budget := flag.Uint64("instr", 400_000, "instruction budget per run")
+	workers := flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	// One runner serves every sweep below: the FP suite for each candidate
+	// FPU fans out onto the worker pool, and sweep points that coincide
+	// (several sweeps revisit the default FPU) come from the memo table.
+	r := aurora.NewRunner(*workers)
 	fpAvg := func(f aurora.FPUConfig) float64 {
 		cfg := aurora.Baseline()
 		cfg.FPU = f
-		var sum float64
-		for _, w := range aurora.FPSuite() {
-			rep, err := aurora.Run(cfg, w, *budget)
-			if err != nil {
-				log.Fatal(err)
-			}
-			sum += rep.CPI()
+		suite := aurora.FPSuite()
+		cpis := make([]float64, len(suite))
+		errs := make([]error, len(suite))
+		var wg sync.WaitGroup
+		for i, w := range suite {
+			wg.Add(1)
+			go func(i int, w *aurora.Workload) {
+				defer wg.Done()
+				rep, err := r.RunWorkload(cfg, w, *budget)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				cpis[i] = rep.CPI()
+			}(i, w)
 		}
-		return sum / float64(len(aurora.FPSuite()))
+		wg.Wait()
+		var sum float64
+		for i, c := range cpis {
+			if errs[i] != nil {
+				log.Fatal(errs[i])
+			}
+			sum += c
+		}
+		return sum / float64(len(suite))
 	}
 
 	// 1. Issue policy (Table 6).
@@ -88,4 +110,8 @@ func main() {
 		rec.InstrQueue, rec.LoadQueue, rec.ReorderBuffer,
 		rec.AddLatency, rec.MulLatency, rec.DivLatency,
 		fpAvg(rec), aurora.FPUCost(rec))
+
+	st := r.Stats()
+	fmt.Printf("\n(%d distinct simulations; %d repeated sweep points served from the memo table)\n",
+		st.Misses, st.Hits)
 }

@@ -8,28 +8,79 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sync"
 
 	"aurora"
 )
 
 func main() {
 	budget := flag.Uint64("instr", 600_000, "instruction budget per run")
+	workers := flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	// Tables 3 & 4: hit rates per model.
+	// One runner serves both studies: the Figure 5 rows at 17 cycles reuse
+	// the Table 3/4 runs from the memo table instead of re-simulating.
+	r := aurora.NewRunner(*workers)
+	models := []aurora.Config{aurora.Small(), aurora.Baseline(), aurora.Large()}
+	suite := aurora.IntegerSuite()
+
+	avg := func(cfg aurora.Config) float64 {
+		cpis := make([]float64, len(suite))
+		errs := make([]error, len(suite))
+		var wg sync.WaitGroup
+		for i, w := range suite {
+			wg.Add(1)
+			go func(i int, w *aurora.Workload) {
+				defer wg.Done()
+				rep, err := r.RunWorkload(cfg, w, *budget)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				cpis[i] = rep.CPI()
+			}(i, w)
+		}
+		wg.Wait()
+		var sum float64
+		for i, c := range cpis {
+			if errs[i] != nil {
+				log.Fatal(errs[i])
+			}
+			sum += c
+		}
+		return sum / float64(len(suite))
+	}
+
+	// Tables 3 & 4: hit rates per model, all runs fanned out up front.
+	reps := make([][]*aurora.Report, len(models))
+	errs := make([][]error, len(models))
+	var wg sync.WaitGroup
+	for mi, cfg := range models {
+		reps[mi] = make([]*aurora.Report, len(suite))
+		errs[mi] = make([]error, len(suite))
+		for wi, w := range suite {
+			wg.Add(1)
+			go func(mi, wi int, cfg aurora.Config, w *aurora.Workload) {
+				defer wg.Done()
+				reps[mi][wi], errs[mi][wi] = r.RunWorkload(cfg, w, *budget)
+			}(mi, wi, cfg, w)
+		}
+	}
+	wg.Wait()
+
 	fmt.Println("prefetch hit rates (a hit = primary-cache miss caught by a stream buffer)")
 	fmt.Printf("%-10s", "model")
-	for _, w := range aurora.IntegerSuite() {
+	for _, w := range suite {
 		fmt.Printf(" %13s", w.Name)
 	}
 	fmt.Println("\n" + "           (instruction-stream %% / data-stream %%)")
-	for _, cfg := range []aurora.Config{aurora.Small(), aurora.Baseline(), aurora.Large()} {
+	for mi, cfg := range models {
 		fmt.Printf("%-10s", cfg.Name)
-		for _, w := range aurora.IntegerSuite() {
-			rep, err := aurora.Run(cfg, w, *budget)
-			if err != nil {
-				log.Fatal(err)
+		for wi := range suite {
+			if errs[mi][wi] != nil {
+				log.Fatal(errs[mi][wi])
 			}
+			rep := reps[mi][wi]
 			fmt.Printf("  %5.1f / %5.1f", 100*rep.IPrefetchHitRate(), 100*rep.DPrefetchHitRate())
 		}
 		fmt.Println()
@@ -39,25 +90,16 @@ func main() {
 	fmt.Println("\nremoving the prefetch buffers (suite-average CPI):")
 	fmt.Printf("%-10s %-8s %10s %10s %12s\n", "model", "latency", "with", "without", "improvement")
 	for _, latency := range []int{17, 35} {
-		for _, base := range []aurora.Config{aurora.Small(), aurora.Baseline(), aurora.Large()} {
+		for _, base := range models {
 			on := base.WithLatency(latency)
 			off := on.WithoutPrefetch()
-			avg := func(cfg aurora.Config) float64 {
-				var sum float64
-				for _, w := range aurora.IntegerSuite() {
-					rep, err := aurora.Run(cfg, w, *budget)
-					if err != nil {
-						log.Fatal(err)
-					}
-					sum += rep.CPI()
-				}
-				return sum / float64(len(aurora.IntegerSuite()))
-			}
 			a, b := avg(on), avg(off)
 			fmt.Printf("%-10s %-8d %10.3f %10.3f %11.1f%%\n",
 				base.Name, latency, a, b, 100*(b-a)/b)
 		}
 	}
+	st := r.Stats()
+	fmt.Printf("\n(%d distinct simulations; %d served from the memo table)\n", st.Misses, st.Hits)
 	fmt.Println("\npaper §5.2: ~11% improvement for the baseline at 17 cycles, ~19% at 35;")
 	fmt.Println("the buffers cost only 20% of the baseline's instruction-cache area.")
 }

@@ -12,35 +12,61 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sync"
 
 	"aurora"
 )
 
+type pair struct {
+	base, sched *aurora.Report
+	err         error
+}
+
 func main() {
 	budget := flag.Uint64("instr", 600_000, "instruction budget per run")
+	workers := flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	models := []aurora.Config{aurora.Small(), aurora.Baseline(), aurora.Large()}
+	suite := aurora.IntegerSuite()
+
+	// Both trace variants of every (model, benchmark) pair run on the
+	// worker pool; the table below reads them back in order.
+	r := aurora.NewRunner(*workers)
+	pairs := make([][]pair, len(models))
+	var wg sync.WaitGroup
+	for mi, cfg := range models {
+		pairs[mi] = make([]pair, len(suite))
+		for wi, w := range suite {
+			wg.Add(1)
+			go func(p *pair, cfg aurora.Config, w *aurora.Workload) {
+				defer wg.Done()
+				if p.base, p.err = r.RunWorkload(cfg, w, *budget); p.err != nil {
+					return
+				}
+				p.sched, p.err = r.RunScheduledWorkload(cfg, w, *budget)
+			}(&pairs[mi][wi], cfg, w)
+		}
+	}
+	wg.Wait()
 
 	fmt.Println("§6: does compiler scheduling remove the pipelined-cache penalty?")
 	fmt.Printf("%-10s %-10s %9s %9s %12s\n", "model", "bench", "baseCPI", "schedCPI", "Δload-stall")
 
-	for _, cfg := range []aurora.Config{aurora.Small(), aurora.Baseline(), aurora.Large()} {
+	for mi, cfg := range models {
 		var baseSum, schedSum float64
-		for _, w := range aurora.IntegerSuite() {
-			base, err := aurora.Run(cfg, w, *budget)
-			if err != nil {
-				log.Fatal(err)
+		for wi, w := range suite {
+			p := pairs[mi][wi]
+			if p.err != nil {
+				log.Fatal(p.err)
 			}
-			sched, err := aurora.RunScheduled(cfg, w, *budget)
-			if err != nil {
-				log.Fatal(err)
-			}
-			baseSum += base.CPI()
-			schedSum += sched.CPI()
+			baseSum += p.base.CPI()
+			schedSum += p.sched.CPI()
 			fmt.Printf("%-10s %-10s %9.3f %9.3f %11.3f\n",
-				cfg.Name, w.Name, base.CPI(), sched.CPI(),
-				sched.StallCPI(aurora.StallLoad)-base.StallCPI(aurora.StallLoad))
+				cfg.Name, w.Name, p.base.CPI(), p.sched.CPI(),
+				p.sched.StallCPI(aurora.StallLoad)-p.base.StallCPI(aurora.StallLoad))
 		}
-		n := float64(len(aurora.IntegerSuite()))
+		n := float64(len(suite))
 		fmt.Printf("%-10s %-10s %9.3f %9.3f  (%.1f%% faster)\n\n",
 			cfg.Name, "average", baseSum/n, schedSum/n,
 			100*(baseSum-schedSum)/baseSum)

@@ -8,17 +8,39 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sync"
 
 	"aurora"
 )
 
 func main() {
 	budget := flag.Uint64("instr", 600_000, "instruction budget per run")
+	workers := flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	models := []aurora.Config{aurora.Small(), aurora.Baseline(), aurora.Large()}
+	suite := aurora.IntegerSuite()
 
-	for _, cfg := range models {
+	// Run every (model, benchmark) pair on the worker pool up front; the
+	// report tables below read the results back in model/suite order.
+	r := aurora.NewRunner(*workers)
+	reps := make([][]*aurora.Report, len(models))
+	errs := make([][]error, len(models))
+	var wg sync.WaitGroup
+	for mi, cfg := range models {
+		reps[mi] = make([]*aurora.Report, len(suite))
+		errs[mi] = make([]error, len(suite))
+		for wi, w := range suite {
+			wg.Add(1)
+			go func(mi, wi int, cfg aurora.Config, w *aurora.Workload) {
+				defer wg.Done()
+				reps[mi][wi], errs[mi][wi] = r.RunWorkload(cfg, w, *budget)
+			}(mi, wi, cfg, w)
+		}
+	}
+	wg.Wait()
+
+	for mi, cfg := range models {
 		cost, _ := aurora.Cost(cfg)
 		fmt.Printf("=== %s model (%d RBE) ===\n", cfg.Name, cost)
 		fmt.Printf("%-10s %7s %7s", "bench", "CPI", "issue")
@@ -29,12 +51,11 @@ func main() {
 
 		var totCPI float64
 		var totStall [aurora.NumStallCauses]float64
-		for _, w := range aurora.IntegerSuite() {
-			rep, err := aurora.Run(cfg, w, *budget)
-			if err != nil {
-				log.Fatal(err)
+		for wi, w := range suite {
+			if errs[mi][wi] != nil {
+				log.Fatal(errs[mi][wi])
 			}
-			var stallSum float64
+			rep := reps[mi][wi]
 			fmt.Printf("%-10s %7.3f", w.Name, rep.CPI())
 			base := rep.CPI()
 			for c := aurora.StallCause(0); c < aurora.NumStallCauses; c++ {
@@ -43,14 +64,13 @@ func main() {
 			fmt.Printf(" %7.3f", base)
 			for c := aurora.StallCause(0); c < aurora.NumStallCauses; c++ {
 				v := rep.StallCPI(c)
-				stallSum += v
 				totStall[c] += v
 				fmt.Printf(" %9.3f", v)
 			}
 			totCPI += rep.CPI()
 			fmt.Println()
 		}
-		n := float64(len(aurora.IntegerSuite()))
+		n := float64(len(suite))
 		fmt.Printf("%-10s %7.3f %7s", "average", totCPI/n, "")
 		for c := aurora.StallCause(0); c < aurora.NumStallCauses; c++ {
 			fmt.Printf(" %9.3f", totStall[c]/n)

@@ -181,6 +181,20 @@ func (c Config) WithoutPrefetch() Config {
 	return c
 }
 
+// Fingerprint returns a canonical identity string for the configuration's
+// timing-relevant parameters: two configs with equal fingerprints simulate
+// identically on any trace. The Name is excluded (it labels a point in an
+// experiment, it does not change the machine) and the config is normalized
+// first, so explicitly-set and defaulted fields collapse to one key. The
+// experiment runner memoizes simulation results by this fingerprint.
+func (c Config) Fingerprint() string {
+	c = c.Normalize()
+	c.Name = ""
+	// All fields (including the nested mem/fpu/mmu configs) are plain
+	// values, so %+v renders them in declaration order, deterministically.
+	return fmt.Sprintf("%+v", c)
+}
+
 // CostRBE returns the configuration's integer-side cost in Table 2 RBE.
 func (c Config) CostRBE() (int, error) {
 	return rbe.IPUCost{

@@ -23,8 +23,9 @@ type robEntry struct {
 
 // Processor is the integrated Aurora III timing model.
 type Processor struct {
-	cfg Config
-	now uint64
+	cfg    Config
+	stream trace.Stream
+	now    uint64
 
 	biu *mem.BIU
 	pfu *prefetch.Buffers
@@ -54,7 +55,7 @@ func NewProcessor(cfg Config, stream trace.Stream) (*Processor, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	p := &Processor{cfg: cfg}
+	p := &Processor{cfg: cfg, stream: stream}
 	p.biu = mem.New(cfg.Memory)
 	p.mmu = mmu.New(cfg.MMU)
 	if p.mmu.L2Enabled() {
@@ -107,6 +108,12 @@ func (p *Processor) Run(maxCycles uint64) (*Report, error) {
 		p.issue()
 		p.ifu.Tick(p.now)
 		p.pfu.Tick(p.now, p.biu)
+	}
+	// A trace that ended because the producer faulted must fail the run:
+	// the retired prefix would otherwise report a plausible but wrong CPI.
+	if err := p.stream.Err(); err != nil {
+		return nil, fmt.Errorf("core: trace ended in error after %d instructions: %w",
+			p.instructions, err)
 	}
 	p.lsu.FlushWriteCache(p.now)
 	return p.report(), nil

@@ -133,95 +133,124 @@ func SweepCSV(w io.Writer, xlabel string, pts []SweepPoint) error {
 	return writeCSV(w, []string{xlabel, "avg_cpi", "cost_rbe"}, rows)
 }
 
+// csvArtifact pairs an artifact file name with the generator that writes it.
+type csvArtifact struct {
+	name string
+	gen  func(io.Writer) error
+}
+
 // ExportCSV runs the core experiments and writes one CSV per artifact via
 // the open function (typically wrapping os.Create on "<dir>/<name>.csv").
-func ExportCSV(open func(name string) (io.WriteCloser, error), opts Options) error {
-	emit := func(name string, gen func(io.Writer) error) error {
-		f, err := open(name)
-		if err != nil {
-			return err
-		}
-		if err := gen(f); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
+// Experiments are computed concurrently through the runner; files are
+// emitted in a fixed order with deterministic contents.
+func ExportCSV(open func(name string) (io.WriteCloser, error), r *Runner, opts Options) error {
+	groups := []func() ([]csvArtifact, error){
+		func() ([]csvArtifact, error) {
+			f4, err := Fig4(r, opts)
+			if err != nil {
+				return nil, err
+			}
+			return []csvArtifact{{"fig4_issue_width", func(w io.Writer) error { return Fig4CSV(w, f4) }}}, nil
+		},
+		func() ([]csvArtifact, error) {
+			t, err := Table3(r, opts)
+			if err != nil {
+				return nil, err
+			}
+			return []csvArtifact{{"table3_iprefetch", func(w io.Writer) error { return RateTableCSV(w, t) }}}, nil
+		},
+		func() ([]csvArtifact, error) {
+			t, err := Table4(r, opts)
+			if err != nil {
+				return nil, err
+			}
+			return []csvArtifact{{"table4_dprefetch", func(w io.Writer) error { return RateTableCSV(w, t) }}}, nil
+		},
+		func() ([]csvArtifact, error) {
+			t, err := Table5(r, opts)
+			if err != nil {
+				return nil, err
+			}
+			return []csvArtifact{{"table5_writecache", func(w io.Writer) error { return RateTableCSV(w, t) }}}, nil
+		},
+		func() ([]csvArtifact, error) {
+			f5, err := Fig5(r, opts)
+			if err != nil {
+				return nil, err
+			}
+			return []csvArtifact{{"fig5_prefetch_removal", func(w io.Writer) error { return Fig5CSV(w, f5) }}}, nil
+		},
+		func() ([]csvArtifact, error) {
+			f6, err := Fig6(r, opts)
+			if err != nil {
+				return nil, err
+			}
+			return []csvArtifact{{"fig6_stalls", func(w io.Writer) error { return Fig6CSV(w, f6) }}}, nil
+		},
+		func() ([]csvArtifact, error) {
+			f7, err := Fig7(r, opts)
+			if err != nil {
+				return nil, err
+			}
+			return []csvArtifact{{"fig7_mshr", func(w io.Writer) error { return Fig7CSV(w, f7) }}}, nil
+		},
+		func() ([]csvArtifact, error) {
+			f8, err := Fig8(r, opts)
+			if err != nil {
+				return nil, err
+			}
+			return []csvArtifact{{"fig8_costperf", func(w io.Writer) error { return Fig8CSV(w, f8) }}}, nil
+		},
+		func() ([]csvArtifact, error) {
+			t6, err := Table6(r, opts)
+			if err != nil {
+				return nil, err
+			}
+			return []csvArtifact{{"table6_fpu_policy", func(w io.Writer) error { return Table6CSV(w, t6) }}}, nil
+		},
+		func() ([]csvArtifact, error) {
+			iq, lq, rob, err := Fig9Queues(r, opts)
+			if err != nil {
+				return nil, err
+			}
+			return []csvArtifact{
+				{"fig9a_instr_queue", func(w io.Writer) error { return SweepCSV(w, "entries", iq) }},
+				{"fig9b_load_queue", func(w io.Writer) error { return SweepCSV(w, "entries", lq) }},
+				{"fig9c_reorder_buffer", func(w io.Writer) error { return SweepCSV(w, "entries", rob) }},
+			}, nil
+		},
+		func() ([]csvArtifact, error) {
+			lat, err := Fig9Latencies(r, opts)
+			if err != nil {
+				return nil, err
+			}
+			return []csvArtifact{
+				{"fig9d_add_latency", func(w io.Writer) error { return SweepCSV(w, "cycles", lat.Add) }},
+				{"fig9e_mul_latency", func(w io.Writer) error { return SweepCSV(w, "cycles", lat.Mul) }},
+				{"fig9f_div_latency", func(w io.Writer) error { return SweepCSV(w, "cycles", lat.Div) }},
+				{"fig9g_cvt_latency", func(w io.Writer) error { return SweepCSV(w, "cycles", lat.Cvt) }},
+			}, nil
+		},
 	}
-
-	f4, err := Fig4(opts)
+	results, err := each(len(groups), func(i int) ([]csvArtifact, error) {
+		return groups[i]()
+	})
 	if err != nil {
 		return err
 	}
-	if err := emit("fig4_issue_width", func(w io.Writer) error { return Fig4CSV(w, f4) }); err != nil {
-		return err
-	}
-	for name, gen := range map[string]func(Options) (*RateTable, error){
-		"table3_iprefetch": Table3, "table4_dprefetch": Table4, "table5_writecache": Table5,
-	} {
-		t, err := gen(opts)
-		if err != nil {
-			return err
-		}
-		if err := emit(name, func(w io.Writer) error { return RateTableCSV(w, t) }); err != nil {
-			return err
-		}
-	}
-	f5, err := Fig5(opts)
-	if err != nil {
-		return err
-	}
-	if err := emit("fig5_prefetch_removal", func(w io.Writer) error { return Fig5CSV(w, f5) }); err != nil {
-		return err
-	}
-	f6, err := Fig6(opts)
-	if err != nil {
-		return err
-	}
-	if err := emit("fig6_stalls", func(w io.Writer) error { return Fig6CSV(w, f6) }); err != nil {
-		return err
-	}
-	f7, err := Fig7(opts)
-	if err != nil {
-		return err
-	}
-	if err := emit("fig7_mshr", func(w io.Writer) error { return Fig7CSV(w, f7) }); err != nil {
-		return err
-	}
-	f8, err := Fig8(opts)
-	if err != nil {
-		return err
-	}
-	if err := emit("fig8_costperf", func(w io.Writer) error { return Fig8CSV(w, f8) }); err != nil {
-		return err
-	}
-	t6, err := Table6(opts)
-	if err != nil {
-		return err
-	}
-	if err := emit("table6_fpu_policy", func(w io.Writer) error { return Table6CSV(w, t6) }); err != nil {
-		return err
-	}
-	iq, lq, rob, err := Fig9Queues(opts)
-	if err != nil {
-		return err
-	}
-	for name, pts := range map[string][]SweepPoint{
-		"fig9a_instr_queue": iq, "fig9b_load_queue": lq, "fig9c_reorder_buffer": rob,
-	} {
-		if err := emit(name, func(w io.Writer) error { return SweepCSV(w, "entries", pts) }); err != nil {
-			return err
-		}
-	}
-	lat, err := Fig9Latencies(opts)
-	if err != nil {
-		return err
-	}
-	for name, pts := range map[string][]SweepPoint{
-		"fig9d_add_latency": lat.Add, "fig9e_mul_latency": lat.Mul,
-		"fig9f_div_latency": lat.Div, "fig9g_cvt_latency": lat.Cvt,
-	} {
-		if err := emit(name, func(w io.Writer) error { return SweepCSV(w, "cycles", pts) }); err != nil {
-			return err
+	for _, group := range results {
+		for _, a := range group {
+			f, err := open(a.name)
+			if err != nil {
+				return err
+			}
+			if err := a.gen(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -72,29 +72,40 @@ type Fig4Point struct {
 }
 
 // Fig4 runs the 12 configurations over the integer suite.
-func Fig4(opts Options) ([]Fig4Point, error) {
-	var out []Fig4Point
+func Fig4(r *Runner, opts Options) ([]Fig4Point, error) {
+	type job struct {
+		name           string
+		cfg            core.Config
+		issue, latency int
+	}
+	var jobs []job
 	for _, latency := range []int{17, 35} {
 		for _, issue := range []int{1, 2} {
 			for _, model := range core.Models() {
-				cfg := model.WithLatency(latency).WithIssueWidth(issue)
-				cost, err := cfg.CostRBE()
-				if err != nil {
-					return nil, err
-				}
-				per, min, max, avg, err := suiteCPI(cfg, workloads.Integer(), opts)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, Fig4Point{
-					Model: model.Name, Issue: issue, Latency: latency,
-					CostRBE: cost, MinCPI: min, MaxCPI: max, AvgCPI: avg,
-					PerBench: per,
+				jobs = append(jobs, job{
+					name: model.Name,
+					cfg:  model.WithLatency(latency).WithIssueWidth(issue),
+					issue: issue, latency: latency,
 				})
 			}
 		}
 	}
-	return out, nil
+	return each(len(jobs), func(i int) (Fig4Point, error) {
+		j := jobs[i]
+		cost, err := j.cfg.CostRBE()
+		if err != nil {
+			return Fig4Point{}, err
+		}
+		per, min, max, avg, err := suiteCPI(r, j.cfg, workloads.Integer(), opts)
+		if err != nil {
+			return Fig4Point{}, err
+		}
+		return Fig4Point{
+			Model: j.name, Issue: j.issue, Latency: j.latency,
+			CostRBE: cost, MinCPI: min, MaxCPI: max, AvgCPI: avg,
+			PerBench: per,
+		}, nil
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -110,60 +121,79 @@ type RateTable struct {
 	Rows [][]float64
 }
 
-func rateTable(name string, opts Options, metric func(*core.Report) float64) (*RateTable, error) {
+func rateTable(r *Runner, name string, opts Options, metric func(*core.Report) float64) (*RateTable, error) {
 	suite := workloads.Integer()
 	t := &RateTable{Name: name}
 	for _, w := range suite {
 		t.Benches = append(t.Benches, w.Name)
 	}
-	for _, model := range core.Models() {
-		t.Models = append(t.Models, model.Name)
-		row := make([]float64, 0, len(suite))
-		for _, w := range suite {
-			rep, err := run(model, w, opts)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, 100*metric(rep))
+	models := core.Models()
+	rows, err := each(len(models), func(mi int) ([]float64, error) {
+		reps, err := each(len(suite), func(wi int) (*core.Report, error) {
+			return r.Run(models[mi], suite[wi], opts)
+		})
+		if err != nil {
+			return nil, err
 		}
-		t.Rows = append(t.Rows, row)
+		row := make([]float64, len(suite))
+		for i, rep := range reps {
+			row[i] = 100 * metric(rep)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	for _, m := range models {
+		t.Models = append(t.Models, m.Name)
+	}
+	t.Rows = rows
 	return t, nil
 }
 
 // Table3 regenerates the integer instruction-stream prefetch hit rates.
-func Table3(opts Options) (*RateTable, error) {
-	return rateTable("Table 3: Integer I Prefetch Hit Rate %", opts,
+func Table3(r *Runner, opts Options) (*RateTable, error) {
+	return rateTable(r, "Table 3: Integer I Prefetch Hit Rate %", opts,
 		(*core.Report).IPrefetchHitRate)
 }
 
 // Table4 regenerates the integer data-stream prefetch hit rates.
-func Table4(opts Options) (*RateTable, error) {
-	return rateTable("Table 4: Integer D Prefetch Hit Rate %", opts,
+func Table4(r *Runner, opts Options) (*RateTable, error) {
+	return rateTable(r, "Table 4: Integer D Prefetch Hit Rate %", opts,
 		(*core.Report).DPrefetchHitRate)
 }
 
 // Table5 regenerates the write-cache hit rates (loads + stores).
-func Table5(opts Options) (*RateTable, error) {
-	return rateTable("Table 5: Integer Write Cache Hit Rate %", opts,
+func Table5(r *Runner, opts Options) (*RateTable, error) {
+	return rateTable(r, "Table 5: Integer Write Cache Hit Rate %", opts,
 		(*core.Report).WriteCacheHitRate)
 }
 
 // WriteTraffic reports §5.5's store-transaction ratio per model
 // (paper: 44% small, 30% base, 22% large).
-func WriteTraffic(opts Options) (map[string]float64, error) {
-	out := map[string]float64{}
-	for _, model := range core.Models() {
+func WriteTraffic(r *Runner, opts Options) (map[string]float64, error) {
+	models := core.Models()
+	suite := workloads.Integer()
+	ratios, err := each(len(models), func(mi int) (float64, error) {
+		reps, err := each(len(suite), func(wi int) (*core.Report, error) {
+			return r.Run(models[mi], suite[wi], opts)
+		})
+		if err != nil {
+			return 0, err
+		}
 		var trans, stores uint64
-		for _, w := range workloads.Integer() {
-			rep, err := run(model, w, opts)
-			if err != nil {
-				return nil, err
-			}
+		for _, rep := range reps {
 			trans += rep.WCTransactions
 			stores += rep.WCStores
 		}
-		out[model.Name] = float64(trans) / float64(stores)
+		return float64(trans) / float64(stores), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for i, m := range models {
+		out[m.Name] = ratios[i]
 	}
 	return out, nil
 }
@@ -184,33 +214,40 @@ type Fig5Point struct {
 }
 
 // Fig5 runs the ablation.
-func Fig5(opts Options) ([]Fig5Point, error) {
-	var out []Fig5Point
+func Fig5(r *Runner, opts Options) ([]Fig5Point, error) {
+	type job struct {
+		name    string
+		latency int
+		on, off core.Config
+	}
+	var jobs []job
 	for _, latency := range []int{17, 35} {
 		for _, model := range core.Models() {
 			on := model.WithLatency(latency)
-			off := on.WithoutPrefetch()
-			cost, err := on.CostRBE()
-			if err != nil {
-				return nil, err
-			}
-			_, _, maxOn, avgOn, err := suiteCPI(on, workloads.Integer(), opts)
-			if err != nil {
-				return nil, err
-			}
-			_, _, maxOff, avgOff, err := suiteCPI(off, workloads.Integer(), opts)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Fig5Point{
-				Model: model.Name, Latency: latency, CostRBE: cost,
-				WithPF: avgOn, WithoutPF: avgOff,
-				MaxWithPF: maxOn, MaxWithout: maxOff,
-				Improvement: (avgOff - avgOn) / avgOff,
-			})
+			jobs = append(jobs, job{model.Name, latency, on, on.WithoutPrefetch()})
 		}
 	}
-	return out, nil
+	return each(len(jobs), func(i int) (Fig5Point, error) {
+		j := jobs[i]
+		cost, err := j.on.CostRBE()
+		if err != nil {
+			return Fig5Point{}, err
+		}
+		_, _, maxOn, avgOn, err := suiteCPI(r, j.on, workloads.Integer(), opts)
+		if err != nil {
+			return Fig5Point{}, err
+		}
+		_, _, maxOff, avgOff, err := suiteCPI(r, j.off, workloads.Integer(), opts)
+		if err != nil {
+			return Fig5Point{}, err
+		}
+		return Fig5Point{
+			Model: j.name, Latency: j.latency, CostRBE: cost,
+			WithPF: avgOn, WithoutPF: avgOff,
+			MaxWithPF: maxOn, MaxWithout: maxOff,
+			Improvement: (avgOff - avgOn) / avgOff,
+		}, nil
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -225,35 +262,37 @@ type Fig6Row struct {
 }
 
 // Fig6 computes the average stall breakdown.
-func Fig6(opts Options) ([]Fig6Row, error) {
-	var out []Fig6Row
-	for _, model := range core.Models() {
+func Fig6(r *Runner, opts Options) ([]Fig6Row, error) {
+	models := core.Models()
+	suite := workloads.Integer()
+	return each(len(models), func(mi int) (Fig6Row, error) {
+		model := models[mi]
+		reps, err := each(len(suite), func(wi int) (*core.Report, error) {
+			return r.Run(model, suite[wi], opts)
+		})
+		if err != nil {
+			return Fig6Row{}, err
+		}
 		var row Fig6Row
 		row.Model = model.Name
-		n := 0
-		for _, w := range workloads.Integer() {
-			rep, err := run(model, w, opts)
-			if err != nil {
-				return nil, err
-			}
+		for _, rep := range reps {
 			row.TotalCPI += rep.CPI()
 			for c := core.StallCause(0); c < core.NumStallCauses; c++ {
 				row.Stalls[c] += rep.StallCPI(c)
 			}
-			n++
 		}
-		row.TotalCPI /= float64(n)
+		n := float64(len(reps))
+		row.TotalCPI /= n
 		for c := range row.Stalls {
-			row.Stalls[c] /= float64(n)
+			row.Stalls[c] /= n
 		}
 		sum := 0.0
 		for _, s := range row.Stalls {
 			sum += s
 		}
 		row.BaseCPI = row.TotalCPI - sum
-		out = append(out, row)
-	}
-	return out, nil
+		return row, nil
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -269,27 +308,40 @@ type Fig7Point struct {
 }
 
 // Fig7 sweeps MSHRs ∈ {1, 2, 4} for each model.
-func Fig7(opts Options) ([]Fig7Point, error) {
-	var out []Fig7Point
+func Fig7(r *Runner, opts Options) ([]Fig7Point, error) {
+	return mshrSweep(r, opts, []int{1, 2, 4})
+}
+
+// mshrSweep crosses the Table 1 models with a set of MSHR counts; Figure 7
+// and the deep-sweep extension share it.
+func mshrSweep(r *Runner, opts Options, counts []int) ([]Fig7Point, error) {
+	type job struct {
+		model core.Config
+		mshrs int
+	}
+	var jobs []job
 	for _, model := range core.Models() {
-		for _, mshrs := range []int{1, 2, 4} {
-			cfg := model
-			cfg.MSHRs = mshrs
-			cost, err := cfg.CostRBE()
-			if err != nil {
-				return nil, err
-			}
-			_, _, _, avg, err := suiteCPI(cfg, workloads.Integer(), opts)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Fig7Point{
-				Model: model.Name, MSHRs: mshrs, CostRBE: cost,
-				AvgCPI: avg, IsBase: mshrs == model.MSHRs,
-			})
+		for _, mshrs := range counts {
+			jobs = append(jobs, job{model, mshrs})
 		}
 	}
-	return out, nil
+	return each(len(jobs), func(i int) (Fig7Point, error) {
+		j := jobs[i]
+		cfg := j.model
+		cfg.MSHRs = j.mshrs
+		cost, err := cfg.CostRBE()
+		if err != nil {
+			return Fig7Point{}, err
+		}
+		_, _, _, avg, err := suiteCPI(r, cfg, workloads.Integer(), opts)
+		if err != nil {
+			return Fig7Point{}, err
+		}
+		return Fig7Point{
+			Model: j.model.Name, MSHRs: j.mshrs, CostRBE: cost,
+			AvgCPI: avg, IsBase: j.mshrs == j.model.MSHRs,
+		}, nil
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -313,40 +365,24 @@ type Fig8Point struct {
 // for 1/2/4 KB instruction caches with varied memory resources), plus the
 // called-out points A (single MSHR), B (large), D (prefetch added) and
 // E (recommended).
-func Fig8(opts Options) ([]Fig8Point, error) {
+func Fig8(r *Runner, opts Options) ([]Fig8Point, error) {
 	opts = opts.sweep()
 	w, err := workloads.Get("espresso")
 	if err != nil {
 		return nil, err
 	}
-	var out []Fig8Point
-	add := func(label string, cfg core.Config) error {
-		cost, err := cfg.CostRBE()
-		if err != nil {
-			return err
-		}
-		rep, err := run(cfg, w, opts)
-		if err != nil {
-			return err
-		}
-		out = append(out, Fig8Point{
-			Label: label, Issue: cfg.IssueWidth, ICacheK: cfg.ICacheBytes / 1024,
-			WCLines: cfg.WriteCacheLines, ROB: cfg.ReorderBuffer,
-			MSHRs: cfg.MSHRs, PFBufs: cfg.PrefetchBuffers,
-			CostRBE: cost, CPI: rep.CPI(),
-		})
-		return nil
+	type job struct {
+		label string
+		cfg   core.Config
 	}
+	var jobs []job
+	add := func(label string, cfg core.Config) { jobs = append(jobs, job{label, cfg}) }
 
 	// Single-issue family: the three models plus point E's cache, 1 pipe.
 	for _, m := range core.Models() {
-		if err := add("single-"+m.Name, m.WithIssueWidth(1)); err != nil {
-			return nil, err
-		}
+		add("single-"+m.Name, m.WithIssueWidth(1))
 	}
-	if err := add("single-pointE", core.RecommendedE().WithIssueWidth(1)); err != nil {
-		return nil, err
-	}
+	add("single-pointE", core.RecommendedE().WithIssueWidth(1))
 
 	// Dual-issue families: icache {1,2,4}K × memory-resource steps.
 	type step struct {
@@ -377,23 +413,32 @@ func Fig8(opts Options) ([]Fig8Point, error) {
 			case s.pf == 0:
 				label = "C:" + label
 			}
-			if err := add(label, cfg); err != nil {
-				return nil, err
-			}
+			add(label, cfg)
 		}
 	}
 	// B: the large model (performance plateau), D: point C plus prefetch,
 	// E: the recommended machine.
-	if err := add("B:large-dual", core.Large()); err != nil {
-		return nil, err
-	}
-	if err := add("D:baseline+pf", core.Baseline()); err != nil {
-		return nil, err
-	}
-	if err := add("E:recommended", core.RecommendedE()); err != nil {
-		return nil, err
-	}
-	return out, nil
+	add("B:large-dual", core.Large())
+	add("D:baseline+pf", core.Baseline())
+	add("E:recommended", core.RecommendedE())
+
+	return each(len(jobs), func(i int) (Fig8Point, error) {
+		j := jobs[i]
+		cost, err := j.cfg.CostRBE()
+		if err != nil {
+			return Fig8Point{}, err
+		}
+		rep, err := r.Run(j.cfg, w, opts)
+		if err != nil {
+			return Fig8Point{}, err
+		}
+		return Fig8Point{
+			Label: j.label, Issue: j.cfg.IssueWidth, ICacheK: j.cfg.ICacheBytes / 1024,
+			WCLines: j.cfg.WriteCacheLines, ROB: j.cfg.ReorderBuffer,
+			MSHRs: j.cfg.MSHRs, PFBufs: j.cfg.PrefetchBuffers,
+			CostRBE: cost, CPI: rep.CPI(),
+		}, nil
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -408,28 +453,28 @@ type Table6Row struct {
 }
 
 // Table6 runs the three §5.8 policies.
-func Table6(opts Options) ([]Table6Row, error) {
-	var out []Table6Row
-	for _, w := range workloads.FP() {
-		row := Table6Row{Bench: w.Name}
-		for _, pol := range []fpu.IssuePolicy{
-			fpu.InOrderComplete, fpu.OutOfOrderSingle, fpu.OutOfOrderDual,
-		} {
-			cfg := withFPUPolicy(core.Baseline(), pol)
-			rep, err := run(cfg, w, opts)
-			if err != nil {
-				return nil, err
-			}
-			switch pol {
-			case fpu.InOrderComplete:
-				row.InOrder = rep.CPI()
-			case fpu.OutOfOrderSingle:
-				row.Single = rep.CPI()
-			case fpu.OutOfOrderDual:
-				row.Dual = rep.CPI()
-			}
+func Table6(r *Runner, opts Options) ([]Table6Row, error) {
+	suite := workloads.FP()
+	policies := []fpu.IssuePolicy{
+		fpu.InOrderComplete, fpu.OutOfOrderSingle, fpu.OutOfOrderDual,
+	}
+	out, err := each(len(suite), func(wi int) (Table6Row, error) {
+		w := suite[wi]
+		reps, err := each(len(policies), func(pi int) (*core.Report, error) {
+			return r.Run(withFPUPolicy(core.Baseline(), policies[pi]), w, opts)
+		})
+		if err != nil {
+			return Table6Row{}, err
 		}
-		out = append(out, row)
+		return Table6Row{
+			Bench:   w.Name,
+			InOrder: reps[0].CPI(),
+			Single:  reps[1].CPI(),
+			Dual:    reps[2].CPI(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	avg := Table6Row{Bench: "Average"}
 	for _, r := range out {
@@ -457,23 +502,22 @@ type SweepPoint struct {
 
 // Fig9Queues regenerates panels (a)-(c): instruction queue 1-5, load queue
 // 1-5, reorder buffer 3-11, single-issue FPU policy as in the paper.
-func Fig9Queues(opts Options) (iq, lq, rob []SweepPoint, err error) {
+func Fig9Queues(r *Runner, opts Options) (iq, lq, rob []SweepPoint, err error) {
 	opts = opts.sweep()
 	sweep := func(vals []int, apply func(*fpu.Config, int)) ([]SweepPoint, error) {
-		var pts []SweepPoint
-		for _, v := range vals {
+		return each(len(vals), func(i int) (SweepPoint, error) {
+			v := vals[i]
 			cfg := core.Baseline()
 			f := fpu.DefaultConfig()
 			f.Policy = fpu.OutOfOrderSingle
 			apply(&f, v)
 			cfg.FPU = f
-			_, _, _, avg, err := suiteCPI(cfg, workloads.FP(), opts)
+			_, _, _, avg, err := suiteCPI(r, cfg, workloads.FP(), opts)
 			if err != nil {
-				return nil, err
+				return SweepPoint{}, err
 			}
-			pts = append(pts, SweepPoint{X: v, AvgCPI: avg})
-		}
-		return pts, nil
+			return SweepPoint{X: v, AvgCPI: avg}, nil
+		})
 	}
 	iq, err = sweep([]int{1, 2, 3, 4, 5}, func(f *fpu.Config, v int) { f.InstrQueue = v })
 	if err != nil {
@@ -498,23 +542,22 @@ type Fig9LatencyResult struct {
 }
 
 // Fig9Latencies runs the latency sweeps.
-func Fig9Latencies(opts Options) (*Fig9LatencyResult, error) {
+func Fig9Latencies(r *Runner, opts Options) (*Fig9LatencyResult, error) {
 	opts = opts.sweep()
 	res := &Fig9LatencyResult{}
 	sweep := func(vals []int, apply func(*fpu.Config, int), cost func(int) int) ([]SweepPoint, error) {
-		var pts []SweepPoint
-		for _, v := range vals {
+		return each(len(vals), func(i int) (SweepPoint, error) {
+			v := vals[i]
 			cfg := core.Baseline()
 			f := fpu.DefaultConfig()
 			apply(&f, v)
 			cfg.FPU = f
-			_, _, _, avg, err := suiteCPI(cfg, workloads.FP(), opts)
+			_, _, _, avg, err := suiteCPI(r, cfg, workloads.FP(), opts)
 			if err != nil {
-				return nil, err
+				return SweepPoint{}, err
 			}
-			pts = append(pts, SweepPoint{X: v, AvgCPI: avg, CostRBE: cost(v)})
-		}
-		return pts, nil
+			return SweepPoint{X: v, AvgCPI: avg, CostRBE: cost(v)}, nil
+		})
 	}
 	var err error
 	res.Add, err = sweep([]int{1, 2, 3, 4, 5},
@@ -547,7 +590,7 @@ func Fig9Latencies(opts Options) (*Fig9LatencyResult, error) {
 	f := fpu.DefaultConfig()
 	f.AddPipelined, f.CvtPipelined = true, true
 	pip.FPU = f
-	_, _, _, avgPip, err := suiteCPI(pip, workloads.FP(), opts)
+	_, _, _, avgPip, err := suiteCPI(r, pip, workloads.FP(), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -555,7 +598,7 @@ func Fig9Latencies(opts Options) (*Fig9LatencyResult, error) {
 	f = fpu.DefaultConfig()
 	f.AddPipelined, f.CvtPipelined = false, false
 	unp.FPU = f
-	_, _, _, avgUnp, err := suiteCPI(unp, workloads.FP(), opts)
+	_, _, _, avgUnp, err := suiteCPI(r, unp, workloads.FP(), opts)
 	if err != nil {
 		return nil, err
 	}

@@ -34,7 +34,7 @@ import (
 //     wall-clock performance instead of CPI.
 
 // Fig9IQDual sweeps the FPU instruction queue under the dual-issue policy.
-func Fig9IQDual(opts Options) ([]SweepPoint, error) {
+func Fig9IQDual(r *Runner, opts Options) ([]SweepPoint, error) {
 	opts = opts.sweep()
 	var pts []SweepPoint
 	for _, q := range []int{1, 2, 3, 4, 5, 7} {
@@ -43,7 +43,7 @@ func Fig9IQDual(opts Options) ([]SweepPoint, error) {
 		f.Policy = fpu.OutOfOrderDual
 		f.InstrQueue = q
 		cfg.FPU = f
-		_, _, _, avg, err := suiteCPI(cfg, workloads.FP(), opts)
+		_, _, _, avg, err := suiteCPI(r, cfg, workloads.FP(), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -59,7 +59,7 @@ type LatencyPoint struct {
 }
 
 // LatencyScaling runs the integer suite over a latency curve.
-func LatencyScaling(opts Options, latencies []int) ([]LatencyPoint, error) {
+func LatencyScaling(r *Runner, opts Options, latencies []int) ([]LatencyPoint, error) {
 	if len(latencies) == 0 {
 		latencies = []int{9, 17, 35, 70, 100}
 	}
@@ -67,7 +67,7 @@ func LatencyScaling(opts Options, latencies []int) ([]LatencyPoint, error) {
 	for _, lat := range latencies {
 		p := LatencyPoint{Latency: lat, CPI: map[string]float64{}}
 		for _, model := range core.Models() {
-			_, _, _, avg, err := suiteCPI(model.WithLatency(lat), workloads.Integer(), opts)
+			_, _, _, avg, err := suiteCPI(r, model.WithLatency(lat), workloads.Integer(), opts)
 			if err != nil {
 				return nil, err
 			}
@@ -87,16 +87,16 @@ type BranchFoldingResult struct {
 }
 
 // BranchFolding runs the ablation on the three models.
-func BranchFolding(opts Options) ([]BranchFoldingResult, error) {
+func BranchFolding(r *Runner, opts Options) ([]BranchFoldingResult, error) {
 	var out []BranchFoldingResult
 	for _, model := range core.Models() {
-		_, _, _, with, err := suiteCPI(model, workloads.Integer(), opts)
+		_, _, _, with, err := suiteCPI(r, model, workloads.Integer(), opts)
 		if err != nil {
 			return nil, err
 		}
 		ab := model
 		ab.DisableBranchFolding = true
-		_, _, _, without, err := suiteCPI(ab, workloads.Integer(), opts)
+		_, _, _, without, err := suiteCPI(r, ab, workloads.Integer(), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -117,7 +117,7 @@ type WriteCachePoint struct {
 }
 
 // WriteCacheSweep substantiates §5.6's write-cache claim.
-func WriteCacheSweep(opts Options) ([]WriteCachePoint, error) {
+func WriteCacheSweep(r *Runner, opts Options) ([]WriteCachePoint, error) {
 	var out []WriteCachePoint
 	for _, lines := range []int{1, 2, 4, 8, 16} {
 		cfg := core.Baseline()
@@ -126,7 +126,7 @@ func WriteCacheSweep(opts Options) ([]WriteCachePoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		per, _, _, avg, err := suiteCPI(cfg, workloads.Integer(), opts)
+		per, _, _, avg, err := suiteCPI(r, cfg, workloads.Integer(), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -144,27 +144,8 @@ func WriteCacheSweep(opts Options) ([]WriteCachePoint, error) {
 }
 
 // MSHRDeepSweep extends Figure 7 to 8 MSHRs on every model.
-func MSHRDeepSweep(opts Options) ([]Fig7Point, error) {
-	var out []Fig7Point
-	for _, model := range core.Models() {
-		for _, mshrs := range []int{1, 2, 4, 8} {
-			cfg := model
-			cfg.MSHRs = mshrs
-			cost, err := cfg.CostRBE()
-			if err != nil {
-				return nil, err
-			}
-			_, _, _, avg, err := suiteCPI(cfg, workloads.Integer(), opts)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Fig7Point{
-				Model: model.Name, MSHRs: mshrs, CostRBE: cost,
-				AvgCPI: avg, IsBase: mshrs == model.MSHRs,
-			})
-		}
-	}
-	return out, nil
+func MSHRDeepSweep(r *Runner, opts Options) ([]Fig7Point, error) {
+	return mshrSweep(r, opts, []int{1, 2, 4, 8})
 }
 
 // CycleTimeFactor is a simple area→cycle-time model in the spirit of the
@@ -198,10 +179,10 @@ type ClockedPoint struct {
 }
 
 // AreaAwareClock reruns the model comparison with cycle-time penalties.
-func AreaAwareClock(opts Options) ([]ClockedPoint, error) {
+func AreaAwareClock(r *Runner, opts Options) ([]ClockedPoint, error) {
 	var out []ClockedPoint
 	for _, model := range core.Models() {
-		_, _, _, avg, err := suiteCPI(model, workloads.Integer(), opts)
+		_, _, _, avg, err := suiteCPI(r, model, workloads.Integer(), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -224,28 +205,28 @@ type PrecisePoint struct {
 // PreciseExceptions runs the §3.1 trade-off the paper describes but does
 // not quantify: precise mode transfers an instruction to the FPU only when
 // it cannot be overtaken by a faulting one, serialising the coprocessor.
-func PreciseExceptions(opts Options) ([]PrecisePoint, error) {
-	var out []PrecisePoint
-	for _, w := range workloads.FP() {
+func PreciseExceptions(r *Runner, opts Options) ([]PrecisePoint, error) {
+	suite := workloads.FP()
+	return each(len(suite), func(i int) (PrecisePoint, error) {
+		w := suite[i]
 		fast := core.Baseline()
-		rep1, err := run(fast, w, opts)
+		rep1, err := r.Run(fast, w, opts)
 		if err != nil {
-			return nil, err
+			return PrecisePoint{}, err
 		}
 		prec := core.Baseline()
 		f := prec.FPU.Normalize()
 		f.Precise = true
 		prec.FPU = f
-		rep2, err := run(prec, w, opts)
+		rep2, err := r.Run(prec, w, opts)
 		if err != nil {
-			return nil, err
+			return PrecisePoint{}, err
 		}
-		out = append(out, PrecisePoint{
+		return PrecisePoint{
 			Bench: w.Name, FastCPI: rep1.CPI(), PreciseCPI: rep2.CPI(),
 			Slowdown: rep2.CPI()/rep1.CPI() - 1,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // PrintPreciseExceptions renders the mode comparison.
@@ -273,16 +254,16 @@ type SchedulingPoint struct {
 // compiler scheduling could possibly remove some of this penalty" — the
 // load stalls from the 3-cycle pipelined data cache, dominant in the large
 // model.
-func CompilerScheduling(opts Options) ([]SchedulingPoint, error) {
+func CompilerScheduling(r *Runner, opts Options) ([]SchedulingPoint, error) {
 	var out []SchedulingPoint
 	for _, model := range core.Models() {
-		base, _, _, baseAvg, err := suiteCPI(model, workloads.Integer(), opts)
+		base, _, _, baseAvg, err := suiteCPI(r, model, workloads.Integer(), opts)
 		if err != nil {
 			return nil, err
 		}
 		sopts := opts
 		sopts.Scheduled = true
-		sched, _, _, schedAvg, err := suiteCPI(model, workloads.Integer(), sopts)
+		sched, _, _, schedAvg, err := suiteCPI(r, model, workloads.Integer(), sopts)
 		if err != nil {
 			return nil, err
 		}
@@ -323,13 +304,13 @@ type VictimPoint struct {
 // buffers — behind each model's direct-mapped data cache. FP workloads with
 // strided multi-array access (hydro2d-like) are where conflict misses live,
 // so the study runs the FP suite.
-func VictimCacheStudy(opts Options) ([]VictimPoint, error) {
+func VictimCacheStudy(r *Runner, opts Options) ([]VictimPoint, error) {
 	var out []VictimPoint
 	for _, model := range core.Models() {
 		for _, lines := range []int{0, 4} {
 			cfg := model
 			cfg.VictimLines = lines
-			per, _, _, avg, err := suiteCPI(cfg, workloads.FP(), opts)
+			per, _, _, avg, err := suiteCPI(r, cfg, workloads.FP(), opts)
 			if err != nil {
 				return nil, err
 			}
@@ -372,11 +353,11 @@ type MMUPoint struct {
 // it reruns the baseline with a structured MMU (64-entry TLB + 512 KB
 // secondary cache at 10/60 cycles) and with a starved one (8-entry TLB,
 // 64 KB L2).
-func MMUSensitivity(opts Options) ([]MMUPoint, error) {
+func MMUSensitivity(r *Runner, opts Options) ([]MMUPoint, error) {
 	run := func(label string, mc mmu.Config) (MMUPoint, error) {
 		cfg := core.Baseline()
 		cfg.MMU = mc
-		per, _, _, avg, err := suiteCPI(cfg, workloads.Integer(), opts)
+		per, _, _, avg, err := suiteCPI(r, cfg, workloads.Integer(), opts)
 		if err != nil {
 			return MMUPoint{}, err
 		}
@@ -464,65 +445,62 @@ func PrintAreaAwareClock(w io.Writer, pts []ClockedPoint) {
 }
 
 // RenderExtensions writes every extension study to w.
-func RenderExtensions(w io.Writer, opts Options) error {
-	iq, err := Fig9IQDual(opts)
+// RenderExtensions writes every extension study to w. Studies are computed
+// concurrently through the runner and printed in the fixed order below, so
+// the output does not depend on the worker count.
+func RenderExtensions(w io.Writer, r *Runner, opts Options) error {
+	sections := []func() (func(io.Writer), error){
+		func() (func(io.Writer), error) {
+			iq, err := Fig9IQDual(r, opts)
+			return func(w io.Writer) {
+				PrintSweep(w, "Extension: FPU instruction queue under dual issue (§5.9 'not shown')", "entries", iq)
+			}, err
+		},
+		func() (func(io.Writer), error) {
+			lat, err := LatencyScaling(r, opts, nil)
+			return func(w io.Writer) { PrintLatencyScaling(w, lat) }, err
+		},
+		func() (func(io.Writer), error) {
+			bf, err := BranchFolding(r, opts)
+			return func(w io.Writer) { PrintBranchFolding(w, bf) }, err
+		},
+		func() (func(io.Writer), error) {
+			wc, err := WriteCacheSweep(r, opts)
+			return func(w io.Writer) { PrintWriteCacheSweep(w, wc) }, err
+		},
+		func() (func(io.Writer), error) {
+			m8, err := MSHRDeepSweep(r, opts)
+			return func(w io.Writer) { PrintFig7(w, m8) }, err
+		},
+		func() (func(io.Writer), error) {
+			ac, err := AreaAwareClock(r, opts)
+			return func(w io.Writer) { PrintAreaAwareClock(w, ac) }, err
+		},
+		func() (func(io.Writer), error) {
+			ms, err := MMUSensitivity(r, opts)
+			return func(w io.Writer) { PrintMMUSensitivity(w, ms) }, err
+		},
+		func() (func(io.Writer), error) {
+			vp, err := VictimCacheStudy(r, opts)
+			return func(w io.Writer) { PrintVictimCacheStudy(w, vp) }, err
+		},
+		func() (func(io.Writer), error) {
+			cs, err := CompilerScheduling(r, opts)
+			return func(w io.Writer) { PrintCompilerScheduling(w, cs) }, err
+		},
+		func() (func(io.Writer), error) {
+			pe, err := PreciseExceptions(r, opts)
+			return func(w io.Writer) { PrintPreciseExceptions(w, pe) }, err
+		},
+	}
+	printers, err := each(len(sections), func(i int) (func(io.Writer), error) {
+		return sections[i]()
+	})
 	if err != nil {
 		return err
 	}
-	PrintSweep(w, "Extension: FPU instruction queue under dual issue (§5.9 'not shown')", "entries", iq)
-
-	lat, err := LatencyScaling(opts, nil)
-	if err != nil {
-		return err
+	for _, print := range printers {
+		print(w)
 	}
-	PrintLatencyScaling(w, lat)
-
-	bf, err := BranchFolding(opts)
-	if err != nil {
-		return err
-	}
-	PrintBranchFolding(w, bf)
-
-	wc, err := WriteCacheSweep(opts)
-	if err != nil {
-		return err
-	}
-	PrintWriteCacheSweep(w, wc)
-
-	m8, err := MSHRDeepSweep(opts)
-	if err != nil {
-		return err
-	}
-	PrintFig7(w, m8)
-
-	ac, err := AreaAwareClock(opts)
-	if err != nil {
-		return err
-	}
-	PrintAreaAwareClock(w, ac)
-
-	ms, err := MMUSensitivity(opts)
-	if err != nil {
-		return err
-	}
-	PrintMMUSensitivity(w, ms)
-
-	vp, err := VictimCacheStudy(opts)
-	if err != nil {
-		return err
-	}
-	PrintVictimCacheStudy(w, vp)
-
-	cs, err := CompilerScheduling(opts)
-	if err != nil {
-		return err
-	}
-	PrintCompilerScheduling(w, cs)
-
-	pe, err := PreciseExceptions(opts)
-	if err != nil {
-		return err
-	}
-	PrintPreciseExceptions(w, pe)
 	return nil
 }

@@ -158,83 +158,81 @@ func PrintFig9Latencies(w io.Writer, r *Fig9LatencyResult) {
 		r.PipelinedCPI, r.UnpipelinedCPI, 100*degr)
 }
 
-// Render writes every experiment to w at the given scale.
-func Render(w io.Writer, opts Options) error {
+// Render writes every experiment to w at the given scale. All figures are
+// computed concurrently through the runner (sharing its memo table, so
+// configurations that recur across figures simulate once) and printed in
+// the paper's order; the output is byte-identical for any worker count.
+func Render(w io.Writer, r *Runner, opts Options) error {
+	sections := []func() (func(io.Writer), error){
+		func() (func(io.Writer), error) {
+			f1 := Fig1()
+			return func(w io.Writer) { PrintFig1(w, f1) }, nil
+		},
+		func() (func(io.Writer), error) {
+			f4, err := Fig4(r, opts)
+			return func(w io.Writer) { PrintFig4(w, f4) }, err
+		},
+		func() (func(io.Writer), error) {
+			t, err := Table3(r, opts)
+			return func(w io.Writer) { PrintRateTable(w, t) }, err
+		},
+		func() (func(io.Writer), error) {
+			t, err := Table4(r, opts)
+			return func(w io.Writer) { PrintRateTable(w, t) }, err
+		},
+		func() (func(io.Writer), error) {
+			t, err := Table5(r, opts)
+			return func(w io.Writer) { PrintRateTable(w, t) }, err
+		},
+		func() (func(io.Writer), error) {
+			wt, err := WriteTraffic(r, opts)
+			return func(w io.Writer) { PrintWriteTraffic(w, wt) }, err
+		},
+		func() (func(io.Writer), error) {
+			f5, err := Fig5(r, opts)
+			return func(w io.Writer) { PrintFig5(w, f5) }, err
+		},
+		func() (func(io.Writer), error) {
+			f6, err := Fig6(r, opts)
+			return func(w io.Writer) { PrintFig6(w, f6) }, err
+		},
+		func() (func(io.Writer), error) {
+			f7, err := Fig7(r, opts)
+			return func(w io.Writer) { PrintFig7(w, f7) }, err
+		},
+		func() (func(io.Writer), error) {
+			f8, err := Fig8(r, opts)
+			return func(w io.Writer) { PrintFig8(w, f8) }, err
+		},
+		func() (func(io.Writer), error) {
+			t6, err := Table6(r, opts)
+			return func(w io.Writer) { PrintTable6(w, t6) }, err
+		},
+		func() (func(io.Writer), error) {
+			iq, lq, rob, err := Fig9Queues(r, opts)
+			return func(w io.Writer) {
+				PrintSweep(w, "Figure 9(a): FPU instruction queue size", "entries", iq)
+				PrintSweep(w, "Figure 9(b): FPU load queue size", "entries", lq)
+				PrintSweep(w, "Figure 9(c): FPU reorder buffer size", "entries", rob)
+			}, err
+		},
+		func() (func(io.Writer), error) {
+			f9l, err := Fig9Latencies(r, opts)
+			return func(w io.Writer) { PrintFig9Latencies(w, f9l) }, err
+		},
+	}
+	printers, err := each(len(sections), func(i int) (func(io.Writer), error) {
+		return sections[i]()
+	})
+	if err != nil {
+		return err
+	}
 	div := strings.Repeat("-", 72)
-	PrintFig1(w, Fig1())
-	fmt.Fprintln(w, div)
-
-	f4, err := Fig4(opts)
-	if err != nil {
-		return err
-	}
-	PrintFig4(w, f4)
-	fmt.Fprintln(w, div)
-
-	for _, gen := range []func(Options) (*RateTable, error){Table3, Table4, Table5} {
-		t, err := gen(opts)
-		if err != nil {
-			return err
+	for i, print := range printers {
+		print(w)
+		if i < len(printers)-1 {
+			fmt.Fprintln(w, div)
 		}
-		PrintRateTable(w, t)
-		fmt.Fprintln(w, div)
 	}
-
-	wt, err := WriteTraffic(opts)
-	if err != nil {
-		return err
-	}
-	PrintWriteTraffic(w, wt)
-	fmt.Fprintln(w, div)
-
-	f5, err := Fig5(opts)
-	if err != nil {
-		return err
-	}
-	PrintFig5(w, f5)
-	fmt.Fprintln(w, div)
-
-	f6, err := Fig6(opts)
-	if err != nil {
-		return err
-	}
-	PrintFig6(w, f6)
-	fmt.Fprintln(w, div)
-
-	f7, err := Fig7(opts)
-	if err != nil {
-		return err
-	}
-	PrintFig7(w, f7)
-	fmt.Fprintln(w, div)
-
-	f8, err := Fig8(opts)
-	if err != nil {
-		return err
-	}
-	PrintFig8(w, f8)
-	fmt.Fprintln(w, div)
-
-	t6, err := Table6(opts)
-	if err != nil {
-		return err
-	}
-	PrintTable6(w, t6)
-	fmt.Fprintln(w, div)
-
-	iq, lq, rob, err := Fig9Queues(opts)
-	if err != nil {
-		return err
-	}
-	PrintSweep(w, "Figure 9(a): FPU instruction queue size", "entries", iq)
-	PrintSweep(w, "Figure 9(b): FPU load queue size", "entries", lq)
-	PrintSweep(w, "Figure 9(c): FPU reorder buffer size", "entries", rob)
-	fmt.Fprintln(w, div)
-
-	f9l, err := Fig9Latencies(opts)
-	if err != nil {
-		return err
-	}
-	PrintFig9Latencies(w, f9l)
 	return nil
 }

@@ -40,17 +40,24 @@ func (o Options) sweep() Options {
 	return Options{Budget: b, SweepBudget: b}
 }
 
+// effectiveBudget resolves Options.Budget to the per-workload instruction
+// budget actually simulated (0 selects the workload's default with headroom:
+// kernels halt on their own). Runner keys memo entries by this value so
+// explicit and defaulted budgets collapse to one job.
+func effectiveBudget(w *workloads.Workload, opts Options) uint64 {
+	if opts.Budget != 0 {
+		return opts.Budget
+	}
+	return w.DefaultBudget * 4
+}
+
 // run executes one workload on one configuration.
 func run(cfg core.Config, w *workloads.Workload, opts Options) (*core.Report, error) {
 	m, err := w.NewMachine()
 	if err != nil {
 		return nil, err
 	}
-	budget := opts.Budget
-	if budget == 0 {
-		budget = w.DefaultBudget * 4
-	}
-	stream := &machineStream{m: m, budget: budget}
+	stream := &machineStream{m: m, budget: effectiveBudget(w, opts)}
 	var src trace.Stream = stream
 	if opts.Scheduled {
 		src = trace.NewReschedule(stream)
@@ -70,34 +77,45 @@ type machineStream struct {
 	m      *vm.Machine
 	budget uint64
 	n      uint64
+	err    error
 }
 
 func (s *machineStream) Next() (trace.Record, bool) {
-	if s.m.Halted() || s.n >= s.budget {
+	if s.err != nil || s.m.Halted() || s.n >= s.budget {
 		return trace.Record{}, false
 	}
 	rec, err := s.m.Step()
 	if err != nil {
+		// A clean halt ends the stream; a fault is recorded so the run
+		// fails instead of reporting a truncated trace's CPI as success.
+		if !vm.IsHalt(err) {
+			s.err = err
+		}
 		return trace.Record{}, false
 	}
 	s.n++
 	return rec, true
 }
 
-func (s *machineStream) Err() error { return nil }
+func (s *machineStream) Err() error { return s.err }
 
-// suiteCPI runs a whole suite on one configuration, returning the per-bench
-// CPIs and summary statistics.
-func suiteCPI(cfg core.Config, suite []*workloads.Workload, opts Options) (per []BenchCPI, min, max, avg float64, err error) {
+// suiteCPI runs a whole suite on one configuration through the runner,
+// returning the per-bench CPIs and summary statistics in suite order.
+func suiteCPI(r *Runner, cfg core.Config, suite []*workloads.Workload, opts Options) (per []BenchCPI, min, max, avg float64, err error) {
+	if len(suite) == 0 {
+		return nil, 0, 0, 0, fmt.Errorf("harness: empty workload suite for config %q", cfg.Name)
+	}
+	reps, err := each(len(suite), func(i int) (*core.Report, error) {
+		return r.Run(cfg, suite[i], opts)
+	})
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
 	min, max = 1e9, 0
 	var sum float64
-	for _, w := range suite {
-		rep, e := run(cfg, w, opts)
-		if e != nil {
-			return nil, 0, 0, 0, e
-		}
-		c := rep.CPI()
-		per = append(per, BenchCPI{Bench: w.Name, CPI: c, Report: rep})
+	for i, w := range suite {
+		c := reps[i].CPI()
+		per = append(per, BenchCPI{Bench: w.Name, CPI: c, Report: reps[i]})
 		if c < min {
 			min = c
 		}

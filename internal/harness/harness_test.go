@@ -8,6 +8,11 @@ import (
 	"aurora/internal/core"
 )
 
+// testRunner is shared across the package tests: the memo table lets tests
+// that revisit the same configurations (Tables 3-5, Figures 6-7) reuse each
+// other's simulations, exactly as Render does.
+var testRunner = NewRunner(0)
+
 // Harness tests run at Quick scale: they verify structure, bounds and
 // rendering rather than the calibrated values (integration tests and the
 // bench targets cover those at full scale).
@@ -32,7 +37,7 @@ func TestFig1Fit(t *testing.T) {
 }
 
 func TestFig4Structure(t *testing.T) {
-	pts, err := Fig4(Quick())
+	pts, err := Fig4(testRunner, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,8 +65,8 @@ func TestFig4Structure(t *testing.T) {
 }
 
 func TestRateTablesStructure(t *testing.T) {
-	for _, gen := range []func(Options) (*RateTable, error){Table3, Table4, Table5} {
-		tab, err := gen(Quick())
+	for _, gen := range []func(*Runner, Options) (*RateTable, error){Table3, Table4, Table5} {
+		tab, err := gen(testRunner, Quick())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,7 +84,7 @@ func TestRateTablesStructure(t *testing.T) {
 }
 
 func TestFig6Conservation(t *testing.T) {
-	rows, err := Fig6(Quick())
+	rows, err := Fig6(testRunner, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +103,7 @@ func TestFig6Conservation(t *testing.T) {
 }
 
 func TestFig7Monotone(t *testing.T) {
-	pts, err := Fig7(Quick())
+	pts, err := Fig7(testRunner, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +122,7 @@ func TestFig7Monotone(t *testing.T) {
 }
 
 func TestFig8CallOuts(t *testing.T) {
-	pts, err := Fig8(Quick())
+	pts, err := Fig8(testRunner, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +147,7 @@ func TestFig8CallOuts(t *testing.T) {
 }
 
 func TestTable6Structure(t *testing.T) {
-	rows, err := Table6(Quick())
+	rows, err := Table6(testRunner, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +165,7 @@ func TestTable6Structure(t *testing.T) {
 }
 
 func TestFig9QueuesShape(t *testing.T) {
-	iq, lq, rob, err := Fig9Queues(Quick())
+	iq, lq, rob, err := Fig9Queues(testRunner, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +182,7 @@ func TestFig9QueuesShape(t *testing.T) {
 }
 
 func TestFig9LatencyShape(t *testing.T) {
-	res, err := Fig9Latencies(Quick())
+	res, err := Fig9Latencies(testRunner, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +209,7 @@ func TestFig9LatencyShape(t *testing.T) {
 }
 
 func TestWriteTrafficOrdering(t *testing.T) {
-	wt, err := WriteTraffic(Quick())
+	wt, err := WriteTraffic(testRunner, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +223,7 @@ func TestExtensionsRun(t *testing.T) {
 		t.Skip("extensions at quick scale still cost ~30s")
 	}
 	var buf bytes.Buffer
-	if err := RenderExtensions(&buf, Quick()); err != nil {
+	if err := RenderExtensions(&buf, testRunner, Quick()); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
@@ -249,7 +254,7 @@ func TestRenderQuickSmoke(t *testing.T) {
 		t.Skip("full render costs minutes")
 	}
 	var buf bytes.Buffer
-	if err := Render(&buf, Quick()); err != nil {
+	if err := Render(&buf, testRunner, Quick()); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{

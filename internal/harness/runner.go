@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"aurora/internal/core"
+	"aurora/internal/workloads"
+)
+
+// Runner is the parallel experiment engine. It schedules (config, workload,
+// budget, scheduled) simulation jobs onto a bounded worker pool and memoizes
+// completed runs by a canonical job key, so experiments that share a
+// configuration — Figure 4's dual-issue points, Tables 3-5, Figure 6 and the
+// write-traffic study all run the Table 1 models on the integer suite —
+// simulate each distinct job exactly once.
+//
+// Every figure assembles its results in input order, so output is
+// byte-identical regardless of the worker count: each job is a deterministic
+// function of its key, and scheduling only changes when a job runs, never
+// what it computes.
+type Runner struct {
+	sem chan struct{} // bounds concurrently simulating jobs
+
+	mu     sync.Mutex
+	memo   map[jobKey]*memoEntry
+	hits   uint64
+	misses uint64
+}
+
+// jobKey canonically identifies one simulation. Budget is the effective
+// per-workload budget (an Options.Budget of 0 resolves to the workload's
+// default before keying, so explicit and defaulted budgets collapse).
+type jobKey struct {
+	config    string // core.Config.Fingerprint()
+	workload  string
+	budget    uint64
+	scheduled bool
+}
+
+// memoEntry holds one job's result. The first requester computes it inside
+// the once; later requesters block on the once and share the result.
+type memoEntry struct {
+	once sync.Once
+	rep  *core.Report
+	err  error
+}
+
+// NewRunner returns a runner with the given worker-pool size;
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		sem:  make(chan struct{}, workers),
+		memo: map[jobKey]*memoEntry{},
+	}
+}
+
+// Workers returns the worker-pool size.
+func (r *Runner) Workers() int { return cap(r.sem) }
+
+// RunnerStats reports memo-table behaviour: Misses counts distinct jobs
+// simulated, Hits counts jobs answered from (or coalesced onto) an existing
+// entry.
+type RunnerStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Stats returns a snapshot of the memo-table counters.
+func (r *Runner) Stats() RunnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RunnerStats{Hits: r.hits, Misses: r.misses}
+}
+
+// Run executes one workload on one configuration under the worker pool,
+// returning the memoized report when an identical job has already run.
+// Reports are shared between hits and must be treated as read-only.
+func (r *Runner) Run(cfg core.Config, w *workloads.Workload, opts Options) (*core.Report, error) {
+	opts.Budget = effectiveBudget(w, opts)
+	key := jobKey{
+		config:    cfg.Fingerprint(),
+		workload:  w.Name,
+		budget:    opts.Budget,
+		scheduled: opts.Scheduled,
+	}
+	r.mu.Lock()
+	e, ok := r.memo[key]
+	if ok {
+		r.hits++
+	} else {
+		e = &memoEntry{}
+		r.memo[key] = e
+		r.misses++
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		r.sem <- struct{}{}
+		defer func() { <-r.sem }()
+		e.rep, e.err = run(cfg, w, opts)
+	})
+	return e.rep, e.err
+}
+
+// RunWorkload is Run with the root-package budget convention:
+// maxInstr = 0 selects the workload's default budget.
+func (r *Runner) RunWorkload(cfg core.Config, w *workloads.Workload, maxInstr uint64) (*core.Report, error) {
+	return r.Run(cfg, w, Options{Budget: maxInstr})
+}
+
+// RunScheduledWorkload is RunWorkload with the §6 compiler-scheduling trace
+// pass applied; scheduled and unscheduled runs memoize separately.
+func (r *Runner) RunScheduledWorkload(cfg core.Config, w *workloads.Workload, maxInstr uint64) (*core.Report, error) {
+	return r.Run(cfg, w, Options{Budget: maxInstr, Scheduled: true})
+}
+
+// each runs fn(0) .. fn(n-1) concurrently and collects the results in input
+// order; the first error in input order wins. Goroutines are cheap and the
+// runner's semaphore bounds the actual simulation work, so callers fan out
+// one goroutine per job regardless of pool size.
+func each[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

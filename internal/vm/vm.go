@@ -19,6 +19,13 @@ import (
 // errHaltReturn signals the clean "returned from main to address 0" halt.
 var errHaltReturn = errors.New("vm: halted (returned to address 0)")
 
+// IsHalt reports whether err is the clean end-of-program halt rather than an
+// execution fault. Trace producers use it to distinguish "the program ended"
+// (end of stream) from "the program crashed" (a stream error the timing run
+// must surface). Note Step also marks the machine halted on a fault, so
+// Halted() alone cannot make this distinction.
+func IsHalt(err error) bool { return errors.Is(err, errHaltReturn) }
+
 // StackTop is the initial stack pointer (stack grows down).
 const StackTop = 0x7fff_fff0
 
