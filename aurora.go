@@ -28,6 +28,7 @@ import (
 	"aurora/internal/harness"
 	"aurora/internal/mem"
 	"aurora/internal/mmu"
+	"aurora/internal/obs"
 	"aurora/internal/rbe"
 	"aurora/internal/trace"
 	"aurora/internal/vm"
@@ -157,6 +158,14 @@ func (s *machineStream) Err() error { return s.err }
 // bounds the dynamic instruction count (0 uses the workload's default
 // budget, which covers the kernel's full natural run).
 func Run(cfg Config, w *Workload, maxInstr uint64) (*Report, error) {
+	return RunObserved(cfg, w, maxInstr, nil)
+}
+
+// RunObserved is Run with an observability sink attached (see internal/obs):
+// the simulator streams timeline events and, at the sink's sampling
+// interval, per-interval metric batches. A nil sink is exactly Run — the
+// timing model stays on its zero-cost path, so the Report is identical.
+func RunObserved(cfg Config, w *Workload, maxInstr uint64, sink obs.Sink) (*Report, error) {
 	m, err := w.NewMachine()
 	if err != nil {
 		return nil, err
@@ -168,6 +177,9 @@ func Run(cfg Config, w *Workload, maxInstr uint64) (*Report, error) {
 	p, err := core.NewProcessor(cfg, stream)
 	if err != nil {
 		return nil, err
+	}
+	if sink != nil {
+		p.Attach(sink)
 	}
 	rep, err := p.Run(0)
 	if err != nil {

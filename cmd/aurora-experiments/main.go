@@ -52,6 +52,12 @@ func main() {
 		workers    = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
 		csvDir     = flag.String("csv", "", "also write one CSV per artifact into this directory")
 		extensions = flag.Bool("extensions", false, "also run the extension studies")
+
+		metricsOut      = flag.String("metrics-out", "", "write a per-interval metrics time series for every distinct simulation (long-format CSV)")
+		metricsInterval = flag.Uint64("metrics-interval", 10000, "sampling interval in cycles for -metrics-out")
+		traceOut        = flag.String("trace-out", "", "write a Chrome trace-event JSON covering every distinct simulation's trace window")
+		traceCycles     = flag.Uint64("trace-cycles", 50000, "trace window length in cycles (from cycle 0) for -trace-out")
+		pprofAddr       = flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -60,6 +66,27 @@ func main() {
 	opts := resolveOptions(*quick, set, *budget, *sweep)
 
 	runner := harness.NewRunner(*workers)
+	if *pprofAddr != "" {
+		addr, err := harness.ServeDebug(*pprofAddr, runner)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aurora-experiments: pprof:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("debug server on http://%s/debug/pprof/\n", addr)
+	}
+	var collector *harness.ObsCollector
+	if *metricsOut != "" || *traceOut != "" {
+		interval := uint64(0)
+		if *metricsOut != "" {
+			interval = *metricsInterval
+		}
+		cycles := uint64(0)
+		if *traceOut != "" {
+			cycles = *traceCycles
+		}
+		collector = harness.NewObsCollector(interval, 0, cycles)
+		runner.Observe = collector.Sink
+	}
 	start := time.Now()
 	if err := harness.Render(os.Stdout, runner, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "aurora-experiments:", err)
@@ -85,7 +112,36 @@ func main() {
 		}
 		fmt.Printf("CSV artifacts written to %s\n", *csvDir)
 	}
+	if collector != nil {
+		if *metricsOut != "" {
+			if err := writeFile(*metricsOut, collector.WriteMetricsCSV); err != nil {
+				fmt.Fprintln(os.Stderr, "aurora-experiments: metrics:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("metrics time series written to %s\n", *metricsOut)
+		}
+		if *traceOut != "" {
+			if err := writeFile(*traceOut, collector.WriteChromeTrace); err != nil {
+				fmt.Fprintln(os.Stderr, "aurora-experiments: trace:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("Chrome trace written to %s\n", *traceOut)
+		}
+	}
 	st := runner.Stats()
 	fmt.Printf("\nregenerated all tables and figures in %s (%d workers; %d simulations, %d memo hits)\n",
 		time.Since(start).Round(time.Second), runner.Workers(), st.Misses, st.Hits)
+}
+
+// writeFile creates path and streams gen's output into it.
+func writeFile(path string, gen func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = gen(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

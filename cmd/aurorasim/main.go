@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"aurora"
+	"aurora/internal/obs"
 )
 
 func main() {
@@ -35,6 +36,12 @@ func main() {
 		precise  = flag.Bool("precise", false, "FPU precise-exception mode (§3.1)")
 		withMMU  = flag.Bool("mmu", false, "enable the structured MMU model (extension)")
 		nofold   = flag.Bool("nofold", false, "disable branch folding (ablation)")
+
+		metricsOut      = flag.String("metrics-out", "", "write a per-interval metrics time series (CSV, or JSONL with a .jsonl suffix)")
+		metricsInterval = flag.Uint64("metrics-interval", 10000, "sampling interval in cycles for -metrics-out")
+		traceOut        = flag.String("trace-out", "", "write a Chrome trace-event JSON (load in Perfetto / chrome://tracing)")
+		traceFrom       = flag.Uint64("trace-from", 0, "first cycle captured by -trace-out")
+		traceCycles     = flag.Uint64("trace-cycles", 200000, "trace window length in cycles for -trace-out (0 = to end of run)")
 	)
 	flag.Parse()
 
@@ -92,9 +99,37 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := aurora.Run(cfg, w, *instr)
+
+	var sampler *obs.IntervalSampler
+	var tracer *obs.TraceSink
+	var sinks []obs.Sink
+	if *metricsOut != "" {
+		sampler = obs.NewIntervalSampler(*metricsInterval)
+		sinks = append(sinks, sampler)
+	}
+	if *traceOut != "" {
+		end := uint64(0)
+		if *traceCycles > 0 {
+			end = *traceFrom + *traceCycles
+		}
+		tracer = obs.NewTraceSink(*traceFrom, end)
+		sinks = append(sinks, tracer)
+	}
+
+	rep, err := aurora.RunObserved(cfg, w, *instr, obs.Multi(sinks...))
 	if err != nil {
 		fatal(err)
+	}
+	if sampler != nil {
+		sampler.Flush()
+		if err := writeMetrics(*metricsOut, sampler); err != nil {
+			fatal(err)
+		}
+	}
+	if tracer != nil {
+		if err := writeTrace(*traceOut, tracer, w.Name+" on "+cfg.Name); err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("workload %s (%s): %s\n", w.Name, w.Suite, w.Description)
@@ -102,8 +137,8 @@ func main() {
 	fmt.Print(rep)
 	fmt.Printf("  dual-issue rate %.1f%%  BIU reads %d writes %d (avg read latency %.1f)\n",
 		100*rep.DualIssueRate(), rep.BIU.Reads, rep.BIU.Writes, rep.BIU.AvgReadLatency())
-	fmt.Printf("  MSHR utilisation %.2f  FPU issued %d (dual cycles %d)\n",
-		rep.MSHRUtilisation, rep.FPU.Issued, rep.FPU.DualIssues)
+	fmt.Printf("  FPU issued %d (dual cycles %d)\n",
+		rep.FPU.Issued, rep.FPU.DualIssues)
 	if *withMMU {
 		fmt.Printf("  MMU: TLB miss %.3f%%  L2 hit %.1f%%\n",
 			100*rep.MMU.TLBMissRate(), 100*rep.MMU.L2HitRate())
@@ -111,6 +146,34 @@ func main() {
 	if *victim > 0 {
 		fmt.Printf("  victim cache: %d probes, %d hits\n", rep.VictimProbes, rep.VictimHits)
 	}
+}
+
+func writeMetrics(path string, s *obs.IntervalSampler) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = s.WriteJSONL(f)
+	} else {
+		err = s.WriteCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func writeTrace(path string, t *obs.TraceSink, processName string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = t.WriteJSON(f, processName)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fatal(err error) {

@@ -6,7 +6,11 @@
 // page-match write validation.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"aurora/internal/obs"
+)
 
 // TagArray is a direct-mapped cache tag array.
 type TagArray struct {
@@ -17,6 +21,16 @@ type TagArray struct {
 
 	accesses uint64
 	misses   uint64
+
+	probe *obs.Probe
+	track string
+}
+
+// SetProbe attaches the observability probe; track names the timeline lane
+// ("icache", "dcache") the array's miss events land on.
+func (c *TagArray) SetProbe(p *obs.Probe, track string) {
+	c.probe = p
+	c.track = track
 }
 
 // NewTagArray creates a direct-mapped tag array of the given total size and
@@ -69,6 +83,9 @@ func (c *TagArray) Lookup(addr uint32) bool {
 		return true
 	}
 	c.misses++
+	if c.probe != nil {
+		c.probe.Instant("cache", "miss", c.track, uint64(addr))
+	}
 	return false
 }
 

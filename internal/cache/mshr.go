@@ -1,5 +1,7 @@
 package cache
 
+import "aurora/internal/obs"
+
 // MSHRFile models the Miss Status Holding Registers (Kroft's lockup-free
 // cache structure, paper §2.3). In the Aurora III an MSHR is reserved for
 // *every* memory instruction active in the LSU, from dispatch until its data
@@ -14,7 +16,13 @@ type MSHRFile struct {
 	stallFull  uint64
 	peakInUse  int
 	cycleInUse uint64 // integral of occupancy over cycles, for utilisation
+
+	probe *obs.Probe
 }
+
+// SetProbe attaches the observability probe: every occupancy change emits a
+// counter event on the "mshr" track.
+func (f *MSHRFile) SetProbe(p *obs.Probe) { f.probe = p }
 
 // NewMSHRFile creates a file with n registers (n ≥ 1).
 func NewMSHRFile(n int) *MSHRFile {
@@ -44,6 +52,9 @@ func (f *MSHRFile) Allocate() bool {
 	if f.inUse > f.peakInUse {
 		f.peakInUse = f.inUse
 	}
+	if f.probe != nil {
+		f.probe.Counter("cache", "mshr", uint64(f.inUse))
+	}
 	return true
 }
 
@@ -53,6 +64,9 @@ func (f *MSHRFile) Release() {
 		panic("cache: MSHR release without allocate")
 	}
 	f.inUse--
+	if f.probe != nil {
+		f.probe.Counter("cache", "mshr", uint64(f.inUse))
+	}
 }
 
 // TickOccupancy accumulates the occupancy integral; call once per cycle.
@@ -66,6 +80,11 @@ func (f *MSHRFile) FullStalls() uint64 { return f.stallFull }
 
 // Peak returns the peak occupancy.
 func (f *MSHRFile) Peak() int { return f.peakInUse }
+
+// OccupancyIntegral returns the accumulated occupancy-over-cycles integral
+// (the numerator of Utilisation) — the interval sampler differences it to
+// produce per-interval mean occupancy.
+func (f *MSHRFile) OccupancyIntegral() uint64 { return f.cycleInUse }
 
 // Utilisation returns mean occupancy over the given cycle count.
 func (f *MSHRFile) Utilisation(cycles uint64) float64 {

@@ -1,5 +1,7 @@
 package cache
 
+import "aurora/internal/obs"
+
 // VictimCache is a small fully-associative cache holding lines recently
 // evicted from a direct-mapped cache — the companion structure to stream
 // buffers in Jouppi's paper [7], which the Aurora III paper cites for its
@@ -13,7 +15,13 @@ type VictimCache struct {
 
 	probes uint64
 	hits   uint64
+
+	probe *obs.Probe
 }
+
+// SetProbe attaches the observability probe: swap-back hits emit instants
+// on the "victim" track.
+func (v *VictimCache) SetProbe(p *obs.Probe) { v.probe = p }
 
 type victimLine struct {
 	valid bool
@@ -40,6 +48,9 @@ func (v *VictimCache) Probe(lineAddr uint32) bool {
 		if v.lines[i].valid && v.lines[i].tag == lineAddr {
 			v.lines[i].valid = false
 			v.hits++
+			if v.probe != nil {
+				v.probe.Instant("cache", "victim-hit", "victim", uint64(lineAddr))
+			}
 			return true
 		}
 	}

@@ -1,5 +1,7 @@
 package cache
 
+import "aurora/internal/obs"
+
 // WriteCache is the LSU's fully-associative coalescing write buffer
 // (paper §2.3, after Jouppi's write-cache proposal). Stores deposit words
 // into lines of eight words; repeated stores to the same line coalesce into
@@ -24,7 +26,13 @@ type WriteCache struct {
 	transactions   uint64 // evictions of dirty lines = BIU write transactions
 	pageMatches    uint64 // stores validated by the micro-TLB page check
 	pageMissChecks uint64 // stores that would have required an MMU query
+
+	probe *obs.Probe
 }
+
+// SetProbe attaches the observability probe: dirty-line evictions (BIU
+// write transactions) emit instants on the "wc" track.
+func (w *WriteCache) SetProbe(p *obs.Probe) { w.probe = p }
 
 type wcLine struct {
 	valid bool
@@ -118,6 +126,9 @@ func (w *WriteCache) Store(addr uint32) (hit bool, ev *Eviction) {
 	if victim.valid && victim.mask != 0 {
 		ev = &Eviction{LineAddr: victim.tag, Words: popcount(victim.mask)}
 		w.transactions++
+		if w.probe != nil {
+			w.probe.Instant("cache", "wc-evict", "wc", uint64(victim.tag))
+		}
 	}
 	victim.valid = true
 	victim.tag = la

@@ -8,6 +8,7 @@ import (
 	"aurora/internal/isa"
 	"aurora/internal/mem"
 	"aurora/internal/mmu"
+	"aurora/internal/obs"
 	"aurora/internal/prefetch"
 	"aurora/internal/trace"
 )
@@ -47,6 +48,15 @@ type Processor struct {
 	instructions uint64
 	dualIssues   uint64
 	stalls       [NumStallCauses]uint64
+
+	// Observability (internal/obs): probe is nil unless Attach was called,
+	// keeping the hot loop on a single-branch fast path.
+	probe        *obs.Probe
+	sampleEvery  uint64
+	nextSampleAt uint64
+	lastSampleAt uint64
+	sampledAny   bool
+	prevSamp     sampleSnap
 }
 
 // NewProcessor builds a processor over a dynamic trace stream.
@@ -108,6 +118,10 @@ func (p *Processor) Run(maxCycles uint64) (*Report, error) {
 		p.issue()
 		p.ifu.Tick(p.now)
 		p.pfu.Tick(p.now, p.biu)
+		if p.sampleEvery != 0 && p.now >= p.nextSampleAt {
+			p.emitSample()
+			p.nextSampleAt += p.sampleEvery
+		}
 	}
 	// A trace that ended because the producer faulted must fail the run:
 	// the retired prefix would otherwise report a plausible but wrong CPI.
@@ -116,6 +130,11 @@ func (p *Processor) Run(maxCycles uint64) (*Report, error) {
 			p.instructions, err)
 	}
 	p.lsu.FlushWriteCache(p.now)
+	// Close the final (possibly partial) sampling interval after the flush
+	// so the time series' totals reconcile exactly with the Report.
+	if p.sampleEvery != 0 {
+		p.emitSample()
+	}
 	return p.report(), nil
 }
 
@@ -147,6 +166,9 @@ func (p *Processor) issue() {
 		if len(q) == 0 {
 			if issued == 0 && !p.ifu.Done() {
 				p.stalls[StallICache]++
+				if p.probe != nil {
+					p.probe.Instant("core", stallNames[StallICache], "issue", 0)
+				}
 			}
 			break
 		}
@@ -158,6 +180,9 @@ func (p *Processor) issue() {
 		if !ok {
 			if issued == 0 {
 				p.stalls[cause]++
+				if p.probe != nil {
+					p.probe.Instant("core", stallNames[cause], "issue", 0)
+				}
 			}
 			break
 		}

@@ -186,6 +186,8 @@ func (r *Report) String() string {
 		100*r.IPrefetchHitRate(), 100*r.DPrefetchHitRate())
 	fmt.Fprintf(&b, "  write cache hit %.1f%%  traffic ratio %.2f\n",
 		100*r.WriteCacheHitRate(), r.WriteTrafficRatio())
+	fmt.Fprintf(&b, "  write validation %.1f%%  MSHR utilisation %.3f\n",
+		100*r.WriteValidationRate(), r.MSHRUtilisation)
 	fmt.Fprintf(&b, "  stalls:")
 	for c := StallCause(0); c < NumStallCauses; c++ {
 		fmt.Fprintf(&b, " %s %.3f", c, r.StallCPI(c))

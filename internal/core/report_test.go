@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"aurora/internal/mem"
+)
+
+// TestReportStringGolden pins the rendered report format, in particular the
+// §2.3 write-validation rate and the MSHR-utilisation lines (both were once
+// collected but omitted from the summary).
+func TestReportStringGolden(t *testing.T) {
+	r := &Report{
+		Config:       Config{Name: "baseline", IssueWidth: 2, Memory: mem.Config{Latency: 17}},
+		Instructions: 1000,
+		Cycles:       1500,
+		Stalls: [NumStallCauses]uint64{
+			StallICache: 10, StallLoad: 200, StallROBFull: 30,
+			StallLSUBusy: 40, StallFPU: 0, StallOther: 20,
+		},
+		ICacheAccesses: 800, ICacheMisses: 8,
+		DCacheAccesses: 400, DCacheMisses: 40,
+		IPrefetchProbes: 8, IPrefetchHits: 6,
+		DPrefetchProbes: 40, DPrefetchHits: 30,
+		WCAccesses: 300, WCHits: 150, WCStores: 100, WCTransactions: 25,
+		WCPageMatches: 99, WCPageMissChecks: 1,
+		MSHRUtilisation: 0.875,
+	}
+	want := "model=baseline issue=2 latency=17\n" +
+		"  instructions 1000  cycles 1500  CPI 1.500\n" +
+		"  icache hit 99.00%  dcache hit 90.00%\n" +
+		"  prefetch hit I 75.0%  D 75.0%\n" +
+		"  write cache hit 50.0%  traffic ratio 0.25\n" +
+		"  write validation 99.0%  MSHR utilisation 0.875\n" +
+		"  stalls: ICache 0.010 Load 0.200 ROB-full 0.030 LSU-busy 0.040 FPU 0.000 Other 0.020\n"
+	if got := r.String(); got != want {
+		t.Errorf("Report.String() mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

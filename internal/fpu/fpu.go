@@ -11,6 +11,7 @@ package fpu
 
 import (
 	"aurora/internal/isa"
+	"aurora/internal/obs"
 	"aurora/internal/trace"
 )
 
@@ -188,7 +189,21 @@ type FPU struct {
 	activeUntil uint64
 
 	lastIssued trace.Record // first-slot instruction of the current cycle
+
+	probe *obs.Probe
 }
+
+// unitNames and unitTracks label functional-unit issue spans on the
+// timeline, precomputed so emission never builds strings.
+var (
+	unitNames  = [unitCount]string{UnitAdd: "add", UnitMul: "mul", UnitDiv: "div", UnitCvt: "cvt"}
+	unitTracks = [unitCount]string{UnitAdd: "fpu-add", UnitMul: "fpu-mul", UnitDiv: "fpu-div", UnitCvt: "fpu-cvt"}
+)
+
+// SetProbe attaches the observability probe: functional-unit occupancy
+// spans land on per-unit tracks, instruction-queue occupancy on the
+// "fpu-iq" counter series.
+func (f *FPU) SetProbe(p *obs.Probe) { f.probe = p }
 
 // New creates an FPU.
 func New(cfg Config) *FPU {
@@ -373,6 +388,9 @@ func (f *FPU) DispatchInstr(rec trace.Record, now uint64) {
 	}
 	f.iq = append(f.iq, q)
 	f.stats.Dispatched++
+	if f.probe != nil {
+		f.probe.Counter("fpu", "fpu-iq", uint64(len(f.iq)))
+	}
 }
 
 // CanDispatchLoad reports whether the load data queue has a free slot.
@@ -484,11 +502,16 @@ func (f *FPU) tickInOrder(now uint64) {
 		f.stats.SrcNotReady++
 		return
 	}
-	lat := f.latencyOf(unitOf(head.rec.Class))
+	u := unitOf(head.rec.Class)
+	lat := f.latencyOf(u)
 	f.complete(head, now+uint64(lat))
 	f.activeUntil = now + uint64(lat)
 	f.iq = f.iq[1:]
 	f.stats.Issued++
+	if f.probe != nil {
+		f.probe.Span(uint64(lat), "fpu", unitNames[u], unitTracks[u], 0)
+		f.probe.Counter("fpu", "fpu-iq", uint64(len(f.iq)))
+	}
 }
 
 // issueHead attempts to issue the current queue head. For the second slot
@@ -539,6 +562,10 @@ func (f *FPU) issueHead(now uint64, prev *trace.Record) bool {
 	f.iq = f.iq[1:]
 	f.lastIssued = rec
 	f.stats.Issued++
+	if f.probe != nil {
+		f.probe.Span(lat, "fpu", unitNames[u], unitTracks[u], 0)
+		f.probe.Counter("fpu", "fpu-iq", uint64(len(f.iq)))
+	}
 	return true
 }
 

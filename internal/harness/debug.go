@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"sync"
+)
+
+// Live-profiling support for long sweeps: ServeDebug exposes the standard
+// net/http/pprof endpoints plus runner memo-table counters over expvar, so a
+// running experiment batch can be profiled (`go tool pprof
+// http://addr/debug/pprof/profile`) and watched (/debug/vars) without
+// instrumenting the experiment code.
+
+var publishRunner sync.Once
+
+// ServeDebug starts an HTTP server on addr (e.g. "localhost:6060") serving
+// /debug/pprof/* and /debug/vars. The runner's memo-table statistics are
+// published under the expvar key "aurora_runner". It returns the bound
+// address (useful with a ":0" addr) once the listener is up; the server
+// itself runs in a background goroutine for the life of the process.
+func ServeDebug(addr string, r *Runner) (string, error) {
+	publishRunner.Do(func() {
+		expvar.Publish("aurora_runner", expvar.Func(func() any {
+			if r == nil {
+				return RunnerStats{}
+			}
+			s := r.Stats()
+			return map[string]any{
+				"workers": r.Workers(),
+				"hits":    s.Hits,
+				"misses":  s.Misses,
+			}
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, nil) //nolint:errcheck // debug server lives with the process
+	return ln.Addr().String(), nil
+}

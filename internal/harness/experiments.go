@@ -83,8 +83,8 @@ func Fig4(r *Runner, opts Options) ([]Fig4Point, error) {
 		for _, issue := range []int{1, 2} {
 			for _, model := range core.Models() {
 				jobs = append(jobs, job{
-					name: model.Name,
-					cfg:  model.WithLatency(latency).WithIssueWidth(issue),
+					name:  model.Name,
+					cfg:   model.WithLatency(latency).WithIssueWidth(issue),
 					issue: issue, latency: latency,
 				})
 			}

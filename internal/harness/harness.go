@@ -9,6 +9,7 @@ import (
 
 	"aurora/internal/core"
 	"aurora/internal/fpu"
+	"aurora/internal/obs"
 	"aurora/internal/trace"
 	"aurora/internal/vm"
 	"aurora/internal/workloads"
@@ -51,8 +52,9 @@ func effectiveBudget(w *workloads.Workload, opts Options) uint64 {
 	return w.DefaultBudget * 4
 }
 
-// run executes one workload on one configuration.
-func run(cfg core.Config, w *workloads.Workload, opts Options) (*core.Report, error) {
+// run executes one workload on one configuration, optionally streaming
+// observability data to sink (nil keeps the zero-cost path).
+func run(cfg core.Config, w *workloads.Workload, opts Options, sink obs.Sink) (*core.Report, error) {
 	m, err := w.NewMachine()
 	if err != nil {
 		return nil, err
@@ -65,6 +67,9 @@ func run(cfg core.Config, w *workloads.Workload, opts Options) (*core.Report, er
 	p, err := core.NewProcessor(cfg, src)
 	if err != nil {
 		return nil, err
+	}
+	if sink != nil {
+		p.Attach(sink)
 	}
 	rep, err := p.Run(0)
 	if err != nil {

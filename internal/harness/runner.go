@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"aurora/internal/core"
+	"aurora/internal/obs"
 	"aurora/internal/workloads"
 )
 
@@ -22,10 +23,28 @@ import (
 type Runner struct {
 	sem chan struct{} // bounds concurrently simulating jobs
 
+	// Observe, when non-nil, supplies a per-job observability sink (see
+	// internal/obs) for every distinct job the runner simulates. It is
+	// called exactly once per memo entry — on the miss, never on hits — so
+	// a sweep that revisits a job yields one time series per distinct
+	// simulation no matter how many experiments requested it or how many
+	// workers ran them. A nil return leaves that job unobserved. Set it
+	// before submitting jobs; it must be safe for concurrent calls.
+	Observe func(job JobInfo) obs.Sink
+
 	mu     sync.Mutex
 	memo   map[jobKey]*memoEntry
 	hits   uint64
 	misses uint64
+}
+
+// JobInfo describes one distinct simulation job to an Observe factory.
+type JobInfo struct {
+	ConfigName  string
+	Fingerprint string // core.Config.Fingerprint(): canonical config identity
+	Workload    string
+	Budget      uint64 // effective instruction budget (defaults resolved)
+	Scheduled   bool
 }
 
 // jobKey canonically identifies one simulation. Budget is the effective
@@ -100,7 +119,17 @@ func (r *Runner) Run(cfg core.Config, w *workloads.Workload, opts Options) (*cor
 	e.once.Do(func() {
 		r.sem <- struct{}{}
 		defer func() { <-r.sem }()
-		e.rep, e.err = run(cfg, w, opts)
+		var sink obs.Sink
+		if r.Observe != nil {
+			sink = r.Observe(JobInfo{
+				ConfigName:  cfg.Name,
+				Fingerprint: key.config,
+				Workload:    key.workload,
+				Budget:      key.budget,
+				Scheduled:   key.scheduled,
+			})
+		}
+		e.rep, e.err = run(cfg, w, opts, sink)
 	})
 	return e.rep, e.err
 }

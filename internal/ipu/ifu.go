@@ -4,6 +4,7 @@ import (
 	"aurora/internal/cache"
 	"aurora/internal/isa"
 	"aurora/internal/mem"
+	"aurora/internal/obs"
 	"aurora/internal/prefetch"
 	"aurora/internal/trace"
 )
@@ -89,6 +90,10 @@ func NewIFU(cfg IFUConfig, biu *mem.BIU, pfu *prefetch.Buffers, stream trace.Str
 
 // ICache exposes the instruction cache tag array (stats).
 func (f *IFU) ICache() *cache.TagArray { return f.ic }
+
+// SetProbe attaches the observability probe: instruction-cache misses land
+// on the "icache" track.
+func (f *IFU) SetProbe(p *obs.Probe) { f.ic.SetProbe(p, "icache") }
 
 // Stats returns the fetch counters.
 func (f *IFU) Stats() IFUStats { return f.stats }

@@ -9,6 +9,7 @@ package ipu
 import (
 	"aurora/internal/cache"
 	"aurora/internal/mem"
+	"aurora/internal/obs"
 	"aurora/internal/prefetch"
 )
 
@@ -94,6 +95,19 @@ type LSU struct {
 	portFreeAt uint64
 
 	stats LSUStats
+
+	probe *obs.Probe
+}
+
+// SetProbe attaches the observability probe to the LSU and every structure
+// it owns: the external data cache ("dcache" track), the MSHR file, the
+// write cache and the victim cache.
+func (l *LSU) SetProbe(p *obs.Probe) {
+	l.probe = p
+	l.dc.SetProbe(p, "dcache")
+	l.wc.SetProbe(p)
+	l.vc.SetProbe(p)
+	l.mshr.SetProbe(p)
 }
 
 // NewLSU builds the load/store unit.
@@ -170,6 +184,9 @@ func (l *LSU) Tick(now uint64) {
 			}
 			if l.portFreeAt > now {
 				l.stats.PortConflicts++
+				if l.probe != nil {
+					l.probe.Instant("lsu", "port-conflict", "lsu", uint64(op.Addr))
+				}
 				continue
 			}
 			l.access(op, now)

@@ -6,6 +6,8 @@
 // transactions); bus occupancy does not.
 package mem
 
+import "aurora/internal/obs"
+
 // Config parameterises the memory system.
 type Config struct {
 	// Latency is the average secondary-memory access time in cycles from
@@ -50,7 +52,12 @@ type BIU struct {
 
 	busFreeAt uint64
 	inflight  []pending // reads awaiting completion, doneAt ascending
+
+	probe *obs.Probe
 }
+
+// SetProbe attaches the observability probe (nil disables).
+func (b *BIU) SetProbe(p *obs.Probe) { b.probe = p }
 
 // New creates a BIU.
 func New(cfg Config) *BIU {
@@ -117,6 +124,10 @@ func (b *BIU) Read(now uint64, lineAddr uint32, cb func(now uint64)) (completeAt
 	if len(b.inflight) > b.stats.PeakInflight {
 		b.stats.PeakInflight = len(b.inflight)
 	}
+	if b.probe != nil {
+		b.probe.SpanAt(now, done-now, "mem", "read", "biu", uint64(lineAddr))
+		b.probe.Counter("mem", "biu-inflight", uint64(len(b.inflight)))
+	}
 	return done, true
 }
 
@@ -130,6 +141,9 @@ func (b *BIU) Write(now uint64) {
 	b.busFreeAt = start + uint64(b.cfg.LineTransfer)
 	b.stats.Writes++
 	b.stats.BusBusy += uint64(b.cfg.LineTransfer)
+	if b.probe != nil {
+		b.probe.SpanAt(start, uint64(b.cfg.LineTransfer), "mem", "write", "biu", 0)
+	}
 }
 
 func (b *BIU) insert(p pending) {
@@ -155,6 +169,9 @@ func (b *BIU) Tick(now uint64) {
 	done := make([]pending, n)
 	copy(done, b.inflight[:n])
 	b.inflight = b.inflight[:copy(b.inflight, b.inflight[n:])]
+	if b.probe != nil {
+		b.probe.Counter("mem", "biu-inflight", uint64(len(b.inflight)))
+	}
 	for _, p := range done {
 		p.cb(now)
 	}

@@ -1,0 +1,28 @@
+package obs
+
+import "testing"
+
+// BenchmarkNilProbe is the zero-cost guard: the disabled path (a nil *Probe,
+// the state of every unobserved simulation) must not allocate and must stay
+// in the low single nanoseconds per call site.
+func BenchmarkNilProbe(b *testing.B) {
+	var p *Probe
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Instant("cache", "miss", "dcache", uint64(i))
+		p.Span(4, "mem", "read", "biu", uint64(i))
+		p.Counter("cache", "mshr", uint64(i))
+		p.Sample("cpi", KindGauge, 1.0)
+	}
+}
+
+// BenchmarkEnabledProbeTrace measures the enabled path into a windowed trace
+// sink whose window has closed (the steady state of a bounded trace).
+func BenchmarkEnabledProbeTrace(b *testing.B) {
+	var clock uint64 = 1 << 20
+	p := NewProbe(NewTraceSink(0, 1000), &clock)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Instant("cache", "miss", "dcache", uint64(i))
+	}
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// TraceSink is a Sink that records Events inside a cycle window for export
+// in the Chrome trace-event JSON format (loadable by chrome://tracing and
+// Perfetto). Samples are ignored — the interval time series is the
+// IntervalSampler's job.
+type TraceSink struct {
+	start, end uint64 // window [start, end); end 0 = unbounded
+	events     []Event
+}
+
+// NewTraceSink records events with start ≤ cycle < end; end = 0 removes
+// the upper bound. Keep the window tight: a busy window produces a few
+// events per cycle.
+func NewTraceSink(start, end uint64) *TraceSink {
+	return &TraceSink{start: start, end: end}
+}
+
+// SampleInterval implements Sink (the trace sink requests no sampling).
+func (t *TraceSink) SampleInterval() uint64 { return 0 }
+
+// Sample implements Sink; ignored.
+func (t *TraceSink) Sample(Sample) {}
+
+// Event implements Sink, keeping events whose start cycle is in the window.
+func (t *TraceSink) Event(e Event) {
+	if e.Cycle < t.start || (t.end != 0 && e.Cycle >= t.end) {
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// Events returns the recorded events in arrival order.
+func (t *TraceSink) Events() []Event { return t.events }
+
+// Window returns the recording window.
+func (t *TraceSink) Window() (start, end uint64) { return t.start, t.end }
+
+// TraceProcess groups one run's events under a named Chrome-trace process,
+// so multi-job exports (one process per simulation) stay separable in the
+// viewer.
+type TraceProcess struct {
+	Name   string
+	Events []Event
+}
+
+// WriteChromeTrace writes the processes as a Chrome trace-event JSON
+// document: {"traceEvents": [...]}. One trace process per TraceProcess (pid
+// = 1 + index, named via process_name metadata), one trace thread per
+// distinct Event.Track in first-appearance order (named via thread_name
+// metadata). Cycles map to the format's microsecond timestamps 1:1, so a
+// viewer's "µs" reads as cycles.
+func WriteChromeTrace(w io.Writer, procs []TraceProcess) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","otherData":{"timeUnit":"cycles"},"traceEvents":[`)
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteString("\n")
+		bw.WriteString(s)
+	}
+	for pi, proc := range procs {
+		pid := pi + 1
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+			pid, strconv.Quote(proc.Name)))
+		tids := map[string]int{}
+		for _, e := range proc.Events {
+			tid, ok := tids[e.Track]
+			if !ok {
+				tid = 1 + len(tids)
+				tids[e.Track] = tid
+				emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+					pid, tid, strconv.Quote(e.Track)))
+			}
+			switch e.Phase {
+			case PhaseComplete:
+				emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{"v":%d}}`,
+					strconv.Quote(e.Name), strconv.Quote(e.Cat), e.Cycle, e.Dur, pid, tid, e.Arg))
+			case PhaseInstant:
+				emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"v":%d}}`,
+					strconv.Quote(e.Name), strconv.Quote(e.Cat), e.Cycle, pid, tid, e.Arg))
+			case PhaseCounter:
+				emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"C","ts":%d,"pid":%d,"tid":%d,"args":{"value":%d}}`,
+					strconv.Quote(e.Name), strconv.Quote(e.Cat), e.Cycle, pid, tid, e.Arg))
+			}
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// WriteJSON writes this sink's events as a single-process Chrome trace.
+func (t *TraceSink) WriteJSON(w io.Writer, processName string) error {
+	return WriteChromeTrace(w, []TraceProcess{{Name: processName, Events: t.events}})
+}

@@ -1,0 +1,238 @@
+// Package obs is the cycle-level observability layer of the Aurora III
+// simulator: a probe interface threaded through the timing model that costs
+// nothing when disabled and, when enabled, streams two kinds of telemetry
+// out of a run:
+//
+//   - Events — discrete timeline occurrences (a BIU read transaction, an
+//     FPU issue, a cache miss, an MSHR occupancy change) suitable for the
+//     Chrome trace-event timeline format (chrome://tracing, Perfetto).
+//   - Samples — named time-series points (CPI, stall mix, queue
+//     occupancies, hit rates) emitted by the core at a fixed cycle
+//     interval, suitable for CSV/JSONL plotting.
+//
+// # Zero cost when disabled
+//
+// Components hold a *Probe, nil by default. Every Probe method nil-checks
+// its receiver and returns immediately, so the disabled fast path is a
+// single predictable branch with no allocation: Event and Sample values are
+// plain structs built on the caller's stack only after the nil check in the
+// hot sites (which guard with `if probe != nil`). The benchmark guard in
+// the repository root asserts zero allocations on this path.
+//
+// # Clock
+//
+// The timing model's inner structures (tag arrays, the MSHR file, the
+// write cache) do not receive the cycle number in their method signatures.
+// Rather than widen every call, a Probe carries a pointer to the owning
+// Processor's cycle counter and timestamps events itself — attach-time
+// wiring, zero steady-state cost.
+//
+// # Sinks
+//
+// A Sink receives the telemetry. Concrete sinks provided here:
+//
+//   - IntervalSampler — buckets Samples into per-interval rows (counters
+//     become per-interval deltas) and writes CSV or JSONL.
+//   - TraceSink — collects Events inside a cycle window and writes
+//     Chrome trace-event JSON.
+//   - Noop — discards everything (a placeholder that keeps a probe
+//     enabled without output).
+//
+// Multi fans one probe out to several sinks. See docs/OBSERVABILITY.md for
+// the full contract, schemas and a worked example.
+package obs
+
+// Phase is the Chrome trace-event phase of an Event.
+type Phase byte
+
+// Event phases (values match the trace-event format's "ph" field).
+const (
+	// PhaseComplete is a span with a known duration ("X").
+	PhaseComplete Phase = 'X'
+	// PhaseInstant is a point-in-time occurrence ("i").
+	PhaseInstant Phase = 'i'
+	// PhaseCounter is a counter-series update ("C").
+	PhaseCounter Phase = 'C'
+)
+
+// Event is one discrete timeline occurrence inside a run.
+type Event struct {
+	// Cycle is the simulation cycle the event occurred (span start for
+	// PhaseComplete events).
+	Cycle uint64
+	// Dur is the span length in cycles (PhaseComplete only).
+	Dur uint64
+	// Phase selects the trace-event rendering.
+	Phase Phase
+	// Cat is the resource category ("mem", "cache", "fpu", "prefetch",
+	// "core", "lsu").
+	Cat string
+	// Name labels the event ("read", "miss", "mshr", ...). For
+	// PhaseCounter events it names the counter series.
+	Name string
+	// Track is the timeline lane the event belongs to ("biu", "dcache",
+	// "fpu-add", ...); each distinct track becomes one Chrome-trace thread.
+	Track string
+	// Arg is the event's value: the counter value for PhaseCounter,
+	// an address or payload for spans and instants.
+	Arg uint64
+}
+
+// MetricKind distinguishes how a Sample series accumulates.
+type MetricKind uint8
+
+// Metric kinds.
+const (
+	// KindCounter is a cumulative, monotonically non-decreasing total
+	// (instructions retired, stall cycles). Interval consumers difference
+	// successive values; the final cumulative value reconciles exactly
+	// with the end-of-run core.Report counter.
+	KindCounter MetricKind = iota
+	// KindGauge is an instantaneous or per-interval value (occupancy,
+	// an interval hit rate) consumed as-is.
+	KindGauge
+)
+
+// Sample is one named time-series point. The core emits a fixed batch of
+// Samples — all carrying the same Cycle — at every sampling boundary.
+type Sample struct {
+	Cycle uint64
+	Name  string
+	Kind  MetricKind
+	Value float64
+}
+
+// Sink receives the telemetry of one simulation run. Implementations are
+// used from a single simulation goroutine; they need no internal locking.
+type Sink interface {
+	// Event delivers one timeline event.
+	Event(e Event)
+	// Sample delivers one time-series point.
+	Sample(s Sample)
+	// SampleInterval returns the cycle period at which the model should
+	// emit Sample batches; 0 requests no sampling (events only).
+	SampleInterval() uint64
+}
+
+// Noop is a Sink that discards everything.
+var Noop Sink = noopSink{}
+
+type noopSink struct{}
+
+func (noopSink) Event(Event)            {}
+func (noopSink) Sample(Sample)          {}
+func (noopSink) SampleInterval() uint64 { return 0 }
+
+// Multi returns a Sink fanning out to every non-nil sink in sinks. It
+// returns nil when none remain (so the result can be attached directly:
+// a nil Sink means "no observability"). The combined SampleInterval is the
+// smallest non-zero interval of the members.
+func Multi(sinks ...Sink) Sink {
+	live := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiSink(live)
+}
+
+type multiSink []Sink
+
+func (m multiSink) Event(e Event) {
+	for _, s := range m {
+		s.Event(e)
+	}
+}
+
+func (m multiSink) Sample(s Sample) {
+	for _, sk := range m {
+		sk.Sample(s)
+	}
+}
+
+func (m multiSink) SampleInterval() uint64 {
+	var min uint64
+	for _, s := range m {
+		if iv := s.SampleInterval(); iv != 0 && (min == 0 || iv < min) {
+			min = iv
+		}
+	}
+	return min
+}
+
+// Probe is the nil-guarded fast path between the timing model and a Sink.
+// A nil *Probe is the disabled state: every method returns after a single
+// receiver nil check. Construct with NewProbe at attach time and distribute
+// one probe to every modelled resource.
+type Probe struct {
+	sink  Sink
+	clock *uint64
+}
+
+// NewProbe wires a sink to a cycle counter. It returns nil when sink is
+// nil, so the disabled state propagates naturally to every component.
+func NewProbe(sink Sink, clock *uint64) *Probe {
+	if sink == nil {
+		return nil
+	}
+	return &Probe{sink: sink, clock: clock}
+}
+
+// Enabled reports whether the probe delivers anywhere.
+func (p *Probe) Enabled() bool { return p != nil }
+
+// Now returns the current cycle of the attached clock (0 when disabled).
+func (p *Probe) Now() uint64 {
+	if p == nil {
+		return 0
+	}
+	return *p.clock
+}
+
+// Instant emits a point-in-time event on a track.
+func (p *Probe) Instant(cat, name, track string, arg uint64) {
+	if p == nil {
+		return
+	}
+	p.sink.Event(Event{Cycle: *p.clock, Phase: PhaseInstant, Cat: cat, Name: name, Track: track, Arg: arg})
+}
+
+// Span emits a complete event starting now and lasting dur cycles.
+func (p *Probe) Span(dur uint64, cat, name, track string, arg uint64) {
+	if p == nil {
+		return
+	}
+	p.sink.Event(Event{Cycle: *p.clock, Dur: dur, Phase: PhaseComplete, Cat: cat, Name: name, Track: track, Arg: arg})
+}
+
+// SpanAt emits a complete event with an explicit start cycle (for spans
+// whose start is computed, e.g. a bus transfer queued behind the bus).
+func (p *Probe) SpanAt(start, dur uint64, cat, name, track string, arg uint64) {
+	if p == nil {
+		return
+	}
+	p.sink.Event(Event{Cycle: start, Dur: dur, Phase: PhaseComplete, Cat: cat, Name: name, Track: track, Arg: arg})
+}
+
+// Counter emits a counter-series update (occupancy tracks).
+func (p *Probe) Counter(cat, name string, v uint64) {
+	if p == nil {
+		return
+	}
+	p.sink.Event(Event{Cycle: *p.clock, Phase: PhaseCounter, Cat: cat, Name: name, Track: name, Arg: v})
+}
+
+// Sample emits one time-series point stamped with the current cycle.
+func (p *Probe) Sample(name string, kind MetricKind, v float64) {
+	if p == nil {
+		return
+	}
+	p.sink.Sample(Sample{Cycle: *p.clock, Name: name, Kind: kind, Value: v})
+}

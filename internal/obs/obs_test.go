@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// emitBatches feeds the sampler n batches of one counter + one gauge, the
+// counter accumulating by step per batch, stamped at cycles[i].
+func emitBatches(s *IntervalSampler, cycles []uint64, step float64) {
+	cum := 0.0
+	for _, c := range cycles {
+		cum += step
+		s.Sample(Sample{Cycle: c, Name: "count", Kind: KindCounter, Value: cum})
+		s.Sample(Sample{Cycle: c, Name: "gauge", Kind: KindGauge, Value: float64(c)})
+	}
+}
+
+func TestIntervalSamplerDeltasReconcile(t *testing.T) {
+	s := NewIntervalSampler(10)
+	emitBatches(s, []uint64{10, 20, 30}, 7)
+	rows := s.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	ci := 0 // "count" registered first
+	for i, r := range rows {
+		if r.Values[ci] != 7 {
+			t.Errorf("row %d counter delta = %v, want 7", i, r.Values[ci])
+		}
+	}
+	if v, ok := s.Total("count"); !ok || v != 21 {
+		t.Errorf("Total(count) = %v,%v, want 21,true", v, ok)
+	}
+	if v, ok := s.Total("gauge"); !ok || v != 30 {
+		t.Errorf("Total(gauge) = %v,%v, want final value 30,true", v, ok)
+	}
+}
+
+// A run shorter than one interval still produces exactly one row: the final
+// end-of-run batch closes the partial interval.
+func TestIntervalSamplerIntervalLongerThanRun(t *testing.T) {
+	s := NewIntervalSampler(1_000_000)
+	emitBatches(s, []uint64{137}, 42) // single end-of-run batch
+	rows := s.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	if rows[0].Cycle != 137 {
+		t.Errorf("row cycle = %d, want 137", rows[0].Cycle)
+	}
+	if v, _ := s.Total("count"); v != 42 {
+		t.Errorf("Total(count) = %v, want 42", v)
+	}
+}
+
+// A final partial interval (run length not a multiple of the interval) gets
+// its own row and the counter column still sums to the cumulative total.
+func TestIntervalSamplerFinalPartialInterval(t *testing.T) {
+	s := NewIntervalSampler(10)
+	emitBatches(s, []uint64{10, 20, 23}, 5) // run ends at cycle 23
+	rows := s.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if last := rows[2]; last.Cycle != 23 {
+		t.Errorf("final row cycle = %d, want 23", last.Cycle)
+	}
+	if v, _ := s.Total("count"); v != 15 {
+		t.Errorf("Total(count) = %v, want 15", v)
+	}
+}
+
+// A re-emitted batch on the same cycle (end-of-run flush landing exactly on
+// an interval boundary) must update the pending row, not open a second row
+// for the same cycle.
+func TestIntervalSamplerSameCycleReemit(t *testing.T) {
+	s := NewIntervalSampler(10)
+	s.Sample(Sample{Cycle: 10, Name: "count", Kind: KindCounter, Value: 5})
+	s.Sample(Sample{Cycle: 10, Name: "count", Kind: KindCounter, Value: 8}) // post-flush refresh
+	rows := s.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	if v, _ := s.Total("count"); v != 8 {
+		t.Errorf("Total(count) = %v, want 8 (refreshed value wins)", v)
+	}
+}
+
+func TestIntervalSamplerFlushIdempotent(t *testing.T) {
+	s := NewIntervalSampler(10)
+	emitBatches(s, []uint64{10}, 1)
+	s.Flush()
+	s.Flush()
+	if n := len(s.Rows()); n != 1 {
+		t.Fatalf("rows after double flush = %d, want 1", n)
+	}
+}
+
+func TestWriteCSVAndJSONL(t *testing.T) {
+	s := NewIntervalSampler(10)
+	emitBatches(s, []uint64{10, 20}, 3)
+	var csvBuf bytes.Buffer
+	if err := s.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want header + 2 rows", len(lines))
+	}
+	if lines[0] != "cycle,count,gauge" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+
+	var jb bytes.Buffer
+	if err := s.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(jb.String()), "\n") {
+		var obj map[string]float64
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("JSONL line %q: %v", line, err)
+		}
+		for _, k := range []string{"cycle", "count", "gauge"} {
+			if _, ok := obj[k]; !ok {
+				t.Errorf("JSONL line %q missing key %q", line, k)
+			}
+		}
+	}
+}
+
+func TestNilProbeZeroAllocs(t *testing.T) {
+	var p *Probe
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.Instant("cat", "name", "track", 1)
+		p.Span(3, "cat", "name", "track", 2)
+		p.SpanAt(5, 3, "cat", "name", "track", 2)
+		p.Counter("cat", "name", 7)
+		p.Sample("metric", KindGauge, 1.5)
+		_ = p.Enabled()
+		_ = p.Now()
+	})
+	if allocs != 0 {
+		t.Errorf("nil-probe path allocated %v per run, want 0", allocs)
+	}
+}
+
+func TestNewProbeNilSink(t *testing.T) {
+	var clock uint64
+	if p := NewProbe(nil, &clock); p != nil {
+		t.Error("NewProbe(nil, ...) should return a nil probe")
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil {
+		t.Error("Multi() with no sinks should be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi(nil, nil) should be nil")
+	}
+	a := NewIntervalSampler(100)
+	if Multi(a, nil) != Sink(a) {
+		t.Error("Multi with one live sink should return it unchanged")
+	}
+	b := NewIntervalSampler(30)
+	m := Multi(a, b, NewTraceSink(0, 0))
+	if iv := m.SampleInterval(); iv != 30 {
+		t.Errorf("Multi interval = %d, want smallest non-zero 30", iv)
+	}
+	m.Sample(Sample{Cycle: 30, Name: "x", Kind: KindGauge, Value: 1})
+	if len(a.Rows()) != 1 || len(b.Rows()) != 1 {
+		t.Error("Multi should fan samples to every member")
+	}
+}
+
+func TestTraceSinkWindow(t *testing.T) {
+	ts := NewTraceSink(100, 200)
+	for _, c := range []uint64{50, 100, 199, 200, 300} {
+		ts.Event(Event{Cycle: c, Phase: PhaseInstant, Name: "e", Track: "t"})
+	}
+	if n := len(ts.Events()); n != 2 {
+		t.Fatalf("window [100,200) kept %d events, want 2", n)
+	}
+	unbounded := NewTraceSink(0, 0)
+	unbounded.Event(Event{Cycle: 1 << 40, Phase: PhaseInstant, Name: "e", Track: "t"})
+	if len(unbounded.Events()) != 1 {
+		t.Error("end=0 should be unbounded")
+	}
+}
+
+// TestChromeTraceJSONValid checks the export is well-formed JSON with the
+// structure trace viewers require.
+func TestChromeTraceJSONValid(t *testing.T) {
+	ts := NewTraceSink(0, 0)
+	ts.Event(Event{Cycle: 5, Dur: 3, Phase: PhaseComplete, Cat: "mem", Name: "read", Track: "biu", Arg: 4096})
+	ts.Event(Event{Cycle: 6, Phase: PhaseInstant, Cat: "cache", Name: "miss", Track: "dcache", Arg: 64})
+	ts.Event(Event{Cycle: 7, Phase: PhaseCounter, Cat: "cache", Name: "mshr", Track: "mshr", Arg: 3})
+
+	var buf bytes.Buffer
+	if err := ts.WriteJSON(&buf, "espresso \"quoted\" on baseline"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// process_name + one thread_name per distinct track + 3 events.
+	if len(doc.TraceEvents) != 7 {
+		t.Fatalf("traceEvents = %d, want 7", len(doc.TraceEvents))
+	}
+	phases := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		phases[ph]++
+		if _, ok := e["pid"]; !ok {
+			t.Errorf("event missing pid: %v", e)
+		}
+		if ph == "X" {
+			if e["dur"].(float64) != 3 {
+				t.Errorf("X event dur = %v, want 3", e["dur"])
+			}
+		}
+	}
+	if phases["M"] != 4 || phases["X"] != 1 || phases["i"] != 1 || phases["C"] != 1 {
+		t.Errorf("phase mix = %v, want 4 M, 1 each X/i/C", phases)
+	}
+}
+
+func TestWriteChromeTraceMultiProcess(t *testing.T) {
+	mk := func() []Event {
+		return []Event{{Cycle: 1, Phase: PhaseInstant, Cat: "c", Name: "n", Track: "t"}}
+	}
+	var buf bytes.Buffer
+	err := WriteChromeTrace(&buf, []TraceProcess{
+		{Name: "job a", Events: mk()},
+		{Name: "job b", Events: mk()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	pids := map[float64]bool{}
+	for _, e := range doc.TraceEvents {
+		pids[e["pid"].(float64)] = true
+	}
+	if len(pids) != 2 {
+		t.Errorf("distinct pids = %d, want one per process", len(pids))
+	}
+}
+
+func TestNoopSink(t *testing.T) {
+	Noop.Event(Event{})
+	Noop.Sample(Sample{})
+	if Noop.SampleInterval() != 0 {
+		t.Error("Noop should request no sampling")
+	}
+}

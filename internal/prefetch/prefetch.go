@@ -9,6 +9,8 @@
 // escalates, fetching further sequential lines until it is full.
 package prefetch
 
+import "aurora/internal/obs"
+
 // Fetcher abstracts the BIU read path the buffers use for their prefetches.
 type Fetcher interface {
 	// SpareForPrefetch reports whether the memory system has transaction
@@ -72,7 +74,13 @@ type Buffers struct {
 	allocs      uint64
 	fetches     uint64
 	discarded   uint64 // prefetched lines thrown away on reallocation
+
+	probe *obs.Probe
 }
+
+// SetProbe attaches the observability probe: stream-buffer hits,
+// allocations and issued prefetches emit events on the "pfu" track.
+func (p *Buffers) SetProbe(pr *obs.Probe) { p.probe = pr }
 
 // New creates a pool of n buffers, each holding depth lines.
 // n = 0 disables prefetching entirely (the Figure 5 ablation).
@@ -131,6 +139,13 @@ func (p *Buffers) Probe(now uint64, lineAddr uint32) (ProbeResult, uint64) {
 				p.pendingHits++
 			}
 			p.hits++
+			if p.probe != nil {
+				if res == Pending {
+					p.probe.Instant("prefetch", "pending-hit", "pfu", uint64(lineAddr))
+				} else {
+					p.probe.Instant("prefetch", "hit", "pfu", uint64(lineAddr))
+				}
+			}
 			// Consume this slot and everything before it (the
 			// stream has advanced past them).
 			copy(b.slots, b.slots[j+1:])
@@ -175,6 +190,9 @@ func (p *Buffers) AllocateOnMiss(now uint64, missLineAddr uint32) {
 		gen:   p.genCtr,
 	}
 	p.allocs++
+	if p.probe != nil {
+		p.probe.Instant("prefetch", "alloc", "pfu", uint64(missLineAddr))
+	}
 }
 
 // Tick issues at most one prefetch request per cycle, using spare bus
@@ -231,6 +249,9 @@ func (p *Buffers) Tick(now uint64, f Fetcher) {
 	best.slots[idx] = slot{lineAddr: lineAddr, state: slotPending, readyAt: doneAt}
 	best.next += p.lineBytes
 	p.fetches++
+	if p.probe != nil {
+		p.probe.Span(doneAt-now, "prefetch", "fetch", "pfu", uint64(lineAddr))
+	}
 }
 
 func (p *Buffers) wantsFetch(b *buffer) bool {
