@@ -1,0 +1,43 @@
+GO ?= go
+
+.PHONY: all build test tier1 race bench bench-smoke golden fuzz fmt
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# tier1 is the CI gate: formatting, build, vet, tests, race on the whole tree.
+tier1: fmt build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race -short ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# bench runs the pinned sweep and the steady-state cycle-loop measurement,
+# writing BENCH.json with SIPS, allocs/instr and the speedup against the
+# recorded seed baseline (see bench/baseline_seed.json).
+bench:
+	$(GO) run ./cmd/aurora-bench -baseline bench/baseline_seed.json -out BENCH.json
+
+# bench-smoke is the fast CI variant: assert the zero-allocation cycle loop
+# and run the headline benchmarks briefly (allocs/op must print 0).
+bench-smoke:
+	$(GO) test -run TestCycleLoopZeroAlloc -count=1 .
+	$(GO) test -run '^$$' -bench BenchmarkCycleLoop -benchtime 20000x .
+	$(GO) test -run '^$$' -bench 'BenchmarkNilProbe|BenchmarkEnabledProbe' -benchtime 20000x ./internal/obs/
+
+golden:
+	$(GO) test -run 'TestGolden' -count=1 .
+
+# fuzz exercises the assembler round-trip target for a short local burst.
+fuzz:
+	$(GO) test -fuzz FuzzAsmRoundTrip -fuzztime 30s ./internal/asm/
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:" $$out; exit 1; fi

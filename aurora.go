@@ -154,6 +154,29 @@ func (s *machineStream) Next() (trace.Record, bool) {
 
 func (s *machineStream) Err() error { return s.err }
 
+// NextBatch implements trace.BatchStream: it fills buf with up to len(buf)
+// records in one call, keeping the VM's step loop on concrete types and
+// amortising the stream interface dispatch across the batch.
+func (s *machineStream) NextBatch(buf []trace.Record) int {
+	n := 0
+	for n < len(buf) {
+		if s.err != nil || s.m.Halted() || (s.budget > 0 && s.n >= s.budget) {
+			break
+		}
+		rec, err := s.m.Step()
+		if err != nil {
+			if !vm.IsHalt(err) {
+				s.err = err
+			}
+			break
+		}
+		s.n++
+		buf[n] = rec
+		n++
+	}
+	return n
+}
+
 // Run executes a workload on the given machine configuration. maxInstr
 // bounds the dynamic instruction count (0 uses the workload's default
 // budget, which covers the kernel's full natural run).
@@ -190,6 +213,42 @@ func RunObserved(cfg Config, w *Workload, maxInstr uint64, sink obs.Sink) (*Repo
 	}
 	return rep, nil
 }
+
+// Simulation is an incrementally-stepped timing run: the same machine Run
+// drives, exposed one cycle at a time. Benchmarks use it to warm a
+// processor up and then time the steady-state cycle loop in isolation.
+type Simulation struct {
+	p      *core.Processor
+	stream *machineStream
+}
+
+// NewSimulation prepares a workload run for cycle-by-cycle stepping.
+// maxInstr bounds the dynamic instruction count (0 uses the workload's
+// default budget).
+func NewSimulation(cfg Config, w *Workload, maxInstr uint64) (*Simulation, error) {
+	m, err := w.NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	if maxInstr == 0 {
+		maxInstr = w.DefaultBudget * 4
+	}
+	stream := &machineStream{m: m, budget: maxInstr}
+	p, err := core.NewProcessor(cfg, stream)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{p: p, stream: stream}, nil
+}
+
+// Step advances the machine one cycle, reporting whether work remains.
+func (s *Simulation) Step() bool { return s.p.Step() }
+
+// Cycles returns the cycles simulated so far.
+func (s *Simulation) Cycles() uint64 { return s.p.Cycles() }
+
+// Instructions returns the instructions retired so far.
+func (s *Simulation) Instructions() uint64 { return s.p.Instructions() }
 
 // RunScheduled is Run with the §6 "better compiler scheduling" pass: each
 // basic block of the dynamic trace is list-scheduled (loads hoisted away

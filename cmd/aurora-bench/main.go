@@ -1,0 +1,243 @@
+// Command aurora-bench runs the pinned benchmark workload set — every
+// SPEC92 stand-in kernel on each Table 1 machine model at a fixed
+// instruction budget — and emits a machine-readable performance record
+// (BENCH_*.json): simulated instructions per second, wall time, and
+// allocation behaviour per simulated instruction.
+//
+// The workload set, budgets and run order are fixed so two runs of the same
+// binary measure the same work; pass a previous output via -baseline to
+// embed it and compute the speedup, giving every PR a perf trajectory:
+//
+//	go run ./cmd/aurora-bench -baseline bench/baseline_seed.json -out BENCH_pr3.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"aurora"
+)
+
+// benchModels is the pinned model set, in run order.
+var benchModels = []string{"small", "baseline", "large", "pointE"}
+
+// JobResult is one (model, workload) timing run.
+type JobResult struct {
+	Model        string  `json:"model"`
+	Workload     string  `json:"workload"`
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	CPI          float64 `json:"cpi"`
+	WallNS       int64   `json:"wall_ns"`
+	SIPS         float64 `json:"sips"` // simulated instructions per second
+}
+
+// Totals aggregates the whole sweep.
+type Totals struct {
+	Jobs           int     `json:"jobs"`
+	Instructions   uint64  `json:"instructions"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	SIPS           float64 `json:"sips"`
+	AllocsPerInstr float64 `json:"allocs_per_instr"`
+	BytesPerInstr  float64 `json:"bytes_per_instr"`
+	NumGC          uint32  `json:"num_gc"`
+}
+
+// CycleLoop is the steady-state cycle-loop microbenchmark: the per-cycle
+// simulation step over a warmed-up processor, where the allocation count
+// must be exactly zero.
+type CycleLoop struct {
+	Workload    string  `json:"workload"`
+	Cycles      uint64  `json:"cycles"`
+	NsPerCycle  float64 `json:"ns_per_cycle"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// BaselineSummary is the embedded record of a previous aurora-bench run
+// that this run is compared against.
+type BaselineSummary struct {
+	Source         string  `json:"source"`
+	SIPS           float64 `json:"sips"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	AllocsPerInstr float64 `json:"allocs_per_instr"`
+	BytesPerInstr  float64 `json:"bytes_per_instr"`
+}
+
+// File is the on-disk BENCH_*.json schema.
+type File struct {
+	Schema     string `json:"schema"`
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Budget     uint64 `json:"budget"`
+
+	Models    []string    `json:"models"`
+	Workloads []JobResult `json:"workloads"`
+	Total     Totals      `json:"total"`
+	CycleLoop *CycleLoop  `json:"cycle_loop,omitempty"`
+
+	Baseline *BaselineSummary `json:"baseline,omitempty"`
+	// SpeedupVsBaseline is this run's total SIPS over the baseline's.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "-", "output path for the JSON record (- = stdout)")
+	baselinePath := flag.String("baseline", "", "previous aurora-bench JSON to compare against")
+	budget := flag.Uint64("budget", 300_000, "instruction budget per (model, workload) run")
+	quick := flag.Bool("quick", false, "reduced budget (60k) for smoke runs")
+	cycleLoop := flag.Bool("cycleloop", true, "run the steady-state cycle-loop microbenchmark")
+	flag.Parse()
+	if *quick {
+		*budget = 60_000
+	}
+
+	f := &File{
+		Schema:     "aurora-bench/v1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Budget:     *budget,
+		Models:     benchModels,
+	}
+
+	if *baselinePath != "" {
+		base, err := readBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		f.Baseline = base
+	}
+
+	if err := runSweep(f); err != nil {
+		fatal(err)
+	}
+	if *cycleLoop {
+		f.CycleLoop = runCycleLoop()
+	}
+	if f.Baseline != nil && f.Baseline.SIPS > 0 {
+		f.SpeedupVsBaseline = f.Total.SIPS / f.Baseline.SIPS
+	}
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "aurora-bench: %d jobs, %d instructions in %.2fs → %.0f instr/s (%.3f allocs/instr)\n",
+		f.Total.Jobs, f.Total.Instructions, f.Total.WallSeconds, f.Total.SIPS, f.Total.AllocsPerInstr)
+	if f.Baseline != nil {
+		fmt.Fprintf(os.Stderr, "aurora-bench: %.2fx vs baseline %s (%.0f instr/s)\n",
+			f.SpeedupVsBaseline, f.Baseline.Source, f.Baseline.SIPS)
+	}
+	if f.CycleLoop != nil {
+		fmt.Fprintf(os.Stderr, "aurora-bench: cycle loop %.1f ns/cycle, %.4f allocs/op over %d cycles\n",
+			f.CycleLoop.NsPerCycle, f.CycleLoop.AllocsPerOp, f.CycleLoop.Cycles)
+	}
+}
+
+// runSweep executes the pinned job matrix serially (deterministic work,
+// stable timing) and fills f.Workloads and f.Total.
+func runSweep(f *File) error {
+	names := aurora.WorkloadNames()
+
+	// Warm up: assemble every workload once so parse/assembly cost is not
+	// attributed to the first timed run.
+	for _, wn := range names {
+		w, err := aurora.GetWorkload(wn)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Program(); err != nil {
+			return err
+		}
+	}
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	sweepStart := time.Now()
+
+	for _, mn := range f.Models {
+		cfg, err := aurora.ModelByName(mn)
+		if err != nil {
+			return err
+		}
+		for _, wn := range names {
+			w, err := aurora.GetWorkload(wn)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			rep, err := aurora.Run(cfg, w, f.Budget)
+			if err != nil {
+				return fmt.Errorf("%s on %s: %w", wn, mn, err)
+			}
+			el := time.Since(start)
+			f.Workloads = append(f.Workloads, JobResult{
+				Model:        mn,
+				Workload:     wn,
+				Instructions: rep.Instructions,
+				Cycles:       rep.Cycles,
+				CPI:          rep.CPI(),
+				WallNS:       el.Nanoseconds(),
+				SIPS:         float64(rep.Instructions) / el.Seconds(),
+			})
+		}
+	}
+
+	wall := time.Since(sweepStart)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	var instr uint64
+	for _, r := range f.Workloads {
+		instr += r.Instructions
+	}
+	f.Total = Totals{
+		Jobs:           len(f.Workloads),
+		Instructions:   instr,
+		WallSeconds:    wall.Seconds(),
+		SIPS:           float64(instr) / wall.Seconds(),
+		AllocsPerInstr: float64(after.Mallocs-before.Mallocs) / float64(instr),
+		BytesPerInstr:  float64(after.TotalAlloc-before.TotalAlloc) / float64(instr),
+		NumGC:          after.NumGC - before.NumGC,
+	}
+	return nil
+}
+
+// readBaseline loads a previous aurora-bench output and summarises it.
+func readBaseline(path string) (*BaselineSummary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var prev File
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return &BaselineSummary{
+		Source:         path,
+		SIPS:           prev.Total.SIPS,
+		WallSeconds:    prev.Total.WallSeconds,
+		AllocsPerInstr: prev.Total.AllocsPerInstr,
+		BytesPerInstr:  prev.Total.BytesPerInstr,
+	}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aurora-bench:", err)
+	os.Exit(1)
+}

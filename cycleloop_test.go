@@ -1,0 +1,98 @@
+package aurora
+
+import (
+	"testing"
+
+	"aurora/internal/core"
+	"aurora/internal/trace"
+)
+
+// loopStream replays a fixed record sequence forever — an endless synthetic
+// workload, so the steady-state cycle loop can be measured (or stepped by a
+// benchmark) without ever draining.
+type loopStream struct {
+	recs []trace.Record
+	i    int
+}
+
+func (s *loopStream) Next() (trace.Record, bool) {
+	r := s.recs[s.i]
+	s.i++
+	if s.i == len(s.recs) {
+		s.i = 0
+	}
+	return r, true
+}
+
+func (s *loopStream) Err() error { return nil }
+
+// newWarmCycleLoop builds a processor over an endless synthetic trace and
+// steps it past the cold phase (cache fills, pool and ring growth), leaving
+// it in steady state.
+func newWarmCycleLoop(tb testing.TB) *core.Processor {
+	tb.Helper()
+	script := make([]byte, 1024)
+	for i := range script {
+		script[i] = byte(i * 131)
+	}
+	p, err := core.NewProcessor(Baseline(), &loopStream{recs: genTrace(script)})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < 50_000; i++ {
+		if !p.Step() {
+			tb.Fatal("endless trace drained")
+		}
+	}
+	return p
+}
+
+// TestCycleLoopZeroAlloc pins the PR's headline property: once warmed up,
+// the per-cycle simulation step performs no heap allocation at all.
+func TestCycleLoopZeroAlloc(t *testing.T) {
+	p := newWarmCycleLoop(t)
+	avg := testing.AllocsPerRun(20, func() {
+		for i := 0; i < 5_000; i++ {
+			p.Step()
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state cycle loop allocates: %.2f allocs per 5k-cycle run, want 0", avg)
+	}
+}
+
+// TestSimulationStepMatchesRun checks that driving a workload through the
+// incremental Simulation API retires exactly as many instructions in
+// exactly as many cycles as the batch Run path.
+func TestSimulationStepMatchesRun(t *testing.T) {
+	w, err := GetWorkload("espresso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 40_000
+	rep, err := Run(Baseline(), w, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulation(Baseline(), w, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sim.Step() {
+	}
+	if sim.Cycles() != rep.Cycles || sim.Instructions() != rep.Instructions {
+		t.Fatalf("stepped run: %d cycles / %d instructions, batch run: %d / %d",
+			sim.Cycles(), sim.Instructions(), rep.Cycles, rep.Instructions)
+	}
+}
+
+// BenchmarkCycleLoop times the steady-state per-cycle step over a warmed-up
+// machine; allocs/op must report 0.
+func BenchmarkCycleLoop(b *testing.B) {
+	p := newWarmCycleLoop(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}

@@ -1,0 +1,98 @@
+package asm_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"aurora/internal/asm"
+	"aurora/internal/isa"
+	"aurora/internal/workloads"
+)
+
+// FuzzAsmRoundTrip drives the assembler → encoder → decoder → re-assembler
+// loop to a fixed point. For any source the assembler accepts:
+//
+//  1. assembly is deterministic — a second run produces an identical image;
+//  2. every emitted text word decodes, and re-encoding the decoded
+//     instruction reproduces the word bit-for-bit (unless the word came
+//     from a data directive placed in .text, which need not decode);
+//  3. disassembling every decodable word and re-assembling the listing
+//     yields the same text words — the disassembler speaks the grammar the
+//     parser accepts, at the right addresses.
+//
+// The seed corpus is the 15 SPEC92 stand-in kernels, so the fuzzer starts
+// from real register allocation, addressing and control-flow idioms.
+func FuzzAsmRoundTrip(f *testing.F) {
+	for _, name := range workloads.Names() {
+		w, err := workloads.Get(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(w.Source)
+	}
+	f.Add("\t.text\nmain:\n\tli $v0, 10\n\tsyscall\n")
+	f.Add("\t.data\nx:\t.word 0x1234\n\t.text\nmain:\n\tla $t0, x\n\tlw $t1, 0($t0)\n\tjr $ra\n")
+	f.Add("\t.set noreorder\n\t.text\nl:\tbne $a0, $zero, l\n\tnop\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p1, err := asm.Assemble("fuzz.s", src)
+		if err != nil {
+			return // rejection is fine; acceptance must round-trip
+		}
+		p2, err := asm.Assemble("fuzz.s", src)
+		if err != nil {
+			t.Fatalf("second assembly of accepted source failed: %v", err)
+		}
+		if len(p2.Text) != len(p1.Text) || p2.Entry != p1.Entry || p2.BSS != p1.BSS ||
+			len(p2.Data) != len(p1.Data) {
+			t.Fatalf("assembly is not deterministic: text %d/%d entry %#x/%#x",
+				len(p1.Text), len(p2.Text), p1.Entry, p2.Entry)
+		}
+		for i, w := range p1.Text {
+			if p2.Text[i] != w {
+				t.Fatalf("assembly is not deterministic: word %d is %#08x then %#08x", i, w, p2.Text[i])
+			}
+		}
+
+		// Encode∘Decode fixed point, and a re-assemblable disassembly
+		// listing. Data words smuggled into .text may not decode; they are
+		// carried through the listing verbatim.
+		var listing strings.Builder
+		listing.WriteString("\t.set noreorder\n\t.text\n")
+		for i, w := range p1.Text {
+			pc := asm.TextBase + uint32(4*i)
+			in, derr := isa.Decode(w)
+			if derr != nil {
+				fmt.Fprintf(&listing, "\t.word %#08x\n", w)
+				continue
+			}
+			back, eerr := isa.Encode(in)
+			if eerr != nil {
+				t.Fatalf("pc %#x: decoded %#08x to %+v but re-encode failed: %v", pc, w, in, eerr)
+			}
+			if back != w {
+				t.Fatalf("pc %#x: encode(decode(%#08x)) = %#08x", pc, w, back)
+			}
+			dis := isa.Disassemble(in, pc)
+			if dis == "" {
+				t.Fatalf("pc %#x: empty disassembly for %#08x (%v)", pc, w, in.Op)
+			}
+			fmt.Fprintf(&listing, "\t%s\n", dis)
+		}
+		p3, err := asm.Assemble("fuzz-relist.s", listing.String())
+		if err != nil {
+			t.Fatalf("re-assembly of disassembled listing failed: %v\nlisting:\n%s", err, listing.String())
+		}
+		if len(p3.Text) != len(p1.Text) {
+			t.Fatalf("re-assembled listing has %d words, original %d", len(p3.Text), len(p1.Text))
+		}
+		for i, w := range p1.Text {
+			if p3.Text[i] != w {
+				in, _ := isa.Decode(w)
+				t.Fatalf("pc %#x: re-assembled %q to %#08x, want %#08x",
+					asm.TextBase+uint32(4*i), isa.Disassemble(in, asm.TextBase+uint32(4*i)), p3.Text[i], w)
+			}
+		}
+	})
+}

@@ -144,8 +144,8 @@ func TestWriteCacheCoalescing(t *testing.T) {
 	w := NewWriteCache(4, 32)
 	// Eight stores to the same line: 1 miss + 7 hits, no transactions yet.
 	for i := uint32(0); i < 8; i++ {
-		hit, ev := w.Store(0x2000 + i*4)
-		if ev != nil {
+		hit, _, evicted := w.Store(0x2000 + i*4)
+		if evicted {
 			t.Fatal("unexpected eviction")
 		}
 		if (i == 0) == hit {
@@ -160,9 +160,9 @@ func TestWriteCacheCoalescing(t *testing.T) {
 	w.Store(0x3000)
 	w.Store(0x4000)
 	w.Store(0x5000)
-	hit, ev := w.Store(0x6000)
-	if hit || ev == nil {
-		t.Fatalf("expected eviction, hit=%v ev=%v", hit, ev)
+	hit, ev, evicted := w.Store(0x6000)
+	if hit || !evicted {
+		t.Fatalf("expected eviction, hit=%v evicted=%v", hit, evicted)
 	}
 	if ev.LineAddr != 0x2000 || ev.Words != 8 {
 		t.Errorf("eviction %+v", ev)

@@ -84,9 +84,10 @@ func (w *WriteCache) find(lineAddr uint32) *wcLine {
 }
 
 // Store deposits a store's word into the write cache. It returns whether
-// the store hit a resident line, and a non-nil eviction when allocating a
-// line displaced a dirty victim (one coalesced BIU write transaction).
-func (w *WriteCache) Store(addr uint32) (hit bool, ev *Eviction) {
+// the store hit a resident line; evicted reports that allocating a line
+// displaced a dirty victim (one coalesced BIU write transaction), described
+// by ev. The eviction travels by value so the store path never allocates.
+func (w *WriteCache) Store(addr uint32) (hit bool, ev Eviction, evicted bool) {
 	w.clock++
 	w.accesses++
 	w.stores++
@@ -110,7 +111,7 @@ func (w *WriteCache) Store(addr uint32) (hit bool, ev *Eviction) {
 		w.hits++
 		l.mask |= w.wordBit(addr)
 		l.lru = w.clock
-		return true, nil
+		return true, Eviction{}, false
 	}
 	// Allocate the LRU line.
 	victim := &w.lines[0]
@@ -124,7 +125,8 @@ func (w *WriteCache) Store(addr uint32) (hit bool, ev *Eviction) {
 		}
 	}
 	if victim.valid && victim.mask != 0 {
-		ev = &Eviction{LineAddr: victim.tag, Words: popcount(victim.mask)}
+		ev = Eviction{LineAddr: victim.tag, Words: popcount(victim.mask)}
+		evicted = true
 		w.transactions++
 		if w.probe != nil {
 			w.probe.Instant("cache", "wc-evict", "wc", uint64(victim.tag))
@@ -134,7 +136,7 @@ func (w *WriteCache) Store(addr uint32) (hit bool, ev *Eviction) {
 	victim.tag = la
 	victim.mask = w.wordBit(addr)
 	victim.lru = w.clock
-	return false, ev
+	return false, ev, evicted
 }
 
 // Load checks whether a load's word is present (store-to-load forwarding

@@ -88,6 +88,7 @@ func NewProcessor(cfg Config, stream trace.Stream) (*Processor, error) {
 	if p.mmu.TranslationEnabled() {
 		p.lsu.Translate = p.mmu.Translate
 	}
+	p.lsu.OnComplete = p.memOpDone
 	p.ifu = ipu.NewIFU(ipu.IFUConfig{
 		ICacheBytes:          cfg.ICacheBytes,
 		LineBytes:            cfg.LineBytes,
@@ -111,17 +112,7 @@ func (p *Processor) Run(maxCycles uint64) (*Report, error) {
 			return nil, fmt.Errorf("core: runaway simulation at cycle %d (%d instructions)",
 				p.now, p.instructions)
 		}
-		p.biu.Tick(p.now)
-		p.lsu.Tick(p.now)
-		p.fp.Tick(p.now)
-		p.retire()
-		p.issue()
-		p.ifu.Tick(p.now)
-		p.pfu.Tick(p.now, p.biu)
-		if p.sampleEvery != 0 && p.now >= p.nextSampleAt {
-			p.emitSample()
-			p.nextSampleAt += p.sampleEvery
-		}
+		p.tick()
 	}
 	// A trace that ended because the producer faulted must fail the run:
 	// the retired prefix would otherwise report a plausible but wrong CPI.
@@ -138,9 +129,45 @@ func (p *Processor) Run(maxCycles uint64) (*Report, error) {
 	return p.report(), nil
 }
 
+// tick runs one cycle of the machine: memory system first, then retire and
+// issue, then fetch and prefetch (the fixed intra-cycle order every unit's
+// timing assumes).
+func (p *Processor) tick() {
+	p.biu.Tick(p.now)
+	p.lsu.Tick(p.now)
+	p.fp.Tick(p.now)
+	p.retire()
+	p.issue()
+	p.ifu.Tick(p.now)
+	p.pfu.Tick(p.now, p.biu)
+	if p.sampleEvery != 0 && p.now >= p.nextSampleAt {
+		p.emitSample()
+		p.nextSampleAt += p.sampleEvery
+	}
+}
+
+// Step advances the simulation by exactly one cycle, reporting whether the
+// machine still has work. It is Run's loop body without the deadlock guards
+// and end-of-run accounting — the hook benchmarks use to time the
+// steady-state cycle loop in isolation.
+func (p *Processor) Step() bool {
+	if p.done() {
+		return false
+	}
+	p.now++
+	p.tick()
+	return true
+}
+
 func (p *Processor) done() bool {
 	return p.ifu.Done() && p.robUsed == 0 && !p.lsu.Busy() && p.fp.Drained(p.now)
 }
+
+// Cycles returns the cycles simulated so far.
+func (p *Processor) Cycles() uint64 { return p.now }
+
+// Instructions returns the instructions retired so far.
+func (p *Processor) Instructions() uint64 { return p.instructions }
 
 // retire removes up to two completed instructions from the reorder buffer
 // in program order.
@@ -162,8 +189,7 @@ func (p *Processor) issue() {
 	issued := 0
 	var first trace.Record
 	for issued < p.cfg.IssueWidth {
-		q := p.ifu.Queue()
-		if len(q) == 0 {
+		if p.ifu.QueueLen() == 0 {
 			if issued == 0 && !p.ifu.Done() {
 				p.stalls[StallICache]++
 				if p.probe != nil {
@@ -172,7 +198,7 @@ func (p *Processor) issue() {
 			}
 			break
 		}
-		fi := q[0]
+		fi := *p.ifu.QueueHead()
 		if issued == 1 && !pairAllowed(first, fi) {
 			break
 		}
@@ -208,10 +234,10 @@ func pairAllowed(first trace.Record, second ipu.FetchedInstr) bool {
 	if second.DepOnPrev {
 		return false
 	}
-	if first.Class.IsMem() && second.Rec.Class.IsMem() {
+	if first.SI.Class.IsMem() && second.Rec.SI.Class.IsMem() {
 		return false
 	}
-	if first.Class.IsControl() && second.Rec.Class.IsControl() {
+	if first.SI.Class.IsControl() && second.Rec.SI.Class.IsControl() {
 		return false
 	}
 	return true
@@ -221,7 +247,7 @@ func pairAllowed(first trace.Record, second ipu.FetchedInstr) bool {
 // returning the blocking cause when it cannot issue this cycle.
 func (p *Processor) canIssue(rec trace.Record) (StallCause, bool) {
 	// Operand readiness (integer scoreboard).
-	for _, s := range []uint8{rec.Deps.SrcInt[0], rec.Deps.SrcInt[1]} {
+	for _, s := range rec.SI.Deps.SrcInt {
 		if s == 0 {
 			continue
 		}
@@ -237,10 +263,10 @@ func (p *Processor) canIssue(rec trace.Record) (StallCause, bool) {
 		}
 	}
 	// Decoupling reads: MFC1 and FP-condition branches wait on the FPU.
-	if rec.Deps.ReadsFCC && !p.fp.FCCReady(p.now) {
+	if rec.SI.Deps.ReadsFCC && !p.fp.FCCReady(p.now) {
 		return StallFPU, false
 	}
-	if rec.In.Op == isa.OpMFC1 && !p.fp.RegReady(rec.In.Fs, false, p.now) {
+	if rec.SI.In.Op == isa.OpMFC1 && !p.fp.RegReady(rec.SI.In.Fs, false, p.now) {
 		return StallFPU, false
 	}
 	// FP store data readiness is *not* checked here: the store decouples
@@ -249,11 +275,11 @@ func (p *Processor) canIssue(rec trace.Record) (StallCause, bool) {
 	if p.needsROB(rec) && p.robUsed >= len(p.rob) {
 		return StallROBFull, false
 	}
-	if rec.Class.IsMem() {
+	if rec.SI.Class.IsMem() {
 		if !p.lsu.CanAccept() {
 			return StallLSUBusy, false
 		}
-		switch rec.Class {
+		switch rec.SI.Class {
 		case isa.ClassFPLoad:
 			if !p.fp.CanDispatchLoad() {
 				return StallFPU, false
@@ -264,7 +290,7 @@ func (p *Processor) canIssue(rec trace.Record) (StallCause, bool) {
 			}
 		}
 	}
-	if isFPQueueClass(rec.Class) && !p.fp.CanDispatchInstr() {
+	if isFPQueueClass(rec.SI.Class) && !p.fp.CanDispatchInstr() {
 		return StallFPU, false
 	}
 	return 0, true
@@ -283,7 +309,7 @@ func isFPQueueClass(c isa.Class) bool {
 // needsROB reports whether the instruction occupies an IPU reorder-buffer
 // entry. FP arithmetic lives in the FPU's own reorder buffer instead.
 func (p *Processor) needsROB(rec trace.Record) bool {
-	return !isFPQueueClass(rec.Class)
+	return !isFPQueueClass(rec.SI.Class)
 }
 
 // allocROB reserves a reorder-buffer slot, returning its index.
@@ -313,68 +339,60 @@ func (p *Processor) setIntDest(reg uint8, at uint64, fromLoad, fromFP bool) uint
 // doIssue commits the issue of rec at the current cycle.
 func (p *Processor) doIssue(rec trace.Record) {
 	now := p.now
-	switch rec.Class {
+	switch rec.SI.Class {
 	case isa.ClassNop, isa.ClassSystem:
 		p.allocROB(now + 1)
 
 	case isa.ClassIntALU:
 		p.allocROB(now + 1)
-		p.setIntDest(rec.Deps.DstInt, now+1, false, false)
+		p.setIntDest(rec.SI.Deps.DstInt, now+1, false, false)
 
 	case isa.ClassIntMulDiv:
 		lat := uint64(1) // HI/LO moves
-		switch rec.In.Op {
+		switch rec.SI.In.Op {
 		case isa.OpMULT, isa.OpMULTU:
 			lat = uint64(p.cfg.IntMulLatency)
 		case isa.OpDIV, isa.OpDIVU:
 			lat = uint64(p.cfg.IntDivLatency)
 		}
 		p.allocROB(now + lat)
-		p.setIntDest(rec.Deps.DstInt, now+lat, false, false)
+		p.setIntDest(rec.SI.Deps.DstInt, now+lat, false, false)
 
 	case isa.ClassBranch:
 		p.allocROB(now + 1)
 
 	case isa.ClassJump:
 		p.allocROB(now + 1)
-		p.setIntDest(rec.Deps.DstInt, now+1, false, false)
+		p.setIntDest(rec.SI.Deps.DstInt, now+1, false, false)
 
 	case isa.ClassLoad:
 		idx := p.allocROB(farFuture)
-		dst := rec.Deps.DstInt
+		dst := rec.SI.Deps.DstInt
 		gen := p.setIntDest(dst, farFuture, true, false)
-		p.lsu.Dispatch(&ipu.MemOp{
+		p.lsu.Dispatch(ipu.MemOp{
 			Addr:    rec.MemAddr,
 			IntDest: dst,
-			OnData: func(t uint64) {
-				p.rob[idx].completeAt = t
-				if dst != 0 && p.writerGen[dst] == gen {
-					p.intReadyAt[dst] = t
-				}
-			},
+			RobIdx:  int32(idx),
+			Gen:     gen,
 		}, now)
 
 	case isa.ClassStore:
 		idx := p.allocROB(farFuture)
-		p.lsu.Dispatch(&ipu.MemOp{
-			Addr:  rec.MemAddr,
-			Store: true,
-			OnData: func(t uint64) {
-				p.rob[idx].completeAt = t
-			},
+		p.lsu.Dispatch(ipu.MemOp{
+			Addr:   rec.MemAddr,
+			Store:  true,
+			RobIdx: int32(idx),
 		}, now)
 
 	case isa.ClassFPLoad:
 		idx := p.allocROB(farFuture)
-		reg, dbl := rec.In.Ft, rec.FPDouble
+		reg, dbl := rec.SI.In.Ft, rec.SI.FPDouble
 		seq := p.fp.DispatchLoad(reg, dbl)
-		p.lsu.Dispatch(&ipu.MemOp{
+		p.lsu.Dispatch(ipu.MemOp{
 			Addr: rec.MemAddr,
 			FP:   true, FPDouble: dbl, FPReg: reg,
-			OnData: func(t uint64) {
-				p.fp.LoadArrived(seq, t)
-				p.rob[idx].completeAt = t
-			},
+			RobIdx: int32(idx),
+			Seq:    seq,
 		}, now)
 
 	case isa.ClassFPStore:
@@ -382,28 +400,44 @@ func (p *Processor) doIssue(rec trace.Record) {
 		// The store's data token: the last FP write to the source register
 		// at dispatch time. The write cache accepts the store immediately;
 		// the FPU store queue holds a slot until the data is produced.
-		p.fp.DispatchStore(p.fp.CaptureWriter(rec.In.Ft, rec.FPDouble))
-		p.lsu.Dispatch(&ipu.MemOp{
+		p.fp.DispatchStore(p.fp.CaptureWriter(rec.SI.In.Ft, rec.SI.FPDouble))
+		p.lsu.Dispatch(ipu.MemOp{
 			Addr:  rec.MemAddr,
-			Store: true, FP: true, FPDouble: rec.FPDouble, FPReg: rec.In.Ft,
-			OnData: func(t uint64) {
-				p.rob[idx].completeAt = t
-			},
+			Store: true, FP: true, FPDouble: rec.SI.FPDouble, FPReg: rec.SI.In.Ft,
+			RobIdx: int32(idx),
 		}, now)
 
 	case isa.ClassFPMove:
-		if rec.In.Op == isa.OpMFC1 {
+		if rec.SI.In.Op == isa.OpMFC1 {
 			// Data crosses from the FPU chip: available next cycle,
 			// visible to dependents the cycle after.
 			p.allocROB(now + 2)
-			p.setIntDest(rec.Deps.DstInt, now+2, false, true)
+			p.setIntDest(rec.SI.Deps.DstInt, now+2, false, true)
 		} else { // MTC1
 			p.allocROB(now + 1)
-			p.fp.WriteFromIPU(rec.In.Fs, now+1)
+			p.fp.WriteFromIPU(rec.SI.In.Fs, now+1)
 		}
 
 	case isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv, isa.ClassFPCvt:
 		p.fp.DispatchInstr(rec, now)
+	}
+}
+
+// memOpDone is the LSU's OnComplete hook: it finishes the op's reorder
+// buffer entry and delivers load data to its consumer (the integer
+// scoreboard, or the FPU load queue for FP loads). Set once at
+// construction, so memory issue carries no per-op closures.
+func (p *Processor) memOpDone(op *ipu.MemOp, t uint64) {
+	p.rob[op.RobIdx].completeAt = t
+	if op.Store {
+		return
+	}
+	if op.FP {
+		p.fp.LoadArrived(op.Seq, t)
+		return
+	}
+	if dst := op.IntDest; dst != 0 && p.writerGen[dst] == op.Gen {
+		p.intReadyAt[dst] = t
 	}
 }
 

@@ -16,14 +16,9 @@ type tb struct {
 func newTB() *tb { return &tb{pc: 0x1000} }
 
 func (b *tb) push(in isa.Instruction, memAddr uint32, memSize uint8, taken bool, target uint32) {
-	rec := trace.Record{
-		PC: b.pc, In: in, Class: in.Class(), Deps: isa.DepsOf(in),
-		MemAddr: memAddr, MemSize: memSize, Taken: taken, Target: target,
-		FPDouble: in.Double,
-	}
-	if in.IsNop() {
-		rec.Class = isa.ClassNop
-	}
+	_ = memSize // the access width is predecoded from the opcode
+	rec := trace.NewRecord(b.pc, in)
+	rec.MemAddr, rec.Taken, rec.Target = memAddr, taken, target
 	b.recs = append(b.recs, rec)
 	if taken {
 		b.pc = target

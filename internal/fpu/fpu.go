@@ -162,9 +162,15 @@ type FPU struct {
 	cfg   Config
 	stats Stats
 
-	iq     []queued // instruction queue, index 0 = head
-	loadQ  int      // load-queue slots in use
-	storeQ []uint64 // store-queue: writer seq awaited by each pending store
+	iq     []queued // instruction queue ring; iqHead = oldest
+	iqHead int
+	iqLen  int
+	loadQ  int // load-queue slots in use
+
+	// Store-queue ring: writer seq awaited by each pending store.
+	storeQ     []uint64
+	storeQHead int
+	storeQLen  int
 
 	rob     []robEntry // ring: robHead = oldest
 	robHead int
@@ -182,7 +188,13 @@ type FPU struct {
 	unitBusyUntil [unitCount]uint64
 	unitLastIssue [unitCount]uint64
 
-	busUse map[uint64]int
+	// Result-bus reservations, a ring over future cycles: busAt[i] names
+	// the cycle slot i currently describes and busN[i] the buses reserved
+	// then. Sized past the longest unit latency so live cycles never
+	// collide; stale slots are recognised by their cycle and reused.
+	busAt   []uint64
+	busN    []uint8
+	busMask uint64
 
 	// InOrderComplete policy: the single active instruction finishes at
 	// activeUntil.
@@ -208,11 +220,44 @@ func (f *FPU) SetProbe(p *obs.Probe) { f.probe = p }
 // New creates an FPU.
 func New(cfg Config) *FPU {
 	cfg = cfg.Normalize()
-	return &FPU{
-		cfg:    cfg,
-		rob:    make([]robEntry, cfg.ReorderBuffer),
-		busUse: make(map[uint64]int),
+	maxLat := cfg.AddLatency
+	for _, l := range [...]int{cfg.MulLatency, cfg.DivLatency, cfg.CvtLatency} {
+		if l > maxLat {
+			maxLat = l
+		}
 	}
+	busWindow := 2
+	for busWindow < maxLat+2 {
+		busWindow <<= 1
+	}
+	return &FPU{
+		cfg:     cfg,
+		iq:      make([]queued, cfg.InstrQueue),
+		storeQ:  make([]uint64, cfg.StoreQueue),
+		rob:     make([]robEntry, cfg.ReorderBuffer),
+		busAt:   make([]uint64, busWindow),
+		busN:    make([]uint8, busWindow),
+		busMask: uint64(busWindow - 1),
+	}
+}
+
+// busReserved returns the result-bus reservations for cycle at.
+func (f *FPU) busReserved(at uint64) int {
+	i := at & f.busMask
+	if f.busAt[i] != at {
+		return 0
+	}
+	return int(f.busN[i])
+}
+
+// busReserve books one result bus for cycle at.
+func (f *FPU) busReserve(at uint64) {
+	i := at & f.busMask
+	if f.busAt[i] != at {
+		f.busAt[i] = at
+		f.busN[i] = 0
+	}
+	f.busN[i]++
 }
 
 // Config returns the active configuration.
@@ -262,26 +307,18 @@ func (f *FPU) pipelined(u Unit) bool {
 
 const fccIndex = 32
 
-func (f *FPU) regs(reg uint8, double bool) []uint8 {
-	if reg == isa.NoFPReg {
-		return nil
-	}
-	if double {
-		e := reg & 0x1e
-		return []uint8{e, e + 1}
-	}
-	return []uint8{reg & 31}
-}
-
 // markWriter assigns a new write sequence covering the register (pair).
 func (f *FPU) markWriter(reg uint8, double bool) uint64 {
-	rs := f.regs(reg, double)
-	if len(rs) == 0 {
+	if reg == isa.NoFPReg {
 		return 0
 	}
 	f.seqCtr++
-	for _, r := range rs {
-		f.lastWriter[r] = f.seqCtr
+	if double {
+		e := reg & 0x1e
+		f.lastWriter[e] = f.seqCtr
+		f.lastWriter[e+1] = f.seqCtr
+	} else {
+		f.lastWriter[reg&31] = f.seqCtr
 	}
 	return f.seqCtr
 }
@@ -294,13 +331,18 @@ func (f *FPU) markFCCWriter() uint64 {
 
 // capture returns the sequence a reader of the register (pair) must wait on.
 func (f *FPU) capture(reg uint8, double bool) uint64 {
-	var max uint64
-	for _, r := range f.regs(reg, double) {
-		if f.lastWriter[r] > max {
-			max = f.lastWriter[r]
-		}
+	if reg == isa.NoFPReg {
+		return 0
 	}
-	return max
+	if double {
+		e := reg & 0x1e
+		seq := f.lastWriter[e]
+		if f.lastWriter[e+1] > seq {
+			seq = f.lastWriter[e+1]
+		}
+		return seq
+	}
+	return f.lastWriter[reg&31]
 }
 
 // scheduleSeq records that write seq completes at cycle at.
@@ -358,10 +400,10 @@ func (f *FPU) FCCReady(now uint64) bool {
 // empty: no queued or executing FP instruction may be overtaken by one
 // that could fault.
 func (f *FPU) CanDispatchInstr() bool {
-	if f.cfg.Precise && (len(f.iq) > 0 || f.robUsed > 0) {
+	if f.cfg.Precise && (f.iqLen > 0 || f.robUsed > 0) {
 		return false
 	}
-	return len(f.iq) < f.cfg.InstrQueue
+	return f.iqLen < f.cfg.InstrQueue
 }
 
 // DispatchInstr deposits an FP arithmetic/convert/compare instruction into
@@ -372,24 +414,25 @@ func (f *FPU) DispatchInstr(rec trace.Record, now uint64) {
 	if !f.CanDispatchInstr() {
 		panic("fpu: dispatch to full instruction queue")
 	}
-	srcDouble := rec.FPDouble
-	switch rec.In.Op {
+	srcDouble := rec.SI.FPDouble
+	switch rec.SI.In.Op {
 	case isa.OpCVTS, isa.OpCVTD, isa.OpCVTW:
-		srcDouble = rec.In.CvtSrc == isa.CvtFromD
+		srcDouble = rec.SI.In.CvtSrc == isa.CvtFromD
 	}
 	q := queued{rec: rec}
-	q.srcSeq[0] = f.capture(rec.Deps.SrcFP[0], srcDouble)
-	q.srcSeq[1] = f.capture(rec.Deps.SrcFP[1], srcDouble)
-	if rec.Deps.DstFP != isa.NoFPReg {
-		q.dstSeq = f.markWriter(rec.Deps.DstFP, rec.FPDouble)
+	q.srcSeq[0] = f.capture(rec.SI.Deps.SrcFP[0], srcDouble)
+	q.srcSeq[1] = f.capture(rec.SI.Deps.SrcFP[1], srcDouble)
+	if rec.SI.Deps.DstFP != isa.NoFPReg {
+		q.dstSeq = f.markWriter(rec.SI.Deps.DstFP, rec.SI.FPDouble)
 	}
-	if rec.Deps.WritesFCC {
+	if rec.SI.Deps.WritesFCC {
 		q.fccSeq = f.markFCCWriter()
 	}
-	f.iq = append(f.iq, q)
+	f.iq[(f.iqHead+f.iqLen)%len(f.iq)] = q
+	f.iqLen++
 	f.stats.Dispatched++
 	if f.probe != nil {
-		f.probe.Counter("fpu", "fpu-iq", uint64(len(f.iq)))
+		f.probe.Counter("fpu", "fpu-iq", uint64(f.iqLen))
 	}
 }
 
@@ -419,7 +462,7 @@ func (f *FPU) LoadArrived(seq uint64, now uint64) {
 }
 
 // CanDispatchStore reports whether the store data queue has a free slot.
-func (f *FPU) CanDispatchStore() bool { return len(f.storeQ) < f.cfg.StoreQueue }
+func (f *FPU) CanDispatchStore() bool { return f.storeQLen < f.cfg.StoreQueue }
 
 // DispatchStore reserves a store-queue slot for an FP store. The paper's
 // write cache holds the store's line until the FPU delivers the data
@@ -430,7 +473,8 @@ func (f *FPU) DispatchStore(seq uint64) {
 	if !f.CanDispatchStore() {
 		panic("fpu: dispatch to full store queue")
 	}
-	f.storeQ = append(f.storeQ, seq)
+	f.storeQ[(f.storeQHead+f.storeQLen)%len(f.storeQ)] = seq
+	f.storeQLen++
 }
 
 // WriteFromIPU schedules an MTC1 register write (data crosses from the IPU;
@@ -445,12 +489,13 @@ func (f *FPU) WriteFromIPU(reg uint8, now uint64) {
 // Tick advances the FPU by one cycle: retire, then issue.
 func (f *FPU) Tick(now uint64) {
 	f.stats.Cycles++
-	f.stats.OccupancySum += uint64(len(f.iq))
+	f.stats.OccupancySum += uint64(f.iqLen)
 
 	// Drain the store queue in order: a slot frees once its data is
 	// produced and handed to the write cache (one per cycle).
-	if len(f.storeQ) > 0 && f.seqDone(f.storeQ[0], now) {
-		f.storeQ = f.storeQ[1:]
+	if f.storeQLen > 0 && f.seqDone(f.storeQ[f.storeQHead], now) {
+		f.storeQHead = (f.storeQHead + 1) % len(f.storeQ)
+		f.storeQLen--
 	}
 
 	// Retire up to two completed instructions in order.
@@ -465,7 +510,7 @@ func (f *FPU) Tick(now uint64) {
 		f.stats.Retired++
 	}
 
-	if len(f.iq) == 0 {
+	if f.iqLen == 0 {
 		f.stats.QueueEmpty++
 		return
 	}
@@ -476,14 +521,13 @@ func (f *FPU) Tick(now uint64) {
 	case OutOfOrderSingle:
 		f.issueHead(now, nil)
 	case OutOfOrderDual:
-		if f.issueHead(now, nil) && len(f.iq) > 0 {
+		if f.issueHead(now, nil) && f.iqLen > 0 {
 			first := f.lastIssued
 			if f.issueHead(now, &first) {
 				f.stats.DualIssues++
 			}
 		}
 	}
-	delete(f.busUse, now) // garbage-collect past reservations
 }
 
 // tickInOrder issues the head only when nothing is active, and completion
@@ -497,20 +541,21 @@ func (f *FPU) tickInOrder(now uint64) {
 		f.stats.ROBFullStall++
 		return
 	}
-	head := f.iq[0]
+	head := f.iq[f.iqHead]
 	if !f.sourcesReady(head, now) {
 		f.stats.SrcNotReady++
 		return
 	}
-	u := unitOf(head.rec.Class)
+	u := unitOf(head.rec.SI.Class)
 	lat := f.latencyOf(u)
 	f.complete(head, now+uint64(lat))
 	f.activeUntil = now + uint64(lat)
-	f.iq = f.iq[1:]
+	f.iqHead = (f.iqHead + 1) % len(f.iq)
+	f.iqLen--
 	f.stats.Issued++
 	if f.probe != nil {
 		f.probe.Span(uint64(lat), "fpu", unitNames[u], unitTracks[u], 0)
-		f.probe.Counter("fpu", "fpu-iq", uint64(len(f.iq)))
+		f.probe.Counter("fpu", "fpu-iq", uint64(f.iqLen))
 	}
 }
 
@@ -519,12 +564,12 @@ func (f *FPU) tickInOrder(now uint64) {
 // the pair must be independent (§5.8 lists data dependencies among the
 // dual-issue constraints). Returns whether the head issued.
 func (f *FPU) issueHead(now uint64, prev *trace.Record) bool {
-	if len(f.iq) == 0 {
+	if f.iqLen == 0 {
 		return false
 	}
-	head := f.iq[0]
+	head := f.iq[f.iqHead]
 	rec := head.rec
-	if prev != nil && rec.Deps.DependsOn(prev.Deps) {
+	if prev != nil && rec.SI.Deps.DependsOn(prev.SI.Deps) {
 		return false
 	}
 	if f.robUsed >= len(f.rob) {
@@ -535,7 +580,7 @@ func (f *FPU) issueHead(now uint64, prev *trace.Record) bool {
 		f.stats.SrcNotReady++
 		return false
 	}
-	u := unitOf(rec.Class)
+	u := unitOf(rec.SI.Class)
 	if f.pipelined(u) {
 		if f.unitLastIssue[u] == now {
 			f.stats.UnitBusy++
@@ -547,24 +592,25 @@ func (f *FPU) issueHead(now uint64, prev *trace.Record) bool {
 	}
 	lat := uint64(f.latencyOf(u))
 	doneAt := now + lat
-	if f.busUse[doneAt] >= f.cfg.ResultBuses {
+	if f.busReserved(doneAt) >= f.cfg.ResultBuses {
 		f.stats.BusConflict++
 		return false
 	}
 
 	// Commit the issue.
-	f.busUse[doneAt]++
+	f.busReserve(doneAt)
 	f.unitLastIssue[u] = now
 	if !f.pipelined(u) {
 		f.unitBusyUntil[u] = doneAt
 	}
 	f.complete(head, doneAt)
-	f.iq = f.iq[1:]
+	f.iqHead = (f.iqHead + 1) % len(f.iq)
+	f.iqLen--
 	f.lastIssued = rec
 	f.stats.Issued++
 	if f.probe != nil {
 		f.probe.Span(lat, "fpu", unitNames[u], unitTracks[u], 0)
-		f.probe.Counter("fpu", "fpu-iq", uint64(len(f.iq)))
+		f.probe.Counter("fpu", "fpu-iq", uint64(f.iqLen))
 	}
 	return true
 }
@@ -587,11 +633,11 @@ func (f *FPU) complete(q queued, doneAt uint64) {
 
 // Drained reports whether the FPU has no queued or in-flight work at now.
 func (f *FPU) Drained(now uint64) bool {
-	if len(f.iq) != 0 || f.robUsed != 0 || f.loadQ != 0 || len(f.storeQ) != 0 {
+	if f.iqLen != 0 || f.robUsed != 0 || f.loadQ != 0 || f.storeQLen != 0 {
 		return false
 	}
 	return f.activeUntil <= now
 }
 
 // QueueLen returns the instruction-queue occupancy (for tests).
-func (f *FPU) QueueLen() int { return len(f.iq) }
+func (f *FPU) QueueLen() int { return f.iqLen }

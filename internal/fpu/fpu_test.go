@@ -10,7 +10,7 @@ import (
 // mkFP builds a trace record for an FP arithmetic instruction.
 func mkFP(op isa.Op, fd, fs, ft uint8, double bool) trace.Record {
 	in := isa.Instruction{Op: op, Fd: fd, Fs: fs, Ft: ft, Double: double}
-	return trace.Record{In: in, Class: op.Class(), Deps: isa.DepsOf(in), FPDouble: double}
+	return trace.NewRecord(0, in)
 }
 
 func runCycles(f *FPU, from, to uint64) {
@@ -172,12 +172,9 @@ func TestResultBusConflict(t *testing.T) {
 		CvtLatency: 3, CvtPipelined: true, ReorderBuffer: 8, InstrQueue: 8,
 		ResultBuses: 1})
 	f.DispatchInstr(mkFP(isa.OpFADD, 2, 4, 6, true), 0)
-	cvt := trace.Record{
-		In:    isa.Instruction{Op: isa.OpCVTD, Fd: 8, Fs: 10, Ft: isa.NoFPReg, CvtSrc: isa.CvtFromW, Double: true},
-		Class: isa.ClassFPCvt,
-	}
-	cvt.Deps = isa.DepsOf(cvt.In)
-	cvt.FPDouble = true
+	cvt := trace.NewRecord(0, isa.Instruction{
+		Op: isa.OpCVTD, Fd: 8, Fs: 10, Ft: isa.NoFPReg, CvtSrc: isa.CvtFromW, Double: true,
+	})
 	f.DispatchInstr(cvt, 0)
 	f.Tick(1)
 	if f.Stats().DualIssues != 0 {
@@ -288,11 +285,9 @@ func TestMTC1Write(t *testing.T) {
 func TestSqrtUsesDivideUnit(t *testing.T) {
 	f := New(Config{Policy: OutOfOrderSingle, DivLatency: 19, InstrQueue: 5,
 		ReorderBuffer: 6})
-	sq := trace.Record{
-		In:    isa.Instruction{Op: isa.OpFSQRT, Fd: 2, Fs: 4, Ft: isa.NoFPReg, Double: true},
-		Class: isa.ClassFPDiv, FPDouble: true,
-	}
-	sq.Deps = isa.DepsOf(sq.In)
+	sq := trace.NewRecord(0, isa.Instruction{
+		Op: isa.OpFSQRT, Fd: 2, Fs: 4, Ft: isa.NoFPReg, Double: true,
+	})
 	f.DispatchInstr(sq, 0)
 	f.DispatchInstr(mkFP(isa.OpFDIV, 6, 8, 10, true), 0)
 	runCycles(f, 1, 50)

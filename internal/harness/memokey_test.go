@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"testing"
+
+	"aurora/internal/core"
+	"aurora/internal/workloads"
+)
+
+// tinyWorkload is a fast-terminating kernel for memo-table tests.
+func tinyWorkload(name string) *workloads.Workload {
+	return &workloads.Workload{
+		Name:          name,
+		Suite:         workloads.SuiteInt,
+		DefaultBudget: 500,
+		Description:   "test kernel: short counting loop",
+		Source: `
+		.text
+main:
+		li $t0, 64
+loop:
+		addiu $t0, $t0, -1
+		bnez $t0, loop
+		li $v0, 10
+		syscall
+`,
+	}
+}
+
+// TestMemoKeySeparation checks every axis of the memo key: jobs that differ
+// in budget, in the scheduling pass, in any timing-relevant config field, or
+// in workload identity must never collide — while jobs identical in all of
+// them (even under a different config *name*) must share one entry.
+func TestMemoKeySeparation(t *testing.T) {
+	r := NewRunner(2)
+	w := tinyWorkload("tiny")
+	base := core.Baseline()
+
+	rep1, err := r.Run(base, w, Options{Budget: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Stats(); s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("after first run: %+v, want 1 miss", s)
+	}
+
+	// Same job: must hit and share the report pointer.
+	rep2, err := r.Run(base, w, Options{Budget: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2 != rep1 {
+		t.Error("identical job re-simulated instead of sharing the memo entry")
+	}
+	// A renamed but otherwise identical config is the same machine: hit.
+	renamed := core.Baseline()
+	renamed.Name = "baseline-relabelled"
+	rep3, err := r.Run(renamed, w, Options{Budget: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3 != rep1 {
+		t.Error("config rename changed the memo key; Fingerprint should exclude Name")
+	}
+	if s := r.Stats(); s.Misses != 1 || s.Hits != 2 {
+		t.Fatalf("after two hits: %+v, want 1 miss / 2 hits", s)
+	}
+
+	// Distinct budget → distinct job.
+	repB, err := r.Run(base, w, Options{Budget: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repB == rep1 {
+		t.Error("different budget collided with the original job")
+	}
+	if repB.Instructions >= rep1.Instructions {
+		t.Errorf("budget 80 retired %d instructions, budget 150 retired %d — keys collided?",
+			repB.Instructions, rep1.Instructions)
+	}
+
+	// Scheduled trace pass → distinct job even with equal config and budget.
+	repS, err := r.Run(base, w, Options{Budget: 150, Scheduled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repS == rep1 {
+		t.Error("scheduled run collided with the unscheduled job")
+	}
+
+	// Any timing-relevant field → distinct job.
+	slow := core.Baseline()
+	slow.Memory.Latency = 35
+	repL, err := r.Run(slow, w, Options{Budget: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repL == rep1 {
+		t.Error("changed memory latency collided with the baseline job")
+	}
+	if repL.Cycles <= rep1.Cycles {
+		t.Errorf("35-cycle memory finished in %d cycles, 17-cycle in %d — keys collided?",
+			repL.Cycles, rep1.Cycles)
+	}
+
+	// Distinct workload name → distinct job, even with identical source.
+	repW, err := r.Run(base, tinyWorkload("tiny2"), Options{Budget: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repW == rep1 {
+		t.Error("different workload collided with the original job")
+	}
+
+	if s := r.Stats(); s.Misses != 5 || s.Hits != 2 {
+		t.Fatalf("final stats %+v, want 5 misses / 2 hits", s)
+	}
+}

@@ -59,10 +59,14 @@ type IFU struct {
 	biu *mem.BIU
 
 	stream    trace.Stream
+	batch     trace.BatchStream // non-nil when the stream supports batching
 	exhausted bool
-	peeked    []trace.Record // lookahead of up to 2 records
+	peeked    []trace.Record // lookahead window; consumed via peekPos
+	peekPos   int            // first unconsumed record in peeked
 
-	queue []FetchedInstr
+	queue []FetchedInstr // ring buffer of cfg.FetchQueue entries
+	qHead int
+	qLen  int
 
 	fillPending bool
 	fillReady   uint64
@@ -79,14 +83,25 @@ func NewIFU(cfg IFUConfig, biu *mem.BIU, pfu *prefetch.Buffers, stream trace.Str
 	if cfg.FetchQueue <= 0 {
 		cfg.FetchQueue = 8
 	}
-	return &IFU{
+	f := &IFU{
 		cfg:    cfg,
 		ic:     cache.NewTagArray(cfg.ICacheBytes, cfg.LineBytes),
 		pfu:    pfu,
 		biu:    biu,
 		stream: stream,
+		queue:  make([]FetchedInstr, cfg.FetchQueue),
 	}
+	if bs, ok := stream.(trace.BatchStream); ok {
+		f.batch = bs
+		f.peeked = make([]trace.Record, 0, peekBatch+2)
+	}
+	return f
 }
+
+// peekBatch is how many records a batch-capable stream delivers per refill;
+// the peek buffer's capacity is fixed at construction so refills never grow
+// it (the lookahead the fetch logic needs is only 2 records deep).
+const peekBatch = 64
 
 // ICache exposes the instruction cache tag array (stats).
 func (f *IFU) ICache() *cache.TagArray { return f.ic }
@@ -98,17 +113,45 @@ func (f *IFU) SetProbe(p *obs.Probe) { f.ic.SetProbe(p, "icache") }
 // Stats returns the fetch counters.
 func (f *IFU) Stats() IFUStats { return f.stats }
 
-// Queue returns the decoded-instruction buffer contents.
-func (f *IFU) Queue() []FetchedInstr { return f.queue }
+// QueueLen returns the decoded-instruction buffer occupancy.
+func (f *IFU) QueueLen() int { return f.qLen }
+
+// QueueHead returns the oldest queued instruction; the pointer is valid
+// until the next Consume or Tick. The queue must be non-empty.
+func (f *IFU) QueueHead() *FetchedInstr { return &f.queue[f.qHead] }
+
+// Queue returns a copy of the decoded-instruction buffer contents in fetch
+// order (tests and debugging; the issue path uses QueueHead).
+func (f *IFU) Queue() []FetchedInstr {
+	out := make([]FetchedInstr, f.qLen)
+	for i := 0; i < f.qLen; i++ {
+		out[i] = f.queue[(f.qHead+i)%len(f.queue)]
+	}
+	return out
+}
 
 // Consume removes the first n queue entries (issued instructions).
 func (f *IFU) Consume(n int) {
-	f.queue = f.queue[:copy(f.queue, f.queue[n:])]
+	f.qHead = (f.qHead + n) % len(f.queue)
+	f.qLen -= n
+}
+
+// push appends a fetched instruction to the ring.
+func (f *IFU) push(fi FetchedInstr) {
+	f.queue[(f.qHead+f.qLen)%len(f.queue)] = fi
+	f.qLen++
 }
 
 // Done reports whether the trace is exhausted and the queue drained.
 func (f *IFU) Done() bool {
-	return f.exhausted && len(f.peeked) == 0 && len(f.queue) == 0
+	return f.exhausted && f.peekPos >= len(f.peeked) && f.qLen == 0
+}
+
+// LineArrived implements mem.ReadClient: the demanded instruction line
+// lands in the cache and fetch resumes.
+func (f *IFU) LineArrived(arrival uint64, lineAddr uint32, _ uint64) {
+	f.ic.Fill(lineAddr)
+	f.fillReady = arrival
 }
 
 // Stalled reports whether fetch is blocked on an instruction-cache fill —
@@ -118,7 +161,21 @@ func (f *IFU) Stalled(now uint64) bool {
 }
 
 func (f *IFU) peek(i int) (trace.Record, bool) {
-	for len(f.peeked) <= i && !f.exhausted {
+	for f.peekPos+i >= len(f.peeked) && !f.exhausted {
+		// Compact the (at most 2) unconsumed records to the front before
+		// refilling, so the window never grows past its fixed capacity.
+		rem := copy(f.peeked, f.peeked[f.peekPos:])
+		f.peeked = f.peeked[:rem]
+		f.peekPos = 0
+		if f.batch != nil {
+			n := f.batch.NextBatch(f.peeked[rem:cap(f.peeked)])
+			if n == 0 {
+				f.exhausted = true
+				break
+			}
+			f.peeked = f.peeked[:rem+n]
+			continue
+		}
 		r, ok := f.stream.Next()
 		if !ok {
 			f.exhausted = true
@@ -126,14 +183,15 @@ func (f *IFU) peek(i int) (trace.Record, bool) {
 		}
 		f.peeked = append(f.peeked, r)
 	}
-	if i < len(f.peeked) {
-		return f.peeked[i], true
+	if idx := f.peekPos + i; idx < len(f.peeked) {
+		return f.peeked[idx], true
 	}
 	return trace.Record{}, false
 }
 
+// advance consumes n peeked records — a cursor bump, no data movement.
 func (f *IFU) advance(n int) {
-	f.peeked = f.peeked[:copy(f.peeked, f.peeked[n:])]
+	f.peekPos += n
 }
 
 // Tick fetches up to one instruction pair into the queue.
@@ -150,7 +208,7 @@ func (f *IFU) Tick(now uint64) {
 		f.stats.StallCycles++
 		return
 	}
-	if len(f.queue)+2 > f.cfg.FetchQueue {
+	if f.qLen+2 > f.cfg.FetchQueue {
 		return // no room for a full pair this cycle
 	}
 	head, ok := f.peek(0)
@@ -181,12 +239,9 @@ func (f *IFU) Tick(now uint64) {
 			f.fillReady = readyAt + 1
 		default:
 			f.pfu.AllocateOnMiss(now, lineAddr)
-			if _, okr := f.biu.Read(now, lineAddr, func(arrival uint64) {
-				f.ic.Fill(lineAddr)
-				f.fillReady = arrival
-			}); okr {
+			if _, okr := f.biu.Read(now, lineAddr, f, 0); okr {
 				f.fillPending = true
-				f.fillReady = ^uint64(0) // set by the callback
+				f.fillReady = ^uint64(0) // set by LineArrived
 			}
 			// BIU full: retry next cycle (fill not pending).
 		}
@@ -198,13 +253,12 @@ func (f *IFU) Tick(now uint64) {
 	// successor really is the other half of the aligned pair.
 	second, haveSecond := f.peek(1)
 	pair := haveSecond && head.PC%8 == 0 && second.PC == head.PC+4
-	fi := FetchedInstr{Rec: head, PairHead: pair}
-	f.queue = append(f.queue, fi)
+	f.push(FetchedInstr{Rec: head, PairHead: pair})
 	n := 1
 	if pair {
-		f.queue = append(f.queue, FetchedInstr{
+		f.push(FetchedInstr{
 			Rec:       second,
-			DepOnPrev: second.Deps.DependsOn(head.Deps),
+			DepOnPrev: second.SI.Deps.DependsOn(head.SI.Deps),
 		})
 		n = 2
 	}
@@ -215,15 +269,15 @@ func (f *IFU) Tick(now uint64) {
 	// folding disabled (ablation), every taken transfer pays the bubble.
 	// Either half of the delivered pair can be the control instruction
 	// (a branch in the even slot has its delay slot in the odd slot).
-	for k := len(f.queue) - n; k < len(f.queue); k++ {
-		rec := f.queue[k].Rec
-		indirect := rec.Class == isa.ClassJump &&
-			(rec.In.Op == isa.OpJR || rec.In.Op == isa.OpJALR)
-		if rec.Class.IsControl() && rec.Taken &&
+	for k := f.qLen - n; k < f.qLen; k++ {
+		rec := f.queue[(f.qHead+k)%len(f.queue)].Rec
+		indirect := rec.SI.Class == isa.ClassJump &&
+			(rec.SI.In.Op == isa.OpJR || rec.SI.In.Op == isa.OpJALR)
+		if rec.SI.Class.IsControl() && rec.Taken &&
 			f.ic.LineAddr(rec.PC) != f.ic.LineAddr(rec.PC+4) {
 			f.stats.DelaySlotCrossings++
 		}
-		foldable := rec.Class.IsControl() && rec.Taken && !indirect
+		foldable := rec.SI.Class.IsControl() && rec.Taken && !indirect
 		if indirect || (f.cfg.DisableBranchFolding && foldable) {
 			// The architectural delay-slot instruction is still
 			// fetched sequentially; the bubble hits the target fetch.

@@ -40,12 +40,12 @@ func TestLSULoadHitLatency(t *testing.T) {
 	l, biu := testLSU(2)
 	// Warm the line.
 	var warm bool
-	l.Dispatch(&MemOp{Addr: 0x2000, OnData: func(uint64) { warm = true }}, 0)
+	l.Dispatch(MemOp{Addr: 0x2000, OnData: func(uint64) { warm = true }}, 0)
 	drive(l, biu, 1, 100, &warm)
 
 	var done bool
 	var dataAt uint64
-	l.Dispatch(&MemOp{Addr: 0x2004, OnData: func(tt uint64) { done = true; dataAt = tt }}, 100)
+	l.Dispatch(MemOp{Addr: 0x2004, OnData: func(tt uint64) { done = true; dataAt = tt }}, 100)
 	drive(l, biu, 101, 50, &done)
 	// dispatch at 100, transfer 1 cycle, port access at 101, 3-cycle
 	// pipelined cache → data at 104.
@@ -58,7 +58,7 @@ func TestLSULoadMissLatency(t *testing.T) {
 	l, biu := testLSU(2)
 	var done bool
 	var dataAt uint64
-	l.Dispatch(&MemOp{Addr: 0x2000, OnData: func(tt uint64) { done = true; dataAt = tt }}, 0)
+	l.Dispatch(MemOp{Addr: 0x2000, OnData: func(tt uint64) { done = true; dataAt = tt }}, 0)
 	drive(l, biu, 1, 100, &done)
 	// access at 1, miss → BIU read at 1 → data 1+17+4 = 22.
 	if dataAt != 22 {
@@ -73,7 +73,7 @@ func TestLSUStoreFastCompletion(t *testing.T) {
 	l, biu := testLSU(2)
 	var done bool
 	var at uint64
-	l.Dispatch(&MemOp{Addr: 0x3000, Store: true, OnData: func(tt uint64) { done = true; at = tt }}, 0)
+	l.Dispatch(MemOp{Addr: 0x3000, Store: true, OnData: func(tt uint64) { done = true; at = tt }}, 0)
 	drive(l, biu, 1, 20, &done)
 	if at != 2 { // transfer 1 + WC access 1
 		t.Errorf("store completed at %d want 2", at)
@@ -89,7 +89,7 @@ func TestLSUMSHROccupancy(t *testing.T) {
 		t.Fatal("fresh LSU rejects")
 	}
 	var done bool
-	l.Dispatch(&MemOp{Addr: 0x2000, OnData: func(uint64) { done = true }}, 0)
+	l.Dispatch(MemOp{Addr: 0x2000, OnData: func(uint64) { done = true }}, 0)
 	if l.CanAccept() {
 		t.Error("1-MSHR LSU accepted a second op")
 	}
@@ -102,11 +102,11 @@ func TestLSUMSHROccupancy(t *testing.T) {
 func TestLSUWriteCacheForwarding(t *testing.T) {
 	l, biu := testLSU(2)
 	var sdone bool
-	l.Dispatch(&MemOp{Addr: 0x5000, Store: true, OnData: func(uint64) { sdone = true }}, 0)
+	l.Dispatch(MemOp{Addr: 0x5000, Store: true, OnData: func(uint64) { sdone = true }}, 0)
 	drive(l, biu, 1, 20, &sdone)
 	var ldone bool
 	var at uint64
-	l.Dispatch(&MemOp{Addr: 0x5000, OnData: func(tt uint64) { ldone = true; at = tt }}, 20)
+	l.Dispatch(MemOp{Addr: 0x5000, OnData: func(tt uint64) { ldone = true; at = tt }}, 20)
 	drive(l, biu, 21, 20, &ldone)
 	// WC forwarding: 1 cycle after the port access at 21 → 22,
 	// beating the 3-cycle external cache.
@@ -124,14 +124,14 @@ func TestLSUPrefetchProbeCounts(t *testing.T) {
 	}, biu, pfu, nil)
 	// Sequential load misses: the second miss should hit the stream buffer.
 	var d1, d2 bool
-	l.Dispatch(&MemOp{Addr: 0x8000, OnData: func(uint64) { d1 = true }}, 0)
+	l.Dispatch(MemOp{Addr: 0x8000, OnData: func(uint64) { d1 = true }}, 0)
 	now := drive(l, biu, 1, 200, &d1)
 	for c := now; c < now+60; c++ { // give the prefetch time to land
 		biu.Tick(c)
 		l.Tick(c)
 		pfu.Tick(c, biu)
 	}
-	l.Dispatch(&MemOp{Addr: 0x8020, OnData: func(uint64) { d2 = true }}, now+60)
+	l.Dispatch(MemOp{Addr: 0x8020, OnData: func(uint64) { d2 = true }}, now+60)
 	drive(l, biu, now+61, 200, &d2)
 	st := l.Stats()
 	if st.DPrefetchProbes != 2 {
@@ -171,9 +171,7 @@ func seqTrace(pc uint32, n int) []trace.Record {
 	var recs []trace.Record
 	for i := 0; i < n; i++ {
 		in := isa.Instruction{Op: isa.OpADDU, Rd: 8, Rs: 9, Rt: 10}
-		recs = append(recs, trace.Record{
-			PC: pc + uint32(i)*4, In: in, Class: in.Class(), Deps: isa.DepsOf(in),
-		})
+		recs = append(recs, trace.NewRecord(pc+uint32(i)*4, in))
 	}
 	return recs
 }
@@ -247,7 +245,7 @@ func TestLSUBIUBackpressure(t *testing.T) {
 	}, biu, noPrefetch(), nil)
 	done := 0
 	for i := 0; i < 3; i++ {
-		l.Dispatch(&MemOp{Addr: 0x40000 + uint32(i)*4096,
+		l.Dispatch(MemOp{Addr: 0x40000 + uint32(i)*4096,
 			OnData: func(uint64) { done++ }}, 0)
 	}
 	for now := uint64(1); now < 300; now++ {
@@ -269,7 +267,7 @@ func TestLSUEvictionHoldsPort(t *testing.T) {
 	var done int
 	now := uint64(0)
 	for i := 0; i < 5; i++ {
-		l.Dispatch(&MemOp{Addr: 0x1000 + uint32(i)*0x1000, Store: true,
+		l.Dispatch(MemOp{Addr: 0x1000 + uint32(i)*0x1000, Store: true,
 			OnData: func(uint64) { done++ }}, now)
 		for c := 0; c < 4; c++ {
 			now++
@@ -295,7 +293,7 @@ func TestLSUEvictionHoldsPort(t *testing.T) {
 func TestLSUFlushWritesRemaining(t *testing.T) {
 	l, biu := testLSU(2)
 	var done bool
-	l.Dispatch(&MemOp{Addr: 0x9000, Store: true, OnData: func(uint64) { done = true }}, 0)
+	l.Dispatch(MemOp{Addr: 0x9000, Store: true, OnData: func(uint64) { done = true }}, 0)
 	drive(l, biu, 1, 30, &done)
 	l.FlushWriteCache(40)
 	if biu.Stats().Writes != 1 {
@@ -352,7 +350,7 @@ func TestLSUTranslateHookDelaysAccess(t *testing.T) {
 	}
 	var done bool
 	var at uint64
-	l.Dispatch(&MemOp{Addr: 0x2000, OnData: func(tt uint64) { done = true; at = tt }}, 0)
+	l.Dispatch(MemOp{Addr: 0x2000, OnData: func(tt uint64) { done = true; at = tt }}, 0)
 	drive(l, biu, 1, 200, &done)
 	if calls != 1 {
 		t.Errorf("translate called %d times", calls)

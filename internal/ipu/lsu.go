@@ -33,20 +33,32 @@ type LSUConfig struct {
 // Support"). seq is the writer token captured at dispatch.
 type FPStoreReady func(seq uint64, now uint64) bool
 
-// MemOp is one memory instruction active in the LSU.
+// MemOp is one memory instruction active in the LSU. Ops live in a pool
+// owned by the LSU (one slot per MSHR); Dispatch copies the caller's
+// template into a pool slot, so the per-instruction hot path allocates
+// nothing.
 type MemOp struct {
-	Store     bool
-	FP        bool
-	FPDouble  bool
-	FPReg     uint8
-	FPDataSeq uint64 // FP stores: writer token for the data register
-	IntDest   uint8
-	Addr      uint32
+	Store    bool
+	FP       bool
+	FPDouble bool
+	FPReg    uint8
+	IntDest  uint8
+	Addr     uint32
 
-	// OnData fires once when the operation completes: loads at data
-	// return, stores when accepted by the write cache.
+	// Completion context, opaque to the LSU: the dispatcher's reorder-buffer
+	// slot, scoreboard writer generation, and FP load sequence, handed back
+	// through the OnComplete hook.
+	RobIdx int32
+	Gen    uint64
+	Seq    uint64
+
+	// OnData, when non-nil, fires once when the operation completes: loads
+	// at data return, stores when accepted by the write cache. The
+	// simulator core leaves it nil and uses the LSU-wide OnComplete hook
+	// instead (a per-op closure would allocate on every memory access).
 	OnData func(now uint64)
 
+	poolIdx     int32
 	state       opState
 	startAt     uint64 // earliest cycle the cache port may start this op
 	dataAt      uint64 // completion cycle once known
@@ -91,6 +103,13 @@ type LSU struct {
 	// it returns extra cycles the access must wait (a page-table walk).
 	Translate func(addr uint32) int
 
+	// OnComplete, when non-nil, fires once per completed operation: loads
+	// at data return, stores when accepted by the write cache. Set once at
+	// construction time by the core (no per-op state).
+	OnComplete func(op *MemOp, now uint64)
+
+	pool       []MemOp // one slot per MSHR; every active op holds an MSHR
+	free       []int32 // available pool slots
 	ops        []*MemOp
 	portFreeAt uint64
 
@@ -121,7 +140,10 @@ func NewLSU(cfg LSUConfig, biu *mem.BIU, pfu *prefetch.Buffers, fpReady FPStoreR
 	if cfg.WriteCacheLineBytes <= 0 {
 		cfg.WriteCacheLineBytes = 32
 	}
-	return &LSU{
+	if cfg.MSHRs < 1 {
+		cfg.MSHRs = 1
+	}
+	l := &LSU{
 		cfg:     cfg,
 		biu:     biu,
 		pfu:     pfu,
@@ -130,7 +152,14 @@ func NewLSU(cfg LSUConfig, biu *mem.BIU, pfu *prefetch.Buffers, fpReady FPStoreR
 		wc:      cache.NewWriteCache(cfg.WriteCacheLines, cfg.WriteCacheLineBytes),
 		mshr:    cache.NewMSHRFile(cfg.MSHRs),
 		fpReady: fpReady,
+		pool:    make([]MemOp, cfg.MSHRs),
+		free:    make([]int32, cfg.MSHRs),
+		ops:     make([]*MemOp, 0, cfg.MSHRs),
 	}
+	for i := range l.free {
+		l.free[i] = int32(i)
+	}
+	return l
 }
 
 // DCache exposes the data cache tag array (stats).
@@ -154,12 +183,18 @@ func (l *LSU) Stats() LSUStats { return l.stats }
 func (l *LSU) CanAccept() bool { return l.mshr.Available() }
 
 // Dispatch enters a memory operation at cycle now (its address was computed
-// in the IEU this cycle; the transfer to the LSU takes one cycle).
+// in the IEU this cycle; the transfer to the LSU takes one cycle). The
+// template is copied into a pool slot — callers build it on the stack.
 // The caller must have checked CanAccept.
-func (l *LSU) Dispatch(op *MemOp, now uint64) {
+func (l *LSU) Dispatch(tmpl MemOp, now uint64) {
 	if !l.mshr.Allocate() {
 		panic("ipu: LSU dispatch without MSHR")
 	}
+	idx := l.free[len(l.free)-1]
+	l.free = l.free[:len(l.free)-1]
+	op := &l.pool[idx]
+	*op = tmpl
+	op.poolIdx = idx
 	op.startAt = now + 1
 	op.state = opWaitPort
 	if op.Store {
@@ -196,11 +231,13 @@ func (l *LSU) Tick(now uint64) {
 			}
 		}
 	}
-	// Compact completed operations.
+	// Compact completed operations, returning their pool slots.
 	live := l.ops[:0]
 	for _, op := range l.ops {
 		if op.state != opDone {
 			live = append(live, op)
+		} else {
+			l.free = append(l.free, op.poolIdx)
 		}
 	}
 	l.ops = live
@@ -222,8 +259,8 @@ func (l *LSU) access(op *MemOp, now uint64) {
 	if op.Store {
 		// Stores go to the on-chip write cache; a miss allocates and
 		// may evict a dirty line: one coalesced BIU write transaction.
-		_, ev := l.wc.Store(op.Addr)
-		if ev != nil {
+		_, ev, evicted := l.wc.Store(op.Addr)
+		if evicted {
 			l.biu.Write(now)
 			// The evicted line also updates the external data cache
 			// over the shared data busses, holding the port.
@@ -284,12 +321,7 @@ func (l *LSU) access(op *MemOp, now uint64) {
 	// Full miss: allocate a stream buffer for the successor line and
 	// fetch the demanded line through the BIU.
 	l.pfu.AllocateOnMiss(now, lineAddr)
-	if _, ok := l.biu.Read(now, lineAddr, func(arrival uint64) {
-		l.dcFill(lineAddr)
-		l.fillPort(arrival)
-		op.dataAt = arrival
-		op.state = opWaitData
-	}); ok {
+	if _, ok := l.biu.Read(now, lineAddr, l, uint64(op.poolIdx)); ok {
 		op.state = opWaitBIU
 		op.biuInFlight = true
 		return
@@ -297,6 +329,18 @@ func (l *LSU) access(op *MemOp, now uint64) {
 	// BIU full: retry the port access next cycle.
 	l.stats.BIUQueueStalls++
 	op.startAt = now + 1
+}
+
+// LineArrived implements mem.ReadClient: a demand-missed line lands in the
+// data cache; the waiting op (identified by its pool slot in the tag)
+// completes at the arrival cycle. An op in opWaitBIU holds its MSHR and
+// pool slot until it finishes, so the tag can never be stale.
+func (l *LSU) LineArrived(arrival uint64, lineAddr uint32, tag uint64) {
+	op := &l.pool[tag]
+	l.dcFill(lineAddr)
+	l.fillPort(arrival)
+	op.dataAt = arrival
+	op.state = opWaitData
 }
 
 // dcFill installs a line in the data cache, salvaging the displaced line
@@ -324,6 +368,9 @@ func (l *LSU) finish(op *MemOp, t uint64) {
 	l.mshr.Release()
 	if op.OnData != nil {
 		op.OnData(t)
+	}
+	if l.OnComplete != nil {
+		l.OnComplete(op, t)
 	}
 }
 

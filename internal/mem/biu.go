@@ -35,10 +35,27 @@ type Stats struct {
 	PeakInflight int
 }
 
+// ReadClient receives line-read completions from the BIU. The tag is the
+// opaque value supplied to Read, letting a client with several outstanding
+// transactions route the fill without a per-request closure (the hot loop
+// stays allocation-free).
+type ReadClient interface {
+	LineArrived(now uint64, lineAddr uint32, tag uint64)
+}
+
+// FuncClient adapts a plain function to ReadClient (tests and tools; the
+// simulator's hot path uses struct clients to avoid the closure allocation).
+type FuncClient func(now uint64, lineAddr uint32, tag uint64)
+
+// LineArrived calls the wrapped function.
+func (f FuncClient) LineArrived(now uint64, lineAddr uint32, tag uint64) { f(now, lineAddr, tag) }
+
 type pending struct {
-	doneAt uint64
-	issued uint64
-	cb     func(now uint64)
+	doneAt   uint64
+	issued   uint64
+	lineAddr uint32
+	tag      uint64
+	client   ReadClient
 }
 
 // BIU is the bus interface unit.
@@ -52,6 +69,7 @@ type BIU struct {
 
 	busFreeAt uint64
 	inflight  []pending // reads awaiting completion, doneAt ascending
+	scratch   []pending // Tick's completion batch, reused across cycles
 
 	probe *obs.Probe
 }
@@ -70,7 +88,11 @@ func New(cfg Config) *BIU {
 	if cfg.MaxOutstanding <= 0 {
 		cfg.MaxOutstanding = 8
 	}
-	return &BIU{cfg: cfg}
+	return &BIU{
+		cfg:      cfg,
+		inflight: make([]pending, 0, cfg.MaxOutstanding),
+		scratch:  make([]pending, 0, cfg.MaxOutstanding),
+	}
 }
 
 // Config returns the active configuration.
@@ -96,11 +118,12 @@ func (b *BIU) SpareForPrefetch() bool {
 // OutstandingReads returns the number of in-flight read transactions.
 func (b *BIU) OutstandingReads() int { return len(b.inflight) }
 
-// Read starts a line-read transaction for lineAddr at cycle now. cb fires
-// from Tick when the line has fully arrived. The returned cycle is the
-// (deterministic) completion time; ok is false (and nothing happens) when
-// the transaction buffers are full.
-func (b *BIU) Read(now uint64, lineAddr uint32, cb func(now uint64)) (completeAt uint64, ok bool) {
+// Read starts a line-read transaction for lineAddr at cycle now. The
+// client's LineArrived fires from Tick, with tag echoed back, when the line
+// has fully arrived. The returned cycle is the (deterministic) completion
+// time; ok is false (and nothing happens) when the transaction buffers are
+// full.
+func (b *BIU) Read(now uint64, lineAddr uint32, client ReadClient, tag uint64) (completeAt uint64, ok bool) {
 	if !b.CanAccept() {
 		return 0, false
 	}
@@ -120,7 +143,7 @@ func (b *BIU) Read(now uint64, lineAddr uint32, cb func(now uint64)) (completeAt
 	b.stats.Reads++
 	b.stats.BusBusy += uint64(b.cfg.LineTransfer)
 	b.stats.ReadLatency += done - now
-	b.insert(pending{doneAt: done, issued: now, cb: cb})
+	b.insert(pending{doneAt: done, issued: now, lineAddr: lineAddr, tag: tag, client: client})
 	if len(b.inflight) > b.stats.PeakInflight {
 		b.stats.PeakInflight = len(b.inflight)
 	}
@@ -166,14 +189,17 @@ func (b *BIU) Tick(now uint64) {
 	if n == 0 {
 		return
 	}
-	done := make([]pending, n)
-	copy(done, b.inflight[:n])
+	// Move the completed batch aside before firing notifications, so a
+	// client issuing a new read from LineArrived cannot disturb the walk.
+	// The scratch slice is reused every cycle (no per-tick allocation).
+	b.scratch = append(b.scratch[:0], b.inflight[:n]...)
 	b.inflight = b.inflight[:copy(b.inflight, b.inflight[n:])]
 	if b.probe != nil {
 		b.probe.Counter("mem", "biu-inflight", uint64(len(b.inflight)))
 	}
-	for _, p := range done {
-		p.cb(now)
+	for i := range b.scratch {
+		p := &b.scratch[i]
+		p.client.LineArrived(now, p.lineAddr, p.tag)
 	}
 }
 

@@ -5,7 +5,7 @@ import "testing"
 func TestSingleReadLatency(t *testing.T) {
 	b := New(Config{Latency: 17, LineTransfer: 4, MaxOutstanding: 8})
 	var doneAt uint64
-	if _, ok := b.Read(100, 0x1000, func(now uint64) { doneAt = now }); !ok {
+	if _, ok := b.Read(100, 0x1000, FuncClient(func(now uint64, _ uint32, _ uint64) { doneAt = now }), 0); !ok {
 		t.Fatal("read rejected")
 	}
 	for now := uint64(100); now <= 130; now++ {
@@ -20,8 +20,8 @@ func TestSingleReadLatency(t *testing.T) {
 func TestOverlappedLatencySerialisedTransfer(t *testing.T) {
 	b := New(DefaultConfig())
 	var d1, d2 uint64
-	b.Read(0, 0x1000, func(now uint64) { d1 = now })
-	b.Read(0, 0x1000, func(now uint64) { d2 = now })
+	b.Read(0, 0x1000, FuncClient(func(now uint64, _ uint32, _ uint64) { d1 = now }), 0)
+	b.Read(0, 0x1000, FuncClient(func(now uint64, _ uint32, _ uint64) { d2 = now }), 0)
 	for now := uint64(0); now <= 40; now++ {
 		b.Tick(now)
 	}
@@ -33,15 +33,15 @@ func TestOverlappedLatencySerialisedTransfer(t *testing.T) {
 
 func TestMaxOutstanding(t *testing.T) {
 	b := New(Config{Latency: 17, LineTransfer: 4, MaxOutstanding: 2})
-	_, ok1 := b.Read(0, 0x1000, func(uint64) {})
-	_, ok2 := b.Read(0, 0x1000, func(uint64) {})
+	_, ok1 := b.Read(0, 0x1000, FuncClient(func(uint64, uint32, uint64) {}), 0)
+	_, ok2 := b.Read(0, 0x1000, FuncClient(func(uint64, uint32, uint64) {}), 0)
 	if !ok1 || !ok2 {
 		t.Fatal("first two reads rejected")
 	}
 	if b.CanAccept() {
 		t.Error("CanAccept true at capacity")
 	}
-	if _, ok := b.Read(0, 0x1000, func(uint64) {}); ok {
+	if _, ok := b.Read(0, 0x1000, FuncClient(func(uint64, uint32, uint64) {}), 0); ok {
 		t.Error("read accepted over capacity")
 	}
 	for now := uint64(0); now <= 30; now++ {
@@ -59,7 +59,7 @@ func TestWritesConsumeBandwidth(t *testing.T) {
 		t.Error("bus should be busy after write")
 	}
 	var d1 uint64
-	b.Read(0, 0x1000, func(now uint64) { d1 = now })
+	b.Read(0, 0x1000, FuncClient(func(now uint64, _ uint32, _ uint64) { d1 = now }), 0)
 	for now := uint64(0); now <= 40; now++ {
 		b.Tick(now)
 	}
@@ -73,7 +73,7 @@ func TestWritesConsumeBandwidth(t *testing.T) {
 		b2.Write(0)
 	}
 	var d2 uint64
-	b2.Read(0, 0x1000, func(now uint64) { d2 = now })
+	b2.Read(0, 0x1000, FuncClient(func(now uint64, _ uint32, _ uint64) { d2 = now }), 0)
 	for now := uint64(0); now <= 60; now++ {
 		b2.Tick(now)
 	}
@@ -88,9 +88,9 @@ func TestCompletionOrderFIFO(t *testing.T) {
 	// Same-cycle requests complete in issue order (the bus serialises).
 	b := New(DefaultConfig())
 	var order []int
-	b.Read(0, 0x1000, func(uint64) { order = append(order, 0) })
-	b.Read(0, 0x1000, func(uint64) { order = append(order, 1) })
-	b.Read(0, 0x1000, func(uint64) { order = append(order, 2) })
+	b.Read(0, 0x1000, FuncClient(func(uint64, uint32, uint64) { order = append(order, 0) }), 0)
+	b.Read(0, 0x1000, FuncClient(func(uint64, uint32, uint64) { order = append(order, 1) }), 0)
+	b.Read(0, 0x1000, FuncClient(func(uint64, uint32, uint64) { order = append(order, 2) }), 0)
 	for now := uint64(0); now <= 60; now++ {
 		b.Tick(now)
 	}
@@ -101,7 +101,7 @@ func TestCompletionOrderFIFO(t *testing.T) {
 
 func TestStats(t *testing.T) {
 	b := New(DefaultConfig())
-	b.Read(0, 0x1000, func(uint64) {})
+	b.Read(0, 0x1000, FuncClient(func(uint64, uint32, uint64) {}), 0)
 	b.Write(0)
 	for now := uint64(0); now <= 60; now++ {
 		b.Tick(now)
@@ -124,7 +124,7 @@ func TestStats(t *testing.T) {
 func TestLongLatencyConfig(t *testing.T) {
 	b := New(Config{Latency: 35, LineTransfer: 4, MaxOutstanding: 8})
 	var d uint64
-	b.Read(0, 0x1000, func(now uint64) { d = now })
+	b.Read(0, 0x1000, FuncClient(func(now uint64, _ uint32, _ uint64) { d = now }), 0)
 	for now := uint64(0); now <= 60; now++ {
 		b.Tick(now)
 	}

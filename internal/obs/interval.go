@@ -134,12 +134,21 @@ func (s *IntervalSampler) Total(name string) (v float64, ok bool) {
 		if len(s.rows) == 0 {
 			return 0, false
 		}
-		return s.rows[len(s.rows)-1].Values[i], true
+		return rowValue(s.rows[len(s.rows)-1], i), true
 	}
 	for _, r := range s.rows {
-		v += r.Values[i]
+		v += rowValue(r, i)
 	}
 	return v, true
+}
+
+// rowValue reads one column of a row, treating columns that had not yet been
+// registered when the row closed as zero (a metric can first appear mid-run).
+func rowValue(r MetricsRow, i int) float64 {
+	if i >= len(r.Values) {
+		return 0
+	}
+	return r.Values[i]
 }
 
 // FormatValue renders one metric value without losing precision (counters
@@ -160,7 +169,7 @@ func (s *IntervalSampler) WriteCSV(w io.Writer) error {
 	for _, r := range s.rows {
 		rec[0] = strconv.FormatUint(r.Cycle, 10)
 		for i := range s.names {
-			rec[1+i] = FormatValue(r.Values[i])
+			rec[1+i] = FormatValue(rowValue(r, i))
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -179,7 +188,7 @@ func (s *IntervalSampler) WriteJSONL(w io.Writer) error {
 		b.Reset()
 		fmt.Fprintf(&b, `{"cycle":%d`, r.Cycle)
 		for i, name := range s.names {
-			fmt.Fprintf(&b, `,%s:%s`, strconv.Quote(name), FormatValue(r.Values[i]))
+			fmt.Fprintf(&b, `,%s:%s`, strconv.Quote(name), FormatValue(rowValue(r, i)))
 		}
 		b.WriteString("}\n")
 		if _, err := io.WriteString(w, b.String()); err != nil {

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// Edge cases of the interval sampler's row-closing logic, table-driven over
+// the three degenerate run shapes: a run that emits nothing at all, a run
+// whose only batch lands at cycle 0, and a run ending exactly on an interval
+// boundary (where the core re-emits the final batch at the boundary cycle
+// after the write-cache flush).
+func TestIntervalSamplerEdgeCases(t *testing.T) {
+	type batch struct {
+		cycle uint64
+		count float64 // cumulative counter value
+	}
+	cases := []struct {
+		name       string
+		interval   uint64
+		batches    []batch
+		wantRows   []uint64 // row cycles
+		wantTotal  float64
+		wantNoData bool
+	}{
+		{
+			name:       "zero-length run emits nothing",
+			interval:   100,
+			batches:    nil,
+			wantRows:   nil,
+			wantNoData: true,
+		},
+		{
+			name:      "single batch at cycle zero",
+			interval:  100,
+			batches:   []batch{{0, 5}},
+			wantRows:  []uint64{0},
+			wantTotal: 5,
+		},
+		{
+			name:     "run ends exactly on an interval boundary",
+			interval: 100,
+			// The end-of-run batch repeats cycle 200 with refreshed
+			// counters; it must merge into the pending boundary row, not
+			// open a duplicate.
+			batches:   []batch{{100, 10}, {200, 20}, {200, 23}},
+			wantRows:  []uint64{100, 200},
+			wantTotal: 23,
+		},
+		{
+			name:      "interval larger than the whole run",
+			interval:  1 << 40,
+			batches:   []batch{{57, 9}},
+			wantRows:  []uint64{57},
+			wantTotal: 9,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewIntervalSampler(tc.interval)
+			for _, b := range tc.batches {
+				s.Sample(Sample{Cycle: b.cycle, Name: "count", Kind: KindCounter, Value: b.count})
+				s.Sample(Sample{Cycle: b.cycle, Name: "gauge", Kind: KindGauge, Value: float64(b.cycle)})
+			}
+			rows := s.Rows()
+			if len(rows) != len(tc.wantRows) {
+				t.Fatalf("rows = %d, want %d", len(rows), len(tc.wantRows))
+			}
+			for i, r := range rows {
+				if r.Cycle != tc.wantRows[i] {
+					t.Errorf("row %d cycle = %d, want %d", i, r.Cycle, tc.wantRows[i])
+				}
+			}
+			v, ok := s.Total("count")
+			if tc.wantNoData {
+				if ok {
+					t.Errorf("Total on an empty run reported data: %v", v)
+				}
+			} else if !ok || v != tc.wantTotal {
+				t.Errorf("Total(count) = %v,%v, want %v,true", v, ok, tc.wantTotal)
+			}
+
+			// The writers must behave on every shape: a header-only CSV for
+			// the empty run, one line per row otherwise.
+			var csv, jsonl strings.Builder
+			if err := s.WriteCSV(&csv); err != nil {
+				t.Fatalf("WriteCSV: %v", err)
+			}
+			if err := s.WriteJSONL(&jsonl); err != nil {
+				t.Fatalf("WriteJSONL: %v", err)
+			}
+			if got := strings.Count(csv.String(), "\n"); got != 1+len(rows) {
+				t.Errorf("CSV has %d lines, want header + %d rows", got, len(rows))
+			}
+			if got := strings.Count(jsonl.String(), "\n"); got != len(rows) {
+				t.Errorf("JSONL has %d lines, want %d", got, len(rows))
+			}
+		})
+	}
+}
+
+// A counter that first appears mid-run must difference against zero, not
+// against a stale column, and late columns must not disturb earlier rows.
+func TestIntervalSamplerLateColumn(t *testing.T) {
+	s := NewIntervalSampler(10)
+	s.Sample(Sample{Cycle: 10, Name: "a", Kind: KindCounter, Value: 4})
+	s.Sample(Sample{Cycle: 20, Name: "a", Kind: KindCounter, Value: 6})
+	s.Sample(Sample{Cycle: 20, Name: "b", Kind: KindCounter, Value: 8})
+	rows := s.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if v, _ := s.Total("b"); v != 8 {
+		t.Errorf("Total(b) = %v, want 8 (first delta differences against zero)", v)
+	}
+	// Rows closed before the column appeared render it as zero.
+	var csv strings.Builder
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 || lines[1] != "10,4,0" || lines[2] != "20,2,8" {
+		t.Errorf("CSV with a late column renders wrong:\n%s", csv.String())
+	}
+}

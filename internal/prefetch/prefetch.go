@@ -9,7 +9,10 @@
 // escalates, fetching further sequential lines until it is full.
 package prefetch
 
-import "aurora/internal/obs"
+import (
+	"aurora/internal/mem"
+	"aurora/internal/obs"
+)
 
 // Fetcher abstracts the BIU read path the buffers use for their prefetches.
 type Fetcher interface {
@@ -19,10 +22,10 @@ type Fetcher interface {
 	SpareForPrefetch() bool
 	// CanAccept reports whether a read transaction can be buffered.
 	CanAccept() bool
-	// Read starts a line read; cb fires when the line arrives. The
-	// returned cycle is the completion time; ok is false if the request
-	// could not be accepted.
-	Read(now uint64, lineAddr uint32, cb func(now uint64)) (completeAt uint64, ok bool)
+	// Read starts a line read; the client's LineArrived fires (with tag
+	// echoed back) when the line arrives. The returned cycle is the
+	// completion time; ok is false if the request could not be accepted.
+	Read(now uint64, lineAddr uint32, client mem.ReadClient, tag uint64) (completeAt uint64, ok bool)
 }
 
 // ProbeResult describes the outcome of a stream-buffer probe.
@@ -53,7 +56,8 @@ const (
 type buffer struct {
 	valid    bool
 	next     uint32 // line address the next prefetch will request
-	slots    []slot
+	slots    []slot // fixed backing array, reused across reallocations
+	used     int    // slots not in slotEmpty (kept incrementally)
 	lru      uint64
 	escalate bool // a hit occurred: keep fetching until full
 	gen      uint64
@@ -93,6 +97,9 @@ func New(n, depth, lineBytes int) *Buffers {
 		lineBytes: uint32(lineBytes),
 		depth:     depth,
 		bufs:      make([]buffer, n),
+	}
+	for i := range p.bufs {
+		p.bufs[i].slots = make([]slot, depth)
 	}
 	return p
 }
@@ -148,6 +155,11 @@ func (p *Buffers) Probe(now uint64, lineAddr uint32) (ProbeResult, uint64) {
 			}
 			// Consume this slot and everything before it (the
 			// stream has advanced past them).
+			for k := 0; k <= j; k++ {
+				if b.slots[k].state != slotEmpty {
+					b.used--
+				}
+			}
 			copy(b.slots, b.slots[j+1:])
 			for k := len(b.slots) - (j + 1); k < len(b.slots); k++ {
 				b.slots[k] = slot{}
@@ -182,13 +194,15 @@ func (p *Buffers) AllocateOnMiss(now uint64, missLineAddr uint32) {
 	}
 	p.clock++
 	p.genCtr++
-	*victim = buffer{
-		valid: true,
-		next:  missLineAddr + p.lineBytes,
-		slots: make([]slot, p.depth),
-		lru:   p.clock,
-		gen:   p.genCtr,
+	for i := range victim.slots {
+		victim.slots[i] = slot{}
 	}
+	victim.valid = true
+	victim.next = missLineAddr + p.lineBytes
+	victim.used = 0
+	victim.lru = p.clock
+	victim.escalate = false
+	victim.gen = p.genCtr
 	p.allocs++
 	if p.probe != nil {
 		p.probe.Instant("prefetch", "alloc", "pfu", uint64(missLineAddr))
@@ -203,19 +217,20 @@ func (p *Buffers) Tick(now uint64, f Fetcher) {
 	}
 	// Pick the most recently used buffer that wants a line: fresh
 	// allocations want exactly one line; escalated buffers fill up.
-	var best *buffer
+	bi := -1
 	for i := range p.bufs {
 		b := &p.bufs[i]
 		if !b.valid || !p.wantsFetch(b) {
 			continue
 		}
-		if best == nil || b.lru > best.lru {
-			best = b
+		if bi < 0 || b.lru > p.bufs[bi].lru {
+			bi = i
 		}
 	}
-	if best == nil {
+	if bi < 0 {
 		return
 	}
+	best := &p.bufs[bi]
 	// Find the first empty slot.
 	idx := -1
 	for j := range best.slots {
@@ -228,25 +243,12 @@ func (p *Buffers) Tick(now uint64, f Fetcher) {
 		return
 	}
 	lineAddr := best.next
-	gen := best.gen
-	b := best
-	sl := idx
-	doneAt, ok := f.Read(now, lineAddr, func(done uint64) {
-		// The buffer may have been reallocated while the line was in
-		// flight; drop the fill if so.
-		if !b.valid || b.gen != gen || sl >= len(b.slots) {
-			return
-		}
-		s := &b.slots[sl]
-		if s.state == slotPending && s.lineAddr == lineAddr {
-			s.state = slotPresent
-			s.readyAt = done
-		}
-	})
+	doneAt, ok := f.Read(now, lineAddr, p, fillTag(bi, idx, best.gen))
 	if !ok {
 		return
 	}
 	best.slots[idx] = slot{lineAddr: lineAddr, state: slotPending, readyAt: doneAt}
+	best.used++
 	best.next += p.lineBytes
 	p.fetches++
 	if p.probe != nil {
@@ -255,16 +257,38 @@ func (p *Buffers) Tick(now uint64, f Fetcher) {
 }
 
 func (p *Buffers) wantsFetch(b *buffer) bool {
-	used := 0
-	for _, s := range b.slots {
-		if s.state != slotEmpty {
-			used++
-		}
-	}
 	if b.escalate {
-		return used < len(b.slots)
+		return b.used < len(b.slots)
 	}
-	return used == 0 // fresh buffer: fetch exactly one line
+	return b.used == 0 // fresh buffer: fetch exactly one line
+}
+
+// fillTag packs the target (buffer, slot, generation) of an in-flight
+// prefetch into the BIU read tag: the generation guards against the buffer
+// being reallocated while the line was in flight.
+func fillTag(buf, slot int, gen uint64) uint64 {
+	return uint64(buf) | uint64(slot)<<8 | gen<<16
+}
+
+// LineArrived implements mem.ReadClient: a prefetched line lands in its
+// slot, unless the owning buffer has since been reallocated (generation
+// mismatch) — the fill is then dropped, modelling the wasted fetch.
+func (p *Buffers) LineArrived(done uint64, lineAddr uint32, tag uint64) {
+	bi := int(tag & 0xff)
+	sl := int(tag >> 8 & 0xff)
+	gen := tag >> 16
+	if bi >= len(p.bufs) {
+		return
+	}
+	b := &p.bufs[bi]
+	if !b.valid || b.gen != gen || sl >= len(b.slots) {
+		return
+	}
+	s := &b.slots[sl]
+	if s.state == slotPending && s.lineAddr == lineAddr {
+		s.state = slotPresent
+		s.readyAt = done
+	}
 }
 
 // Note: Probe consumes slots by shifting; in-flight fills identify their

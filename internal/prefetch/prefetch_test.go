@@ -1,6 +1,10 @@
 package prefetch
 
-import "testing"
+import (
+	"testing"
+
+	"aurora/internal/mem"
+)
 
 // fakeFetcher completes reads after a fixed latency via Step().
 type fakeFetcher struct {
@@ -12,18 +16,20 @@ type fakeFetcher struct {
 }
 
 type fakeReq struct {
-	doneAt uint64
-	cb     func(uint64)
+	doneAt   uint64
+	lineAddr uint32
+	tag      uint64
+	client   mem.ReadClient
 }
 
 func (f *fakeFetcher) SpareForPrefetch() bool { return !f.busy }
 func (f *fakeFetcher) CanAccept() bool        { return !f.full }
-func (f *fakeFetcher) Read(now uint64, lineAddr uint32, cb func(uint64)) (uint64, bool) {
+func (f *fakeFetcher) Read(now uint64, lineAddr uint32, client mem.ReadClient, tag uint64) (uint64, bool) {
 	if f.full {
 		return 0, false
 	}
 	f.reads++
-	f.queue = append(f.queue, fakeReq{doneAt: now + f.latency, cb: cb})
+	f.queue = append(f.queue, fakeReq{doneAt: now + f.latency, lineAddr: lineAddr, tag: tag, client: client})
 	return now + f.latency, true
 }
 
@@ -31,7 +37,7 @@ func (f *fakeFetcher) Step(now uint64) {
 	rest := f.queue[:0]
 	for _, r := range f.queue {
 		if r.doneAt <= now {
-			r.cb(now)
+			r.client.LineArrived(now, r.lineAddr, r.tag)
 		} else {
 			rest = append(rest, r)
 		}

@@ -42,7 +42,7 @@ func (tw *Writer) Write(r Record) error {
 	if tw.err != nil {
 		return tw.err
 	}
-	word, err := isa.Encode(r.In)
+	word, err := isa.Encode(r.SI.In)
 	if err != nil {
 		tw.err = fmt.Errorf("trace: unencodable instruction at %#x: %w", r.PC, err)
 		return tw.err
@@ -75,9 +75,13 @@ func (tw *Writer) Flush() error {
 func (tw *Writer) Count() uint64 { return tw.n }
 
 // Reader deserialises a trace written by Writer, implementing Stream.
+// Each distinct instruction word is decoded once and interned; every later
+// dynamic occurrence reuses the predecoded StaticInstr, so replaying a
+// multi-million-instruction trace decodes only the static footprint.
 type Reader struct {
-	r   *bufio.Reader
-	err error
+	r      *bufio.Reader
+	decode map[uint32]*StaticInstr
+	err    error
 }
 
 // NewReader creates a trace reader, validating the header.
@@ -93,7 +97,22 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if hdr[4] != formatVersion {
 		return nil, fmt.Errorf("trace: unsupported version %d", hdr[4])
 	}
-	return &Reader{r: br}, nil
+	return &Reader{r: br, decode: make(map[uint32]*StaticInstr)}, nil
+}
+
+// static interns the predecoded form of one instruction word.
+func (tr *Reader) static(word uint32) (*StaticInstr, error) {
+	if si, ok := tr.decode[word]; ok {
+		return si, nil
+	}
+	in, err := isa.Decode(word)
+	if err != nil {
+		return nil, err
+	}
+	si := new(StaticInstr)
+	*si = NewStatic(in)
+	tr.decode[word] = si
+	return si, nil
 }
 
 // Next returns the next record; ok=false at clean EOF.
@@ -108,24 +127,18 @@ func (tr *Reader) Next() (Record, bool) {
 		}
 		return Record{}, false
 	}
-	word := binary.LittleEndian.Uint32(buf[4:])
-	in, err := isa.Decode(word)
+	si, err := tr.static(binary.LittleEndian.Uint32(buf[4:]))
 	if err != nil {
 		tr.err = err
 		return Record{}, false
 	}
-	r := Record{
+	return Record{
+		SI:      si,
 		PC:      binary.LittleEndian.Uint32(buf[0:]),
-		In:      in,
-		Class:   in.Class(),
-		Deps:    isa.DepsOf(in),
 		MemAddr: binary.LittleEndian.Uint32(buf[8:]),
-		MemSize: uint8(in.Op.MemSize()),
 		Target:  binary.LittleEndian.Uint32(buf[12:]),
 		Taken:   buf[16] == 1,
-	}
-	r.FPDouble = in.Double
-	return r, true
+	}, true
 }
 
 // Err reports a terminal decode or IO error.

@@ -67,7 +67,7 @@ func (r *Reschedule) fillBlock() bool {
 			break
 		}
 		r.block = append(r.block, rec)
-		if rec.Class.IsControl() {
+		if rec.SI.Class.IsControl() {
 			// The architectural delay slot travels with its branch.
 			if slot, ok := r.inner.Next(); ok {
 				r.block = append(r.block, slot)
@@ -88,9 +88,9 @@ func scheduleBlock(block []Record) []Record {
 	}
 	// The trailing control transfer and its delay slot are pinned.
 	body := n
-	if block[n-2].Class.IsControl() {
+	if block[n-2].SI.Class.IsControl() {
 		body = n - 2
-	} else if block[n-1].Class.IsControl() {
+	} else if block[n-1].SI.Class.IsControl() {
 		body = n - 1
 	}
 
@@ -118,7 +118,7 @@ func scheduleBlock(block []Record) []Record {
 	// — exactly what a compiler's hazard-avoiding scheduler does for the
 	// 3-cycle pipelined data cache.
 	latency := func(rec Record) int {
-		switch rec.Class {
+		switch rec.SI.Class {
 		case isa.ClassLoad, isa.ClassFPLoad:
 			return 3
 		case isa.ClassFPDiv:
@@ -131,7 +131,7 @@ func scheduleBlock(block []Record) []Record {
 		return 1
 	}
 	prio := func(rec Record) int {
-		switch rec.Class {
+		switch rec.SI.Class {
 		case isa.ClassLoad, isa.ClassFPLoad:
 			return 3
 		case isa.ClassFPDiv, isa.ClassFPMul:
@@ -192,15 +192,15 @@ func scheduleBlock(block []Record) []Record {
 // requiring a to stay after b.
 func dependsEitherWay(a, b Record) bool {
 	// RAW: a reads what b writes.
-	if a.Deps.DependsOn(b.Deps) {
+	if a.SI.Deps.DependsOn(b.SI.Deps) {
 		return true
 	}
 	// WAR: a writes what b reads; WAW: both write the same register.
-	if writesWhatReads(a.Deps, b.Deps) || writesSame(a.Deps, b.Deps) {
+	if writesWhatReads(a.SI.Deps, b.SI.Deps) || writesSame(a.SI.Deps, b.SI.Deps) {
 		return true
 	}
 	// Memory operations keep their relative order (no alias analysis).
-	if a.Class.IsMem() && b.Class.IsMem() {
+	if a.SI.Class.IsMem() && b.SI.Class.IsMem() {
 		return true
 	}
 	return false

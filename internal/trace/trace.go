@@ -12,23 +12,59 @@ import (
 	"aurora/internal/isa"
 )
 
-// Record describes one dynamically executed instruction.
+// StaticInstr is the predecoded, per-static-instruction metadata: everything
+// about an instruction that does not change between dynamic executions.
+// Producers decode each static instruction exactly once (the VM at load time,
+// the binary trace reader on first sight of a word) and every dynamic Record
+// points at the shared entry, so the timing model never re-derives classes
+// or dependences per dynamic instruction.
+type StaticInstr struct {
+	In       isa.Instruction
+	Deps     isa.Deps
+	Class    isa.Class
+	FPDouble bool  // double-precision: the operation occupies a register pair
+	MemSize  uint8 // memory access width in bytes (0 for non-memory ops)
+}
+
+// NewStatic predecodes one instruction. Architectural nops (sll $0,$0,0)
+// fold to ClassNop here, once, instead of per dynamic execution.
+func NewStatic(in isa.Instruction) StaticInstr {
+	c := in.Class()
+	if in.IsNop() {
+		c = isa.ClassNop
+	}
+	return StaticInstr{
+		In:       in,
+		Deps:     isa.DepsOf(in),
+		Class:    c,
+		FPDouble: in.Double,
+		MemSize:  uint8(in.Op.MemSize()),
+	}
+}
+
+// Record describes one dynamically executed instruction: a pointer to the
+// shared static metadata plus the execution-specific facts (where it ran,
+// what it touched, where control went). Kept small — it is copied through
+// the fetch queue and issue logic on every dynamic instruction.
 type Record struct {
-	PC    uint32
-	In    isa.Instruction
-	Class isa.Class
-	Deps  isa.Deps
+	SI *StaticInstr
+
+	PC uint32
 
 	// Memory operations.
 	MemAddr uint32
-	MemSize uint8
 
 	// Control flow.
-	Taken  bool
 	Target uint32
+	Taken  bool
+}
 
-	// FP width (double-precision operations occupy register pairs).
-	FPDouble bool
+// NewRecord builds a dynamic record for in at pc, predecoding the static
+// metadata. Intended for tests and small synthetic streams; hot trace
+// producers intern StaticInstrs and reuse them across dynamic records.
+func NewRecord(pc uint32, in isa.Instruction) Record {
+	si := NewStatic(in)
+	return Record{SI: &si, PC: pc}
 }
 
 // Stream produces records one at a time. Next returns ok=false at the end
@@ -36,6 +72,17 @@ type Record struct {
 type Stream interface {
 	Next() (Record, bool)
 	Err() error
+}
+
+// BatchStream is an optional Stream extension: producers that can deliver
+// many records per call implement it so consumers amortise the interface
+// dispatch (and let the producer's inner loop stay on concrete types).
+// NextBatch fills buf and returns the number of records delivered; 0 means
+// end of stream. Consumers fall back to Next when the stream does not
+// implement it.
+type BatchStream interface {
+	Stream
+	NextBatch(buf []Record) int
 }
 
 // SliceStream adapts a []Record to a Stream, mainly for tests.
@@ -73,10 +120,10 @@ type Mix struct {
 // Add accounts one record.
 func (m *Mix) Add(r Record) {
 	m.Total++
-	if int(r.Class) < len(m.ByClass) {
-		m.ByClass[r.Class]++
+	if int(r.SI.Class) < len(m.ByClass) {
+		m.ByClass[r.SI.Class]++
 	}
-	switch r.Class {
+	switch r.SI.Class {
 	case isa.ClassLoad, isa.ClassFPLoad:
 		m.Loads++
 	case isa.ClassStore, isa.ClassFPStore:

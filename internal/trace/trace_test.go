@@ -9,11 +9,8 @@ import (
 
 func sampleRecords() []Record {
 	mk := func(in isa.Instruction, addr uint32, taken bool, target uint32) Record {
-		r := Record{
-			PC: 0x1000, In: in, Class: in.Class(), Deps: isa.DepsOf(in),
-			MemAddr: addr, MemSize: uint8(in.Op.MemSize()),
-			Taken: taken, Target: target, FPDouble: in.Double,
-		}
+		r := NewRecord(0x1000, in)
+		r.MemAddr, r.Taken, r.Target = addr, taken, target
 		return r
 	}
 	return []Record{
@@ -51,9 +48,9 @@ func TestEncodingRoundTrip(t *testing.T) {
 		if !ok {
 			t.Fatalf("record %d: premature end (%v)", i, r.Err())
 		}
-		if got.PC != want.PC || got.In != want.In || got.MemAddr != want.MemAddr ||
+		if got.PC != want.PC || got.SI.In != want.SI.In || got.MemAddr != want.MemAddr ||
 			got.Taken != want.Taken || got.Target != want.Target ||
-			got.Class != want.Class || got.Deps != want.Deps {
+			got.SI.Class != want.SI.Class || got.SI.Deps != want.SI.Deps {
 			t.Errorf("record %d:\n got  %+v\n want %+v", i, got, want)
 		}
 	}
@@ -150,8 +147,8 @@ func TestMix(t *testing.T) {
 // --- rescheduling pass ---
 
 func mkRec(in isa.Instruction, pc uint32, addr uint32) Record {
-	r := Record{PC: pc, In: in, Class: in.Class(), Deps: isa.DepsOf(in),
-		MemAddr: addr, MemSize: uint8(in.Op.MemSize())}
+	r := NewRecord(pc, in)
+	r.MemAddr = addr
 	return r
 }
 
@@ -176,11 +173,11 @@ func TestRescheduleHoistsLoad(t *testing.T) {
 	if len(out) != 4 {
 		t.Fatalf("got %d records", len(out))
 	}
-	if out[0].In.Op != isa.OpLW {
-		t.Errorf("load not hoisted first: %v", out[0].In.Op)
+	if out[0].SI.In.Op != isa.OpLW {
+		t.Errorf("load not hoisted first: %v", out[0].SI.In.Op)
 	}
-	if out[3].In.Rd != 13 {
-		t.Errorf("consumer not last: %+v", out[3].In)
+	if out[3].SI.In.Rd != 13 {
+		t.Errorf("consumer not last: %+v", out[3].SI.In)
 	}
 	// PCs re-assigned sequentially from the block base.
 	for i, r := range out {
@@ -205,7 +202,7 @@ func TestReschedulePreservesDependences(t *testing.T) {
 		if !ok {
 			break
 		}
-		dsts = append(dsts, r.In.Rd)
+		dsts = append(dsts, r.SI.In.Rd)
 	}
 	if dsts[0] != 8 || dsts[1] != 9 || dsts[2] != 12 {
 		t.Errorf("RAW chain reordered: %v", dsts)
@@ -221,8 +218,8 @@ func TestReschedulePreservesMemoryOrder(t *testing.T) {
 	rs := NewReschedule(&SliceStream{Records: recs})
 	r1, _ := rs.Next()
 	r2, _ := rs.Next()
-	if r1.In.Op != isa.OpSW || r2.In.Op != isa.OpLW {
-		t.Errorf("store/load reordered: %v %v", r1.In.Op, r2.In.Op)
+	if r1.SI.In.Op != isa.OpSW || r2.SI.In.Op != isa.OpLW {
+		t.Errorf("store/load reordered: %v %v", r1.SI.In.Op, r2.SI.In.Op)
 	}
 }
 
@@ -251,11 +248,11 @@ func TestReschedulePinsControlAndDelaySlot(t *testing.T) {
 	if len(out) != 5 {
 		t.Fatalf("%d records", len(out))
 	}
-	if out[2].In.Op != isa.OpBNE {
-		t.Errorf("branch moved: position 2 is %v", out[2].In.Op)
+	if out[2].SI.In.Op != isa.OpBNE {
+		t.Errorf("branch moved: position 2 is %v", out[2].SI.In.Op)
 	}
-	if out[3].In.Rd != 12 {
-		t.Errorf("delay slot moved: %+v", out[3].In)
+	if out[3].SI.In.Rd != 12 {
+		t.Errorf("delay slot moved: %+v", out[3].SI.In)
 	}
 	if out[4].PC != 0x1000 {
 		t.Errorf("next block PC %#x", out[4].PC)
@@ -280,7 +277,7 @@ func TestRescheduleCountPreserved(t *testing.T) {
 		if !ok {
 			break
 		}
-		counts[r.In.Op]++
+		counts[r.SI.In.Op]++
 		n++
 	}
 	if n != 200 {

@@ -40,8 +40,9 @@ const (
 // Machine is a functional MIPS machine executing one program.
 type Machine struct {
 	prog *asm.Program
-	code []isa.Instruction // decoded text, indexed by (pc-TextBase)/4
-	deps []isa.Deps
+	// static holds the text segment predecoded once at load, indexed by
+	// (pc-TextBase)/4; every dynamic trace record points into it.
+	static []trace.StaticInstr
 
 	Reg  [32]uint32
 	HI   uint32
@@ -68,15 +69,13 @@ func New(p *asm.Program) (*Machine, error) {
 		pc:   p.Entry,
 		npc:  p.Entry + 4,
 	}
-	m.code = make([]isa.Instruction, len(p.Text))
-	m.deps = make([]isa.Deps, len(p.Text))
+	m.static = make([]trace.StaticInstr, len(p.Text))
 	for i, w := range p.Text {
 		in, err := isa.Decode(w)
 		if err != nil {
 			return nil, fmt.Errorf("vm: text word %d: %w", i, err)
 		}
-		m.code[i] = in
-		m.deps[i] = isa.DepsOf(in)
+		m.static[i] = trace.NewStatic(in)
 	}
 	m.Mem.StoreBytes(asm.DataBase, p.Data)
 	m.Reg[isa.RegSP] = StackTop
@@ -109,21 +108,13 @@ func (m *Machine) Step() (trace.Record, error) {
 		return trace.Record{}, errHaltReturn
 	}
 	idx := (m.pc - asm.TextBase) / 4
-	if m.pc < asm.TextBase || int(idx) >= len(m.code) || m.pc&3 != 0 {
+	if m.pc < asm.TextBase || int(idx) >= len(m.static) || m.pc&3 != 0 {
 		m.halted = true
 		return trace.Record{}, fmt.Errorf("vm: pc %#x outside text segment", m.pc)
 	}
-	in := m.code[idx]
-	rec := trace.Record{
-		PC:       m.pc,
-		In:       in,
-		Class:    in.Class(),
-		Deps:     m.deps[idx],
-		FPDouble: in.Double,
-	}
-	if in.IsNop() {
-		rec.Class = isa.ClassNop
-	}
+	st := &m.static[idx]
+	in := st.In
+	rec := trace.Record{SI: st, PC: m.pc}
 
 	curPC := m.pc
 	linkPC := curPC + 8 // return address skips the delay slot
@@ -223,55 +214,55 @@ func (m *Machine) Step() (trace.Record, error) {
 
 	case isa.OpLB:
 		addr := rs + uint32(in.Imm)
-		rec.MemAddr, rec.MemSize = addr, 1
+		rec.MemAddr = addr
 		m.set(in.Rt, uint32(int32(int8(m.Mem.LoadByte(addr)))))
 	case isa.OpLBU:
 		addr := rs + uint32(in.Imm)
-		rec.MemAddr, rec.MemSize = addr, 1
+		rec.MemAddr = addr
 		m.set(in.Rt, uint32(m.Mem.LoadByte(addr)))
 	case isa.OpLH:
 		addr := rs + uint32(in.Imm)
 		if addr&1 != 0 {
 			return rec, m.fault(curPC, "unaligned lh at %#x", addr)
 		}
-		rec.MemAddr, rec.MemSize = addr, 2
+		rec.MemAddr = addr
 		m.set(in.Rt, uint32(int32(int16(m.Mem.LoadHalf(addr)))))
 	case isa.OpLHU:
 		addr := rs + uint32(in.Imm)
 		if addr&1 != 0 {
 			return rec, m.fault(curPC, "unaligned lhu at %#x", addr)
 		}
-		rec.MemAddr, rec.MemSize = addr, 2
+		rec.MemAddr = addr
 		m.set(in.Rt, uint32(m.Mem.LoadHalf(addr)))
 	case isa.OpLW:
 		addr := rs + uint32(in.Imm)
 		if addr&3 != 0 {
 			return rec, m.fault(curPC, "unaligned lw at %#x", addr)
 		}
-		rec.MemAddr, rec.MemSize = addr, 4
+		rec.MemAddr = addr
 		m.set(in.Rt, m.Mem.LoadWord(addr))
 	case isa.OpSB:
 		addr := rs + uint32(in.Imm)
-		rec.MemAddr, rec.MemSize = addr, 1
+		rec.MemAddr = addr
 		m.Mem.StoreByte(addr, byte(rt))
 	case isa.OpSH:
 		addr := rs + uint32(in.Imm)
 		if addr&1 != 0 {
 			return rec, m.fault(curPC, "unaligned sh at %#x", addr)
 		}
-		rec.MemAddr, rec.MemSize = addr, 2
+		rec.MemAddr = addr
 		m.Mem.StoreHalf(addr, uint16(rt))
 	case isa.OpSW:
 		addr := rs + uint32(in.Imm)
 		if addr&3 != 0 {
 			return rec, m.fault(curPC, "unaligned sw at %#x", addr)
 		}
-		rec.MemAddr, rec.MemSize = addr, 4
+		rec.MemAddr = addr
 		m.Mem.StoreWord(addr, rt)
 
 	case isa.OpLWL, isa.OpLWR, isa.OpSWL, isa.OpSWR:
 		addr := rs + uint32(in.Imm)
-		rec.MemAddr, rec.MemSize = addr, 4
+		rec.MemAddr = addr
 		m.unalignedWord(in.Op, in.Rt, addr)
 
 	case isa.OpLWC1:
@@ -279,21 +270,21 @@ func (m *Machine) Step() (trace.Record, error) {
 		if addr&3 != 0 {
 			return rec, m.fault(curPC, "unaligned lwc1 at %#x", addr)
 		}
-		rec.MemAddr, rec.MemSize = addr, 4
+		rec.MemAddr = addr
 		m.FReg[in.Ft] = m.Mem.LoadWord(addr)
 	case isa.OpSWC1:
 		addr := rs + uint32(in.Imm)
 		if addr&3 != 0 {
 			return rec, m.fault(curPC, "unaligned swc1 at %#x", addr)
 		}
-		rec.MemAddr, rec.MemSize = addr, 4
+		rec.MemAddr = addr
 		m.Mem.StoreWord(addr, m.FReg[in.Ft])
 	case isa.OpLDC1:
 		addr := rs + uint32(in.Imm)
 		if addr&7 != 0 {
 			return rec, m.fault(curPC, "unaligned ldc1 at %#x", addr)
 		}
-		rec.MemAddr, rec.MemSize = addr, 8
+		rec.MemAddr = addr
 		v := m.Mem.LoadDouble(addr)
 		m.setD(in.Ft, v)
 	case isa.OpSDC1:
@@ -301,7 +292,7 @@ func (m *Machine) Step() (trace.Record, error) {
 		if addr&7 != 0 {
 			return rec, m.fault(curPC, "unaligned sdc1 at %#x", addr)
 		}
-		rec.MemAddr, rec.MemSize = addr, 8
+		rec.MemAddr = addr
 		m.Mem.StoreDouble(addr, m.getD(in.Ft))
 
 	case isa.OpBEQ:
@@ -367,7 +358,7 @@ func (m *Machine) Step() (trace.Record, error) {
 	}
 
 	// Branch targets: conditional branches encode a PC-relative offset.
-	if in.Class() == isa.ClassBranch {
+	if st.Class == isa.ClassBranch {
 		target = isa.BranchTarget(curPC, in.Imm)
 	}
 	if taken {

@@ -133,7 +133,7 @@ func TestMemory(t *testing.T) {
 	// Check that trace carries memory addresses.
 	var loads int
 	for _, r := range recs {
-		if r.Class == isa.ClassLoad {
+		if r.SI.Class == isa.ClassLoad {
 			loads++
 			if r.MemAddr < asm.DataBase {
 				t.Errorf("load record addr %#x below data base", r.MemAddr)
@@ -178,7 +178,7 @@ func TestLoopAndTrace(t *testing.T) {
 	// Find branch records; 10 iterations → 10 branch executions, 9 taken.
 	var taken, total int
 	for _, r := range recs {
-		if r.Class == isa.ClassBranch {
+		if r.SI.Class == isa.ClassBranch {
 			total++
 			if r.Taken {
 				taken++
@@ -463,10 +463,10 @@ func TestTraceRecordsCarryDeps(t *testing.T) {
 	// addu $t1, $t0, $t0: sources t0,t0 dest t1
 	var found bool
 	for _, r := range recs {
-		if r.In.Op == isa.OpADDU && r.In.Rd == 9 {
+		if r.SI.In.Op == isa.OpADDU && r.SI.In.Rd == 9 {
 			found = true
-			if r.Deps.SrcInt[0] != 8 || r.Deps.DstInt != 9 {
-				t.Errorf("deps = %+v", r.Deps)
+			if r.SI.Deps.SrcInt[0] != 8 || r.SI.Deps.DstInt != 9 {
+				t.Errorf("deps = %+v", r.SI.Deps)
 			}
 		}
 	}

@@ -180,10 +180,10 @@ func TestNoFPInIntegerTraces(t *testing.T) {
 	w, _ := Get("eqntott")
 	m, _ := w.NewMachine()
 	m.Run(50_000, func(r trace.Record) {
-		if r.Class.IsFP() {
-			t.Fatalf("FP instruction %v at %#x in eqntott", r.In.Op, r.PC)
+		if r.SI.Class.IsFP() {
+			t.Fatalf("FP instruction %v at %#x in eqntott", r.SI.In.Op, r.PC)
 		}
-		if r.Class == isa.ClassLoad && r.MemSize == 0 {
+		if r.SI.Class == isa.ClassLoad && r.SI.MemSize == 0 {
 			t.Fatalf("load with no size at %#x", r.PC)
 		}
 	})

@@ -19,18 +19,15 @@ func genTrace(script []byte) []trace.Record {
 	for _, op := range script {
 		var in isa.Instruction
 		var addr uint32
-		var size uint8
 		switch op % 8 {
 		case 0, 1, 2:
 			in = isa.Instruction{Op: isa.OpADDU, Rd: 8 + op%8, Rs: 9, Rt: 10}
 		case 3:
 			in = isa.Instruction{Op: isa.OpLW, Rt: 8 + op%4, Rs: 29}
 			addr = 0x2000 + uint32(op)*64
-			size = 4
 		case 4:
 			in = isa.Instruction{Op: isa.OpSW, Rt: 8, Rs: 29}
 			addr = 0x8000 + uint32(op)*32
-			size = 4
 		case 5:
 			in = isa.Instruction{Op: isa.OpMULT, Rs: 8, Rt: 9}
 		case 6:
@@ -38,13 +35,8 @@ func genTrace(script []byte) []trace.Record {
 		case 7:
 			in = isa.Instruction{Op: isa.OpSLL} // nop
 		}
-		rec := trace.Record{
-			PC: pc, In: in, Class: in.Class(), Deps: isa.DepsOf(in),
-			MemAddr: addr, MemSize: size,
-		}
-		if in.IsNop() {
-			rec.Class = isa.ClassNop
-		}
+		rec := trace.NewRecord(pc, in)
+		rec.MemAddr = addr
 		recs = append(recs, rec)
 		pc += 4
 		if pc > 0x1000+4*256 { // loop the PC region: bounded code footprint
@@ -231,7 +223,7 @@ func TestPropertyRescheduleSound(t *testing.T) {
 		count := func(rs []trace.Record) map[isa.Op]int {
 			m := map[isa.Op]int{}
 			for _, r := range rs {
-				m[r.In.Op]++
+				m[r.SI.In.Op]++
 			}
 			return m
 		}
@@ -247,7 +239,7 @@ func TestPropertyRescheduleSound(t *testing.T) {
 		// checked pairwise over a window).
 		lastWrite := map[uint8]int{}
 		for i, r := range out {
-			for _, s := range []uint8{r.Deps.SrcInt[0], r.Deps.SrcInt[1]} {
+			for _, s := range []uint8{r.SI.Deps.SrcInt[0], r.SI.Deps.SrcInt[1]} {
 				if s == 0 {
 					continue
 				}
@@ -255,7 +247,7 @@ func TestPropertyRescheduleSound(t *testing.T) {
 					return false
 				}
 			}
-			if d := r.Deps.DstInt; d != 0 {
+			if d := r.SI.Deps.DstInt; d != 0 {
 				lastWrite[d] = i
 			}
 		}
