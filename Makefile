@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race bench bench-smoke golden fuzz fmt
+.PHONY: all build test tier1 race faults bench bench-smoke golden fuzz fmt
 
 all: build test
 
@@ -8,16 +8,27 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 10m ./...
 
-# tier1 is the CI gate: formatting, build, vet, tests, race on the whole tree.
+# tier1 is the CI gate: formatting, build, vet, tests, race on the whole
+# tree. Explicit -timeout values bound a hung sweep instead of relying on
+# the go test default, so CI fails with a goroutine dump rather than stalling.
 tier1: fmt build
 	$(GO) vet ./...
-	$(GO) test ./...
-	$(GO) test -race -short ./...
+	$(GO) test -timeout 10m ./...
+	$(GO) test -race -short -timeout 10m ./...
 
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race -short -timeout 10m ./...
+
+# faults runs the fault-isolation layer's tests under the race detector:
+# injected panics at every guarded site, the memo-poison regression, the
+# cancellation races and the per-cell keep-going rendering.
+faults:
+	$(GO) test -race -timeout 5m -count=1 \
+		-run 'TestFault|TestRunHonorsCancellation|TestJobDeadline|TestKeepGoing|TestFailFast|TestConcurrentRunRace' \
+		./internal/harness/ ./internal/simfault/
+	$(GO) test -race -timeout 5m -count=1 -run TestRunContextCancellation ./internal/core/
 
 # bench runs the pinned sweep and the steady-state cycle-loop measurement,
 # writing BENCH.json with SIPS, allocs/instr and the speedup against the

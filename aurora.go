@@ -21,7 +21,9 @@
 package aurora
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 
 	"aurora/internal/core"
 	"aurora/internal/fpu"
@@ -30,10 +32,20 @@ import (
 	"aurora/internal/mmu"
 	"aurora/internal/obs"
 	"aurora/internal/rbe"
+	"aurora/internal/simfault"
 	"aurora/internal/trace"
 	"aurora/internal/vm"
 	"aurora/internal/workloads"
 )
+
+// SimFault is the typed error a panic inside the timing core is recovered
+// into: it identifies the job (configuration fingerprint, workload), the
+// faulting subsystem and the simulated cycle the panic fired at, and carries
+// the stack. Match with errors.As:
+//
+//	var f *aurora.SimFault
+//	if errors.As(err, &f) { log.Printf("bad design point: %v", f) }
+type SimFault = simfault.Fault
 
 // Config is a complete machine configuration (Table 1 resources plus the
 // memory system and FPU).
@@ -177,11 +189,36 @@ func (s *machineStream) NextBatch(buf []trace.Record) int {
 	return n
 }
 
+// cyclesOf reports how far a processor got, tolerating the nil processor of
+// a construction-time panic.
+func cyclesOf(p *core.Processor) uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.Cycles()
+}
+
+// simJob builds the fault identity for a root-API run.
+func simJob(cfg Config, w *Workload, scheduled bool) simfault.Job {
+	return simfault.Job{
+		Config:      cfg.Name,
+		Fingerprint: cfg.Fingerprint(),
+		Workload:    w.Name,
+		Scheduled:   scheduled,
+	}
+}
+
 // Run executes a workload on the given machine configuration. maxInstr
 // bounds the dynamic instruction count (0 uses the workload's default
 // budget, which covers the kernel's full natural run).
 func Run(cfg Config, w *Workload, maxInstr uint64) (*Report, error) {
-	return RunObserved(cfg, w, maxInstr, nil)
+	return RunContext(context.Background(), cfg, w, maxInstr)
+}
+
+// RunContext is Run under a context: cancellation stops the simulation
+// within a few thousand cycles and returns ctx.Err().
+func RunContext(ctx context.Context, cfg Config, w *Workload, maxInstr uint64) (*Report, error) {
+	return RunObservedContext(ctx, cfg, w, maxInstr, nil)
 }
 
 // RunObserved is Run with an observability sink attached (see internal/obs):
@@ -189,6 +226,19 @@ func Run(cfg Config, w *Workload, maxInstr uint64) (*Report, error) {
 // interval, per-interval metric batches. A nil sink is exactly Run — the
 // timing model stays on its zero-cost path, so the Report is identical.
 func RunObserved(cfg Config, w *Workload, maxInstr uint64, sink obs.Sink) (*Report, error) {
+	return RunObservedContext(context.Background(), cfg, w, maxInstr, sink)
+}
+
+// RunObservedContext is RunObserved under a context. It is also the root
+// API's fault boundary: a panic inside machine construction or the timing
+// core comes back as a *SimFault instead of unwinding the caller.
+func RunObservedContext(ctx context.Context, cfg Config, w *Workload, maxInstr uint64, sink obs.Sink) (rep *Report, err error) {
+	var p *core.Processor
+	defer func() {
+		if rec := recover(); rec != nil {
+			rep, err = nil, simfault.FromPanic(rec, simJob(cfg, w, false), cyclesOf(p), debug.Stack())
+		}
+	}()
 	m, err := w.NewMachine()
 	if err != nil {
 		return nil, err
@@ -197,14 +247,14 @@ func RunObserved(cfg Config, w *Workload, maxInstr uint64, sink obs.Sink) (*Repo
 		maxInstr = w.DefaultBudget * 4 // headroom: kernels halt on their own
 	}
 	stream := &machineStream{m: m, budget: maxInstr}
-	p, err := core.NewProcessor(cfg, stream)
+	p, err = core.NewProcessor(cfg, stream)
 	if err != nil {
 		return nil, err
 	}
 	if sink != nil {
 		p.Attach(sink)
 	}
-	rep, err := p.Run(0)
+	rep, err = p.RunContext(ctx, 0)
 	if err != nil {
 		return nil, fmt.Errorf("aurora: %s on %s: %w", w.Name, cfg.Name, err)
 	}
@@ -220,12 +270,25 @@ func RunObserved(cfg Config, w *Workload, maxInstr uint64, sink obs.Sink) (*Repo
 type Simulation struct {
 	p      *core.Processor
 	stream *machineStream
+	done   <-chan struct{} // nil without a cancellable context
+	ctx    context.Context
+	err    error
 }
+
+// simCancelMask matches the core cycle loop's cancellation-poll interval.
+const simCancelMask = 1<<12 - 1
 
 // NewSimulation prepares a workload run for cycle-by-cycle stepping.
 // maxInstr bounds the dynamic instruction count (0 uses the workload's
 // default budget).
 func NewSimulation(cfg Config, w *Workload, maxInstr uint64) (*Simulation, error) {
+	return NewSimulationContext(context.Background(), cfg, w, maxInstr)
+}
+
+// NewSimulationContext is NewSimulation under a context: once ctx is
+// cancelled, Step returns false within a few thousand cycles and Err
+// reports ctx.Err().
+func NewSimulationContext(ctx context.Context, cfg Config, w *Workload, maxInstr uint64) (*Simulation, error) {
 	m, err := w.NewMachine()
 	if err != nil {
 		return nil, err
@@ -238,11 +301,25 @@ func NewSimulation(cfg Config, w *Workload, maxInstr uint64) (*Simulation, error
 	if err != nil {
 		return nil, err
 	}
-	return &Simulation{p: p, stream: stream}, nil
+	return &Simulation{p: p, stream: stream, done: ctx.Done(), ctx: ctx}, nil
 }
 
 // Step advances the machine one cycle, reporting whether work remains.
-func (s *Simulation) Step() bool { return s.p.Step() }
+func (s *Simulation) Step() bool {
+	if s.done != nil && s.p.Cycles()&simCancelMask == 0 {
+		select {
+		case <-s.done:
+			s.err = s.ctx.Err()
+			return false
+		default:
+		}
+	}
+	return s.p.Step()
+}
+
+// Err reports why stepping stopped early: the context's error after a
+// cancellation, nil for a natural end of the run.
+func (s *Simulation) Err() error { return s.err }
 
 // Cycles returns the cycles simulated so far.
 func (s *Simulation) Cycles() uint64 { return s.p.Cycles() }
@@ -255,6 +332,18 @@ func (s *Simulation) Instructions() uint64 { return s.p.Instructions() }
 // from their consumers) before it reaches the timing model — modelling a
 // recompiled binary.
 func RunScheduled(cfg Config, w *Workload, maxInstr uint64) (*Report, error) {
+	return RunScheduledContext(context.Background(), cfg, w, maxInstr)
+}
+
+// RunScheduledContext is RunScheduled under a context, with the same fault
+// boundary as RunObservedContext.
+func RunScheduledContext(ctx context.Context, cfg Config, w *Workload, maxInstr uint64) (rep *Report, err error) {
+	var p *core.Processor
+	defer func() {
+		if rec := recover(); rec != nil {
+			rep, err = nil, simfault.FromPanic(rec, simJob(cfg, w, true), cyclesOf(p), debug.Stack())
+		}
+	}()
 	m, err := w.NewMachine()
 	if err != nil {
 		return nil, err
@@ -263,11 +352,11 @@ func RunScheduled(cfg Config, w *Workload, maxInstr uint64) (*Report, error) {
 		maxInstr = w.DefaultBudget * 4
 	}
 	stream := &machineStream{m: m, budget: maxInstr}
-	p, err := core.NewProcessor(cfg, trace.NewReschedule(stream))
+	p, err = core.NewProcessor(cfg, trace.NewReschedule(stream))
 	if err != nil {
 		return nil, err
 	}
-	rep, err := p.Run(0)
+	rep, err = p.RunContext(ctx, 0)
 	if err != nil {
 		return nil, fmt.Errorf("aurora: %s on %s (scheduled): %w", w.Name, cfg.Name, err)
 	}
@@ -277,11 +366,24 @@ func RunScheduled(cfg Config, w *Workload, maxInstr uint64) (*Report, error) {
 // RunTrace executes the timing model over an arbitrary trace stream
 // (for pre-recorded traces or synthetic streams).
 func RunTrace(cfg Config, stream trace.Stream) (*Report, error) {
-	p, err := core.NewProcessor(cfg, stream)
+	return RunTraceContext(context.Background(), cfg, stream)
+}
+
+// RunTraceContext is RunTrace under a context, with the panic fault boundary
+// (the trace has no workload name; the fault identifies the configuration).
+func RunTraceContext(ctx context.Context, cfg Config, stream trace.Stream) (rep *Report, err error) {
+	var p *core.Processor
+	defer func() {
+		if rec := recover(); rec != nil {
+			job := simfault.Job{Config: cfg.Name, Fingerprint: cfg.Fingerprint(), Workload: "trace"}
+			rep, err = nil, simfault.FromPanic(rec, job, cyclesOf(p), debug.Stack())
+		}
+	}()
+	p, err = core.NewProcessor(cfg, stream)
 	if err != nil {
 		return nil, err
 	}
-	return p.Run(0)
+	return p.RunContext(ctx, 0)
 }
 
 // Runner is the parallel experiment engine: it schedules simulation jobs

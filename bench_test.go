@@ -1,6 +1,7 @@
 package aurora
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -56,7 +57,7 @@ func BenchmarkTable2CostModel(b *testing.B) {
 
 func BenchmarkFig4IssueWidth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.Fig4(benchRunner(), benchOpts())
+		pts, err := harness.Fig4(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -80,7 +81,7 @@ func BenchmarkFig4IssueWidth(b *testing.B) {
 
 func BenchmarkTable3IPrefetch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t3, err := harness.Table3(benchRunner(), benchOpts())
+		t3, err := harness.Table3(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,7 +94,7 @@ func BenchmarkTable3IPrefetch(b *testing.B) {
 
 func BenchmarkTable4DPrefetch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t4, err := harness.Table4(benchRunner(), benchOpts())
+		t4, err := harness.Table4(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,11 +107,11 @@ func BenchmarkTable4DPrefetch(b *testing.B) {
 
 func BenchmarkTable5WriteCache(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t5, err := harness.Table5(benchRunner(), benchOpts())
+		t5, err := harness.Table5(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
-		wt, err := harness.WriteTraffic(benchRunner(), benchOpts())
+		wt, err := harness.WriteTraffic(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func avgRate(t *harness.RateTable) float64 {
 
 func BenchmarkFig5PrefetchRemoval(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.Fig5(benchRunner(), benchOpts())
+		pts, err := harness.Fig5(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -153,7 +154,7 @@ func BenchmarkFig5PrefetchRemoval(b *testing.B) {
 
 func BenchmarkFig6StallBreakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Fig6(benchRunner(), benchOpts())
+		rows, err := harness.Fig6(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -166,7 +167,7 @@ func BenchmarkFig6StallBreakdown(b *testing.B) {
 
 func BenchmarkFig7MSHRCount(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.Fig7(benchRunner(), benchOpts())
+		pts, err := harness.Fig7(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -188,7 +189,7 @@ func BenchmarkFig7MSHRCount(b *testing.B) {
 
 func BenchmarkFig8CostPerf(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.Fig8(benchRunner(), benchOpts())
+		pts, err := harness.Fig8(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -201,7 +202,7 @@ func BenchmarkFig8CostPerf(b *testing.B) {
 
 func BenchmarkTable6FPIssuePolicy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Table6(benchRunner(), benchOpts())
+		rows, err := harness.Table6(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -216,7 +217,7 @@ func BenchmarkTable6FPIssuePolicy(b *testing.B) {
 
 func BenchmarkFig9Queues(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		iq, lq, rob, err := harness.Fig9Queues(benchRunner(), benchOpts())
+		iq, lq, rob, err := harness.Fig9Queues(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -231,7 +232,7 @@ func BenchmarkFig9Queues(b *testing.B) {
 
 func BenchmarkFig9Latencies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := harness.Fig9Latencies(benchRunner(), benchOpts())
+		res, err := harness.Fig9Latencies(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -289,7 +290,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 
 func BenchmarkExtFig9IQDual(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.Fig9IQDual(benchRunner(), benchOpts())
+		pts, err := harness.Fig9IQDual(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -303,7 +304,7 @@ func BenchmarkExtFig9IQDual(b *testing.B) {
 
 func BenchmarkExtLatencyScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.LatencyScaling(benchRunner(), benchOpts(), nil)
+		pts, err := harness.LatencyScaling(context.Background(), benchRunner(), benchOpts(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -317,7 +318,7 @@ func BenchmarkExtLatencyScaling(b *testing.B) {
 
 func BenchmarkExtBranchFolding(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.BranchFolding(benchRunner(), benchOpts())
+		rows, err := harness.BranchFolding(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -330,7 +331,7 @@ func BenchmarkExtBranchFolding(b *testing.B) {
 
 func BenchmarkExtWriteCacheSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.WriteCacheSweep(benchRunner(), benchOpts())
+		pts, err := harness.WriteCacheSweep(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -342,7 +343,7 @@ func BenchmarkExtWriteCacheSweep(b *testing.B) {
 
 func BenchmarkExtMSHRDeepSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.MSHRDeepSweep(benchRunner(), benchOpts())
+		pts, err := harness.MSHRDeepSweep(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -354,7 +355,7 @@ func BenchmarkExtMSHRDeepSweep(b *testing.B) {
 
 func BenchmarkExtAreaAwareClock(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.AreaAwareClock(benchRunner(), benchOpts())
+		pts, err := harness.AreaAwareClock(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -366,7 +367,7 @@ func BenchmarkExtAreaAwareClock(b *testing.B) {
 
 func BenchmarkExtMMUSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.MMUSensitivity(benchRunner(), benchOpts())
+		pts, err := harness.MMUSensitivity(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -379,7 +380,7 @@ func BenchmarkExtMMUSensitivity(b *testing.B) {
 
 func BenchmarkExtVictimCache(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.VictimCacheStudy(benchRunner(), benchOpts())
+		pts, err := harness.VictimCacheStudy(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -391,7 +392,7 @@ func BenchmarkExtVictimCache(b *testing.B) {
 
 func BenchmarkExtCompilerScheduling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.CompilerScheduling(benchRunner(), benchOpts())
+		pts, err := harness.CompilerScheduling(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -406,7 +407,7 @@ func BenchmarkExtCompilerScheduling(b *testing.B) {
 
 func BenchmarkExtPreciseExceptions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.PreciseExceptions(benchRunner(), benchOpts())
+		pts, err := harness.PreciseExceptions(context.Background(), benchRunner(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
@@ -23,7 +25,13 @@ import (
 	"aurora/internal/workloads"
 )
 
-func main() {
+// runChunk bounds how many instructions execute between context checks, so
+// SIGINT stops a runaway -run promptly.
+const runChunk = 1 << 20
+
+func main() { os.Exit(runMain()) }
+
+func runMain() int {
 	var (
 		dump     = flag.Bool("dump", false, "disassemble the text segment")
 		list     = flag.Bool("list", false, "print an assembler listing (address, word, source line)")
@@ -34,28 +42,31 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var name, source string
 	switch {
 	case *workload != "":
 		w, err := workloads.Get(*workload)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		name, source = w.Name+".s", w.Source
 	case flag.NArg() == 1:
 		b, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		name, source = flag.Arg(0), string(b)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: aurora-asm [-dump|-symbols|-run] file.s")
-		os.Exit(2)
+		return 2
 	}
 
 	p, err := asm.Assemble(name, source)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	fmt.Printf("%s: %d instructions (%d bytes text), %d bytes data, entry %#x\n",
 		name, len(p.Text), 4*len(p.Text), len(p.Data), p.Entry)
@@ -109,18 +120,35 @@ func main() {
 	if *run {
 		m, err := vm.New(p)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		m.Stdout = os.Stdout
-		n, err := m.Run(*maxInstr, nil)
-		if err != nil {
-			fatal(err)
+		// Execute in chunks so SIGINT cancels a long run between chunks.
+		var n, total uint64
+		for total < *maxInstr && !m.Halted() {
+			chunk := *maxInstr - total
+			if chunk > runChunk {
+				chunk = runChunk
+			}
+			n, err = m.Run(chunk, nil)
+			total += n
+			if err != nil {
+				break
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				err = cerr
+				break
+			}
 		}
-		fmt.Printf("executed %d instructions, exit code %d\n", n, m.ExitCode())
+		if err != nil {
+			return fail(fmt.Errorf("after %d instructions: %w", total, err))
+		}
+		fmt.Printf("executed %d instructions, exit code %d\n", total, m.ExitCode())
 	}
+	return 0
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "aurora-asm:", err)
-	os.Exit(1)
+	return 1
 }

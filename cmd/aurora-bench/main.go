@@ -12,10 +12,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"time"
 
@@ -86,7 +88,11 @@ type File struct {
 	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
 }
 
-func main() {
+// main delegates to run so every exit path unwinds through the same output
+// path: an interrupted or faulted sweep still writes the jobs it finished.
+func main() { os.Exit(run()) }
+
+func run() int {
 	out := flag.String("out", "-", "output path for the JSON record (- = stdout)")
 	baselinePath := flag.String("baseline", "", "previous aurora-bench JSON to compare against")
 	budget := flag.Uint64("budget", 300_000, "instruction budget per (model, workload) run")
@@ -96,6 +102,9 @@ func main() {
 	if *quick {
 		*budget = 60_000
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	f := &File{
 		Schema:     "aurora-bench/v1",
@@ -109,15 +118,19 @@ func main() {
 	if *baselinePath != "" {
 		base, err := readBaseline(*baselinePath)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		f.Baseline = base
 	}
 
-	if err := runSweep(f); err != nil {
-		fatal(err)
+	exit := 0
+	if err := runSweep(ctx, f); err != nil {
+		// Keep going: the record below still carries every job that
+		// finished, so an interrupted sweep leaves a usable partial file.
+		fmt.Fprintln(os.Stderr, "aurora-bench:", err)
+		exit = 1
 	}
-	if *cycleLoop {
+	if exit == 0 && *cycleLoop {
 		f.CycleLoop = runCycleLoop()
 	}
 	if f.Baseline != nil && f.Baseline.SIPS > 0 {
@@ -126,14 +139,14 @@ func main() {
 
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	data = append(data, '\n')
 	if *out == "-" {
 		os.Stdout.Write(data)
 	} else {
 		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "aurora-bench: %d jobs, %d instructions in %.2fs → %.0f instr/s (%.3f allocs/instr)\n",
@@ -146,11 +159,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aurora-bench: cycle loop %.1f ns/cycle, %.4f allocs/op over %d cycles\n",
 			f.CycleLoop.NsPerCycle, f.CycleLoop.AllocsPerOp, f.CycleLoop.Cycles)
 	}
+	return exit
 }
 
 // runSweep executes the pinned job matrix serially (deterministic work,
-// stable timing) and fills f.Workloads and f.Total.
-func runSweep(f *File) error {
+// stable timing) and fills f.Workloads and f.Total. On error or cancellation
+// the jobs completed so far remain in f, totalled, for a partial record.
+func runSweep(ctx context.Context, f *File) (err error) {
+	defer func() { fillTotals(f) }()
 	names := aurora.WorkloadNames()
 
 	// Warm up: assemble every workload once so parse/assembly cost is not
@@ -166,9 +182,8 @@ func runSweep(f *File) error {
 	}
 
 	runtime.GC()
-	var before runtime.MemStats
-	runtime.ReadMemStats(&before)
-	sweepStart := time.Now()
+	runtime.ReadMemStats(&sweepBefore)
+	sweepStart = time.Now()
 
 	for _, mn := range f.Models {
 		cfg, err := aurora.ModelByName(mn)
@@ -181,7 +196,7 @@ func runSweep(f *File) error {
 				return err
 			}
 			start := time.Now()
-			rep, err := aurora.Run(cfg, w, f.Budget)
+			rep, err := aurora.RunContext(ctx, cfg, w, f.Budget)
 			if err != nil {
 				return fmt.Errorf("%s on %s: %w", wn, mn, err)
 			}
@@ -198,6 +213,21 @@ func runSweep(f *File) error {
 		}
 	}
 
+	return nil
+}
+
+// sweepBefore / sweepStart let fillTotals aggregate however far the sweep
+// got, so the deferred totals cover partial runs too.
+var (
+	sweepBefore runtime.MemStats
+	sweepStart  time.Time
+)
+
+// fillTotals aggregates the completed jobs into f.Total.
+func fillTotals(f *File) {
+	if len(f.Workloads) == 0 || sweepStart.IsZero() {
+		return
+	}
 	wall := time.Since(sweepStart)
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
@@ -211,11 +241,10 @@ func runSweep(f *File) error {
 		Instructions:   instr,
 		WallSeconds:    wall.Seconds(),
 		SIPS:           float64(instr) / wall.Seconds(),
-		AllocsPerInstr: float64(after.Mallocs-before.Mallocs) / float64(instr),
-		BytesPerInstr:  float64(after.TotalAlloc-before.TotalAlloc) / float64(instr),
-		NumGC:          after.NumGC - before.NumGC,
+		AllocsPerInstr: float64(after.Mallocs-sweepBefore.Mallocs) / float64(instr),
+		BytesPerInstr:  float64(after.TotalAlloc-sweepBefore.TotalAlloc) / float64(instr),
+		NumGC:          after.NumGC - sweepBefore.NumGC,
 	}
-	return nil
 }
 
 // readBaseline loads a previous aurora-bench output and summarises it.
@@ -237,7 +266,7 @@ func readBaseline(path string) (*BaselineSummary, error) {
 	}, nil
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "aurora-bench:", err)
-	os.Exit(1)
+	return 1
 }

@@ -14,10 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"time"
@@ -44,7 +46,11 @@ func resolveOptions(quick bool, set map[string]bool, budget, sweep uint64) harne
 	return opts
 }
 
-func main() {
+// main delegates to run so every exit path — including a faulted or
+// interrupted sweep — unwinds through the same observability flush.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		quick      = flag.Bool("quick", false, "reduced budgets for a fast pass")
 		budget     = flag.Uint64("budget", 0, "per-benchmark instruction budget (0 = natural completion)")
@@ -58,19 +64,35 @@ func main() {
 		traceOut        = flag.String("trace-out", "", "write a Chrome trace-event JSON covering every distinct simulation's trace window")
 		traceCycles     = flag.Uint64("trace-cycles", 50000, "trace window length in cycles (from cycle 0) for -trace-out")
 		pprofAddr       = flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
+
+		failFast   = flag.Bool("failfast", false, "abort on the first job fault instead of rendering partial tables with faulted cells marked")
+		jobTimeout = flag.Duration("job-timeout", 0, "wall-clock limit per simulation job (0 = none); an expired job faults, the sweep continues")
+		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0 = none); SIGINT also stops it cleanly")
 	)
 	flag.Parse()
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	opts := resolveOptions(*quick, set, *budget, *sweep)
+	opts.FailFast = *failFast
+
+	// SIGINT (and an optional -timeout) cancel queued and running jobs;
+	// partial CSV, metrics and trace output is still flushed on the way out.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	runner := harness.NewRunner(*workers)
+	runner.JobTimeout = *jobTimeout
 	if *pprofAddr != "" {
 		addr, err := harness.ServeDebug(*pprofAddr, runner)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aurora-experiments: pprof:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("debug server on http://%s/debug/pprof/\n", addr)
 	}
@@ -88,49 +110,58 @@ func main() {
 		runner.Observe = collector.Sink
 	}
 	start := time.Now()
-	if err := harness.Render(os.Stdout, runner, opts); err != nil {
+	exit := 0
+	if err := harness.Render(ctx, os.Stdout, runner, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "aurora-experiments:", err)
-		os.Exit(1)
+		exit = 1
 	}
-	if *extensions {
-		if err := harness.RenderExtensions(os.Stdout, runner, opts); err != nil {
+	if exit == 0 && *extensions {
+		if err := harness.RenderExtensions(ctx, os.Stdout, runner, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "aurora-experiments:", err)
-			os.Exit(1)
+			exit = 1
 		}
 	}
-	if *csvDir != "" {
+	if exit == 0 && *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "aurora-experiments:", err)
-			os.Exit(1)
+			exit = 1
+		} else {
+			open := func(name string) (io.WriteCloser, error) {
+				return os.Create(filepath.Join(*csvDir, name+".csv"))
+			}
+			if err := harness.ExportCSV(ctx, open, runner, opts); err != nil {
+				fmt.Fprintln(os.Stderr, "aurora-experiments: csv:", err)
+				exit = 1
+			} else {
+				fmt.Printf("CSV artifacts written to %s\n", *csvDir)
+			}
 		}
-		open := func(name string) (io.WriteCloser, error) {
-			return os.Create(filepath.Join(*csvDir, name+".csv"))
-		}
-		if err := harness.ExportCSV(open, runner, opts); err != nil {
-			fmt.Fprintln(os.Stderr, "aurora-experiments: csv:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("CSV artifacts written to %s\n", *csvDir)
 	}
+	// Single cleanup path: the collector flushes whatever the finished jobs
+	// produced even when the sweep failed fast or was interrupted, so a
+	// partial run still leaves usable metrics and traces behind.
 	if collector != nil {
 		if *metricsOut != "" {
 			if err := writeFile(*metricsOut, collector.WriteMetricsCSV); err != nil {
 				fmt.Fprintln(os.Stderr, "aurora-experiments: metrics:", err)
-				os.Exit(1)
+				exit = 1
+			} else {
+				fmt.Printf("metrics time series written to %s\n", *metricsOut)
 			}
-			fmt.Printf("metrics time series written to %s\n", *metricsOut)
 		}
 		if *traceOut != "" {
 			if err := writeFile(*traceOut, collector.WriteChromeTrace); err != nil {
 				fmt.Fprintln(os.Stderr, "aurora-experiments: trace:", err)
-				os.Exit(1)
+				exit = 1
+			} else {
+				fmt.Printf("Chrome trace written to %s\n", *traceOut)
 			}
-			fmt.Printf("Chrome trace written to %s\n", *traceOut)
 		}
 	}
 	st := runner.Stats()
 	fmt.Printf("\nregenerated all tables and figures in %s (%d workers; %d simulations, %d memo hits)\n",
 		time.Since(start).Round(time.Second), runner.Workers(), st.Misses, st.Hits)
+	return exit
 }
 
 // writeFile creates path and streams gen's output into it.

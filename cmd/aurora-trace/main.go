@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"aurora"
 	"aurora/internal/isa"
@@ -20,7 +22,15 @@ import (
 	"aurora/internal/workloads"
 )
 
-func main() {
+// recordChunk bounds how many instructions run between context checks while
+// recording, so SIGINT lands within a fraction of a second.
+const recordChunk = 1 << 20
+
+// main delegates to run so every exit path unwinds through the deferred
+// file closes — a failed record still flushes what it captured.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		record = flag.String("record", "", "workload to record")
 		out    = flag.String("o", "trace.trc", "output file for -record")
@@ -31,64 +41,92 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var err error
 	switch {
 	case *record != "":
-		doRecord(*record, *out, *instr)
+		err = doRecord(ctx, *record, *out, *instr)
 	case *stats != "":
-		doStats(*stats)
+		err = doStats(*stats)
 	case *replay != "":
-		doReplay(*replay, *model)
+		err = doReplay(ctx, *replay, *model)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: aurora-trace -record NAME | -stats FILE | -replay FILE")
-		os.Exit(2)
+		return 2
 	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aurora-trace:", err)
+		return 1
+	}
+	return 0
 }
 
-func doRecord(name, out string, budget uint64) {
+func doRecord(ctx context.Context, name, out string, budget uint64) error {
 	w, err := workloads.Get(name)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if budget == 0 {
 		budget = w.DefaultBudget * 4
 	}
 	m, err := w.NewMachine()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	f, err := os.Create(out)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	tw := trace.NewWriter(f)
 	var werr error
-	n, err := m.Run(budget, func(r trace.Record) {
+	emit := func(r trace.Record) {
 		if werr == nil {
 			werr = tw.Write(r)
 		}
-	})
+	}
+	// Run in chunks so a SIGINT stops the recording promptly; the records
+	// written so far are flushed below either way.
+	var n, total uint64
+	for total < budget && !m.Halted() {
+		chunk := budget - total
+		if chunk > recordChunk {
+			chunk = recordChunk
+		}
+		n, err = m.Run(chunk, emit)
+		total += n
+		if err != nil {
+			break
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+			break
+		}
+	}
+	if ferr := tw.Flush(); err == nil {
+		err = ferr
+	}
+	if err == nil {
+		err = werr
+	}
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("after %d instructions: %w", total, err)
 	}
-	if werr != nil {
-		fatal(werr)
-	}
-	if err := tw.Flush(); err != nil {
-		fatal(err)
-	}
-	fmt.Printf("recorded %d instructions of %s to %s\n", n, name, out)
+	fmt.Printf("recorded %d instructions of %s to %s\n", total, name, out)
+	return nil
 }
 
-func doStats(path string) {
+func doStats(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	tr, err := trace.NewReader(f)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var mix trace.Mix
 	for {
@@ -99,7 +137,7 @@ func doStats(path string) {
 		mix.Add(r)
 	}
 	if err := tr.Err(); err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("%s: %d instructions\n", path, mix.Total)
 	fmt.Printf("  loads %5.1f%%  stores %5.1f%%  branches %5.1f%% (%.0f%% taken)  fp %5.1f%%\n",
@@ -110,27 +148,29 @@ func doStats(path string) {
 			fmt.Printf("  %-8s %9d (%5.1f%%)\n", c, mix.ByClass[c], pct(mix.ByClass[c], mix.Total))
 		}
 	}
+	return nil
 }
 
-func doReplay(path, modelName string) {
+func doReplay(ctx context.Context, path, modelName string) error {
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	tr, err := trace.NewReader(f)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg, err := aurora.ModelByName(modelName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	rep, err := aurora.RunTrace(cfg, tr)
+	rep, err := aurora.RunTraceContext(ctx, cfg, tr)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Print(rep)
+	return nil
 }
 
 func pct(a, b uint64) float64 {
@@ -138,9 +178,4 @@ func pct(a, b uint64) float64 {
 		return 0
 	}
 	return 100 * float64(a) / float64(b)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "aurora-trace:", err)
-	os.Exit(1)
 }

@@ -9,16 +9,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"aurora"
 	"aurora/internal/obs"
 )
 
-func main() {
+// main delegates to run so every exit path unwinds through the same
+// cleanup: deferred cancellation, and the observability flush below.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		workload = flag.String("workload", "espresso", "workload name ("+strings.Join(aurora.WorkloadNames(), ", ")+")")
 		model    = flag.String("model", "baseline", "machine model: small, baseline, large, pointE")
@@ -42,12 +48,23 @@ func main() {
 		traceOut        = flag.String("trace-out", "", "write a Chrome trace-event JSON (load in Perfetto / chrome://tracing)")
 		traceFrom       = flag.Uint64("trace-from", 0, "first cycle captured by -trace-out")
 		traceCycles     = flag.Uint64("trace-cycles", 200000, "trace window length in cycles for -trace-out (0 = to end of run)")
+		timeout         = flag.Duration("timeout", 0, "wall-clock limit for the run (0 = none); SIGINT also stops it cleanly")
 	)
 	flag.Parse()
 
+	// SIGINT (and an optional -timeout) cancel the simulation; partial
+	// -metrics-out / -trace-out data is still flushed on the way out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	cfg, err := aurora.ModelByName(*model)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *issue != 0 {
 		cfg.IssueWidth = *issue
@@ -88,16 +105,16 @@ func main() {
 	case "dual":
 		cfg.FPU.Policy = aurora.FPUOOODual
 	default:
-		fatal(fmt.Errorf("unknown FPU policy %q", *policy))
+		return fail(fmt.Errorf("unknown FPU policy %q", *policy))
 	}
 
 	w, err := aurora.GetWorkload(*workload)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	cost, err := aurora.Cost(cfg)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	var sampler *obs.IntervalSampler
@@ -116,20 +133,29 @@ func main() {
 		sinks = append(sinks, tracer)
 	}
 
-	rep, err := aurora.RunObserved(cfg, w, *instr, obs.Multi(sinks...))
+	rep, err := aurora.RunObservedContext(ctx, cfg, w, *instr, obs.Multi(sinks...))
+	exit := 0
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "aurorasim:", err)
+		exit = 1
 	}
+	// Single cleanup path: whatever the run's outcome — success, SimFault,
+	// timeout or SIGINT — the observability sinks flush what they captured.
 	if sampler != nil {
 		sampler.Flush()
-		if err := writeMetrics(*metricsOut, sampler); err != nil {
-			fatal(err)
+		if werr := writeMetrics(*metricsOut, sampler); werr != nil {
+			fmt.Fprintln(os.Stderr, "aurorasim: metrics:", werr)
+			exit = 1
 		}
 	}
 	if tracer != nil {
-		if err := writeTrace(*traceOut, tracer, w.Name+" on "+cfg.Name); err != nil {
-			fatal(err)
+		if werr := writeTrace(*traceOut, tracer, w.Name+" on "+cfg.Name); werr != nil {
+			fmt.Fprintln(os.Stderr, "aurorasim: trace:", werr)
+			exit = 1
 		}
+	}
+	if rep == nil {
+		return exit
 	}
 
 	fmt.Printf("workload %s (%s): %s\n", w.Name, w.Suite, w.Description)
@@ -146,6 +172,7 @@ func main() {
 	if *victim > 0 {
 		fmt.Printf("  victim cache: %d probes, %d hits\n", rep.VictimProbes, rep.VictimHits)
 	}
+	return exit
 }
 
 func writeMetrics(path string, s *obs.IntervalSampler) error {
@@ -176,7 +203,7 @@ func writeTrace(path string, t *obs.TraceSink, processName string) error {
 	return err
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "aurorasim:", err)
-	os.Exit(1)
+	return 1
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +24,7 @@ type point struct {
 }
 
 func main() {
+	ctx := context.Background()
 	bench := flag.String("workload", "espresso", "benchmark to sweep")
 	budget := flag.Uint64("instr", 600_000, "instruction budget per run")
 	workers := flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
@@ -73,7 +75,7 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rep, err := r.RunWorkload(pts[i].cfg, w, *budget)
+			rep, err := r.RunWorkload(ctx, pts[i].cfg, w, *budget)
 			if err != nil {
 				errs[i] = err
 				return
@@ -104,13 +106,13 @@ func main() {
 	// The paper's recommendation (§5.6): baseline + 4K icache + 4 MSHRs.
 	e := aurora.RecommendedE()
 	ec, _ := aurora.Cost(e)
-	repE, err := r.RunWorkload(e, w, *budget)
+	repE, err := r.RunWorkload(ctx, e, w, *budget)
 	if err != nil {
 		log.Fatal(err)
 	}
 	l := aurora.Large()
 	lc, _ := aurora.Cost(l)
-	repL, err := r.RunWorkload(l, w, *budget)
+	repL, err := r.RunWorkload(ctx, l, w, *budget)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	budget := flag.Uint64("instr", 400_000, "instruction budget per run")
 	workers := flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -32,7 +34,7 @@ func main() {
 			wg.Add(1)
 			go func(i int, w *aurora.Workload) {
 				defer wg.Done()
-				rep, err := r.RunWorkload(cfg, w, *budget)
+				rep, err := r.RunWorkload(ctx, cfg, w, *budget)
 				if err != nil {
 					errs[i] = err
 					return

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +24,7 @@ type pair struct {
 }
 
 func main() {
+	ctx := context.Background()
 	budget := flag.Uint64("instr", 600_000, "instruction budget per run")
 	workers := flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -41,10 +43,10 @@ func main() {
 			wg.Add(1)
 			go func(p *pair, cfg aurora.Config, w *aurora.Workload) {
 				defer wg.Done()
-				if p.base, p.err = r.RunWorkload(cfg, w, *budget); p.err != nil {
+				if p.base, p.err = r.RunWorkload(ctx, cfg, w, *budget); p.err != nil {
 					return
 				}
-				p.sched, p.err = r.RunScheduledWorkload(cfg, w, *budget)
+				p.sched, p.err = r.RunScheduledWorkload(ctx, cfg, w, *budget)
 			}(&pairs[mi][wi], cfg, w)
 		}
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	budget := flag.Uint64("instr", 600_000, "instruction budget per run")
 	workers := flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -34,7 +36,7 @@ func main() {
 			wg.Add(1)
 			go func(mi, wi int, cfg aurora.Config, w *aurora.Workload) {
 				defer wg.Done()
-				reps[mi][wi], errs[mi][wi] = r.RunWorkload(cfg, w, *budget)
+				reps[mi][wi], errs[mi][wi] = r.RunWorkload(ctx, cfg, w, *budget)
 			}(mi, wi, cfg, w)
 		}
 	}

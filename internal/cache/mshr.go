@@ -1,6 +1,9 @@
 package cache
 
-import "aurora/internal/obs"
+import (
+	"aurora/internal/faultinject"
+	"aurora/internal/obs"
+)
 
 // MSHRFile models the Miss Status Holding Registers (Kroft's lockup-free
 // cache structure, paper §2.3). In the Aurora III an MSHR is reserved for
@@ -60,7 +63,7 @@ func (f *MSHRFile) Allocate() bool {
 
 // Release frees a register.
 func (f *MSHRFile) Release() {
-	if f.inUse == 0 {
+	if f.inUse == 0 || faultinject.Fires(faultinject.MSHRRelease) {
 		panic("cache: MSHR release without allocate")
 	}
 	f.inUse--

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"aurora/internal/faultinject"
 	"aurora/internal/fpu"
 	"aurora/internal/ipu"
 	"aurora/internal/isa"
@@ -102,8 +104,27 @@ func NewProcessor(cfg Config, stream trace.Stream) (*Processor, error) {
 // Run simulates until the trace drains, returning the report. maxCycles = 0
 // applies a generous default deadlock guard.
 func (p *Processor) Run(maxCycles uint64) (*Report, error) {
+	return p.RunContext(context.Background(), maxCycles)
+}
+
+// cancelCheckMask throttles context polling to one check every 4096 cycles:
+// frequent enough that cancellation and per-job deadlines land within
+// microseconds of wall time, rare enough that the cycle loop's cost and
+// zero-allocation property are untouched.
+const cancelCheckMask = 1<<12 - 1
+
+// RunContext is Run under a context: cancellation or deadline expiry stops
+// the simulation within a few thousand cycles and returns ctx.Err(). A
+// background (never-cancelled) context costs nothing in the loop.
+func (p *Processor) RunContext(ctx context.Context, maxCycles uint64) (*Report, error) {
+	done := ctx.Done()
 	for !p.done() {
 		p.now++
+		if done != nil && p.now&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if maxCycles > 0 && p.now > maxCycles {
 			return nil, fmt.Errorf("core: exceeded %d cycles with %d instructions retired (deadlock?)",
 				maxCycles, p.instructions)
@@ -314,7 +335,7 @@ func (p *Processor) needsROB(rec trace.Record) bool {
 
 // allocROB reserves a reorder-buffer slot, returning its index.
 func (p *Processor) allocROB(completeAt uint64) int {
-	if p.robUsed >= len(p.rob) {
+	if p.robUsed >= len(p.rob) || faultinject.Fires(faultinject.CoreROBOverflow) {
 		panic("core: ROB overflow — canIssue checks missed")
 	}
 	slot := (p.robHead + p.robUsed) % len(p.rob)

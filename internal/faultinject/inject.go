@@ -1,0 +1,119 @@
+// Package faultinject lets tests trip the timing model's hot-path invariant
+// panics on demand, without build tags. Each guarded panic site calls
+// Fires(site) alongside its real invariant check; arming a site makes the
+// next visit panic exactly as a genuine invariant violation would, which is
+// how the fault-isolation layer's recovery and per-cell reporting are
+// exercised end to end.
+//
+// The disabled cost is one atomic load and a predicted branch per site
+// visit — sites sit on per-event paths (dispatch, release, completion),
+// never inside the per-cycle loop itself — and no allocation, so the
+// zero-allocation cycle-loop guarantee is unaffected.
+package faultinject
+
+import "sync/atomic"
+
+// Site enumerates the guarded invariant-panic sites.
+type Site uint8
+
+const (
+	// CoreROBOverflow is the IPU reorder-buffer overflow in
+	// core.(*Processor).allocROB.
+	CoreROBOverflow Site = iota
+	// FPUInstrQueue is the full-instruction-queue dispatch in
+	// fpu.(*FPU).DispatchInstr.
+	FPUInstrQueue
+	// FPULoadQueue is the full-load-queue dispatch in
+	// fpu.(*FPU).DispatchLoad.
+	FPULoadQueue
+	// FPULoadArrival is the reservation-less load arrival in
+	// fpu.(*FPU).LoadArrived.
+	FPULoadArrival
+	// FPUStoreQueue is the full-store-queue dispatch in
+	// fpu.(*FPU).DispatchStore.
+	FPUStoreQueue
+	// FPUROBOverflow is the FPU reorder-buffer overflow in
+	// fpu.(*FPU).complete.
+	FPUROBOverflow
+	// MSHRRelease is the unbalanced release in cache.(*MSHRFile).Release.
+	MSHRRelease
+	// LSUDispatch is the MSHR-less dispatch in ipu.(*LSU).Dispatch.
+	LSUDispatch
+
+	NumSites
+)
+
+var siteNames = [NumSites]string{
+	CoreROBOverflow: "core/rob-overflow",
+	FPUInstrQueue:   "fpu/instr-queue",
+	FPULoadQueue:    "fpu/load-queue",
+	FPULoadArrival:  "fpu/load-arrival",
+	FPUStoreQueue:   "fpu/store-queue",
+	FPUROBOverflow:  "fpu/rob-overflow",
+	MSHRRelease:     "cache/mshr-release",
+	LSUDispatch:     "ipu/lsu-dispatch",
+}
+
+// String names the site for test output.
+func (s Site) String() string {
+	if s < NumSites {
+		return siteNames[s]
+	}
+	return "unknown"
+}
+
+// Subsystem returns the SimFault subsystem the site's panic message carries
+// (the "pkg:" prefix of the panic string).
+func (s Site) Subsystem() string {
+	switch s {
+	case CoreROBOverflow:
+		return "core"
+	case FPUInstrQueue, FPULoadQueue, FPULoadArrival, FPUStoreQueue, FPUROBOverflow:
+		return "fpu"
+	case MSHRRelease:
+		return "cache"
+	case LSUDispatch:
+		return "ipu"
+	}
+	return "unknown"
+}
+
+// enabled short-circuits every site check while nothing is armed, keeping
+// the production cost to a single atomic load per visit.
+var enabled atomic.Bool
+
+var armed [NumSites]atomic.Bool
+
+// Fires reports whether the site is armed; the caller panics its own
+// invariant message when it returns true, so an injected fault is
+// indistinguishable from a genuine violation at that site.
+func Fires(s Site) bool {
+	if !enabled.Load() {
+		return false
+	}
+	return armed[s].Load()
+}
+
+// Arm makes every subsequent visit of the site panic. Safe for concurrent
+// use with running simulations.
+func Arm(s Site) {
+	armed[s].Store(true)
+	enabled.Store(true)
+}
+
+// Reset disarms every site.
+func Reset() {
+	enabled.Store(false)
+	for i := range armed {
+		armed[i].Store(false)
+	}
+}
+
+// Sites lists every guarded site, for exhaustive test sweeps.
+func Sites() []Site {
+	out := make([]Site, NumSites)
+	for i := range out {
+		out[i] = Site(i)
+	}
+	return out
+}

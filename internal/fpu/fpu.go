@@ -10,6 +10,7 @@
 package fpu
 
 import (
+	"aurora/internal/faultinject"
 	"aurora/internal/isa"
 	"aurora/internal/obs"
 	"aurora/internal/trace"
@@ -411,7 +412,7 @@ func (f *FPU) CanDispatchInstr() bool {
 // sequences are captured here, at dispatch, so only older writes can block
 // the instruction's eventual issue.
 func (f *FPU) DispatchInstr(rec trace.Record, now uint64) {
-	if !f.CanDispatchInstr() {
+	if !f.CanDispatchInstr() || faultinject.Fires(faultinject.FPUInstrQueue) {
 		panic("fpu: dispatch to full instruction queue")
 	}
 	srcDouble := rec.SI.FPDouble
@@ -443,7 +444,7 @@ func (f *FPU) CanDispatchLoad() bool { return f.loadQ < f.cfg.LoadQueue }
 // and returns the load's write sequence; the destination register becomes
 // unavailable until LoadArrived is called with that sequence.
 func (f *FPU) DispatchLoad(reg uint8, double bool) uint64 {
-	if !f.CanDispatchLoad() {
+	if !f.CanDispatchLoad() || faultinject.Fires(faultinject.FPULoadQueue) {
 		panic("fpu: dispatch to full load queue")
 	}
 	f.loadQ++
@@ -453,7 +454,7 @@ func (f *FPU) DispatchLoad(reg uint8, double bool) uint64 {
 // LoadArrived delivers FP load data: the register file write completes the
 // next cycle and the queue slot frees.
 func (f *FPU) LoadArrived(seq uint64, now uint64) {
-	if f.loadQ == 0 {
+	if f.loadQ == 0 || faultinject.Fires(faultinject.FPULoadArrival) {
 		panic("fpu: load arrival without reservation")
 	}
 	f.loadQ--
@@ -470,7 +471,7 @@ func (f *FPU) CanDispatchStore() bool { return f.storeQLen < f.cfg.StoreQueue }
 // completes (in Tick), modelling that synchronisation. seq is the token
 // from CaptureWriter at dispatch.
 func (f *FPU) DispatchStore(seq uint64) {
-	if !f.CanDispatchStore() {
+	if !f.CanDispatchStore() || faultinject.Fires(faultinject.FPUStoreQueue) {
 		panic("fpu: dispatch to full store queue")
 	}
 	f.storeQ[(f.storeQHead+f.storeQLen)%len(f.storeQ)] = seq
@@ -621,7 +622,7 @@ func (f *FPU) sourcesReady(q queued, now uint64) bool {
 
 // complete allocates the ROB entry and schedules the result write.
 func (f *FPU) complete(q queued, doneAt uint64) {
-	if f.robUsed >= len(f.rob) {
+	if f.robUsed >= len(f.rob) || faultinject.Fires(faultinject.FPUROBOverflow) {
 		panic("fpu: ROB overflow — issue checks missed")
 	}
 	slot := (f.robHead + f.robUsed) % len(f.rob)

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -143,73 +144,73 @@ type csvArtifact struct {
 // the open function (typically wrapping os.Create on "<dir>/<name>.csv").
 // Experiments are computed concurrently through the runner; files are
 // emitted in a fixed order with deterministic contents.
-func ExportCSV(open func(name string) (io.WriteCloser, error), r *Runner, opts Options) error {
-	groups := []func() ([]csvArtifact, error){
-		func() ([]csvArtifact, error) {
-			f4, err := Fig4(r, opts)
+func ExportCSV(ctx context.Context, open func(name string) (io.WriteCloser, error), r *Runner, opts Options) error {
+	groups := []func(ctx context.Context) ([]csvArtifact, error){
+		func(ctx context.Context) ([]csvArtifact, error) {
+			f4, err := Fig4(ctx, r, opts)
 			if err != nil {
 				return nil, err
 			}
 			return []csvArtifact{{"fig4_issue_width", func(w io.Writer) error { return Fig4CSV(w, f4) }}}, nil
 		},
-		func() ([]csvArtifact, error) {
-			t, err := Table3(r, opts)
+		func(ctx context.Context) ([]csvArtifact, error) {
+			t, err := Table3(ctx, r, opts)
 			if err != nil {
 				return nil, err
 			}
 			return []csvArtifact{{"table3_iprefetch", func(w io.Writer) error { return RateTableCSV(w, t) }}}, nil
 		},
-		func() ([]csvArtifact, error) {
-			t, err := Table4(r, opts)
+		func(ctx context.Context) ([]csvArtifact, error) {
+			t, err := Table4(ctx, r, opts)
 			if err != nil {
 				return nil, err
 			}
 			return []csvArtifact{{"table4_dprefetch", func(w io.Writer) error { return RateTableCSV(w, t) }}}, nil
 		},
-		func() ([]csvArtifact, error) {
-			t, err := Table5(r, opts)
+		func(ctx context.Context) ([]csvArtifact, error) {
+			t, err := Table5(ctx, r, opts)
 			if err != nil {
 				return nil, err
 			}
 			return []csvArtifact{{"table5_writecache", func(w io.Writer) error { return RateTableCSV(w, t) }}}, nil
 		},
-		func() ([]csvArtifact, error) {
-			f5, err := Fig5(r, opts)
+		func(ctx context.Context) ([]csvArtifact, error) {
+			f5, err := Fig5(ctx, r, opts)
 			if err != nil {
 				return nil, err
 			}
 			return []csvArtifact{{"fig5_prefetch_removal", func(w io.Writer) error { return Fig5CSV(w, f5) }}}, nil
 		},
-		func() ([]csvArtifact, error) {
-			f6, err := Fig6(r, opts)
+		func(ctx context.Context) ([]csvArtifact, error) {
+			f6, err := Fig6(ctx, r, opts)
 			if err != nil {
 				return nil, err
 			}
 			return []csvArtifact{{"fig6_stalls", func(w io.Writer) error { return Fig6CSV(w, f6) }}}, nil
 		},
-		func() ([]csvArtifact, error) {
-			f7, err := Fig7(r, opts)
+		func(ctx context.Context) ([]csvArtifact, error) {
+			f7, err := Fig7(ctx, r, opts)
 			if err != nil {
 				return nil, err
 			}
 			return []csvArtifact{{"fig7_mshr", func(w io.Writer) error { return Fig7CSV(w, f7) }}}, nil
 		},
-		func() ([]csvArtifact, error) {
-			f8, err := Fig8(r, opts)
+		func(ctx context.Context) ([]csvArtifact, error) {
+			f8, err := Fig8(ctx, r, opts)
 			if err != nil {
 				return nil, err
 			}
 			return []csvArtifact{{"fig8_costperf", func(w io.Writer) error { return Fig8CSV(w, f8) }}}, nil
 		},
-		func() ([]csvArtifact, error) {
-			t6, err := Table6(r, opts)
+		func(ctx context.Context) ([]csvArtifact, error) {
+			t6, err := Table6(ctx, r, opts)
 			if err != nil {
 				return nil, err
 			}
 			return []csvArtifact{{"table6_fpu_policy", func(w io.Writer) error { return Table6CSV(w, t6) }}}, nil
 		},
-		func() ([]csvArtifact, error) {
-			iq, lq, rob, err := Fig9Queues(r, opts)
+		func(ctx context.Context) ([]csvArtifact, error) {
+			iq, lq, rob, err := Fig9Queues(ctx, r, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -219,8 +220,8 @@ func ExportCSV(open func(name string) (io.WriteCloser, error), r *Runner, opts O
 				{"fig9c_reorder_buffer", func(w io.Writer) error { return SweepCSV(w, "entries", rob) }},
 			}, nil
 		},
-		func() ([]csvArtifact, error) {
-			lat, err := Fig9Latencies(r, opts)
+		func(ctx context.Context) ([]csvArtifact, error) {
+			lat, err := Fig9Latencies(ctx, r, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -232,8 +233,8 @@ func ExportCSV(open func(name string) (io.WriteCloser, error), r *Runner, opts O
 			}, nil
 		},
 	}
-	results, err := each(len(groups), func(i int) ([]csvArtifact, error) {
-		return groups[i]()
+	results, err := each(ctx, opts, len(groups), func(ctx context.Context, i int) ([]csvArtifact, error) {
+		return groups[i](ctx)
 	})
 	if err != nil {
 		return err

@@ -1,11 +1,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"aurora/internal/core"
 	"aurora/internal/fpu"
+	"aurora/internal/simfault"
 	"aurora/internal/workloads"
 )
 
@@ -72,7 +74,7 @@ type Fig4Point struct {
 }
 
 // Fig4 runs the 12 configurations over the integer suite.
-func Fig4(r *Runner, opts Options) ([]Fig4Point, error) {
+func Fig4(ctx context.Context, r *Runner, opts Options) ([]Fig4Point, error) {
 	type job struct {
 		name           string
 		cfg            core.Config
@@ -90,13 +92,13 @@ func Fig4(r *Runner, opts Options) ([]Fig4Point, error) {
 			}
 		}
 	}
-	return each(len(jobs), func(i int) (Fig4Point, error) {
+	return each(ctx, opts, len(jobs), func(ctx context.Context, i int) (Fig4Point, error) {
 		j := jobs[i]
 		cost, err := j.cfg.CostRBE()
 		if err != nil {
 			return Fig4Point{}, err
 		}
-		per, min, max, avg, err := suiteCPI(r, j.cfg, workloads.Integer(), opts)
+		per, min, max, avg, err := suiteCPI(ctx, r, j.cfg, workloads.Integer(), opts)
 		if err != nil {
 			return Fig4Point{}, err
 		}
@@ -117,74 +119,112 @@ type RateTable struct {
 	Name    string
 	Benches []string
 	Models  []string
-	// Rows[model][bench] in percent.
+	// Rows[model][bench] in percent; a faulted cell holds NaN.
 	Rows [][]float64
+	// Faults[model][bench] is non-nil for a faulted cell. The slice is nil
+	// when every cell is healthy.
+	Faults [][]*simfault.Fault
 }
 
-func rateTable(r *Runner, name string, opts Options, metric func(*core.Report) float64) (*RateTable, error) {
+// rateCell is one (model, bench) cell of a rate table.
+type rateCell struct {
+	v     float64
+	fault *simfault.Fault
+}
+
+func rateTable(ctx context.Context, r *Runner, name string, opts Options, metric func(*core.Report) float64) (*RateTable, error) {
 	suite := workloads.Integer()
 	t := &RateTable{Name: name}
 	for _, w := range suite {
 		t.Benches = append(t.Benches, w.Name)
 	}
 	models := core.Models()
-	rows, err := each(len(models), func(mi int) ([]float64, error) {
-		reps, err := each(len(suite), func(wi int) (*core.Report, error) {
-			return r.Run(models[mi], suite[wi], opts)
+	rows, err := each(ctx, opts, len(models), func(ctx context.Context, mi int) ([]rateCell, error) {
+		return each(ctx, opts, len(suite), func(ctx context.Context, wi int) (rateCell, error) {
+			rep, err := r.Run(ctx, models[mi], suite[wi], opts)
+			f, err := faultCell(opts, err)
+			if err != nil {
+				return rateCell{}, err
+			}
+			if f != nil {
+				return rateCell{v: math.NaN(), fault: f}, nil
+			}
+			return rateCell{v: 100 * metric(rep)}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		row := make([]float64, len(suite))
-		for i, rep := range reps {
-			row[i] = 100 * metric(rep)
-		}
-		return row, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	anyFault := false
 	for _, m := range models {
 		t.Models = append(t.Models, m.Name)
 	}
-	t.Rows = rows
+	for _, cells := range rows {
+		row := make([]float64, len(cells))
+		faults := make([]*simfault.Fault, len(cells))
+		for i, c := range cells {
+			row[i] = c.v
+			faults[i] = c.fault
+			if c.fault != nil {
+				anyFault = true
+			}
+		}
+		t.Rows = append(t.Rows, row)
+		t.Faults = append(t.Faults, faults)
+	}
+	if !anyFault {
+		t.Faults = nil
+	}
 	return t, nil
 }
 
 // Table3 regenerates the integer instruction-stream prefetch hit rates.
-func Table3(r *Runner, opts Options) (*RateTable, error) {
-	return rateTable(r, "Table 3: Integer I Prefetch Hit Rate %", opts,
+func Table3(ctx context.Context, r *Runner, opts Options) (*RateTable, error) {
+	return rateTable(ctx, r, "Table 3: Integer I Prefetch Hit Rate %", opts,
 		(*core.Report).IPrefetchHitRate)
 }
 
 // Table4 regenerates the integer data-stream prefetch hit rates.
-func Table4(r *Runner, opts Options) (*RateTable, error) {
-	return rateTable(r, "Table 4: Integer D Prefetch Hit Rate %", opts,
+func Table4(ctx context.Context, r *Runner, opts Options) (*RateTable, error) {
+	return rateTable(ctx, r, "Table 4: Integer D Prefetch Hit Rate %", opts,
 		(*core.Report).DPrefetchHitRate)
 }
 
 // Table5 regenerates the write-cache hit rates (loads + stores).
-func Table5(r *Runner, opts Options) (*RateTable, error) {
-	return rateTable(r, "Table 5: Integer Write Cache Hit Rate %", opts,
+func Table5(ctx context.Context, r *Runner, opts Options) (*RateTable, error) {
+	return rateTable(ctx, r, "Table 5: Integer Write Cache Hit Rate %", opts,
 		(*core.Report).WriteCacheHitRate)
 }
 
 // WriteTraffic reports §5.5's store-transaction ratio per model
-// (paper: 44% small, 30% base, 22% large).
-func WriteTraffic(r *Runner, opts Options) (map[string]float64, error) {
+// (paper: 44% small, 30% base, 22% large). Faulted cells are excluded from
+// a model's ratio; a model with no healthy cells reports NaN.
+func WriteTraffic(ctx context.Context, r *Runner, opts Options) (map[string]float64, error) {
 	models := core.Models()
 	suite := workloads.Integer()
-	ratios, err := each(len(models), func(mi int) (float64, error) {
-		reps, err := each(len(suite), func(wi int) (*core.Report, error) {
-			return r.Run(models[mi], suite[wi], opts)
+	ratios, err := each(ctx, opts, len(models), func(ctx context.Context, mi int) (float64, error) {
+		var trans, stores uint64
+		reps, err := each(ctx, opts, len(suite), func(ctx context.Context, wi int) (*core.Report, error) {
+			rep, err := r.Run(ctx, models[mi], suite[wi], opts)
+			f, err := faultCell(opts, err)
+			if err != nil {
+				return nil, err
+			}
+			_ = f // faulted cell: rep stays nil and is skipped below
+			return rep, nil
 		})
 		if err != nil {
 			return 0, err
 		}
-		var trans, stores uint64
 		for _, rep := range reps {
+			if rep == nil {
+				continue
+			}
 			trans += rep.WCTransactions
 			stores += rep.WCStores
+		}
+		if stores == 0 {
+			return math.NaN(), nil
 		}
 		return float64(trans) / float64(stores), nil
 	})
@@ -202,6 +242,9 @@ func WriteTraffic(r *Runner, opts Options) (map[string]float64, error) {
 // Figure 5 — the effect of removing the prefetch buffers (dual issue).
 
 // Fig5Point pairs a model+latency with and without stream buffers.
+// Statistics cover the healthy benchmarks only; Faults counts the cells
+// excluded across both ablation arms (NaN statistics when a whole arm
+// faulted).
 type Fig5Point struct {
 	Model       string
 	Latency     int
@@ -211,10 +254,11 @@ type Fig5Point struct {
 	MaxWithPF   float64
 	MaxWithout  float64
 	Improvement float64 // (without-with)/without
+	Faults      int
 }
 
 // Fig5 runs the ablation.
-func Fig5(r *Runner, opts Options) ([]Fig5Point, error) {
+func Fig5(ctx context.Context, r *Runner, opts Options) ([]Fig5Point, error) {
 	type job struct {
 		name    string
 		latency int
@@ -227,17 +271,17 @@ func Fig5(r *Runner, opts Options) ([]Fig5Point, error) {
 			jobs = append(jobs, job{model.Name, latency, on, on.WithoutPrefetch()})
 		}
 	}
-	return each(len(jobs), func(i int) (Fig5Point, error) {
+	return each(ctx, opts, len(jobs), func(ctx context.Context, i int) (Fig5Point, error) {
 		j := jobs[i]
 		cost, err := j.on.CostRBE()
 		if err != nil {
 			return Fig5Point{}, err
 		}
-		_, _, maxOn, avgOn, err := suiteCPI(r, j.on, workloads.Integer(), opts)
+		perOn, _, maxOn, avgOn, err := suiteCPI(ctx, r, j.on, workloads.Integer(), opts)
 		if err != nil {
 			return Fig5Point{}, err
 		}
-		_, _, maxOff, avgOff, err := suiteCPI(r, j.off, workloads.Integer(), opts)
+		perOff, _, maxOff, avgOff, err := suiteCPI(ctx, r, j.off, workloads.Integer(), opts)
 		if err != nil {
 			return Fig5Point{}, err
 		}
@@ -246,6 +290,7 @@ func Fig5(r *Runner, opts Options) ([]Fig5Point, error) {
 			WithPF: avgOn, WithoutPF: avgOff,
 			MaxWithPF: maxOn, MaxWithout: maxOff,
 			Improvement: (avgOff - avgOn) / avgOff,
+			Faults:      countFaults(perOn) + countFaults(perOff),
 		}, nil
 	})
 }
@@ -253,38 +298,56 @@ func Fig5(r *Runner, opts Options) ([]Fig5Point, error) {
 // ---------------------------------------------------------------------------
 // Figure 6 — stall-penalty breakdown per model (integer suite, dual, 17).
 
-// Fig6Row is one model's CPI decomposition.
+// Fig6Row is one model's CPI decomposition. Faults counts benchmarks
+// excluded from the averages; a row with no healthy benchmark reports NaN.
 type Fig6Row struct {
 	Model    string
 	BaseCPI  float64 // issue-limited component (CPI minus stalls)
 	Stalls   [core.NumStallCauses]float64
 	TotalCPI float64
+	Faults   int
 }
 
 // Fig6 computes the average stall breakdown.
-func Fig6(r *Runner, opts Options) ([]Fig6Row, error) {
+func Fig6(ctx context.Context, r *Runner, opts Options) ([]Fig6Row, error) {
 	models := core.Models()
 	suite := workloads.Integer()
-	return each(len(models), func(mi int) (Fig6Row, error) {
+	return each(ctx, opts, len(models), func(ctx context.Context, mi int) (Fig6Row, error) {
 		model := models[mi]
-		reps, err := each(len(suite), func(wi int) (*core.Report, error) {
-			return r.Run(model, suite[wi], opts)
+		reps, err := each(ctx, opts, len(suite), func(ctx context.Context, wi int) (*core.Report, error) {
+			rep, err := r.Run(ctx, model, suite[wi], opts)
+			if _, err := faultCell(opts, err); err != nil {
+				return nil, err
+			}
+			return rep, nil
 		})
 		if err != nil {
 			return Fig6Row{}, err
 		}
 		var row Fig6Row
 		row.Model = model.Name
+		n := 0
 		for _, rep := range reps {
+			if rep == nil {
+				row.Faults++
+				continue
+			}
 			row.TotalCPI += rep.CPI()
 			for c := core.StallCause(0); c < core.NumStallCauses; c++ {
 				row.Stalls[c] += rep.StallCPI(c)
 			}
+			n++
 		}
-		n := float64(len(reps))
-		row.TotalCPI /= n
+		if n == 0 {
+			row.TotalCPI, row.BaseCPI = math.NaN(), math.NaN()
+			for c := range row.Stalls {
+				row.Stalls[c] = math.NaN()
+			}
+			return row, nil
+		}
+		row.TotalCPI /= float64(n)
 		for c := range row.Stalls {
-			row.Stalls[c] /= n
+			row.Stalls[c] /= float64(n)
 		}
 		sum := 0.0
 		for _, s := range row.Stalls {
@@ -298,23 +361,25 @@ func Fig6(r *Runner, opts Options) ([]Fig6Row, error) {
 // ---------------------------------------------------------------------------
 // Figure 7 — the effect of the MSHR count (degree of non-blocking).
 
-// Fig7Point is one model at one MSHR count.
+// Fig7Point is one model at one MSHR count. Faults counts benchmarks the
+// average excludes.
 type Fig7Point struct {
 	Model   string
 	MSHRs   int
 	CostRBE int
 	AvgCPI  float64
 	IsBase  bool // the model's Table 1 MSHR count
+	Faults  int
 }
 
 // Fig7 sweeps MSHRs ∈ {1, 2, 4} for each model.
-func Fig7(r *Runner, opts Options) ([]Fig7Point, error) {
-	return mshrSweep(r, opts, []int{1, 2, 4})
+func Fig7(ctx context.Context, r *Runner, opts Options) ([]Fig7Point, error) {
+	return mshrSweep(ctx, r, opts, []int{1, 2, 4})
 }
 
 // mshrSweep crosses the Table 1 models with a set of MSHR counts; Figure 7
 // and the deep-sweep extension share it.
-func mshrSweep(r *Runner, opts Options, counts []int) ([]Fig7Point, error) {
+func mshrSweep(ctx context.Context, r *Runner, opts Options, counts []int) ([]Fig7Point, error) {
 	type job struct {
 		model core.Config
 		mshrs int
@@ -325,7 +390,7 @@ func mshrSweep(r *Runner, opts Options, counts []int) ([]Fig7Point, error) {
 			jobs = append(jobs, job{model, mshrs})
 		}
 	}
-	return each(len(jobs), func(i int) (Fig7Point, error) {
+	return each(ctx, opts, len(jobs), func(ctx context.Context, i int) (Fig7Point, error) {
 		j := jobs[i]
 		cfg := j.model
 		cfg.MSHRs = j.mshrs
@@ -333,13 +398,14 @@ func mshrSweep(r *Runner, opts Options, counts []int) ([]Fig7Point, error) {
 		if err != nil {
 			return Fig7Point{}, err
 		}
-		_, _, _, avg, err := suiteCPI(r, cfg, workloads.Integer(), opts)
+		per, _, _, avg, err := suiteCPI(ctx, r, cfg, workloads.Integer(), opts)
 		if err != nil {
 			return Fig7Point{}, err
 		}
 		return Fig7Point{
 			Model: j.model.Name, MSHRs: j.mshrs, CostRBE: cost,
 			AvgCPI: avg, IsBase: j.mshrs == j.model.MSHRs,
+			Faults: countFaults(per),
 		}, nil
 	})
 }
@@ -347,7 +413,8 @@ func mshrSweep(r *Runner, opts Options, counts []int) ([]Fig7Point, error) {
 // ---------------------------------------------------------------------------
 // Figure 8 — the full cost-performance scatter for espresso at 17 cycles.
 
-// Fig8Point is one configuration of the design-space scatter.
+// Fig8Point is one configuration of the design-space scatter. A faulted
+// design point has Fault set and CPI NaN.
 type Fig8Point struct {
 	Label   string
 	Issue   int
@@ -358,6 +425,7 @@ type Fig8Point struct {
 	PFBufs  int
 	CostRBE int
 	CPI     float64
+	Fault   *simfault.Fault
 }
 
 // Fig8 explores the espresso design space: the paper's four families
@@ -365,7 +433,7 @@ type Fig8Point struct {
 // for 1/2/4 KB instruction caches with varied memory resources), plus the
 // called-out points A (single MSHR), B (large), D (prefetch added) and
 // E (recommended).
-func Fig8(r *Runner, opts Options) ([]Fig8Point, error) {
+func Fig8(ctx context.Context, r *Runner, opts Options) ([]Fig8Point, error) {
 	opts = opts.sweep()
 	w, err := workloads.Get("espresso")
 	if err != nil {
@@ -422,29 +490,38 @@ func Fig8(r *Runner, opts Options) ([]Fig8Point, error) {
 	add("D:baseline+pf", core.Baseline())
 	add("E:recommended", core.RecommendedE())
 
-	return each(len(jobs), func(i int) (Fig8Point, error) {
+	return each(ctx, opts, len(jobs), func(ctx context.Context, i int) (Fig8Point, error) {
 		j := jobs[i]
 		cost, err := j.cfg.CostRBE()
 		if err != nil {
 			return Fig8Point{}, err
 		}
-		rep, err := r.Run(j.cfg, w, opts)
-		if err != nil {
-			return Fig8Point{}, err
-		}
-		return Fig8Point{
+		pt := Fig8Point{
 			Label: j.label, Issue: j.cfg.IssueWidth, ICacheK: j.cfg.ICacheBytes / 1024,
 			WCLines: j.cfg.WriteCacheLines, ROB: j.cfg.ReorderBuffer,
 			MSHRs: j.cfg.MSHRs, PFBufs: j.cfg.PrefetchBuffers,
-			CostRBE: cost, CPI: rep.CPI(),
-		}, nil
+			CostRBE: cost,
+		}
+		rep, err := r.Run(ctx, j.cfg, w, opts)
+		f, err := faultCell(opts, err)
+		if err != nil {
+			return Fig8Point{}, err
+		}
+		if f != nil {
+			pt.CPI, pt.Fault = math.NaN(), f
+			return pt, nil
+		}
+		pt.CPI = rep.CPI()
+		return pt, nil
 	})
 }
 
 // ---------------------------------------------------------------------------
 // Table 6 — FPU issue policies over the floating-point suite.
 
-// Table6Row is one benchmark's CPI under the three policies.
+// Table6Row is one benchmark's CPI under the three policies. A faulted
+// (policy, benchmark) cell holds NaN; the Average row covers each column's
+// healthy cells.
 type Table6Row struct {
 	Bench   string
 	InOrder float64
@@ -453,70 +530,90 @@ type Table6Row struct {
 }
 
 // Table6 runs the three §5.8 policies.
-func Table6(r *Runner, opts Options) ([]Table6Row, error) {
+func Table6(ctx context.Context, r *Runner, opts Options) ([]Table6Row, error) {
 	suite := workloads.FP()
 	policies := []fpu.IssuePolicy{
 		fpu.InOrderComplete, fpu.OutOfOrderSingle, fpu.OutOfOrderDual,
 	}
-	out, err := each(len(suite), func(wi int) (Table6Row, error) {
+	out, err := each(ctx, opts, len(suite), func(ctx context.Context, wi int) (Table6Row, error) {
 		w := suite[wi]
-		reps, err := each(len(policies), func(pi int) (*core.Report, error) {
-			return r.Run(withFPUPolicy(core.Baseline(), policies[pi]), w, opts)
+		cpis, err := each(ctx, opts, len(policies), func(ctx context.Context, pi int) (float64, error) {
+			rep, err := r.Run(ctx, withFPUPolicy(core.Baseline(), policies[pi]), w, opts)
+			f, err := faultCell(opts, err)
+			if err != nil {
+				return 0, err
+			}
+			if f != nil {
+				return math.NaN(), nil
+			}
+			return rep.CPI(), nil
 		})
 		if err != nil {
 			return Table6Row{}, err
 		}
 		return Table6Row{
 			Bench:   w.Name,
-			InOrder: reps[0].CPI(),
-			Single:  reps[1].CPI(),
-			Dual:    reps[2].CPI(),
+			InOrder: cpis[0],
+			Single:  cpis[1],
+			Dual:    cpis[2],
 		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	avg := Table6Row{Bench: "Average"}
-	for _, r := range out {
-		avg.InOrder += r.InOrder
-		avg.Single += r.Single
-		avg.Dual += r.Dual
+	// Column averages over the healthy cells; a fully faulted column is NaN.
+	avgCol := func(get func(Table6Row) float64) float64 {
+		var sum float64
+		n := 0
+		for _, r := range out {
+			if v := get(r); !math.IsNaN(v) {
+				sum += v
+				n++
+			}
+		}
+		if n == 0 {
+			return math.NaN()
+		}
+		return sum / float64(n)
 	}
-	n := float64(len(out))
-	avg.InOrder /= n
-	avg.Single /= n
-	avg.Dual /= n
-	out = append(out, avg)
+	out = append(out, Table6Row{
+		Bench:   "Average",
+		InOrder: avgCol(func(r Table6Row) float64 { return r.InOrder }),
+		Single:  avgCol(func(r Table6Row) float64 { return r.Single }),
+		Dual:    avgCol(func(r Table6Row) float64 { return r.Dual }),
+	})
 	return out, nil
 }
 
 // ---------------------------------------------------------------------------
 // Figure 9 — FPU resource studies.
 
-// SweepPoint is one x-value of a Figure 9 series.
+// SweepPoint is one x-value of a Figure 9 series. Faults counts benchmarks
+// the average excludes.
 type SweepPoint struct {
 	X       int
 	AvgCPI  float64
 	CostRBE int
+	Faults  int
 }
 
 // Fig9Queues regenerates panels (a)-(c): instruction queue 1-5, load queue
 // 1-5, reorder buffer 3-11, single-issue FPU policy as in the paper.
-func Fig9Queues(r *Runner, opts Options) (iq, lq, rob []SweepPoint, err error) {
+func Fig9Queues(ctx context.Context, r *Runner, opts Options) (iq, lq, rob []SweepPoint, err error) {
 	opts = opts.sweep()
 	sweep := func(vals []int, apply func(*fpu.Config, int)) ([]SweepPoint, error) {
-		return each(len(vals), func(i int) (SweepPoint, error) {
+		return each(ctx, opts, len(vals), func(ctx context.Context, i int) (SweepPoint, error) {
 			v := vals[i]
 			cfg := core.Baseline()
 			f := fpu.DefaultConfig()
 			f.Policy = fpu.OutOfOrderSingle
 			apply(&f, v)
 			cfg.FPU = f
-			_, _, _, avg, err := suiteCPI(r, cfg, workloads.FP(), opts)
+			per, _, _, avg, err := suiteCPI(ctx, r, cfg, workloads.FP(), opts)
 			if err != nil {
 				return SweepPoint{}, err
 			}
-			return SweepPoint{X: v, AvgCPI: avg}, nil
+			return SweepPoint{X: v, AvgCPI: avg, Faults: countFaults(per)}, nil
 		})
 	}
 	iq, err = sweep([]int{1, 2, 3, 4, 5}, func(f *fpu.Config, v int) { f.InstrQueue = v })
@@ -542,21 +639,21 @@ type Fig9LatencyResult struct {
 }
 
 // Fig9Latencies runs the latency sweeps.
-func Fig9Latencies(r *Runner, opts Options) (*Fig9LatencyResult, error) {
+func Fig9Latencies(ctx context.Context, r *Runner, opts Options) (*Fig9LatencyResult, error) {
 	opts = opts.sweep()
 	res := &Fig9LatencyResult{}
 	sweep := func(vals []int, apply func(*fpu.Config, int), cost func(int) int) ([]SweepPoint, error) {
-		return each(len(vals), func(i int) (SweepPoint, error) {
+		return each(ctx, opts, len(vals), func(ctx context.Context, i int) (SweepPoint, error) {
 			v := vals[i]
 			cfg := core.Baseline()
 			f := fpu.DefaultConfig()
 			apply(&f, v)
 			cfg.FPU = f
-			_, _, _, avg, err := suiteCPI(r, cfg, workloads.FP(), opts)
+			per, _, _, avg, err := suiteCPI(ctx, r, cfg, workloads.FP(), opts)
 			if err != nil {
 				return SweepPoint{}, err
 			}
-			return SweepPoint{X: v, AvgCPI: avg, CostRBE: cost(v)}, nil
+			return SweepPoint{X: v, AvgCPI: avg, CostRBE: cost(v), Faults: countFaults(per)}, nil
 		})
 	}
 	var err error
@@ -590,7 +687,7 @@ func Fig9Latencies(r *Runner, opts Options) (*Fig9LatencyResult, error) {
 	f := fpu.DefaultConfig()
 	f.AddPipelined, f.CvtPipelined = true, true
 	pip.FPU = f
-	_, _, _, avgPip, err := suiteCPI(r, pip, workloads.FP(), opts)
+	_, _, _, avgPip, err := suiteCPI(ctx, r, pip, workloads.FP(), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -598,7 +695,7 @@ func Fig9Latencies(r *Runner, opts Options) (*Fig9LatencyResult, error) {
 	f = fpu.DefaultConfig()
 	f.AddPipelined, f.CvtPipelined = false, false
 	unp.FPU = f
-	_, _, _, avgUnp, err := suiteCPI(r, unp, workloads.FP(), opts)
+	_, _, _, avgUnp, err := suiteCPI(ctx, r, unp, workloads.FP(), opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -34,7 +35,7 @@ import (
 //     wall-clock performance instead of CPI.
 
 // Fig9IQDual sweeps the FPU instruction queue under the dual-issue policy.
-func Fig9IQDual(r *Runner, opts Options) ([]SweepPoint, error) {
+func Fig9IQDual(ctx context.Context, r *Runner, opts Options) ([]SweepPoint, error) {
 	opts = opts.sweep()
 	var pts []SweepPoint
 	for _, q := range []int{1, 2, 3, 4, 5, 7} {
@@ -43,11 +44,11 @@ func Fig9IQDual(r *Runner, opts Options) ([]SweepPoint, error) {
 		f.Policy = fpu.OutOfOrderDual
 		f.InstrQueue = q
 		cfg.FPU = f
-		_, _, _, avg, err := suiteCPI(r, cfg, workloads.FP(), opts)
+		per, _, _, avg, err := suiteCPI(ctx, r, cfg, workloads.FP(), opts)
 		if err != nil {
 			return nil, err
 		}
-		pts = append(pts, SweepPoint{X: q, AvgCPI: avg, CostRBE: q * rbe.FPInstrQueueEntry})
+		pts = append(pts, SweepPoint{X: q, AvgCPI: avg, CostRBE: q * rbe.FPInstrQueueEntry, Faults: countFaults(per)})
 	}
 	return pts, nil
 }
@@ -59,7 +60,7 @@ type LatencyPoint struct {
 }
 
 // LatencyScaling runs the integer suite over a latency curve.
-func LatencyScaling(r *Runner, opts Options, latencies []int) ([]LatencyPoint, error) {
+func LatencyScaling(ctx context.Context, r *Runner, opts Options, latencies []int) ([]LatencyPoint, error) {
 	if len(latencies) == 0 {
 		latencies = []int{9, 17, 35, 70, 100}
 	}
@@ -67,7 +68,7 @@ func LatencyScaling(r *Runner, opts Options, latencies []int) ([]LatencyPoint, e
 	for _, lat := range latencies {
 		p := LatencyPoint{Latency: lat, CPI: map[string]float64{}}
 		for _, model := range core.Models() {
-			_, _, _, avg, err := suiteCPI(r, model.WithLatency(lat), workloads.Integer(), opts)
+			_, _, _, avg, err := suiteCPI(ctx, r, model.WithLatency(lat), workloads.Integer(), opts)
 			if err != nil {
 				return nil, err
 			}
@@ -87,16 +88,16 @@ type BranchFoldingResult struct {
 }
 
 // BranchFolding runs the ablation on the three models.
-func BranchFolding(r *Runner, opts Options) ([]BranchFoldingResult, error) {
+func BranchFolding(ctx context.Context, r *Runner, opts Options) ([]BranchFoldingResult, error) {
 	var out []BranchFoldingResult
 	for _, model := range core.Models() {
-		_, _, _, with, err := suiteCPI(r, model, workloads.Integer(), opts)
+		_, _, _, with, err := suiteCPI(ctx, r, model, workloads.Integer(), opts)
 		if err != nil {
 			return nil, err
 		}
 		ab := model
 		ab.DisableBranchFolding = true
-		_, _, _, without, err := suiteCPI(r, ab, workloads.Integer(), opts)
+		_, _, _, without, err := suiteCPI(ctx, r, ab, workloads.Integer(), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -117,7 +118,7 @@ type WriteCachePoint struct {
 }
 
 // WriteCacheSweep substantiates §5.6's write-cache claim.
-func WriteCacheSweep(r *Runner, opts Options) ([]WriteCachePoint, error) {
+func WriteCacheSweep(ctx context.Context, r *Runner, opts Options) ([]WriteCachePoint, error) {
 	var out []WriteCachePoint
 	for _, lines := range []int{1, 2, 4, 8, 16} {
 		cfg := core.Baseline()
@@ -126,26 +127,33 @@ func WriteCacheSweep(r *Runner, opts Options) ([]WriteCachePoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		per, _, _, avg, err := suiteCPI(r, cfg, workloads.Integer(), opts)
+		per, _, _, avg, err := suiteCPI(ctx, r, cfg, workloads.Integer(), opts)
 		if err != nil {
 			return nil, err
 		}
 		var trans, stores uint64
 		for _, b := range per {
+			if b.Report == nil {
+				continue // faulted cell
+			}
 			trans += b.Report.WCTransactions
 			stores += b.Report.WCStores
 		}
+		ratio := math.NaN()
+		if stores > 0 {
+			ratio = float64(trans) / float64(stores)
+		}
 		out = append(out, WriteCachePoint{
 			Lines: lines, CostRBE: cost, AvgCPI: avg,
-			TrafficRatio: float64(trans) / float64(stores),
+			TrafficRatio: ratio,
 		})
 	}
 	return out, nil
 }
 
 // MSHRDeepSweep extends Figure 7 to 8 MSHRs on every model.
-func MSHRDeepSweep(r *Runner, opts Options) ([]Fig7Point, error) {
-	return mshrSweep(r, opts, []int{1, 2, 4, 8})
+func MSHRDeepSweep(ctx context.Context, r *Runner, opts Options) ([]Fig7Point, error) {
+	return mshrSweep(ctx, r, opts, []int{1, 2, 4, 8})
 }
 
 // CycleTimeFactor is a simple area→cycle-time model in the spirit of the
@@ -179,10 +187,10 @@ type ClockedPoint struct {
 }
 
 // AreaAwareClock reruns the model comparison with cycle-time penalties.
-func AreaAwareClock(r *Runner, opts Options) ([]ClockedPoint, error) {
+func AreaAwareClock(ctx context.Context, r *Runner, opts Options) ([]ClockedPoint, error) {
 	var out []ClockedPoint
 	for _, model := range core.Models() {
-		_, _, _, avg, err := suiteCPI(r, model, workloads.Integer(), opts)
+		_, _, _, avg, err := suiteCPI(ctx, r, model, workloads.Integer(), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -205,12 +213,13 @@ type PrecisePoint struct {
 // PreciseExceptions runs the §3.1 trade-off the paper describes but does
 // not quantify: precise mode transfers an instruction to the FPU only when
 // it cannot be overtaken by a faulting one, serialising the coprocessor.
-func PreciseExceptions(r *Runner, opts Options) ([]PrecisePoint, error) {
+func PreciseExceptions(ctx context.Context, r *Runner, opts Options) ([]PrecisePoint, error) {
 	suite := workloads.FP()
-	return each(len(suite), func(i int) (PrecisePoint, error) {
+	return each(ctx, opts, len(suite), func(ctx context.Context, i int) (PrecisePoint, error) {
 		w := suite[i]
 		fast := core.Baseline()
-		rep1, err := r.Run(fast, w, opts)
+		rep1, err := r.Run(ctx, fast, w, opts)
+		f1, err := faultCell(opts, err)
 		if err != nil {
 			return PrecisePoint{}, err
 		}
@@ -218,9 +227,16 @@ func PreciseExceptions(r *Runner, opts Options) ([]PrecisePoint, error) {
 		f := prec.FPU.Normalize()
 		f.Precise = true
 		prec.FPU = f
-		rep2, err := r.Run(prec, w, opts)
+		rep2, err := r.Run(ctx, prec, w, opts)
+		f2, err := faultCell(opts, err)
 		if err != nil {
 			return PrecisePoint{}, err
+		}
+		if f1 != nil || f2 != nil {
+			return PrecisePoint{
+				Bench: w.Name, FastCPI: math.NaN(), PreciseCPI: math.NaN(),
+				Slowdown: math.NaN(),
+			}, nil
 		}
 		return PrecisePoint{
 			Bench: w.Name, FastCPI: rep1.CPI(), PreciseCPI: rep2.CPI(),
@@ -254,28 +270,38 @@ type SchedulingPoint struct {
 // compiler scheduling could possibly remove some of this penalty" — the
 // load stalls from the 3-cycle pipelined data cache, dominant in the large
 // model.
-func CompilerScheduling(r *Runner, opts Options) ([]SchedulingPoint, error) {
+func CompilerScheduling(ctx context.Context, r *Runner, opts Options) ([]SchedulingPoint, error) {
 	var out []SchedulingPoint
 	for _, model := range core.Models() {
-		base, _, _, baseAvg, err := suiteCPI(r, model, workloads.Integer(), opts)
+		base, _, _, baseAvg, err := suiteCPI(ctx, r, model, workloads.Integer(), opts)
 		if err != nil {
 			return nil, err
 		}
 		sopts := opts
 		sopts.Scheduled = true
-		sched, _, _, schedAvg, err := suiteCPI(r, model, workloads.Integer(), sopts)
+		sched, _, _, schedAvg, err := suiteCPI(ctx, r, model, workloads.Integer(), sopts)
 		if err != nil {
 			return nil, err
 		}
+		// Load-stall averages pair each benchmark's base and scheduled runs,
+		// so a fault in either arm drops the pair.
 		var bl, sl float64
+		n := 0
 		for i := range base {
+			if base[i].Report == nil || sched[i].Report == nil {
+				continue
+			}
 			bl += base[i].Report.StallCPI(core.StallLoad)
 			sl += sched[i].Report.StallCPI(core.StallLoad)
+			n++
 		}
-		n := float64(len(base))
+		baseLoad, schedLoad := math.NaN(), math.NaN()
+		if n > 0 {
+			baseLoad, schedLoad = bl/float64(n), sl/float64(n)
+		}
 		out = append(out, SchedulingPoint{
 			Model: model.Name, BaseCPI: baseAvg, SchedCPI: schedAvg,
-			BaseLoadCPI: bl / n, SchedLoadCPI: sl / n,
+			BaseLoadCPI: baseLoad, SchedLoadCPI: schedLoad,
 		})
 	}
 	return out, nil
@@ -304,18 +330,21 @@ type VictimPoint struct {
 // buffers — behind each model's direct-mapped data cache. FP workloads with
 // strided multi-array access (hydro2d-like) are where conflict misses live,
 // so the study runs the FP suite.
-func VictimCacheStudy(r *Runner, opts Options) ([]VictimPoint, error) {
+func VictimCacheStudy(ctx context.Context, r *Runner, opts Options) ([]VictimPoint, error) {
 	var out []VictimPoint
 	for _, model := range core.Models() {
 		for _, lines := range []int{0, 4} {
 			cfg := model
 			cfg.VictimLines = lines
-			per, _, _, avg, err := suiteCPI(r, cfg, workloads.FP(), opts)
+			per, _, _, avg, err := suiteCPI(ctx, r, cfg, workloads.FP(), opts)
 			if err != nil {
 				return nil, err
 			}
 			var probes, hits uint64
 			for _, b := range per {
+				if b.Report == nil {
+					continue // faulted cell
+				}
 				probes += b.Report.VictimProbes
 				hits += b.Report.VictimHits
 			}
@@ -353,16 +382,19 @@ type MMUPoint struct {
 // it reruns the baseline with a structured MMU (64-entry TLB + 512 KB
 // secondary cache at 10/60 cycles) and with a starved one (8-entry TLB,
 // 64 KB L2).
-func MMUSensitivity(r *Runner, opts Options) ([]MMUPoint, error) {
+func MMUSensitivity(ctx context.Context, r *Runner, opts Options) ([]MMUPoint, error) {
 	run := func(label string, mc mmu.Config) (MMUPoint, error) {
 		cfg := core.Baseline()
 		cfg.MMU = mc
-		per, _, _, avg, err := suiteCPI(r, cfg, workloads.Integer(), opts)
+		per, _, _, avg, err := suiteCPI(ctx, r, cfg, workloads.Integer(), opts)
 		if err != nil {
 			return MMUPoint{}, err
 		}
 		var st mmu.Stats
 		for _, b := range per {
+			if b.Report == nil {
+				continue // faulted cell
+			}
 			st.TLBAccesses += b.Report.MMU.TLBAccesses
 			st.TLBMisses += b.Report.MMU.TLBMisses
 			st.L2Accesses += b.Report.MMU.L2Accesses
@@ -448,53 +480,53 @@ func PrintAreaAwareClock(w io.Writer, pts []ClockedPoint) {
 // RenderExtensions writes every extension study to w. Studies are computed
 // concurrently through the runner and printed in the fixed order below, so
 // the output does not depend on the worker count.
-func RenderExtensions(w io.Writer, r *Runner, opts Options) error {
-	sections := []func() (func(io.Writer), error){
-		func() (func(io.Writer), error) {
-			iq, err := Fig9IQDual(r, opts)
+func RenderExtensions(ctx context.Context, w io.Writer, r *Runner, opts Options) error {
+	sections := []func(ctx context.Context) (func(io.Writer), error){
+		func(ctx context.Context) (func(io.Writer), error) {
+			iq, err := Fig9IQDual(ctx, r, opts)
 			return func(w io.Writer) {
 				PrintSweep(w, "Extension: FPU instruction queue under dual issue (§5.9 'not shown')", "entries", iq)
 			}, err
 		},
-		func() (func(io.Writer), error) {
-			lat, err := LatencyScaling(r, opts, nil)
+		func(ctx context.Context) (func(io.Writer), error) {
+			lat, err := LatencyScaling(ctx, r, opts, nil)
 			return func(w io.Writer) { PrintLatencyScaling(w, lat) }, err
 		},
-		func() (func(io.Writer), error) {
-			bf, err := BranchFolding(r, opts)
+		func(ctx context.Context) (func(io.Writer), error) {
+			bf, err := BranchFolding(ctx, r, opts)
 			return func(w io.Writer) { PrintBranchFolding(w, bf) }, err
 		},
-		func() (func(io.Writer), error) {
-			wc, err := WriteCacheSweep(r, opts)
+		func(ctx context.Context) (func(io.Writer), error) {
+			wc, err := WriteCacheSweep(ctx, r, opts)
 			return func(w io.Writer) { PrintWriteCacheSweep(w, wc) }, err
 		},
-		func() (func(io.Writer), error) {
-			m8, err := MSHRDeepSweep(r, opts)
+		func(ctx context.Context) (func(io.Writer), error) {
+			m8, err := MSHRDeepSweep(ctx, r, opts)
 			return func(w io.Writer) { PrintFig7(w, m8) }, err
 		},
-		func() (func(io.Writer), error) {
-			ac, err := AreaAwareClock(r, opts)
+		func(ctx context.Context) (func(io.Writer), error) {
+			ac, err := AreaAwareClock(ctx, r, opts)
 			return func(w io.Writer) { PrintAreaAwareClock(w, ac) }, err
 		},
-		func() (func(io.Writer), error) {
-			ms, err := MMUSensitivity(r, opts)
+		func(ctx context.Context) (func(io.Writer), error) {
+			ms, err := MMUSensitivity(ctx, r, opts)
 			return func(w io.Writer) { PrintMMUSensitivity(w, ms) }, err
 		},
-		func() (func(io.Writer), error) {
-			vp, err := VictimCacheStudy(r, opts)
+		func(ctx context.Context) (func(io.Writer), error) {
+			vp, err := VictimCacheStudy(ctx, r, opts)
 			return func(w io.Writer) { PrintVictimCacheStudy(w, vp) }, err
 		},
-		func() (func(io.Writer), error) {
-			cs, err := CompilerScheduling(r, opts)
+		func(ctx context.Context) (func(io.Writer), error) {
+			cs, err := CompilerScheduling(ctx, r, opts)
 			return func(w io.Writer) { PrintCompilerScheduling(w, cs) }, err
 		},
-		func() (func(io.Writer), error) {
-			pe, err := PreciseExceptions(r, opts)
+		func(ctx context.Context) (func(io.Writer), error) {
+			pe, err := PreciseExceptions(ctx, r, opts)
 			return func(w io.Writer) { PrintPreciseExceptions(w, pe) }, err
 		},
 	}
-	printers, err := each(len(sections), func(i int) (func(io.Writer), error) {
-		return sections[i]()
+	printers, err := each(ctx, opts, len(sections), func(ctx context.Context, i int) (func(io.Writer), error) {
+		return sections[i](ctx)
 	})
 	if err != nil {
 		return err

@@ -1,13 +1,25 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"aurora/internal/core"
 	"aurora/internal/rbe"
 )
+
+// faultMark annotates a rendered row whose statistics exclude n faulted
+// cells. Empty when n == 0, so healthy output is byte-identical to a build
+// without the fault machinery.
+func faultMark(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  [%d faulted]", n)
+}
 
 // fpAddCost et al. expose the Table 2 unit-cost interpolation for the
 // Figure 9 cost annotations.
@@ -32,8 +44,9 @@ func PrintFig4(w io.Writer, pts []Fig4Point) {
 	fmt.Fprintf(w, "  %-9s %-5s %-7s %9s %8s %8s %8s\n",
 		"model", "issue", "latency", "cost/RBE", "minCPI", "avgCPI", "maxCPI")
 	for _, p := range pts {
-		fmt.Fprintf(w, "  %-9s %-5d %-7d %9d %8.3f %8.3f %8.3f\n",
-			p.Model, p.Issue, p.Latency, p.CostRBE, p.MinCPI, p.AvgCPI, p.MaxCPI)
+		fmt.Fprintf(w, "  %-9s %-5d %-7d %9d %8.3f %8.3f %8.3f%s\n",
+			p.Model, p.Issue, p.Latency, p.CostRBE, p.MinCPI, p.AvgCPI, p.MaxCPI,
+			faultMark(countFaults(p.PerBench)))
 	}
 }
 
@@ -47,10 +60,23 @@ func PrintRateTable(w io.Writer, t *RateTable) {
 	fmt.Fprintln(w)
 	for i, m := range t.Models {
 		fmt.Fprintf(w, "  %-9s", m)
-		for _, v := range t.Rows[i] {
+		for j, v := range t.Rows[i] {
+			if t.Faults != nil && t.Faults[i][j] != nil {
+				fmt.Fprintf(w, " %9s", t.Faults[i][j].Cell())
+				continue
+			}
 			fmt.Fprintf(w, " %9.2f", v)
 		}
 		fmt.Fprintln(w)
+	}
+	if t.Faults != nil {
+		for i, row := range t.Faults {
+			for j, f := range row {
+				if f != nil {
+					fmt.Fprintf(w, "  fault: %s/%s: %v\n", t.Models[i], t.Benches[j], f)
+				}
+			}
+		}
 	}
 }
 
@@ -69,8 +95,9 @@ func PrintFig5(w io.Writer, pts []Fig5Point) {
 	fmt.Fprintf(w, "  %-9s %-7s %9s %10s %10s %12s\n",
 		"model", "latency", "cost/RBE", "withPF", "withoutPF", "improvement")
 	for _, p := range pts {
-		fmt.Fprintf(w, "  %-9s %-7d %9d %10.3f %10.3f %11.1f%%\n",
-			p.Model, p.Latency, p.CostRBE, p.WithPF, p.WithoutPF, 100*p.Improvement)
+		fmt.Fprintf(w, "  %-9s %-7d %9d %10.3f %10.3f %11.1f%%%s\n",
+			p.Model, p.Latency, p.CostRBE, p.WithPF, p.WithoutPF, 100*p.Improvement,
+			faultMark(p.Faults))
 	}
 }
 
@@ -87,7 +114,7 @@ func PrintFig6(w io.Writer, rows []Fig6Row) {
 		for _, s := range r.Stalls {
 			fmt.Fprintf(w, " %9.3f", s)
 		}
-		fmt.Fprintf(w, " %8.3f\n", r.TotalCPI)
+		fmt.Fprintf(w, " %8.3f%s\n", r.TotalCPI, faultMark(r.Faults))
 	}
 }
 
@@ -100,7 +127,8 @@ func PrintFig7(w io.Writer, pts []Fig7Point) {
 		if p.IsBase {
 			mark = "  <- Table 1 value"
 		}
-		fmt.Fprintf(w, "  %-9s %-6d %9d %8.3f%s\n", p.Model, p.MSHRs, p.CostRBE, p.AvgCPI, mark)
+		fmt.Fprintf(w, "  %-9s %-6d %9d %8.3f%s%s\n", p.Model, p.MSHRs, p.CostRBE, p.AvgCPI, mark,
+			faultMark(p.Faults))
 	}
 }
 
@@ -110,6 +138,12 @@ func PrintFig8(w io.Writer, pts []Fig8Point) {
 	fmt.Fprintf(w, "  %-30s %5s %4s %4s %5s %4s %9s %8s\n",
 		"config", "issue", "ic/K", "wc", "rob", "mshr", "cost/RBE", "CPI")
 	for _, p := range pts {
+		if p.Fault != nil {
+			fmt.Fprintf(w, "  %-30s %5d %4d %4d %5d %4d %9d %8s  %v\n",
+				p.Label, p.Issue, p.ICacheK, p.WCLines, p.ROB, p.MSHRs, p.CostRBE,
+				p.Fault.Cell(), p.Fault)
+			continue
+		}
 		fmt.Fprintf(w, "  %-30s %5d %4d %4d %5d %4d %9d %8.3f\n",
 			p.Label, p.Issue, p.ICacheK, p.WCLines, p.ROB, p.MSHRs, p.CostRBE, p.CPI)
 	}
@@ -119,8 +153,14 @@ func PrintFig8(w io.Writer, pts []Fig8Point) {
 func PrintTable6(w io.Writer, rows []Table6Row) {
 	fmt.Fprintln(w, "Table 6: CPI Figures for Three FPU Issue Policies")
 	fmt.Fprintf(w, "  %-10s %12s %12s %12s\n", "benchmark", "in-order", "single", "dual")
+	cell := func(v float64) string {
+		if math.IsNaN(v) {
+			return fmt.Sprintf("%12s", "FAULT")
+		}
+		return fmt.Sprintf("%12.3f", v)
+	}
 	for _, r := range rows {
-		fmt.Fprintf(w, "  %-10s %12.3f %12.3f %12.3f\n", r.Bench, r.InOrder, r.Single, r.Dual)
+		fmt.Fprintf(w, "  %-10s %s %s %s\n", r.Bench, cell(r.InOrder), cell(r.Single), cell(r.Dual))
 	}
 }
 
@@ -143,6 +183,7 @@ func PrintSweep(w io.Writer, title, xlabel string, pts []SweepPoint) {
 		if hasCost {
 			fmt.Fprintf(w, " %9d", p.CostRBE)
 		}
+		fmt.Fprint(w, faultMark(p.Faults))
 		fmt.Fprintln(w)
 	}
 }
@@ -162,67 +203,67 @@ func PrintFig9Latencies(w io.Writer, r *Fig9LatencyResult) {
 // computed concurrently through the runner (sharing its memo table, so
 // configurations that recur across figures simulate once) and printed in
 // the paper's order; the output is byte-identical for any worker count.
-func Render(w io.Writer, r *Runner, opts Options) error {
-	sections := []func() (func(io.Writer), error){
-		func() (func(io.Writer), error) {
+func Render(ctx context.Context, w io.Writer, r *Runner, opts Options) error {
+	sections := []func(ctx context.Context) (func(io.Writer), error){
+		func(ctx context.Context) (func(io.Writer), error) {
 			f1 := Fig1()
 			return func(w io.Writer) { PrintFig1(w, f1) }, nil
 		},
-		func() (func(io.Writer), error) {
-			f4, err := Fig4(r, opts)
+		func(ctx context.Context) (func(io.Writer), error) {
+			f4, err := Fig4(ctx, r, opts)
 			return func(w io.Writer) { PrintFig4(w, f4) }, err
 		},
-		func() (func(io.Writer), error) {
-			t, err := Table3(r, opts)
+		func(ctx context.Context) (func(io.Writer), error) {
+			t, err := Table3(ctx, r, opts)
 			return func(w io.Writer) { PrintRateTable(w, t) }, err
 		},
-		func() (func(io.Writer), error) {
-			t, err := Table4(r, opts)
+		func(ctx context.Context) (func(io.Writer), error) {
+			t, err := Table4(ctx, r, opts)
 			return func(w io.Writer) { PrintRateTable(w, t) }, err
 		},
-		func() (func(io.Writer), error) {
-			t, err := Table5(r, opts)
+		func(ctx context.Context) (func(io.Writer), error) {
+			t, err := Table5(ctx, r, opts)
 			return func(w io.Writer) { PrintRateTable(w, t) }, err
 		},
-		func() (func(io.Writer), error) {
-			wt, err := WriteTraffic(r, opts)
+		func(ctx context.Context) (func(io.Writer), error) {
+			wt, err := WriteTraffic(ctx, r, opts)
 			return func(w io.Writer) { PrintWriteTraffic(w, wt) }, err
 		},
-		func() (func(io.Writer), error) {
-			f5, err := Fig5(r, opts)
+		func(ctx context.Context) (func(io.Writer), error) {
+			f5, err := Fig5(ctx, r, opts)
 			return func(w io.Writer) { PrintFig5(w, f5) }, err
 		},
-		func() (func(io.Writer), error) {
-			f6, err := Fig6(r, opts)
+		func(ctx context.Context) (func(io.Writer), error) {
+			f6, err := Fig6(ctx, r, opts)
 			return func(w io.Writer) { PrintFig6(w, f6) }, err
 		},
-		func() (func(io.Writer), error) {
-			f7, err := Fig7(r, opts)
+		func(ctx context.Context) (func(io.Writer), error) {
+			f7, err := Fig7(ctx, r, opts)
 			return func(w io.Writer) { PrintFig7(w, f7) }, err
 		},
-		func() (func(io.Writer), error) {
-			f8, err := Fig8(r, opts)
+		func(ctx context.Context) (func(io.Writer), error) {
+			f8, err := Fig8(ctx, r, opts)
 			return func(w io.Writer) { PrintFig8(w, f8) }, err
 		},
-		func() (func(io.Writer), error) {
-			t6, err := Table6(r, opts)
+		func(ctx context.Context) (func(io.Writer), error) {
+			t6, err := Table6(ctx, r, opts)
 			return func(w io.Writer) { PrintTable6(w, t6) }, err
 		},
-		func() (func(io.Writer), error) {
-			iq, lq, rob, err := Fig9Queues(r, opts)
+		func(ctx context.Context) (func(io.Writer), error) {
+			iq, lq, rob, err := Fig9Queues(ctx, r, opts)
 			return func(w io.Writer) {
 				PrintSweep(w, "Figure 9(a): FPU instruction queue size", "entries", iq)
 				PrintSweep(w, "Figure 9(b): FPU load queue size", "entries", lq)
 				PrintSweep(w, "Figure 9(c): FPU reorder buffer size", "entries", rob)
 			}, err
 		},
-		func() (func(io.Writer), error) {
-			f9l, err := Fig9Latencies(r, opts)
+		func(ctx context.Context) (func(io.Writer), error) {
+			f9l, err := Fig9Latencies(ctx, r, opts)
 			return func(w io.Writer) { PrintFig9Latencies(w, f9l) }, err
 		},
 	}
-	printers, err := each(len(sections), func(i int) (func(io.Writer), error) {
-		return sections[i]()
+	printers, err := each(ctx, opts, len(sections), func(ctx context.Context, i int) (func(io.Writer), error) {
+		return sections[i](ctx)
 	})
 	if err != nil {
 		return err

@@ -5,17 +5,22 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
+	"runtime/debug"
 
 	"aurora/internal/core"
 	"aurora/internal/fpu"
 	"aurora/internal/obs"
+	"aurora/internal/simfault"
 	"aurora/internal/trace"
 	"aurora/internal/vm"
 	"aurora/internal/workloads"
 )
 
-// Options controls experiment scale.
+// Options controls experiment scale and failure policy.
 type Options struct {
 	// Budget bounds each benchmark run's dynamic instructions.
 	// 0 runs every kernel to natural completion.
@@ -25,6 +30,12 @@ type Options struct {
 	SweepBudget uint64
 	// Scheduled applies the §6 compiler-scheduling trace pass.
 	Scheduled bool
+	// FailFast aborts a sweep on its first job fault, cancelling queued
+	// jobs at the runner's admission gate. The default (keep-going) lets
+	// every job run and renders partial tables with faulted cells marked,
+	// so one bad design point degrades one cell instead of the study.
+	// Not part of the memo key: it changes scheduling, never results.
+	FailFast bool
 }
 
 // Quick returns reduced budgets for tests.
@@ -53,29 +64,43 @@ func effectiveBudget(w *workloads.Workload, opts Options) uint64 {
 }
 
 // run executes one workload on one configuration, optionally streaming
-// observability data to sink (nil keeps the zero-cost path).
-func run(cfg core.Config, w *workloads.Workload, opts Options, sink obs.Sink) (*core.Report, error) {
+// observability data to sink (nil keeps the zero-cost path). It is the
+// fault boundary: a panic anywhere in machine construction or the timing
+// core is recovered into a typed *simfault.Fault carrying the job identity,
+// the simulated cycle it fired at, and the stack — the job fails, the
+// process and every other job survive. cycles reports how far the
+// simulation got, for deadline-fault annotation.
+func run(ctx context.Context, cfg core.Config, w *workloads.Workload, opts Options, sink obs.Sink, job simfault.Job) (rep *core.Report, cycles uint64, err error) {
+	var p *core.Processor
+	defer func() {
+		if p != nil {
+			cycles = p.Cycles()
+		}
+		if rec := recover(); rec != nil {
+			rep, err = nil, simfault.FromPanic(rec, job, cycles, debug.Stack())
+		}
+	}()
 	m, err := w.NewMachine()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	stream := &machineStream{m: m, budget: effectiveBudget(w, opts)}
 	var src trace.Stream = stream
 	if opts.Scheduled {
 		src = trace.NewReschedule(stream)
 	}
-	p, err := core.NewProcessor(cfg, src)
+	p, err = core.NewProcessor(cfg, src)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if sink != nil {
 		p.Attach(sink)
 	}
-	rep, err := p.Run(0)
+	rep, err = p.RunContext(ctx, 0)
 	if err != nil {
-		return nil, fmt.Errorf("harness: %s on %s: %w", w.Name, cfg.Name, err)
+		return nil, p.Cycles(), fmt.Errorf("harness: %s on %s: %w", w.Name, cfg.Name, err)
 	}
-	return rep, nil
+	return rep, p.Cycles(), nil
 }
 
 type machineStream struct {
@@ -104,40 +129,92 @@ func (s *machineStream) Next() (trace.Record, bool) {
 
 func (s *machineStream) Err() error { return s.err }
 
+// faultCell classifies a job error under the sweep policy: in keep-going
+// mode (the default) a *simfault.Fault is data — the caller marks that cell
+// and keeps the rest of the table — while fail-fast mode and non-fault
+// errors (configuration mistakes, I/O, cancellation) abort the sweep.
+func faultCell(opts Options, err error) (*simfault.Fault, error) {
+	if err == nil {
+		return nil, nil
+	}
+	var f *simfault.Fault
+	if !opts.FailFast && errors.As(err, &f) {
+		return f, nil
+	}
+	return nil, err
+}
+
 // suiteCPI runs a whole suite on one configuration through the runner,
 // returning the per-bench CPIs and summary statistics in suite order.
-func suiteCPI(r *Runner, cfg core.Config, suite []*workloads.Workload, opts Options) (per []BenchCPI, min, max, avg float64, err error) {
+// In keep-going mode faulted benchmarks come back annotated (Fault set,
+// CPI NaN) and the summary statistics cover the healthy cells only.
+func suiteCPI(ctx context.Context, r *Runner, cfg core.Config, suite []*workloads.Workload, opts Options) (per []BenchCPI, min, max, avg float64, err error) {
 	if len(suite) == 0 {
 		return nil, 0, 0, 0, fmt.Errorf("harness: empty workload suite for config %q", cfg.Name)
 	}
-	reps, err := each(len(suite), func(i int) (*core.Report, error) {
-		return r.Run(cfg, suite[i], opts)
+	per, err = each(ctx, opts, len(suite), func(ctx context.Context, i int) (BenchCPI, error) {
+		rep, err := r.Run(ctx, cfg, suite[i], opts)
+		f, err := faultCell(opts, err)
+		if err != nil {
+			return BenchCPI{}, err
+		}
+		if f != nil {
+			return BenchCPI{Bench: suite[i].Name, CPI: math.NaN(), Fault: f}, nil
+		}
+		return BenchCPI{Bench: suite[i].Name, CPI: rep.CPI(), Report: rep}, nil
 	})
 	if err != nil {
 		return nil, 0, 0, 0, err
 	}
-	min, max = 1e9, 0
-	var sum float64
-	for i, w := range suite {
-		c := reps[i].CPI()
-		per = append(per, BenchCPI{Bench: w.Name, CPI: c, Report: reps[i]})
-		if c < min {
-			min = c
-		}
-		if c > max {
-			max = c
-		}
-		sum += c
-	}
-	avg = sum / float64(len(suite))
+	min, max, avg = suiteStats(per)
 	return per, min, max, avg, nil
 }
 
-// BenchCPI is one benchmark's result within a configuration.
+// suiteStats summarises the healthy cells of a suite run; a fully faulted
+// suite reports NaN across the board (the per-cell annotations carry the
+// story).
+func suiteStats(per []BenchCPI) (min, max, avg float64) {
+	var sum float64
+	n := 0
+	min, max = math.NaN(), math.NaN()
+	for _, b := range per {
+		if b.Fault != nil {
+			continue
+		}
+		if n == 0 || b.CPI < min {
+			min = b.CPI
+		}
+		if n == 0 || b.CPI > max {
+			max = b.CPI
+		}
+		sum += b.CPI
+		n++
+	}
+	if n == 0 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	return min, max, sum / float64(n)
+}
+
+// countFaults counts the faulted cells of a suite run, for the fault
+// annotations partial figures print.
+func countFaults(per []BenchCPI) int {
+	n := 0
+	for _, b := range per {
+		if b.Fault != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// BenchCPI is one benchmark's result within a configuration. A faulted cell
+// has Fault set, CPI NaN and a nil Report.
 type BenchCPI struct {
 	Bench  string
 	CPI    float64
 	Report *core.Report
+	Fault  *simfault.Fault
 }
 
 // withFPUPolicy returns cfg with the FPU policy (and matching FP issue

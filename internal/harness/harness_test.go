@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestFig1Fit(t *testing.T) {
 }
 
 func TestFig4Structure(t *testing.T) {
-	pts, err := Fig4(testRunner, Quick())
+	pts, err := Fig4(context.Background(), testRunner, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,8 +66,8 @@ func TestFig4Structure(t *testing.T) {
 }
 
 func TestRateTablesStructure(t *testing.T) {
-	for _, gen := range []func(*Runner, Options) (*RateTable, error){Table3, Table4, Table5} {
-		tab, err := gen(testRunner, Quick())
+	for _, gen := range []func(context.Context, *Runner, Options) (*RateTable, error){Table3, Table4, Table5} {
+		tab, err := gen(context.Background(), testRunner, Quick())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,7 +85,7 @@ func TestRateTablesStructure(t *testing.T) {
 }
 
 func TestFig6Conservation(t *testing.T) {
-	rows, err := Fig6(testRunner, Quick())
+	rows, err := Fig6(context.Background(), testRunner, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestFig6Conservation(t *testing.T) {
 }
 
 func TestFig7Monotone(t *testing.T) {
-	pts, err := Fig7(testRunner, Quick())
+	pts, err := Fig7(context.Background(), testRunner, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestFig7Monotone(t *testing.T) {
 }
 
 func TestFig8CallOuts(t *testing.T) {
-	pts, err := Fig8(testRunner, Quick())
+	pts, err := Fig8(context.Background(), testRunner, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestFig8CallOuts(t *testing.T) {
 }
 
 func TestTable6Structure(t *testing.T) {
-	rows, err := Table6(testRunner, Quick())
+	rows, err := Table6(context.Background(), testRunner, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestTable6Structure(t *testing.T) {
 }
 
 func TestFig9QueuesShape(t *testing.T) {
-	iq, lq, rob, err := Fig9Queues(testRunner, Quick())
+	iq, lq, rob, err := Fig9Queues(context.Background(), testRunner, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestFig9QueuesShape(t *testing.T) {
 }
 
 func TestFig9LatencyShape(t *testing.T) {
-	res, err := Fig9Latencies(testRunner, Quick())
+	res, err := Fig9Latencies(context.Background(), testRunner, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestFig9LatencyShape(t *testing.T) {
 }
 
 func TestWriteTrafficOrdering(t *testing.T) {
-	wt, err := WriteTraffic(testRunner, Quick())
+	wt, err := WriteTraffic(context.Background(), testRunner, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestExtensionsRun(t *testing.T) {
 		t.Skip("extensions at quick scale still cost ~30s")
 	}
 	var buf bytes.Buffer
-	if err := RenderExtensions(&buf, testRunner, Quick()); err != nil {
+	if err := RenderExtensions(context.Background(), &buf, testRunner, Quick()); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
@@ -254,7 +255,7 @@ func TestRenderQuickSmoke(t *testing.T) {
 		t.Skip("full render costs minutes")
 	}
 	var buf bytes.Buffer
-	if err := Render(&buf, testRunner, Quick()); err != nil {
+	if err := Render(context.Background(), &buf, testRunner, Quick()); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{

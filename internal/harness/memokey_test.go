@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"testing"
 
 	"aurora/internal/core"
@@ -36,7 +37,7 @@ func TestMemoKeySeparation(t *testing.T) {
 	w := tinyWorkload("tiny")
 	base := core.Baseline()
 
-	rep1, err := r.Run(base, w, Options{Budget: 150})
+	rep1, err := r.Run(context.Background(), base, w, Options{Budget: 150})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestMemoKeySeparation(t *testing.T) {
 	}
 
 	// Same job: must hit and share the report pointer.
-	rep2, err := r.Run(base, w, Options{Budget: 150})
+	rep2, err := r.Run(context.Background(), base, w, Options{Budget: 150})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestMemoKeySeparation(t *testing.T) {
 	// A renamed but otherwise identical config is the same machine: hit.
 	renamed := core.Baseline()
 	renamed.Name = "baseline-relabelled"
-	rep3, err := r.Run(renamed, w, Options{Budget: 150})
+	rep3, err := r.Run(context.Background(), renamed, w, Options{Budget: 150})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestMemoKeySeparation(t *testing.T) {
 	}
 
 	// Distinct budget → distinct job.
-	repB, err := r.Run(base, w, Options{Budget: 80})
+	repB, err := r.Run(context.Background(), base, w, Options{Budget: 80})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestMemoKeySeparation(t *testing.T) {
 	}
 
 	// Scheduled trace pass → distinct job even with equal config and budget.
-	repS, err := r.Run(base, w, Options{Budget: 150, Scheduled: true})
+	repS, err := r.Run(context.Background(), base, w, Options{Budget: 150, Scheduled: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestMemoKeySeparation(t *testing.T) {
 	// Any timing-relevant field → distinct job.
 	slow := core.Baseline()
 	slow.Memory.Latency = 35
-	repL, err := r.Run(slow, w, Options{Budget: 150})
+	repL, err := r.Run(context.Background(), slow, w, Options{Budget: 150})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestMemoKeySeparation(t *testing.T) {
 	}
 
 	// Distinct workload name → distinct job, even with identical source.
-	repW, err := r.Run(base, tinyWorkload("tiny2"), Options{Budget: 150})
+	repW, err := r.Run(context.Background(), base, tinyWorkload("tiny2"), Options{Budget: 150})
 	if err != nil {
 		t.Fatal(err)
 	}

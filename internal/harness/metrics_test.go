@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -30,12 +31,12 @@ func TestObsCollectorDeterministicUnderParallelism(t *testing.T) {
 				for dup := 0; dup < 3; dup++ {
 					cfg, w := cfg, w
 					thunks = append(thunks, func() (*core.Report, error) {
-						return r.Run(cfg, w, opts)
+						return r.Run(context.Background(), cfg, w, opts)
 					})
 				}
 			}
 		}
-		if _, err := each(len(thunks), func(i int) (*core.Report, error) { return thunks[i]() }); err != nil {
+		if _, err := each(context.Background(), opts, len(thunks), func(_ context.Context, i int) (*core.Report, error) { return thunks[i]() }); err != nil {
 			t.Fatal(err)
 		}
 		st := r.Stats()
@@ -91,7 +92,7 @@ func TestObserveDoesNotChangeReports(t *testing.T) {
 	opts := Options{Budget: 40_000}
 
 	plain := NewRunner(1)
-	base, err := plain.Run(core.Baseline(), w, opts)
+	base, err := plain.Run(context.Background(), core.Baseline(), w, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestObserveDoesNotChangeReports(t *testing.T) {
 	observed := NewRunner(1)
 	c := NewObsCollector(5_000, 0, 10_000)
 	observed.Observe = c.Sink
-	got, err := observed.Run(core.Baseline(), w, opts)
+	got, err := observed.Run(context.Background(), core.Baseline(), w, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

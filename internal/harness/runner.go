@@ -1,11 +1,15 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
+	"time"
 
 	"aurora/internal/core"
 	"aurora/internal/obs"
+	"aurora/internal/simfault"
 	"aurora/internal/workloads"
 )
 
@@ -20,6 +24,14 @@ import (
 // byte-identical regardless of the worker count: each job is a deterministic
 // function of its key, and scheduling only changes when a job runs, never
 // what it computes.
+//
+// The runner is also the fault boundary: a panic inside the timing core
+// fails that job with a typed *simfault.Fault — never the process, and
+// never the memo table — and a job that exceeds JobTimeout fails the same
+// way. Cancelling the context passed to Run stops queued jobs before they
+// are scheduled and interrupts running ones within a few thousand simulated
+// cycles; cancelled attempts are not memoized, so a later sweep retries
+// them under its own context.
 type Runner struct {
 	sem chan struct{} // bounds concurrently simulating jobs
 
@@ -31,6 +43,12 @@ type Runner struct {
 	// workers ran them. A nil return leaves that job unobserved. Set it
 	// before submitting jobs; it must be safe for concurrent calls.
 	Observe func(job JobInfo) obs.Sink
+
+	// JobTimeout bounds each distinct job's wall-clock time; 0 means no
+	// per-job deadline. An expired job fails with a *simfault.Fault whose
+	// Subsystem is "deadline", and the fault is memoized like any other
+	// property of the job. Set it before submitting jobs.
+	JobTimeout time.Duration
 
 	mu     sync.Mutex
 	memo   map[jobKey]*memoEntry
@@ -57,10 +75,16 @@ type jobKey struct {
 	scheduled bool
 }
 
-// memoEntry holds one job's result. The first requester computes it inside
-// the once; later requesters block on the once and share the result.
+// memoEntry holds one job's result. The goroutine that inserts the entry
+// computes it and closes done; later requesters wait on done (or their own
+// cancellation) and share the result. A panicking job completes its entry
+// with the recovered *simfault.Fault — the earlier sync.Once design counted
+// a panicking computation as returned, so every later hit of that key read
+// a poisoned nil, nil entry. A computation aborted by its own caller's
+// cancellation is withdrawn from the table instead, so the next requester
+// retries under a live context.
 type memoEntry struct {
-	once sync.Once
+	done chan struct{}
 	rep  *core.Report
 	err  error
 }
@@ -95,10 +119,22 @@ func (r *Runner) Stats() RunnerStats {
 	return RunnerStats{Hits: r.hits, Misses: r.misses}
 }
 
+// canceled reports whether err is a context cancellation or deadline error —
+// a property of the requesting sweep, not of the job, so never memoized.
+// (A job's own JobTimeout expiry is converted to a *simfault.Fault before
+// it reaches this check.)
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Run executes one workload on one configuration under the worker pool,
 // returning the memoized report when an identical job has already run.
 // Reports are shared between hits and must be treated as read-only.
-func (r *Runner) Run(cfg core.Config, w *workloads.Workload, opts Options) (*core.Report, error) {
+//
+// A job that panics in the timing core returns a *simfault.Fault (match
+// with errors.As); hits of the same key return the identical fault. ctx
+// cancellation returns ctx.Err() without publishing anything.
+func (r *Runner) Run(ctx context.Context, cfg core.Config, w *workloads.Workload, opts Options) (*core.Report, error) {
 	opts.Budget = effectiveBudget(w, opts)
 	key := jobKey{
 		config:    cfg.Fingerprint(),
@@ -106,51 +142,120 @@ func (r *Runner) Run(cfg core.Config, w *workloads.Workload, opts Options) (*cor
 		budget:    opts.Budget,
 		scheduled: opts.Scheduled,
 	}
-	r.mu.Lock()
-	e, ok := r.memo[key]
-	if ok {
-		r.hits++
-	} else {
-		e = &memoEntry{}
-		r.memo[key] = e
-		r.misses++
-	}
-	r.mu.Unlock()
-	e.once.Do(func() {
-		r.sem <- struct{}{}
-		defer func() { <-r.sem }()
-		var sink obs.Sink
-		if r.Observe != nil {
-			sink = r.Observe(JobInfo{
-				ConfigName:  cfg.Name,
-				Fingerprint: key.config,
-				Workload:    key.workload,
-				Budget:      key.budget,
-				Scheduled:   key.scheduled,
-			})
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		e.rep, e.err = run(cfg, w, opts, sink)
-	})
-	return e.rep, e.err
+		r.mu.Lock()
+		e, ok := r.memo[key]
+		if !ok {
+			e = &memoEntry{done: make(chan struct{})}
+			r.memo[key] = e
+			r.misses++
+			r.mu.Unlock()
+			e.rep, e.err = r.compute(ctx, cfg, w, opts, key)
+			if canceled(e.err) {
+				// The attempt died with its caller, not on its own merits:
+				// withdraw the entry so the next requester retries.
+				r.mu.Lock()
+				if r.memo[key] == e {
+					delete(r.memo, key)
+				}
+				r.mu.Unlock()
+			}
+			close(e.done)
+			return e.rep, e.err
+		}
+		r.hits++
+		r.mu.Unlock()
+		select {
+		case <-e.done:
+			if !canceled(e.err) {
+				return e.rep, e.err
+			}
+			// The computing caller was cancelled; loop and retry under our
+			// own context (the withdrawn entry no longer blocks the key).
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// compute simulates one distinct job: pool admission, per-job deadline,
+// observability sink, and the fault boundary (via run's recover).
+func (r *Runner) compute(ctx context.Context, cfg core.Config, w *workloads.Workload, opts Options, key jobKey) (*core.Report, error) {
+	// Admission: a queued job waits for a pool slot unless the sweep is
+	// cancelled first — this is where fail-fast studies stop scheduling
+	// work that has not started yet.
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-r.sem }()
+
+	jctx := ctx
+	if r.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, r.JobTimeout)
+		defer cancel()
+	}
+	var sink obs.Sink
+	if r.Observe != nil {
+		sink = r.Observe(JobInfo{
+			ConfigName:  cfg.Name,
+			Fingerprint: key.config,
+			Workload:    key.workload,
+			Budget:      key.budget,
+			Scheduled:   key.scheduled,
+		})
+	}
+	job := simfault.Job{
+		Config:      cfg.Name,
+		Fingerprint: key.config,
+		Workload:    key.workload,
+		Scheduled:   key.scheduled,
+	}
+	rep, cycles, err := run(jctx, cfg, w, opts, sink, job)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+		// The job's own wall-clock budget expired while the surrounding
+		// sweep is still live: a property of the job, recorded as a typed
+		// fault and memoized like any other bad design point.
+		err = simfault.Deadline(job, cycles, r.JobTimeout)
+	}
+	return rep, err
 }
 
 // RunWorkload is Run with the root-package budget convention:
 // maxInstr = 0 selects the workload's default budget.
-func (r *Runner) RunWorkload(cfg core.Config, w *workloads.Workload, maxInstr uint64) (*core.Report, error) {
-	return r.Run(cfg, w, Options{Budget: maxInstr})
+func (r *Runner) RunWorkload(ctx context.Context, cfg core.Config, w *workloads.Workload, maxInstr uint64) (*core.Report, error) {
+	return r.Run(ctx, cfg, w, Options{Budget: maxInstr})
 }
 
 // RunScheduledWorkload is RunWorkload with the §6 compiler-scheduling trace
 // pass applied; scheduled and unscheduled runs memoize separately.
-func (r *Runner) RunScheduledWorkload(cfg core.Config, w *workloads.Workload, maxInstr uint64) (*core.Report, error) {
-	return r.Run(cfg, w, Options{Budget: maxInstr, Scheduled: true})
+func (r *Runner) RunScheduledWorkload(ctx context.Context, cfg core.Config, w *workloads.Workload, maxInstr uint64) (*core.Report, error) {
+	return r.Run(ctx, cfg, w, Options{Budget: maxInstr, Scheduled: true})
 }
 
 // each runs fn(0) .. fn(n-1) concurrently and collects the results in input
-// order; the first error in input order wins. Goroutines are cheap and the
-// runner's semaphore bounds the actual simulation work, so callers fan out
-// one goroutine per job regardless of pool size.
-func each[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+// order. Goroutines are cheap and the runner's semaphore bounds the actual
+// simulation work, so callers fan out one goroutine per job regardless of
+// pool size.
+//
+// Under opts.FailFast the first failure cancels the context the remaining
+// fn calls receive, so jobs that have not been scheduled yet stop at the
+// pool-admission gate; the default keep-going mode lets every job run to
+// its own conclusion. The first error in input order wins, except that the
+// secondary cancellations fail-fast induces never mask the failure that
+// triggered them.
+func each[T any](ctx context.Context, opts Options, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	ectx := ctx
+	var cancel context.CancelFunc
+	if opts.FailFast {
+		ectx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
 	out := make([]T, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -158,14 +263,27 @@ func each[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 	for i := 0; i < n; i++ {
 		go func(i int) {
 			defer wg.Done()
-			out[i], errs[i] = fn(i)
+			out[i], errs[i] = fn(ectx, i)
+			if errs[i] != nil && cancel != nil {
+				cancel()
+			}
 		}(i)
 	}
 	wg.Wait()
+	var first error
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if !canceled(err) {
 			return nil, err
 		}
+		if first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return nil, first
 	}
 	return out, nil
 }

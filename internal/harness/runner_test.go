@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -31,7 +32,7 @@ main:
 
 func TestFaultingWorkloadSurfacesError(t *testing.T) {
 	r := NewRunner(1)
-	_, err := r.Run(core.Baseline(), faultyWorkload(), Options{Budget: 100})
+	_, err := r.Run(context.Background(), core.Baseline(), faultyWorkload(), Options{Budget: 100})
 	if err == nil {
 		t.Fatal("faulting kernel ran without error; VM fault was swallowed")
 	}
@@ -39,7 +40,7 @@ func TestFaultingWorkloadSurfacesError(t *testing.T) {
 		t.Errorf("error %q does not mention the unaligned lw fault", err)
 	}
 	// The scheduled-trace path wraps the stream; it must surface the fault too.
-	if _, err := r.Run(core.Baseline(), faultyWorkload(), Options{Budget: 100, Scheduled: true}); err == nil {
+	if _, err := r.Run(context.Background(), core.Baseline(), faultyWorkload(), Options{Budget: 100, Scheduled: true}); err == nil {
 		t.Fatal("faulting kernel ran without error on the scheduled-trace path")
 	}
 }
@@ -51,11 +52,11 @@ func TestMemoHitSharesReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts := Options{Budget: 20_000}
-	rep1, err := r.Run(core.Baseline(), w, opts)
+	rep1, err := r.Run(context.Background(), core.Baseline(), w, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep2, err := r.Run(core.Baseline(), w, opts)
+	rep2, err := r.Run(context.Background(), core.Baseline(), w, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestMemoHitSharesReport(t *testing.T) {
 	// must hit the same entry.
 	renamed := core.Baseline()
 	renamed.Name = "baseline-again"
-	rep3, err := r.Run(renamed, w, opts)
+	rep3, err := r.Run(context.Background(), renamed, w, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,11 +81,11 @@ func TestMemoHitSharesReport(t *testing.T) {
 
 	// Budget 0 resolves to the workload default before keying, so explicit
 	// and defaulted budgets collapse to one entry.
-	repDefault, err := r.Run(core.Baseline(), w, Options{})
+	repDefault, err := r.Run(context.Background(), core.Baseline(), w, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	repExplicit, err := r.Run(core.Baseline(), w, Options{Budget: w.DefaultBudget * 4})
+	repExplicit, err := r.Run(context.Background(), core.Baseline(), w, Options{Budget: w.DefaultBudget * 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestMemoHitSharesReport(t *testing.T) {
 }
 
 func TestSuiteCPIEmptySuite(t *testing.T) {
-	if _, _, _, _, err := suiteCPI(NewRunner(1), core.Baseline(), nil, Quick()); err == nil {
+	if _, _, _, _, err := suiteCPI(context.Background(), NewRunner(1), core.Baseline(), nil, Quick()); err == nil {
 		t.Fatal("suiteCPI on an empty suite returned no error (was a NaN average)")
 	}
 }
@@ -124,10 +125,10 @@ func TestRenderParallelMatchesSerial(t *testing.T) {
 	}
 	opts := Options{Budget: 40_000, SweepBudget: 20_000}
 	var serial, parallel bytes.Buffer
-	if err := Render(&serial, NewRunner(1), opts); err != nil {
+	if err := Render(context.Background(), &serial, NewRunner(1), opts); err != nil {
 		t.Fatal(err)
 	}
-	if err := Render(&parallel, NewRunner(8), opts); err != nil {
+	if err := Render(context.Background(), &parallel, NewRunner(8), opts); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {

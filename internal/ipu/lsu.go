@@ -8,6 +8,7 @@ package ipu
 
 import (
 	"aurora/internal/cache"
+	"aurora/internal/faultinject"
 	"aurora/internal/mem"
 	"aurora/internal/obs"
 	"aurora/internal/prefetch"
@@ -187,7 +188,7 @@ func (l *LSU) CanAccept() bool { return l.mshr.Available() }
 // template is copied into a pool slot — callers build it on the stack.
 // The caller must have checked CanAccept.
 func (l *LSU) Dispatch(tmpl MemOp, now uint64) {
-	if !l.mshr.Allocate() {
+	if !l.mshr.Allocate() || faultinject.Fires(faultinject.LSUDispatch) {
 		panic("ipu: LSU dispatch without MSHR")
 	}
 	idx := l.free[len(l.free)-1]

@@ -1,0 +1,104 @@
+// Package simfault defines the typed error a simulation job degrades into
+// when the timing core violates one of its internal invariants (a panic), or
+// when a job exceeds its wall-clock deadline. A Fault carries everything a
+// sweep needs to report the bad cell — which configuration, which workload,
+// where in simulated time, which subsystem — so one broken design point marks
+// its own cell instead of aborting a whole study.
+package simfault
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Job identifies the simulation a fault occurred in.
+type Job struct {
+	Config      string // configuration name ("baseline", "dual-2K-...", ...)
+	Fingerprint string // core.Config.Fingerprint(): canonical config identity
+	Workload    string
+	Scheduled   bool
+}
+
+// Fault is a typed, per-job simulation failure. It satisfies error and is
+// matched with errors.As:
+//
+//	var f *simfault.Fault
+//	if errors.As(err, &f) { markCell(f) }
+type Fault struct {
+	Job
+	// Subsystem is the timing-model unit that tripped ("core", "fpu",
+	// "cache", "ipu", ...), or "deadline" for a wall-clock timeout.
+	Subsystem string
+	// Cycle is the simulated cycle at which the job failed (0 when the
+	// fault predates the cycle loop, e.g. a config-construction panic).
+	Cycle uint64
+	// Panic is the recovered panic value (nil for deadline faults).
+	Panic any
+	// Stack is the goroutine stack captured at recovery, for debugging;
+	// it is not part of the Error() string.
+	Stack []byte
+}
+
+// FromPanic wraps a recovered panic value into a Fault. The subsystem is
+// read from the conventional "pkg: message" prefix the timing model's
+// invariant panics carry; panics without one report subsystem "unknown".
+func FromPanic(v any, job Job, cycle uint64, stack []byte) *Fault {
+	return &Fault{
+		Job:       job,
+		Subsystem: subsystemOf(v),
+		Cycle:     cycle,
+		Panic:     v,
+		Stack:     stack,
+	}
+}
+
+// Deadline builds the fault recorded when a job exceeds its per-job
+// wall-clock budget. cycle is how far the simulation got.
+func Deadline(job Job, cycle uint64, timeout fmt.Stringer) *Fault {
+	return &Fault{
+		Job:       job,
+		Subsystem: "deadline",
+		Cycle:     cycle,
+		Panic:     fmt.Sprintf("job exceeded its %s wall-clock deadline", timeout),
+	}
+}
+
+// Error renders the fault on one line: cause first, then the coordinates a
+// sweep report needs (subsystem, cycle, workload, config fingerprint).
+func (f *Fault) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim fault: %v [subsystem %s, cycle %d, workload %s, config %s",
+		f.Panic, f.Subsystem, f.Cycle, f.Workload, f.Config)
+	if f.Fingerprint != "" {
+		fmt.Fprintf(&b, " %s", f.Fingerprint)
+	}
+	if f.Scheduled {
+		b.WriteString(", scheduled")
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// Cell is the compact per-cell annotation partial tables print in place of
+// a faulted value, e.g. "FAULT(fpu@1234)".
+func (f *Fault) Cell() string {
+	return fmt.Sprintf("FAULT(%s@%d)", f.Subsystem, f.Cycle)
+}
+
+// subsystemOf extracts the "pkg:" prefix the timing model's invariant
+// panics conventionally carry ("core: ROB overflow — ...").
+func subsystemOf(v any) string {
+	s, ok := v.(string)
+	if !ok {
+		if err, isErr := v.(error); isErr {
+			s = err.Error()
+		} else {
+			return "unknown"
+		}
+	}
+	head, _, found := strings.Cut(s, ":")
+	if !found || head == "" || strings.ContainsAny(head, " \t\n") {
+		return "unknown"
+	}
+	return head
+}
