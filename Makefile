@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race faults bench bench-smoke golden fuzz fmt
+.PHONY: all build test tier1 race faults bench bench-smoke golden fuzz fmt lint
 
 all: build test
 
@@ -10,13 +10,21 @@ build:
 test:
 	$(GO) test -timeout 10m ./...
 
-# tier1 is the CI gate: formatting, build, vet, tests, race on the whole
-# tree. Explicit -timeout values bound a hung sweep instead of relying on
-# the go test default, so CI fails with a goroutine dump rather than stalling.
-tier1: fmt build
+# tier1 is the CI gate: formatting, build, vet, the aurora analyzers,
+# tests, race on the whole tree. Explicit -timeout values bound a hung
+# sweep instead of relying on the go test default, so CI fails with a
+# goroutine dump rather than stalling.
+tier1: fmt build lint
 	$(GO) vet ./...
 	$(GO) test -timeout 10m ./...
 	$(GO) test -race -short -timeout 10m ./...
+
+# lint runs the repo's own go/analysis suite (hotpathalloc, determinism,
+# panicsite, probeguard — see docs/LINTING.md) over the whole module via
+# the vet driver, so facts flow across packages exactly as in go vet.
+lint:
+	$(GO) build -o bin/aurora-lint ./cmd/aurora-lint
+	$(GO) vet -vettool=bin/aurora-lint ./...
 
 race:
 	$(GO) test -race -short -timeout 10m ./...

@@ -1,0 +1,68 @@
+// aurora-lint runs the aurora static-analysis suite (internal/lint): the
+// hot-path allocation, determinism, panic-site and probe-guard checks that
+// keep the simulator fast, byte-reproducible and fault-isolated as it
+// grows.
+//
+// Two modes:
+//
+//	aurora-lint ./...                   # standalone: wraps `go vet -vettool`
+//	go vet -vettool=$(which aurora-lint) ./...
+//
+// The binary speaks the go vet unitchecker protocol. When invoked directly
+// with package patterns it re-execs itself through `go vet -vettool=`, so
+// the toolchain handles package loading, caching and fact propagation in
+// both modes.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"aurora/internal/lint"
+)
+
+func main() {
+	if !vetInvocation() {
+		os.Exit(standalone())
+	}
+	unitchecker.Main(lint.Analyzers()...)
+}
+
+// vetInvocation reports whether the process was started by the go vet
+// driver: either the version handshake (-V=full) or a unit config file.
+func vetInvocation() bool {
+	for _, a := range os.Args[1:] {
+		if strings.HasPrefix(a, "-V") || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+func standalone() int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aurora-lint: %v\n", err)
+		return 1
+	}
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "aurora-lint: %v\n", err)
+		return 1
+	}
+	return 0
+}

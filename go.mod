@@ -1,3 +1,7 @@
 module aurora
 
 go 1.22
+
+require golang.org/x/tools v0.28.0
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

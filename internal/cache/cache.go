@@ -38,6 +38,7 @@ func (c *TagArray) SetProbe(p *obs.Probe, track string) {
 func NewTagArray(sizeBytes, lineBytes int) *TagArray {
 	if sizeBytes <= 0 || lineBytes <= 0 || sizeBytes%lineBytes != 0 ||
 		sizeBytes&(sizeBytes-1) != 0 || lineBytes&(lineBytes-1) != 0 {
+		//aurora:allow(panic, construction-time config validation; runs before any cycle is simulated)
 		panic(fmt.Sprintf("cache: bad geometry %d/%d", sizeBytes, lineBytes))
 	}
 	n := sizeBytes / lineBytes
@@ -65,10 +66,13 @@ func (c *TagArray) Lines() int { return len(c.tags) }
 func (c *TagArray) LineBytes() int { return 1 << c.lineShift }
 
 // LineAddr returns the line-aligned address containing addr.
+//
+//aurora:hotpath
 func (c *TagArray) LineAddr(addr uint32) uint32 {
 	return addr &^ (uint32(1)<<c.lineShift - 1)
 }
 
+//aurora:hotpath
 func (c *TagArray) slot(addr uint32) (idx uint32, tag uint32) {
 	idx = addr >> c.lineShift & c.indexMask
 	tag = addr >> c.lineShift
@@ -76,6 +80,8 @@ func (c *TagArray) slot(addr uint32) (idx uint32, tag uint32) {
 }
 
 // Lookup probes the cache, counting the access. It reports a hit.
+//
+//aurora:hotpath
 func (c *TagArray) Lookup(addr uint32) bool {
 	c.accesses++
 	idx, tag := c.slot(addr)
@@ -98,6 +104,8 @@ func (c *TagArray) Probe(addr uint32) bool {
 
 // Fill installs the line containing addr, returning the address of the line
 // it displaced, if any.
+//
+//aurora:hotpath
 func (c *TagArray) Fill(addr uint32) (evicted uint32, hadVictim bool) {
 	idx, tag := c.slot(addr)
 	if c.valid[idx] && c.tags[idx] != tag {
@@ -116,9 +124,13 @@ func (c *TagArray) InvalidateAll() {
 }
 
 // Accesses returns the lookup count.
+//
+//aurora:hotpath
 func (c *TagArray) Accesses() uint64 { return c.accesses }
 
 // Misses returns the miss count.
+//
+//aurora:hotpath
 func (c *TagArray) Misses() uint64 { return c.misses }
 
 // HitRate returns the hit fraction (1.0 when never accessed).

@@ -39,12 +39,18 @@ func NewMSHRFile(n int) *MSHRFile {
 func (f *MSHRFile) Capacity() int { return f.capacity }
 
 // Available reports whether a register is free.
+//
+//aurora:hotpath
 func (f *MSHRFile) Available() bool { return f.inUse < f.capacity }
 
 // InUse returns the current occupancy.
+//
+//aurora:hotpath
 func (f *MSHRFile) InUse() int { return f.inUse }
 
 // Allocate reserves a register; it returns false when none is free.
+//
+//aurora:hotpath
 func (f *MSHRFile) Allocate() bool {
 	if f.inUse >= f.capacity {
 		f.stallFull++
@@ -62,6 +68,8 @@ func (f *MSHRFile) Allocate() bool {
 }
 
 // Release frees a register.
+//
+//aurora:hotpath
 func (f *MSHRFile) Release() {
 	if f.inUse == 0 || faultinject.Fires(faultinject.MSHRRelease) {
 		panic("cache: MSHR release without allocate")
@@ -73,6 +81,8 @@ func (f *MSHRFile) Release() {
 }
 
 // TickOccupancy accumulates the occupancy integral; call once per cycle.
+//
+//aurora:hotpath
 func (f *MSHRFile) TickOccupancy() { f.cycleInUse += uint64(f.inUse) }
 
 // Allocs returns the total number of allocations.
@@ -87,6 +97,8 @@ func (f *MSHRFile) Peak() int { return f.peakInUse }
 // OccupancyIntegral returns the accumulated occupancy-over-cycles integral
 // (the numerator of Utilisation) — the interval sampler differences it to
 // produce per-interval mean occupancy.
+//
+//aurora:hotpath
 func (f *MSHRFile) OccupancyIntegral() uint64 { return f.cycleInUse }
 
 // Utilisation returns mean occupancy over the given cycle count.

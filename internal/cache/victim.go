@@ -39,6 +39,8 @@ func (v *VictimCache) Enabled() bool { return len(v.lines) > 0 }
 
 // Probe checks for lineAddr after a primary miss; on a hit the line is
 // removed (it swaps back into the primary cache).
+//
+//aurora:hotpath
 func (v *VictimCache) Probe(lineAddr uint32) bool {
 	if len(v.lines) == 0 {
 		return false
@@ -58,6 +60,8 @@ func (v *VictimCache) Probe(lineAddr uint32) bool {
 }
 
 // Insert stores a line evicted from the primary cache (LRU replacement).
+//
+//aurora:hotpath
 func (v *VictimCache) Insert(lineAddr uint32) {
 	if len(v.lines) == 0 {
 		return
@@ -77,9 +81,13 @@ func (v *VictimCache) Insert(lineAddr uint32) {
 }
 
 // Probes returns the number of primary-miss probes.
+//
+//aurora:hotpath
 func (v *VictimCache) Probes() uint64 { return v.probes }
 
 // Hits returns the number of probes that found their line.
+//
+//aurora:hotpath
 func (v *VictimCache) Hits() uint64 { return v.hits }
 
 // HitRate returns hits/probes.

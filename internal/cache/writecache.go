@@ -54,6 +54,7 @@ func NewWriteCache(n, lineBytes int) *WriteCache {
 		n = 1
 	}
 	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		//aurora:allow(panic, construction-time config validation; runs before any cycle is simulated)
 		panic("cache: write cache line size must be a power of two")
 	}
 	return &WriteCache{
@@ -66,14 +67,17 @@ func NewWriteCache(n, lineBytes int) *WriteCache {
 // Lines returns the number of lines.
 func (w *WriteCache) Lines() int { return len(w.lines) }
 
+//aurora:hotpath
 func (w *WriteCache) lineAddr(addr uint32) uint32 {
 	return addr &^ uint32(w.lineBytes-1)
 }
 
+//aurora:hotpath
 func (w *WriteCache) wordBit(addr uint32) uint32 {
 	return 1 << (addr % uint32(w.lineBytes) / 4)
 }
 
+//aurora:hotpath
 func (w *WriteCache) find(lineAddr uint32) *wcLine {
 	for i := range w.lines {
 		if w.lines[i].valid && w.lines[i].tag == lineAddr {
@@ -87,6 +91,8 @@ func (w *WriteCache) find(lineAddr uint32) *wcLine {
 // the store hit a resident line; evicted reports that allocating a line
 // displaced a dirty victim (one coalesced BIU write transaction), described
 // by ev. The eviction travels by value so the store path never allocates.
+//
+//aurora:hotpath
 func (w *WriteCache) Store(addr uint32) (hit bool, ev Eviction, evicted bool) {
 	w.clock++
 	w.accesses++
@@ -141,6 +147,8 @@ func (w *WriteCache) Store(addr uint32) (hit bool, ev Eviction, evicted bool) {
 
 // Load checks whether a load's word is present (store-to-load forwarding
 // from the write cache). Counted in the Table 5 hit rate.
+//
+//aurora:hotpath
 func (w *WriteCache) Load(addr uint32) bool {
 	w.clock++
 	w.accesses++
@@ -167,6 +175,7 @@ func (w *WriteCache) Flush() []Eviction {
 	return evs
 }
 
+//aurora:hotpath
 func popcount(v uint32) int {
 	n := 0
 	for v != 0 {
@@ -185,10 +194,14 @@ func (w *WriteCache) HitRate() float64 {
 }
 
 // Stores returns the store instruction count.
+//
+//aurora:hotpath
 func (w *WriteCache) Stores() uint64 { return w.stores }
 
 // Transactions returns the BIU write transactions issued (§5.5's
 // write-traffic metric: transactions/stores = 44%/30%/22% in the paper).
+//
+//aurora:hotpath
 func (w *WriteCache) Transactions() uint64 { return w.transactions }
 
 // TrafficRatio returns transactions per store instruction.
@@ -200,13 +213,21 @@ func (w *WriteCache) TrafficRatio() float64 {
 }
 
 // Hits returns the combined load+store hit count.
+//
+//aurora:hotpath
 func (w *WriteCache) Hits() uint64 { return w.hits }
 
 // Accesses returns the combined load+store access count.
+//
+//aurora:hotpath
 func (w *WriteCache) Accesses() uint64 { return w.accesses }
 
 // PageMatches returns how many stores the micro-TLB validated for free.
+//
+//aurora:hotpath
 func (w *WriteCache) PageMatches() uint64 { return w.pageMatches }
 
 // PageMissChecks returns how many stores needed a (modelled) MMU check.
+//
+//aurora:hotpath
 func (w *WriteCache) PageMissChecks() uint64 { return w.pageMissChecks }

@@ -63,6 +63,8 @@ func (p *Processor) Attach(sink obs.Sink) {
 // exactly on a boundary, re-sampled after the write-cache flush); gauges
 // are then left at their boundary values and only the counters are
 // refreshed, so the closed row reconciles with the end-of-run Report.
+//
+//aurora:hotpath
 func (p *Processor) emitSample() {
 	pr := p.probe
 	if pr == nil {
@@ -136,6 +138,8 @@ func (p *Processor) emitSample() {
 
 // intervalHitRate returns 1 - misses/accesses over an interval's deltas
 // (1.0 for an idle interval, matching Report's convention).
+//
+//aurora:hotpath
 func intervalHitRate(acc, miss uint64) float64 {
 	if acc == 0 {
 		return 1
@@ -144,6 +148,8 @@ func intervalHitRate(acc, miss uint64) float64 {
 }
 
 // meanOverCycles divides an occupancy-integral delta by the interval length.
+//
+//aurora:hotpath
 func meanOverCycles(integral, cycles uint64) float64 {
 	if cycles == 0 {
 		return 0

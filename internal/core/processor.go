@@ -153,6 +153,8 @@ func (p *Processor) RunContext(ctx context.Context, maxCycles uint64) (*Report, 
 // tick runs one cycle of the machine: memory system first, then retire and
 // issue, then fetch and prefetch (the fixed intra-cycle order every unit's
 // timing assumes).
+//
+//aurora:hotpath
 func (p *Processor) tick() {
 	p.biu.Tick(p.now)
 	p.lsu.Tick(p.now)
@@ -171,6 +173,8 @@ func (p *Processor) tick() {
 // machine still has work. It is Run's loop body without the deadlock guards
 // and end-of-run accounting — the hook benchmarks use to time the
 // steady-state cycle loop in isolation.
+//
+//aurora:hotpath
 func (p *Processor) Step() bool {
 	if p.done() {
 		return false
@@ -180,6 +184,7 @@ func (p *Processor) Step() bool {
 	return true
 }
 
+//aurora:hotpath
 func (p *Processor) done() bool {
 	return p.ifu.Done() && p.robUsed == 0 && !p.lsu.Busy() && p.fp.Drained(p.now)
 }
@@ -192,6 +197,8 @@ func (p *Processor) Instructions() uint64 { return p.instructions }
 
 // retire removes up to two completed instructions from the reorder buffer
 // in program order.
+//
+//aurora:hotpath
 func (p *Processor) retire() {
 	for n := 0; n < 2 && p.robUsed > 0; n++ {
 		e := &p.rob[p.robHead]
@@ -206,6 +213,8 @@ func (p *Processor) retire() {
 
 // issue attempts to issue up to IssueWidth instructions this cycle and
 // attributes the stall cause when nothing issues.
+//
+//aurora:hotpath
 func (p *Processor) issue() {
 	issued := 0
 	var first trace.Record
@@ -248,6 +257,8 @@ func (p *Processor) issue() {
 // be the two halves of an aligned pair, free of a true dependence (the DI
 // bit, pre-computed by the IFU at cache-fill time), with at most one
 // memory-access and one control-flow instruction.
+//
+//aurora:hotpath
 func pairAllowed(first trace.Record, second ipu.FetchedInstr) bool {
 	if first.PC%8 != 0 || second.Rec.PC != first.PC+4 {
 		return false
@@ -266,6 +277,8 @@ func pairAllowed(first trace.Record, second ipu.FetchedInstr) bool {
 
 // canIssue checks every resource and operand the instruction needs,
 // returning the blocking cause when it cannot issue this cycle.
+//
+//aurora:hotpath
 func (p *Processor) canIssue(rec trace.Record) (StallCause, bool) {
 	// Operand readiness (integer scoreboard).
 	for _, s := range rec.SI.Deps.SrcInt {
@@ -319,6 +332,8 @@ func (p *Processor) canIssue(rec trace.Record) (StallCause, bool) {
 
 // isFPQueueClass reports whether the instruction is transferred to the FPU
 // instruction queue (arithmetic, conversions, compares).
+//
+//aurora:hotpath
 func isFPQueueClass(c isa.Class) bool {
 	switch c {
 	case isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv, isa.ClassFPCvt:
@@ -329,11 +344,15 @@ func isFPQueueClass(c isa.Class) bool {
 
 // needsROB reports whether the instruction occupies an IPU reorder-buffer
 // entry. FP arithmetic lives in the FPU's own reorder buffer instead.
+//
+//aurora:hotpath
 func (p *Processor) needsROB(rec trace.Record) bool {
 	return !isFPQueueClass(rec.SI.Class)
 }
 
 // allocROB reserves a reorder-buffer slot, returning its index.
+//
+//aurora:hotpath
 func (p *Processor) allocROB(completeAt uint64) int {
 	if p.robUsed >= len(p.rob) || faultinject.Fires(faultinject.CoreROBOverflow) {
 		panic("core: ROB overflow — canIssue checks missed")
@@ -346,6 +365,8 @@ func (p *Processor) allocROB(completeAt uint64) int {
 
 // setIntDest schedules the integer scoreboard write and returns the new
 // writer generation (used by load completions to detect WAW overwrites).
+//
+//aurora:hotpath
 func (p *Processor) setIntDest(reg uint8, at uint64, fromLoad, fromFP bool) uint64 {
 	if reg == 0 {
 		return 0
@@ -358,6 +379,8 @@ func (p *Processor) setIntDest(reg uint8, at uint64, fromLoad, fromFP bool) uint
 }
 
 // doIssue commits the issue of rec at the current cycle.
+//
+//aurora:hotpath
 func (p *Processor) doIssue(rec trace.Record) {
 	now := p.now
 	switch rec.SI.Class {

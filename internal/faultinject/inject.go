@@ -87,6 +87,8 @@ var armed [NumSites]atomic.Bool
 // Fires reports whether the site is armed; the caller panics its own
 // invariant message when it returns true, so an injected fault is
 // indistinguishable from a genuine violation at that site.
+//
+//aurora:hotpath
 func Fires(s Site) bool {
 	if !enabled.Load() {
 		return false

@@ -243,6 +243,8 @@ func New(cfg Config) *FPU {
 }
 
 // busReserved returns the result-bus reservations for cycle at.
+//
+//aurora:hotpath
 func (f *FPU) busReserved(at uint64) int {
 	i := at & f.busMask
 	if f.busAt[i] != at {
@@ -252,6 +254,8 @@ func (f *FPU) busReserved(at uint64) int {
 }
 
 // busReserve books one result bus for cycle at.
+//
+//aurora:hotpath
 func (f *FPU) busReserve(at uint64) {
 	i := at & f.busMask
 	if f.busAt[i] != at {
@@ -265,9 +269,13 @@ func (f *FPU) busReserve(at uint64) {
 func (f *FPU) Config() Config { return f.cfg }
 
 // Stats returns the accumulated statistics.
+//
+//aurora:hotpath
 func (f *FPU) Stats() Stats { return f.stats }
 
 // unitOf maps an instruction class to its functional unit.
+//
+//aurora:hotpath
 func unitOf(c isa.Class) Unit {
 	switch c {
 	case isa.ClassFPMul:
@@ -280,6 +288,7 @@ func unitOf(c isa.Class) Unit {
 	return UnitAdd
 }
 
+//aurora:hotpath
 func (f *FPU) latencyOf(u Unit) int {
 	switch u {
 	case UnitMul:
@@ -292,6 +301,7 @@ func (f *FPU) latencyOf(u Unit) int {
 	return f.cfg.AddLatency
 }
 
+//aurora:hotpath
 func (f *FPU) pipelined(u Unit) bool {
 	switch u {
 	case UnitMul:
@@ -309,6 +319,8 @@ func (f *FPU) pipelined(u Unit) bool {
 const fccIndex = 32
 
 // markWriter assigns a new write sequence covering the register (pair).
+//
+//aurora:hotpath
 func (f *FPU) markWriter(reg uint8, double bool) uint64 {
 	if reg == isa.NoFPReg {
 		return 0
@@ -324,6 +336,7 @@ func (f *FPU) markWriter(reg uint8, double bool) uint64 {
 	return f.seqCtr
 }
 
+//aurora:hotpath
 func (f *FPU) markFCCWriter() uint64 {
 	f.seqCtr++
 	f.lastWriter[fccIndex] = f.seqCtr
@@ -331,6 +344,8 @@ func (f *FPU) markFCCWriter() uint64 {
 }
 
 // capture returns the sequence a reader of the register (pair) must wait on.
+//
+//aurora:hotpath
 func (f *FPU) capture(reg uint8, double bool) uint64 {
 	if reg == isa.NoFPReg {
 		return 0
@@ -347,6 +362,8 @@ func (f *FPU) capture(reg uint8, double bool) uint64 {
 }
 
 // scheduleSeq records that write seq completes at cycle at.
+//
+//aurora:hotpath
 func (f *FPU) scheduleSeq(seq, at uint64) {
 	if seq == 0 {
 		return
@@ -357,6 +374,8 @@ func (f *FPU) scheduleSeq(seq, at uint64) {
 }
 
 // seqDone reports whether write seq has completed by cycle now.
+//
+//aurora:hotpath
 func (f *FPU) seqDone(seq, now uint64) bool {
 	if seq == 0 {
 		return true
@@ -374,6 +393,8 @@ func (f *FPU) seqDone(seq, now uint64) bool {
 
 // CaptureWriter returns a token for the last writer of the register (pair);
 // pass it to SeqDone to poll for the data (FP store synchronisation).
+//
+//aurora:hotpath
 func (f *FPU) CaptureWriter(reg uint8, double bool) uint64 {
 	return f.capture(reg, double)
 }
@@ -384,12 +405,16 @@ func (f *FPU) SeqDone(seq, now uint64) bool { return f.seqDone(seq, now) }
 // RegReady reports whether an FP register's value is available at cycle now.
 // Valid for in-order readers (MFC1 blocks the IPU, so no younger FP write
 // can slip in while it polls); decoupled readers must capture a token.
+//
+//aurora:hotpath
 func (f *FPU) RegReady(reg uint8, double bool, now uint64) bool {
 	return f.seqDone(f.capture(reg, double), now)
 }
 
 // FCCReady reports whether the FP condition flag is resolved at cycle now
 // (polled by the IPU before issuing BC1T/BC1F — also an in-order reader).
+//
+//aurora:hotpath
 func (f *FPU) FCCReady(now uint64) bool {
 	return f.seqDone(f.lastWriter[fccIndex], now)
 }
@@ -400,6 +425,8 @@ func (f *FPU) FCCReady(now uint64) bool {
 // In precise-exception mode (§3.1), dispatch also requires the FPU to be
 // empty: no queued or executing FP instruction may be overtaken by one
 // that could fault.
+//
+//aurora:hotpath
 func (f *FPU) CanDispatchInstr() bool {
 	if f.cfg.Precise && (f.iqLen > 0 || f.robUsed > 0) {
 		return false
@@ -411,6 +438,8 @@ func (f *FPU) CanDispatchInstr() bool {
 // the queue. The caller must have checked CanDispatchInstr. Source writer
 // sequences are captured here, at dispatch, so only older writes can block
 // the instruction's eventual issue.
+//
+//aurora:hotpath
 func (f *FPU) DispatchInstr(rec trace.Record, now uint64) {
 	if !f.CanDispatchInstr() || faultinject.Fires(faultinject.FPUInstrQueue) {
 		panic("fpu: dispatch to full instruction queue")
@@ -438,11 +467,15 @@ func (f *FPU) DispatchInstr(rec trace.Record, now uint64) {
 }
 
 // CanDispatchLoad reports whether the load data queue has a free slot.
+//
+//aurora:hotpath
 func (f *FPU) CanDispatchLoad() bool { return f.loadQ < f.cfg.LoadQueue }
 
 // DispatchLoad reserves a load-queue slot for an FP load issued to the LSU
 // and returns the load's write sequence; the destination register becomes
 // unavailable until LoadArrived is called with that sequence.
+//
+//aurora:hotpath
 func (f *FPU) DispatchLoad(reg uint8, double bool) uint64 {
 	if !f.CanDispatchLoad() || faultinject.Fires(faultinject.FPULoadQueue) {
 		panic("fpu: dispatch to full load queue")
@@ -463,6 +496,8 @@ func (f *FPU) LoadArrived(seq uint64, now uint64) {
 }
 
 // CanDispatchStore reports whether the store data queue has a free slot.
+//
+//aurora:hotpath
 func (f *FPU) CanDispatchStore() bool { return f.storeQLen < f.cfg.StoreQueue }
 
 // DispatchStore reserves a store-queue slot for an FP store. The paper's
@@ -470,6 +505,8 @@ func (f *FPU) CanDispatchStore() bool { return f.storeQLen < f.cfg.StoreQueue }
 // (§2.3 "Floating Point Support"); the slot frees once the writer sequence
 // completes (in Tick), modelling that synchronisation. seq is the token
 // from CaptureWriter at dispatch.
+//
+//aurora:hotpath
 func (f *FPU) DispatchStore(seq uint64) {
 	if !f.CanDispatchStore() || faultinject.Fires(faultinject.FPUStoreQueue) {
 		panic("fpu: dispatch to full store queue")
@@ -480,6 +517,8 @@ func (f *FPU) DispatchStore(seq uint64) {
 
 // WriteFromIPU schedules an MTC1 register write (data crosses from the IPU;
 // one cycle of transfer after the move executes).
+//
+//aurora:hotpath
 func (f *FPU) WriteFromIPU(reg uint8, now uint64) {
 	seq := f.markWriter(reg, false)
 	f.scheduleSeq(seq, now+1)
@@ -488,6 +527,8 @@ func (f *FPU) WriteFromIPU(reg uint8, now uint64) {
 // --- per-cycle engine -----------------------------------------------------
 
 // Tick advances the FPU by one cycle: retire, then issue.
+//
+//aurora:hotpath
 func (f *FPU) Tick(now uint64) {
 	f.stats.Cycles++
 	f.stats.OccupancySum += uint64(f.iqLen)
@@ -533,6 +574,8 @@ func (f *FPU) Tick(now uint64) {
 
 // tickInOrder issues the head only when nothing is active, and completion
 // is strictly in order (one instruction at a time in the units).
+//
+//aurora:hotpath
 func (f *FPU) tickInOrder(now uint64) {
 	if f.activeUntil > now {
 		f.stats.UnitBusy++
@@ -564,6 +607,8 @@ func (f *FPU) tickInOrder(now uint64) {
 // of a dual-issue cycle, prev is the instruction issued in the first slot:
 // the pair must be independent (§5.8 lists data dependencies among the
 // dual-issue constraints). Returns whether the head issued.
+//
+//aurora:hotpath
 func (f *FPU) issueHead(now uint64, prev *trace.Record) bool {
 	if f.iqLen == 0 {
 		return false
@@ -616,11 +661,14 @@ func (f *FPU) issueHead(now uint64, prev *trace.Record) bool {
 	return true
 }
 
+//aurora:hotpath
 func (f *FPU) sourcesReady(q queued, now uint64) bool {
 	return f.seqDone(q.srcSeq[0], now) && f.seqDone(q.srcSeq[1], now)
 }
 
 // complete allocates the ROB entry and schedules the result write.
+//
+//aurora:hotpath
 func (f *FPU) complete(q queued, doneAt uint64) {
 	if f.robUsed >= len(f.rob) || faultinject.Fires(faultinject.FPUROBOverflow) {
 		panic("fpu: ROB overflow — issue checks missed")
@@ -633,6 +681,8 @@ func (f *FPU) complete(q queued, doneAt uint64) {
 }
 
 // Drained reports whether the FPU has no queued or in-flight work at now.
+//
+//aurora:hotpath
 func (f *FPU) Drained(now uint64) bool {
 	if f.iqLen != 0 || f.robUsed != 0 || f.loadQ != 0 || f.storeQLen != 0 {
 		return false
@@ -641,4 +691,6 @@ func (f *FPU) Drained(now uint64) bool {
 }
 
 // QueueLen returns the instruction-queue occupancy (for tests).
+//
+//aurora:hotpath
 func (f *FPU) QueueLen() int { return f.iqLen }

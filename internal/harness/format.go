@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
 
 	"aurora/internal/core"
@@ -80,10 +81,29 @@ func PrintRateTable(w io.Writer, t *RateTable) {
 	}
 }
 
-// PrintWriteTraffic renders §5.5's traffic ratios.
+// PrintWriteTraffic renders §5.5's traffic ratios. Rows follow the paper's
+// model order (small, baseline, large); any other keys print after those,
+// sorted, so the output is a deterministic function of the map's contents
+// rather than of its iteration order or of a hard-coded key list that
+// would silently drop unexpected models.
 func PrintWriteTraffic(w io.Writer, ratios map[string]float64) {
-	fmt.Fprintln(w, "Write traffic (§5.5): store transactions / store instructions")
+	order := make([]string, 0, len(ratios))
 	for _, m := range []string{"small", "baseline", "large"} {
+		if _, ok := ratios[m]; ok {
+			order = append(order, m)
+		}
+	}
+	extras := make([]string, 0, len(ratios))
+	for m := range ratios {
+		if m != "small" && m != "baseline" && m != "large" {
+			extras = append(extras, m)
+		}
+	}
+	sort.Strings(extras)
+	order = append(order, extras...)
+
+	fmt.Fprintln(w, "Write traffic (§5.5): store transactions / store instructions")
+	for _, m := range order {
 		fmt.Fprintf(w, "  %-9s %5.1f%%\n", m, 100*ratios[m])
 	}
 	fmt.Fprintln(w, "  (paper: 44% / 30% / 22%)")

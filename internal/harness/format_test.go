@@ -59,6 +59,42 @@ func TestPrintWriteTraffic(t *testing.T) {
 	contains(t, out, "22.0%")
 }
 
+// TestPrintWriteTrafficOrdering pins the row order byte-for-byte: the
+// paper's models in canonical order, then any extra keys sorted. The golden
+// byte-identity tests depend on the first property; the second keeps the
+// renderer deterministic under map iteration for arbitrary sweeps.
+func TestPrintWriteTrafficOrdering(t *testing.T) {
+	var b bytes.Buffer
+	PrintWriteTraffic(&b, map[string]float64{
+		"zeta":     0.10,
+		"large":    0.22,
+		"alpha":    0.50,
+		"small":    0.44,
+		"baseline": 0.30,
+	})
+	want := "Write traffic (§5.5): store transactions / store instructions\n" +
+		"  small      44.0%\n" +
+		"  baseline   30.0%\n" +
+		"  large      22.0%\n" +
+		"  alpha      50.0%\n" +
+		"  zeta       10.0%\n" +
+		"  (paper: 44% / 30% / 22%)\n"
+	if got := b.String(); got != want {
+		t.Errorf("ordering not pinned:\ngot:\n%swant:\n%s", got, want)
+	}
+	// The renderer must be a pure function of the map's contents: repeated
+	// runs over a fresh map cannot reorder rows.
+	for i := 0; i < 8; i++ {
+		var again bytes.Buffer
+		PrintWriteTraffic(&again, map[string]float64{
+			"alpha": 0.50, "baseline": 0.30, "large": 0.22, "small": 0.44, "zeta": 0.10,
+		})
+		if again.String() != want {
+			t.Fatalf("run %d reordered rows:\n%s", i, again.String())
+		}
+	}
+}
+
 func TestPrintFig5(t *testing.T) {
 	var b bytes.Buffer
 	PrintFig5(&b, []Fig5Point{

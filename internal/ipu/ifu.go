@@ -104,6 +104,8 @@ func NewIFU(cfg IFUConfig, biu *mem.BIU, pfu *prefetch.Buffers, stream trace.Str
 const peekBatch = 64
 
 // ICache exposes the instruction cache tag array (stats).
+//
+//aurora:hotpath
 func (f *IFU) ICache() *cache.TagArray { return f.ic }
 
 // SetProbe attaches the observability probe: instruction-cache misses land
@@ -111,13 +113,19 @@ func (f *IFU) ICache() *cache.TagArray { return f.ic }
 func (f *IFU) SetProbe(p *obs.Probe) { f.ic.SetProbe(p, "icache") }
 
 // Stats returns the fetch counters.
+//
+//aurora:hotpath
 func (f *IFU) Stats() IFUStats { return f.stats }
 
 // QueueLen returns the decoded-instruction buffer occupancy.
+//
+//aurora:hotpath
 func (f *IFU) QueueLen() int { return f.qLen }
 
 // QueueHead returns the oldest queued instruction; the pointer is valid
 // until the next Consume or Tick. The queue must be non-empty.
+//
+//aurora:hotpath
 func (f *IFU) QueueHead() *FetchedInstr { return &f.queue[f.qHead] }
 
 // Queue returns a copy of the decoded-instruction buffer contents in fetch
@@ -131,18 +139,24 @@ func (f *IFU) Queue() []FetchedInstr {
 }
 
 // Consume removes the first n queue entries (issued instructions).
+//
+//aurora:hotpath
 func (f *IFU) Consume(n int) {
 	f.qHead = (f.qHead + n) % len(f.queue)
 	f.qLen -= n
 }
 
 // push appends a fetched instruction to the ring.
+//
+//aurora:hotpath
 func (f *IFU) push(fi FetchedInstr) {
 	f.queue[(f.qHead+f.qLen)%len(f.queue)] = fi
 	f.qLen++
 }
 
 // Done reports whether the trace is exhausted and the queue drained.
+//
+//aurora:hotpath
 func (f *IFU) Done() bool {
 	return f.exhausted && f.peekPos >= len(f.peeked) && f.qLen == 0
 }
@@ -160,6 +174,7 @@ func (f *IFU) Stalled(now uint64) bool {
 	return f.fillPending && f.fillReady > now
 }
 
+//aurora:hotpath
 func (f *IFU) peek(i int) (trace.Record, bool) {
 	for f.peekPos+i >= len(f.peeked) && !f.exhausted {
 		// Compact the (at most 2) unconsumed records to the front before
@@ -181,6 +196,7 @@ func (f *IFU) peek(i int) (trace.Record, bool) {
 			f.exhausted = true
 			break
 		}
+		//aurora:allow(alloc, peek buffer reaches steady-state capacity; zero-alloc loop guarded by TestCycleLoopZeroAlloc)
 		f.peeked = append(f.peeked, r)
 	}
 	if idx := f.peekPos + i; idx < len(f.peeked) {
@@ -190,11 +206,15 @@ func (f *IFU) peek(i int) (trace.Record, bool) {
 }
 
 // advance consumes n peeked records — a cursor bump, no data movement.
+//
+//aurora:hotpath
 func (f *IFU) advance(n int) {
 	f.peekPos += n
 }
 
 // Tick fetches up to one instruction pair into the queue.
+//
+//aurora:hotpath
 func (f *IFU) Tick(now uint64) {
 	f.stats.FetchCycles++
 	if f.fillPending {

@@ -164,29 +164,43 @@ func NewLSU(cfg LSUConfig, biu *mem.BIU, pfu *prefetch.Buffers, fpReady FPStoreR
 }
 
 // DCache exposes the data cache tag array (stats).
+//
+//aurora:hotpath
 func (l *LSU) DCache() *cache.TagArray { return l.dc }
 
 // WriteCache exposes the write cache (stats).
+//
+//aurora:hotpath
 func (l *LSU) WriteCache() *cache.WriteCache { return l.wc }
 
 // MSHR exposes the MSHR file (stats).
+//
+//aurora:hotpath
 func (l *LSU) MSHR() *cache.MSHRFile { return l.mshr }
 
 // Victim exposes the victim cache (stats; disabled in the paper's design).
+//
+//aurora:hotpath
 func (l *LSU) Victim() *cache.VictimCache { return l.vc }
 
 // Stats returns the LSU counters.
+//
+//aurora:hotpath
 func (l *LSU) Stats() LSUStats { return l.stats }
 
 // CanAccept reports whether a new memory instruction can enter the LSU.
 // Every active memory instruction holds an MSHR (paper §2.3), so the file
 // size bounds LSU occupancy: one MSHR is a blocking cache.
+//
+//aurora:hotpath
 func (l *LSU) CanAccept() bool { return l.mshr.Available() }
 
 // Dispatch enters a memory operation at cycle now (its address was computed
 // in the IEU this cycle; the transfer to the LSU takes one cycle). The
 // template is copied into a pool slot — callers build it on the stack.
 // The caller must have checked CanAccept.
+//
+//aurora:hotpath
 func (l *LSU) Dispatch(tmpl MemOp, now uint64) {
 	if !l.mshr.Allocate() || faultinject.Fires(faultinject.LSUDispatch) {
 		panic("ipu: LSU dispatch without MSHR")
@@ -203,13 +217,18 @@ func (l *LSU) Dispatch(tmpl MemOp, now uint64) {
 	} else {
 		l.stats.Loads++
 	}
+	//aurora:allow(alloc, bounded by the MemOp pool; backing array reaches steady-state capacity)
 	l.ops = append(l.ops, op)
 }
 
 // Busy reports whether any operation is active (for drain detection).
+//
+//aurora:hotpath
 func (l *LSU) Busy() bool { return len(l.ops) > 0 }
 
 // Tick advances the unit one cycle.
+//
+//aurora:hotpath
 func (l *LSU) Tick(now uint64) {
 	l.mshr.TickOccupancy()
 	for _, op := range l.ops {
@@ -236,8 +255,10 @@ func (l *LSU) Tick(now uint64) {
 	live := l.ops[:0]
 	for _, op := range l.ops {
 		if op.state != opDone {
+			//aurora:allow(alloc, compacts into l.ops[:0]; never exceeds the existing backing array)
 			live = append(live, op)
 		} else {
+			//aurora:allow(alloc, free list bounded by the MemOp pool size)
 			l.free = append(l.free, op.poolIdx)
 		}
 	}
@@ -245,6 +266,8 @@ func (l *LSU) Tick(now uint64) {
 }
 
 // access performs the cache-port access for op at cycle now.
+//
+//aurora:hotpath
 func (l *LSU) access(op *MemOp, now uint64) {
 	// Address translation first: a TLB miss delays the access by the
 	// page-table walk without holding the cache port.
@@ -346,6 +369,8 @@ func (l *LSU) LineArrived(arrival uint64, lineAddr uint32, tag uint64) {
 
 // dcFill installs a line in the data cache, salvaging the displaced line
 // into the victim cache when one is configured.
+//
+//aurora:hotpath
 func (l *LSU) dcFill(lineAddr uint32) {
 	if ev, had := l.dc.Fill(lineAddr); had {
 		l.vc.Insert(ev)
@@ -355,6 +380,8 @@ func (l *LSU) dcFill(lineAddr uint32) {
 // fillPort models the data busses being held to fill a cache line —
 // the paper's "LSU stall when the LSU ... is using the data busses to fill
 // the cache".
+//
+//aurora:hotpath
 func (l *LSU) fillPort(now uint64) {
 	busy := now + uint64(l.biu.Config().LineTransfer)
 	if busy > l.portFreeAt {
@@ -364,6 +391,8 @@ func (l *LSU) fillPort(now uint64) {
 }
 
 // finish completes op at cycle t.
+//
+//aurora:hotpath
 func (l *LSU) finish(op *MemOp, t uint64) {
 	op.state = opDone
 	l.mshr.Release()

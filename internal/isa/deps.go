@@ -108,6 +108,8 @@ func DepsOf(in Instruction) Deps {
 // an earlier instruction with deps w writes — the "true instruction
 // dependency" that sets the DI bit in the pre-decoded instruction cache and
 // prohibits dual issue of the pair (paper §2, IFU).
+//
+//aurora:hotpath
 func (d Deps) DependsOn(w Deps) bool {
 	if w.DstInt != 0 {
 		if d.SrcInt[0] == w.DstInt || d.SrcInt[1] == w.DstInt {

@@ -181,6 +181,8 @@ func (c Class) String() string {
 }
 
 // IsMem reports whether the class accesses data memory.
+//
+//aurora:hotpath
 func (c Class) IsMem() bool {
 	switch c {
 	case ClassLoad, ClassStore, ClassFPLoad, ClassFPStore:
@@ -199,6 +201,8 @@ func (c Class) IsFP() bool {
 }
 
 // IsControl reports whether the class redirects instruction fetch.
+//
+//aurora:hotpath
 func (c Class) IsControl() bool { return c == ClassBranch || c == ClassJump }
 
 // opInfo carries the static properties of each operation.

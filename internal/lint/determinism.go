@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// Determinism enforces the property that makes memoized sweep cells
+// byte-identical at any worker count. In the timing-model packages (core,
+// fpu, cache, ipu, mem, prefetch, mmu, trace) it bans wall-clock reads
+// (time.Now and friends) and math/rand entirely — a simulated machine has
+// no business consulting host time or host entropy. In those packages plus
+// the output layers (harness, obs) it bans ranging over a map directly
+// into an io.Writer, CSV row or metric emission: map iteration order is
+// randomized per process, so such a loop produces different bytes on every
+// run. Collect the keys, sort them, and range the sorted slice instead.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "check simulation and output packages for nondeterminism sources",
+	Run:  runDeterminism,
+}
+
+const detTok = "determinism"
+
+// wallClockFuncs are the time-package functions that read the host clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// outputMethods are method names through which a value reaches an
+// io.Writer, a CSV row or a metric/trace sink.
+var outputMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteAll": true, "Encode": true, "Event": true, "Sample": true,
+}
+
+func runDeterminism(pass *analysis.Pass) (interface{}, error) {
+	sim := isSimPackage(pass.Pkg.Path())
+	if !sim && !isOutputPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	w := collectWaivers(pass)
+
+	for _, f := range sourceFiles(pass) {
+		if sim {
+			for _, imp := range f.Imports {
+				path, _ := strconv.Unquote(imp.Path.Value)
+				if path == "math/rand" || path == "math/rand/v2" {
+					report(pass, w, imp.Pos(), detTok,
+						"determinism: math/rand is banned in simulation packages")
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sim {
+					checkWallClock(pass, w, n)
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, w, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkWallClock(pass *analysis.Pass, w waivers, call *ast.CallExpr) {
+	callee := typeutil.StaticCallee(pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	if callee.Pkg().Path() == "time" && wallClockFuncs[callee.Name()] {
+		report(pass, w, call.Pos(), detTok,
+			"determinism: time."+callee.Name()+" reads the host clock in a simulation package")
+	}
+}
+
+func checkMapRange(pass *analysis.Pass, w waivers, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	// The range itself is fine (e.g. summing values); it becomes a
+	// determinism bug only when the iteration order can reach output.
+	var hit ast.Node
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if callee := typeutil.StaticCallee(pass.TypesInfo, call); callee != nil &&
+			callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+			hit = n
+			return false
+		}
+		if pass.TypesInfo.Selections[sel] != nil && outputMethods[sel.Sel.Name] {
+			hit = n
+			return false
+		}
+		return true
+	})
+	if hit != nil {
+		report(pass, w, rng.Pos(), detTok,
+			"determinism: map iteration order reaches output; sort the keys and range the slice")
+	}
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"aurora/internal/lint"
+	"aurora/internal/lint/linttest"
+)
+
+// TestDeterminism covers both sides of the scope gate: det/core (a
+// simulation package by name) seeds wall-clock, math/rand and ordered-map
+// violations; det/util is out of scope and must stay silent despite
+// containing the same constructs.
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, "testdata", lint.Determinism, "det/core", "det/util")
+}

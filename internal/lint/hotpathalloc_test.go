@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"aurora/internal/lint"
+	"aurora/internal/lint/linttest"
+)
+
+// TestHotPathAlloc runs the allocation analyzer over the hot fixtures:
+// hot/dep exports the cross-package isHotPath facts that hot/a consumes,
+// exercising the same fact flow `go vet` threads between packages.
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, "testdata", lint.HotPathAlloc, "hot/dep", "hot/a")
+}

@@ -1,0 +1,315 @@
+// Package linttest is a hermetic analysistest: it runs a go/analysis
+// analyzer over GOPATH-style fixture packages under a testdata directory
+// and checks reported diagnostics against // want "regexp" comments, the
+// same contract as golang.org/x/tools/go/analysis/analysistest.
+//
+// The real analysistest drives go/packages, which shells out to the go
+// command and (transitively) wants the network-backed module machinery;
+// this repository vendors only the analysis core (see third_party/README).
+// linttest instead loads fixtures with go/parser + go/types directly:
+// fixture-local imports resolve to sibling packages under testdata/src,
+// and standard-library imports type-check from GOROOT source via
+// importer.ForCompiler(fset, "source", nil). Analysis facts flow between
+// fixture packages through an in-memory store — dependencies are analyzed
+// before dependents, exactly like a real driver, so cross-package
+// annotation facts (hotpathalloc's isHotPath) are exercised for real.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run analyzes each named fixture package under dir (a GOPATH root: the
+// package path "hot/a" lives in dir/src/hot/a) and checks the analyzer's
+// diagnostics against the // want comments in those packages' files.
+// Fixture dependencies are loaded and analyzed first, without diagnostic
+// checking, so their exported facts are visible.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	if len(a.Requires) > 0 {
+		t.Fatalf("linttest: analyzer %s has Requires, which linttest does not support", a.Name)
+	}
+	l := newLoader(dir)
+	st := newFactStore()
+	for _, path := range pkgPaths {
+		if _, err := l.load(path); err != nil {
+			t.Fatalf("linttest: loading %s: %v", path, err)
+		}
+	}
+	requested := map[string]bool{}
+	for _, p := range pkgPaths {
+		requested[p] = true
+	}
+	// l.order is a dependency postorder: every package appears after its
+	// fixture-local imports.
+	for _, lp := range l.order {
+		diags, err := analyze(a, l.fset, lp, st)
+		if err != nil {
+			t.Fatalf("linttest: analyzing %s: %v", lp.path, err)
+		}
+		if requested[lp.path] {
+			checkDiagnostics(t, l.fset, lp, diags)
+		} else if len(diags) > 0 {
+			t.Errorf("linttest: unexpected diagnostics in dependency %s: %v", lp.path, diags)
+		}
+	}
+}
+
+type loadedPkg struct {
+	path  string
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	gopath string
+	fset   *token.FileSet
+	std    types.Importer
+	cache  map[string]*loadedPkg
+	order  []*loadedPkg
+}
+
+func newLoader(gopath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		gopath: gopath,
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		cache:  map[string]*loadedPkg{},
+	}
+}
+
+// Import implements types.Importer: fixture-local packages load from the
+// testdata GOPATH, everything else defers to the source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.gopath, "src", path); isDir(dir) {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func isDir(p string) bool {
+	fi, err := os.Stat(p)
+	return err == nil && fi.IsDir()
+}
+
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if lp, ok := l.cache[path]; ok {
+		if lp == nil {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return lp, nil
+	}
+	l.cache[path] = nil // cycle marker
+	dir := filepath.Join(l.gopath, "src", path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:        map[ast.Expr]types.TypeAndValue{},
+		Instances:    map[*ast.Ident]types.Instance{},
+		Defs:         map[*ast.Ident]types.Object{},
+		Uses:         map[*ast.Ident]types.Object{},
+		Implicits:    map[ast.Node]types.Object{},
+		Selections:   map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:       map[ast.Node]*types.Scope{},
+		FileVersions: map[*ast.File]string{},
+	}
+	cfg := types.Config{Importer: l}
+	pkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loadedPkg{path: path, pkg: pkg, files: files, info: info}
+	l.cache[path] = lp
+	l.order = append(l.order, lp)
+	return lp, nil
+}
+
+// factStore is the in-memory fact database shared by all packages of one
+// Run: the analogue of the serialized fact files a real driver threads
+// between packages.
+type factStore struct {
+	obj map[types.Object]map[reflect.Type]analysis.Fact
+	pkg map[*types.Package]map[reflect.Type]analysis.Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		obj: map[types.Object]map[reflect.Type]analysis.Fact{},
+		pkg: map[*types.Package]map[reflect.Type]analysis.Fact{},
+	}
+}
+
+func copyFact(dst, src analysis.Fact) bool {
+	if src == nil || reflect.TypeOf(src) != reflect.TypeOf(dst) {
+		return false
+	}
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(src).Elem())
+	return true
+}
+
+func analyze(a *analysis.Analyzer, fset *token.FileSet, lp *loadedPkg, st *factStore) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      lp.files,
+		Pkg:        lp.pkg,
+		TypesInfo:  lp.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   map[*analysis.Analyzer]interface{}{},
+		ReadFile:   os.ReadFile,
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+			return copyFact(fact, st.obj[obj][reflect.TypeOf(fact)])
+		},
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+			m := st.obj[obj]
+			if m == nil {
+				m = map[reflect.Type]analysis.Fact{}
+				st.obj[obj] = m
+			}
+			m[reflect.TypeOf(fact)] = fact
+		},
+		ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+			return copyFact(fact, st.pkg[pkg][reflect.TypeOf(fact)])
+		},
+		ExportPackageFact: func(fact analysis.Fact) {
+			m := st.pkg[lp.pkg]
+			if m == nil {
+				m = map[reflect.Type]analysis.Fact{}
+				st.pkg[lp.pkg] = m
+			}
+			m[reflect.TypeOf(fact)] = fact
+		},
+		AllObjectFacts: func() []analysis.ObjectFact {
+			var out []analysis.ObjectFact
+			for obj, m := range st.obj {
+				for _, f := range m {
+					out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+				}
+			}
+			return out
+		},
+		AllPackageFacts: func() []analysis.PackageFact {
+			var out []analysis.PackageFact
+			for pkg, m := range st.pkg {
+				for _, f := range m {
+					out = append(out, analysis.PackageFact{Package: pkg, Fact: f})
+				}
+			}
+			return out
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var wantArgRE = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+
+type key struct {
+	file string
+	line int
+}
+
+// checkDiagnostics enforces the analysistest contract on one package: each
+// diagnostic must be matched by a want regexp on its line, and each want
+// regexp must be matched by a diagnostic.
+func checkDiagnostics(t *testing.T, fset *token.FileSet, lp *loadedPkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range lp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantArgRE.FindAllString(m[1], -1) {
+					var pat string
+					if q[0] == '`' {
+						pat = q[1 : len(q)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	var leftover []string
+	for k, res := range wants {
+		for _, re := range res {
+			leftover = append(leftover, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, re))
+		}
+	}
+	sort.Strings(leftover)
+	for _, s := range leftover {
+		t.Errorf("%s", s)
+	}
+}

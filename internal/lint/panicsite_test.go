@@ -1,0 +1,139 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aurora/internal/faultinject"
+	"aurora/internal/lint"
+	"aurora/internal/lint/linttest"
+)
+
+// TestPanicSite runs the analyzer over the sim/core fixture, which seeds a
+// properly gated panic, a raw panic, a waived construction-time panic, and
+// a panic nested in control flow under the gate.
+func TestPanicSite(t *testing.T) {
+	linttest.Run(t, "testdata", lint.PanicSite, "sim/core")
+}
+
+// TestPanicSiteInventory cross-checks the real simulator sources against
+// the real injection registry: every Site constant faultinject declares
+// must appear as a faultinject.Fires(faultinject.<Site>) gate somewhere in
+// the simulation packages, and no gate may name an unregistered site. This
+// pins the analyzer's contract to the registry — adding a ninth gated panic
+// without registering its site (or retiring a site but leaving its gate)
+// fails here rather than drifting silently.
+func TestPanicSiteInventory(t *testing.T) {
+	registered := map[string]bool{}
+	for _, s := range faultinject.Sites() {
+		registered[s.String()] = false // value flips to true when a gate is found
+	}
+	if len(registered) != int(faultinject.NumSites) {
+		t.Fatalf("Sites() returned %d sites, want NumSites=%d", len(registered), faultinject.NumSites)
+	}
+
+	// Map each gate's const identifier to its registry name by parsing the
+	// registry source, so the scan below can work in identifiers.
+	constToName := map[string]string{}
+	fset := token.NewFileSet()
+	injSrc := filepath.Join("..", "faultinject", "inject.go")
+	f, err := parser.ParseFile(fset, injSrc, nil, 0)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", injSrc, err)
+	}
+	for i := faultinject.Site(0); i < faultinject.NumSites; i++ {
+		// Recover the const identifier for ordinal i from the declaration
+		// order in the const block.
+		name := constIdentAt(f, int(i))
+		if name == "" {
+			t.Fatalf("no Site const with ordinal %d in %s", i, injSrc)
+		}
+		constToName[name] = i.String()
+	}
+
+	simDirs := []string{"core", "fpu", "cache", "ipu", "mem", "prefetch", "mmu", "trace"}
+	for _, dir := range simDirs {
+		root := filepath.Join("..", dir)
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			continue // package not present in this tree
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			path := filepath.Join(root, e.Name())
+			af, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", path, err)
+			}
+			ast.Inspect(af, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Fires" {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "faultinject" {
+					return true
+				}
+				if len(call.Args) != 1 {
+					t.Errorf("%s: faultinject.Fires with %d args", fset.Position(call.Pos()), len(call.Args))
+					return true
+				}
+				argSel, ok := call.Args[0].(*ast.SelectorExpr)
+				if !ok {
+					t.Errorf("%s: faultinject.Fires argument is not a faultinject.<Site> selector", fset.Position(call.Pos()))
+					return true
+				}
+				name, ok := constToName[argSel.Sel.Name]
+				if !ok {
+					t.Errorf("%s: gate names unregistered site %s", fset.Position(call.Pos()), argSel.Sel.Name)
+					return true
+				}
+				registered[name] = true
+				return true
+			})
+		}
+	}
+
+	for name, seen := range registered {
+		if !seen {
+			t.Errorf("registered site %q has no faultinject.Fires gate in any simulation package", name)
+		}
+	}
+}
+
+// constIdentAt returns the identifier of the Site const with the given
+// iota ordinal, skipping the NumSites sentinel.
+func constIdentAt(f *ast.File, ordinal int) string {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		idx := 0
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for _, name := range vs.Names {
+				if name.Name == "NumSites" {
+					continue
+				}
+				if idx == ordinal {
+					return name.Name
+				}
+				idx++
+			}
+		}
+		// Only the first const block in inject.go declares sites.
+		break
+	}
+	return ""
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// ProbeGuard enforces the disabled-probe cost contract from the
+// observability layer: every obs.Probe method call outside package obs
+// must sit behind the nil-guard idiom — `if p != nil { p.Instant(...) }` —
+// so that the call's arguments (category strings, track names, computed
+// payloads) are never even built when observability is off. Probe methods
+// nil-check their receivers internally, so an unguarded call is correct
+// but silently re-introduces argument-construction cost on the 3ns/0-alloc
+// disabled path. Recognized guard shapes, matched on the receiver
+// expression's exact text:
+//
+//	if p != nil { ... p.M(...) ... }
+//	if p == nil { ... } else { ... p.M(...) ... }
+//	if p.Enabled() { ... p.M(...) ... }
+//	if p == nil { return }   // earlier in any enclosing block
+//
+// Enabled itself is exempt: it is the guard.
+var ProbeGuard = &analysis.Analyzer{
+	Name: "probeguard",
+	Doc:  "check that obs.Probe calls sit behind the nil-guard idiom",
+	Run:  runProbeGuard,
+}
+
+const probeTok = "probe"
+
+func runProbeGuard(pass *analysis.Pass) (interface{}, error) {
+	if lastSeg(pass.Pkg.Path()) == "obs" {
+		return nil, nil // the implementation guards its own receivers
+	}
+	w := collectWaivers(pass)
+
+	for _, f := range sourceFiles(pass) {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !isProbeRecv(pass, sel.X) || sel.Sel.Name == "Enabled" {
+				return
+			}
+			recv := types.ExprString(sel.X)
+			if !probeGuarded(pass, recv, n, stack) {
+				report(pass, w, call.Pos(), probeTok,
+					"probeguard: obs.Probe call is not behind an `if "+recv+" != nil` guard")
+			}
+		})
+	}
+	return nil, nil
+}
+
+// isProbeRecv reports whether e has type *obs.Probe.
+func isProbeRecv(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Probe" && obj.Pkg() != nil && lastSeg(obj.Pkg().Path()) == "obs"
+}
+
+// probeGuarded walks the ancestor chain looking for a guard that dominates
+// the call.
+func probeGuarded(pass *analysis.Pass, recv string, n ast.Node, stack []ast.Node) bool {
+	for i, anc := range stack {
+		var child ast.Node = n
+		if i+1 < len(stack) {
+			child = stack[i+1]
+		}
+		switch anc := anc.(type) {
+		case *ast.IfStmt:
+			if child == ast.Node(anc.Body) && condGuards(recv, anc.Cond, token.NEQ) {
+				return true
+			}
+			if anc.Else != nil && child == anc.Else && condGuards(recv, anc.Cond, token.EQL) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// A preceding `if recv == nil { return }` guard clause
+			// dominates everything after it in the block.
+			for _, stmt := range anc.List {
+				if stmt == child {
+					break
+				}
+				if guardClause(recv, stmt) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// condGuards reports whether cond contains `recv <op> nil` (op NEQ or EQL)
+// or, for NEQ, the equivalent `recv.Enabled()`.
+func condGuards(recv string, cond ast.Expr, op token.Token) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == op && (nilCheckMatches(recv, n.X, n.Y) || nilCheckMatches(recv, n.Y, n.X)) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if op != token.NEQ {
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok &&
+				sel.Sel.Name == "Enabled" && types.ExprString(sel.X) == recv {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func nilCheckMatches(recv string, x, y ast.Expr) bool {
+	id, ok := ast.Unparen(y).(*ast.Ident)
+	return ok && id.Name == "nil" && types.ExprString(x) == recv
+}
+
+// guardClause reports whether stmt is `if recv == nil { <terminal> }`,
+// where the body's last statement leaves the enclosing block.
+func guardClause(recv string, stmt ast.Stmt) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Else != nil || len(ifs.Body.List) == 0 {
+		return false
+	}
+	if !condGuards(recv, ifs.Cond, token.EQL) {
+		return false
+	}
+	switch last := ifs.Body.List[len(ifs.Body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.BREAK || last.Tok == token.CONTINUE || last.Tok == token.GOTO
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"aurora/internal/lint"
+	"aurora/internal/lint/linttest"
+)
+
+// TestProbeGuard exercises every guard shape the analyzer recognizes
+// (enclosing != nil, conjunctions, else-of-==-nil, Enabled() conditions,
+// dominating guard clauses, waivers) against a fixture obs package that the
+// analyzer itself must skip.
+func TestProbeGuard(t *testing.T) {
+	linttest.Run(t, "testdata", lint.ProbeGuard, "probes")
+}

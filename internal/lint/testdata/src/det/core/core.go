@@ -1,0 +1,61 @@
+// Package core (a simulation package by name) seeds the determinism
+// violations: wall-clock reads, math/rand, and a map range that reaches
+// an io.Writer.
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand" // want `math/rand is banned in simulation packages`
+	"sort"
+	"time"
+)
+
+func tick() uint64 {
+	t := time.Now()    // want `time.Now reads the host clock`
+	d := time.Since(t) // want `time.Since reads the host clock`
+	_ = rand.Int()
+	return uint64(d)
+}
+
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches output`
+		fmt.Fprintf(w, "%s %d\n", k, v)
+	}
+}
+
+func dumpWrites(w io.Writer, m map[string]int) {
+	for k := range m { // want `map iteration order reaches output`
+		w.Write([]byte(k))
+	}
+}
+
+// dumpSorted is the compliant idiom: collect, sort, then range the slice.
+func dumpSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %d\n", k, m[k])
+	}
+}
+
+// sum never lets the iteration order escape; order-independent folds are
+// fine.
+func sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// waived demonstrates the escape hatch.
+func waived(w io.Writer, m map[string]int) {
+	//aurora:allow(determinism, fixture: single-entry map)
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}

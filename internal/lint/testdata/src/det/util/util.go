@@ -1,0 +1,18 @@
+// Package util is outside the determinism scope (neither a simulation nor
+// an output package), so its wall-clock read and raw map print draw no
+// diagnostics.
+package util
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+func Stamp() int64 { return time.Now().Unix() }
+
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s %d\n", k, v)
+	}
+}

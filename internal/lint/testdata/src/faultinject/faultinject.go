@@ -1,0 +1,15 @@
+// Package faultinject mirrors the real injection registry's API shape for
+// the panicsite fixture.
+package faultinject
+
+// Site enumerates guarded invariant-panic sites.
+type Site uint8
+
+// Fixture sites.
+const (
+	ROBOverflow Site = iota
+	QueueFull
+)
+
+// Fires reports whether the site is armed.
+func Fires(s Site) bool { return false }

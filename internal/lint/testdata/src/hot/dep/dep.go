@@ -1,0 +1,11 @@
+// Package dep is a fixture dependency: its annotation facts must be
+// visible to the dependent package hot/a.
+package dep
+
+// Fast is annotated, so hot-path callers in other packages may use it.
+//
+//aurora:hotpath
+func Fast(x int) int { return x + 1 }
+
+// Slow is not annotated; hot-path callers must not use it.
+func Slow(x int) int { return x * 2 }

@@ -1,0 +1,29 @@
+// Package obs mirrors the real observability probe's API shape for the
+// probeguard fixture. The analyzer skips packages named obs, so the
+// receiver nil checks here draw no diagnostics.
+package obs
+
+// Probe is the nil-guarded telemetry fast path.
+type Probe struct {
+	sink  func(uint64)
+	clock *uint64
+}
+
+// Enabled reports whether the probe delivers anywhere.
+func (p *Probe) Enabled() bool { return p != nil }
+
+// Instant emits a point event.
+func (p *Probe) Instant(cat, name string, v uint64) {
+	if p == nil {
+		return
+	}
+	p.sink(v)
+}
+
+// Counter emits a counter update.
+func (p *Probe) Counter(name string, v uint64) {
+	if p == nil {
+		return
+	}
+	p.sink(v)
+}

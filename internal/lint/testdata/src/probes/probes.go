@@ -1,0 +1,44 @@
+// Package probes exercises every guard shape probeguard recognizes, plus
+// the unguarded violations.
+package probes
+
+import "obs"
+
+type unit struct {
+	probe *obs.Probe
+	n     uint64
+}
+
+func (u *unit) tick(now uint64) {
+	u.probe.Counter("early", now) // want `obs.Probe call is not behind an .if u.probe != nil. guard`
+	if u.probe != nil {
+		u.probe.Instant("a", "guarded", now) // compliant: enclosing != nil
+	}
+	if u.probe != nil && now > 0 {
+		u.probe.Counter("b", now) // compliant: conjunction still guards
+	}
+	if u.probe == nil {
+		u.n++
+	} else {
+		u.probe.Counter("c", now) // compliant: else of == nil
+	}
+	if u.probe.Enabled() {
+		u.probe.Instant("d", "enabled", now) // compliant: Enabled is the guard
+	}
+	_ = u.probe.Enabled() // compliant: Enabled itself is exempt
+}
+
+func (u *unit) flush(now uint64) {
+	if u.probe == nil {
+		return
+	}
+	u.probe.Counter("e", now) // compliant: dominated by the guard clause
+}
+
+func (u *unit) mixed(other *obs.Probe, now uint64) {
+	if u.probe != nil {
+		other.Counter("f", now) // want `obs.Probe call is not behind an .if other != nil. guard`
+	}
+	//aurora:allow(probe, fixture: waiver)
+	other.Counter("g", now)
+}

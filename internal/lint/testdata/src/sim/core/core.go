@@ -1,0 +1,45 @@
+// Package core (a simulation package by name) seeds gated, raw and waived
+// panic sites for the panicsite analyzer.
+package core
+
+import "faultinject"
+
+type rob struct{ used, size int }
+
+// alloc panics behind the registered gating pattern: compliant.
+func (r *rob) alloc() int {
+	if r.used >= r.size || faultinject.Fires(faultinject.ROBOverflow) {
+		panic("core: ROB overflow")
+	}
+	r.used++
+	return r.used - 1
+}
+
+// release panics raw: a fault the recovery sweep could never exercise.
+func (r *rob) release() {
+	if r.used == 0 {
+		panic("core: release without alloc") // want `panic is not faultinject-gated`
+	}
+	r.used--
+}
+
+// newROB demonstrates the construction-time waiver.
+func newROB(size int) *rob {
+	if size <= 0 {
+		//aurora:allow(panic, fixture: construction-time validation)
+		panic("core: bad size")
+	}
+	return &rob{size: size}
+}
+
+// deepGate nests the panic inside further control flow under the gated if;
+// still compliant.
+func (r *rob) deepGate(n int) {
+	if r.used+n > r.size || faultinject.Fires(faultinject.QueueFull) {
+		for i := 0; i < n; i++ {
+			if i == 0 {
+				panic("core: queue full")
+			}
+		}
+	}
+}

@@ -96,12 +96,18 @@ func New(cfg Config) *BIU {
 }
 
 // Config returns the active configuration.
+//
+//aurora:hotpath
 func (b *BIU) Config() Config { return b.cfg }
 
 // Stats returns a copy of the accumulated statistics.
+//
+//aurora:hotpath
 func (b *BIU) Stats() Stats { return b.stats }
 
 // CanAccept reports whether a new read transaction can be buffered.
+//
+//aurora:hotpath
 func (b *BIU) CanAccept() bool { return len(b.inflight) < b.cfg.MaxOutstanding }
 
 // Busy reports whether the data bus is occupied at the given cycle.
@@ -123,6 +129,8 @@ func (b *BIU) OutstandingReads() int { return len(b.inflight) }
 // has fully arrived. The returned cycle is the (deterministic) completion
 // time; ok is false (and nothing happens) when the transaction buffers are
 // full.
+//
+//aurora:hotpath
 func (b *BIU) Read(now uint64, lineAddr uint32, client ReadClient, tag uint64) (completeAt uint64, ok bool) {
 	if !b.CanAccept() {
 		return 0, false
@@ -156,6 +164,8 @@ func (b *BIU) Read(now uint64, lineAddr uint32, client ReadClient, tag uint64) (
 
 // Write starts a line-write transaction (write-cache eviction). Writes are
 // fire-and-forget: they consume bus bandwidth but nothing waits on them.
+//
+//aurora:hotpath
 func (b *BIU) Write(now uint64) {
 	start := now
 	if b.busFreeAt > start {
@@ -169,8 +179,10 @@ func (b *BIU) Write(now uint64) {
 	}
 }
 
+//aurora:hotpath
 func (b *BIU) insert(p pending) {
 	i := len(b.inflight)
+	//aurora:allow(alloc, bounded by outstanding BIU transactions; reaches steady-state capacity)
 	b.inflight = append(b.inflight, p)
 	for i > 0 && b.inflight[i-1].doneAt > p.doneAt {
 		b.inflight[i] = b.inflight[i-1]
@@ -181,6 +193,8 @@ func (b *BIU) insert(p pending) {
 
 // Tick fires the completion callbacks of all reads that have finished by
 // cycle now. Call once per cycle before the consumers tick.
+//
+//aurora:hotpath
 func (b *BIU) Tick(now uint64) {
 	n := 0
 	for n < len(b.inflight) && b.inflight[n].doneAt <= now {
@@ -192,6 +206,7 @@ func (b *BIU) Tick(now uint64) {
 	// Move the completed batch aside before firing notifications, so a
 	// client issuing a new read from LineArrived cannot disturb the walk.
 	// The scratch slice is reused every cycle (no per-tick allocation).
+	//aurora:allow(alloc, scratch slice reused every cycle; reaches steady-state capacity)
 	b.scratch = append(b.scratch[:0], b.inflight[:n]...)
 	b.inflight = b.inflight[:copy(b.inflight, b.inflight[n:])]
 	if b.probe != nil {

@@ -197,6 +197,8 @@ func (p *Probe) Now() uint64 {
 }
 
 // Instant emits a point-in-time event on a track.
+//
+//aurora:hotpath
 func (p *Probe) Instant(cat, name, track string, arg uint64) {
 	if p == nil {
 		return
@@ -205,6 +207,8 @@ func (p *Probe) Instant(cat, name, track string, arg uint64) {
 }
 
 // Span emits a complete event starting now and lasting dur cycles.
+//
+//aurora:hotpath
 func (p *Probe) Span(dur uint64, cat, name, track string, arg uint64) {
 	if p == nil {
 		return
@@ -214,6 +218,8 @@ func (p *Probe) Span(dur uint64, cat, name, track string, arg uint64) {
 
 // SpanAt emits a complete event with an explicit start cycle (for spans
 // whose start is computed, e.g. a bus transfer queued behind the bus).
+//
+//aurora:hotpath
 func (p *Probe) SpanAt(start, dur uint64, cat, name, track string, arg uint64) {
 	if p == nil {
 		return
@@ -222,6 +228,8 @@ func (p *Probe) SpanAt(start, dur uint64, cat, name, track string, arg uint64) {
 }
 
 // Counter emits a counter-series update (occupancy tracks).
+//
+//aurora:hotpath
 func (p *Probe) Counter(cat, name string, v uint64) {
 	if p == nil {
 		return
@@ -230,6 +238,8 @@ func (p *Probe) Counter(cat, name string, v uint64) {
 }
 
 // Sample emits one time-series point stamped with the current cycle.
+//
+//aurora:hotpath
 func (p *Probe) Sample(name string, kind MetricKind, v float64) {
 	if p == nil {
 		return

@@ -116,6 +116,8 @@ func (p *Buffers) Enabled() bool { return p.enabled }
 // On Present, the line is consumed (transferred toward the primary cache)
 // and the owning buffer escalates its fetch-ahead. On Pending, readyAt is
 // the cycle the line will have arrived, and the slot is consumed as of then.
+//
+//aurora:hotpath
 func (p *Buffers) Probe(now uint64, lineAddr uint32) (ProbeResult, uint64) {
 	if !p.enabled {
 		return Miss, 0
@@ -173,6 +175,8 @@ func (p *Buffers) Probe(now uint64, lineAddr uint32) (ProbeResult, uint64) {
 // AllocateOnMiss resets the LRU buffer to stream from the line after missAddr.
 // Following the paper, the new buffer fetches a single line immediately
 // (via Tick) and does not run ahead until it sees a hit.
+//
+//aurora:hotpath
 func (p *Buffers) AllocateOnMiss(now uint64, missLineAddr uint32) {
 	if !p.enabled {
 		return
@@ -211,6 +215,8 @@ func (p *Buffers) AllocateOnMiss(now uint64, missLineAddr uint32) {
 
 // Tick issues at most one prefetch request per cycle, using spare bus
 // bandwidth only. Call once per cycle.
+//
+//aurora:hotpath
 func (p *Buffers) Tick(now uint64, f Fetcher) {
 	if !p.enabled || !f.SpareForPrefetch() || !f.CanAccept() {
 		return
@@ -256,6 +262,7 @@ func (p *Buffers) Tick(now uint64, f Fetcher) {
 	}
 }
 
+//aurora:hotpath
 func (p *Buffers) wantsFetch(b *buffer) bool {
 	if b.escalate {
 		return b.used < len(b.slots)
@@ -266,6 +273,8 @@ func (p *Buffers) wantsFetch(b *buffer) bool {
 // fillTag packs the target (buffer, slot, generation) of an in-flight
 // prefetch into the BIU read tag: the generation guards against the buffer
 // being reallocated while the line was in flight.
+//
+//aurora:hotpath
 func fillTag(buf, slot int, gen uint64) uint64 {
 	return uint64(buf) | uint64(slot)<<8 | gen<<16
 }
