@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race faults bench bench-smoke golden fuzz fmt lint
+.PHONY: all build test tier1 race faults bench bench-smoke golden fuzz fmt lint store-coherence serve-smoke
 
 all: build test
 
@@ -50,6 +50,17 @@ bench-smoke:
 	$(GO) test -run TestCycleLoopZeroAlloc -count=1 .
 	$(GO) test -run '^$$' -bench BenchmarkCycleLoop -benchtime 20000x .
 	$(GO) test -run '^$$' -bench 'BenchmarkNilProbe|BenchmarkEnabledProbe' -benchtime 20000x ./internal/obs/
+
+# store-coherence runs the full experiment batch twice in fresh processes
+# sharing one result store: the second run must simulate nothing and emit
+# byte-identical stdout and CSV artifacts (see docs/STORE.md).
+store-coherence:
+	sh scripts/store-coherence.sh
+
+# serve-smoke boots the aurora-serve daemon against a fresh store, submits
+# a sweep twice over HTTP and checks the second is answered from cache.
+serve-smoke:
+	sh scripts/serve-smoke.sh
 
 golden:
 	$(GO) test -run 'TestGolden' -count=1 .

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"aurora/internal/harness"
+	"aurora/internal/resultstore"
 )
 
 // resolveOptions overlays the flags the user explicitly passed (per set)
@@ -65,6 +66,9 @@ func run() int {
 		traceCycles     = flag.Uint64("trace-cycles", 50000, "trace window length in cycles (from cycle 0) for -trace-out")
 		pprofAddr       = flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 
+		storeDir      = flag.String("store", "", "persistent result store directory: completed cells are reused across processes")
+		storeReadOnly = flag.Bool("store-readonly", false, "serve store hits but never write new entries")
+
 		failFast   = flag.Bool("failfast", false, "abort on the first job fault instead of rendering partial tables with faulted cells marked")
 		jobTimeout = flag.Duration("job-timeout", 0, "wall-clock limit per simulation job (0 = none); an expired job faults, the sweep continues")
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0 = none); SIGINT also stops it cleanly")
@@ -88,6 +92,21 @@ func run() int {
 
 	runner := harness.NewRunner(*workers)
 	runner.JobTimeout = *jobTimeout
+	var store *resultstore.Store
+	if *storeDir != "" {
+		var err error
+		if *storeReadOnly {
+			store, err = resultstore.OpenReadOnly(*storeDir)
+		} else {
+			store, err = resultstore.Open(*storeDir)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aurora-experiments: store:", err)
+			return 1
+		}
+		runner.Store = store
+		runner.StoreReadOnly = store.ReadOnly()
+	}
 	if *pprofAddr != "" {
 		addr, err := harness.ServeDebug(*pprofAddr, runner)
 		if err != nil {
@@ -159,8 +178,13 @@ func run() int {
 		}
 	}
 	st := runner.Stats()
-	fmt.Printf("\nregenerated all tables and figures in %s (%d workers; %d simulations, %d memo hits)\n",
-		time.Since(start).Round(time.Second), runner.Workers(), st.Misses, st.Hits)
+	if store != nil {
+		fmt.Printf("\nregenerated all tables and figures in %s (%d workers; %d simulated, %d store hits, %d memo hits)\n",
+			time.Since(start).Round(time.Second), runner.Workers(), st.Simulated, st.StoreHits, st.Hits)
+	} else {
+		fmt.Printf("\nregenerated all tables and figures in %s (%d workers; %d simulations, %d memo hits)\n",
+			time.Since(start).Round(time.Second), runner.Workers(), st.Misses, st.Hits)
+	}
 	return exit
 }
 

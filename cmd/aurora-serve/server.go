@@ -1,0 +1,389 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"aurora/internal/core"
+	"aurora/internal/harness"
+	"aurora/internal/resultstore"
+	"aurora/internal/simfault"
+	"aurora/internal/workloads"
+)
+
+// server is the aurora-serve request surface: one shared Runner (worker
+// pool + memo table) optionally backed by one shared result store, so
+// every request — sweep submission or figure fetch — resolves memory →
+// disk → simulate. Under heavy repeated traffic almost everything becomes
+// a store or memo hit, which is the point.
+type server struct {
+	runner *harness.Runner
+	store  *resultstore.Store // nil when serving without persistence
+
+	// defaultBudget bounds a sweep cell whose submission leaves the
+	// budget unset; figure endpoints use figureOpts wholesale.
+	defaultBudget uint64
+	figureOpts    harness.Options
+}
+
+func newServer(runner *harness.Runner, store *resultstore.Store, defaultBudget uint64, figureOpts harness.Options) *server {
+	return &server{
+		runner:        runner,
+		store:         store,
+		defaultBudget: defaultBudget,
+		figureOpts:    figureOpts,
+	}
+}
+
+// handler builds the API mux. The debug surface (pprof/expvar) is not
+// mounted here — harness.ServeDebug owns the default mux for that.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/figures/", s.handleFigure)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	h := map[string]any{
+		"status":       "ok",
+		"code_version": resultstore.CodeVersion(),
+		"workers":      s.runner.Workers(),
+	}
+	if s.store != nil {
+		h["store"] = s.store.Dir()
+		h["store_read_only"] = s.store.ReadOnly()
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := map[string]any{"runner": s.runner.Stats()}
+	if s.store != nil {
+		st["store"] = s.store.Stats()
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// modelNames are the resolvable machine models, in the paper's order.
+var modelNames = []string{"small", "baseline", "large", "pointE"}
+
+func (s *server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": modelNames})
+}
+
+func (s *server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": workloads.Names()})
+}
+
+// sweepRequest is one submission: the cross product models × workloads at
+// one budget. Empty models selects the paper's Table 1 models; empty
+// workloads selects the integer suite.
+type sweepRequest struct {
+	Models    []string `json:"models"`
+	Workloads []string `json:"workloads"`
+	Budget    uint64   `json:"budget"`
+	Scheduled bool     `json:"scheduled"`
+}
+
+// sweepCell is one streamed result line. Healthy cells carry the headline
+// numbers; faulted cells reuse the keep-going wire shape partial tables
+// print — FAULT(subsystem@cycle) plus the coordinates. Errors that are not
+// typed faults (VM faults, cancellation) render as a plain error string.
+type sweepCell struct {
+	Model        string     `json:"model"`
+	Workload     string     `json:"workload"`
+	Budget       uint64     `json:"budget"`
+	Scheduled    bool       `json:"scheduled,omitempty"`
+	CPI          float64    `json:"cpi,omitempty"`
+	Instructions uint64     `json:"instructions,omitempty"`
+	Cycles       uint64     `json:"cycles,omitempty"`
+	Fault        *wireFault `json:"fault,omitempty"`
+	Error        string     `json:"error,omitempty"`
+}
+
+// wireFault is the PR 4 fault-cell shape: subsystem, simulated cycle, and
+// the compact cell annotation.
+type wireFault struct {
+	Subsystem string `json:"subsystem"`
+	Cycle     uint64 `json:"cycle"`
+	Cell      string `json:"cell"`
+}
+
+// sweepSummary terminates the stream.
+type sweepSummary struct {
+	Done    bool `json:"done"`
+	Cells   int  `json:"cells"`
+	Faulted int  `json:"faulted"`
+	Errors  int  `json:"errors"`
+}
+
+// resolveSweep validates a submission against the model and workload
+// registries before any job is scheduled.
+func resolveSweep(req *sweepRequest, defaultBudget uint64) ([]core.Config, []*workloads.Workload, error) {
+	if len(req.Models) == 0 {
+		req.Models = []string{"small", "baseline", "large"}
+	}
+	cfgs := make([]core.Config, 0, len(req.Models))
+	for _, name := range req.Models {
+		cfg, err := modelByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	var ws []*workloads.Workload
+	if len(req.Workloads) == 0 {
+		ws = workloads.Integer()
+	} else {
+		for _, name := range req.Workloads {
+			w, err := workloads.Get(name)
+			if err != nil {
+				return nil, nil, err
+			}
+			ws = append(ws, w)
+		}
+	}
+	if req.Budget == 0 {
+		req.Budget = defaultBudget
+	}
+	return cfgs, ws, nil
+}
+
+// modelByName mirrors the aurorasim model registry (the root package's
+// ModelByName) without pulling the whole public API into the daemon.
+func modelByName(name string) (core.Config, error) {
+	switch name {
+	case "small":
+		return core.Small(), nil
+	case "baseline", "base":
+		return core.Baseline(), nil
+	case "large":
+		return core.Large(), nil
+	case "pointE", "pointe", "e":
+		return core.RecommendedE(), nil
+	}
+	return core.Config{}, fmt.Errorf("unknown model %q (%s)", name, strings.Join(modelNames, ", "))
+}
+
+// handleSweep runs the submitted grid on the shared runner and streams one
+// NDJSON line per cell as it lands, then a summary line. Cells arrive in
+// completion order — each line is self-describing — while the results
+// themselves are deterministic: any cell's content is a pure function of
+// its key, whatever order the pool schedules.
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a sweep submission")
+		return
+	}
+	var req sweepRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad submission: %v", err)
+		return
+	}
+	cfgs, ws, err := resolveSweep(&req, s.defaultBudget)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	type job struct {
+		cfg core.Config
+		wl  *workloads.Workload
+	}
+	jobs := make([]job, 0, len(cfgs)*len(ws))
+	for _, cfg := range cfgs {
+		for _, wl := range ws {
+			jobs = append(jobs, job{cfg, wl})
+		}
+	}
+
+	// One goroutine per cell: the runner's semaphore bounds actual
+	// simulation, and the store/memo answer most cells without a slot.
+	cells := make(chan sweepCell)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			opts := harness.Options{Budget: req.Budget, Scheduled: req.Scheduled}
+			rep, err := s.runner.Run(r.Context(), j.cfg, j.wl, opts)
+			cell := sweepCell{
+				Model:     j.cfg.Name,
+				Workload:  j.wl.Name,
+				Budget:    req.Budget,
+				Scheduled: req.Scheduled,
+			}
+			var f *simfault.Fault
+			switch {
+			case errors.As(err, &f):
+				cell.Fault = &wireFault{Subsystem: f.Subsystem, Cycle: f.Cycle, Cell: f.Cell()}
+			case err != nil:
+				cell.Error = err.Error()
+			default:
+				cell.CPI = rep.CPI()
+				cell.Instructions = rep.Instructions
+				cell.Cycles = rep.Cycles
+			}
+			select {
+			case cells <- cell:
+			case <-r.Context().Done():
+			}
+		}(j)
+	}
+	go func() {
+		wg.Wait()
+		close(cells)
+	}()
+
+	enc := json.NewEncoder(w)
+	sum := sweepSummary{Done: true}
+	for cell := range cells {
+		sum.Cells++
+		if cell.Fault != nil {
+			sum.Faulted++
+		}
+		if cell.Error != "" {
+			sum.Errors++
+		}
+		if enc.Encode(cell) != nil {
+			return // client hung up; jobs drain via r.Context()
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc.Encode(sum) //nolint:errcheck // stream end; client may be gone
+}
+
+// figureRenderers maps the figure endpoint names to the harness artifacts.
+// Each renders through the shared runner, so a warmed store serves every
+// one of these instantly.
+var figureRenderers = map[string]func(context.Context, io.Writer, *harness.Runner, harness.Options) error{
+	"fig4": func(ctx context.Context, w io.Writer, r *harness.Runner, o harness.Options) error {
+		pts, err := harness.Fig4(ctx, r, o)
+		if err == nil {
+			harness.PrintFig4(w, pts)
+		}
+		return err
+	},
+	"fig5": func(ctx context.Context, w io.Writer, r *harness.Runner, o harness.Options) error {
+		pts, err := harness.Fig5(ctx, r, o)
+		if err == nil {
+			harness.PrintFig5(w, pts)
+		}
+		return err
+	},
+	"fig6": func(ctx context.Context, w io.Writer, r *harness.Runner, o harness.Options) error {
+		rows, err := harness.Fig6(ctx, r, o)
+		if err == nil {
+			harness.PrintFig6(w, rows)
+		}
+		return err
+	},
+	"fig7": func(ctx context.Context, w io.Writer, r *harness.Runner, o harness.Options) error {
+		pts, err := harness.Fig7(ctx, r, o)
+		if err == nil {
+			harness.PrintFig7(w, pts)
+		}
+		return err
+	},
+	"fig8": func(ctx context.Context, w io.Writer, r *harness.Runner, o harness.Options) error {
+		pts, err := harness.Fig8(ctx, r, o)
+		if err == nil {
+			harness.PrintFig8(w, pts)
+		}
+		return err
+	},
+	"table3": func(ctx context.Context, w io.Writer, r *harness.Runner, o harness.Options) error {
+		t, err := harness.Table3(ctx, r, o)
+		if err == nil {
+			harness.PrintRateTable(w, t)
+		}
+		return err
+	},
+	"table4": func(ctx context.Context, w io.Writer, r *harness.Runner, o harness.Options) error {
+		t, err := harness.Table4(ctx, r, o)
+		if err == nil {
+			harness.PrintRateTable(w, t)
+		}
+		return err
+	},
+	"table5": func(ctx context.Context, w io.Writer, r *harness.Runner, o harness.Options) error {
+		t, err := harness.Table5(ctx, r, o)
+		if err == nil {
+			harness.PrintRateTable(w, t)
+		}
+		return err
+	},
+	"table6": func(ctx context.Context, w io.Writer, r *harness.Runner, o harness.Options) error {
+		rows, err := harness.Table6(ctx, r, o)
+		if err == nil {
+			harness.PrintTable6(w, rows)
+		}
+		return err
+	},
+	"traffic": func(ctx context.Context, w io.Writer, r *harness.Runner, o harness.Options) error {
+		ratios, err := harness.WriteTraffic(ctx, r, o)
+		if err == nil {
+			harness.PrintWriteTraffic(w, ratios)
+		}
+		return err
+	},
+}
+
+// handleFigure renders one named artifact as text. The render assembles
+// its cells in input order, so — unlike the sweep stream — the body is
+// byte-identical on every request, hot or cold.
+func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/v1/figures/")
+	render, ok := figureRenderers[name]
+	if !ok {
+		names := make([]string, 0, len(figureRenderers))
+		for n := range figureRenderers {
+			names = append(names, n)
+		}
+		sortStrings(names)
+		httpError(w, http.StatusNotFound, "unknown figure %q (%s)", name, strings.Join(names, ", "))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := render(r.Context(), w, s.runner, s.figureOpts); err != nil {
+		// Headers are gone; append the error to the body.
+		fmt.Fprintf(w, "\nerror: %v\n", err)
+	}
+}
+
+// sortStrings is sort.Strings without dragging package sort into the
+// request path for one error message.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

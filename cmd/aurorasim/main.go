@@ -17,7 +17,9 @@ import (
 	"strings"
 
 	"aurora"
+	"aurora/internal/harness"
 	"aurora/internal/obs"
+	"aurora/internal/resultstore"
 )
 
 // main delegates to run so every exit path unwinds through the same
@@ -42,6 +44,9 @@ func run() int {
 		precise  = flag.Bool("precise", false, "FPU precise-exception mode (§3.1)")
 		withMMU  = flag.Bool("mmu", false, "enable the structured MMU model (extension)")
 		nofold   = flag.Bool("nofold", false, "disable branch folding (ablation)")
+
+		storeDir      = flag.String("store", "", "persistent result store directory: a prior run of this exact configuration is answered from disk (skipping -metrics-out/-trace-out capture)")
+		storeReadOnly = flag.Bool("store-readonly", false, "serve store hits but never write new entries")
 
 		metricsOut      = flag.String("metrics-out", "", "write a per-interval metrics time series (CSV, or JSONL with a .jsonl suffix)")
 		metricsInterval = flag.Uint64("metrics-interval", 10000, "sampling interval in cycles for -metrics-out")
@@ -133,7 +138,34 @@ func run() int {
 		sinks = append(sinks, tracer)
 	}
 
-	rep, err := aurora.RunObservedContext(ctx, cfg, w, *instr, obs.Multi(sinks...))
+	var rep *aurora.Report
+	if *storeDir != "" {
+		// With a store, the run goes through the harness runner so the
+		// result key (config fingerprint, workload, effective budget)
+		// matches what aurora-experiments and aurora-serve persist: a
+		// cell simulated by any of the three is a disk hit for the rest.
+		var store *resultstore.Store
+		if *storeReadOnly {
+			store, err = resultstore.OpenReadOnly(*storeDir)
+		} else {
+			store, err = resultstore.Open(*storeDir)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		runner := harness.NewRunner(1)
+		runner.Store = store
+		runner.StoreReadOnly = store.ReadOnly()
+		if len(sinks) > 0 {
+			runner.Observe = func(harness.JobInfo) obs.Sink { return obs.Multi(sinks...) }
+		}
+		rep, err = runner.Run(ctx, cfg, w, harness.Options{Budget: *instr})
+		if st := runner.Stats(); st.StoreHits > 0 {
+			fmt.Fprintf(os.Stderr, "aurorasim: result served from store %s\n", store.Dir())
+		}
+	} else {
+		rep, err = aurora.RunObservedContext(ctx, cfg, w, *instr, obs.Multi(sinks...))
+	}
 	exit := 0
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aurorasim:", err)

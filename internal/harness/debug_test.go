@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"aurora/internal/core"
+)
+
+// debugRunnerVars fetches /debug/vars from addr and returns the published
+// aurora_runner object.
+func debugRunnerVars(t *testing.T, addr string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Runner map[string]any `json:"aurora_runner"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Runner == nil {
+		t.Fatal("/debug/vars has no aurora_runner key")
+	}
+	return vars.Runner
+}
+
+// TestServeDebugTracksCurrentRunner is the regression test for the stale
+// sync.Once publication: the expvar surface used to capture the first
+// runner ever passed, so a second ServeDebug call with a different runner
+// silently published the old runner's statistics forever.
+func TestServeDebugTracksCurrentRunner(t *testing.T) {
+	first := NewRunner(1)
+	if _, err := first.Run(context.Background(), core.Baseline(), tinyWorkload("debug-first"), Options{Budget: 500}); err != nil {
+		t.Fatal(err)
+	}
+	addr1, err := ServeDebug("127.0.0.1:0", first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := debugRunnerVars(t, addr1)
+	if got["misses"] != float64(1) || got["workers"] != float64(1) {
+		t.Fatalf("first runner published %v, want 1 miss on 1 worker", got)
+	}
+
+	second := NewRunner(3)
+	addr2, err := ServeDebug("127.0.0.1:0", second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both servers share the process-wide expvar surface; each must now
+	// report the second (current) runner.
+	for _, addr := range []string{addr1, addr2} {
+		got := debugRunnerVars(t, addr)
+		if got["workers"] != float64(3) || got["misses"] != float64(0) {
+			t.Errorf("after the second ServeDebug, %s published %v, want the fresh 3-worker runner", addr, got)
+		}
+	}
+
+	// The published pointer follows the live counters, not a snapshot.
+	if _, err := second.Run(context.Background(), core.Baseline(), tinyWorkload("debug-second"), Options{Budget: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if got := debugRunnerVars(t, addr2); got["misses"] != float64(1) || got["simulated"] != float64(1) {
+		t.Errorf("live counters not reflected: %v", got)
+	}
+}

@@ -32,8 +32,25 @@ import (
 // are scheduled and interrupts running ones within a few thousand simulated
 // cycles; cancelled attempts are not memoized, so a later sweep retries
 // them under its own context.
+//
+// When Store is set, a persistent layer sits under the memo table and
+// requests resolve memory → disk → simulate: the goroutine that owns a
+// key's memo entry consults the store before paying for a simulation, and
+// writes the result back after one, so single-flight semantics hold across
+// both layers — concurrent requesters of one key trigger at most one disk
+// lookup and at most one simulation per process.
 type Runner struct {
 	sem chan struct{} // bounds concurrently simulating jobs
+
+	// Store, when non-nil, is the persistent result layer (see
+	// internal/resultstore). Lookups and writes happen only on memo
+	// misses, outside the worker-pool semaphore (they are cheap file
+	// I/O, not simulation). Set it before submitting jobs.
+	Store Store
+
+	// StoreReadOnly serves hits from Store but never writes back —
+	// for sharing a populated store with runs that must not mutate it.
+	StoreReadOnly bool
 
 	// Observe, when non-nil, supplies a per-job observability sink (see
 	// internal/obs) for every distinct job the runner simulates. It is
@@ -50,10 +67,25 @@ type Runner struct {
 	// property of the job. Set it before submitting jobs.
 	JobTimeout time.Duration
 
-	mu     sync.Mutex
-	memo   map[jobKey]*memoEntry
-	hits   uint64
-	misses uint64
+	mu          sync.Mutex
+	memo        map[jobKey]*memoEntry
+	hits        uint64
+	misses      uint64
+	simulated   uint64
+	storeHits   uint64
+	storeMisses uint64
+}
+
+// Store is the persistent result layer a Runner can sit on top of:
+// fingerprint-keyed, shared between processes, consulted on memo misses.
+// resultstore.Store implements it. Lookup reports the stored report or
+// typed fault for the job coordinates (ok false on any miss); Save
+// persists a finished job and must refuse results that are not
+// deterministic properties of the job (see simfault.Fault.Persistable).
+// Implementations must be safe for concurrent use.
+type Store interface {
+	Lookup(fingerprint, workload string, budget uint64, scheduled bool) (rep *core.Report, fault *simfault.Fault, ok bool)
+	Save(fingerprint, workload string, budget uint64, scheduled bool, rep *core.Report, fault *simfault.Fault) error
 }
 
 // JobInfo describes one distinct simulation job to an Observe factory.
@@ -104,19 +136,36 @@ func NewRunner(workers int) *Runner {
 // Workers returns the worker-pool size.
 func (r *Runner) Workers() int { return cap(r.sem) }
 
-// RunnerStats reports memo-table behaviour: Misses counts distinct jobs
-// simulated, Hits counts jobs answered from (or coalesced onto) an existing
-// entry.
+// RunnerStats reports memo-table and store behaviour. Hits counts requests
+// answered from (or coalesced onto) an existing memo entry; Misses counts
+// memo entries created. Each Run call increments at most one of the two —
+// a request that waits on an entry later withdrawn by cancellation and then
+// retries counts only its final disposition — so for any set of completed,
+// uncancelled requests Hits+Misses equals the request count.
+//
+// With a Store attached, a memo miss resolves against the disk before
+// simulating: StoreHits counts entries served from disk, StoreMisses the
+// lookups that fell through, and Simulated the jobs actually run. A sweep
+// answered entirely from a warm store reports Simulated == 0.
 type RunnerStats struct {
-	Hits   uint64
-	Misses uint64
+	Hits        uint64
+	Misses      uint64
+	Simulated   uint64
+	StoreHits   uint64
+	StoreMisses uint64
 }
 
 // Stats returns a snapshot of the memo-table counters.
 func (r *Runner) Stats() RunnerStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return RunnerStats{Hits: r.hits, Misses: r.misses}
+	return RunnerStats{
+		Hits:        r.hits,
+		Misses:      r.misses,
+		Simulated:   r.simulated,
+		StoreHits:   r.storeHits,
+		StoreMisses: r.storeMisses,
+	}
 }
 
 // canceled reports whether err is a context cancellation or deadline error —
@@ -153,7 +202,7 @@ func (r *Runner) Run(ctx context.Context, cfg core.Config, w *workloads.Workload
 			r.memo[key] = e
 			r.misses++
 			r.mu.Unlock()
-			e.rep, e.err = r.compute(ctx, cfg, w, opts, key)
+			e.rep, e.err = r.resolve(ctx, cfg, w, opts, key)
 			if canceled(e.err) {
 				// The attempt died with its caller, not on its own merits:
 				// withdraw the entry so the next requester retries.
@@ -166,11 +215,18 @@ func (r *Runner) Run(ctx context.Context, cfg core.Config, w *workloads.Workload
 			close(e.done)
 			return e.rep, e.err
 		}
-		r.hits++
 		r.mu.Unlock()
 		select {
 		case <-e.done:
 			if !canceled(e.err) {
+				// Counted here — on the answer — not when the wait began:
+				// a requester that waits on an entry later withdrawn by
+				// cancellation retries and is counted once, by whichever
+				// branch finally answers it, instead of as a hit plus a
+				// hit-or-miss again.
+				r.mu.Lock()
+				r.hits++
+				r.mu.Unlock()
 				return e.rep, e.err
 			}
 			// The computing caller was cancelled; loop and retry under our
@@ -178,6 +234,48 @@ func (r *Runner) Run(ctx context.Context, cfg core.Config, w *workloads.Workload
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
+	}
+}
+
+// resolve answers one memo miss: disk first when a store is attached, then
+// simulation, writing persistable results back. It runs inside the key's
+// memo entry, so both layers inherit the memo's single-flight guarantee.
+func (r *Runner) resolve(ctx context.Context, cfg core.Config, w *workloads.Workload, opts Options, key jobKey) (*core.Report, error) {
+	if r.Store != nil {
+		if rep, f, ok := r.Store.Lookup(key.config, key.workload, key.budget, key.scheduled); ok {
+			r.mu.Lock()
+			r.storeHits++
+			r.mu.Unlock()
+			if f != nil {
+				return nil, f
+			}
+			return rep, nil
+		}
+		r.mu.Lock()
+		r.storeMisses++
+		r.mu.Unlock()
+	}
+	rep, err := r.compute(ctx, cfg, w, opts, key)
+	if r.Store != nil && !r.StoreReadOnly {
+		r.persist(key, rep, err)
+	}
+	return rep, err
+}
+
+// persist writes a finished job back to the store when its outcome is a
+// deterministic property of the job: a healthy report, or an invariant-
+// panic fault. Deadline faults depend on host load and plain errors
+// (VM faults, I/O, cancellation) have no canonical serialized form, so
+// neither is written — they are recomputed by each process instead. A
+// failed write never fails the job; the store's own counters record it.
+func (r *Runner) persist(key jobKey, rep *core.Report, err error) {
+	if err == nil {
+		_ = r.Store.Save(key.config, key.workload, key.budget, key.scheduled, rep, nil)
+		return
+	}
+	var f *simfault.Fault
+	if errors.As(err, &f) && f.Persistable() {
+		_ = r.Store.Save(key.config, key.workload, key.budget, key.scheduled, nil, f)
 	}
 }
 
@@ -216,6 +314,9 @@ func (r *Runner) compute(ctx context.Context, cfg core.Config, w *workloads.Work
 		Workload:    key.workload,
 		Scheduled:   key.scheduled,
 	}
+	r.mu.Lock()
+	r.simulated++
+	r.mu.Unlock()
 	rep, cycles, err := run(jctx, cfg, w, opts, sink, job)
 	if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
 		// The job's own wall-clock budget expired while the surrounding

@@ -64,10 +64,13 @@ var simPackages = map[string]bool{
 
 // outputPackages are the packages whose writes must be byte-identical at
 // any worker count: everything a sweep's stdout/CSV/metric stream passes
-// through on its way out of the process.
+// through on its way out of the process. resultstore is here because its
+// on-disk entries are checksummed canonical JSON — map-ordered iteration
+// anywhere in its encoding path would scramble checksums across processes.
 var outputPackages = map[string]bool{
-	"harness": true,
-	"obs":     true,
+	"harness":     true,
+	"obs":         true,
+	"resultstore": true,
 }
 
 // lastSeg returns the final segment of an import path.

@@ -1,0 +1,41 @@
+package resultstore
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+// The store's counters join the runner's on the /debug/vars surface that
+// harness.ServeDebug (and aurora-serve) expose. expvar keys can only be
+// published once per process, so the published function reads an
+// atomically swappable pointer to the most recently opened store — the
+// same design that fixed ServeDebug's stale-runner bug.
+
+var (
+	publishOnce  sync.Once
+	currentStore atomic.Pointer[Store]
+)
+
+func publishStore(s *Store) {
+	currentStore.Store(s)
+	publishOnce.Do(func() {
+		expvar.Publish("aurora_store", expvar.Func(func() any {
+			s := currentStore.Load()
+			if s == nil {
+				return Stats{}
+			}
+			st := s.Stats()
+			return map[string]any{
+				"dir":        s.Dir(),
+				"version":    s.Version(),
+				"read_only":  s.ReadOnly(),
+				"hits":       st.Hits,
+				"misses":     st.Misses,
+				"puts":       st.Puts,
+				"put_errors": st.PutErrors,
+				"corrupt":    st.Corrupt,
+			}
+		}))
+	})
+}

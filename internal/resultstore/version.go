@@ -1,0 +1,150 @@
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The store's entries are only as trustworthy as the simulator that wrote
+// them: a logic change anywhere in the timing model silently changes what
+// the "same" key means. Every key therefore carries a code version, and a
+// mismatch is simply a miss — stale entries age out instead of serving
+// wrong answers.
+//
+// The version is resolved once per process, in priority order:
+//
+//  1. BuildVersion, injected at build time via
+//     -ldflags "-X aurora/internal/resultstore.BuildVersion=...". Release
+//     builds that ship without sources pin their version here.
+//  2. A content hash of the simulation packages' Go sources, located
+//     relative to this file. This is the default in development and test
+//     runs: any edit to a sim package flips the version, and two processes
+//     built from the same tree agree without coordination.
+//  3. The module's VCS revision from debug.ReadBuildInfo (suffixed "-dirty"
+//     when the working tree was modified).
+//
+// When none of these resolve, the version is "unversioned" — the store
+// still works within one build, but entries from different binaries
+// cannot be told apart, so treat such stores as disposable.
+
+// BuildVersion, when set via -ldflags -X, overrides code-version detection.
+var BuildVersion string
+
+// simSourcePackages are the internal packages whose sources determine
+// simulation results: the timing model, the instruction set and assembler,
+// the trace layer, the VM, and the workload corpus. The harness and store
+// themselves are excluded — they schedule and cache results, they do not
+// define them.
+var simSourcePackages = []string{
+	"asm", "cache", "core", "fpu", "ipu", "isa",
+	"mem", "mmu", "prefetch", "rbe", "trace", "vm", "workloads",
+}
+
+var (
+	versionOnce sync.Once
+	version     string
+)
+
+// CodeVersion returns the process-wide simulator code version used to key
+// store entries. It is computed once and is deterministic for a given
+// build or source tree.
+func CodeVersion() string {
+	versionOnce.Do(func() { version = computeVersion() })
+	return version
+}
+
+func computeVersion() string {
+	if BuildVersion != "" {
+		return BuildVersion
+	}
+	if v, err := hashSimSources(); err == nil {
+		return v
+	}
+	if v := buildInfoVersion(); v != "" {
+		return v
+	}
+	return "unversioned"
+}
+
+// hashSimSources hashes every non-test Go source file of the simulation
+// packages, located relative to this file's compile-time path. File names
+// and contents both enter the hash, in sorted path order, so the result is
+// identical for any two processes built from the same tree.
+func hashSimSources() (string, error) {
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		return "", fmt.Errorf("resultstore: no caller info")
+	}
+	internalDir := filepath.Dir(filepath.Dir(self)) // .../internal
+	h := sha256.New()
+	hashed := 0
+	for _, pkg := range simSourcePackages {
+		dir := filepath.Join(internalDir, pkg)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return "", fmt.Errorf("resultstore: sim sources unavailable: %w", err)
+		}
+		var names []string
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			f, err := os.Open(filepath.Join(dir, name))
+			if err != nil {
+				return "", err
+			}
+			io.WriteString(h, pkg+"/"+name+"\x00")
+			_, err = io.Copy(h, f)
+			f.Close()
+			if err != nil {
+				return "", err
+			}
+			io.WriteString(h, "\x00")
+			hashed++
+		}
+	}
+	if hashed == 0 {
+		return "", fmt.Errorf("resultstore: no sim sources found under %s", internalDir)
+	}
+	return "src-" + hex.EncodeToString(h.Sum(nil))[:16], nil
+}
+
+// buildInfoVersion derives a version from the binary's embedded VCS stamp.
+func buildInfoVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	if len(rev) > 16 {
+		rev = rev[:16]
+	}
+	return "vcs-" + rev + dirty
+}

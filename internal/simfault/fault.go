@@ -19,6 +19,10 @@ type Job struct {
 	Scheduled   bool
 }
 
+// SubsystemDeadline is the Subsystem a wall-clock timeout fault reports.
+// Deadline faults depend on host load, not on the job — see Persistable.
+const SubsystemDeadline = "deadline"
+
 // Fault is a typed, per-job simulation failure. It satisfies error and is
 // matched with errors.As:
 //
@@ -57,10 +61,21 @@ func FromPanic(v any, job Job, cycle uint64, stack []byte) *Fault {
 func Deadline(job Job, cycle uint64, timeout fmt.Stringer) *Fault {
 	return &Fault{
 		Job:       job,
-		Subsystem: "deadline",
+		Subsystem: SubsystemDeadline,
 		Cycle:     cycle,
 		Panic:     fmt.Sprintf("job exceeded its %s wall-clock deadline", timeout),
 	}
+}
+
+// Persistable reports whether the fault is a deterministic property of the
+// job — an invariant panic, which any machine re-simulating the same key
+// would hit again — as opposed to a property of the host environment. A
+// deadline fault records that one particular machine was too slow on one
+// particular day; writing it to a persistent result store would poison the
+// cache for every later (possibly faster) run, so such faults may be
+// memoized in-process but must never be persisted.
+func (f *Fault) Persistable() bool {
+	return f.Subsystem != SubsystemDeadline
 }
 
 // Error renders the fault on one line: cause first, then the coordinates a

@@ -90,6 +90,22 @@ func TestFaultCell(t *testing.T) {
 	}
 }
 
+// TestFaultPersistable: invariant panics are deterministic properties of the
+// job and may enter a persistent result store; deadline faults depend on host
+// wall-clock load and must never be persisted.
+func TestFaultPersistable(t *testing.T) {
+	job := Job{Config: "baseline", Workload: "espresso"}
+	if f := FromPanic("core: ROB overflow", job, 12, nil); !f.Persistable() {
+		t.Error("invariant-panic fault reported not persistable")
+	}
+	if f := FromPanic("index out of range", job, 0, nil); !f.Persistable() {
+		t.Error("unknown-subsystem panic fault reported not persistable")
+	}
+	if f := Deadline(job, 500, 2*time.Second); f.Persistable() {
+		t.Error("deadline fault reported persistable; a slow host would poison the store")
+	}
+}
+
 // TestFaultErrorsAs: a Fault wrapped like any job error unwraps with
 // errors.As, which is how faultCell classifies keep-going cells.
 func TestFaultErrorsAs(t *testing.T) {

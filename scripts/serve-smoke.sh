@@ -1,0 +1,57 @@
+#!/bin/sh
+# serve-smoke.sh — end-to-end smoke test for the aurora-serve daemon.
+#
+# Boots the daemon against a fresh store, waits for /healthz, submits a
+# small sweep twice (the second must be answered without simulation),
+# fetches a cached table, and checks the stats counters over HTTP.
+set -eu
+
+workdir=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+addr=127.0.0.1:18577
+
+echo "== building aurora-serve"
+go build -o "$workdir/aurora-serve" ./cmd/aurora-serve
+
+echo "== starting daemon on $addr"
+"$workdir/aurora-serve" -addr "$addr" -store "$workdir/store" -quick -j 2 \
+    >"$workdir/serve.log" 2>&1 &
+pid=$!
+
+i=0
+until curl -sf "http://$addr/healthz" >"$workdir/health" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "FAIL: daemon never became healthy" >&2
+        cat "$workdir/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+echo "   $(cat "$workdir/health")"
+
+sweep='{"models":["small"],"workloads":["espresso","li"],"budget":20000}'
+
+echo "== submitting sweep (cold)"
+curl -sf -X POST -d "$sweep" "http://$addr/v1/sweep" >"$workdir/sweep1"
+cat "$workdir/sweep1"
+grep -q '"done":true' "$workdir/sweep1" || { echo "FAIL: no summary line" >&2; exit 1; }
+cells=$(grep -c '"cpi"' "$workdir/sweep1") || true
+[ "$cells" = 2 ] || { echo "FAIL: expected 2 result cells, got $cells" >&2; exit 1; }
+
+echo "== submitting sweep again (must be cache hits)"
+curl -sf -X POST -d "$sweep" "http://$addr/v1/sweep" >"$workdir/sweep2"
+simulated=$(curl -sf "http://$addr/v1/stats" | tr , '\n' | grep '"Simulated"' | tr -dc 0-9)
+[ "$simulated" = 2 ] || { echo "FAIL: second sweep re-simulated (simulated=$simulated)" >&2; exit 1; }
+
+echo "== fetching a figure endpoint"
+curl -sf "http://$addr/v1/figures/table3" >"$workdir/table3"
+grep -q espresso "$workdir/table3" || { echo "FAIL: table3 body unrecognisable" >&2; exit 1; }
+
+echo "PASS: daemon served sweeps, cached results and figures"
