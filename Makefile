@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race faults bench bench-smoke golden fuzz fmt lint store-coherence serve-smoke
+.PHONY: all build test tier1 race faults bench bench-smoke sample-smoke golden fuzz fmt lint store-coherence serve-smoke docs-check
 
 all: build test
 
@@ -38,9 +38,11 @@ faults:
 		./internal/harness/ ./internal/simfault/
 	$(GO) test -race -timeout 5m -count=1 -run TestRunContextCancellation ./internal/core/
 
-# bench runs the pinned sweep and the steady-state cycle-loop measurement,
-# writing BENCH.json with SIPS, allocs/instr and the speedup against the
-# recorded seed baseline (see bench/baseline_seed.json).
+# bench runs the pinned sweep (full and sampled modes) and the steady-state
+# cycle-loop measurement, writing BENCH.json with SIPS, allocs/instr, the
+# speedup against the recorded seed baseline (see bench/baseline_seed.json)
+# and the sampled-mode SIPS/coverage next to the full-mode numbers
+# (see docs/SIMULATION-MODES.md).
 bench:
 	$(GO) run ./cmd/aurora-bench -baseline bench/baseline_seed.json -out BENCH.json
 
@@ -50,6 +52,19 @@ bench-smoke:
 	$(GO) test -run TestCycleLoopZeroAlloc -count=1 .
 	$(GO) test -run '^$$' -bench BenchmarkCycleLoop -benchtime 20000x .
 	$(GO) test -run '^$$' -bench 'BenchmarkNilProbe|BenchmarkEnabledProbe' -benchtime 20000x ./internal/obs/
+
+# sample-smoke is the fast sampled-mode gate: one end-to-end sampled run
+# asserting the estimate arrives with a positive error bound, plus the
+# checkpoint byte-identity and differential-bound tests in -short form
+# (see docs/SIMULATION-MODES.md).
+sample-smoke:
+	$(GO) test -run 'TestSampleSmoke|TestCheckpointSharedIdenticalToPrivate' -count=1 ./internal/sample/
+	$(GO) test -short -run TestSampledCPIWithinBound -count=1 .
+
+# docs-check verifies every relative markdown link in the repo resolves and
+# every page under docs/ is reachable from the docs/README.md index.
+docs-check:
+	sh scripts/check-docs-links.sh
 
 # store-coherence runs the full experiment batch twice in fresh processes
 # sharing one result store: the second run must simulate nothing and emit

@@ -28,10 +28,12 @@ import (
 	"aurora/internal/core"
 	"aurora/internal/fpu"
 	"aurora/internal/harness"
+	"aurora/internal/isa"
 	"aurora/internal/mem"
 	"aurora/internal/mmu"
 	"aurora/internal/obs"
 	"aurora/internal/rbe"
+	"aurora/internal/sample"
 	"aurora/internal/simfault"
 	"aurora/internal/trace"
 	"aurora/internal/vm"
@@ -326,6 +328,87 @@ func (s *Simulation) Cycles() uint64 { return s.p.Cycles() }
 
 // Instructions returns the instructions retired so far.
 func (s *Simulation) Instructions() uint64 { return s.p.Instructions() }
+
+// FastForward advances the simulation n dynamic instructions at functional
+// (VM) speed, warming only the machine's cache contents — no cycles pass,
+// no statistics are counted. Detailed stepping picks up from the warmed
+// state: this is the fast-forward mode, for skipping initialisation phases
+// a study does not want to pay cycle-accurate time for. The skipped
+// instructions count against the simulation's instruction budget.
+// It returns the number of instructions actually skipped (the kernel may
+// halt or exhaust the budget first).
+func (s *Simulation) FastForward(n uint64) (uint64, error) {
+	var skipped uint64
+	for skipped < n {
+		if s.stream.m.Halted() || (s.stream.budget > 0 && s.stream.n >= s.stream.budget) {
+			break
+		}
+		rec, err := s.stream.m.Step()
+		if err != nil {
+			if vm.IsHalt(err) {
+				break
+			}
+			return skipped, fmt.Errorf("aurora: fast-forward execution fault: %w", err)
+		}
+		s.stream.n++
+		skipped++
+		s.p.WarmAccess(core.WarmFetch, rec.PC)
+		if rec.SI.Class.IsMem() {
+			k := core.WarmLoad
+			if rec.SI.Class == isa.ClassStore || rec.SI.Class == isa.ClassFPStore {
+				k = core.WarmStore
+			}
+			s.p.WarmAccess(k, rec.MemAddr)
+		}
+		if skipped&simCancelMask == 0 && s.done != nil {
+			select {
+			case <-s.done:
+				s.err = s.ctx.Err()
+				return skipped, s.err
+			default:
+			}
+		}
+	}
+	s.p.Reopen()
+	return skipped, nil
+}
+
+// SampleParams configures the sampled simulation mode (see internal/sample);
+// the zero value selects the tuned defaults.
+type SampleParams = sample.Params
+
+// SampledReport is a sampled run's estimate: CPI with a measured confidence
+// bound, plus the window measurements behind it.
+type SampledReport = sample.Report
+
+// RunSampled executes a workload in sampled + fast-forward mode: the
+// functional VM fast-forwards between periodic cycle-accurate windows and
+// CPI is estimated from the windows with a reported confidence bound
+// (Report.CPIError). On the pinned benchmark sweep this is 5-8× faster than
+// Run with |CPI error| within the bound on every kernel — see
+// docs/SIMULATION-MODES.md for the algorithm and the error model.
+// maxInstr follows Run's convention (0 = the workload's default budget).
+func RunSampled(cfg Config, w *Workload, maxInstr uint64, p SampleParams) (*SampledReport, error) {
+	return RunSampledContext(context.Background(), cfg, w, maxInstr, p)
+}
+
+// RunSampledContext is RunSampled under a context, with the same fault
+// boundary as RunObservedContext.
+func RunSampledContext(ctx context.Context, cfg Config, w *Workload, maxInstr uint64, p SampleParams) (rep *SampledReport, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			rep, err = nil, simfault.FromPanic(rec, simJob(cfg, w, false), 0, debug.Stack())
+		}
+	}()
+	if maxInstr == 0 {
+		maxInstr = w.DefaultBudget * 4
+	}
+	rep, err = sample.Run(ctx, cfg, w, maxInstr, p)
+	if err != nil {
+		return nil, fmt.Errorf("aurora: %s on %s (sampled): %w", w.Name, cfg.Name, err)
+	}
+	return rep, nil
+}
 
 // RunScheduled is Run with the §6 "better compiler scheduling" pass: each
 // basic block of the dynamic trace is list-scheduled (loads hoisted away

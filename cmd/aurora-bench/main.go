@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"aurora"
+	"aurora/internal/sample"
 )
 
 // benchModels is the pinned model set, in run order.
@@ -60,6 +61,41 @@ type CycleLoop struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
+// SampledJobResult is one (model, workload) sampled estimate, paired with
+// the exact run of the same cell from this record's full sweep: the absolute
+// CPI error and whether the reported confidence bound covered it. WallNS is
+// the per-configuration replay time only; the one-per-workload checkpoint
+// capture the replays share is aggregated in SampledTotals.
+type SampledJobResult struct {
+	Model                string  `json:"model"`
+	Workload             string  `json:"workload"`
+	Instructions         uint64  `json:"instructions"`
+	DetailedInstructions uint64  `json:"detailed_instructions"`
+	Windows              int     `json:"windows"`
+	CPI                  float64 `json:"cpi"`
+	CPIError             float64 `json:"cpi_err"`
+	FullCPI              float64 `json:"full_cpi"`
+	AbsError             float64 `json:"abs_error"`
+	Covered              bool    `json:"covered"`
+	WallNS               int64   `json:"wall_ns"`
+	SIPS                 float64 `json:"sips"`
+}
+
+// SampledTotals aggregates the sampled sweep. SIPS counts the instructions
+// each estimate stands for (the full budget, not just detailed windows) over
+// the whole sampled wall time including checkpoint capture, so
+// SpeedupVsFull is an honest end-to-end ratio against the full sweep.
+type SampledTotals struct {
+	Jobs            int     `json:"jobs"`
+	Instructions    uint64  `json:"instructions"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	CheckpointNS    int64   `json:"checkpoint_ns"`
+	SIPS            float64 `json:"sips"`
+	Covered         int     `json:"covered"`
+	SpeedupVsFull   float64 `json:"speedup_vs_full"`
+	DetailedPercent float64 `json:"detailed_percent"`
+}
+
 // BaselineSummary is the embedded record of a previous aurora-bench run
 // that this run is compared against.
 type BaselineSummary struct {
@@ -83,6 +119,9 @@ type File struct {
 	Total     Totals      `json:"total"`
 	CycleLoop *CycleLoop  `json:"cycle_loop,omitempty"`
 
+	Sampled      []SampledJobResult `json:"sampled,omitempty"`
+	SampledTotal *SampledTotals     `json:"sampled_total,omitempty"`
+
 	Baseline *BaselineSummary `json:"baseline,omitempty"`
 	// SpeedupVsBaseline is this run's total SIPS over the baseline's.
 	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
@@ -98,6 +137,7 @@ func run() int {
 	budget := flag.Uint64("budget", 300_000, "instruction budget per (model, workload) run")
 	quick := flag.Bool("quick", false, "reduced budget (60k) for smoke runs")
 	cycleLoop := flag.Bool("cycleloop", true, "run the steady-state cycle-loop microbenchmark")
+	sampled := flag.Bool("sample", true, "also run the sampled-mode sweep and record its SIPS and per-cell CPI error next to the full sweep")
 	flag.Parse()
 	if *quick {
 		*budget = 60_000
@@ -130,6 +170,12 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "aurora-bench:", err)
 		exit = 1
 	}
+	if exit == 0 && *sampled {
+		if err := runSampledSweep(ctx, f); err != nil {
+			fmt.Fprintln(os.Stderr, "aurora-bench: sampled:", err)
+			exit = 1
+		}
+	}
 	if exit == 0 && *cycleLoop {
 		f.CycleLoop = runCycleLoop()
 	}
@@ -154,6 +200,10 @@ func run() int {
 	if f.Baseline != nil {
 		fmt.Fprintf(os.Stderr, "aurora-bench: %.2fx vs baseline %s (%.0f instr/s)\n",
 			f.SpeedupVsBaseline, f.Baseline.Source, f.Baseline.SIPS)
+	}
+	if f.SampledTotal != nil {
+		fmt.Fprintf(os.Stderr, "aurora-bench: sampled sweep %.0f instr/s (%.2fx vs full), bound covered %d/%d cells, %.1f%% detailed\n",
+			f.SampledTotal.SIPS, f.SampledTotal.SpeedupVsFull, f.SampledTotal.Covered, f.SampledTotal.Jobs, f.SampledTotal.DetailedPercent)
 	}
 	if f.CycleLoop != nil {
 		fmt.Fprintf(os.Stderr, "aurora-bench: cycle loop %.1f ns/cycle, %.4f allocs/op over %d cycles\n",
@@ -213,6 +263,102 @@ func runSweep(ctx context.Context, f *File) (err error) {
 		}
 	}
 
+	return nil
+}
+
+// runSampledSweep re-runs the pinned job matrix in sampled mode,
+// workload-major so all models of one workload replay a single captured
+// functional pass, and pairs every estimate with the exact CPI the full
+// sweep just measured for the same cell. It must run after runSweep.
+func runSampledSweep(ctx context.Context, f *File) error {
+	fullCPI := map[string]float64{}
+	for _, r := range f.Workloads {
+		fullCPI[r.Model+"/"+r.Workload] = r.CPI
+	}
+	p := sample.Params{}
+	if f.Budget < sample.DefaultWarmUp+2*sample.DefaultInterval {
+		// -quick budgets are smaller than the default warm-up; scale the
+		// schedule down proportionally so at least ~10 windows still fit.
+		p = sample.Params{
+			WarmUp:     f.Budget / 6,
+			Interval:   f.Budget / 12,
+			Window:     f.Budget / 120,
+			WindowWarm: f.Budget / 360,
+		}
+	}
+	p = p.Normalize()
+	start := time.Now()
+	var checkpointNS int64
+	var instr, detailed uint64
+	covered := 0
+	for _, wn := range aurora.WorkloadNames() {
+		w, err := aurora.GetWorkload(wn)
+		if err != nil {
+			return err
+		}
+		cpStart := time.Now()
+		cp, err := sample.NewCheckpoint(ctx, w, f.Budget, p)
+		if err != nil {
+			return fmt.Errorf("%s: checkpoint: %w", wn, err)
+		}
+		checkpointNS += time.Since(cpStart).Nanoseconds()
+		for _, mn := range f.Models {
+			cfg, err := aurora.ModelByName(mn)
+			if err != nil {
+				return err
+			}
+			jobStart := time.Now()
+			rep, err := cp.Run(ctx, cfg, f.Budget, p)
+			if err != nil {
+				return fmt.Errorf("%s on %s (sampled): %w", wn, mn, err)
+			}
+			el := time.Since(jobStart)
+			full, ok := fullCPI[mn+"/"+wn]
+			if !ok {
+				return fmt.Errorf("%s on %s: no full-sweep CPI to compare against", wn, mn)
+			}
+			absErr := rep.CPI - full
+			if absErr < 0 {
+				absErr = -absErr
+			}
+			j := SampledJobResult{
+				Model:                mn,
+				Workload:             wn,
+				Instructions:         rep.Instructions,
+				DetailedInstructions: rep.DetailedInstructions,
+				Windows:              rep.Windows,
+				CPI:                  rep.CPI,
+				CPIError:             rep.CPIError,
+				FullCPI:              full,
+				AbsError:             absErr,
+				Covered:              absErr <= rep.CPIError,
+				WallNS:               el.Nanoseconds(),
+				SIPS:                 float64(rep.Instructions) / el.Seconds(),
+			}
+			if j.Covered {
+				covered++
+			}
+			instr += rep.Instructions
+			detailed += rep.DetailedInstructions
+			f.Sampled = append(f.Sampled, j)
+		}
+	}
+	wall := time.Since(start)
+	t := &SampledTotals{
+		Jobs:         len(f.Sampled),
+		Instructions: instr,
+		WallSeconds:  wall.Seconds(),
+		CheckpointNS: checkpointNS,
+		SIPS:         float64(instr) / wall.Seconds(),
+		Covered:      covered,
+	}
+	if f.Total.SIPS > 0 {
+		t.SpeedupVsFull = t.SIPS / f.Total.SIPS
+	}
+	if instr > 0 {
+		t.DetailedPercent = 100 * float64(detailed) / float64(instr)
+	}
+	f.SampledTotal = t
 	return nil
 }
 

@@ -26,6 +26,7 @@ import (
 
 	"aurora/internal/harness"
 	"aurora/internal/resultstore"
+	"aurora/internal/sample"
 )
 
 // resolveOptions overlays the flags the user explicitly passed (per set)
@@ -59,6 +60,11 @@ func run() int {
 		workers    = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
 		csvDir     = flag.String("csv", "", "also write one CSV per artifact into this directory")
 		extensions = flag.Bool("extensions", false, "also run the extension studies")
+
+		sampled      = flag.Bool("sample", false, "sampled + fast-forward mode: estimate the models x workloads CPI grid with confidence bounds instead of regenerating the exact figures (see docs/SIMULATION-MODES.md)")
+		sampleWarmup = flag.Uint64("sample-warmup", 0, "sampled mode: functional warm-up instructions before the first window (0 = default)")
+		sampleEvery  = flag.Uint64("sample-interval", 0, "sampled mode: instructions from one window start to the next (0 = default)")
+		sampleWindow = flag.Uint64("sample-window", 0, "sampled mode: detailed instructions per window (0 = default)")
 
 		metricsOut      = flag.String("metrics-out", "", "write a per-interval metrics time series for every distinct simulation (long-format CSV)")
 		metricsInterval = flag.Uint64("metrics-interval", 10000, "sampling interval in cycles for -metrics-out")
@@ -130,6 +136,36 @@ func run() int {
 	}
 	start := time.Now()
 	exit := 0
+	if *sampled {
+		// Sampled mode replaces the exact figure regeneration with the
+		// estimated CPI grid; the -metrics-out/-trace-out collectors see no
+		// windows worth of per-cycle data, so combining them is rejected.
+		if collector != nil {
+			fmt.Fprintln(os.Stderr, "aurora-experiments: -sample cannot capture -metrics-out/-trace-out time series (run without -sample for those)")
+			return 1
+		}
+		if *extensions || *csvDir != "" {
+			fmt.Fprintln(os.Stderr, "aurora-experiments: -sample estimates the CPI grid only; -extensions and -csv need exact runs")
+			return 1
+		}
+		p := sample.Params{WarmUp: *sampleWarmup, Interval: *sampleEvery, Window: *sampleWindow}
+		res, err := harness.SampledSweep(ctx, runner, opts, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aurora-experiments:", err)
+			exit = 1
+		} else {
+			harness.PrintSampledSweep(os.Stdout, res)
+		}
+		st := runner.Stats()
+		if store != nil {
+			fmt.Printf("\nsampled sweep in %s (%d workers; %d simulated, %d store hits, %d memo hits)\n",
+				time.Since(start).Round(time.Millisecond), runner.Workers(), st.Simulated, st.StoreHits, st.Hits)
+		} else {
+			fmt.Printf("\nsampled sweep in %s (%d workers; %d estimates, %d memo hits)\n",
+				time.Since(start).Round(time.Millisecond), runner.Workers(), st.Misses, st.Hits)
+		}
+		return exit
+	}
 	if err := harness.Render(ctx, os.Stdout, runner, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "aurora-experiments:", err)
 		exit = 1

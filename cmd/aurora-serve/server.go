@@ -13,6 +13,7 @@ import (
 	"aurora/internal/core"
 	"aurora/internal/harness"
 	"aurora/internal/resultstore"
+	"aurora/internal/sample"
 	"aurora/internal/simfault"
 	"aurora/internal/workloads"
 )
@@ -98,12 +99,17 @@ func (s *server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 
 // sweepRequest is one submission: the cross product models × workloads at
 // one budget. Empty models selects the paper's Table 1 models; empty
-// workloads selects the integer suite.
+// workloads selects the integer suite. Sampled submissions estimate each
+// cell from periodic detailed windows instead of simulating every
+// instruction; Sample overrides the sampling parameters (zero fields keep
+// the defaults — see docs/SIMULATION-MODES.md).
 type sweepRequest struct {
-	Models    []string `json:"models"`
-	Workloads []string `json:"workloads"`
-	Budget    uint64   `json:"budget"`
-	Scheduled bool     `json:"scheduled"`
+	Models    []string      `json:"models"`
+	Workloads []string      `json:"workloads"`
+	Budget    uint64        `json:"budget"`
+	Scheduled bool          `json:"scheduled"`
+	Sampled   bool          `json:"sampled"`
+	Sample    sample.Params `json:"sample"`
 }
 
 // sweepCell is one streamed result line. Healthy cells carry the headline
@@ -111,15 +117,22 @@ type sweepRequest struct {
 // print — FAULT(subsystem@cycle) plus the coordinates. Errors that are not
 // typed faults (VM faults, cancellation) render as a plain error string.
 type sweepCell struct {
-	Model        string     `json:"model"`
-	Workload     string     `json:"workload"`
-	Budget       uint64     `json:"budget"`
-	Scheduled    bool       `json:"scheduled,omitempty"`
-	CPI          float64    `json:"cpi,omitempty"`
-	Instructions uint64     `json:"instructions,omitempty"`
-	Cycles       uint64     `json:"cycles,omitempty"`
-	Fault        *wireFault `json:"fault,omitempty"`
-	Error        string     `json:"error,omitempty"`
+	Model        string  `json:"model"`
+	Workload     string  `json:"workload"`
+	Budget       uint64  `json:"budget"`
+	Scheduled    bool    `json:"scheduled,omitempty"`
+	CPI          float64 `json:"cpi,omitempty"`
+	Instructions uint64  `json:"instructions,omitempty"`
+	Cycles       uint64  `json:"cycles,omitempty"`
+	// Sampled cells: the confidence bound on CPI, the window count behind
+	// it, and the sampling discriminator that keys the estimate in the
+	// store (never aliasing an exact run). Cycles is then the estimate
+	// CPI x Instructions, not a simulated count.
+	CPIError  float64    `json:"cpi_err,omitempty"`
+	Windows   int        `json:"windows,omitempty"`
+	SampleKey string     `json:"sample_key,omitempty"`
+	Fault     *wireFault `json:"fault,omitempty"`
+	Error     string     `json:"error,omitempty"`
 }
 
 // wireFault is the PR 4 fault-cell shape: subsystem, simulated cycle, and
@@ -206,6 +219,10 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if req.Sampled && req.Scheduled {
+		httpError(w, http.StatusBadRequest, "sampled sweeps do not support the scheduled trace pass")
+		return
+	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -231,12 +248,32 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		go func(j job) {
 			defer wg.Done()
 			opts := harness.Options{Budget: req.Budget, Scheduled: req.Scheduled}
-			rep, err := s.runner.Run(r.Context(), j.cfg, j.wl, opts)
 			cell := sweepCell{
 				Model:     j.cfg.Name,
 				Workload:  j.wl.Name,
 				Budget:    req.Budget,
 				Scheduled: req.Scheduled,
+			}
+			var err error
+			if req.Sampled {
+				var srep *sample.Report
+				srep, err = s.runner.RunSampled(r.Context(), j.cfg, j.wl, opts, req.Sample)
+				if err == nil {
+					cell.CPI = srep.CPI
+					cell.CPIError = srep.CPIError
+					cell.Instructions = srep.Instructions
+					cell.Cycles = srep.EstimatedCycles
+					cell.Windows = srep.Windows
+					cell.SampleKey = srep.SampleKey
+				}
+			} else {
+				var rep *core.Report
+				rep, err = s.runner.Run(r.Context(), j.cfg, j.wl, opts)
+				if err == nil {
+					cell.CPI = rep.CPI()
+					cell.Instructions = rep.Instructions
+					cell.Cycles = rep.Cycles
+				}
 			}
 			var f *simfault.Fault
 			switch {
@@ -244,10 +281,6 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				cell.Fault = &wireFault{Subsystem: f.Subsystem, Cycle: f.Cycle, Cell: f.Cell()}
 			case err != nil:
 				cell.Error = err.Error()
-			default:
-				cell.CPI = rep.CPI()
-				cell.Instructions = rep.Instructions
-				cell.Cycles = rep.Cycles
 			}
 			select {
 			case cells <- cell:

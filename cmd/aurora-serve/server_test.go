@@ -336,3 +336,61 @@ func TestSweepStreamIsIncremental(t *testing.T) {
 		t.Errorf("stream missing summary: %s", rec.Body.String())
 	}
 }
+
+// TestSweepSampledCells checks a sampled submission streams estimates with
+// their confidence bounds and sampling key, that the estimates persist under
+// sampled store keys (a fresh server answers from disk), and that the store
+// never confuses a sampled estimate with an exact run of the same grid.
+func TestSweepSampledCells(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, dir)
+	const body = `{"models":["small"],"workloads":["espresso"],"budget":120000,` +
+		`"sampled":true,"sample":{"warm_up":20000,"interval":10000,"window":2000}}`
+
+	cells, sum := postSweep(t, ts, body)
+	if sum.Cells != 1 || sum.Faulted != 0 || sum.Errors != 0 {
+		t.Fatalf("summary %+v, want 1 healthy cell", sum)
+	}
+	c := cells[0]
+	if c.CPI <= 0 || c.CPIError <= 0 || c.Windows < 2 || c.SampleKey == "" {
+		t.Fatalf("sampled cell incomplete: %+v", c)
+	}
+	if st := s.runner.Stats(); st.Simulated != 1 || st.StoreMisses != 1 {
+		t.Fatalf("cold sampled sweep: %+v", st)
+	}
+
+	// A fresh server over the same store serves the estimate from disk…
+	s2, ts2 := newTestServer(t, dir)
+	warm, _ := postSweep(t, ts2, body)
+	if st := s2.runner.Stats(); st.Simulated != 0 || st.StoreHits != 1 {
+		t.Fatalf("fresh server re-simulated the sampled cell: %+v", st)
+	}
+	if warm[0] != c {
+		t.Errorf("sampled cell differs across servers: %+v / %+v", c, warm[0])
+	}
+
+	// …while the same grid submitted exactly is a store miss: sampled
+	// estimates never answer exact submissions.
+	exact, _ := postSweep(t, ts2, `{"models":["small"],"workloads":["espresso"],"budget":120000}`)
+	if st := s2.runner.Stats(); st.Simulated != 1 {
+		t.Fatalf("exact run after sampled run did not simulate: %+v", st)
+	}
+	if exact[0].CPIError != 0 || exact[0].SampleKey != "" {
+		t.Errorf("exact cell carries sampled fields: %+v", exact[0])
+	}
+}
+
+// TestSweepSampledRejectsScheduled: the §6 trace pass needs the full
+// instruction stream the sampled mode never materialises.
+func TestSweepSampledRejectsScheduled(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json",
+		strings.NewReader(`{"models":["small"],"workloads":["li"],"sampled":true,"scheduled":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("sampled+scheduled returned %d, want 400", resp.StatusCode)
+	}
+}

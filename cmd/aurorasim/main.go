@@ -39,11 +39,16 @@ func run() int {
 		rob      = flag.Int("rob", 0, "reorder buffer entries override")
 		pfbufs   = flag.Int("prefetch", -1, "stream buffer count override (0 disables)")
 		instr    = flag.Uint64("instr", 0, "dynamic instruction budget (0 = natural completion)")
-		policy   = flag.String("fpu-policy", "", "FPU issue policy: inorder, single, dual")
-		victim   = flag.Int("victim", 0, "victim cache lines (extension; 0 = paper's design)")
-		precise  = flag.Bool("precise", false, "FPU precise-exception mode (§3.1)")
-		withMMU  = flag.Bool("mmu", false, "enable the structured MMU model (extension)")
-		nofold   = flag.Bool("nofold", false, "disable branch folding (ablation)")
+
+		sampled      = flag.Bool("sample", false, "sampled + fast-forward mode: estimate CPI ± a confidence bound from periodic detailed windows (see docs/SIMULATION-MODES.md)")
+		sampleWarmup = flag.Uint64("sample-warmup", 0, "sampled mode: functional warm-up instructions before the first window (0 = default)")
+		sampleEvery  = flag.Uint64("sample-interval", 0, "sampled mode: instructions from one window start to the next (0 = default)")
+		sampleWindow = flag.Uint64("sample-window", 0, "sampled mode: detailed instructions per window (0 = default)")
+		policy       = flag.String("fpu-policy", "", "FPU issue policy: inorder, single, dual")
+		victim       = flag.Int("victim", 0, "victim cache lines (extension; 0 = paper's design)")
+		precise      = flag.Bool("precise", false, "FPU precise-exception mode (§3.1)")
+		withMMU      = flag.Bool("mmu", false, "enable the structured MMU model (extension)")
+		nofold       = flag.Bool("nofold", false, "disable branch folding (ablation)")
 
 		storeDir      = flag.String("store", "", "persistent result store directory: a prior run of this exact configuration is answered from disk (skipping -metrics-out/-trace-out capture)")
 		storeReadOnly = flag.Bool("store-readonly", false, "serve store hits but never write new entries")
@@ -120,6 +125,46 @@ func run() int {
 	cost, err := aurora.Cost(cfg)
 	if err != nil {
 		return fail(err)
+	}
+
+	if *sampled {
+		if *metricsOut != "" || *traceOut != "" {
+			return fail(fmt.Errorf("-sample estimates CPI from periodic windows; it cannot capture -metrics-out/-trace-out time series (run without -sample for those)"))
+		}
+		p := aurora.SampleParams{WarmUp: *sampleWarmup, Interval: *sampleEvery, Window: *sampleWindow}
+		var srep *aurora.SampledReport
+		if *storeDir != "" {
+			var store *resultstore.Store
+			if *storeReadOnly {
+				store, err = resultstore.OpenReadOnly(*storeDir)
+			} else {
+				store, err = resultstore.Open(*storeDir)
+			}
+			if err != nil {
+				return fail(err)
+			}
+			runner := harness.NewRunner(1)
+			runner.Store = store
+			runner.StoreReadOnly = store.ReadOnly()
+			srep, err = runner.RunSampled(ctx, cfg, w, harness.Options{Budget: *instr}, p)
+			if st := runner.Stats(); st.StoreHits > 0 {
+				fmt.Fprintf(os.Stderr, "aurorasim: result served from store %s\n", store.Dir())
+			}
+		} else {
+			srep, err = aurora.RunSampled(cfg, w, *instr, p)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("workload %s (%s): %s\n", w.Name, w.Suite, w.Description)
+		fmt.Printf("cost: %d RBE (integer side) + %d RBE (FPU)\n", cost, aurora.FPUCost(cfg.FPU))
+		fmt.Printf("sampled run: %d instructions (%d detailed, %d windows)\n",
+			srep.Instructions, srep.DetailedInstructions, srep.Windows)
+		fmt.Printf("  CPI %.4f ± %.4f (%.0f%% confidence)  estimated cycles %d\n",
+			srep.CPI, srep.CPIError, 100*srep.Confidence, srep.EstimatedCycles)
+		fmt.Printf("  params: warm-up %d, interval %d, window %d (key %s)\n",
+			srep.Params.WarmUp, srep.Params.Interval, srep.Params.Window, srep.SampleKey)
+		return 0
 	}
 
 	var sampler *obs.IntervalSampler

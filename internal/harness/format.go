@@ -297,3 +297,45 @@ func Render(ctx context.Context, w io.Writer, r *Runner, opts Options) error {
 	}
 	return nil
 }
+
+// PrintSampledSweep renders the sampled models x workloads grid: one
+// "cpi±err" cell per estimate, then the sampling parameters and the
+// detailed-instruction fraction the estimates were built from.
+func PrintSampledSweep(w io.Writer, r *SampledSweepResult) {
+	fmt.Fprintf(w, "Sampled CPI estimates (%.0f%% confidence; see docs/SIMULATION-MODES.md)\n",
+		100*r.Params.Confidence)
+	fmt.Fprintf(w, "  %-9s", "model")
+	for _, b := range r.Benches {
+		fmt.Fprintf(w, " %12s", b)
+	}
+	fmt.Fprintln(w)
+	var detailed, total uint64
+	faults := 0
+	for i, m := range r.Models {
+		fmt.Fprintf(w, "  %-9s", m)
+		for _, c := range r.Cells[i] {
+			if c.Fault != nil {
+				fmt.Fprintf(w, " %12s", c.Fault.Cell())
+				faults++
+				continue
+			}
+			fmt.Fprintf(w, " %6.3f±%.3f", c.Report.CPI, c.Report.CPIError)
+			detailed += c.Report.DetailedInstructions
+			total += c.Report.Instructions
+		}
+		fmt.Fprintln(w)
+	}
+	for i := range r.Models {
+		for _, c := range r.Cells[i] {
+			if c.Fault != nil {
+				fmt.Fprintf(w, "  fault: %s/%s: %v\n", c.Model, c.Bench, c.Fault)
+			}
+		}
+	}
+	fmt.Fprintf(w, "  params: warm-up %d, interval %d, window %d+%d warm (key %s)\n",
+		r.Params.WarmUp, r.Params.Interval, r.Params.Window, r.Params.WindowWarm, r.Params.Key())
+	if total > 0 {
+		fmt.Fprintf(w, "  detailed fraction: %.1f%% of %d instructions%s\n",
+			100*float64(detailed)/float64(total), total, faultMark(faults))
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"aurora/internal/core"
 	"aurora/internal/obs"
+	"aurora/internal/sample"
 	"aurora/internal/simfault"
 	"aurora/internal/workloads"
 )
@@ -69,6 +70,8 @@ type Runner struct {
 
 	mu          sync.Mutex
 	memo        map[jobKey]*memoEntry
+	sampledMemo map[jobKey]*sampledEntry
+	cpCache     *sample.CheckpointCache
 	hits        uint64
 	misses      uint64
 	simulated   uint64
@@ -100,11 +103,15 @@ type JobInfo struct {
 // jobKey canonically identifies one simulation. Budget is the effective
 // per-workload budget (an Options.Budget of 0 resolves to the workload's
 // default before keying, so explicit and defaulted budgets collapse).
+// sample is empty for exact runs and sample.Params.Key() for sampled
+// estimates, so the two kinds can never share a key even at identical
+// (config, workload, budget) coordinates.
 type jobKey struct {
 	config    string // core.Config.Fingerprint()
 	workload  string
 	budget    uint64
 	scheduled bool
+	sample    string
 }
 
 // memoEntry holds one job's result. The goroutine that inserts the entry

@@ -1,0 +1,245 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"aurora/internal/core"
+	"aurora/internal/sample"
+	"aurora/internal/simfault"
+	"aurora/internal/workloads"
+)
+
+// Sampled-mode scheduling. A sampled estimate flows through the same
+// machinery as an exact run — worker pool, single-flight memo, persistent
+// store, fault boundary, per-job deadline — but under a key extended with
+// the sampling discriminator (sample.Params.Key()), so a sampled estimate
+// can never be served where an exact result was asked for, or vice versa.
+// The runner also owns a checkpoint cache: all configurations of a sweep
+// share one captured functional pass per (workload, layout, budget).
+
+// SampledStore is the optional persistent layer for sampled estimates. A
+// Runner whose Store also implements SampledStore (resultstore.Store does)
+// persists and serves sampled results exactly like exact ones; any other
+// Store simply leaves sampled jobs memory-memoized.
+type SampledStore interface {
+	LookupSampled(fingerprint, workload string, budget uint64, sampleKey string) (rep *sample.Report, fault *simfault.Fault, ok bool)
+	SaveSampled(fingerprint, workload string, budget uint64, sampleKey string, rep *sample.Report, fault *simfault.Fault) error
+}
+
+// sampledEntry is the sampled twin of memoEntry, with the same
+// single-flight and withdraw-on-cancellation protocol.
+type sampledEntry struct {
+	done chan struct{}
+	rep  *sample.Report
+	err  error
+}
+
+// RunSampled executes one sampled estimate of a workload on one
+// configuration under the worker pool, memoized like Run. The §6
+// scheduling pass is incompatible with sampling (the reschedule operates on
+// the live trace the sampled mode never materialises end-to-end) and is
+// rejected, never silently ignored.
+//
+// Estimates are shared between hits and must be treated as read-only.
+func (r *Runner) RunSampled(ctx context.Context, cfg core.Config, w *workloads.Workload, opts Options, p sample.Params) (*sample.Report, error) {
+	if opts.Scheduled {
+		return nil, errors.New("harness: sampled mode does not support the scheduled trace pass")
+	}
+	p = p.Normalize()
+	opts.Budget = effectiveBudget(w, opts)
+	key := jobKey{
+		config:   cfg.Fingerprint(),
+		workload: w.Name,
+		budget:   opts.Budget,
+		sample:   p.Key(),
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		if r.sampledMemo == nil {
+			r.sampledMemo = map[jobKey]*sampledEntry{}
+		}
+		e, ok := r.sampledMemo[key]
+		if !ok {
+			e = &sampledEntry{done: make(chan struct{})}
+			r.sampledMemo[key] = e
+			r.misses++
+			r.mu.Unlock()
+			e.rep, e.err = r.resolveSampled(ctx, cfg, w, opts, p, key)
+			if canceled(e.err) {
+				r.mu.Lock()
+				if r.sampledMemo[key] == e {
+					delete(r.sampledMemo, key)
+				}
+				r.mu.Unlock()
+			}
+			close(e.done)
+			return e.rep, e.err
+		}
+		r.mu.Unlock()
+		select {
+		case <-e.done:
+			if !canceled(e.err) {
+				r.mu.Lock()
+				r.hits++
+				r.mu.Unlock()
+				return e.rep, e.err
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// resolveSampled answers one sampled memo miss: disk first when the store
+// speaks sampled, then computation, writing persistable results back.
+func (r *Runner) resolveSampled(ctx context.Context, cfg core.Config, w *workloads.Workload, opts Options, p sample.Params, key jobKey) (*sample.Report, error) {
+	ss, _ := r.Store.(SampledStore)
+	if ss != nil {
+		if rep, f, ok := ss.LookupSampled(key.config, key.workload, key.budget, key.sample); ok {
+			r.mu.Lock()
+			r.storeHits++
+			r.mu.Unlock()
+			if f != nil {
+				return nil, f
+			}
+			return rep, nil
+		}
+		r.mu.Lock()
+		r.storeMisses++
+		r.mu.Unlock()
+	}
+	rep, err := r.computeSampled(ctx, cfg, w, opts, p, key)
+	if ss != nil && !r.StoreReadOnly {
+		r.persistSampled(ss, key, rep, err)
+	}
+	return rep, err
+}
+
+// persistSampled mirrors persist for sampled estimates.
+func (r *Runner) persistSampled(ss SampledStore, key jobKey, rep *sample.Report, err error) {
+	if err == nil {
+		_ = ss.SaveSampled(key.config, key.workload, key.budget, key.sample, rep, nil)
+		return
+	}
+	var f *simfault.Fault
+	if errors.As(err, &f) && f.Persistable() {
+		_ = ss.SaveSampled(key.config, key.workload, key.budget, key.sample, nil, f)
+	}
+}
+
+// computeSampled computes one distinct sampled job: pool admission, per-job
+// deadline, checkpoint sharing, and the fault boundary.
+func (r *Runner) computeSampled(ctx context.Context, cfg core.Config, w *workloads.Workload, opts Options, p sample.Params, key jobKey) (*sample.Report, error) {
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-r.sem }()
+
+	jctx := ctx
+	if r.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, r.JobTimeout)
+		defer cancel()
+	}
+	job := simfault.Job{
+		Config:      cfg.Name,
+		Fingerprint: key.config,
+		Workload:    key.workload,
+	}
+	r.mu.Lock()
+	r.simulated++
+	if r.cpCache == nil {
+		r.cpCache = sample.NewCheckpointCache()
+	}
+	cache := r.cpCache
+	r.mu.Unlock()
+	rep, err := runSampled(jctx, cache, cfg, w, opts.Budget, p, job)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+		err = simfault.Deadline(job, 0, r.JobTimeout)
+	}
+	return rep, err
+}
+
+// runSampled is the sampled fault boundary: a panic inside the VM capture
+// or the replayed timing core comes back as a typed *simfault.Fault.
+func runSampled(ctx context.Context, cache *sample.CheckpointCache, cfg core.Config, w *workloads.Workload, budget uint64, p sample.Params, job simfault.Job) (rep *sample.Report, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			rep, err = nil, simfault.FromPanic(rec, job, 0, debug.Stack())
+		}
+	}()
+	cp, err := cache.Get(ctx, w, budget, p)
+	if err != nil {
+		return nil, err
+	}
+	rep, err = cp.Run(ctx, cfg, budget, p)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s on %s (sampled): %w", w.Name, cfg.Name, err)
+	}
+	return rep, nil
+}
+
+// SampledCell is one (model, workload) estimate of a sampled sweep. A
+// faulted cell has Fault set and a nil Report, mirroring BenchCPI.
+type SampledCell struct {
+	Model  string
+	Bench  string
+	Report *sample.Report
+	Fault  *simfault.Fault
+}
+
+// SampledSweepResult is the sampled counterpart of the paper's CPI tables:
+// every Table 1 model (plus point E) crossed with every workload, each cell
+// an estimated CPI with its confidence bound. All cells of one workload
+// share a single captured functional pass through the runner's checkpoint
+// cache, which is where sampling's sweep-scale speedup comes from.
+type SampledSweepResult struct {
+	Params  sample.Params
+	Models  []string
+	Benches []string
+	// Cells is model-major: Cells[i][j] estimates Models[i] on Benches[j].
+	Cells [][]SampledCell
+}
+
+// SampledSweep estimates the full models x workloads grid in sampled mode
+// through the runner. Fault policy matches the exact sweeps: keep-going
+// marks the cell, fail-fast aborts.
+func SampledSweep(ctx context.Context, r *Runner, opts Options, p sample.Params) (*SampledSweepResult, error) {
+	p = p.Normalize()
+	models := append(core.Models(), core.RecommendedE())
+	benches := workloads.Names()
+	res := &SampledSweepResult{Params: p, Benches: benches}
+	for _, m := range models {
+		res.Models = append(res.Models, m.Name)
+	}
+	flat, err := each(ctx, opts, len(models)*len(benches), func(ctx context.Context, i int) (SampledCell, error) {
+		cfg := models[i/len(benches)]
+		w, err := workloads.Get(benches[i%len(benches)])
+		if err != nil {
+			return SampledCell{}, err
+		}
+		cell := SampledCell{Model: cfg.Name, Bench: w.Name}
+		rep, err := r.RunSampled(ctx, cfg, w, opts, p)
+		f, err := faultCell(opts, err)
+		if err != nil {
+			return SampledCell{}, err
+		}
+		cell.Report, cell.Fault = rep, f
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range models {
+		res.Cells = append(res.Cells, flat[i*len(benches):(i+1)*len(benches)])
+	}
+	return res, nil
+}

@@ -161,6 +161,19 @@ func (f *IFU) Done() bool {
 	return f.exhausted && f.peekPos >= len(f.peeked) && f.qLen == 0
 }
 
+// Reopen clears the end-of-stream latch after the underlying stream has been
+// given more records. The sampled simulation mode (internal/sample) closes a
+// gated stream to drain the pipeline at the end of a detailed window, fast-
+// forwards the VM underneath, then reopens fetch for the next window.
+func (f *IFU) Reopen() { f.exhausted = false }
+
+// WarmFill installs the line holding pc in the instruction cache without
+// touching access or miss counters, timing state, or the stream buffers —
+// the functional warm-up path of fast-forwarded execution.
+//
+//aurora:hotpath
+func (f *IFU) WarmFill(pc uint32) { f.ic.Fill(pc) }
+
 // LineArrived implements mem.ReadClient: the demanded instruction line
 // lands in the cache and fetch resumes.
 func (f *IFU) LineArrived(arrival uint64, lineAddr uint32, _ uint64) {

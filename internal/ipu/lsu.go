@@ -404,6 +404,17 @@ func (l *LSU) finish(op *MemOp, t uint64) {
 	}
 }
 
+// WarmFill installs the line holding addr in the data cache — victim-cache
+// salvage included, so warm contents match what demand fills would have
+// left — without touching access or miss counters, the MSHRs, the write
+// cache, or the port clock. This is the functional warm-up path of
+// fast-forwarded execution: loads install the line directly; stores install
+// it too, standing in for the write-cache eviction that would have filled it
+// in the detailed model.
+//
+//aurora:hotpath
+func (l *LSU) WarmFill(addr uint32) { l.dcFill(addr) }
+
 // FlushWriteCache drains dirty write-cache lines at the end of a run so the
 // transaction statistics are complete.
 func (l *LSU) FlushWriteCache(now uint64) {

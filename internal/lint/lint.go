@@ -59,6 +59,7 @@ var simPackages = map[string]bool{
 	"mem":      true,
 	"prefetch": true,
 	"mmu":      true,
+	"sample":   true,
 	"trace":    true,
 }
 

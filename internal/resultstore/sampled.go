@@ -1,0 +1,91 @@
+package resultstore
+
+import (
+	"errors"
+
+	"aurora/internal/sample"
+	"aurora/internal/simfault"
+)
+
+// Sampled-mode persistence. A sampled estimate is just as deterministic as
+// an exact report — a pure function of (config, workload, budget, sampling
+// parameters, code version) — so it is stored the same way, but under a key
+// whose Sample field carries sample.Params.Key(). The discriminator is part
+// of the content address, so sampled estimates and exact results can never
+// alias: asking for one can only ever return that kind.
+
+// sampledKey builds the store key for a sampled job. Sampled runs never
+// combine with the §6 scheduling pass (the harness rejects it), so
+// Scheduled is always false here.
+func (s *Store) sampledKey(fingerprint, workload string, budget uint64, sampleKey string) Key {
+	return Key{
+		Fingerprint: fingerprint,
+		Workload:    workload,
+		Budget:      budget,
+		Sample:      sampleKey,
+		CodeVersion: s.version,
+	}
+}
+
+// LookupSampled implements the harness SampledStore contract: it returns
+// the stored estimate or typed fault for the sampled job coordinates.
+// sampleKey must be non-empty (sample.Params.Key()).
+func (s *Store) LookupSampled(fingerprint, workload string, budget uint64, sampleKey string) (*sample.Report, *simfault.Fault, bool) {
+	return s.GetSampled(s.sampledKey(fingerprint, workload, budget, sampleKey))
+}
+
+// GetSampled returns the sampled entry stored under k, which must carry a
+// non-empty Sample discriminator.
+func (s *Store) GetSampled(k Key) (*sample.Report, *simfault.Fault, bool) {
+	if k.Sample == "" {
+		s.misses.Add(1)
+		return nil, nil, false
+	}
+	e, ok := s.read(k)
+	if !ok {
+		return nil, nil, false
+	}
+	switch {
+	case e.Sampled != nil && e.Fault == nil && e.Report == nil:
+		s.hits.Add(1)
+		return e.Sampled, nil, true
+	case e.Fault != nil && e.Sampled == nil && e.Report == nil && e.Fault.Fault().Persistable():
+		s.hits.Add(1)
+		return nil, e.Fault.Fault(), true
+	default:
+		s.quarantine(s.path(k), "invalid payload")
+		return nil, nil, false
+	}
+}
+
+// SaveSampled implements the harness SampledStore contract: persist one
+// finished sampled job.
+func (s *Store) SaveSampled(fingerprint, workload string, budget uint64, sampleKey string, rep *sample.Report, f *simfault.Fault) error {
+	return s.PutSampled(s.sampledKey(fingerprint, workload, budget, sampleKey), rep, f)
+}
+
+// PutSampled writes one sampled entry atomically. k.Sample must be
+// non-empty and exactly one of rep and f must be set.
+func (s *Store) PutSampled(k Key, rep *sample.Report, f *simfault.Fault) error {
+	err := s.putSampled(k, rep, f)
+	if err != nil {
+		s.putErrors.Add(1)
+	} else {
+		s.puts.Add(1)
+	}
+	return err
+}
+
+func (s *Store) putSampled(k Key, rep *sample.Report, f *simfault.Fault) error {
+	if k.Sample == "" {
+		return errors.New("resultstore: sampled entry requires a non-empty Sample key")
+	}
+	if (rep == nil) == (f == nil) {
+		return errors.New("resultstore: exactly one of report and fault must be set")
+	}
+	e := entry{Key: k, Sampled: rep}
+	if f != nil {
+		e.Fault = recordFault(f)
+	}
+	return s.write(k, e, f)
+}

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"aurora/internal/core"
+	"aurora/internal/sample"
 	"aurora/internal/simfault"
 )
 
@@ -41,6 +42,11 @@ type Key struct {
 	Workload    string `json:"workload"`
 	Budget      uint64 `json:"budget"` // effective instruction budget
 	Scheduled   bool   `json:"scheduled"`
+	// Sample is the sampled-mode discriminator: empty for exact
+	// (full-simulation) results, sample.Params.Key() for sampled estimates.
+	// It participates in the content address, so a sampled estimate can
+	// never be returned where an exact result was asked for, or vice versa.
+	Sample      string `json:"sample,omitempty"`
 	CodeVersion string `json:"code_version"`
 }
 
@@ -53,6 +59,7 @@ func (k Key) hash() string {
 		k.Fingerprint, k.Workload,
 		strconv.FormatUint(k.Budget, 10),
 		strconv.FormatBool(k.Scheduled),
+		k.Sample,
 		k.CodeVersion,
 	} {
 		io.WriteString(h, part)
@@ -102,13 +109,16 @@ func recordFault(f *simfault.Fault) *FaultRecord {
 }
 
 // entry is the on-disk document: the full key (so a read can verify the
-// file answers the question asked), exactly one of report/fault, and a
-// checksum over the rest of the document.
+// file answers the question asked), exactly one of report/sampled/fault,
+// and a checksum over the rest of the document. Exact keys (Key.Sample
+// empty) carry a Report; sampled keys carry a Sampled estimate; either kind
+// may carry a Fault instead.
 type entry struct {
-	Key    Key          `json:"key"`
-	Report *core.Report `json:"report,omitempty"`
-	Fault  *FaultRecord `json:"fault,omitempty"`
-	Sum    string       `json:"sum"`
+	Key     Key            `json:"key"`
+	Report  *core.Report   `json:"report,omitempty"`
+	Sampled *sample.Report `json:"sampled,omitempty"`
+	Fault   *FaultRecord   `json:"fault,omitempty"`
+	Sum     string         `json:"sum"`
 }
 
 // sum computes the entry checksum: SHA-256 of the canonical JSON encoding
@@ -233,50 +243,69 @@ func (s *Store) Lookup(fingerprint, workload string, budget uint64, scheduled bo
 	return s.Get(s.key(fingerprint, workload, budget, scheduled))
 }
 
-// Get returns the entry stored under k, verifying the checksum and the
-// embedded key before trusting it.
+// Get returns the exact-run entry stored under k, verifying the checksum
+// and the embedded key before trusting it. k must be an exact key
+// (Sample empty); sampled entries are served by GetSampled.
 func (s *Store) Get(k Key) (*core.Report, *simfault.Fault, bool) {
+	if k.Sample != "" {
+		s.misses.Add(1)
+		return nil, nil, false
+	}
+	e, ok := s.read(k)
+	if !ok {
+		return nil, nil, false
+	}
+	switch {
+	case e.Report != nil && e.Fault == nil && e.Sampled == nil:
+		s.hits.Add(1)
+		return e.Report, nil, true
+	case e.Fault != nil && e.Report == nil && e.Sampled == nil && e.Fault.Fault().Persistable():
+		s.hits.Add(1)
+		return nil, e.Fault.Fault(), true
+	default:
+		// Exactly one payload of the kind the key names, and never an
+		// environment-dependent fault: anything else is a malformed write.
+		s.quarantine(s.path(k), "invalid payload")
+		return nil, nil, false
+	}
+}
+
+// read loads and verifies the entry stored under k: checksum first, then
+// the embedded key. Anything that fails verification is quarantined and
+// reported as a miss.
+func (s *Store) read(k Key) (*entry, bool) {
 	path := s.path(k)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		s.misses.Add(1)
-		return nil, nil, false
+		return nil, false
 	}
 	var e entry
 	if err := json.Unmarshal(data, &e); err != nil {
-		return s.quarantine(path, "undecodable entry")
+		s.quarantine(path, "undecodable entry")
+		return nil, false
 	}
 	want, err := e.sum()
 	if err != nil || e.Sum != want {
-		return s.quarantine(path, "checksum mismatch")
+		s.quarantine(path, "checksum mismatch")
+		return nil, false
 	}
 	if e.Key != k {
 		// The file answers a different question than its name claims —
 		// a tampered or misplaced entry, never trusted.
-		return s.quarantine(path, "key mismatch")
+		s.quarantine(path, "key mismatch")
+		return nil, false
 	}
-	switch {
-	case e.Report != nil && e.Fault == nil:
-		s.hits.Add(1)
-		return e.Report, nil, true
-	case e.Fault != nil && e.Report == nil && e.Fault.Fault().Persistable():
-		s.hits.Add(1)
-		return nil, e.Fault.Fault(), true
-	default:
-		// Exactly one payload, and never an environment-dependent fault:
-		// anything else is a malformed write.
-		return s.quarantine(path, "invalid payload")
-	}
+	return &e, true
 }
 
 // quarantine moves a failed entry aside (best-effort: on a read-only
 // directory the rename fails and the corrupt file simply stays) and
 // reports the read as a corrupt miss.
-func (s *Store) quarantine(path, _ string) (*core.Report, *simfault.Fault, bool) {
+func (s *Store) quarantine(path, _ string) {
 	s.corrupt.Add(1)
 	s.misses.Add(1)
 	os.Rename(path, path+".corrupt") //nolint:errcheck // best-effort; read-only stores keep the file
-	return nil, nil, false
 }
 
 // Save implements the harness Store contract: persist one finished job.
@@ -299,18 +328,26 @@ func (s *Store) Put(k Key, rep *core.Report, f *simfault.Fault) error {
 }
 
 func (s *Store) put(k Key, rep *core.Report, f *simfault.Fault) error {
-	if s.readOnly {
-		return ErrReadOnly
+	if k.Sample != "" {
+		return errors.New("resultstore: sampled key requires PutSampled")
 	}
 	if (rep == nil) == (f == nil) {
 		return errors.New("resultstore: exactly one of report and fault must be set")
 	}
-	if f != nil && !f.Persistable() {
-		return ErrNotPersistable
-	}
 	e := entry{Key: k, Report: rep}
 	if f != nil {
 		e.Fault = recordFault(f)
+	}
+	return s.write(k, e, f)
+}
+
+// write validates the shared put invariants and lands e atomically.
+func (s *Store) write(k Key, e entry, f *simfault.Fault) error {
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	if f != nil && !f.Persistable() {
+		return ErrNotPersistable
 	}
 	sum, err := e.sum()
 	if err != nil {

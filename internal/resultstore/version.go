@@ -46,7 +46,7 @@ var BuildVersion string
 // define them.
 var simSourcePackages = []string{
 	"asm", "cache", "core", "fpu", "ipu", "isa",
-	"mem", "mmu", "prefetch", "rbe", "trace", "vm", "workloads",
+	"mem", "mmu", "prefetch", "rbe", "sample", "trace", "vm", "workloads",
 }
 
 var (

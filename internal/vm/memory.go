@@ -9,9 +9,15 @@ const (
 	pageMask = pageSize - 1
 )
 
-// Memory is a sparse 32-bit byte-addressable memory.
+// Memory is a sparse 32-bit byte-addressable memory. A one-entry page
+// cache short-circuits the map lookup for the common case of consecutive
+// accesses landing on one page (stack frames, sequential array walks),
+// which is the dominant cost of the functional fast-forward path.
 type Memory struct {
 	pages map[uint32]*[pageSize]byte
+
+	lastPN   uint32
+	lastPage *[pageSize]byte // nil = cache empty (page 0 is never cached)
 }
 
 // NewMemory creates an empty memory.
@@ -21,10 +27,16 @@ func NewMemory() *Memory {
 
 func (m *Memory) page(addr uint32, alloc bool) *[pageSize]byte {
 	pn := addr >> pageBits
+	if m.lastPage != nil && m.lastPN == pn {
+		return m.lastPage
+	}
 	p := m.pages[pn]
 	if p == nil && alloc {
 		p = new([pageSize]byte)
 		m.pages[pn] = p
+	}
+	if p != nil {
+		m.lastPN, m.lastPage = pn, p
 	}
 	return p
 }
@@ -106,3 +118,16 @@ func (m *Memory) StoreBytes(addr uint32, b []byte) {
 
 // PageCount returns the number of mapped pages (for tests and footprint stats).
 func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Clone returns a deep copy: mapped pages are duplicated, so writes through
+// either memory never reach the other. Kernel footprints are a handful of
+// pages, which keeps machine snapshots (vm.Snapshot) cheap.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{pages: make(map[uint32]*[pageSize]byte, len(m.pages))}
+	for pn, p := range m.pages {
+		cp := new([pageSize]byte)
+		*cp = *p
+		c.pages[pn] = cp
+	}
+	return c
+}

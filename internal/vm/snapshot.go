@@ -1,0 +1,73 @@
+package vm
+
+import "fmt"
+
+// Snapshot is a complete architectural checkpoint of a Machine: registers,
+// control state and a deep copy of memory. It is the unit the sampled
+// simulation mode (internal/sample) persists after a shared warm-up pass, so
+// a sweep over N configurations restores one warmed machine N times instead
+// of re-executing the warm-up N times.
+//
+// A snapshot is tied to the program it was taken from: Restore checks the
+// text-segment length as a cheap identity guard (the sampling layer keys
+// checkpoints by workload name on top of this).
+type Snapshot struct {
+	Reg  [32]uint32
+	HI   uint32
+	LO   uint32
+	FReg [32]uint32
+	FCC  bool
+
+	PC     uint32
+	NPC    uint32
+	Steps  uint64
+	Halted bool
+	Exit   int
+
+	TextWords int
+
+	Mem *Memory // private deep copy; Restore clones it again
+}
+
+// Snapshot captures the machine's architectural state. The memory image is
+// deep-copied, so the machine may keep running without disturbing the
+// snapshot.
+func (m *Machine) Snapshot() *Snapshot {
+	return &Snapshot{
+		Reg:       m.Reg,
+		HI:        m.HI,
+		LO:        m.LO,
+		FReg:      m.FReg,
+		FCC:       m.FCC,
+		PC:        m.pc,
+		NPC:       m.npc,
+		Steps:     m.steps,
+		Halted:    m.halted,
+		Exit:      m.exit,
+		TextWords: len(m.static),
+		Mem:       m.Mem.Clone(),
+	}
+}
+
+// Restore rewinds the machine to a snapshot taken from the same program.
+// The snapshot's memory is cloned on the way in, so one snapshot can seed
+// any number of machines (the checkpoint-sharing contract: a sweep's
+// configurations must not see each other's stores).
+func (m *Machine) Restore(s *Snapshot) error {
+	if s.TextWords != len(m.static) {
+		return fmt.Errorf("vm: snapshot from a different program (%d text words, machine has %d)",
+			s.TextWords, len(m.static))
+	}
+	m.Reg = s.Reg
+	m.HI = s.HI
+	m.LO = s.LO
+	m.FReg = s.FReg
+	m.FCC = s.FCC
+	m.pc = s.PC
+	m.npc = s.NPC
+	m.steps = s.Steps
+	m.halted = s.Halted
+	m.exit = s.Exit
+	m.Mem = s.Mem.Clone()
+	return nil
+}

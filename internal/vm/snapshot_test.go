@@ -1,0 +1,142 @@
+package vm
+
+import (
+	"testing"
+
+	"aurora/internal/asm"
+	"aurora/internal/trace"
+)
+
+// snapshotProg stores a counter into memory each iteration, so replays that
+// diverge in either registers or memory state are caught.
+const snapshotProg = `
+	.data
+buf:	.space 64
+	.text
+main:
+	la $s0, buf
+	li $t0, 0
+loop:
+	addiu $t0, $t0, 1
+	sll $t1, $t0, 2
+	andi $t1, $t1, 63
+	addu $t2, $s0, $t1
+	sw $t0, 0($t2)
+	lw $t3, 0($t2)
+	addu $s1, $s1, $t3
+	slti $t4, $t0, 500
+	bne $t4, $zero, loop
+	li $v0, 10
+	syscall
+`
+
+func newSnapshotMachine(t *testing.T) *Machine {
+	t.Helper()
+	p, err := asm.Assemble("snapshot.s", snapshotProg)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m, err := New(p)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+// sameRec compares records across machines: SI points into each machine's
+// own predecode table, so it is compared by value, not identity.
+func sameRec(a, b trace.Record) bool {
+	return a.PC == b.PC && a.MemAddr == b.MemAddr && a.Target == b.Target &&
+		a.Taken == b.Taken && *a.SI == *b.SI
+}
+
+func stepN(t *testing.T, m *Machine, n int) []trace.Record {
+	t.Helper()
+	recs := make([]trace.Record, 0, n)
+	for i := 0; i < n && !m.Halted(); i++ {
+		rec, err := m.Step()
+		if err != nil {
+			if IsHalt(err) {
+				break
+			}
+			t.Fatalf("step %d: %v", i, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// TestSnapshotRestoreReplaysIdentically: a machine restored from a snapshot
+// must retrace the original execution record-for-record — the property the
+// sampled mode's checkpoints stand on.
+func TestSnapshotRestoreReplaysIdentically(t *testing.T) {
+	m := newSnapshotMachine(t)
+	stepN(t, m, 1000)
+	snap := m.Snapshot()
+	want := stepN(t, m, 2000)
+
+	m2 := newSnapshotMachine(t)
+	if err := m2.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if m2.Steps() != snap.Steps {
+		t.Fatalf("restored Steps = %d, want %d", m2.Steps(), snap.Steps)
+	}
+	got := stepN(t, m2, 2000)
+	if len(got) != len(want) {
+		t.Fatalf("replay produced %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !sameRec(got[i], want[i]) {
+			t.Fatalf("record %d diverges: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSnapshotIsolation: the snapshot's memory is a deep copy in both
+// directions — the donor machine running on does not disturb the snapshot,
+// and two machines restored from one snapshot do not see each other's
+// stores.
+func TestSnapshotIsolation(t *testing.T) {
+	m := newSnapshotMachine(t)
+	stepN(t, m, 500)
+	snap := m.Snapshot()
+
+	// Donor keeps executing (and storing) after the snapshot.
+	stepN(t, m, 1000)
+
+	a, b := newSnapshotMachine(t), newSnapshotMachine(t)
+	if err := a.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	ra := stepN(t, a, 300)
+	// b has not run yet: if a's stores leaked into the shared snapshot (or
+	// into b), b's replay would diverge from a's.
+	rb := stepN(t, b, 300)
+	for i := range ra {
+		if !sameRec(ra[i], rb[i]) {
+			t.Fatalf("sibling replays diverge at record %d: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+}
+
+// TestSnapshotRejectsDifferentProgram: the text-length identity guard.
+func TestSnapshotRejectsDifferentProgram(t *testing.T) {
+	m := newSnapshotMachine(t)
+	snap := m.Snapshot()
+
+	p, err := asm.Assemble("other.s", "main:\n\tli $v0, 10\n\tsyscall\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(snap); err == nil {
+		t.Fatal("Restore accepted a snapshot from a different program")
+	}
+}

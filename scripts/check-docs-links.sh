@@ -1,0 +1,59 @@
+#!/bin/sh
+# check-docs-links.sh — two documentation invariants (make docs-check):
+#
+#   1. every relative markdown link in the repo's own pages resolves to a
+#      file or directory that exists;
+#   2. every page under docs/ is reachable from the docs/README.md index.
+#
+# POSIX sh + grep/sed/sort only, so it runs anywhere CI does. Exits
+# non-zero listing every violation, not just the first.
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+fail=0
+
+# --- 1. every relative link resolves -----------------------------------
+# Pages we own (skip third_party and any vendored trees).
+pages=$(find . -name '*.md' -not -path './third_party/*' -not -path './.git/*' | sort)
+
+for page in $pages; do
+    dir=$(dirname "$page")
+    # Extract ](target) link targets, one per line. Markdown links never
+    # contain whitespace in these docs; parenthesised URLs do not occur.
+    links=$(grep -o ']([^)]*)' "$page" 2>/dev/null | sed 's/^](//; s/)$//')
+    for link in $links; do
+        case $link in
+        http://*|https://*|mailto:*|\#*) continue ;; # external / in-page
+        esac
+        target=${link%%#*} # strip fragment
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ]; then
+            echo "BROKEN: $page -> $link" >&2
+            fail=1
+        fi
+    done
+done
+
+# --- 2. every docs/ page is reachable from docs/README.md --------------
+index=docs/README.md
+if [ ! -f "$index" ]; then
+    echo "MISSING: $index (the docs index)" >&2
+    fail=1
+else
+    linked=$(grep -o ']([^)]*)' "$index" | sed 's/^](//; s/)$//; s/#.*//')
+    for page in docs/*.md; do
+        base=$(basename "$page")
+        [ "$base" = README.md ] && continue
+        if ! printf '%s\n' "$linked" | grep -qx "$base"; then
+            echo "UNREACHABLE: $page is not linked from $index" >&2
+            fail=1
+        fi
+    done
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs check failed" >&2
+    exit 1
+fi
+echo "docs check OK: all relative links resolve; docs/ pages reachable from docs/README.md"
