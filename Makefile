@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race faults bench bench-smoke sample-smoke golden fuzz fmt lint store-coherence serve-smoke docs-check
+.PHONY: all build test tier1 race faults bench bench-smoke sample-smoke bpred-smoke golden fuzz fmt lint store-coherence serve-smoke docs-check
 
 all: build test
 
@@ -61,6 +61,16 @@ sample-smoke:
 	$(GO) test -run 'TestSampleSmoke|TestCheckpointSharedIdenticalToPrivate' -count=1 ./internal/sample/
 	$(GO) test -short -run TestSampledCPIWithinBound -count=1 .
 
+# bpred-smoke is the predictor-axis gate: the differential/property/unit net
+# and the recovery contract under race, zero allocations with every predictor
+# swapped in, and the key-separation tests that keep predictor results from
+# ever aliasing default-config entries (see docs/BRANCH-PREDICTION.md).
+bpred-smoke:
+	$(GO) test -race -count=1 ./internal/bpred/
+	$(GO) test -run TestCycleLoopZeroAlloc -count=1 .
+	$(GO) test -count=1 -run 'TestFingerprint|TestCostRBEPredictor' ./internal/core/
+	$(GO) test -count=1 -run 'BPred|TestPredictorSweepShapes' ./internal/harness/ ./internal/resultstore/
+
 # docs-check verifies every relative markdown link in the repo resolves and
 # every page under docs/ is reachable from the docs/README.md index.
 docs-check:
@@ -80,9 +90,11 @@ serve-smoke:
 golden:
 	$(GO) test -run 'TestGolden' -count=1 .
 
-# fuzz exercises the assembler round-trip target for a short local burst.
+# fuzz exercises the fuzz targets for a short local burst each: the
+# assembler round-trip and the branch-predictor stream harness.
 fuzz:
 	$(GO) test -fuzz FuzzAsmRoundTrip -fuzztime 30s ./internal/asm/
+	$(GO) test -fuzz FuzzPredictorStream -fuzztime 30s ./internal/bpred/
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:" $$out; exit 1; fi

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"runtime/debug"
 
+	"aurora/internal/bpred"
 	"aurora/internal/core"
 	"aurora/internal/fpu"
 	"aurora/internal/harness"
@@ -86,6 +87,27 @@ const (
 
 // MemoryConfig parameterises the secondary memory system (BIU).
 type MemoryConfig = mem.Config
+
+// BPredConfig selects and sizes the branch direction predictor (extension;
+// the zero value keeps the paper's branch-folding front end). See
+// docs/BRANCH-PREDICTION.md.
+type BPredConfig = bpred.Config
+
+// BPredKind names a predictor model.
+type BPredKind = bpred.Kind
+
+// Predictor models, from the paper's folded front end to TAGE.
+const (
+	BPredFolding = bpred.Folding
+	BPredStatic  = bpred.Static
+	BPredBimodal = bpred.Bimodal
+	BPredGShare  = bpred.GShare
+	BPredTAGE    = bpred.TAGE
+)
+
+// ParseBPred parses a -bpred flag value such as "gshare:entries=4096,hist=12"
+// into a predictor configuration.
+func ParseBPred(s string) (BPredConfig, error) { return bpred.Parse(s) }
 
 // MMUConfig parameterises the optional structured MMU model (TLB +
 // secondary cache) behind the BIU; the zero value keeps the paper's flat

@@ -24,7 +24,7 @@ func runCycleLoop() *CycleLoop {
 	if err != nil {
 		return nil
 	}
-	sim, err := aurora.NewSimulation(aurora.Baseline(), w, budget)
+	sim, err := aurora.NewSimulation(aurora.Baseline().WithBPred(benchBPred), w, budget)
 	if err != nil {
 		return nil
 	}

@@ -113,6 +113,10 @@ type File struct {
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	Budget     uint64 `json:"budget"`
+	// BPred is the canonical predictor key when the sweep ran with -bpred
+	// (absent for the default branch-folding front end, keeping the schema
+	// of older records unchanged).
+	BPred string `json:"bpred,omitempty"`
 
 	Models    []string    `json:"models"`
 	Workloads []JobResult `json:"workloads"`
@@ -138,9 +142,17 @@ func run() int {
 	quick := flag.Bool("quick", false, "reduced budget (60k) for smoke runs")
 	cycleLoop := flag.Bool("cycleloop", true, "run the steady-state cycle-loop microbenchmark")
 	sampled := flag.Bool("sample", true, "also run the sampled-mode sweep and record its SIPS and per-cell CPI error next to the full sweep")
+	bpredSpec := flag.String("bpred", "", "branch predictor applied to every benched configuration (e.g. tage; see docs/BRANCH-PREDICTION.md)")
 	flag.Parse()
 	if *quick {
 		*budget = 60_000
+	}
+	if *bpredSpec != "" {
+		bp, err := aurora.ParseBPred(*bpredSpec)
+		if err != nil {
+			return fail(err)
+		}
+		benchBPred = bp
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -153,6 +165,9 @@ func run() int {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Budget:     *budget,
 		Models:     benchModels,
+	}
+	if !benchBPred.IsDefault() {
+		f.BPred = benchBPred.Normalize().Key()
 	}
 
 	if *baselinePath != "" {
@@ -236,7 +251,7 @@ func runSweep(ctx context.Context, f *File) (err error) {
 	sweepStart = time.Now()
 
 	for _, mn := range f.Models {
-		cfg, err := aurora.ModelByName(mn)
+		cfg, err := benchModel(mn)
 		if err != nil {
 			return err
 		}
@@ -303,7 +318,7 @@ func runSampledSweep(ctx context.Context, f *File) error {
 		}
 		checkpointNS += time.Since(cpStart).Nanoseconds()
 		for _, mn := range f.Models {
-			cfg, err := aurora.ModelByName(mn)
+			cfg, err := benchModel(mn)
 			if err != nil {
 				return err
 			}
@@ -368,6 +383,19 @@ var (
 	sweepBefore runtime.MemStats
 	sweepStart  time.Time
 )
+
+// benchBPred is the -bpred predictor applied to every benched model (the
+// zero value keeps the paper's branch-folding front end).
+var benchBPred aurora.BPredConfig
+
+// benchModel resolves a model name with the -bpred predictor applied.
+func benchModel(name string) (aurora.Config, error) {
+	cfg, err := aurora.ModelByName(name)
+	if err != nil {
+		return aurora.Config{}, err
+	}
+	return cfg.WithBPred(benchBPred), nil
+}
 
 // fillTotals aggregates the completed jobs into f.Total.
 func fillTotals(f *File) {

@@ -24,6 +24,8 @@ import (
 	"runtime"
 	"time"
 
+	"aurora/internal/bpred"
+	"aurora/internal/core"
 	"aurora/internal/harness"
 	"aurora/internal/resultstore"
 	"aurora/internal/sample"
@@ -61,6 +63,9 @@ func run() int {
 		csvDir     = flag.String("csv", "", "also write one CSV per artifact into this directory")
 		extensions = flag.Bool("extensions", false, "also run the extension studies")
 
+		bpredSpec  = flag.String("bpred", "", "branch predictor override applied to every default-front-end configuration (e.g. gshare:entries=4096,hist=12; see docs/BRANCH-PREDICTION.md)")
+		bpredSweep = flag.Bool("bpred-sweep", false, "run only the predictor storage-bits vs CPI sweep on the baseline model")
+
 		sampled      = flag.Bool("sample", false, "sampled + fast-forward mode: estimate the models x workloads CPI grid with confidence bounds instead of regenerating the exact figures (see docs/SIMULATION-MODES.md)")
 		sampleWarmup = flag.Uint64("sample-warmup", 0, "sampled mode: functional warm-up instructions before the first window (0 = default)")
 		sampleEvery  = flag.Uint64("sample-interval", 0, "sampled mode: instructions from one window start to the next (0 = default)")
@@ -85,6 +90,14 @@ func run() int {
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	opts := resolveOptions(*quick, set, *budget, *sweep)
 	opts.FailFast = *failFast
+	if *bpredSpec != "" {
+		bp, err := bpred.Parse(*bpredSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aurora-experiments:", err)
+			return 1
+		}
+		opts.BPred = bp
+	}
 
 	// SIGINT (and an optional -timeout) cancel queued and running jobs;
 	// partial CSV, metrics and trace output is still flushed on the way out.
@@ -136,6 +149,43 @@ func run() int {
 	}
 	start := time.Now()
 	exit := 0
+	if *bpredSweep {
+		// The predictor sweep is its own figure: baseline machine, every
+		// predictor design point, both suites. It replaces the paper-figure
+		// regeneration for the invocation.
+		if *sampled {
+			fmt.Fprintln(os.Stderr, "aurora-experiments: -bpred-sweep measures exact CPI; it cannot be combined with -sample")
+			return 1
+		}
+		if collector != nil {
+			fmt.Fprintln(os.Stderr, "aurora-experiments: -bpred-sweep does not capture -metrics-out/-trace-out time series")
+			return 1
+		}
+		res, err := harness.PredictorSweep(ctx, runner, core.Baseline(), opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aurora-experiments:", err)
+			exit = 1
+		} else {
+			harness.PrintBPredSweep(os.Stdout, res)
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, "aurora-experiments:", err)
+					exit = 1
+				} else if err := writeFile(filepath.Join(*csvDir, "bpred_sweep.csv"), func(w io.Writer) error {
+					return harness.BPredSweepCSV(w, res)
+				}); err != nil {
+					fmt.Fprintln(os.Stderr, "aurora-experiments: csv:", err)
+					exit = 1
+				} else {
+					fmt.Printf("CSV artifact written to %s\n", filepath.Join(*csvDir, "bpred_sweep.csv"))
+				}
+			}
+		}
+		st := runner.Stats()
+		fmt.Printf("\npredictor sweep in %s (%d workers; %d simulations, %d memo hits)\n",
+			time.Since(start).Round(time.Millisecond), runner.Workers(), st.Misses, st.Hits)
+		return exit
+	}
 	if *sampled {
 		// Sampled mode replaces the exact figure regeneration with the
 		// estimated CPI grid; the -metrics-out/-trace-out collectors see no

@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"time"
 
+	"aurora/internal/bpred"
 	"aurora/internal/harness"
 	"aurora/internal/resultstore"
 )
@@ -43,6 +44,7 @@ func main() {
 		jobTimeout    = flag.Duration("job-timeout", 0, "per-simulation wall-clock deadline (0: none)")
 		budget        = flag.Uint64("budget", 200_000, "default instruction budget for submissions that omit one")
 		quick         = flag.Bool("quick", false, "render figure endpoints at reduced budgets")
+		bpredSpec     = flag.String("bpred", "", "default branch predictor applied to sweeps and figures that do not name one (e.g. gshare:entries=4096,hist=12; see docs/BRANCH-PREDICTION.md)")
 		pprofAddr     = flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (empty: off)")
 	)
 	flag.Parse()
@@ -76,6 +78,15 @@ func main() {
 		figureOpts.Budget = 40_000
 		figureOpts.SweepBudget = 8_000
 	}
+	var defaultBPred bpred.Config
+	if *bpredSpec != "" {
+		bp, err := bpred.Parse(*bpredSpec)
+		if err != nil {
+			log.Fatalf("aurora-serve: -bpred: %v", err)
+		}
+		defaultBPred = bp
+		figureOpts.BPred = bp
+	}
 
 	if *pprofAddr != "" {
 		dbg, err := harness.ServeDebug(*pprofAddr, runner)
@@ -86,6 +97,7 @@ func main() {
 	}
 
 	srv := newServer(runner, store, *budget, figureOpts)
+	srv.defaultBPred = defaultBPred
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("aurora-serve: listen: %v", err)

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 
+	"aurora/internal/bpred"
 	"aurora/internal/core"
 	"aurora/internal/harness"
 	"aurora/internal/resultstore"
@@ -31,6 +32,11 @@ type server struct {
 	// budget unset; figure endpoints use figureOpts wholesale.
 	defaultBudget uint64
 	figureOpts    harness.Options
+
+	// defaultBPred is the -bpred flag: the predictor overlaid onto sweep
+	// submissions that do not name one (the zero value keeps the paper's
+	// branch-folding front end).
+	defaultBPred bpred.Config
 }
 
 func newServer(runner *harness.Runner, store *resultstore.Store, defaultBudget uint64, figureOpts harness.Options) *server {
@@ -110,6 +116,11 @@ type sweepRequest struct {
 	Scheduled bool          `json:"scheduled"`
 	Sampled   bool          `json:"sampled"`
 	Sample    sample.Params `json:"sample"`
+	// BPred selects a branch predictor for every cell of the submission,
+	// in -bpred flag syntax (e.g. "gshare:entries=4096,hist=12"). Empty
+	// uses the daemon's -bpred default; "folding" forces the paper's
+	// front end even when the daemon default is a predictor.
+	BPred string `json:"bpred"`
 }
 
 // sweepCell is one streamed result line. Healthy cells carry the headline
@@ -128,11 +139,14 @@ type sweepCell struct {
 	// it, and the sampling discriminator that keys the estimate in the
 	// store (never aliasing an exact run). Cycles is then the estimate
 	// CPI x Instructions, not a simulated count.
-	CPIError  float64    `json:"cpi_err,omitempty"`
-	Windows   int        `json:"windows,omitempty"`
-	SampleKey string     `json:"sample_key,omitempty"`
-	Fault     *wireFault `json:"fault,omitempty"`
-	Error     string     `json:"error,omitempty"`
+	CPIError  float64 `json:"cpi_err,omitempty"`
+	Windows   int     `json:"windows,omitempty"`
+	SampleKey string  `json:"sample_key,omitempty"`
+	// BPred is the canonical predictor key when the cell ran with a
+	// branch predictor instead of the paper's folding front end.
+	BPred string     `json:"bpred,omitempty"`
+	Fault *wireFault `json:"fault,omitempty"`
+	Error string     `json:"error,omitempty"`
 }
 
 // wireFault is the PR 4 fault-cell shape: subsystem, simulated cycle, and
@@ -223,6 +237,18 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "sampled sweeps do not support the scheduled trace pass")
 		return
 	}
+	// The submission's predictor wins over the daemon default; an explicit
+	// "folding" parses to the zero config and so forces the paper's front
+	// end either way.
+	reqBPred := s.defaultBPred
+	if req.BPred != "" {
+		bp, err := bpred.Parse(req.BPred)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		reqBPred = bp
+	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -247,12 +273,15 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(j job) {
 			defer wg.Done()
-			opts := harness.Options{Budget: req.Budget, Scheduled: req.Scheduled}
+			opts := harness.Options{Budget: req.Budget, Scheduled: req.Scheduled, BPred: reqBPred}
 			cell := sweepCell{
 				Model:     j.cfg.Name,
 				Workload:  j.wl.Name,
 				Budget:    req.Budget,
 				Scheduled: req.Scheduled,
+			}
+			if !reqBPred.IsDefault() {
+				cell.BPred = reqBPred.Normalize().Key()
 			}
 			var err error
 			if req.Sampled {
@@ -384,6 +413,16 @@ var figureRenderers = map[string]func(context.Context, io.Writer, *harness.Runne
 		ratios, err := harness.WriteTraffic(ctx, r, o)
 		if err == nil {
 			harness.PrintWriteTraffic(w, ratios)
+		}
+		return err
+	},
+	"bpred": func(ctx context.Context, w io.Writer, r *harness.Runner, o harness.Options) error {
+		// The sweep names its own predictors; the daemon-wide -bpred
+		// default must not overlay its folding anchor point.
+		o.BPred = bpred.Config{}
+		res, err := harness.PredictorSweep(ctx, r, core.Baseline(), o)
+		if err == nil {
+			harness.PrintBPredSweep(w, res)
 		}
 		return err
 	},

@@ -49,6 +49,7 @@ func run() int {
 		precise      = flag.Bool("precise", false, "FPU precise-exception mode (§3.1)")
 		withMMU      = flag.Bool("mmu", false, "enable the structured MMU model (extension)")
 		nofold       = flag.Bool("nofold", false, "disable branch folding (ablation)")
+		bpredSpec    = flag.String("bpred", "", "branch predictor (extension): folding, static, bimodal, gshare, tage, with options like gshare:entries=4096,hist=12 (see docs/BRANCH-PREDICTION.md)")
 
 		storeDir      = flag.String("store", "", "persistent result store directory: a prior run of this exact configuration is answered from disk (skipping -metrics-out/-trace-out capture)")
 		storeReadOnly = flag.Bool("store-readonly", false, "serve store hits but never write new entries")
@@ -103,6 +104,13 @@ func run() int {
 	cfg.VictimLines = *victim
 	cfg.FPU.Precise = *precise
 	cfg.DisableBranchFolding = *nofold
+	if *bpredSpec != "" {
+		bp, err := aurora.ParseBPred(*bpredSpec)
+		if err != nil {
+			return fail(err)
+		}
+		cfg.BPred = bp
+	}
 	if *withMMU {
 		cfg.MMU = aurora.DefaultMMU()
 	}

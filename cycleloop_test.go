@@ -29,13 +29,13 @@ func (s *loopStream) Err() error { return nil }
 // newWarmCycleLoop builds a processor over an endless synthetic trace and
 // steps it past the cold phase (cache fills, pool and ring growth), leaving
 // it in steady state.
-func newWarmCycleLoop(tb testing.TB) *core.Processor {
+func newWarmCycleLoop(tb testing.TB, cfg core.Config) *core.Processor {
 	tb.Helper()
 	script := make([]byte, 1024)
 	for i := range script {
 		script[i] = byte(i * 131)
 	}
-	p, err := core.NewProcessor(Baseline(), &loopStream{recs: genTrace(script)})
+	p, err := core.NewProcessor(cfg, &loopStream{recs: genTrace(script)})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -47,17 +47,28 @@ func newWarmCycleLoop(tb testing.TB) *core.Processor {
 	return p
 }
 
-// TestCycleLoopZeroAlloc pins the PR's headline property: once warmed up,
-// the per-cycle simulation step performs no heap allocation at all.
+// TestCycleLoopZeroAlloc pins the headline property: once warmed up, the
+// per-cycle simulation step performs no heap allocation at all — with the
+// default folding front end and with every branch predictor swapped in
+// (Predict/Update/Recover are on the per-cycle path).
 func TestCycleLoopZeroAlloc(t *testing.T) {
-	p := newWarmCycleLoop(t)
-	avg := testing.AllocsPerRun(20, func() {
-		for i := 0; i < 5_000; i++ {
-			p.Step()
-		}
-	})
-	if avg != 0 {
-		t.Fatalf("steady-state cycle loop allocates: %.2f allocs per 5k-cycle run, want 0", avg)
+	for _, spec := range []string{"folding", "static", "bimodal", "gshare", "tage"} {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			bp, err := ParseBPred(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := newWarmCycleLoop(t, Baseline().WithBPred(bp))
+			avg := testing.AllocsPerRun(20, func() {
+				for i := 0; i < 5_000; i++ {
+					p.Step()
+				}
+			})
+			if avg != 0 {
+				t.Fatalf("steady-state cycle loop allocates: %.2f allocs per 5k-cycle run, want 0", avg)
+			}
+		})
 	}
 }
 
@@ -89,7 +100,7 @@ func TestSimulationStepMatchesRun(t *testing.T) {
 // BenchmarkCycleLoop times the steady-state per-cycle step over a warmed-up
 // machine; allocs/op must report 0.
 func BenchmarkCycleLoop(b *testing.B) {
-	p := newWarmCycleLoop(b)
+	p := newWarmCycleLoop(b, Baseline())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

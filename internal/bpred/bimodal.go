@@ -1,0 +1,68 @@
+package bpred
+
+// Two-bit saturating counter values. Counters start weakly taken: loop
+// back-edges — the dominant branches of the paper's kernels — train in one
+// step and the differential reference model pins the same convention.
+const (
+	ctrStrongNot   = 0
+	ctrWeakNot     = 1
+	ctrWeakTaken   = 2
+	ctrStrongTaken = 3
+)
+
+// bump saturates a 2-bit counter toward the outcome.
+//
+//aurora:hotpath
+func bump(c uint8, taken bool) uint8 {
+	if taken {
+		if c < ctrStrongTaken {
+			c++
+		}
+		return c
+	}
+	if c > ctrStrongNot {
+		c--
+	}
+	return c
+}
+
+// bimodal is a PC-indexed table of 2-bit saturating counters (Smith 1981).
+// No history: Predict is read-only and Recover has nothing to squash.
+type bimodal struct {
+	ctr  []uint8
+	mask uint32
+}
+
+func newBimodal(c Config) *bimodal {
+	b := &bimodal{
+		ctr:  make([]uint8, c.Entries),
+		mask: uint32(c.Entries - 1),
+	}
+	b.Reset()
+	return b
+}
+
+//aurora:hotpath
+func (b *bimodal) index(pc uint32) uint32 { return (pc >> 2) & b.mask }
+
+//aurora:hotpath
+func (b *bimodal) Predict(pc, target uint32) bool {
+	return b.ctr[b.index(pc)] >= ctrWeakTaken
+}
+
+//aurora:hotpath
+func (b *bimodal) Update(pc uint32, taken bool) {
+	i := b.index(pc)
+	b.ctr[i] = bump(b.ctr[i], taken)
+}
+
+//aurora:hotpath
+func (b *bimodal) Recover() {}
+
+func (b *bimodal) StorageBits() uint64 { return 2 * uint64(len(b.ctr)) }
+
+func (b *bimodal) Reset() {
+	for i := range b.ctr {
+		b.ctr[i] = ctrWeakTaken
+	}
+}

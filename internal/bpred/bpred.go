@@ -1,0 +1,363 @@
+// Package bpred models branch direction prediction as a costed front-end
+// resource. The paper's Aurora III front end treats control flow as free
+// branch folding: the pre-decoded NEXT field of every cached instruction
+// pair redirects fetch with no bubble, which is equivalent to a perfect
+// direction predictor at zero RBE. This package opens that axis: a pluggable
+// Predictor (static, bimodal, gshare, TAGE) whose storage is priced in
+// Table 2 RBE exactly like the caches, and whose mispredictions inject a
+// redirect bubble into the fetch unit.
+//
+// Everything here is deterministic — no wall clock, no math/rand (TAGE's
+// allocation tie-breaker is a fixed-seed xorshift) — and the per-branch path
+// (Predict/Update/Recover) is allocation-free: all tables are sized at
+// construction. Both properties are enforced by aurora-lint (the package is
+// in the determinism analyzer's simulation set) and by the zero-alloc cycle
+// loop test, which runs with every predictor enabled.
+package bpred
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind selects a predictor model.
+type Kind uint8
+
+const (
+	// Folding is the paper-faithful default: the pre-decoded NEXT field
+	// redirects taken transfers for free (a perfect predictor at zero
+	// storage). The zero Config value selects it, so configurations that
+	// predate the predictor axis keep their identity.
+	Folding Kind = iota
+	// Static predicts backward taken / forward not-taken (BTFNT). No
+	// storage; every loop back-edge is right, every forward branch wrong
+	// when taken.
+	Static
+	// Bimodal is a PC-indexed table of 2-bit saturating counters.
+	Bimodal
+	// GShare XORs a global history register into the counter-table index,
+	// correlating a branch's prediction with the path that reached it.
+	GShare
+	// TAGE is a base bimodal table plus tagged components indexed by
+	// geometrically increasing history lengths; the longest matching
+	// history wins.
+	TAGE
+)
+
+// String returns the flag spelling of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Folding:
+		return "folding"
+	case Static:
+		return "static"
+	case Bimodal:
+		return "bimodal"
+	case GShare:
+		return "gshare"
+	case TAGE:
+		return "tage"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Config parameterises a predictor. The zero value means Folding — the
+// paper's free-folding front end — and is the only Config whose IsDefault
+// reports true; every non-default Config extends the machine fingerprint, so
+// the predictor axis can never alias results computed without it.
+type Config struct {
+	Kind Kind
+
+	// Entries sizes the direction-counter table for Bimodal and GShare
+	// (power of two; default 4096).
+	Entries int
+	// HistoryBits is the GShare global-history length (default 12,
+	// capped at log2(Entries)).
+	HistoryBits int
+
+	// TageTables is the number of tagged components (default 4).
+	TageTables int
+	// TageEntries sizes each tagged component (power of two; default 1024).
+	TageEntries int
+	// TageTagBits is the partial tag width per tagged entry (default 8).
+	TageTagBits int
+	// TageMinHist/TageMaxHist bound the geometric history series
+	// (defaults 4 and 64).
+	TageMinHist int
+	TageMaxHist int
+
+	// MispredictPenalty is the redirect bubble in cycles charged per
+	// mispredicted conditional branch (default 2: direction resolves at
+	// execute, one stage later than the JR target bubble).
+	MispredictPenalty int
+}
+
+// IsDefault reports whether the config is the paper-faithful free-folding
+// front end (the zero value after Normalize).
+func (c Config) IsDefault() bool { return c == Config{} }
+
+// Normalize fills unset fields with defaults. The Folding kind normalizes
+// to the zero value: its parameters are meaningless and must not perturb
+// the configuration fingerprint.
+func (c Config) Normalize() Config {
+	if c.Kind == Folding {
+		return Config{}
+	}
+	if c.MispredictPenalty <= 0 {
+		c.MispredictPenalty = 2
+	}
+	switch c.Kind {
+	case Static:
+		c.Entries, c.HistoryBits = 0, 0
+	case Bimodal:
+		if c.Entries <= 0 {
+			c.Entries = 4096
+		}
+		c.HistoryBits = 0
+	case GShare:
+		if c.Entries <= 0 {
+			c.Entries = 4096
+		}
+		if c.HistoryBits <= 0 {
+			c.HistoryBits = 12
+		}
+		if max := log2(c.Entries); c.HistoryBits > max {
+			c.HistoryBits = max
+		}
+	}
+	if c.Kind != TAGE {
+		c.TageTables, c.TageEntries, c.TageTagBits = 0, 0, 0
+		c.TageMinHist, c.TageMaxHist = 0, 0
+		return c
+	}
+	c.Entries, c.HistoryBits = 0, 0
+	if c.TageTables <= 0 {
+		c.TageTables = 4
+	}
+	if c.TageEntries <= 0 {
+		c.TageEntries = 1024
+	}
+	if c.TageTagBits <= 0 {
+		c.TageTagBits = 8
+	}
+	if c.TageMinHist <= 0 {
+		c.TageMinHist = 4
+	}
+	if c.TageMaxHist <= c.TageMinHist {
+		c.TageMaxHist = c.TageMinHist << uint(c.TageTables-1)
+		if c.TageMaxHist > maxHistoryBits {
+			c.TageMaxHist = maxHistoryBits
+		}
+	}
+	return c
+}
+
+// maxHistoryBits bounds every history register to one uint64.
+const maxHistoryBits = 64
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	n := c.Normalize()
+	switch n.Kind {
+	case Folding, Static:
+		return nil
+	case Bimodal, GShare:
+		if n.Entries&(n.Entries-1) != 0 {
+			return fmt.Errorf("bpred: %s table entries %d not a power of two", n.Kind, n.Entries)
+		}
+		if n.Entries > 1<<24 {
+			return fmt.Errorf("bpred: %s table entries %d unreasonably large", n.Kind, n.Entries)
+		}
+		if n.Kind == GShare && n.HistoryBits > maxHistoryBits {
+			return fmt.Errorf("bpred: gshare history %d exceeds %d bits", n.HistoryBits, maxHistoryBits)
+		}
+		return nil
+	case TAGE:
+		if n.TageEntries&(n.TageEntries-1) != 0 {
+			return fmt.Errorf("bpred: tage table entries %d not a power of two", n.TageEntries)
+		}
+		if n.TageTables > 16 {
+			return fmt.Errorf("bpred: %d tagged tables unreasonably many", n.TageTables)
+		}
+		if n.TageTagBits < 2 || n.TageTagBits > 16 {
+			return fmt.Errorf("bpred: tag width %d outside 2..16 bits", n.TageTagBits)
+		}
+		if n.TageMaxHist > maxHistoryBits {
+			return fmt.Errorf("bpred: tage history %d exceeds %d bits", n.TageMaxHist, maxHistoryBits)
+		}
+		return nil
+	}
+	return fmt.Errorf("bpred: unknown predictor kind %d", uint8(c.Kind))
+}
+
+// Key returns the canonical identity of the predictor configuration: short,
+// stable, and collision-free across distinct normalized configs. It is what
+// the machine fingerprint embeds for non-default predictors.
+func (c Config) Key() string {
+	c = c.Normalize()
+	switch c.Kind {
+	case Folding:
+		return "folding"
+	case Static:
+		return fmt.Sprintf("static/p%d", c.MispredictPenalty)
+	case Bimodal:
+		return fmt.Sprintf("bimodal/e%d/p%d", c.Entries, c.MispredictPenalty)
+	case GShare:
+		return fmt.Sprintf("gshare/e%d/h%d/p%d", c.Entries, c.HistoryBits, c.MispredictPenalty)
+	case TAGE:
+		return fmt.Sprintf("tage/t%d/e%d/tag%d/h%d-%d/p%d",
+			c.TageTables, c.TageEntries, c.TageTagBits, c.TageMinHist, c.TageMaxHist, c.MispredictPenalty)
+	}
+	return fmt.Sprintf("kind%d", uint8(c.Kind))
+}
+
+// Parse builds a Config from the -bpred flag syntax: a kind name optionally
+// followed by key=value options, e.g.
+//
+//	folding
+//	static
+//	bimodal:entries=2048
+//	gshare:entries=4096,hist=12,penalty=3
+//	tage:tables=4,entries=1024,tag=8,minhist=4,maxhist=64
+func Parse(s string) (Config, error) {
+	var c Config
+	name, opts, _ := strings.Cut(strings.TrimSpace(s), ":")
+	switch strings.ToLower(name) {
+	case "", "folding", "fold", "none":
+		c.Kind = Folding
+	case "static", "btfnt":
+		c.Kind = Static
+	case "bimodal", "2bit":
+		c.Kind = Bimodal
+	case "gshare":
+		c.Kind = GShare
+	case "tage":
+		c.Kind = TAGE
+	default:
+		return Config{}, fmt.Errorf("bpred: unknown predictor %q (want folding|static|bimodal|gshare|tage)", name)
+	}
+	if opts != "" {
+		for _, kv := range strings.Split(opts, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return Config{}, fmt.Errorf("bpred: malformed option %q (want key=value)", kv)
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return Config{}, fmt.Errorf("bpred: option %s: %v", k, err)
+			}
+			switch strings.ToLower(k) {
+			case "entries":
+				if c.Kind == TAGE {
+					c.TageEntries = n
+				} else {
+					c.Entries = n
+				}
+			case "hist":
+				c.HistoryBits = n
+			case "penalty":
+				c.MispredictPenalty = n
+			case "tables":
+				c.TageTables = n
+			case "tag":
+				c.TageTagBits = n
+			case "minhist":
+				c.TageMinHist = n
+			case "maxhist":
+				c.TageMaxHist = n
+			default:
+				return Config{}, fmt.Errorf("bpred: unknown option %q", k)
+			}
+		}
+	}
+	c = c.Normalize()
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// StorageBits returns the predictor's state storage in bits — the quantity
+// internal/rbe prices at the Table 2 SRAM rate. Folding and Static carry no
+// state. The value is a pure function of the normalized config; New's
+// implementations report the identical number (pinned by a test).
+func (c Config) StorageBits() uint64 {
+	c = c.Normalize()
+	switch c.Kind {
+	case Bimodal:
+		return 2 * uint64(c.Entries)
+	case GShare:
+		return 2*uint64(c.Entries) + uint64(c.HistoryBits)
+	case TAGE:
+		// Base bimodal table plus, per tagged entry: a 3-bit signed
+		// counter, the partial tag, and a 2-bit useful counter. The
+		// history register costs its maximum length.
+		base := 2 * uint64(tageBaseEntries)
+		tagged := uint64(c.TageTables) * uint64(c.TageEntries) * uint64(3+c.TageTagBits+2)
+		return base + tagged + uint64(c.TageMaxHist)
+	}
+	return 0
+}
+
+// Predictor is a deterministic branch direction predictor. The contract,
+// which the recovery property test verifies behaviourally:
+//
+//   - Predict consults the tables and the *speculative* history, shifts the
+//     predicted direction into the speculative history, and mutates nothing
+//     else. It may be called on wrong-path branches.
+//   - Update is called once per committed conditional branch, in program
+//     order. It trains the tables using the *committed* history, shifts the
+//     actual outcome into it, and resynchronises the speculative history to
+//     the committed one (the front end is redirected at resolution, so any
+//     younger speculation is squashed).
+//   - Recover squashes outstanding speculation without committing anything:
+//     speculative history := committed history. After any burst of
+//     wrong-path Predicts, Recover restores state identical to never having
+//     speculated.
+//
+// Implementations allocate all state at construction; Predict, Update and
+// Recover are allocation-free and are on the fetch unit's per-cycle path.
+type Predictor interface {
+	// Predict returns the predicted direction for the conditional branch
+	// at pc. target is the branch's taken destination (used only by the
+	// static BTFNT scheme; table-based schemes ignore it).
+	Predict(pc, target uint32) bool
+	// Update trains the predictor with the committed outcome.
+	Update(pc uint32, taken bool)
+	// Recover discards speculative history after a squash.
+	Recover()
+	// StorageBits reports the implementation's state storage in bits;
+	// it is constant for the predictor's lifetime and equals
+	// Config.StorageBits.
+	StorageBits() uint64
+	// Reset returns the predictor to its post-construction state.
+	Reset()
+}
+
+// New builds the predictor selected by the config, or nil for the default
+// free-folding front end (the fetch unit models folding itself).
+func New(c Config) Predictor {
+	c = c.Normalize()
+	switch c.Kind {
+	case Static:
+		return newStatic()
+	case Bimodal:
+		return newBimodal(c)
+	case GShare:
+		return newGShare(c)
+	case TAGE:
+		return newTAGE(c)
+	}
+	return nil
+}
+
+// log2 returns floor(log2(n)) for n > 0.
+func log2(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}

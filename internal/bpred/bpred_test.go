@@ -1,0 +1,238 @@
+package bpred
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseKey pins the flag syntax → canonical key mapping the fingerprint
+// embeds. A key change here silently re-keys every stored result, so these
+// strings are load-bearing.
+func TestParseKey(t *testing.T) {
+	cases := []struct {
+		spec string
+		key  string
+	}{
+		{"", "folding"},
+		{"folding", "folding"},
+		{"fold", "folding"},
+		{"none", "folding"},
+		{"static", "static/p2"},
+		{"btfnt", "static/p2"},
+		{"static:penalty=4", "static/p4"},
+		{"bimodal", "bimodal/e4096/p2"},
+		{"2bit:entries=512", "bimodal/e512/p2"},
+		{"gshare", "gshare/e4096/h12/p2"},
+		{"gshare:entries=1024,hist=10", "gshare/e1024/h10/p2"},
+		// History longer than the index is capped at log2(entries).
+		{"gshare:entries=256,hist=20", "gshare/e256/h8/p2"},
+		{"tage", "tage/t4/e1024/tag8/h4-32/p2"},
+		{"tage:tables=3,entries=256,tag=7,minhist=2,maxhist=16", "tage/t3/e256/tag7/h2-16/p2"},
+		{"TAGE:penalty=3", "tage/t4/e1024/tag8/h4-32/p3"},
+	}
+	for _, c := range cases {
+		cfg, err := Parse(c.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.spec, err)
+			continue
+		}
+		if got := cfg.Key(); got != c.key {
+			t.Errorf("Parse(%q).Key() = %q, want %q", c.spec, got, c.key)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"perceptron",              // unknown kind
+		"bimodal:entries",         // missing value
+		"bimodal:entries=x",       // non-numeric
+		"bimodal:depth=3",         // unknown option
+		"bimodal:entries=1000",    // not a power of two
+		"gshare:entries=33554432", // unreasonably large
+		"tage:tag=1",              // tag too narrow
+		"tage:tag=20",             // tag too wide
+		"tage:tables=99",          // too many tables
+		"tage:maxhist=128",        // history exceeds one register
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", spec)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	// Folding normalizes to the zero value whatever junk rides along, so
+	// pre-axis configurations keep their fingerprints.
+	junk := Config{Kind: Folding, Entries: 99, HistoryBits: 7, MispredictPenalty: 5}
+	if n := junk.Normalize(); n != (Config{}) {
+		t.Errorf("folding Normalize() = %+v, want zero value", n)
+	}
+	if !junk.Normalize().IsDefault() {
+		t.Error("normalized folding config must be IsDefault")
+	}
+	if (Config{Kind: Bimodal}).Normalize().IsDefault() {
+		t.Error("bimodal config must not be IsDefault")
+	}
+	// Irrelevant fields are cleared per kind: a bimodal with gshare/tage
+	// fields set is the same predictor as one without.
+	a := Config{Kind: Bimodal, Entries: 512, HistoryBits: 9, TageTables: 3}.Normalize()
+	b := Config{Kind: Bimodal, Entries: 512}.Normalize()
+	if a != b {
+		t.Errorf("bimodal normalize kept irrelevant fields: %+v vs %+v", a, b)
+	}
+	// TAGE max history derives geometrically from the minimum when unset.
+	tg := Config{Kind: TAGE, TageTables: 5, TageMinHist: 3}.Normalize()
+	if tg.TageMaxHist != 3<<4 {
+		t.Errorf("tage derived max history %d, want %d", tg.TageMaxHist, 3<<4)
+	}
+}
+
+// TestStorageBits pins the priced storage per predictor and checks the
+// constructed implementation reports the identical number — the figure's
+// x-axis and the RBE costing must agree.
+func TestStorageBits(t *testing.T) {
+	cases := []struct {
+		spec string
+		bits uint64
+	}{
+		{"folding", 0},
+		{"static", 0},
+		{"bimodal:entries=512", 1024},
+		{"bimodal", 8192},
+		{"gshare:entries=1024,hist=10", 2058},
+		{"gshare", 8192 + 12},
+		// base 2*4096 + 4 tables * 1024 entries * (3 ctr + 8 tag + 2 u)
+		// + 32 history bits.
+		{"tage", 8192 + 4*1024*13 + 32},
+	}
+	for _, c := range cases {
+		cfg, err := Parse(c.spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.spec, err)
+		}
+		if got := cfg.StorageBits(); got != c.bits {
+			t.Errorf("%s: Config.StorageBits() = %d, want %d", c.spec, got, c.bits)
+		}
+		if p := New(cfg); p != nil && p.StorageBits() != c.bits {
+			t.Errorf("%s: implementation StorageBits() = %d, config says %d",
+				c.spec, p.StorageBits(), c.bits)
+		}
+	}
+}
+
+// TestBimodalCounterTable is the 2-bit saturating counter state machine,
+// exhaustively: (state, outcome) → state.
+func TestBimodalCounterTable(t *testing.T) {
+	cases := []struct {
+		state uint8
+		taken bool
+		next  uint8
+	}{
+		{ctrStrongNot, false, ctrStrongNot}, // saturates low
+		{ctrStrongNot, true, ctrWeakNot},
+		{ctrWeakNot, false, ctrStrongNot},
+		{ctrWeakNot, true, ctrWeakTaken},
+		{ctrWeakTaken, false, ctrWeakNot},
+		{ctrWeakTaken, true, ctrStrongTaken},
+		{ctrStrongTaken, false, ctrWeakTaken},
+		{ctrStrongTaken, true, ctrStrongTaken}, // saturates high
+	}
+	for _, c := range cases {
+		if got := bump(c.state, c.taken); got != c.next {
+			t.Errorf("bump(%d, %v) = %d, want %d", c.state, c.taken, got, c.next)
+		}
+	}
+	// Direction threshold: the two upper states predict taken.
+	b := New(Config{Kind: Bimodal, Entries: 16}.Normalize())
+	if !b.Predict(0x1000, 0) {
+		t.Error("fresh bimodal counter (weakly taken) predicted not-taken")
+	}
+	b.Update(0x1000, false) // weak-taken -> weak-not
+	if b.Predict(0x1000, 0) {
+		t.Error("counter at weakly-not-taken predicted taken")
+	}
+	b.Update(0x1000, true) // weak-not -> weak-taken
+	if !b.Predict(0x1000, 0) {
+		t.Error("counter back at weakly-taken predicted not-taken")
+	}
+}
+
+// TestStaticBTFNT pins the backward-taken/forward-not-taken heuristic.
+func TestStaticBTFNT(t *testing.T) {
+	s := New(Config{Kind: Static}.Normalize())
+	if !s.Predict(0x2000, 0x1000) {
+		t.Error("backward branch predicted not-taken")
+	}
+	if !s.Predict(0x2000, 0x2000) {
+		t.Error("self-loop predicted not-taken")
+	}
+	if s.Predict(0x1000, 0x2000) {
+		t.Error("forward branch predicted taken")
+	}
+}
+
+// TestGShareAliasing checks the defining gshare behaviour: one PC trains
+// different counters under different histories, so a history-correlated
+// branch becomes predictable where bimodal thrashes.
+func TestGShareAliasing(t *testing.T) {
+	g := New(Config{Kind: GShare, Entries: 64, HistoryBits: 4}.Normalize())
+	const pc = 0x4000
+	// Alternating outcome, perfectly correlated with its own history.
+	// After warm-up, gshare predicts it (two counters, one per phase).
+	for i := 0; i < 64; i++ {
+		g.Predict(pc, 0)
+		g.Update(pc, i%2 == 0)
+	}
+	wrong := 0
+	for i := 64; i < 128; i++ {
+		if g.Predict(pc, 0) != (i%2 == 0) {
+			wrong++
+		}
+		g.Update(pc, i%2 == 0)
+	}
+	if wrong > 0 {
+		t.Errorf("gshare mispredicted a history-correlated alternating branch %d/64 times", wrong)
+	}
+}
+
+// TestNewFolding pins nil for the default front end: the IFU models folding
+// itself and must not pay a predictor call.
+func TestNewFolding(t *testing.T) {
+	if p := New(Config{}); p != nil {
+		t.Errorf("New(folding) = %T, want nil", p)
+	}
+}
+
+// TestTageGeomHist pins the geometric history series: monotone, bounded,
+// endpoints exact — and bit-stable (integer arithmetic only), since the
+// lengths feed index hashes that feed the fingerprinted simulation.
+func TestTageGeomHist(t *testing.T) {
+	tg := Config{Kind: TAGE, TageTables: 4, TageMinHist: 4, TageMaxHist: 64}.Normalize()
+	p := New(tg).(*tage)
+	want := []int{4, 10, 25, 64} // pinned: 4 * (64/4)^(i/3), 16.16 fixed point
+	for i, h := range p.hist {
+		if h != want[i] {
+			t.Errorf("geometric history[%d] = %d, want %d (full series %v)", i, h, want[i], p.hist)
+		}
+	}
+	for i := 1; i < len(p.hist); i++ {
+		if p.hist[i] <= p.hist[i-1] {
+			t.Errorf("history series not strictly increasing: %v", p.hist)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Folding: "folding", Static: "static", Bimodal: "bimodal",
+		GShare: "gshare", TAGE: "tage",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", uint8(k), k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Errorf("unknown kind stringer %q should embed the value", Kind(99).String())
+	}
+}

@@ -1,0 +1,439 @@
+package bpred
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The differential net: each packed predictor is checked call-for-call
+// against an unoptimized reference model built on maps and straight-line
+// code. The references share nothing with the hot implementations except
+// the published constants (counter conventions, RNG seed, geometric history
+// lengths), so a bug in the packed indexing, saturation, allocation or
+// history machinery shows up as a divergence.
+//
+// Streams are randomized with the package's own xorshift (math/rand is
+// banned in simulation packages by the determinism analyzer, test files
+// included) and every failure message carries the seed.
+
+// testRand is a self-contained xorshift64 for test streams.
+type testRand struct{ s uint64 }
+
+func newTestRand(seed uint64) *testRand {
+	if seed == 0 {
+		seed = 1
+	}
+	return &testRand{s: seed}
+}
+
+func (r *testRand) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// intn returns a value in [0, n).
+func (r *testRand) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// chance reports true with probability num/den.
+func (r *testRand) chance(num, den int) bool { return r.intn(den) < num }
+
+// --- reference models ---------------------------------------------------
+
+// refBimodal: 2-bit counters in a map; a missing entry is the weakly-taken
+// initial state.
+type refBimodal struct {
+	entries uint32
+	ctr     map[uint32]uint8
+}
+
+func newRefBimodal(c Config) *refBimodal {
+	return &refBimodal{entries: uint32(c.Entries), ctr: map[uint32]uint8{}}
+}
+
+func (b *refBimodal) counter(i uint32) uint8 {
+	if v, ok := b.ctr[i]; ok {
+		return v
+	}
+	return ctrWeakTaken
+}
+
+func (b *refBimodal) Predict(pc, target uint32) bool {
+	return b.counter((pc>>2)%b.entries) >= ctrWeakTaken
+}
+
+func (b *refBimodal) Update(pc uint32, taken bool) {
+	i := (pc >> 2) % b.entries
+	b.ctr[i] = bump(b.counter(i), taken)
+}
+
+func (b *refBimodal) Recover()            {}
+func (b *refBimodal) StorageBits() uint64 { return 2 * uint64(b.entries) }
+func (b *refBimodal) Reset()              { b.ctr = map[uint32]uint8{} }
+
+// refGShare mirrors gshare with a counter map and explicit bit-slice
+// history handling.
+type refGShare struct {
+	cfg  Config
+	ctr  map[uint32]uint8
+	spec []bool // youngest last
+	comm []bool
+}
+
+func newRefGShare(c Config) *refGShare {
+	return &refGShare{cfg: c, ctr: map[uint32]uint8{}}
+}
+
+// histBits packs the youngest HistoryBits outcomes into an integer,
+// youngest at bit 0 — the reference statement of the history encoding.
+func (g *refGShare) histBits(h []bool) uint32 {
+	var out uint32
+	for i := 0; i < g.cfg.HistoryBits && i < len(h); i++ {
+		if h[len(h)-1-i] {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+func (g *refGShare) counter(i uint32) uint8 {
+	if v, ok := g.ctr[i]; ok {
+		return v
+	}
+	return ctrWeakTaken
+}
+
+func (g *refGShare) index(pc uint32, h []bool) uint32 {
+	return ((pc >> 2) ^ g.histBits(h)) % uint32(g.cfg.Entries)
+}
+
+func (g *refGShare) Predict(pc, target uint32) bool {
+	taken := g.counter(g.index(pc, g.spec)) >= ctrWeakTaken
+	g.spec = append(g.spec, taken)
+	return taken
+}
+
+func (g *refGShare) Update(pc uint32, taken bool) {
+	i := g.index(pc, g.comm)
+	g.ctr[i] = bump(g.counter(i), taken)
+	g.comm = append(g.comm, taken)
+	g.spec = append(g.spec[:0:0], g.comm...)
+}
+
+func (g *refGShare) Recover() { g.spec = append(g.spec[:0:0], g.comm...) }
+
+func (g *refGShare) StorageBits() uint64 {
+	return 2*uint64(g.cfg.Entries) + uint64(g.cfg.HistoryBits)
+}
+
+func (g *refGShare) Reset() { g.ctr = map[uint32]uint8{}; g.spec, g.comm = nil, nil }
+
+// refTageEntry is one tagged slot; the zero value models the cold
+// zero-initialized packed tables (tag 0 matches a zero tag hash — the
+// documented cold-start artifact the packed arrays exhibit too).
+type refTageEntry struct {
+	ctr int8
+	tag uint16
+	u   uint8
+}
+
+// refTAGE restates the TAGE algorithm over maps, with the hash folding
+// written bit-by-bit instead of chunk-wise.
+type refTAGE struct {
+	cfg     Config
+	hist    []int
+	base    map[uint32]uint8
+	tables  []map[uint32]refTageEntry
+	spec    []bool
+	comm    []bool
+	rng     uint64
+	updates uint64
+}
+
+func newRefTAGE(c Config) *refTAGE {
+	r := &refTAGE{cfg: c}
+	for i := 0; i < c.TageTables; i++ {
+		r.hist = append(r.hist, geomHist(c.TageMinHist, c.TageMaxHist, i, c.TageTables))
+	}
+	r.Reset()
+	return r
+}
+
+// refFold is the bit-at-a-time statement of the XOR fold: history bit p
+// (p = 0 youngest) lands at hash position p mod bits.
+func refFold(h []bool, length, bits int) uint32 {
+	var out uint32
+	for p := 0; p < length; p++ {
+		if p < len(h) && h[len(h)-1-p] {
+			out ^= 1 << uint(p%bits)
+		}
+	}
+	return out
+}
+
+func (r *refTAGE) baseCounter(i uint32) uint8 {
+	if v, ok := r.base[i]; ok {
+		return v
+	}
+	return ctrWeakTaken
+}
+
+func (r *refTAGE) index(i int, pc uint32, h []bool) uint32 {
+	pc >>= 2
+	idxBits := log2(r.cfg.TageEntries)
+	return (pc ^ pc>>uint(idxBits) ^ refFold(h, r.hist[i], idxBits)) % uint32(r.cfg.TageEntries)
+}
+
+func (r *refTAGE) tagHash(i int, pc uint32, h []bool) uint16 {
+	b := r.cfg.TageTagBits
+	return uint16((pc>>2 ^ refFold(h, r.hist[i], b) ^ refFold(h, r.hist[i], b-1)<<1) &
+		uint32(1<<uint(b)-1))
+}
+
+func (r *refTAGE) lookup(pc uint32, h []bool) (provider int, pIdx uint32, altPred bool) {
+	provider = -1
+	altPred = r.baseCounter((pc>>2)%tageBaseEntries) >= ctrWeakTaken
+	for i := r.cfg.TageTables - 1; i >= 0; i-- {
+		idx := r.index(i, pc, h)
+		if r.tables[i][idx].tag != r.tagHash(i, pc, h) {
+			continue
+		}
+		if provider < 0 {
+			provider, pIdx = i, idx
+			continue
+		}
+		altPred = r.tables[i][idx].ctr >= 0
+		break
+	}
+	return provider, pIdx, altPred
+}
+
+func (r *refTAGE) Predict(pc, target uint32) bool {
+	provider, pIdx, altPred := r.lookup(pc, r.spec)
+	taken := altPred
+	if provider >= 0 {
+		taken = r.tables[provider][pIdx].ctr >= 0
+	}
+	r.spec = append(r.spec, taken)
+	return taken
+}
+
+func (r *refTAGE) Update(pc uint32, taken bool) {
+	h := r.comm
+	provider, pIdx, altPred := r.lookup(pc, h)
+	var pred bool
+	if provider >= 0 {
+		pred = r.tables[provider][pIdx].ctr >= 0
+	} else {
+		pred = altPred
+	}
+
+	if provider >= 0 {
+		e := r.tables[provider][pIdx]
+		if pred != altPred {
+			if pred == taken {
+				if e.u < 3 {
+					e.u++
+				}
+			} else if e.u > 0 {
+				e.u--
+			}
+		}
+		if taken && e.ctr < tageCtrMax {
+			e.ctr++
+		} else if !taken && e.ctr > tageCtrMin {
+			e.ctr--
+		}
+		r.tables[provider][pIdx] = e
+	} else {
+		bi := (pc >> 2) % tageBaseEntries
+		r.base[bi] = bump(r.baseCounter(bi), taken)
+	}
+
+	if pred != taken && provider < r.cfg.TageTables-1 {
+		r.allocate(pc, h, provider, taken)
+	}
+
+	r.updates++
+	if r.updates%tageUClearPeriod == 0 {
+		for i := range r.tables {
+			for idx, e := range r.tables[i] {
+				e.u = 0
+				r.tables[i][idx] = e
+			}
+		}
+	}
+
+	r.comm = append(r.comm, taken)
+	r.spec = append(r.spec[:0:0], r.comm...)
+}
+
+func (r *refTAGE) allocate(pc uint32, h []bool, provider int, taken bool) {
+	cand1, cand2 := -1, -1
+	for j := provider + 1; j < r.cfg.TageTables; j++ {
+		if r.tables[j][r.index(j, pc, h)].u == 0 {
+			if cand1 < 0 {
+				cand1 = j
+			} else {
+				cand2 = j
+				break
+			}
+		}
+	}
+	if cand1 < 0 {
+		for j := provider + 1; j < r.cfg.TageTables; j++ {
+			idx := r.index(j, pc, h)
+			if e := r.tables[j][idx]; e.u > 0 {
+				e.u--
+				r.tables[j][idx] = e
+			}
+		}
+		return
+	}
+	j := cand1
+	if cand2 >= 0 && r.rngBit() {
+		j = cand2
+	}
+	idx := r.index(j, pc, h)
+	e := refTageEntry{tag: r.tagHash(j, pc, h), u: 0, ctr: -1}
+	if taken {
+		e.ctr = 0
+	}
+	r.tables[j][idx] = e
+}
+
+func (r *refTAGE) rngBit() bool {
+	r.rng ^= r.rng << 13
+	r.rng ^= r.rng >> 7
+	r.rng ^= r.rng << 17
+	return r.rng&1 != 0
+}
+
+func (r *refTAGE) Recover() { r.spec = append(r.spec[:0:0], r.comm...) }
+
+func (r *refTAGE) StorageBits() uint64 { return r.cfg.StorageBits() }
+
+func (r *refTAGE) Reset() {
+	r.base = map[uint32]uint8{}
+	r.tables = nil
+	for i := 0; i < r.cfg.TageTables; i++ {
+		r.tables = append(r.tables, map[uint32]refTageEntry{})
+	}
+	r.spec, r.comm = nil, nil
+	r.rng = tageRNGSeed
+	r.updates = 0
+}
+
+// newReference builds the reference twin for a config (static is its own
+// reference: it is already the naive statement of BTFNT).
+func newReference(c Config) Predictor {
+	switch c.Kind {
+	case Static:
+		return newStatic()
+	case Bimodal:
+		return newRefBimodal(c)
+	case GShare:
+		return newRefGShare(c)
+	case TAGE:
+		return newRefTAGE(c)
+	}
+	return nil
+}
+
+// diffConfigs are the differential targets: deliberately small tables so
+// random streams force aliasing, tag collisions and saturation quickly.
+var diffConfigs = []string{
+	"static",
+	"bimodal:entries=16",
+	"bimodal:entries=4096",
+	"gshare:entries=32,hist=5",
+	"gshare:entries=4096,hist=12",
+	"tage:tables=3,entries=16,tag=5,minhist=2,maxhist=12",
+	"tage:tables=4,entries=64,tag=8,minhist=4,maxhist=32",
+}
+
+// branchStream generates a randomized but structured branch stream: a small
+// pool of branch PCs, each with a bias and a phase, so the mix covers
+// strongly-biased, alternating and noisy branches.
+type branchEvent struct {
+	pc     uint32
+	target uint32
+	taken  bool
+}
+
+func genStream(r *testRand, n int) []branchEvent {
+	const pcs = 48
+	type site struct {
+		pc, target uint32
+		bias       int // taken probability in 1/8ths
+		alt        bool
+	}
+	sites := make([]site, pcs)
+	for i := range sites {
+		pc := 0x1000 + uint32(r.intn(1<<14))*4
+		tgt := 0x1000 + uint32(r.intn(1<<14))*4
+		sites[i] = site{pc: pc, target: tgt, bias: r.intn(9), alt: r.chance(1, 4)}
+	}
+	ev := make([]branchEvent, n)
+	for i := range ev {
+		s := &sites[r.intn(pcs)]
+		taken := r.chance(s.bias, 8)
+		if s.alt {
+			taken = i%2 == 0
+		}
+		ev[i] = branchEvent{pc: s.pc, target: s.target, taken: taken}
+	}
+	return ev
+}
+
+// TestDifferential drives every packed predictor and its reference through
+// the same randomized stream — committed branches, wrong-path bursts with
+// recovery, and mid-stream resets — comparing every Predict return.
+func TestDifferential(t *testing.T) {
+	for _, spec := range diffConfigs {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			t.Parallel()
+			cfg, err := Parse(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := uint64(1); seed <= 3; seed++ {
+				packed, ref := New(cfg), newReference(cfg)
+				r := newTestRand(seed * 0x9E3779B9)
+				ev := genStream(r, 20_000)
+				for i, e := range ev {
+					ctx := func() string {
+						return fmt.Sprintf("seed %d event %d pc=%#x", seed, i, e.pc)
+					}
+					// Occasional wrong-path burst before the committed
+					// prediction: both sides speculate and recover.
+					if r.chance(1, 8) {
+						for k := 0; k < 1+r.intn(4); k++ {
+							wp := ev[r.intn(len(ev))]
+							if packed.Predict(wp.pc, wp.target) != ref.Predict(wp.pc, wp.target) {
+								t.Fatalf("%s: wrong-path predict diverged", ctx())
+							}
+						}
+						packed.Recover()
+						ref.Recover()
+					}
+					if packed.Predict(e.pc, e.target) != ref.Predict(e.pc, e.target) {
+						t.Fatalf("%s: predict diverged", ctx())
+					}
+					packed.Update(e.pc, e.taken)
+					ref.Update(e.pc, e.taken)
+					if r.chance(1, 4096) {
+						packed.Reset()
+						ref.Reset()
+					}
+				}
+				if packed.StorageBits() != ref.StorageBits() {
+					t.Fatalf("seed %d: storage bits diverged: packed %d ref %d",
+						seed, packed.StorageBits(), ref.StorageBits())
+				}
+			}
+		})
+	}
+}

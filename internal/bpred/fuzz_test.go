@@ -1,0 +1,90 @@
+package bpred
+
+import "testing"
+
+// FuzzPredictorStream decodes a predictor configuration and an operation
+// stream from raw bytes and drives the predictor through it. The harness
+// checks the two invariants every caller depends on: no input may panic
+// (indexing is masked, histories saturate) and the storage-bit accounting
+// never drifts from the configured value while the tables train.
+//
+// Wired into `make fuzz` and replayed over the checked-in corpus by the CI
+// fuzz job (go test -run FuzzPredictorStream).
+func FuzzPredictorStream(f *testing.F) {
+	f.Add([]byte{1, 4, 0x10, 0x20, 0x03})
+	f.Add([]byte{2, 6, 5, 0xAA, 0xBB, 0xCC, 0xDD, 0x7F})
+	f.Add([]byte{3, 4, 3, 5, 2, 0x01, 0x02, 0x03, 0x04, 0x80, 0xFE})
+	f.Add([]byte{0, 0xFF, 0x00, 0x41})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		// Byte 0 selects the kind, the next bytes size the tables; all are
+		// reduced into the validated ranges rather than rejected, so every
+		// input exercises a predictor.
+		var cfg Config
+		switch data[0] % 4 {
+		case 0:
+			cfg.Kind = Static
+		case 1:
+			cfg.Kind = Bimodal
+			cfg.Entries = 1 << (2 + data[1]%12)
+		case 2:
+			cfg.Kind = GShare
+			cfg.Entries = 1 << (2 + data[1]%12)
+			if len(data) > 2 {
+				cfg.HistoryBits = 1 + int(data[2]%24)
+			}
+		case 3:
+			cfg.Kind = TAGE
+			cfg.TageTables = 1 + int(data[1]%8)
+			if len(data) > 4 {
+				cfg.TageEntries = 1 << (2 + data[2]%9)
+				cfg.TageTagBits = 2 + int(data[3]%15)
+				cfg.TageMinHist = 1 + int(data[4]%16)
+			}
+		}
+		cfg = cfg.Normalize()
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("normalized config %+v failed validation: %v", cfg, err)
+		}
+		p := New(cfg)
+		if p == nil {
+			t.Fatalf("New(%+v) returned nil for non-folding config", cfg)
+		}
+		bits := p.StorageBits()
+		if bits != cfg.StorageBits() {
+			t.Fatalf("storage bits disagree: implementation %d config %d", bits, cfg.StorageBits())
+		}
+
+		// The remaining bytes drive the operation stream. Each byte is one
+		// op: low bits pick a PC from a derived pool, high bits pick the
+		// action, so corpus mutation explores interleavings of speculation,
+		// recovery, commit and reset.
+		ops := data[1:]
+		pc := func(b byte) uint32 { return 0x1000 + uint32(b&0x3F)*4 }
+		var h uint64 = 0x12345
+		for _, b := range ops {
+			h = h*6364136223846793005 + 1
+			target := 0x1000 + uint32(h>>40&0xFFFF)*4
+			switch b >> 6 {
+			case 0: // predict + commit
+				p.Predict(pc(b), target)
+				p.Update(pc(b), b&1 != 0)
+			case 1: // wrong-path speculation
+				p.Predict(pc(b), target)
+			case 2: // flush
+				p.Recover()
+			case 3: // commit without a preceding predict (decode-time branch)
+				p.Update(pc(b), b&2 != 0)
+			}
+			if got := p.StorageBits(); got != bits {
+				t.Fatalf("storage bits drifted during stream: %d -> %d", bits, got)
+			}
+		}
+		p.Reset()
+		if got := p.StorageBits(); got != bits {
+			t.Fatalf("storage bits drifted across Reset: %d -> %d", bits, got)
+		}
+	})
+}

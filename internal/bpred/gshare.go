@@ -1,0 +1,75 @@
+package bpred
+
+// gshare (McFarling 1993) XORs a global branch-history register into the
+// counter-table index, so the same static branch trains separate counters
+// per path. Two history registers implement speculation: Predict shifts the
+// *predicted* direction into the speculative copy, Update shifts the
+// *actual* outcome into the committed copy and resynchronises, Recover
+// resynchronises without committing.
+type gshare struct {
+	ctr      []uint8
+	mask     uint32
+	histMask uint64
+	spec     uint64 // speculative history (youngest bit = bit 0)
+	comm     uint64 // committed history
+}
+
+func newGShare(c Config) *gshare {
+	g := &gshare{
+		ctr:      make([]uint8, c.Entries),
+		mask:     uint32(c.Entries - 1),
+		histMask: 1<<uint(c.HistoryBits) - 1,
+	}
+	g.Reset()
+	return g
+}
+
+//aurora:hotpath
+func (g *gshare) index(pc uint32, hist uint64) uint32 {
+	return ((pc >> 2) ^ uint32(hist&g.histMask)) & g.mask
+}
+
+//aurora:hotpath
+func (g *gshare) Predict(pc, target uint32) bool {
+	taken := g.ctr[g.index(pc, g.spec)] >= ctrWeakTaken
+	g.spec = g.spec << 1
+	if taken {
+		g.spec |= 1
+	}
+	return taken
+}
+
+//aurora:hotpath
+func (g *gshare) Update(pc uint32, taken bool) {
+	i := g.index(pc, g.comm)
+	g.ctr[i] = bump(g.ctr[i], taken)
+	g.comm = g.comm << 1
+	if taken {
+		g.comm |= 1
+	}
+	g.spec = g.comm
+}
+
+//aurora:hotpath
+func (g *gshare) Recover() { g.spec = g.comm }
+
+func (g *gshare) StorageBits() uint64 {
+	return 2*uint64(len(g.ctr)) + uint64(popcount(g.histMask))
+}
+
+func (g *gshare) Reset() {
+	for i := range g.ctr {
+		g.ctr[i] = ctrWeakTaken
+	}
+	g.spec, g.comm = 0, 0
+}
+
+// popcount counts set bits (the history mask is contiguous, so this is the
+// history length).
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,135 @@
+package bpred
+
+import "testing"
+
+// propertyConfigs covers every stateful predictor at the sizes the sweep
+// uses plus deliberately tiny tables.
+var propertyConfigs = []string{
+	"static",
+	"bimodal:entries=16",
+	"bimodal:entries=4096",
+	"gshare:entries=32,hist=5",
+	"gshare:entries=4096,hist=12",
+	"tage:tables=3,entries=16,tag=5,minhist=2,maxhist=12",
+	"tage:tables=4,entries=1024,tag=8",
+}
+
+func mustParse(t *testing.T, spec string) Config {
+	t.Helper()
+	cfg, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	return cfg
+}
+
+// TestRecoverErasesSpeculation is the wrong-path isolation property the IFU
+// depends on: predictor A suffers bursts of wrong-path Predicts followed by
+// Recover, predictor B never speculates at all, and the two must stay
+// behaviourally identical forever — tables may only change in Update.
+func TestRecoverErasesSpeculation(t *testing.T) {
+	for _, spec := range propertyConfigs {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			t.Parallel()
+			cfg := mustParse(t, spec)
+			a, b := New(cfg), New(cfg)
+			r := newTestRand(0xA11CE)
+			ev := genStream(r, 30_000)
+			for i, e := range ev {
+				// A speculates down a wrong path of random depth, then the
+				// pipeline flushes it.
+				if r.chance(1, 3) {
+					for k := 0; k < 1+r.intn(8); k++ {
+						wp := ev[r.intn(len(ev))]
+						a.Predict(wp.pc, wp.target)
+					}
+					a.Recover()
+				}
+				pa := a.Predict(e.pc, e.target)
+				pb := b.Predict(e.pc, e.target)
+				if pa != pb {
+					t.Fatalf("event %d pc=%#x: speculated-and-recovered predictor "+
+						"diverged from never-speculated twin (%v vs %v)", i, e.pc, pa, pb)
+				}
+				a.Update(e.pc, e.taken)
+				b.Update(e.pc, e.taken)
+			}
+		})
+	}
+}
+
+// TestResetReplay: after Reset, replaying the same stream reproduces the
+// same predictions — there is no hidden state (including the TAGE
+// allocation RNG and useful-clear phase) that survives Reset.
+func TestResetReplay(t *testing.T) {
+	for _, spec := range propertyConfigs {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			t.Parallel()
+			cfg := mustParse(t, spec)
+			p := New(cfg)
+			ev := genStream(newTestRand(0xBEEF), 20_000)
+			run := func() []bool {
+				out := make([]bool, len(ev))
+				for i, e := range ev {
+					out[i] = p.Predict(e.pc, e.target)
+					p.Update(e.pc, e.taken)
+				}
+				return out
+			}
+			first := run()
+			p.Reset()
+			second := run()
+			for i := range first {
+				if first[i] != second[i] {
+					t.Fatalf("replay diverged at event %d: %v then %v", i, first[i], second[i])
+				}
+			}
+		})
+	}
+}
+
+// TestFreshInstancesAgree: two instances of the same config fed the same
+// stream agree call-for-call — the constructor has no per-instance entropy.
+func TestFreshInstancesAgree(t *testing.T) {
+	for _, spec := range propertyConfigs {
+		cfg := mustParse(t, spec)
+		a, b := New(cfg), New(cfg)
+		ev := genStream(newTestRand(7), 10_000)
+		for i, e := range ev {
+			if a.Predict(e.pc, e.target) != b.Predict(e.pc, e.target) {
+				t.Fatalf("%s: fresh instances diverged at event %d", spec, i)
+			}
+			a.Update(e.pc, e.taken)
+			b.Update(e.pc, e.taken)
+		}
+	}
+}
+
+// TestStorageBitsStable: StorageBits is a pure function of the config — it
+// must not drift as the predictor trains, speculates or resets, because the
+// RBE cost (and the figure's x-axis) is computed once up front.
+func TestStorageBitsStable(t *testing.T) {
+	for _, spec := range propertyConfigs {
+		cfg := mustParse(t, spec)
+		p := New(cfg)
+		want := p.StorageBits()
+		if want != cfg.StorageBits() {
+			t.Fatalf("%s: implementation bits %d != config bits %d", spec, want, cfg.StorageBits())
+		}
+		ev := genStream(newTestRand(99), 5_000)
+		for _, e := range ev {
+			p.Predict(e.pc, e.target)
+			p.Update(e.pc, e.taken)
+		}
+		p.Recover()
+		if got := p.StorageBits(); got != want {
+			t.Fatalf("%s: StorageBits drifted after training: %d -> %d", spec, want, got)
+		}
+		p.Reset()
+		if got := p.StorageBits(); got != want {
+			t.Fatalf("%s: StorageBits drifted after Reset: %d -> %d", spec, want, got)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package bpred
+
+// static is the BTFNT heuristic: backward branches (loop back-edges) are
+// predicted taken, forward branches not-taken. It carries no state, so its
+// RBE cost is zero — the cheapest real predictor and the floor of the
+// bits-vs-CPI curve.
+type static struct{}
+
+func newStatic() *static { return &static{} }
+
+//aurora:hotpath
+func (s *static) Predict(pc, target uint32) bool { return target <= pc }
+
+//aurora:hotpath
+func (s *static) Update(pc uint32, taken bool) {}
+
+//aurora:hotpath
+func (s *static) Recover() {}
+
+func (s *static) StorageBits() uint64 { return 0 }
+
+func (s *static) Reset() {}

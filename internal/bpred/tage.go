@@ -1,0 +1,322 @@
+package bpred
+
+// tage implements a TAgged GEometric-history-length predictor (Seznec &
+// Michaud 2006): a bimodal base table plus TageTables tagged components
+// indexed by hashes of geometrically increasing history lengths. The
+// longest-history component whose partial tag matches provides the
+// prediction; entries are allocated only on mispredictions, into components
+// with *longer* history than the provider.
+//
+// The allocation path dodges the classic allocate-on-mispredict bugs
+// (documented in docs/BRANCH-PREDICTION.md): it never steals an entry whose
+// useful counter is non-zero (ageing the candidates instead), it never
+// allocates into the provider's own or a shorter-history table, and the
+// useful counters are cleared periodically so the long-history tables
+// cannot lock up on a stale working set. The 1/2-probability spread between
+// the two shortest eligible tables uses a fixed-seed xorshift generator —
+// deterministic by construction, as the determinism analyzer requires.
+type tage struct {
+	cfg Config
+
+	base     []uint8 // 2-bit counters, tageBaseEntries entries
+	baseMask uint32
+
+	// Tagged components, parallel arrays per table: 3-bit signed counter
+	// (stored in an int8), partial tag, 2-bit useful counter.
+	ctr  [][]int8
+	tag  [][]uint16
+	u    [][]uint8
+	hist []int // geometric history length per table
+
+	idxBits int
+	idxMask uint32
+	tagMask uint32
+
+	spec uint64 // speculative global history
+	comm uint64 // committed global history
+
+	rng     uint64 // xorshift64 allocation tie-breaker
+	updates uint64 // committed branches since the last useful-bit clear
+}
+
+// tageBaseEntries sizes the base bimodal table (2-bit counters).
+const tageBaseEntries = 4096
+
+// tageRNGSeed is the fixed allocation-spread seed; any non-zero constant
+// works, the value only has to be the same on every run.
+const tageRNGSeed = 0x9E3779B97F4A7C15
+
+// tageUClearPeriod is how many committed branches pass between useful-bit
+// clears (graceful ageing of the tagged components).
+const tageUClearPeriod = 1 << 18
+
+// Signed 3-bit prediction counter bounds: taken when >= 0.
+const (
+	tageCtrMin = -4
+	tageCtrMax = 3
+)
+
+func newTAGE(c Config) *tage {
+	t := &tage{
+		cfg:      c,
+		base:     make([]uint8, tageBaseEntries),
+		baseMask: tageBaseEntries - 1,
+		ctr:      make([][]int8, c.TageTables),
+		tag:      make([][]uint16, c.TageTables),
+		u:        make([][]uint8, c.TageTables),
+		hist:     make([]int, c.TageTables),
+		idxBits:  log2(c.TageEntries),
+		idxMask:  uint32(c.TageEntries - 1),
+		tagMask:  uint32(1<<uint(c.TageTagBits) - 1),
+	}
+	for i := 0; i < c.TageTables; i++ {
+		t.ctr[i] = make([]int8, c.TageEntries)
+		t.tag[i] = make([]uint16, c.TageEntries)
+		t.u[i] = make([]uint8, c.TageEntries)
+		t.hist[i] = geomHist(c.TageMinHist, c.TageMaxHist, i, c.TageTables)
+	}
+	t.Reset()
+	return t
+}
+
+// geomHist returns the i-th of n geometrically spaced history lengths in
+// [min, max], computed with integer arithmetic so every platform agrees.
+func geomHist(min, max, i, n int) int {
+	if n == 1 || i == 0 {
+		return min
+	}
+	if i == n-1 {
+		return max
+	}
+	// min * (max/min)^(i/(n-1)) via repeated integer scaling: hold the
+	// ratio as a 16.16 fixed-point root so the series is reproducible.
+	h := min
+	root := fixedRoot(max, min, n-1)
+	for k := 0; k < i; k++ {
+		h = (h*root + 1<<15) >> 16
+		if h > max {
+			h = max
+		}
+	}
+	if h < min {
+		h = min
+	}
+	return h
+}
+
+// fixedRoot returns round((max/min)^(1/steps) * 2^16) by binary search over
+// the fixed-point candidates — no floating point, so the geometric series
+// is bit-stable across architectures.
+func fixedRoot(max, min, steps int) int {
+	lo, hi := 1<<16, max/min<<16+1<<16
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		// Does mid^steps / 2^(16*steps) exceed max/min?
+		v := uint64(min) << 16
+		over := false
+		for k := 0; k < steps; k++ {
+			v = v * uint64(mid) >> 16
+			if v>>16 > uint64(max) {
+				over = true
+				break
+			}
+		}
+		if over {
+			hi = mid - 1
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// fold XOR-folds the low length bits of h into a bits-wide hash.
+//
+//aurora:hotpath
+func fold(h uint64, length, bits int) uint32 {
+	h &= 1<<uint(length) - 1
+	var out uint32
+	mask := uint32(1<<uint(bits) - 1)
+	for length > 0 {
+		out ^= uint32(h) & mask
+		h >>= uint(bits)
+		length -= bits
+	}
+	return out
+}
+
+//aurora:hotpath
+func (t *tage) baseIndex(pc uint32) uint32 { return (pc >> 2) & t.baseMask }
+
+//aurora:hotpath
+func (t *tage) index(i int, pc uint32, h uint64) uint32 {
+	pc >>= 2
+	return (pc ^ pc>>uint(t.idxBits) ^ fold(h, t.hist[i], t.idxBits)) & t.idxMask
+}
+
+//aurora:hotpath
+func (t *tage) tagHash(i int, pc uint32, h uint64) uint16 {
+	b := t.cfg.TageTagBits
+	return uint16((pc>>2 ^ fold(h, t.hist[i], b) ^ fold(h, t.hist[i], b-1)<<1) & t.tagMask)
+}
+
+// lookup finds the provider (longest-history tag match) and the alternate
+// prediction (next match, else the base table) under history h.
+//
+//aurora:hotpath
+func (t *tage) lookup(pc uint32, h uint64) (provider int, pIdx uint32, altPred bool) {
+	provider = -1
+	altPred = t.base[t.baseIndex(pc)] >= ctrWeakTaken
+	for i := t.cfg.TageTables - 1; i >= 0; i-- {
+		idx := t.index(i, pc, h)
+		if t.tag[i][idx] != t.tagHash(i, pc, h) {
+			continue
+		}
+		if provider < 0 {
+			provider, pIdx = i, idx
+			continue
+		}
+		altPred = t.ctr[i][idx] >= 0
+		break
+	}
+	return provider, pIdx, altPred
+}
+
+//aurora:hotpath
+func (t *tage) Predict(pc, target uint32) bool {
+	provider, pIdx, altPred := t.lookup(pc, t.spec)
+	taken := altPred
+	if provider >= 0 {
+		taken = t.ctr[provider][pIdx] >= 0
+	}
+	t.spec = t.spec << 1
+	if taken {
+		t.spec |= 1
+	}
+	return taken
+}
+
+//aurora:hotpath
+func (t *tage) Update(pc uint32, taken bool) {
+	h := t.comm
+	provider, pIdx, altPred := t.lookup(pc, h)
+	var pred bool
+	if provider >= 0 {
+		pred = t.ctr[provider][pIdx] >= 0
+	} else {
+		pred = altPred
+	}
+
+	if provider >= 0 {
+		// The useful bit records that the provider beat its alternate.
+		if pred != altPred {
+			if pred == taken {
+				if t.u[provider][pIdx] < 3 {
+					t.u[provider][pIdx]++
+				}
+			} else if t.u[provider][pIdx] > 0 {
+				t.u[provider][pIdx]--
+			}
+		}
+		c := t.ctr[provider][pIdx]
+		if taken && c < tageCtrMax {
+			c++
+		} else if !taken && c > tageCtrMin {
+			c--
+		}
+		t.ctr[provider][pIdx] = c
+	} else {
+		bi := t.baseIndex(pc)
+		t.base[bi] = bump(t.base[bi], taken)
+	}
+
+	if pred != taken && provider < t.cfg.TageTables-1 {
+		t.allocate(pc, h, provider, taken)
+	}
+
+	t.updates++
+	if t.updates%tageUClearPeriod == 0 {
+		for i := range t.u {
+			for j := range t.u[i] {
+				t.u[i][j] = 0
+			}
+		}
+	}
+
+	t.comm = t.comm << 1
+	if taken {
+		t.comm |= 1
+	}
+	t.spec = t.comm
+}
+
+// allocate installs a weak entry for the mispredicted branch in a
+// longer-history component with a free (u == 0) slot, or ages the occupied
+// candidates when every slot is defended.
+//
+//aurora:hotpath
+func (t *tage) allocate(pc uint32, h uint64, provider int, taken bool) {
+	cand1, cand2 := -1, -1
+	for j := provider + 1; j < t.cfg.TageTables; j++ {
+		if t.u[j][t.index(j, pc, h)] == 0 {
+			if cand1 < 0 {
+				cand1 = j
+			} else {
+				cand2 = j
+				break
+			}
+		}
+	}
+	if cand1 < 0 {
+		for j := provider + 1; j < t.cfg.TageTables; j++ {
+			idx := t.index(j, pc, h)
+			if t.u[j][idx] > 0 {
+				t.u[j][idx]--
+			}
+		}
+		return
+	}
+	j := cand1
+	if cand2 >= 0 && t.rngBit() {
+		j = cand2
+	}
+	idx := t.index(j, pc, h)
+	t.tag[j][idx] = t.tagHash(j, pc, h)
+	if taken {
+		t.ctr[j][idx] = 0 // weakly taken
+	} else {
+		t.ctr[j][idx] = -1 // weakly not-taken
+	}
+	t.u[j][idx] = 0
+}
+
+// rngBit advances the xorshift64 state and returns its low bit.
+//
+//aurora:hotpath
+func (t *tage) rngBit() bool {
+	t.rng ^= t.rng << 13
+	t.rng ^= t.rng >> 7
+	t.rng ^= t.rng << 17
+	return t.rng&1 != 0
+}
+
+//aurora:hotpath
+func (t *tage) Recover() { t.spec = t.comm }
+
+func (t *tage) StorageBits() uint64 { return t.cfg.StorageBits() }
+
+func (t *tage) Reset() {
+	for i := range t.base {
+		t.base[i] = ctrWeakTaken
+	}
+	for i := range t.ctr {
+		for j := range t.ctr[i] {
+			t.ctr[i][j] = 0
+			t.tag[i][j] = 0
+			t.u[i][j] = 0
+		}
+	}
+	t.spec, t.comm = 0, 0
+	t.rng = tageRNGSeed
+	t.updates = 0
+}

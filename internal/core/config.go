@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"aurora/internal/bpred"
 	"aurora/internal/fpu"
 	"aurora/internal/mem"
 	"aurora/internal/mmu"
@@ -43,6 +44,12 @@ type Config struct {
 	// machine without branch folding. Ablation knob; false = the paper's
 	// design.
 	DisableBranchFolding bool
+
+	// BPred selects the branch direction predictor. The zero value is the
+	// paper's free branch folding (taken transfers redirect fetch with no
+	// bubble); any real predictor charges its storage in RBE and injects
+	// a redirect bubble per mispredicted conditional branch.
+	BPred bpred.Config
 
 	// Integer multiply/divide latencies (iterative unit).
 	IntMulLatency int
@@ -83,6 +90,7 @@ func (c Config) Normalize() Config {
 	if c.Memory.Latency <= 0 {
 		c.Memory = mem.DefaultConfig()
 	}
+	c.BPred = c.BPred.Normalize()
 	c.FPU = c.FPU.Normalize()
 	return c
 }
@@ -106,6 +114,9 @@ func (c Config) Validate() error {
 	}
 	if w := c.IssueWidth; w != 1 && w != 2 {
 		return fmt.Errorf("core: issue width %d unsupported", w)
+	}
+	if err := c.BPred.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -181,23 +192,89 @@ func (c Config) WithoutPrefetch() Config {
 	return c
 }
 
+// WithBPred returns a copy with the given branch predictor.
+func (c Config) WithBPred(bp bpred.Config) Config {
+	c.BPred = bp
+	return c
+}
+
+// fingerprintV1 mirrors the Config fields of the original fingerprint
+// format, in their original declaration order. New configuration axes are
+// appended to the fingerprint as suffixes only when they deviate from their
+// paper-faithful default (see Fingerprint), so every result computed before
+// an axis existed keeps its key — memoized and persisted entries stay
+// addressable. A reflection test pins the invariant: every Config field is
+// either listed here or handled as a suffix.
+type fingerprintV1 struct {
+	Name                 string
+	IssueWidth           int
+	ICacheBytes          int
+	DCacheBytes          int
+	LineBytes            int
+	WriteCacheLines      int
+	ReorderBuffer        int
+	PrefetchBuffers      int
+	PrefetchDepth        int
+	MSHRs                int
+	FetchQueue           int
+	DCacheLatency        int
+	VictimLines          int
+	DisableBranchFolding bool
+	IntMulLatency        int
+	IntDivLatency        int
+	Memory               mem.Config
+	FPU                  fpu.Config
+	MMU                  mmu.Config
+}
+
 // Fingerprint returns a canonical identity string for the configuration's
 // timing-relevant parameters: two configs with equal fingerprints simulate
 // identically on any trace. The Name is excluded (it labels a point in an
 // experiment, it does not change the machine) and the config is normalized
 // first, so explicitly-set and defaulted fields collapse to one key. The
-// experiment runner memoizes simulation results by this fingerprint.
+// experiment runner memoizes simulation results by this fingerprint and the
+// persistent store addresses entries with it.
+//
+// Axes added after the store existed (currently: the branch predictor)
+// extend the fingerprint with a suffix only when non-default, so default
+// configurations keep their original keys and a predictor config can never
+// alias a result computed without one.
 func (c Config) Fingerprint() string {
 	c = c.Normalize()
-	c.Name = ""
 	// All fields (including the nested mem/fpu/mmu configs) are plain
 	// values, so %+v renders them in declaration order, deterministically.
-	return fmt.Sprintf("%+v", c)
+	fp := fmt.Sprintf("%+v", fingerprintV1{
+		IssueWidth:           c.IssueWidth,
+		ICacheBytes:          c.ICacheBytes,
+		DCacheBytes:          c.DCacheBytes,
+		LineBytes:            c.LineBytes,
+		WriteCacheLines:      c.WriteCacheLines,
+		ReorderBuffer:        c.ReorderBuffer,
+		PrefetchBuffers:      c.PrefetchBuffers,
+		PrefetchDepth:        c.PrefetchDepth,
+		MSHRs:                c.MSHRs,
+		FetchQueue:           c.FetchQueue,
+		DCacheLatency:        c.DCacheLatency,
+		VictimLines:          c.VictimLines,
+		DisableBranchFolding: c.DisableBranchFolding,
+		IntMulLatency:        c.IntMulLatency,
+		IntDivLatency:        c.IntDivLatency,
+		Memory:               c.Memory,
+		FPU:                  c.FPU,
+		MMU:                  c.MMU,
+	})
+	if !c.BPred.IsDefault() {
+		fp += " bpred:" + c.BPred.Key()
+	}
+	return fp
 }
 
 // CostRBE returns the configuration's integer-side cost in Table 2 RBE.
+// A branch predictor's storage is priced at the SRAM rate on top of the
+// IPU structures; the default folding front end adds nothing (its NEXT
+// field is part of the pre-decoded instruction cache already costed).
 func (c Config) CostRBE() (int, error) {
-	return rbe.IPUCost{
+	total, err := rbe.IPUCost{
 		ICacheBytes:     c.ICacheBytes,
 		WriteCacheLines: c.WriteCacheLines,
 		PrefetchBuffers: c.PrefetchBuffers,
@@ -206,4 +283,8 @@ func (c Config) CostRBE() (int, error) {
 		MSHREntries:     c.MSHRs,
 		Pipelines:       c.IssueWidth,
 	}.Total()
+	if err != nil {
+		return 0, err
+	}
+	return total + rbe.PredictorCost(c.BPred.StorageBits()), nil
 }

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"aurora/internal/bpred"
+	"aurora/internal/rbe"
+)
+
+// TestFingerprintPinned freezes the fingerprint of every Table 1 model (and
+// point E) to the exact strings produced before the branch-predictor axis
+// existed. Results in the persistent store are addressed by these bytes;
+// if this test fails, default-configuration results have been re-keyed and
+// existing stores are orphaned.
+func TestFingerprintPinned(t *testing.T) {
+	full := func(model string) string {
+		// Assemble the pinned literal: prefix varies per model, tail is
+		// shared; the MSHR/FetchQueue segment interleaves with the tail.
+		switch model {
+		case "small":
+			return "{Name: IssueWidth:2 ICacheBytes:1024 DCacheBytes:16384 LineBytes:32" +
+				" WriteCacheLines:2 ReorderBuffer:2 PrefetchBuffers:2 PrefetchDepth:4 MSHRs:1"
+		case "baseline":
+			return "{Name: IssueWidth:2 ICacheBytes:2048 DCacheBytes:32768 LineBytes:32" +
+				" WriteCacheLines:4 ReorderBuffer:6 PrefetchBuffers:4 PrefetchDepth:4 MSHRs:2"
+		case "large":
+			return "{Name: IssueWidth:2 ICacheBytes:4096 DCacheBytes:65536 LineBytes:32" +
+				" WriteCacheLines:8 ReorderBuffer:8 PrefetchBuffers:8 PrefetchDepth:4 MSHRs:4"
+		case "pointE":
+			return "{Name: IssueWidth:2 ICacheBytes:4096 DCacheBytes:65536 LineBytes:32" +
+				" WriteCacheLines:4 ReorderBuffer:6 PrefetchBuffers:4 PrefetchDepth:4 MSHRs:4"
+		}
+		t.Fatalf("unknown model %q", model)
+		return ""
+	}
+	const tail = " FetchQueue:8 DCacheLatency:3 VictimLines:0" +
+		" DisableBranchFolding:false IntMulLatency:5 IntDivLatency:12" +
+		" Memory:{Latency:17 LineTransfer:4 MaxOutstanding:8}" +
+		" FPU:{Policy:in-order/in-order InstrQueue:5 LoadQueue:2 StoreQueue:2" +
+		" ReorderBuffer:6 AddLatency:3 MulLatency:5 DivLatency:19 CvtLatency:2" +
+		" AddPipelined:false MulPipelined:false DivPipelined:false CvtPipelined:false" +
+		" ResultBuses:2 Precise:false}" +
+		" MMU:{TLBEntries:0 PageBytes:0 WalkLatency:0 L2Bytes:0 L2LineBytes:0" +
+		" L2HitLatency:0 DRAMLatency:0}}"
+	for _, cfg := range []Config{Small(), Baseline(), Large(), RecommendedE()} {
+		want := full(cfg.Name) + tail
+		if got := cfg.Fingerprint(); got != want {
+			t.Errorf("%s fingerprint changed:\n got  %s\n want %s", cfg.Name, got, want)
+		}
+	}
+}
+
+// TestFingerprintCoversConfig is the forcing function for future axes: every
+// Config field must appear in fingerprintV1 (the frozen v1 field set) or in
+// the explicit suffix-handled list. Adding a Config field without deciding
+// its fingerprint treatment fails here.
+func TestFingerprintCoversConfig(t *testing.T) {
+	suffixHandled := map[string]bool{
+		// Appended as " bpred:<key>" only when non-default, so default
+		// configurations keep their pre-axis identity.
+		"BPred": true,
+	}
+	v1 := map[string]bool{}
+	tv1 := reflect.TypeOf(fingerprintV1{})
+	for i := 0; i < tv1.NumField(); i++ {
+		v1[tv1.Field(i).Name] = true
+	}
+	tc := reflect.TypeOf(Config{})
+	for i := 0; i < tc.NumField(); i++ {
+		name := tc.Field(i).Name
+		if v1[name] == suffixHandled[name] {
+			t.Errorf("Config field %q must be in exactly one of fingerprintV1 or the suffix list "+
+				"(in v1: %v, suffix: %v)", name, v1[name], suffixHandled[name])
+		}
+	}
+	for name := range v1 {
+		if _, ok := tc.FieldByName(name); !ok {
+			t.Errorf("fingerprintV1 field %q no longer exists on Config", name)
+		}
+	}
+}
+
+// TestFingerprintBPredSuffix pins the predictor axis encoding: a non-default
+// predictor appends exactly " bpred:<key>", distinct predictors get distinct
+// fingerprints, and a folding config with junk fields is identical to the
+// default.
+func TestFingerprintBPredSuffix(t *testing.T) {
+	base := Baseline()
+	def := base.Fingerprint()
+	if strings.Contains(def, "bpred") {
+		t.Fatalf("default fingerprint mentions bpred: %s", def)
+	}
+
+	gs, err := bpred.Parse("gshare:entries=1024,hist=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := base.WithBPred(gs).Fingerprint()
+	if want := def + " bpred:gshare/e1024/h10/p2"; got != want {
+		t.Errorf("gshare fingerprint:\n got  %s\n want %s", got, want)
+	}
+
+	seen := map[string]string{def: "default"}
+	for _, spec := range []string{
+		"static", "bimodal", "bimodal:entries=512",
+		"gshare", "gshare:entries=1024,hist=10",
+		"gshare:penalty=3", "tage", "tage:tables=3",
+	} {
+		bp, err := bpred.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := base.WithBPred(bp).Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("predictors %q and %q share a fingerprint", prev, spec)
+		}
+		seen[fp] = spec
+	}
+
+	junk := base.WithBPred(bpred.Config{Kind: bpred.Folding, Entries: 512, MispredictPenalty: 9})
+	if junk.Fingerprint() != def {
+		t.Errorf("folding config with junk fields changed the fingerprint:\n%s\nvs\n%s",
+			junk.Fingerprint(), def)
+	}
+}
+
+// TestCostRBEPredictor: predictor storage is priced on top of the IPU cost
+// at the SRAM rate, and the default front end adds exactly nothing.
+func TestCostRBEPredictor(t *testing.T) {
+	base := Baseline()
+	c0, err := base.CostRBE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []string{"bimodal:entries=512", "gshare", "tage"} {
+		bp, err := bpred.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1, err := base.WithBPred(bp).CostRBE()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := c0 + rbe.PredictorCost(bp.StorageBits()); c1 != want {
+			t.Errorf("%s: CostRBE = %d, want base %d + predictor %d", spec, c1, c0,
+				rbe.PredictorCost(bp.StorageBits()))
+		}
+		if c1 <= c0 {
+			t.Errorf("%s: predictor added no cost (%d vs %d)", spec, c1, c0)
+		}
+	}
+	// Static BTFNT is pure combinational logic on bits already fetched:
+	// no storage, no cost.
+	st, _ := bpred.Parse("static")
+	c1, err := base.WithBPred(st).CostRBE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c0 {
+		t.Errorf("static CostRBE = %d, want %d (stateless predictors are free)", c1, c0)
+	}
+}

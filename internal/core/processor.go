@@ -51,6 +51,14 @@ type Processor struct {
 	dualIssues   uint64
 	stalls       [NumStallCauses]uint64
 
+	// Mispredict redirect (branch-predictor extension): issue stalls
+	// through redirectUntil after a mispredicted branch's delay slot
+	// issues — the branch resolved at execute and the correct path must
+	// be refetched. redirectHold is 1 + MispredictPenalty, precomputed;
+	// 0 under the default folding front end, keeping it off the path.
+	redirectUntil uint64
+	redirectHold  uint64
+
 	// Observability (internal/obs): probe is nil unless Attach was called,
 	// keeping the hot loop on a single-branch fast path.
 	probe        *obs.Probe
@@ -96,8 +104,12 @@ func NewProcessor(cfg Config, stream trace.Stream) (*Processor, error) {
 		LineBytes:            cfg.LineBytes,
 		FetchQueue:           cfg.FetchQueue,
 		DisableBranchFolding: cfg.DisableBranchFolding,
+		BPred:                cfg.BPred,
 	}, p.biu, p.pfu, stream)
 	p.rob = make([]robEntry, cfg.ReorderBuffer)
+	if !cfg.BPred.IsDefault() {
+		p.redirectHold = 1 + uint64(cfg.BPred.MispredictPenalty)
+	}
 	return p, nil
 }
 
@@ -219,6 +231,19 @@ func (p *Processor) issue() {
 	issued := 0
 	var first trace.Record
 	for issued < p.cfg.IssueWidth {
+		if p.redirectUntil > p.now {
+			// Mispredict redirect: the instructions behind the resolved
+			// branch are squashed wrong-path fetches; the refetched
+			// correct path arrives when the redirect completes. Charged
+			// to the ICache (front-end) bucket like other fetch holes.
+			if issued == 0 {
+				p.stalls[StallICache]++
+				if p.probe != nil {
+					p.probe.Instant("core", stallNames[StallICache], "issue", 0)
+				}
+			}
+			break
+		}
 		if p.ifu.QueueLen() == 0 {
 			if issued == 0 && !p.ifu.Done() {
 				p.stalls[StallICache]++
@@ -245,6 +270,9 @@ func (p *Processor) issue() {
 		p.doIssue(fi.Rec)
 		p.ifu.Consume(1)
 		p.instructions++
+		if fi.Redirect {
+			p.redirectUntil = p.now + p.redirectHold
+		}
 		first = fi.Rec
 		issued++
 	}
@@ -520,6 +548,9 @@ func (p *Processor) report() *Report {
 		VictimHits:   p.lsu.Victim().Hits(),
 
 		DelaySlotCrossings: p.ifu.Stats().DelaySlotCrossings,
+
+		BranchPredicts:    p.ifu.Stats().BranchPredicts,
+		BranchMispredicts: p.ifu.Stats().BranchMispredicts,
 
 		BIU: p.biu.Stats(),
 		FPU: p.fp.Stats(),

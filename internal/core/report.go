@@ -81,6 +81,13 @@ type Report struct {
 	// the next instruction-cache line (§2.4's superscalar complication).
 	DelaySlotCrossings uint64
 
+	// BranchPredicts/BranchMispredicts count conditional branches routed
+	// through a configured direction predictor (Config.BPred) and those
+	// it got wrong. Zero under the default folding front end, so default
+	// reports are unchanged by the predictor axis.
+	BranchPredicts    uint64
+	BranchMispredicts uint64
+
 	BIU mem.Stats
 	FPU fpu.Stats
 	MMU mmu.Stats
@@ -165,6 +172,15 @@ func (r *Report) WriteValidationRate() float64 {
 	return float64(r.WCPageMatches) / float64(total)
 }
 
+// MispredictRate returns the fraction of predictor-routed conditional
+// branches that mispredicted (0 under the default folding front end).
+func (r *Report) MispredictRate() float64 {
+	if r.BranchPredicts == 0 {
+		return 0
+	}
+	return float64(r.BranchMispredicts) / float64(r.BranchPredicts)
+}
+
 // DualIssueRate returns the fraction of cycles issuing two instructions.
 func (r *Report) DualIssueRate() float64 {
 	if r.Cycles == 0 {
@@ -188,6 +204,10 @@ func (r *Report) String() string {
 		100*r.WriteCacheHitRate(), r.WriteTrafficRatio())
 	fmt.Fprintf(&b, "  write validation %.1f%%  MSHR utilisation %.3f\n",
 		100*r.WriteValidationRate(), r.MSHRUtilisation)
+	if r.BranchPredicts > 0 {
+		fmt.Fprintf(&b, "  bpred %s  branches %d  mispredict %.2f%%\n",
+			r.Config.BPred.Key(), r.BranchPredicts, 100*r.MispredictRate())
+	}
 	fmt.Fprintf(&b, "  stalls:")
 	for c := StallCause(0); c < NumStallCauses; c++ {
 		fmt.Fprintf(&b, " %s %.3f", c, r.StallCPI(c))

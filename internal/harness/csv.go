@@ -134,6 +134,18 @@ func SweepCSV(w io.Writer, xlabel string, pts []SweepPoint) error {
 	return writeCSV(w, []string{xlabel, "avg_cpi", "cost_rbe"}, rows)
 }
 
+// BPredSweepCSV emits the predictor bits-vs-CPI sweep.
+func BPredSweepCSV(w io.Writer, r *BPredSweepResult) error {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Key, strconv.FormatUint(p.Bits, 10), strconv.Itoa(p.CostRBE),
+			f3(p.IntCPI), f3(p.FPCPI), f3(p.IntMispredict),
+		})
+	}
+	return writeCSV(w, []string{"predictor", "bits", "cost_rbe", "int_cpi", "fp_cpi", "int_mispredict"}, rows)
+}
+
 // csvArtifact pairs an artifact file name with the generator that writes it.
 type csvArtifact struct {
 	name string

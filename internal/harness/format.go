@@ -169,6 +169,28 @@ func PrintFig8(w io.Writer, pts []Fig8Point) {
 	}
 }
 
+// PrintBPredSweep renders the predictor bits-vs-CPI figure: the front-end
+// analogue of the paper's cache curves. The folding row is the paper's
+// free-folding design (a perfect direction predictor at zero storage), so
+// every real predictor's CPI sits at or above it.
+func PrintBPredSweep(w io.Writer, r *BPredSweepResult) {
+	fmt.Fprintf(w, "Predictor sweep (%s model): storage bits vs CPI\n", r.Model)
+	fmt.Fprintf(w, "  %-32s %9s %9s %8s %8s %9s\n",
+		"predictor", "bits", "cost/RBE", "intCPI", "fpCPI", "int-mi%")
+	cell := func(v float64) string {
+		if math.IsNaN(v) {
+			return fmt.Sprintf("%8s", "FAULT")
+		}
+		return fmt.Sprintf("%8.3f", v)
+	}
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "  %-32s %9d %9d %s %s %8.2f%%",
+			p.Key, p.Bits, p.CostRBE, cell(p.IntCPI), cell(p.FPCPI), 100*p.IntMispredict)
+		fmt.Fprint(w, faultMark(p.Faults))
+		fmt.Fprintln(w)
+	}
+}
+
 // PrintTable6 renders the FPU issue-policy comparison.
 func PrintTable6(w io.Writer, rows []Table6Row) {
 	fmt.Fprintln(w, "Table 6: CPI Figures for Three FPU Issue Policies")

@@ -11,6 +11,7 @@ import (
 	"math"
 	"runtime/debug"
 
+	"aurora/internal/bpred"
 	"aurora/internal/core"
 	"aurora/internal/fpu"
 	"aurora/internal/obs"
@@ -36,6 +37,13 @@ type Options struct {
 	// so one bad design point degrades one cell instead of the study.
 	// Not part of the memo key: it changes scheduling, never results.
 	FailFast bool
+	// BPred, when non-default, overlays a branch predictor onto every
+	// configuration whose own BPred is unset — the -bpred "what if the
+	// whole study ran on this front end" override. It rewrites the config
+	// before fingerprinting at the runner's single chokepoint, so memo and
+	// store keys always describe the machine actually simulated; the
+	// default (folding) value leaves every figure byte-identical.
+	BPred bpred.Config
 }
 
 // Quick returns reduced budgets for tests.
@@ -50,6 +58,18 @@ func (o Options) sweep() Options {
 		b = o.Budget
 	}
 	return Options{Budget: b, SweepBudget: b}
+}
+
+// applyBPred overlays the sweep-wide predictor override onto one job's
+// configuration. Explicit per-point predictors win (the predictor sweep
+// sets its own); the override fills only configs still on the default
+// folding front end. Applied before fingerprinting, so keys always
+// describe the machine actually simulated.
+func applyBPred(cfg core.Config, opts Options) core.Config {
+	if opts.BPred.IsDefault() || !cfg.BPred.IsDefault() {
+		return cfg
+	}
+	return cfg.WithBPred(opts.BPred)
 }
 
 // effectiveBudget resolves Options.Budget to the per-workload instruction

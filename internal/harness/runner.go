@@ -191,6 +191,7 @@ func canceled(err error) bool {
 // with errors.As); hits of the same key return the identical fault. ctx
 // cancellation returns ctx.Err() without publishing anything.
 func (r *Runner) Run(ctx context.Context, cfg core.Config, w *workloads.Workload, opts Options) (*core.Report, error) {
+	cfg = applyBPred(cfg, opts)
 	opts.Budget = effectiveBudget(w, opts)
 	key := jobKey{
 		config:    cfg.Fingerprint(),

@@ -48,6 +48,7 @@ func (r *Runner) RunSampled(ctx context.Context, cfg core.Config, w *workloads.W
 	if opts.Scheduled {
 		return nil, errors.New("harness: sampled mode does not support the scheduled trace pass")
 	}
+	cfg = applyBPred(cfg, opts)
 	p = p.Normalize()
 	opts.Budget = effectiveBudget(w, opts)
 	key := jobKey{

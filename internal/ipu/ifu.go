@@ -1,6 +1,7 @@
 package ipu
 
 import (
+	"aurora/internal/bpred"
 	"aurora/internal/cache"
 	"aurora/internal/isa"
 	"aurora/internal/mem"
@@ -18,6 +19,13 @@ type IFUConfig struct {
 	// DisableBranchFolding makes every taken control transfer pay a
 	// one-cycle fetch bubble (no pre-decoded NEXT field).
 	DisableBranchFolding bool
+
+	// BPred selects a branch direction predictor. The zero (folding)
+	// config keeps the paper's free-folding fetch path byte-identical;
+	// any other kind routes conditional branches through the predictor,
+	// charging BPred.MispredictPenalty redirect-bubble cycles per
+	// mispredict (see predictorScan).
+	BPred bpred.Config
 }
 
 // FetchedInstr is a decoded instruction waiting to issue.
@@ -30,6 +38,11 @@ type FetchedInstr struct {
 	// DepOnPrev is the DI bit: a true dependence on the immediately
 	// preceding instruction, prohibiting dual issue of the pair.
 	DepOnPrev bool
+	// Redirect marks the architectural delay slot of a mispredicted
+	// branch: the branch resolves when it executes, so once this
+	// instruction issues, issue must stall for the configured redirect
+	// penalty before the (squashed-and-refetched) successor may proceed.
+	Redirect bool
 }
 
 // IFUStats counts fetch activity.
@@ -44,6 +57,13 @@ type IFUStats struct {
 	// complication (both the slot and the target address must be held
 	// while the slot's line is fetched).
 	DelaySlotCrossings uint64
+
+	// BranchPredicts/BranchMispredicts count conditional branches routed
+	// through a configured direction predictor and the subset it got
+	// wrong (each wrong one pays the configured redirect bubble). Both
+	// stay zero under the default folding front end.
+	BranchPredicts    uint64
+	BranchMispredicts uint64
 }
 
 // IFU is the instruction fetch unit: it walks the dynamic trace, modelling
@@ -53,10 +73,11 @@ type IFUStats struct {
 // computes it); register-indirect jumps (JR/JALR) pay one bubble because
 // the target comes from the ALU, not the NEXT field.
 type IFU struct {
-	cfg IFUConfig
-	ic  *cache.TagArray
-	pfu *prefetch.Buffers
-	biu *mem.BIU
+	cfg  IFUConfig
+	ic   *cache.TagArray
+	pfu  *prefetch.Buffers
+	biu  *mem.BIU
+	pred bpred.Predictor // nil = paper-faithful free folding
 
 	stream    trace.Stream
 	batch     trace.BatchStream // non-nil when the stream supports batching
@@ -71,6 +92,10 @@ type IFU struct {
 	fillPending bool
 	fillReady   uint64
 	bubbleUntil uint64
+	// markRedirect is set by a mispredicted branch and transfers to the
+	// next delivered instruction (its delay slot), which may land in a
+	// later Tick when the branch sat in the pair's odd slot.
+	markRedirect bool
 
 	stats IFUStats
 }
@@ -83,11 +108,13 @@ func NewIFU(cfg IFUConfig, biu *mem.BIU, pfu *prefetch.Buffers, stream trace.Str
 	if cfg.FetchQueue <= 0 {
 		cfg.FetchQueue = 8
 	}
+	cfg.BPred = cfg.BPred.Normalize()
 	f := &IFU{
 		cfg:    cfg,
 		ic:     cache.NewTagArray(cfg.ICacheBytes, cfg.LineBytes),
 		pfu:    pfu,
 		biu:    biu,
+		pred:   bpred.New(cfg.BPred),
 		stream: stream,
 		queue:  make([]FetchedInstr, cfg.FetchQueue),
 	}
@@ -302,6 +329,10 @@ func (f *IFU) Tick(now uint64) {
 	// folding disabled (ablation), every taken transfer pays the bubble.
 	// Either half of the delivered pair can be the control instruction
 	// (a branch in the even slot has its delay slot in the odd slot).
+	if f.pred != nil {
+		f.predictorScan(now, n)
+		return
+	}
 	for k := f.qLen - n; k < f.qLen; k++ {
 		rec := f.queue[(f.qHead+k)%len(f.queue)].Rec
 		indirect := rec.SI.Class == isa.ClassJump &&
@@ -317,6 +348,60 @@ func (f *IFU) Tick(now uint64) {
 			f.bubbleUntil = now + 2
 			f.stats.JRBubbles++
 			break
+		}
+	}
+}
+
+// predictorScan is the control-flow scan of Tick when a direction predictor
+// is configured. Conditional branches consult the predictor in fetch order:
+// a correct prediction redirects for free (the pre-decoded NEXT field
+// supplies the target, the predictor the direction), a mispredict squashes
+// the wrong-path fetch and charges the configured redirect bubble.
+// Unconditional transfers keep the folding-path semantics — direct jumps
+// fold free (or pay the ablation bubble under DisableBranchFolding),
+// register-indirect jumps pay their one-cycle target bubble. The trace is
+// always the correct path, so only the penalty is modelled; the predictor's
+// speculative history is squashed at each mispredict via Recover and
+// retrained in program order via Update.
+//
+//aurora:hotpath
+func (f *IFU) predictorScan(now uint64, n int) {
+	for k := f.qLen - n; k < f.qLen; k++ {
+		idx := (f.qHead + k) % len(f.queue)
+		rec := f.queue[idx].Rec
+		if f.markRedirect {
+			f.queue[idx].Redirect = true
+			f.markRedirect = false
+		}
+		if rec.SI.Class.IsControl() && rec.Taken &&
+			f.ic.LineAddr(rec.PC) != f.ic.LineAddr(rec.PC+4) {
+			f.stats.DelaySlotCrossings++
+		}
+		var until uint64
+		switch {
+		case rec.SI.Class == isa.ClassBranch:
+			f.stats.BranchPredicts++
+			if f.pred.Predict(rec.PC, rec.Target) != rec.Taken {
+				f.stats.BranchMispredicts++
+				f.pred.Recover()
+				// The wrong-path fetch hole: fetch stalls while the
+				// machine runs down the mispredicted path...
+				until = now + 1 + uint64(f.cfg.BPred.MispredictPenalty)
+				// ...and the resolution redirect: the delay slot (the
+				// next delivered instruction) carries the issue-side
+				// squash mark (see FetchedInstr.Redirect).
+				f.markRedirect = true
+			}
+			f.pred.Update(rec.PC, rec.Taken)
+		case rec.SI.Class == isa.ClassJump:
+			indirect := rec.SI.In.Op == isa.OpJR || rec.SI.In.Op == isa.OpJALR
+			if indirect || (f.cfg.DisableBranchFolding && rec.Taken) {
+				f.stats.JRBubbles++
+				until = now + 2
+			}
+		}
+		if until > f.bubbleUntil {
+			f.bubbleUntil = until
 		}
 	}
 }

@@ -56,6 +56,7 @@ var simPackages = map[string]bool{
 	"fpu":      true,
 	"cache":    true,
 	"ipu":      true,
+	"bpred":    true,
 	"mem":      true,
 	"prefetch": true,
 	"mmu":      true,

@@ -192,6 +192,24 @@ func (c FPUCost) Total() int {
 		FPUnitCost(FPConvert, c.CvtLatency)
 }
 
+// PredictorOverhead is the fixed sequencing cost of a table-based branch
+// predictor: index hash, update port and the fetch-redirect mux. Priced
+// like one MSHR's control — small next to the SRAM it manages — so a
+// predictor's cost is dominated by its storage bits, matching how Table 2
+// treats every other SRAM structure.
+const PredictorOverhead = 50
+
+// PredictorCost returns the RBE cost of a branch predictor holding the
+// given number of storage bits at the Table 2 SRAM rate. A stateless
+// predictor (folding's NEXT field is already priced into the pre-decoded
+// instruction cache; static BTFNT is pure combinational logic) costs zero.
+func PredictorCost(bits uint64) int {
+	if bits == 0 {
+		return 0
+	}
+	return PredictorOverhead + int((float64(bits)*SRAMBitRBE)+0.5)
+}
+
 // Transistors converts an RBE count to an approximate transistor count.
 func Transistors(rbe int) int { return rbe * TransistorsPerRBE }
 

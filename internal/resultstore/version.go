@@ -45,7 +45,7 @@ var BuildVersion string
 // themselves are excluded — they schedule and cache results, they do not
 // define them.
 var simSourcePackages = []string{
-	"asm", "cache", "core", "fpu", "ipu", "isa",
+	"asm", "bpred", "cache", "core", "fpu", "ipu", "isa",
 	"mem", "mmu", "prefetch", "rbe", "sample", "trace", "vm", "workloads",
 }
 

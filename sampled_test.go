@@ -58,6 +58,54 @@ func TestSampledCPIWithinBound(t *testing.T) {
 	}
 }
 
+// TestSampledCPIWithinBoundBPred extends the bound-coverage contract to the
+// predictor axis: a sampled estimate of a machine with a branch predictor
+// (whose mispredict redirects are new timing behaviour the sampling windows
+// must capture) still covers the observed error against the full run. The
+// checkpoint is predictor-independent — the functional pass does not time
+// branches — so every predictor cell shares one capture per workload,
+// exactly as a -bpred sampled sweep does.
+func TestSampledCPIWithinBoundBPred(t *testing.T) {
+	const budget = 300_000
+	ctx := context.Background()
+	specs := []string{"gshare", "tage"}
+	if testing.Short() {
+		specs = specs[:1]
+	}
+	p := sample.Params{}.Normalize()
+
+	for _, wn := range WorkloadNames() {
+		w, err := GetWorkload(wn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := sample.NewCheckpoint(ctx, w, budget, p)
+		if err != nil {
+			t.Fatalf("%s: checkpoint: %v", wn, err)
+		}
+		for _, spec := range specs {
+			bp, err := ParseBPred(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := core.Baseline().WithBPred(bp)
+			full, err := RunContext(ctx, cfg, w, budget)
+			if err != nil {
+				t.Fatalf("%s +%s: full run: %v", wn, spec, err)
+			}
+			est, err := cp.Run(ctx, cfg, budget, p)
+			if err != nil {
+				t.Fatalf("%s +%s: sampled run: %v", wn, spec, err)
+			}
+			absErr := math.Abs(est.CPI - full.CPI())
+			if absErr > est.CPIError {
+				t.Errorf("%s +%s: |sampled %.4f - full %.4f| = %.4f exceeds reported bound %.4f (%d windows)",
+					wn, spec, est.CPI, full.CPI(), absErr, est.CPIError, est.Windows)
+			}
+		}
+	}
+}
+
 // TestFastForwardThenWindow exercises the public Simulation fast-forward
 // surface: skipping ahead functionally, then stepping a detailed window,
 // must retire the remaining instructions without disturbing the budget
