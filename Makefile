@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race faults bench bench-smoke sample-smoke bpred-smoke golden fuzz fmt lint store-coherence serve-smoke docs-check
+.PHONY: all build test tier1 race faults bench bench-smoke sample-smoke bpred-smoke explore-smoke golden fuzz fmt lint store-coherence serve-smoke docs-check
 
 all: build test
 
@@ -70,6 +70,15 @@ bpred-smoke:
 	$(GO) test -run TestCycleLoopZeroAlloc -count=1 .
 	$(GO) test -count=1 -run 'TestFingerprint|TestCostRBEPredictor' ./internal/core/
 	$(GO) test -count=1 -run 'BPred|TestPredictorSweepShapes' ./internal/harness/ ./internal/resultstore/
+
+# explore-smoke is the design-space-explorer gate: the explorer test net
+# (frontier dominance, promotion accounting, worker-count determinism,
+# store-backed re-run, fault dropping) plus the end-to-end CLI script on the
+# tiny grid — two halving rungs, byte-identical at -j 1 and -j 8, zero
+# re-simulation against a warm store (see docs/EXPLORER.md).
+explore-smoke:
+	$(GO) test -count=1 -run 'TestExplore|TestIPUBreakdown' ./internal/harness/ ./internal/rbe/ ./cmd/aurora-serve/
+	sh scripts/explore-smoke.sh
 
 # docs-check verifies every relative markdown link in the repo resolves and
 # every page under docs/ is reachable from the docs/README.md index.

@@ -66,6 +66,16 @@ func run() int {
 		bpredSpec  = flag.String("bpred", "", "branch predictor override applied to every default-front-end configuration (e.g. gshare:entries=4096,hist=12; see docs/BRANCH-PREDICTION.md)")
 		bpredSweep = flag.Bool("bpred-sweep", false, "run only the predictor storage-bits vs CPI sweep on the baseline model")
 
+		explore         = flag.Bool("explore", false, "run the adaptive design-space exploration instead of the paper figures (see docs/EXPLORER.md)")
+		exploreGrid     = flag.String("explore-grid", "default", "candidate grid preset: default or tiny")
+		exploreWorkload = flag.String("explore-workload", "", "workload the exploration races candidates on (default espresso)")
+		exploreBudget   = flag.Uint64("explore-budget", 0, "final-rung instruction budget (0 = preset default)")
+		exploreRungs    = flag.Int("explore-rungs", 0, "successive-halving rungs including the final exact rung (0 = preset default)")
+		exploreHalve    = flag.Uint64("explore-halve", 0, "budget divisor between adjacent rungs (0 = preset default)")
+		exploreSlack    = flag.Float64("explore-slack", 0, "frontier-adjacency CPI slack kept through screening rungs (0 = preset default)")
+		exploreMaxCost  = flag.Int("explore-max-cost", 0, "drop candidates above this RBE cost before simulating (0 = no cap)")
+		exploreSampled  = flag.Bool("explore-sampled", false, "run screening rungs in sampled mode (final rung stays exact; uses the -sample-* parameters)")
+
 		sampled      = flag.Bool("sample", false, "sampled + fast-forward mode: estimate the models x workloads CPI grid with confidence bounds instead of regenerating the exact figures (see docs/SIMULATION-MODES.md)")
 		sampleWarmup = flag.Uint64("sample-warmup", 0, "sampled mode: functional warm-up instructions before the first window (0 = default)")
 		sampleEvery  = flag.Uint64("sample-interval", 0, "sampled mode: instructions from one window start to the next (0 = default)")
@@ -149,6 +159,79 @@ func run() int {
 	}
 	start := time.Now()
 	exit := 0
+	if *explore {
+		// The exploration is its own mode: it replaces the paper-figure
+		// regeneration, drives the runner directly, and prints the frontier.
+		if *bpredSweep {
+			fmt.Fprintln(os.Stderr, "aurora-experiments: -explore and -bpred-sweep are separate modes; run them separately")
+			return 1
+		}
+		if *sampled {
+			fmt.Fprintln(os.Stderr, "aurora-experiments: -sample replaces the figure grid; sampled screening inside the exploration is -explore-sampled")
+			return 1
+		}
+		if collector != nil {
+			fmt.Fprintln(os.Stderr, "aurora-experiments: -explore does not capture -metrics-out/-trace-out time series")
+			return 1
+		}
+		spec, err := exploreSpec(*exploreGrid)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aurora-experiments:", err)
+			return 1
+		}
+		if *exploreWorkload != "" {
+			spec.Workload = *exploreWorkload
+		}
+		if *exploreBudget != 0 {
+			spec.FullBudget = *exploreBudget
+		}
+		if *exploreRungs != 0 {
+			spec.Rungs = *exploreRungs
+		}
+		if *exploreHalve != 0 {
+			spec.Halve = *exploreHalve
+		}
+		if *exploreSlack != 0 {
+			spec.Slack = *exploreSlack
+		}
+		if *exploreMaxCost != 0 {
+			spec.MaxCostRBE = *exploreMaxCost
+		}
+		if *exploreSampled {
+			spec.Sampled = true
+			spec.Sample = sample.Params{WarmUp: *sampleWarmup, Interval: *sampleEvery, Window: *sampleWindow}
+		}
+		ex := &harness.Explorer{Runner: runner, Spec: spec}
+		res, err := ex.Run(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aurora-experiments:", err)
+			exit = 1
+		} else {
+			harness.PrintExplore(os.Stdout, res)
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, "aurora-experiments:", err)
+					exit = 1
+				} else if err := writeFile(filepath.Join(*csvDir, "explore.csv"), func(w io.Writer) error {
+					return harness.ExploreCSV(w, res)
+				}); err != nil {
+					fmt.Fprintln(os.Stderr, "aurora-experiments: csv:", err)
+					exit = 1
+				} else {
+					fmt.Printf("CSV artifact written to %s\n", filepath.Join(*csvDir, "explore.csv"))
+				}
+			}
+		}
+		st := runner.Stats()
+		if store != nil {
+			fmt.Printf("\nexploration in %s (%d workers; %d simulated, %d store hits, %d memo hits)\n",
+				time.Since(start).Round(time.Millisecond), runner.Workers(), st.Simulated, st.StoreHits, st.Hits)
+		} else {
+			fmt.Printf("\nexploration in %s (%d workers; %d simulations, %d memo hits)\n",
+				time.Since(start).Round(time.Millisecond), runner.Workers(), st.Misses, st.Hits)
+		}
+		return exit
+	}
 	if *bpredSweep {
 		// The predictor sweep is its own figure: baseline machine, every
 		// predictor design point, both suites. It replaces the paper-figure
@@ -272,6 +355,17 @@ func run() int {
 			time.Since(start).Round(time.Second), runner.Workers(), st.Misses, st.Hits)
 	}
 	return exit
+}
+
+// exploreSpec resolves the -explore-grid preset.
+func exploreSpec(grid string) (harness.ExploreSpec, error) {
+	switch grid {
+	case "default":
+		return harness.ExploreSpec{}, nil
+	case "tiny":
+		return harness.TinyExploreSpec(), nil
+	}
+	return harness.ExploreSpec{}, fmt.Errorf("unknown -explore-grid %q (want default or tiny)", grid)
 }
 
 // writeFile creates path and streams gen's output into it.

@@ -57,6 +57,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/explore", s.handleExplore)
 	mux.HandleFunc("/v1/figures/", s.handleFigure)
 	return mux
 }
@@ -237,6 +238,14 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "sampled sweeps do not support the scheduled trace pass")
 		return
 	}
+	if !req.Sampled && req.Sample != (sample.Params{}) {
+		// RunSampled's contract is "rejected, never silently ignored":
+		// sampling parameters on an exact submission would otherwise be
+		// dropped on the floor and the caller would read exact cells as
+		// the estimates it asked for.
+		httpError(w, http.StatusBadRequest, "sample parameters require a sampled submission (set sampled:true)")
+		return
+	}
 	// The submission's predictor wins over the daemon default; an explicit
 	// "folding" parses to the zero config and so forces the paper's front
 	// end either way.
@@ -340,6 +349,183 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	enc.Encode(sum) //nolint:errcheck // stream end; client may be gone
+}
+
+// exploreRequest is one design-space exploration submission. Grid selects
+// a candidate preset ("default" or "tiny"); the remaining fields overlay
+// the preset, with zero values keeping its defaults (see docs/EXPLORER.md).
+type exploreRequest struct {
+	Workload   string        `json:"workload"`
+	Grid       string        `json:"grid"`
+	Budget     uint64        `json:"budget"`
+	Rungs      int           `json:"rungs"`
+	Halve      uint64        `json:"halve"`
+	Slack      float64       `json:"slack"`
+	MaxCostRBE int           `json:"max_cost_rbe"`
+	Sampled    bool          `json:"sampled"`
+	Sample     sample.Params `json:"sample"`
+}
+
+// exploreCell is one streamed evaluation line: which candidate ran at which
+// rung and what it measured. Faulted evaluations reuse the sweep's
+// wire-fault shape and omit the CPI; the search drops them and goes on.
+type exploreCell struct {
+	Rung     int        `json:"rung"`
+	Budget   uint64     `json:"budget"`
+	Sampled  bool       `json:"sampled,omitempty"`
+	Label    string     `json:"label"`
+	CostRBE  int        `json:"cost_rbe"`
+	CPI      float64    `json:"cpi,omitempty"`
+	CPIError float64    `json:"cpi_err,omitempty"`
+	Fault    *wireFault `json:"fault,omitempty"`
+}
+
+// explorePoint is one frontier member of the terminating summary.
+type explorePoint struct {
+	Label   string  `json:"label"`
+	CostRBE int     `json:"cost_rbe"`
+	CPI     float64 `json:"cpi"`
+	Budget  uint64  `json:"budget"`
+	BPred   string  `json:"bpred,omitempty"`
+}
+
+// exploreSummary terminates the exploration stream.
+type exploreSummary struct {
+	Done        bool           `json:"done"`
+	Candidates  int            `json:"candidates"`
+	CostPruned  int            `json:"cost_pruned,omitempty"`
+	Evaluations int            `json:"evaluations"`
+	Faulted     int            `json:"faulted"`
+	Frontier    []explorePoint `json:"frontier"`
+	Error       string         `json:"error,omitempty"`
+}
+
+// handleExplore runs an adaptive Pareto-frontier search on the shared
+// runner and streams one NDJSON line per candidate evaluation as it lands,
+// then a summary carrying the frontier. Like the sweep, lines arrive in
+// completion order while the frontier itself is deterministic.
+func (s *server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST an exploration submission")
+		return
+	}
+	var req exploreRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad submission: %v", err)
+		return
+	}
+	var spec harness.ExploreSpec
+	switch req.Grid {
+	case "", "default":
+		spec = harness.ExploreSpec{}
+	case "tiny":
+		spec = harness.TinyExploreSpec()
+	default:
+		httpError(w, http.StatusBadRequest, "unknown grid %q (want default or tiny)", req.Grid)
+		return
+	}
+	if !req.Sampled && req.Sample != (sample.Params{}) {
+		// Same contract as the sweep: sampling parameters on an exact
+		// submission are rejected, never silently ignored.
+		httpError(w, http.StatusBadRequest, "sample parameters require a sampled submission (set sampled:true)")
+		return
+	}
+	if req.Workload != "" {
+		// Resolve up front: once the stream starts the status is spent.
+		if _, err := workloads.Get(req.Workload); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		spec.Workload = req.Workload
+	}
+	if req.Budget != 0 {
+		spec.FullBudget = req.Budget
+	}
+	if req.Rungs != 0 {
+		spec.Rungs = req.Rungs
+	}
+	if req.Halve != 0 {
+		spec.Halve = req.Halve
+	}
+	if req.Slack != 0 {
+		spec.Slack = req.Slack
+	}
+	if req.MaxCostRBE != 0 {
+		spec.MaxCostRBE = req.MaxCostRBE
+	}
+	if req.Sampled {
+		spec.Sampled = true
+		spec.Sample = req.Sample
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	cells := make(chan exploreCell)
+	ex := &harness.Explorer{
+		Runner: s.runner,
+		Spec:   spec,
+		Observe: func(ev harness.ExploreEvent) {
+			cell := exploreCell{
+				Rung: ev.Rung, Budget: ev.Budget, Sampled: ev.Sampled,
+				Label: ev.Label, CostRBE: ev.CostRBE,
+			}
+			if ev.Fault != nil {
+				// The CPI is NaN here, which encoding/json cannot carry;
+				// the fault object is the value.
+				cell.Fault = &wireFault{Subsystem: ev.Fault.Subsystem, Cycle: ev.Fault.Cycle, Cell: ev.Fault.Cell()}
+			} else {
+				cell.CPI = ev.CPI
+				cell.CPIError = ev.CPIError
+			}
+			select {
+			case cells <- cell:
+			case <-r.Context().Done():
+			}
+		},
+	}
+	type outcome struct {
+		res *harness.ExploreResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := ex.Run(r.Context())
+		done <- outcome{res, err}
+		close(cells)
+	}()
+
+	enc := json.NewEncoder(w)
+	for cell := range cells {
+		if enc.Encode(cell) != nil {
+			return // client hung up; Run unwinds via r.Context()
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	out := <-done
+	sum := exploreSummary{Done: true}
+	if out.err != nil {
+		sum.Error = out.err.Error()
+	} else {
+		sum.Candidates = out.res.Candidates
+		sum.CostPruned = out.res.CostPruned
+		sum.Evaluations = out.res.Evaluations()
+		sum.Faulted = len(out.res.Faults)
+		sum.Frontier = make([]explorePoint, 0, len(out.res.Frontier))
+		for _, p := range out.res.Frontier {
+			sum.Frontier = append(sum.Frontier, explorePoint{
+				Label: p.Label, CostRBE: p.CostRBE, CPI: p.CPI,
+				Budget: p.Budget, BPred: p.BPred,
+			})
+		}
+	}
+	enc.Encode(sum) //nolint:errcheck // stream end; client may be gone
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 // figureRenderers maps the figure endpoint names to the harness artifacts.

@@ -394,3 +394,196 @@ func TestSweepSampledRejectsScheduled(t *testing.T) {
 		t.Fatalf("sampled+scheduled returned %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestSweepRejectsSampleParamsWithoutSampled is the regression test for the
+// silent-ignore bug: populated sample parameters on an exact submission
+// were dropped on the floor, so a caller who forgot sampled:true read exact
+// cells as the estimates it asked for. The submission must be rejected.
+func TestSweepRejectsSampleParamsWithoutSampled(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json",
+		strings.NewReader(`{"models":["small"],"workloads":["li"],"sample":{"warm_up":1000}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("sample params without sampled:true returned %d, want 400", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, "sampled:true") {
+		t.Errorf("rejection %q does not tell the caller the fix", e.Error)
+	}
+}
+
+// postExplore submits an exploration and decodes the NDJSON stream into
+// evaluation cells plus the terminating summary.
+func postExplore(t *testing.T, ts *httptest.Server, body string) ([]exploreCell, exploreSummary) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/explore", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("explore returned %d: %s", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want NDJSON", ct)
+	}
+	var cells []exploreCell
+	var sum exploreSummary
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			Done bool `json:"done"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("bad stream line %q: %v", line, err)
+		}
+		if probe.Done {
+			if err := json.Unmarshal(line, &sum); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var c exploreCell
+		if err := json.Unmarshal(line, &c); err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, c)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Done {
+		t.Fatal("stream ended without a summary line")
+	}
+	return cells, sum
+}
+
+// TestExploreStream runs the tiny grid through the endpoint: one line per
+// evaluation, the summary carries a non-empty deterministic frontier, and
+// the cheapest candidate (which nothing can dominate) is on it.
+func TestExploreStream(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	cells, sum := postExplore(t, ts, `{"grid":"tiny","budget":8000}`)
+	if sum.Error != "" {
+		t.Fatalf("exploration errored: %s", sum.Error)
+	}
+	if sum.Candidates != 4 {
+		t.Fatalf("tiny grid has %d candidates, want 4", sum.Candidates)
+	}
+	if len(cells) != sum.Evaluations || sum.Evaluations < sum.Candidates {
+		t.Fatalf("%d cells streamed, summary says %d evaluations over %d candidates",
+			len(cells), sum.Evaluations, sum.Candidates)
+	}
+	for _, c := range cells {
+		if c.Label == "" || c.CostRBE == 0 || c.Budget == 0 {
+			t.Errorf("evaluation cell incomplete: %+v", c)
+		}
+		if c.Fault == nil && c.CPI <= 0 {
+			t.Errorf("healthy evaluation has no CPI: %+v", c)
+		}
+	}
+	if len(sum.Frontier) == 0 {
+		t.Fatal("summary carries no frontier")
+	}
+	cheapest := sum.Frontier[0]
+	for i, p := range sum.Frontier {
+		if p.CPI <= 0 || p.Label == "" {
+			t.Errorf("frontier point incomplete: %+v", p)
+		}
+		if i > 0 && p.CostRBE < sum.Frontier[i-1].CostRBE {
+			t.Errorf("frontier not cost-ascending at %s", p.Label)
+		}
+		if p.CostRBE < cheapest.CostRBE {
+			cheapest = p
+		}
+	}
+	if cheapest.Label != "i2-ic1K-wc2-rob6-mshr2-pf4" {
+		t.Errorf("cheapest frontier point %q, want the tiny grid's 1K/wc2 anchor", cheapest.Label)
+	}
+
+	// The frontier is deterministic: a second submission reproduces it.
+	_, sum2 := postExplore(t, ts, `{"grid":"tiny","budget":8000}`)
+	if len(sum2.Frontier) != len(sum.Frontier) {
+		t.Fatalf("repeat submission frontier size %d, want %d", len(sum2.Frontier), len(sum.Frontier))
+	}
+	for i := range sum.Frontier {
+		if sum.Frontier[i] != sum2.Frontier[i] {
+			t.Errorf("frontier point %d differs across submissions: %+v / %+v",
+				i, sum.Frontier[i], sum2.Frontier[i])
+		}
+	}
+}
+
+// TestExploreFaultedCandidateWireShape: a faulted candidate streams the
+// PR 4 fault-cell shape with no CPI (NaN is not JSON), is dropped from the
+// frontier, and the search still terminates with a summary.
+func TestExploreFaultedCandidateWireShape(t *testing.T) {
+	faultinject.Arm(faultinject.LSUDispatch)
+	defer faultinject.Reset()
+
+	_, ts := newTestServer(t, "")
+	cells, sum := postExplore(t, ts, `{"grid":"tiny","budget":8000}`)
+	if sum.Error != "" {
+		t.Fatalf("fully-faulted exploration errored: %s", sum.Error)
+	}
+	if sum.Faulted != sum.Candidates || len(sum.Frontier) != 0 {
+		t.Fatalf("summary %+v, want every candidate faulted and no frontier", sum)
+	}
+	if len(cells) == 0 {
+		t.Fatal("no evaluation cells streamed")
+	}
+	for _, c := range cells {
+		if c.Fault == nil {
+			t.Fatalf("cell carries no fault: %+v", c)
+		}
+		if c.Fault.Subsystem != "ipu" {
+			t.Errorf("fault subsystem = %q, want ipu", c.Fault.Subsystem)
+		}
+		want := fmt.Sprintf("FAULT(%s@%d)", c.Fault.Subsystem, c.Fault.Cycle)
+		if c.Fault.Cell != want {
+			t.Errorf("fault cell = %q, want %q", c.Fault.Cell, want)
+		}
+		if c.CPI != 0 {
+			t.Errorf("faulted cell leaked a CPI: %+v", c)
+		}
+	}
+}
+
+// TestExploreValidation: bad grids, workloads, methods and sample-without-
+// sampled submissions are rejected before the stream starts.
+func TestExploreValidation(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	for _, body := range []string{
+		`{"grid":"galactic"}`,
+		`{"grid":"tiny","workload":"warp9"}`,
+		`{"grid":"tiny","sample":{"warm_up":1000}}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/explore", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submission %s returned %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/explore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET explore returned %d, want 405", resp.StatusCode)
+	}
+}

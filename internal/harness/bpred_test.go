@@ -8,6 +8,7 @@ import (
 
 	"aurora/internal/bpred"
 	"aurora/internal/core"
+	"aurora/internal/faultinject"
 	"aurora/internal/sample"
 	"aurora/internal/workloads"
 )
@@ -238,5 +239,34 @@ func TestPredictorSweepShapes(t *testing.T) {
 	}
 	if byLabel["gshare:entries=1024,hist=10"].Bits >= byLabel["gshare:entries=4096,hist=12"].Bits {
 		t.Error("gshare bits not ascending with table size")
+	}
+}
+
+// TestPredictorSweepAllFaultedMispredictNaN is the regression test for the
+// zero-on-dead-suite bug: with every integer cell faulted there are no
+// branch counters to aggregate, and the sweep once reported the rate as a
+// perfect 0.0. It must report NaN, exactly like suiteStats does for the
+// CPIs of a fully-faulted suite.
+func TestPredictorSweepAllFaultedMispredictNaN(t *testing.T) {
+	faultinject.Reset()
+	faultinject.Arm(faultinject.LSUDispatch)
+	defer faultinject.Reset()
+
+	res, err := PredictorSweep(context.Background(), NewRunner(2), core.Baseline(),
+		Options{Budget: 20_000})
+	if err != nil {
+		t.Fatalf("keep-going sweep aborted: %v", err)
+	}
+	for _, p := range res.Points {
+		if !math.IsNaN(p.IntCPI) {
+			t.Errorf("%s: IntCPI %.4f with every integer cell faulted, want NaN", p.Label, p.IntCPI)
+		}
+		if !math.IsNaN(p.IntMispredict) {
+			t.Errorf("%s: IntMispredict %.4f with every integer cell faulted, want NaN (0 would read as a perfect front end)",
+				p.Label, p.IntMispredict)
+		}
+		if p.Faults == 0 {
+			t.Errorf("%s: no faults counted under an armed hot-path site", p.Label)
+		}
 	}
 }

@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"aurora/internal/bpred"
 	"aurora/internal/core"
@@ -104,9 +105,16 @@ func PredictorSweep(ctx context.Context, r *Runner, model core.Config, opts Opti
 				mispredicts += b.Report.BranchMispredicts
 			}
 		}
-		rate := 0.0
-		if predicts > 0 {
-			rate = float64(mispredicts) / float64(predicts)
+		// The aggregate rate is a property of the healthy integer cells:
+		// with every cell faulted there is nothing to aggregate, so the
+		// point reports NaN like suiteStats does for the CPIs — a zero
+		// here would read as a perfect front end on a dead suite.
+		rate := math.NaN()
+		if countFaults(intPer) < len(intPer) {
+			rate = 0
+			if predicts > 0 {
+				rate = float64(mispredicts) / float64(predicts)
+			}
 		}
 		return BPredPoint{
 			Label:         specs[i],

@@ -27,7 +27,11 @@ func writeCSV(w io.Writer, header []string, rows [][]string) error {
 	return cw.Error()
 }
 
-func f3(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+// f4 renders a CSV float cell with four decimals — the precision every
+// numeric column of the artifacts uses. Pinned by TestCSVFloatFormatPinned
+// so the artifact format cannot drift silently. (It was briefly named f3
+// while already formatting four decimals; the name now states the truth.)
+func f4(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
 
 // Fig4CSV emits the cost/performance points.
 func Fig4CSV(w io.Writer, pts []Fig4Point) error {
@@ -35,7 +39,7 @@ func Fig4CSV(w io.Writer, pts []Fig4Point) error {
 	for _, p := range pts {
 		rows = append(rows, []string{
 			p.Model, strconv.Itoa(p.Issue), strconv.Itoa(p.Latency),
-			strconv.Itoa(p.CostRBE), f3(p.MinCPI), f3(p.AvgCPI), f3(p.MaxCPI),
+			strconv.Itoa(p.CostRBE), f4(p.MinCPI), f4(p.AvgCPI), f4(p.MaxCPI),
 		})
 	}
 	return writeCSV(w, []string{"model", "issue", "latency", "cost_rbe",
@@ -49,7 +53,7 @@ func RateTableCSV(w io.Writer, t *RateTable) error {
 	for i, m := range t.Models {
 		row := []string{m}
 		for _, v := range t.Rows[i] {
-			row = append(row, f3(v))
+			row = append(row, f4(v))
 		}
 		rows = append(rows, row)
 	}
@@ -62,7 +66,7 @@ func Fig5CSV(w io.Writer, pts []Fig5Point) error {
 	for _, p := range pts {
 		rows = append(rows, []string{
 			p.Model, strconv.Itoa(p.Latency), strconv.Itoa(p.CostRBE),
-			f3(p.WithPF), f3(p.WithoutPF), f3(p.Improvement),
+			f4(p.WithPF), f4(p.WithoutPF), f4(p.Improvement),
 		})
 	}
 	return writeCSV(w, []string{"model", "latency", "cost_rbe",
@@ -78,11 +82,11 @@ func Fig6CSV(w io.Writer, rows6 []Fig6Row) error {
 	header = append(header, "total_cpi")
 	rows := make([][]string, 0, len(rows6))
 	for _, r := range rows6 {
-		row := []string{r.Model, f3(r.BaseCPI)}
+		row := []string{r.Model, f4(r.BaseCPI)}
 		for _, s := range r.Stalls {
-			row = append(row, f3(s))
+			row = append(row, f4(s))
 		}
-		row = append(row, f3(r.TotalCPI))
+		row = append(row, f4(r.TotalCPI))
 		rows = append(rows, row)
 	}
 	return writeCSV(w, header, rows)
@@ -94,7 +98,7 @@ func Fig7CSV(w io.Writer, pts []Fig7Point) error {
 	for _, p := range pts {
 		rows = append(rows, []string{
 			p.Model, strconv.Itoa(p.MSHRs), strconv.Itoa(p.CostRBE),
-			f3(p.AvgCPI), strconv.FormatBool(p.IsBase),
+			f4(p.AvgCPI), strconv.FormatBool(p.IsBase),
 		})
 	}
 	return writeCSV(w, []string{"model", "mshrs", "cost_rbe", "avg_cpi", "table1"}, rows)
@@ -107,7 +111,7 @@ func Fig8CSV(w io.Writer, pts []Fig8Point) error {
 		rows = append(rows, []string{
 			p.Label, strconv.Itoa(p.Issue), strconv.Itoa(p.ICacheK),
 			strconv.Itoa(p.WCLines), strconv.Itoa(p.ROB), strconv.Itoa(p.MSHRs),
-			strconv.Itoa(p.PFBufs), strconv.Itoa(p.CostRBE), f3(p.CPI),
+			strconv.Itoa(p.PFBufs), strconv.Itoa(p.CostRBE), f4(p.CPI),
 		})
 	}
 	return writeCSV(w, []string{"label", "issue", "icache_kb", "wc_lines",
@@ -118,7 +122,7 @@ func Fig8CSV(w io.Writer, pts []Fig8Point) error {
 func Table6CSV(w io.Writer, rows6 []Table6Row) error {
 	rows := make([][]string, 0, len(rows6))
 	for _, r := range rows6 {
-		rows = append(rows, []string{r.Bench, f3(r.InOrder), f3(r.Single), f3(r.Dual)})
+		rows = append(rows, []string{r.Bench, f4(r.InOrder), f4(r.Single), f4(r.Dual)})
 	}
 	return writeCSV(w, []string{"benchmark", "in_order_cpi", "ooo_single_cpi", "ooo_dual_cpi"}, rows)
 }
@@ -128,22 +132,48 @@ func SweepCSV(w io.Writer, xlabel string, pts []SweepPoint) error {
 	rows := make([][]string, 0, len(pts))
 	for _, p := range pts {
 		rows = append(rows, []string{
-			strconv.Itoa(p.X), f3(p.AvgCPI), strconv.Itoa(p.CostRBE),
+			strconv.Itoa(p.X), f4(p.AvgCPI), strconv.Itoa(p.CostRBE),
 		})
 	}
 	return writeCSV(w, []string{xlabel, "avg_cpi", "cost_rbe"}, rows)
 }
 
-// BPredSweepCSV emits the predictor bits-vs-CPI sweep.
+// BPredSweepCSV emits the predictor bits-vs-CPI sweep. The label column is
+// the -bpred flag spelling (BPredPoint.Label), so any row can be reproduced
+// from the artifact alone; the predictor column is the canonical key.
 func BPredSweepCSV(w io.Writer, r *BPredSweepResult) error {
 	rows := make([][]string, 0, len(r.Points))
 	for _, p := range r.Points {
 		rows = append(rows, []string{
-			p.Key, strconv.FormatUint(p.Bits, 10), strconv.Itoa(p.CostRBE),
-			f3(p.IntCPI), f3(p.FPCPI), f3(p.IntMispredict),
+			p.Label, p.Key, strconv.FormatUint(p.Bits, 10), strconv.Itoa(p.CostRBE),
+			f4(p.IntCPI), f4(p.FPCPI), f4(p.IntMispredict),
 		})
 	}
-	return writeCSV(w, []string{"predictor", "bits", "cost_rbe", "int_cpi", "fp_cpi", "int_mispredict"}, rows)
+	return writeCSV(w, []string{"label", "predictor", "bits", "cost_rbe", "int_cpi", "fp_cpi", "int_mispredict"}, rows)
+}
+
+// ExploreCSV emits the exploration's Pareto frontier, one row per frontier
+// point in cost order, with the grid coordinates spelled out so any row can
+// be re-run from the artifact alone. The icache_rbe and bpred_rbe columns
+// itemize the two axes whose costs are not linear in their size parameter.
+func ExploreCSV(w io.Writer, r *ExploreResult) error {
+	rows := make([][]string, 0, len(r.Frontier))
+	for _, p := range r.Frontier {
+		bp := p.BPred
+		if bp == "" {
+			bp = "folding"
+		}
+		rows = append(rows, []string{
+			p.Label, r.Workload, strconv.Itoa(p.Issue), strconv.Itoa(p.ICacheK),
+			strconv.Itoa(p.WCLines), strconv.Itoa(p.ROB), strconv.Itoa(p.MSHRs),
+			strconv.Itoa(p.PFBufs), bp,
+			strconv.Itoa(p.CostRBE), strconv.Itoa(p.ICacheRBE), strconv.Itoa(p.BPredRBE),
+			f4(p.CPI), strconv.FormatUint(p.Budget, 10),
+		})
+	}
+	return writeCSV(w, []string{"label", "workload", "issue", "icache_kb",
+		"wc_lines", "rob", "mshrs", "pf_buffers", "bpred",
+		"cost_rbe", "icache_rbe", "bpred_rbe", "cpi", "budget"}, rows)
 }
 
 // csvArtifact pairs an artifact file name with the generator that writes it.
@@ -159,11 +189,11 @@ type csvArtifact struct {
 func ExportCSV(ctx context.Context, open func(name string) (io.WriteCloser, error), r *Runner, opts Options) error {
 	groups := []func(ctx context.Context) ([]csvArtifact, error){
 		func(ctx context.Context) ([]csvArtifact, error) {
-			f4, err := Fig4(ctx, r, opts)
+			pts, err := Fig4(ctx, r, opts)
 			if err != nil {
 				return nil, err
 			}
-			return []csvArtifact{{"fig4_issue_width", func(w io.Writer) error { return Fig4CSV(w, f4) }}}, nil
+			return []csvArtifact{{"fig4_issue_width", func(w io.Writer) error { return Fig4CSV(w, pts) }}}, nil
 		},
 		func(ctx context.Context) ([]csvArtifact, error) {
 			t, err := Table3(ctx, r, opts)

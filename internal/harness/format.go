@@ -175,8 +175,8 @@ func PrintFig8(w io.Writer, pts []Fig8Point) {
 // every real predictor's CPI sits at or above it.
 func PrintBPredSweep(w io.Writer, r *BPredSweepResult) {
 	fmt.Fprintf(w, "Predictor sweep (%s model): storage bits vs CPI\n", r.Model)
-	fmt.Fprintf(w, "  %-32s %9s %9s %8s %8s %9s\n",
-		"predictor", "bits", "cost/RBE", "intCPI", "fpCPI", "int-mi%")
+	fmt.Fprintf(w, "  %-32s %9s %9s %8s %8s %9s  %s\n",
+		"predictor", "bits", "cost/RBE", "intCPI", "fpCPI", "int-mi%", "-bpred")
 	cell := func(v float64) string {
 		if math.IsNaN(v) {
 			return fmt.Sprintf("%8s", "FAULT")
@@ -184,10 +184,49 @@ func PrintBPredSweep(w io.Writer, r *BPredSweepResult) {
 		return fmt.Sprintf("%8.3f", v)
 	}
 	for _, p := range r.Points {
-		fmt.Fprintf(w, "  %-32s %9d %9d %s %s %8.2f%%",
-			p.Key, p.Bits, p.CostRBE, cell(p.IntCPI), cell(p.FPCPI), 100*p.IntMispredict)
+		fmt.Fprintf(w, "  %-32s %9d %9d %s %s %8.2f%%  %s",
+			p.Key, p.Bits, p.CostRBE, cell(p.IntCPI), cell(p.FPCPI), 100*p.IntMispredict, p.Label)
 		fmt.Fprint(w, faultMark(p.Faults))
 		fmt.Fprintln(w)
+	}
+}
+
+// PrintExplore renders a finished design-space exploration: the halving
+// ladder's per-rung accounting, the exact frontier in cost order, and any
+// candidates the search dropped on a fault. Every line derives from slices
+// assembled in deterministic order, so the output is byte-identical across
+// worker counts and store states.
+func PrintExplore(w io.Writer, r *ExploreResult) {
+	fmt.Fprintf(w, "Design-space exploration (%s): RBE cost vs CPI Pareto frontier\n", r.Workload)
+	fmt.Fprintf(w, "  grid %d candidates", r.Candidates)
+	if r.CostPruned > 0 {
+		fmt.Fprintf(w, " (+%d over the cost cap)", r.CostPruned)
+	}
+	fmt.Fprintf(w, "; successive halving over %d rungs, slack %.0f%%\n",
+		len(r.Rungs), 100*r.Spec.Slack)
+	for _, rung := range r.Rungs {
+		mode := "exact"
+		if rung.Sampled {
+			mode = "sampled"
+		}
+		verb := "promoted"
+		if rung.Rung == len(r.Rungs)-1 {
+			verb = "on the frontier"
+		}
+		fmt.Fprintf(w, "  rung %d: %8d instr %-7s  %4d entered  %4d dropped  %3d faulted  %4d %s\n",
+			rung.Rung, rung.Budget, mode, rung.Entered, rung.Dropped, rung.Faulted, rung.Promoted, verb)
+	}
+	fmt.Fprintf(w, "  %-28s %9s %8s  %s\n", "frontier", "cost/RBE", "CPI", "configuration")
+	for _, p := range r.Frontier {
+		bp := p.BPred
+		if bp == "" {
+			bp = "folding"
+		}
+		fmt.Fprintf(w, "  %-28s %9d %8.3f  issue=%d icache=%dK wc=%d rob=%d mshr=%d pf=%d bpred=%s\n",
+			p.Label, p.CostRBE, p.CPI, p.Issue, p.ICacheK, p.WCLines, p.ROB, p.MSHRs, p.PFBufs, bp)
+	}
+	for _, f := range r.Faults {
+		fmt.Fprintf(w, "  dropped at rung %d: %-28s %s\n", f.Rung, f.Label, f.Cell)
 	}
 }
 

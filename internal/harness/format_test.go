@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -277,4 +278,94 @@ func TestCSVWriters(t *testing.T) {
 		t.Fatal(err)
 	}
 	contains(t, b.String(), "E:recommended")
+
+	// Regression: BPredSweepCSV once dropped the Label column, so a row
+	// could not be reproduced with -bpred from the artifact alone. The
+	// label leads the row and the header names it.
+	b.Reset()
+	if err := BPredSweepCSV(&b, &BPredSweepResult{Model: "baseline", Points: []BPredPoint{
+		{Label: "gshare:entries=4096,hist=12", Key: "gshare/e4096/h12", Bits: 8192,
+			CostRBE: 77230, IntCPI: 1.08, FPCPI: 1.69, IntMispredict: 0.061},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	contains(t, b.String(), "label,predictor,bits,cost_rbe,int_cpi,fp_cpi,int_mispredict")
+	contains(t, b.String(), "\"gshare:entries=4096,hist=12\",gshare/e4096/h12,8192,77230,1.0800,1.6900,0.0610")
+
+	b.Reset()
+	if err := ExploreCSV(&b, &ExploreResult{Workload: "espresso", Frontier: []ExplorePoint{
+		{Label: "i2-ic1K-wc2-rob6-mshr2-pf4", Issue: 2, ICacheK: 1, WCLines: 2, ROB: 6,
+			MSHRs: 2, PFBufs: 4, CostRBE: 68444, ICacheRBE: 8000, CPI: 1.196, Budget: 40000},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	contains(t, b.String(), "label,workload,issue,icache_kb,wc_lines,rob,mshrs,pf_buffers,bpred,cost_rbe,icache_rbe,bpred_rbe,cpi,budget")
+	contains(t, b.String(), "i2-ic1K-wc2-rob6-mshr2-pf4,espresso,2,1,2,6,2,4,folding,68444,8000,0,1.1960,40000")
+}
+
+// TestCSVFloatFormatPinned pins the artifact float cell: f4 renders four
+// decimals, half-up at the fourth place, and spells NaN (the faulted-cell
+// value) literally. Every numeric CSV column flows through it, so a change
+// here is a change to every checked-in artifact.
+func TestCSVFloatFormatPinned(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0.0000"},
+		{1.196, "1.1960"},
+		{1.23456, "1.2346"},
+		{1.23444, "1.2344"},
+		{-0.5, "-0.5000"},
+		{100, "100.0000"},
+		{math.NaN(), "NaN"},
+	}
+	for _, c := range cases {
+		if got := f4(c.v); got != c.want {
+			t.Errorf("f4(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+// TestPrintBPredSweepLabelColumn: the rendered sweep carries the -bpred
+// flag spelling alongside the canonical key, so any printed row can be
+// reproduced directly.
+func TestPrintBPredSweepLabelColumn(t *testing.T) {
+	var b bytes.Buffer
+	PrintBPredSweep(&b, &BPredSweepResult{Model: "baseline", Points: []BPredPoint{
+		{Label: "bimodal:entries=512", Key: "bimodal/e512", Bits: 1024,
+			CostRBE: 73646, IntCPI: 1.09, FPCPI: 1.7, IntMispredict: 0.08},
+	}})
+	out := b.String()
+	contains(t, out, "-bpred")
+	contains(t, out, "bimodal:entries=512")
+	contains(t, out, "bimodal/e512")
+}
+
+// TestPrintExplore smoke-checks the exploration rendering: the ladder
+// accounting, the frontier row and a dropped-candidate line all appear.
+func TestPrintExplore(t *testing.T) {
+	var b bytes.Buffer
+	PrintExplore(&b, &ExploreResult{
+		Workload:   "espresso",
+		Spec:       ExploreSpec{Slack: 0.10},
+		Candidates: 4,
+		Rungs: []ExploreRung{
+			{Rung: 0, Budget: 10000, Entered: 4, Promoted: 3, Faulted: 1},
+			{Rung: 1, Budget: 40000, Entered: 3, Promoted: 1, Dropped: 2},
+		},
+		Frontier: []ExplorePoint{
+			{Label: "i2-ic1K-wc2-rob6-mshr2-pf4", Issue: 2, ICacheK: 1, WCLines: 2,
+				ROB: 6, MSHRs: 2, PFBufs: 4, CostRBE: 68444, CPI: 1.196, Budget: 40000},
+		},
+		Faults: []ExploreFault{{Label: "i2-ic2K-wc4-rob6-mshr2-pf4", Rung: 0, Cell: "FAULT(ipu@42)"}},
+	})
+	out := b.String()
+	contains(t, out, "Design-space exploration (espresso)")
+	contains(t, out, "grid 4 candidates")
+	contains(t, out, "on the frontier")
+	contains(t, out, "i2-ic1K-wc2-rob6-mshr2-pf4")
+	contains(t, out, "bpred=folding")
+	contains(t, out, "dropped at rung 0")
+	contains(t, out, "FAULT(ipu@42)")
 }

@@ -140,23 +140,51 @@ type IPUCost struct {
 	Pipelines       int // 1 = single issue, 2 = dual issue
 }
 
-// Total returns the configuration's cost in RBE.
-func (c IPUCost) Total() (int, error) {
+// IPUBreakdown itemizes an integer-side cost by structure; Total is the
+// sum of the other fields. The per-structure terms let cost-aware tools
+// (the design-space explorer, the CSV artifacts) report where the area
+// goes without re-deriving Table 2 arithmetic.
+type IPUBreakdown struct {
+	Core       int // fixed CoreOverhead
+	ICache     int
+	WriteCache int
+	Prefetch   int
+	Reorder    int
+	MSHR       int
+	Pipelines  int
+	Total      int
+}
+
+// Breakdown returns the configuration's cost itemized by structure.
+func (c IPUCost) Breakdown() (IPUBreakdown, error) {
 	icache, err := ICacheCost(c.ICacheBytes)
 	if err != nil {
-		return 0, err
+		return IPUBreakdown{}, err
 	}
 	depth := c.PrefetchDepth
 	if depth == 0 {
 		depth = 4
 	}
-	total := CoreOverhead + icache +
-		c.WriteCacheLines*WriteCacheLine +
-		c.PrefetchBuffers*depth*PrefetchLine +
-		c.ReorderEntries*ReorderBufferEntry +
-		c.MSHREntries*MSHREntry +
-		c.Pipelines*IntegerPipeline
-	return total, nil
+	b := IPUBreakdown{
+		Core:       CoreOverhead,
+		ICache:     icache,
+		WriteCache: c.WriteCacheLines * WriteCacheLine,
+		Prefetch:   c.PrefetchBuffers * depth * PrefetchLine,
+		Reorder:    c.ReorderEntries * ReorderBufferEntry,
+		MSHR:       c.MSHREntries * MSHREntry,
+		Pipelines:  c.Pipelines * IntegerPipeline,
+	}
+	b.Total = b.Core + b.ICache + b.WriteCache + b.Prefetch + b.Reorder + b.MSHR + b.Pipelines
+	return b, nil
+}
+
+// Total returns the configuration's cost in RBE.
+func (c IPUCost) Total() (int, error) {
+	b, err := c.Breakdown()
+	if err != nil {
+		return 0, err
+	}
+	return b.Total, nil
 }
 
 // FPUCost describes an FPU configuration for costing.

@@ -142,4 +142,40 @@ func TestIPUCostError(t *testing.T) {
 	if _, err := c.Total(); err == nil {
 		t.Error("bad icache size accepted")
 	}
+	if _, err := c.Breakdown(); err == nil {
+		t.Error("bad icache size accepted by Breakdown")
+	}
+}
+
+// TestIPUBreakdown: the itemized cost matches Table 2 term by term and sums
+// to exactly what Total reports — the two can never disagree because Total
+// is defined as the breakdown's sum.
+func TestIPUBreakdown(t *testing.T) {
+	base := IPUCost{ICacheBytes: 2048, WriteCacheLines: 4, PrefetchBuffers: 4,
+		PrefetchDepth: 4, ReorderEntries: 6, MSHREntries: 2, Pipelines: 2}
+	b, err := base.Breakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := IPUBreakdown{
+		Core:       CoreOverhead,
+		ICache:     CacheBlock2K,
+		WriteCache: 4 * WriteCacheLine,
+		Prefetch:   4 * 4 * PrefetchLine,
+		Reorder:    6 * ReorderBufferEntry,
+		MSHR:       2 * MSHREntry,
+		Pipelines:  2 * IntegerPipeline,
+	}
+	want.Total = want.Core + want.ICache + want.WriteCache + want.Prefetch +
+		want.Reorder + want.MSHR + want.Pipelines
+	if b != want {
+		t.Errorf("Breakdown() = %+v, want %+v", b, want)
+	}
+	total, err := base.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total != total {
+		t.Errorf("breakdown total %d disagrees with Total() %d", b.Total, total)
+	}
 }

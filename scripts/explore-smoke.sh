@@ -1,0 +1,71 @@
+#!/bin/sh
+# explore-smoke.sh — end-to-end smoke test for the design-space explorer.
+#
+# Runs the tiny grid (4 candidates, two halving rungs) three times:
+#   A: -j 1 against a fresh store
+#   B: -j 8 against a different fresh store
+#   C: -j 8 against run A's store
+# A and B must print byte-identical frontiers (worker count is scheduling,
+# never results), the known-undominated cheapest candidate must be on the
+# frontier, and C must re-simulate zero candidates — the whole search is
+# answered from run A's store (see docs/EXPLORER.md).
+set -eu
+
+workdir=$(mktemp -d)
+cleanup() { rm -rf "$workdir"; }
+trap cleanup EXIT
+
+echo "== building aurora-experiments"
+go build -o "$workdir/aurora-experiments" ./cmd/aurora-experiments
+
+explore() {
+    "$workdir/aurora-experiments" -explore -explore-grid tiny "$@"
+}
+
+# The timing footer is the only run-dependent line; everything above it must
+# be byte-identical across runs.
+strip_footer() {
+    grep -v '^exploration in ' "$1"
+}
+
+echo "== run A: -j 1, fresh store"
+explore -j 1 -store "$workdir/store-a" >"$workdir/a.txt"
+strip_footer "$workdir/a.txt" >"$workdir/a.stripped"
+
+echo "== run B: -j 8, fresh store"
+explore -j 8 -store "$workdir/store-b" >"$workdir/b.txt"
+strip_footer "$workdir/b.txt" >"$workdir/b.stripped"
+
+if ! cmp -s "$workdir/a.stripped" "$workdir/b.stripped"; then
+    echo "FAIL: frontier differs between -j 1 and -j 8" >&2
+    diff "$workdir/a.stripped" "$workdir/b.stripped" >&2 || true
+    exit 1
+fi
+echo "   -j 1 and -j 8 byte-identical"
+
+# The 1K-icache/2-line-write-cache point is the cheapest candidate of the
+# tiny grid; nothing can dominate it, so it must be on the frontier.
+if ! grep -q 'i2-ic1K-wc2-rob6-mshr2-pf4' "$workdir/a.txt"; then
+    echo "FAIL: cheapest candidate missing from the frontier" >&2
+    cat "$workdir/a.txt" >&2
+    exit 1
+fi
+echo "   cheapest candidate on the frontier"
+
+echo "== run C: -j 8 against run A's store"
+explore -j 8 -store "$workdir/store-a" >"$workdir/c.txt"
+strip_footer "$workdir/c.txt" >"$workdir/c.stripped"
+
+if ! grep -q '; 0 simulated,' "$workdir/c.txt"; then
+    echo "FAIL: store-backed re-run re-simulated candidates:" >&2
+    tail -1 "$workdir/c.txt" >&2
+    exit 1
+fi
+if ! cmp -s "$workdir/a.stripped" "$workdir/c.stripped"; then
+    echo "FAIL: store-served frontier differs from the cold run" >&2
+    diff "$workdir/a.stripped" "$workdir/c.stripped" >&2 || true
+    exit 1
+fi
+echo "   re-run simulated nothing and reproduced the frontier"
+
+echo "PASS: explore smoke"
