@@ -20,8 +20,13 @@ tier1: fmt build lint
 	$(GO) test -race -short -timeout 10m ./...
 
 # lint runs the repo's own go/analysis suite (hotpathalloc, determinism,
-# panicsite, probeguard — see docs/LINTING.md) over the whole module via
-# the vet driver, so facts flow across packages exactly as in go vet.
+# panicsite, probeguard, keyflow, ctxflow, faultpath, waiver, plus the
+# vendored stock vet passes — see docs/LINTING.md) over the whole module
+# via the vet driver, so facts flow across packages exactly as in go vet:
+# keyflow's identity facts are what let core.Config.BPred prove coverage
+# through bpred.Config.Key. `bin/aurora-lint -sarif out.sarif ./...`
+# exports the same findings as SARIF; `bin/aurora-lint -waivers` lists
+# every waiver in shipped code with its reason.
 lint:
 	$(GO) build -o bin/aurora-lint ./cmd/aurora-lint
 	$(GO) vet -vettool=bin/aurora-lint ./...

@@ -1,17 +1,22 @@
 // aurora-lint runs the aurora static-analysis suite (internal/lint): the
-// hot-path allocation, determinism, panic-site and probe-guard checks that
-// keep the simulator fast, byte-reproducible and fault-isolated as it
-// grows.
+// hot-path allocation, determinism, panic-site, probe-guard, identity-flow
+// (keyflow), context-propagation (ctxflow) and fault-path checks that keep
+// the simulator fast, byte-reproducible, fault-isolated and — above all —
+// honestly keyed as it grows.
 //
-// Two modes:
+// Modes:
 //
 //	aurora-lint ./...                   # standalone: wraps `go vet -vettool`
 //	go vet -vettool=$(which aurora-lint) ./...
+//	aurora-lint -sarif out.sarif ./...  # also write SARIF 2.1.0 for upload
+//	aurora-lint -waivers [dir]          # inventory of //aurora: waivers
 //
 // The binary speaks the go vet unitchecker protocol. When invoked directly
 // with package patterns it re-execs itself through `go vet -vettool=`, so
 // the toolchain handles package loading, caching and fact propagation in
-// both modes.
+// both modes. With -sarif the wrapped vet runs in -json mode: diagnostics
+// are captured, echoed in the usual file:line form, and written as a SARIF
+// log; the exit code stays nonzero when there are findings.
 package main
 
 import (
@@ -44,14 +49,46 @@ func vetInvocation() bool {
 }
 
 func standalone() int {
+	// Flag parsing is by hand: everything not recognized here is a package
+	// pattern that must reach `go vet` untouched.
+	var sarifPath string
+	var waiverMode bool
+	args := []string{}
+	rest := os.Args[1:]
+	for i := 0; i < len(rest); i++ {
+		switch a := rest[i]; {
+		case a == "-sarif" || a == "--sarif":
+			i++
+			if i == len(rest) {
+				fmt.Fprintln(os.Stderr, "aurora-lint: -sarif requires an output path")
+				return 2
+			}
+			sarifPath = rest[i]
+		case strings.HasPrefix(a, "-sarif=") || strings.HasPrefix(a, "--sarif="):
+			sarifPath = a[strings.IndexByte(a, '=')+1:]
+		case a == "-waivers" || a == "--waivers":
+			waiverMode = true
+		default:
+			args = append(args, a)
+		}
+	}
+	if waiverMode {
+		root := "."
+		if len(args) > 0 {
+			root = args[0]
+		}
+		return printWaivers(root)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
 	self, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aurora-lint: %v\n", err)
 		return 1
 	}
-	args := os.Args[1:]
-	if len(args) == 0 {
-		args = []string{"./..."}
+	if sarifPath != "" {
+		return runSARIF(self, sarifPath, args)
 	}
 	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
 	cmd.Stdout = os.Stdout
@@ -64,5 +101,69 @@ func standalone() int {
 		fmt.Fprintf(os.Stderr, "aurora-lint: %v\n", err)
 		return 1
 	}
+	return 0
+}
+
+// runSARIF wraps `go vet -vettool=self -json`, which reports findings as
+// JSON on stderr and exits zero; findings are echoed human-readably and
+// written as SARIF, and the exit code is reconstructed (1 iff findings).
+func runSARIF(self, sarifPath string, patterns []string) int {
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self, "-json"}, patterns...)...)
+	var vetOut strings.Builder
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = &vetOut
+	if err := cmd.Run(); err != nil {
+		// With -json, vet exits nonzero only on build/driver errors; its
+		// stderr then holds the error text, not JSON.
+		fmt.Fprint(os.Stderr, vetOut.String())
+		fmt.Fprintf(os.Stderr, "aurora-lint: %v\n", err)
+		return 1
+	}
+	results, err := lint.ParseVetJSON(strings.NewReader(vetOut.String()))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aurora-lint: %v\n", err)
+		return 1
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		root = ""
+	}
+	f, err := os.Create(sarifPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aurora-lint: %v\n", err)
+		return 1
+	}
+	werr := lint.WriteSARIF(f, results, root)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "aurora-lint: writing %s: %v\n", sarifPath, werr)
+		return 1
+	}
+	// Echo in vet's plain format (the aurora analyzers already prefix
+	// their messages with the analyzer name).
+	for _, r := range results {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s\n", r.File, r.Line, r.Column, r.Message)
+	}
+	if len(results) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printWaivers lists every //aurora:allow and //aurora:identity(none)
+// waiver in shipped code below root: the inventory of invariants the tree
+// opts out of, with the reasons reviewers approved.
+func printWaivers(root string) int {
+	entries, err := lint.WaiverInventory(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aurora-lint: %v\n", err)
+		return 1
+	}
+	for _, e := range entries {
+		fmt.Printf("%s:%d: %s: %s\n", e.File, e.Line, e.Token, e.Reason)
+	}
+	fmt.Printf("%d waivers\n", len(entries))
 	return 0
 }

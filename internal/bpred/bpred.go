@@ -65,7 +65,10 @@ func (k Kind) String() string {
 // Config parameterises a predictor. The zero value means Folding — the
 // paper's free-folding front end — and is the only Config whose IsDefault
 // reports true; every non-default Config extends the machine fingerprint, so
-// the predictor axis can never alias results computed without it.
+// the predictor axis can never alias results computed without it. keyflow
+// (aurora-lint) checks that every field reaches Key.
+//
+//aurora:identity(Key)
 type Config struct {
 	Kind Kind
 

@@ -17,7 +17,16 @@ import (
 )
 
 // Config is a complete machine configuration.
+//
+// Every field must reach Fingerprint — the memo key and store address —
+// either inside the fingerprintV1 literal, as a non-default suffix, or
+// through a nested axis's own identity method. keyflow (aurora-lint)
+// enforces this at build time; a field that may legitimately stay out of
+// the key carries an //aurora:identity(none, reason) waiver.
+//
+//aurora:identity(Fingerprint)
 type Config struct {
+	//aurora:identity(none, labels an experiment point; deliberately excluded from the key so renaming a point reuses its results — see Fingerprint)
 	Name string
 
 	IssueWidth int // 1 or 2 execution pipelines
@@ -206,6 +215,11 @@ func (c Config) WithBPred(bp bpred.Config) Config {
 // addressable. A reflection test pins the invariant: every Config field is
 // either listed here or handled as a suffix.
 type fingerprintV1 struct {
+	// Name is vestigial: Fingerprint always leaves it at its zero value, so
+	// every fingerprint begins with "{Name: " (pinned by
+	// TestFingerprintVestigialName). Removing the field — or starting to
+	// populate it — would re-key every memoized and persisted result in
+	// every existing store. Do not touch it.
 	Name                 string
 	IssueWidth           int
 	ICacheBytes          int

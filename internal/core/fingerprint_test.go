@@ -52,6 +52,34 @@ func TestFingerprintPinned(t *testing.T) {
 	}
 }
 
+// TestFingerprintVestigialName pins the vestigial Name field of
+// fingerprintV1: Fingerprint never populates it, so every fingerprint —
+// whatever the configuration — begins with the literal "{Name: " and never
+// leaks the config's display name. Both halves matter: dropping the field
+// from fingerprintV1 would shift every fingerprint left, and populating it
+// would fork keys by label; either way every memoized and persisted result
+// in every existing store would be orphaned.
+func TestFingerprintVestigialName(t *testing.T) {
+	const prefix = "{Name: "
+	named := Baseline()
+	named.Name = "some-label"
+	anon := Baseline()
+	anon.Name = ""
+	for _, cfg := range []Config{Small(), Baseline(), Large(), RecommendedE(), named, anon} {
+		fp := cfg.Fingerprint()
+		if !strings.HasPrefix(fp, prefix) {
+			t.Errorf("%q fingerprint lost the vestigial Name prefix %q: %s", cfg.Name, prefix, fp)
+		}
+		if cfg.Name != "" && strings.Contains(fp, cfg.Name) {
+			t.Errorf("%q fingerprint embeds the display name — Name is keyed now: %s", cfg.Name, fp)
+		}
+	}
+	if named.Fingerprint() != anon.Fingerprint() {
+		t.Errorf("renaming a config changed its fingerprint:\n%s\nvs\n%s",
+			named.Fingerprint(), anon.Fingerprint())
+	}
+}
+
 // TestFingerprintCoversConfig is the forcing function for future axes: every
 // Config field must appear in fingerprintV1 (the frozen v1 field set) or in
 // the explicit suffix-handled list. Adding a Config field without deciding

@@ -278,11 +278,13 @@ func (r *Runner) resolve(ctx context.Context, cfg core.Config, w *workloads.Work
 // failed write never fails the job; the store's own counters record it.
 func (r *Runner) persist(key jobKey, rep *core.Report, err error) {
 	if err == nil {
+		//aurora:allow(fault, a failed persist must fail neither job nor sweep; the store counts it in Stats.PutErrors)
 		_ = r.Store.Save(key.config, key.workload, key.budget, key.scheduled, rep, nil)
 		return
 	}
 	var f *simfault.Fault
 	if errors.As(err, &f) && f.Persistable() {
+		//aurora:allow(fault, a failed persist must fail neither job nor sweep; the store counts it in Stats.PutErrors)
 		_ = r.Store.Save(key.config, key.workload, key.budget, key.scheduled, nil, f)
 	}
 }

@@ -125,11 +125,13 @@ func (r *Runner) resolveSampled(ctx context.Context, cfg core.Config, w *workloa
 // persistSampled mirrors persist for sampled estimates.
 func (r *Runner) persistSampled(ss SampledStore, key jobKey, rep *sample.Report, err error) {
 	if err == nil {
+		//aurora:allow(fault, a failed persist must fail neither job nor sweep; the store counts it in Stats.PutErrors)
 		_ = ss.SaveSampled(key.config, key.workload, key.budget, key.sample, rep, nil)
 		return
 	}
 	var f *simfault.Fault
 	if errors.As(err, &f) && f.Persistable() {
+		//aurora:allow(fault, a failed persist must fail neither job nor sweep; the store counts it in Stats.PutErrors)
 		_ = ss.SaveSampled(key.config, key.workload, key.budget, key.sample, nil, f)
 	}
 }

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// CtxFlow preserves the cancellation contract across the library's blocking
+// entry points (harness, the root aurora package, resultstore): a SIGINT or
+// a per-job deadline must be able to stop any simulation a caller started.
+// Two rules:
+//
+//   - context.Background() and context.TODO() are banned in library code —
+//     a fresh root context severs the caller's cancellation chain. The one
+//     allowed shape is the convenience-wrapper idiom `func F(...) { return
+//     FContext(context.Background(), ...) }`: a function whose entire body
+//     is a single return forwarding to its own Context-suffixed variant is
+//     the documented non-cancellable API and keeps the contract visible in
+//     the name.
+//   - a context.Context parameter must flow: a parameter named _ drops the
+//     caller's context on the floor, and a named parameter that is never
+//     read does the same thing more quietly. Either way the function
+//     signature promises cancellation it does not deliver.
+//
+// Waive deliberate exceptions with //aurora:allow(ctx, reason).
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "check that library entry points accept and forward context.Context",
+	Run:  runCtxFlow,
+}
+
+const ctxTok = "ctx"
+
+// ctxFlowPackages are the library layers whose exported surface blocks on
+// simulation work: everything between a CLI and the cycle loop.
+var ctxFlowPackages = map[string]bool{
+	"aurora":      true, // the root package: Run*, Simulation
+	"harness":     true, // Runner, sweeps, explorer
+	"resultstore": true, // store I/O under the memo table
+}
+
+func runCtxFlow(pass *analysis.Pass) (interface{}, error) {
+	if !ctxFlowPackages[lastSeg(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	w := collectWaivers(pass)
+
+	for _, f := range sourceFiles(pass) {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkCtxParams(pass, w, fd)
+			if fd.Body == nil {
+				continue
+			}
+			wrapper := isContextWrapper(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := rootContextCall(pass, call)
+				if name == "" {
+					return true
+				}
+				if wrapper {
+					return true
+				}
+				report(pass, w, call.Pos(), ctxTok,
+					"ctxflow: context."+name+" in library code severs the caller's cancellation chain; accept a ctx parameter (or use the F -> FContext wrapper idiom)")
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// rootContextCall returns "Background" or "TODO" when call constructs a
+// fresh root context, else "".
+func rootContextCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	callee := typeutil.StaticCallee(pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "context" {
+		return ""
+	}
+	if n := callee.Name(); n == "Background" || n == "TODO" {
+		return n
+	}
+	return ""
+}
+
+// checkCtxParams flags context parameters the function drops: declared as _
+// or declared with a name that the body never reads.
+func checkCtxParams(pass *analysis.Pass, w waivers, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				report(pass, w, name.Pos(), ctxTok,
+					"ctxflow: context parameter is dropped; name it and forward it")
+				continue
+			}
+			if fd.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil || usesObject(pass, fd.Body, obj) {
+				continue
+			}
+			report(pass, w, name.Pos(), ctxTok,
+				"ctxflow: context parameter "+name.Name+" is never forwarded; the signature promises cancellation it does not deliver")
+		}
+	}
+}
+
+// usesObject reports whether any identifier in body resolves to obj.
+func usesObject(pass *analysis.Pass, body ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isContextWrapper reports whether fd is the convenience-wrapper idiom: a
+// body of exactly one return statement whose call targets a same-package
+// function or method named fd.Name + "Context".
+func isContextWrapper(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Body == nil || len(fd.Body.List) != 1 {
+		return false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	callee := typeutil.StaticCallee(pass.TypesInfo, call)
+	return callee != nil && callee.Pkg() == pass.Pkg &&
+		callee.Name() == fd.Name.Name+"Context"
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"aurora/internal/lint"
+	"aurora/internal/lint/linttest"
+)
+
+// TestCtxFlow runs the context-propagation analyzer over a fixture named
+// ctx/harness — "harness" being one of the in-scope package names — which
+// exercises the F -> FContext wrapper exemption, fresh-root-context bans,
+// dropped and unused ctx parameters, and the ctx waiver.
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, "testdata", lint.CtxFlow, "ctx/harness")
+}

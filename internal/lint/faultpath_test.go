@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"aurora/internal/lint"
+	"aurora/internal/lint/linttest"
+)
+
+// TestFaultPath runs the fault-isolation analyzer over the fault fixtures:
+// fault/harness recovers panics (typed and raw) and discards persistence
+// errors from the fixture resultstore, a harness-local Store interface and
+// a real encoding/csv writer.
+func TestFaultPath(t *testing.T) {
+	linttest.Run(t, "testdata", lint.FaultPath, "fault/simfault", "fault/resultstore", "fault/harness")
+}

@@ -1,0 +1,331 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// KeyFlow proves key completeness for the identity chain that addresses
+// memoized and persisted results: every field of a struct annotated with
+// //aurora:identity(Method) must be consumed inside that method's body, so
+// that adding a timing-relevant configuration axis without threading it
+// into the fingerprint/store key is a build error, not a reflection-test
+// afterthought. Three ways a field counts as consumed:
+//
+//   - a value use — the field is read directly (rendered into the key
+//     string, assigned into the frozen fingerprintV1 literal, hashed);
+//     because the fingerprint renders nested structs wholesale (%+v, or a
+//     field-by-field hash), a by-value flow covers every nested field of
+//     mem/fpu/mmu-style sub-configs automatically;
+//   - a method-call use that reaches the field type's own identity method —
+//     the non-default-suffix idiom (`if !c.BPred.IsDefault() { fp +=
+//     c.BPred.Key() }`): the called type must itself carry an
+//     //aurora:identity annotation (checked via an exported object fact, so
+//     the link holds across packages under vet's modular analysis) and the
+//     declared identity method must be among the methods called;
+//   - an explicit waiver — //aurora:identity(none, reason) in the field's
+//     doc or line comment, for fields that intentionally do not key results
+//     (core.Config.Name labels an experiment point, it does not change the
+//     machine). The reason is mandatory.
+var KeyFlow = &analysis.Analyzer{
+	Name:      "keyflow",
+	Doc:       "check that every field of an identity-annotated struct reaches its identity method",
+	Run:       runKeyFlow,
+	FactTypes: []analysis.Fact{new(identityFact)},
+}
+
+// identityFact marks a struct type as identity-annotated and records its
+// identity method name, making the annotation visible to passes over
+// dependent packages (core's check of Config.BPred imports the fact
+// exported by bpred's pass on bpred.Config).
+type identityFact struct{ Method string }
+
+func (*identityFact) AFact()           {}
+func (f *identityFact) String() string { return "identity(" + f.Method + ")" }
+
+// identityRE parses the type-level directive //aurora:identity(Method).
+// The field-level waiver form //aurora:identity(none, reason) is parsed by
+// identityNoneRE; "none" is not a legal method name.
+var identityRE = regexp.MustCompile(`^//aurora:identity\(([A-Za-z_][A-Za-z0-9_]*)\)`)
+
+// identityNoneRE parses the field waiver, capturing the reason (which may
+// be empty — the analyzer then demands one).
+var identityNoneRE = regexp.MustCompile(`^//aurora:identity\(none(?:,\s*([^)]*))?\)`)
+
+// identityAnnotation returns the identity method name declared on a doc
+// comment group, or "".
+func identityAnnotation(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	for _, c := range doc.List {
+		if m := identityRE.FindStringSubmatch(strings.TrimSpace(c.Text)); m != nil && m[1] != "none" {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// fieldWaiver reports whether a field's comments carry the
+// //aurora:identity(none, reason) waiver, and the reason text.
+func fieldWaiver(groups ...*ast.CommentGroup) (waived bool, reason string) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if m := identityNoneRE.FindStringSubmatch(strings.TrimSpace(c.Text)); m != nil {
+				return true, strings.TrimSpace(m[1])
+			}
+		}
+	}
+	return false, ""
+}
+
+// fieldUse records how one field of an identity struct is consumed inside
+// the identity method.
+type fieldUse struct {
+	value   bool            // read as a value (not only as a method receiver)
+	methods map[string]bool // methods called directly on the field
+}
+
+func runKeyFlow(pass *analysis.Pass) (interface{}, error) {
+	// Phase 1: find the annotated structs and export their facts before any
+	// body is checked, so same-package nesting resolves in either order.
+	type annotated struct {
+		spec   *ast.TypeSpec
+		st     *ast.StructType
+		obj    *types.TypeName
+		method string
+	}
+	var structs []annotated
+	for _, f := range sourceFiles(pass) {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				method := identityAnnotation(ts.Doc)
+				if method == "" && len(gd.Specs) == 1 {
+					method = identityAnnotation(gd.Doc)
+				}
+				if method == "" {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					pass.Reportf(ts.Pos(), "keyflow: //aurora:identity on non-struct type %s", ts.Name.Name)
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				pass.ExportObjectFact(obj, &identityFact{Method: method})
+				structs = append(structs, annotated{spec: ts, st: st, obj: obj, method: method})
+			}
+		}
+	}
+
+	for _, a := range structs {
+		checkIdentityStruct(pass, a.spec, a.st, a.obj, a.method)
+	}
+	return nil, nil
+}
+
+// checkIdentityStruct verifies one annotated struct against its identity
+// method.
+func checkIdentityStruct(pass *analysis.Pass, spec *ast.TypeSpec, st *ast.StructType, obj *types.TypeName, method string) {
+	body := findMethodBody(pass, obj, method)
+	if body == nil {
+		pass.Reportf(spec.Pos(), "keyflow: identity method %s.%s not found in this package", obj.Name(), method)
+		return
+	}
+
+	uses := collectFieldUses(pass, obj, body)
+
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			pass.Reportf(field.Pos(), "keyflow: embedded field in identity struct %s is not supported; name it and thread it into %s", obj.Name(), method)
+			continue
+		}
+		for _, name := range field.Names {
+			checkIdentityField(pass, obj, method, field, name.Name, uses[name.Name])
+		}
+	}
+}
+
+func checkIdentityField(pass *analysis.Pass, obj *types.TypeName, method string, field *ast.Field, name string, use *fieldUse) {
+	if waived, reason := fieldWaiver(field.Doc, field.Comment); waived {
+		if reason == "" {
+			pass.Reportf(field.Pos(), "keyflow: //aurora:identity(none) waiver on %s.%s requires a reason", obj.Name(), name)
+		}
+		return
+	}
+	if use == nil {
+		pass.Reportf(field.Pos(),
+			"keyflow: field %s.%s does not reach identity method %s; results with different %s would collide under one key — thread it into %s or waive with //aurora:identity(none, reason)",
+			obj.Name(), name, method, name, method)
+		return
+	}
+	if use.value {
+		return
+	}
+	// Consumed only through method calls: the calls must reach the field
+	// type's own declared identity method, or nothing proves the field's
+	// sub-fields participate in the key.
+	ft := fieldNamedType(pass, field)
+	if ft == nil {
+		pass.Reportf(field.Pos(),
+			"keyflow: field %s.%s reaches %s only through method calls on an unannotated type; read the field's value or declare //aurora:identity on its type",
+			obj.Name(), name, method)
+		return
+	}
+	var fact identityFact
+	if !pass.ImportObjectFact(ft.Obj(), &fact) {
+		pass.Reportf(field.Pos(),
+			"keyflow: field %s.%s reaches %s only through method calls, but %s declares no //aurora:identity method",
+			obj.Name(), name, method, ft.Obj().Name())
+		return
+	}
+	if !use.methods[fact.Method] {
+		pass.Reportf(field.Pos(),
+			"keyflow: field %s.%s never reaches %s's identity method %s (calls: %s)",
+			obj.Name(), name, ft.Obj().Name(), fact.Method, methodList(use.methods))
+	}
+}
+
+// findMethodBody returns the AST body of the named method on obj's type
+// (value or pointer receiver) within this package, or nil.
+func findMethodBody(pass *analysis.Pass, obj *types.TypeName, method string) *ast.BlockStmt {
+	for _, f := range sourceFiles(pass) {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != method || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := fn.Type().(*types.Signature).Recv()
+			if recv == nil {
+				continue
+			}
+			if namedOf(recv.Type()) == obj.Type() {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// namedOf unwraps pointers and aliases down to the *types.Named, returned
+// as a types.Type for direct comparison with TypeName.Type().
+func namedOf(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n.Origin()
+	}
+	return nil
+}
+
+// collectFieldUses walks the identity method body recording, per field of
+// the annotated struct, whether it is read by value and which methods are
+// called directly on it. A selector counts whenever its receiver's type is
+// the annotated struct — the receiver itself, a normalized copy, or any
+// other variable of that type.
+func collectFieldUses(pass *analysis.Pass, obj *types.TypeName, body *ast.BlockStmt) map[string]*fieldUse {
+	uses := map[string]*fieldUse{}
+	inspectWithStack(body, func(n ast.Node, stack []ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		selection := pass.TypesInfo.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return
+		}
+		if namedOf(selection.Recv()) != obj.Type() {
+			return
+		}
+		name := sel.Sel.Name
+		u := uses[name]
+		if u == nil {
+			u = &fieldUse{methods: map[string]bool{}}
+			uses[name] = u
+		}
+		if m := calledMethod(pass, sel, stack); m != "" {
+			u.methods[m] = true
+		} else {
+			u.value = true
+		}
+	})
+	return uses
+}
+
+// calledMethod returns the method name when sel (a field selection) is
+// exactly the receiver of a method call — parent is a SelectorExpr whose
+// own parent calls it — and "" for any other (value) use.
+func calledMethod(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node) string {
+	if len(stack) < 2 {
+		return ""
+	}
+	parent, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+	if !ok || parent.X != ast.Expr(sel) {
+		return ""
+	}
+	psel := pass.TypesInfo.Selections[parent]
+	if psel == nil || psel.Kind() != types.MethodVal {
+		return ""
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok || call.Fun != ast.Expr(parent) {
+		return "" // method value, not a call: treat as a value use
+	}
+	return parent.Sel.Name
+}
+
+// fieldNamedType returns the named struct type of a field declared in the
+// same module (unwrapping one pointer), or nil.
+func fieldNamedType(pass *analysis.Pass, field *ast.Field) *types.Named {
+	t := pass.TypesInfo.TypeOf(field.Type)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return nil
+	}
+	if firstSeg(n.Obj().Pkg().Path()) != firstSeg(pass.Pkg.Path()) {
+		return nil
+	}
+	return n
+}
+
+func methodList(m map[string]bool) string {
+	if len(m) == 0 {
+		return "none"
+	}
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names) // deterministic diagnostic text
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"aurora/internal/lint"
+	"aurora/internal/lint/linttest"
+)
+
+// TestKeyFlow runs the identity-flow analyzer over the key fixtures:
+// key/dep exports the identityFact for Sub (and deliberately none for
+// Plain) that key/a consumes, exercising the cross-package fact flow that
+// lets core.Config.BPred prove coverage through bpred.Config.Key.
+func TestKeyFlow(t *testing.T) {
+	linttest.Run(t, "testdata", lint.KeyFlow, "key/dep", "key/a")
+}

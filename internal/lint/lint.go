@@ -3,7 +3,7 @@
 // sweep output, faultinject-gated invariant panics and nil-guarded probes —
 // into compile-time errors instead of flaky benchmark deltas.
 //
-// Four analyzers:
+// Seven aurora analyzers:
 //
 //   - hotpathalloc: functions annotated //aurora:hotpath (and everything
 //     they statically call within the module) must contain no
@@ -17,12 +17,27 @@
 //   - probeguard: obs.Probe method calls outside package obs must sit
 //     behind the `if p != nil` idiom that keeps the disabled probe cost at
 //     one branch and zero allocations.
+//   - keyflow: every field of an identity-annotated struct (core.Config,
+//     bpred.Config, sample.Params, resultstore.Key) must reach the
+//     struct's identity method, so config axes cannot silently miss the
+//     memo/store key.
+//   - ctxflow: library entry points in harness/aurora/resultstore must
+//     accept and forward context.Context; no fresh root contexts outside
+//     the F -> FContext wrapper idiom, no dropped ctx parameters.
+//   - faultpath: recover() in sim/harness packages must convert to
+//     *simfault.Fault, and persistence/artifact-writer errors must not be
+//     discarded.
+//
+// An eighth analyzer, waiver, lints the waiver comments themselves, and
+// the stock x/tools passes atomic, copylock, lostcancel, nilfunc and
+// unusedresult run alongside (vendored under third_party/).
 //
 // A diagnostic is suppressed by a waiver comment on its line or the line
-// above: //aurora:allow(token), where token is the analyzer's waiver token
-// (alloc, determinism, panic, probe). A reason may follow the token after
-// a comma, e.g. //aurora:allow(panic, construction-time validation).
-// See docs/LINTING.md for the full contract.
+// above: //aurora:allow(token, reason), where token is the analyzer's
+// waiver token (alloc, determinism, panic, probe, ctx, fault) and the
+// reason is mandatory — a bare //aurora:allow(token) waives nothing and
+// is itself flagged by the waiver analyzer. keyflow uses its own field
+// directive //aurora:identity(none, reason). See docs/LINTING.md.
 package lint
 
 import (
@@ -32,15 +47,32 @@ import (
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/atomic"
+	"golang.org/x/tools/go/analysis/passes/copylock"
+	"golang.org/x/tools/go/analysis/passes/lostcancel"
+	"golang.org/x/tools/go/analysis/passes/nilfunc"
+	"golang.org/x/tools/go/analysis/passes/unusedresult"
 )
 
-// Analyzers returns the full aurora-lint suite in stable order.
+// Analyzers returns the full aurora-lint suite in stable order: the
+// repo-specific analyzers first, then the vendored stock passes (which
+// `go vet` also runs; running them here keeps `make lint` sufficient on
+// its own and feeds their findings into the SARIF export).
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		HotPathAlloc,
 		Determinism,
 		PanicSite,
 		ProbeGuard,
+		KeyFlow,
+		CtxFlow,
+		FaultPath,
+		Waiver,
+		atomic.Analyzer,
+		copylock.Analyzer,
+		lostcancel.Analyzer,
+		nilfunc.Analyzer,
+		unusedresult.Analyzer,
 	}
 }
 
@@ -100,7 +132,11 @@ func isSimPackage(pkgPath string) bool { return simPackages[lastSeg(pkgPath)] }
 // isOutputPackage reports whether pkgPath carries sweep output.
 func isOutputPackage(pkgPath string) bool { return outputPackages[lastSeg(pkgPath)] }
 
-var allowRE = regexp.MustCompile(`^//aurora:allow\(([a-z]+)(?:,[^)]*)?\)\s*$`)
+// allowRE matches only well-formed waivers: token AND a non-empty reason.
+// A reasonless //aurora:allow(token) deliberately fails to match — the
+// original diagnostic then fires, and the waiver analyzer names the cause.
+// Text after the closing paren is ignored (fixtures hang // want there).
+var allowRE = regexp.MustCompile(`^//aurora:allow\(([a-z]+),\s*[^)\s][^)]*\)`)
 
 // sourceFiles returns the pass's non-test files. The suite's invariants
 // govern shipped simulator code; tests freely use rand, raw panics and

@@ -1,0 +1,62 @@
+// Package harness (an in-scope package by name) seeds ctxflow's true
+// positives and the compliant idioms.
+package harness
+
+import "context"
+
+// RunContext is the real entry point: it accepts and forwards ctx.
+func RunContext(ctx context.Context, n int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	default:
+		return n
+	}
+}
+
+// Run is the convenience-wrapper idiom: a single return forwarding to the
+// Context-suffixed variant. Allowed.
+func Run(n int) int {
+	return RunContext(context.Background(), n)
+}
+
+// sneaky builds a fresh root context mid-function: the caller's
+// cancellation chain is severed.
+func sneaky(n int) int {
+	ctx := context.Background() // want `context.Background in library code severs`
+	return RunContext(ctx, n)
+}
+
+// todoToo is just as bad with TODO.
+func todoToo(n int) int {
+	return RunContext(context.TODO(), n) // want `context.TODO in library code severs`
+}
+
+// waived carries a reviewed reason.
+func waived(n int) int {
+	//aurora:allow(ctx, fixture: deliberate detachment)
+	return RunContext(context.Background(), n)
+}
+
+// dropped declares a context it never reads.
+func dropped(ctx context.Context, n int) int { // want `context parameter ctx is never forwarded`
+	return n
+}
+
+// blank drops the context in the signature itself.
+func blank(_ context.Context, n int) int { // want `context parameter is dropped`
+	return n
+}
+
+// forwarded uses its context through a closure: compliant.
+func forwarded(ctx context.Context, n int) int {
+	f := func() int { return RunContext(ctx, n) }
+	return f()
+}
+
+// notAWrapper has a Context-suffixed target but extra statements, so the
+// wrapper exemption does not apply.
+func notAWrapper(n int) int {
+	n++
+	return RunContext(context.Background(), n) // want `context.Background in library code severs`
+}

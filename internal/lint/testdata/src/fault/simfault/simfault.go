@@ -1,0 +1,17 @@
+// Package simfault is the fixture stand-in for the real typed-fault
+// package: faultpath recognises it by its final import-path segment.
+package simfault
+
+// Fault is the typed fault.
+type Fault struct{ Msg string }
+
+// Error implements error.
+func (f *Fault) Error() string { return f.Msg }
+
+// FromPanic converts a recovered value.
+func FromPanic(v interface{}) *Fault {
+	if f, ok := v.(*Fault); ok {
+		return f
+	}
+	return &Fault{Msg: "panic"}
+}

@@ -1,0 +1,80 @@
+// Package a seeds keyflow's true positives and compliant idioms: a config
+// struct whose identity method consumes most — but not all — of its
+// fields, nested axes consumed through their identity methods, and the
+// field-waiver forms.
+package a
+
+import "key/dep"
+
+// Config is the identity struct under test.
+//
+//aurora:identity(Fingerprint)
+type Config struct {
+	// Name labels a point, it does not key results.
+	//aurora:identity(none, labels an experiment point; excluded like core.Config.Name)
+	Name string
+
+	CacheBytes int
+	Ways       int
+
+	// Forgotten never reaches Fingerprint: the PR 8 bug shape.
+	Forgotten int // want `field Config.Forgotten does not reach identity method Fingerprint`
+
+	// BadWaiver carries the directive but no reason.
+	//aurora:identity(none)
+	BadWaiver int // want `waiver on Config.BadWaiver requires a reason`
+
+	// Sub is consumed only through dep.Sub methods, one of which is its
+	// declared identity — compliant via the imported fact.
+	Sub dep.Sub
+
+	// Wrong is consumed only through a non-identity method.
+	Wrong dep.Sub // want `field Config.Wrong never reaches Sub's identity method Key`
+
+	// Opaque is consumed only through methods of a type that declares no
+	// identity at all.
+	Opaque dep.Plain // want `Opaque reaches Fingerprint only through method calls, but Plain declares no`
+
+	// ByValue flows wholesale into the rendered string: its sub-fields are
+	// covered by the by-value rendering, no annotation needed.
+	ByValue dep.Plain
+}
+
+// Fingerprint renders the identity.
+func (c Config) Fingerprint() string {
+	fp := "cache:" + itoa(c.CacheBytes) + "/" + itoa(c.Ways)
+	if !c.Sub.IsDefault() {
+		fp += " sub:" + c.Sub.Key()
+	}
+	if c.Wrong.IsDefault() {
+		fp += " wrong"
+	}
+	if c.Opaque.Tag() != "" {
+		fp += " opaque"
+	}
+	fp += render(c.ByValue)
+	return fp
+}
+
+func render(p dep.Plain) string { return "+" + itoa(p.N) }
+
+// Broken declares an identity method that does not exist.
+//
+//aurora:identity(Key)
+type Broken struct { // want `identity method Broken.Key not found in this package`
+	X int
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

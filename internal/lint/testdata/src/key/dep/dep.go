@@ -1,0 +1,43 @@
+// Package dep is a fixture dependency for keyflow: Sub declares its
+// identity method, so dependent packages consuming a Sub field through
+// Sub.Key() satisfy the cross-package fact check; Plain declares none.
+package dep
+
+// Sub is a nested configuration axis with a declared identity.
+//
+//aurora:identity(Key)
+type Sub struct {
+	Entries int
+	Bits    int
+}
+
+// IsDefault reports whether the axis is disabled.
+func (s Sub) IsDefault() bool { return s == Sub{} }
+
+// Key renders the identity; both fields reach it.
+func (s Sub) Key() string {
+	return "sub/" + itoa(s.Entries) + "/" + itoa(s.Bits)
+}
+
+// Plain has no identity annotation: consuming a Plain field only through
+// its methods proves nothing about Plain's own fields.
+type Plain struct {
+	N int
+}
+
+// Tag is a method, not an identity.
+func (p Plain) Tag() string { return itoa(p.N) }
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

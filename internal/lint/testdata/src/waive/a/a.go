@@ -1,0 +1,54 @@
+// Package a seeds the waiver analyzer: every malformed directive shape the
+// grammar rejects, plus the legal forms that must stay silent.
+package a
+
+// Legal allow waiver: token and reason. Silent.
+//
+//aurora:allow(alloc, fixture: a real reason)
+var ok1 int
+
+// Reasonless allow: the strict waiver regexp no longer honours it, and the
+// waiver analyzer names the cause.
+//
+//aurora:allow(alloc) // want `waiver: //aurora:allow\(alloc\) requires a reason`
+var bad1 int
+
+// Unknown token.
+//
+//aurora:allow(bogus, some reason) // want `waiver: unknown token "bogus" in //aurora:allow`
+var bad2 int
+
+// No parentheses at all.
+//
+//aurora:allow alloc // want `waiver: malformed aurora directive`
+var bad3 int
+
+// Legal type-level identity directive. Silent (keyflow checks the method
+// exists; it does here).
+//
+//aurora:identity(Key)
+type T struct{ N int }
+
+// Key is T's identity method.
+func (t T) Key() int { return t.N }
+
+// Field waiver without a reason.
+//
+//aurora:identity(FieldBag)
+type U struct {
+	//aurora:identity(none) // want `waiver: //aurora:identity\(none\) requires a reason`
+	Skipped int
+
+	//aurora:identity(none, fixture: label only)
+	Label string
+
+	Kept int
+}
+
+// FieldBag is U's identity method.
+func (u U) FieldBag() int { return u.Kept }
+
+// Identity directive with an illegal method name.
+//
+//aurora:identity(bad name, x) // want `waiver: malformed //aurora:identity directive`
+var bad4 int

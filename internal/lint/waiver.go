@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Waiver enforces the waiver grammar itself, so the escape hatches stay
+// reviewable: every //aurora:allow must name a known analyzer token AND a
+// reason, and every //aurora:identity directive must be one of the two
+// legal forms (a method name on a type, or (none, reason) on a field). A
+// bare //aurora:allow(token) no longer waives anything — this analyzer is
+// what tells the author why their stale waiver stopped working.
+var Waiver = &analysis.Analyzer{
+	Name: "waiver",
+	Doc:  "check that lint waivers carry a known token and a reason",
+	Run:  runWaiver,
+}
+
+// allowTokens is the registry of waivable analyzer tokens.
+var allowTokens = map[string]bool{
+	allocTok: true,
+	detTok:   true,
+	panicTok: true,
+	probeTok: true,
+	ctxTok:   true,
+	faultTok: true,
+}
+
+// allowAnyRE matches anything that looks like an allow waiver, for
+// validation; the strict allowRE in lint.go is what actually waives.
+var allowAnyRE = regexp.MustCompile(`^//aurora:allow\(([^),]*)(?:,\s*([^)]*))?\)`)
+
+// identityAnyRE matches anything that looks like an identity directive.
+var identityAnyRE = regexp.MustCompile(`^//aurora:identity\(([^),]*)(?:,\s*([^)]*))?\)`)
+
+func runWaiver(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range sourceFiles(pass) {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				checkWaiverComment(pass, c)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkWaiverComment(pass *analysis.Pass, c *ast.Comment) {
+	text := strings.TrimSpace(c.Text)
+	if m := allowAnyRE.FindStringSubmatch(text); m != nil {
+		tok, reason := m[1], strings.TrimSpace(m[2])
+		if !allowTokens[tok] {
+			pass.Reportf(c.Pos(), "waiver: unknown token %q in //aurora:allow (known: %s)", tok, tokenList())
+			return
+		}
+		if reason == "" {
+			pass.Reportf(c.Pos(), "waiver: //aurora:allow(%s) requires a reason: //aurora:allow(%s, why this is safe)", tok, tok)
+		}
+		return
+	}
+	if m := identityAnyRE.FindStringSubmatch(text); m != nil {
+		name, reason := m[1], strings.TrimSpace(m[2])
+		switch {
+		case name == "none":
+			if reason == "" {
+				pass.Reportf(c.Pos(), "waiver: //aurora:identity(none) requires a reason")
+			}
+		case identityRE.MatchString(text):
+			// Legal type-level form; keyflow validates the method exists.
+		default:
+			pass.Reportf(c.Pos(), "waiver: malformed //aurora:identity directive %q", text)
+		}
+		return
+	}
+	if strings.HasPrefix(text, "//aurora:allow") || strings.HasPrefix(text, "//aurora:identity") {
+		pass.Reportf(c.Pos(), "waiver: malformed aurora directive %q", text)
+	}
+}
+
+func tokenList() string {
+	toks := make([]string, 0, len(allowTokens))
+	for t := range allowTokens {
+		toks = append(toks, t)
+	}
+	sort.Strings(toks)
+	return strings.Join(toks, ", ")
+}
+
+// WaiverEntry is one waiver in the tree: an //aurora:allow(token, reason)
+// comment or an //aurora:identity(none, reason) field waiver.
+type WaiverEntry struct {
+	File   string // path relative to the scanned root, forward slashes
+	Line   int
+	Token  string // analyzer token, or "identity" for field waivers
+	Reason string
+}
+
+// WaiverInventory walks the module source below root and returns every
+// lint waiver in shipped (non-test) code, sorted by file then line. Test
+// files, testdata fixtures, the vendored third_party tree and build
+// output are excluded: the inventory answers "which invariants does the
+// shipped simulator opt out of, and why" — the question TestWaiverInventory
+// pins and `aurora-lint -waivers` prints.
+//
+// Files are parsed, not grepped: a directive counts only when an actual
+// comment begins with it, so prose that merely mentions //aurora:allow
+// (this suite documents its own grammar a lot) and directive text inside
+// string literals stay out of the inventory.
+func WaiverInventory(root string) ([]WaiverEntry, error) {
+	var out []WaiverEntry
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			switch name {
+			case "third_party", "testdata", "bin", ".git":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			rel = path
+		}
+		rel = filepath.ToSlash(rel)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				var tok, reason string
+				if m := allowAnyRE.FindStringSubmatch(text); m != nil {
+					tok, reason = m[1], strings.TrimSpace(m[2])
+				} else if m := identityAnyRE.FindStringSubmatch(text); m != nil {
+					if m[1] != "none" {
+						continue // type-level identity declarations are not waivers
+					}
+					tok, reason = "identity", strings.TrimSpace(m[2])
+				} else {
+					continue
+				}
+				out = append(out, WaiverEntry{
+					File:   rel,
+					Line:   fset.Position(c.Pos()).Line,
+					Token:  tok,
+					Reason: reason,
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
+}

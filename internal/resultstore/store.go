@@ -36,7 +36,11 @@ import (
 // Key identifies one simulation result. Two processes that build the same
 // key are guaranteed (by the determinism contract the aurora-lint suite
 // enforces) to compute byte-identical results, which is what makes the
-// store safe to share between processes and machines.
+// store safe to share between processes and machines. keyflow
+// (aurora-lint) checks that every field reaches hash — the injective
+// encoding is only injective over the fields it actually hashes.
+//
+//aurora:identity(hash)
 type Key struct {
 	Fingerprint string `json:"fingerprint"` // core.Config.Fingerprint()
 	Workload    string `json:"workload"`

@@ -35,7 +35,12 @@ const (
 )
 
 // Params configures the sampled mode. The zero value of any field selects
-// its default, so Params{} is the canonical configuration.
+// its default, so Params{} is the canonical configuration. keyflow
+// (aurora-lint) checks that every field reaches Key — a sampling knob that
+// missed the key would let two different estimators share one stored
+// estimate.
+//
+//aurora:identity(Key)
 type Params struct {
 	// WarmUp is the functional warm-up length in instructions before the
 	// first detailed window — the prefix a checkpoint captures.
